@@ -1,0 +1,63 @@
+// Baseline comparison: CUBE's closed difference operator versus the
+// Karavanic/Miller performance difference (which returns a focus list).
+//
+// The costs are similar — both integrate metadata and scan the severity
+// volume — so closure costs nothing; what differs is capability: CUBE's
+// result feeds straight back into further operators (measured here as
+// diff-of-diffs), while the KM list is terminal.
+#include <benchmark/benchmark.h>
+
+#include "algebra/km_difference.hpp"
+#include "algebra/operators.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using cube::bench::Shape;
+using cube::bench::make_experiment;
+
+std::pair<cube::Experiment, cube::Experiment> operand_pair(int64_t cnodes) {
+  Shape s;
+  s.cnodes = static_cast<std::size_t>(cnodes);
+  cube::Experiment a = make_experiment(s);
+  s.seed = 2;
+  cube::Experiment b = make_experiment(s);
+  return {std::move(a), std::move(b)};
+}
+
+void BM_CubeDifference(benchmark::State& state) {
+  const auto [a, b] = operand_pair(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::difference(a, b));
+  }
+}
+BENCHMARK(BM_CubeDifference)->Arg(256)->Arg(1024);
+
+void BM_KmDifference(benchmark::State& state) {
+  const auto [a, b] = operand_pair(state.range(0));
+  cube::KmOptions opts;
+  opts.relative_threshold = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::km_difference(a, b, opts));
+  }
+}
+BENCHMARK(BM_KmDifference)->Arg(256)->Arg(1024);
+
+void BM_CubeSecondOrderDifference(benchmark::State& state) {
+  // Only possible with a closed operator: difference of differences.
+  const auto [a, b] = operand_pair(state.range(0));
+  Shape s;
+  s.cnodes = static_cast<std::size_t>(state.range(0));
+  s.seed = 3;
+  const cube::Experiment c = make_experiment(s);
+  for (auto _ : state) {
+    const cube::Experiment d1 = cube::difference(a, c);
+    const cube::Experiment d2 = cube::difference(b, c);
+    benchmark::DoNotOptimize(cube::difference(d1, d2));
+  }
+}
+BENCHMARK(BM_CubeSecondOrderDifference)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

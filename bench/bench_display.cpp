@@ -1,0 +1,57 @@
+// Ablation A5: display aggregation cost.
+//
+// compute_view re-derives all pane labels from the severity store on every
+// user action (selection or expansion change); its cost is linear in the
+// severity volume.  This bench sweeps the volume and also measures the
+// text renderer on top.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "display/render.hpp"
+
+namespace {
+
+using cube::bench::Shape;
+using cube::bench::make_experiment;
+
+void BM_ComputeView(benchmark::State& state) {
+  Shape s;
+  s.cnodes = static_cast<std::size_t>(state.range(0));
+  const cube::Experiment e = make_experiment(s);
+  cube::ViewState view(e);
+  view.set_mode(cube::ValueMode::Percent);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::compute_view(view));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 16 * 16);
+}
+BENCHMARK(BM_ComputeView)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ComputeViewCollapsedSelection(benchmark::State& state) {
+  // A collapsed selection aggregates whole subtrees per pane.
+  Shape s;
+  s.cnodes = static_cast<std::size_t>(state.range(0));
+  const cube::Experiment e = make_experiment(s);
+  cube::ViewState view(e);
+  view.collapse_all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::compute_view(view));
+  }
+}
+BENCHMARK(BM_ComputeViewCollapsedSelection)->Arg(256)->Arg(1024);
+
+void BM_RenderView(benchmark::State& state) {
+  Shape s;
+  s.cnodes = static_cast<std::size_t>(state.range(0));
+  const cube::Experiment e = make_experiment(s);
+  cube::ViewState view(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::render_view(view));
+  }
+}
+BENCHMARK(BM_RenderView)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

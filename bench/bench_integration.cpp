@@ -1,0 +1,74 @@
+// Ablation A2: metadata integration cost for identical, partially
+// overlapping, and fully disjoint operand metadata.
+//
+// Integration dominates operator cost when metadata is large relative to
+// the severity volume; the top-down structural merge touches every node of
+// every operand once per sibling-group scan.
+#include <benchmark/benchmark.h>
+
+#include "algebra/integration.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using cube::bench::Shape;
+using cube::bench::make_experiment;
+
+void BM_IntegrateIdentical(benchmark::State& state) {
+  Shape s;
+  s.cnodes = static_cast<std::size_t>(state.range(0));
+  const cube::Experiment a = make_experiment(s);
+  s.seed = 2;
+  const cube::Experiment b = make_experiment(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::integrate_metadata(a, b));
+  }
+}
+BENCHMARK(BM_IntegrateIdentical)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_IntegrateDisjoint(benchmark::State& state) {
+  Shape s;
+  s.cnodes = static_cast<std::size_t>(state.range(0));
+  const cube::Experiment a = make_experiment(s);
+  s.prefix = "n";
+  const cube::Experiment b = make_experiment(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::integrate_metadata(a, b));
+  }
+}
+BENCHMARK(BM_IntegrateDisjoint)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_IntegrateNaryIdentical(benchmark::State& state) {
+  Shape s;
+  s.cnodes = 256;
+  std::vector<cube::Experiment> operands;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    s.seed = static_cast<std::uint64_t>(i) + 1;
+    operands.push_back(make_experiment(s));
+  }
+  std::vector<const cube::Experiment*> ptrs;
+  for (const auto& e : operands) ptrs.push_back(&e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::integrate_metadata(
+        std::span<const cube::Experiment* const>(ptrs), {}));
+  }
+}
+BENCHMARK(BM_IntegrateNaryIdentical)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_IntegrateCollapsePolicy(benchmark::State& state) {
+  Shape s;
+  s.cnodes = 256;
+  const cube::Experiment a = make_experiment(s);
+  s.seed = 2;
+  const cube::Experiment b = make_experiment(s);
+  cube::IntegrationOptions opts;
+  opts.system_policy = cube::SystemMergePolicy::Collapse;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::integrate_metadata(a, b, opts));
+  }
+}
+BENCHMARK(BM_IntegrateCollapsePolicy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

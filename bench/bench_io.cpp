@@ -1,0 +1,68 @@
+// Ablation A4: file-format throughput and size — CUBE XML (the paper's
+// format) versus the compact binary extension.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "io/binary_format.hpp"
+#include "io/cube_format.hpp"
+
+namespace {
+
+using cube::bench::Shape;
+using cube::bench::make_experiment;
+
+cube::Experiment subject(int64_t cnodes) {
+  Shape s;
+  s.cnodes = static_cast<std::size_t>(cnodes);
+  return make_experiment(s);
+}
+
+void BM_XmlWrite(benchmark::State& state) {
+  const cube::Experiment e = subject(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string xml = cube::to_cube_xml(e);
+    bytes = xml.size();
+    benchmark::DoNotOptimize(xml);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_XmlWrite)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_XmlRead(benchmark::State& state) {
+  const std::string xml = cube::to_cube_xml(subject(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::read_cube_xml(xml));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * xml.size()));
+}
+BENCHMARK(BM_XmlRead)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BinaryWrite(benchmark::State& state) {
+  const cube::Experiment e = subject(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string data = cube::to_cube_binary(e);
+    bytes = data.size();
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_BinaryWrite)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BinaryRead(benchmark::State& state) {
+  const std::string data = cube::to_cube_binary(subject(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::read_cube_binary(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_BinaryRead)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Ablation A6: n-ary mean in a single pass versus cascading binary
+// operations.
+//
+// Because the operators are closed, a user could emulate an n-ary summary
+// by cascading binary applications — but each application re-runs metadata
+// integration and allocates a full derived experiment.  The n-ary mean
+// integrates once.  This bench quantifies the difference, which grows with
+// the operand count.
+#include <benchmark/benchmark.h>
+
+#include "algebra/operators.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using cube::bench::Shape;
+using cube::bench::make_experiment;
+
+std::vector<cube::Experiment> operands(int64_t n) {
+  std::vector<cube::Experiment> out;
+  Shape s;
+  s.cnodes = 256;
+  for (std::int64_t i = 0; i < n; ++i) {
+    s.seed = static_cast<std::uint64_t>(i) + 1;
+    out.push_back(make_experiment(s));
+  }
+  return out;
+}
+
+void BM_MeanSinglePass(benchmark::State& state) {
+  const auto ops = operands(state.range(0));
+  std::vector<const cube::Experiment*> ptrs;
+  for (const auto& e : ops) ptrs.push_back(&e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cube::mean(std::span<const cube::Experiment* const>(ptrs)));
+  }
+}
+BENCHMARK(BM_MeanSinglePass)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MeanCascadedBinary(benchmark::State& state) {
+  // Emulates the n-ary mean with closed binary steps: a running "sum"
+  // experiment built by pairwise weighted means.  Equivalent result (up to
+  // rounding) at the cost of n-1 integrations and intermediates.
+  const auto ops = operands(state.range(0));
+  for (auto _ : state) {
+    cube::Experiment acc = ops[0].clone();
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      // mean of (acc weighted i, next weighted 1): realized via the
+      // public binary API as repeated two-operand means; the weighting
+      // error is irrelevant for a cost comparison.
+      const cube::Experiment* pair[] = {&acc, &ops[i]};
+      acc = cube::mean(std::span<const cube::Experiment* const>(pair, 2));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MeanCascadedBinary)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Ablation A1: operator cost versus experiment size.
+//
+// Sweeps the severity volume (metrics x call paths x threads) and measures
+// difference, merge, and mean.  Operands share all metadata (the common
+// case when comparing runs of the same binary), so the cost isolates
+// severity extension + the element-wise pass.
+#include <benchmark/benchmark.h>
+
+#include "algebra/operators.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using cube::bench::Shape;
+using cube::bench::make_experiment;
+
+Shape shape_for(int64_t scale) {
+  Shape s;
+  s.metrics = 8;
+  s.cnodes = static_cast<std::size_t>(scale);
+  s.threads = 16;
+  return s;
+}
+
+void BM_Difference(benchmark::State& state) {
+  Shape s = shape_for(state.range(0));
+  const cube::Experiment a = make_experiment(s);
+  s.seed = 2;
+  const cube::Experiment b = make_experiment(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::difference(a, b));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * state.range(0) * 8 * 16);
+}
+BENCHMARK(BM_Difference)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Merge(benchmark::State& state) {
+  Shape s = shape_for(state.range(0));
+  const cube::Experiment a = make_experiment(s);
+  s.seed = 2;
+  s.prefix = "n";  // disjoint metrics: the merge operator's use case
+  const cube::Experiment b = make_experiment(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::merge(a, b));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * state.range(0) * 8 * 16);
+}
+BENCHMARK(BM_Merge)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Mean(benchmark::State& state) {
+  Shape s = shape_for(state.range(0));
+  std::vector<cube::Experiment> operands;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    s.seed = i + 1;
+    operands.push_back(make_experiment(s));
+  }
+  std::vector<const cube::Experiment*> ptrs;
+  for (const auto& e : operands) ptrs.push_back(&e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cube::mean(std::span<const cube::Experiment* const>(ptrs)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 8 * 16 * 4);
+}
+BENCHMARK(BM_Mean)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DifferenceSparseResult(benchmark::State& state) {
+  Shape s = shape_for(state.range(0));
+  s.fill = 0.05;
+  const cube::Experiment a = make_experiment(s);
+  s.seed = 2;
+  const cube::Experiment b = make_experiment(s);
+  cube::OperatorOptions opts;
+  opts.storage = cube::StorageKind::Sparse;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::difference(a, b, opts));
+  }
+}
+BENCHMARK(BM_DifferenceSparseResult)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Ablation A3: dense vs sparse severity storage.
+//
+// Compares point access, accumulation, and full scans at several fill
+// factors, and reports the memory footprint of each store as a counter.
+// Real experiments are sparse along the (metric x call path) plane — a
+// communication metric is zero in compute call paths — which is what makes
+// the hash-map store attractive despite slower point access.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "model/severity.hpp"
+
+namespace {
+
+using cube::MetricIndex;
+using cube::SeverityStore;
+using cube::StorageKind;
+
+constexpr std::size_t kMetrics = 16;
+constexpr std::size_t kCnodes = 256;
+constexpr std::size_t kThreads = 32;
+
+std::unique_ptr<SeverityStore> filled(StorageKind kind, double fill,
+                                      std::uint64_t seed = 7) {
+  auto store = cube::make_severity_store(kind, kMetrics, kCnodes, kThreads);
+  cube::SplitMix64 rng(seed);
+  for (std::size_t m = 0; m < kMetrics; ++m) {
+    for (std::size_t c = 0; c < kCnodes; ++c) {
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        if (rng.uniform() < fill) store->set(m, c, t, rng.uniform());
+      }
+    }
+  }
+  return store;
+}
+
+StorageKind kind_of(int64_t arg) {
+  return arg == 0 ? StorageKind::Dense : StorageKind::Sparse;
+}
+
+void BM_PointAccess(benchmark::State& state) {
+  const auto store = filled(kind_of(state.range(0)), 0.3);
+  cube::SplitMix64 rng(3);
+  for (auto _ : state) {
+    const auto m = rng.below(kMetrics);
+    const auto c = rng.below(kCnodes);
+    const auto t = rng.below(kThreads);
+    benchmark::DoNotOptimize(store->get(m, c, t));
+  }
+  state.counters["bytes"] = static_cast<double>(store->memory_bytes());
+}
+BENCHMARK(BM_PointAccess)->Arg(0)->Arg(1);
+
+void BM_Accumulate(benchmark::State& state) {
+  auto store = filled(kind_of(state.range(0)), 0.3);
+  cube::SplitMix64 rng(5);
+  for (auto _ : state) {
+    store->add(rng.below(kMetrics), rng.below(kCnodes), rng.below(kThreads),
+               1.0);
+  }
+}
+BENCHMARK(BM_Accumulate)->Arg(0)->Arg(1);
+
+void BM_FullScan(benchmark::State& state) {
+  const auto store = filled(kind_of(state.range(0)), 0.3);
+  for (auto _ : state) {
+    double sum = 0;
+    for (std::size_t m = 0; m < kMetrics; ++m) {
+      for (std::size_t c = 0; c < kCnodes; ++c) {
+        for (std::size_t t = 0; t < kThreads; ++t) {
+          sum += store->get(m, c, t);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FullScan)->Arg(0)->Arg(1);
+
+// Memory trade-off across fill factors: bytes per non-zero entry.
+void BM_MemoryFootprint(benchmark::State& state) {
+  const double fill = static_cast<double>(state.range(1)) / 100.0;
+  std::unique_ptr<SeverityStore> store;
+  for (auto _ : state) {
+    store = filled(kind_of(state.range(0)), fill);
+    benchmark::DoNotOptimize(store);
+  }
+  state.counters["bytes"] = static_cast<double>(store->memory_bytes());
+  state.counters["nonzero"] = static_cast<double>(store->nonzero_count());
+}
+BENCHMARK(BM_MemoryFootprint)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({0, 60})
+    ->Args({1, 60});
+
+}  // namespace
+
+BENCHMARK_MAIN();

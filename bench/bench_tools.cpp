@@ -1,0 +1,77 @@
+// Tool-side cost: EXPERT trace analysis and CONE profile conversion as a
+// function of run size.  The paper argues CUBE "is especially well suited
+// to support performance analysis on large-scale systems"; this bench
+// tracks how the post-processing path scales with the event volume.
+#include <benchmark/benchmark.h>
+
+#include "cone/profiler.hpp"
+#include "expert/analyzer.hpp"
+#include "sim/apps/pescan.hpp"
+#include "sim/apps/synthetic.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+cube::sim::RunResult pescan_run(int iterations) {
+  cube::sim::SimConfig cfg;
+  cfg.monitor.trace = true;
+  cube::sim::RegionTable regions;
+  cube::sim::PescanConfig pc;
+  pc.iterations = iterations;
+  return cube::sim::Engine(cfg).run(
+      regions, cube::sim::build_pescan(regions, cfg.cluster, pc));
+}
+
+void BM_ExpertAnalyze(benchmark::State& state) {
+  const auto run = pescan_run(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::expert::analyze_trace(run.trace));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(run.trace.events.size()));
+  state.counters["events"] = static_cast<double>(run.trace.events.size());
+}
+BENCHMARK(BM_ExpertAnalyze)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_ConeProfile(benchmark::State& state) {
+  const auto run = pescan_run(static_cast<int>(state.range(0)));
+  cube::cone::ConeOptions opts;
+  opts.event_set = cube::counters::event_set_cache();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::cone::profile_run(run, opts));
+  }
+}
+BENCHMARK(BM_ConeProfile)->Arg(5)->Arg(25);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  // The substrate itself: simulated events per second of host time.
+  cube::sim::SimConfig cfg;
+  cfg.monitor.trace = true;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    cube::sim::RegionTable regions;
+    cube::sim::PescanConfig pc;
+    pc.iterations = static_cast<int>(state.range(0));
+    const auto run = cube::sim::Engine(cfg).run(
+        regions, cube::sim::build_pescan(regions, cfg.cluster, pc));
+    events = run.trace.events.size();
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * events));
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(5)->Arg(25);
+
+void BM_TraceSerialization(benchmark::State& state) {
+  const auto run = pescan_run(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::sim::serialize_trace(run.trace));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(run.trace.byte_size()));
+}
+BENCHMARK(BM_TraceSerialization)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Shared helpers for the benchmark and figure-reproduction binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "model/experiment.hpp"
+#include "model/system_factory.hpp"
+
+namespace cube::bench {
+
+/// Shape of a synthetic experiment.
+struct Shape {
+  std::size_t metrics = 16;   ///< nodes across a few metric trees
+  std::size_t cnodes = 128;   ///< call-tree nodes
+  std::size_t threads = 16;   ///< single-threaded processes
+  /// Fraction of severity cells that are non-zero.
+  double fill = 0.3;
+  /// Name prefix for entity names; experiments built with different
+  /// prefixes share nothing, equal prefixes share everything.
+  std::string prefix = "m";
+  std::uint64_t seed = 1;
+};
+
+/// Builds a deterministic synthetic experiment of the given shape: a metric
+/// forest of chains of depth 4, a call tree of fan-out 4, and a flat
+/// system of single-threaded processes.
+inline Experiment make_experiment(const Shape& shape) {
+  auto md = std::make_unique<Metadata>();
+
+  // Metric forest: chains of depth <= 4.
+  const Metric* parent = nullptr;
+  for (std::size_t i = 0; i < shape.metrics; ++i) {
+    if (i % 4 == 0) parent = nullptr;
+    parent = &md->add_metric(parent, shape.prefix + std::to_string(i),
+                             shape.prefix + std::to_string(i),
+                             Unit::Seconds, "");
+  }
+
+  // Call tree: fan-out 4 over distinct regions.
+  const Region& root_region =
+      md->add_region(shape.prefix + "_main", "bench.c", 1, 2);
+  const Cnode* root = &md->add_cnode_for_region(nullptr, root_region);
+  std::vector<const Cnode*> frontier{root};
+  std::size_t created = 1;
+  while (created < shape.cnodes) {
+    std::vector<const Cnode*> next;
+    for (const Cnode* p : frontier) {
+      for (int k = 0; k < 4 && created < shape.cnodes; ++k, ++created) {
+        const Region& r = md->add_region(
+            shape.prefix + "_f" + std::to_string(created), "bench.c",
+            static_cast<long>(created), static_cast<long>(created) + 1);
+        next.push_back(&md->add_cnode_for_region(p, r));
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  build_regular_system(*md, "bench machine", 1,
+                       static_cast<int>(shape.threads));
+
+  Experiment e(std::move(md));
+  e.set_name(shape.prefix);
+  SplitMix64 rng(shape.seed);
+  const Metadata& m = e.metadata();
+  for (MetricIndex mi = 0; mi < m.num_metrics(); ++mi) {
+    for (CnodeIndex ci = 0; ci < m.num_cnodes(); ++ci) {
+      for (ThreadIndex ti = 0; ti < m.num_threads(); ++ti) {
+        if (rng.uniform() < shape.fill) {
+          e.severity().set(mi, ci, ti, rng.uniform(0.0, 10.0));
+        }
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace cube::bench

@@ -1,0 +1,90 @@
+// Reproduces the paper's Figure 2: the difference experiment obtained by
+// subtracting the optimized PESCAN version (barriers removed) from the
+// original one, values normalized to the old version's execution time.
+//
+// Expected shape (paper): barrier-related times (waiting, execution,
+// completion) virtually eliminated — raised relief; point-to-point and
+// Wait-at-NxN increased as waiting migrates — sunken relief; gross balance
+// clearly positive.
+#include <iostream>
+
+#include "algebra/operators.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "display/browser.hpp"
+#include "expert/analyzer.hpp"
+#include "expert/patterns.hpp"
+#include "sim/apps/pescan.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+cube::Experiment analyze(bool with_barriers, std::uint64_t seed,
+                         const std::string& name) {
+  cube::sim::SimConfig cfg;
+  cfg.monitor.trace = true;
+  cfg.noise.relative = 0.01;
+  cfg.noise.seed = seed;
+  cube::sim::RegionTable regions;
+  cube::sim::PescanConfig pc;
+  pc.with_barriers = with_barriers;
+  const auto run = cube::sim::Engine(cfg).run(
+      regions, cube::sim::build_pescan(regions, cfg.cluster, pc));
+  return cube::expert::analyze_trace(run.trace, {.experiment_name = name});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 2: difference experiment for PESCAN ===\n\n";
+
+  const cube::Experiment before = analyze(true, 42, "pescan-original");
+  const cube::Experiment after = analyze(false, 43, "pescan-optimized");
+  const cube::Experiment diff = cube::difference(before, after);
+
+  const cube::Metric& time =
+      *before.metadata().find_metric(cube::expert::kTime);
+  const double old_total = before.sum_metric_tree(time);
+
+  cube::Browser browser(diff);
+  browser.execute("select metric " +
+                  std::string(cube::expert::kWaitBarrier));
+  browser.execute("mode external " + std::to_string(old_total));
+  std::cout << browser.execute("show") << "\n";
+
+  const auto change = [&](std::string_view name) {
+    return 100.0 * diff.sum_metric(*diff.metadata().find_metric(name)) /
+           old_total;
+  };
+  cube::TextTable table;
+  table.set_header(
+      {"metric", "change (% of old total)", "paper expectation"});
+  table.set_align({cube::Align::Left, cube::Align::Right,
+                   cube::Align::Left});
+  table.add_row({"Wait at Barrier",
+                 cube::format_value(change(cube::expert::kWaitBarrier)),
+                 "large gain (raised relief)"});
+  table.add_row({"Barrier (execution)",
+                 cube::format_value(change(cube::expert::kBarrier)),
+                 "gain"});
+  table.add_row({"Barrier Completion",
+                 cube::format_value(change(cube::expert::kBarrierCompletion)),
+                 "gain"});
+  table.add_row({"Wait at N x N",
+                 cube::format_value(change(cube::expert::kWaitNxN)),
+                 "loss (migration)"});
+  table.add_row({"P2P",
+                 cube::format_value(change(cube::expert::kP2p)),
+                 "loss (migration)"});
+  table.add_row({"Late Sender",
+                 cube::format_value(change(cube::expert::kLateSender)),
+                 "loss (migration)"});
+  const double gross =
+      100.0 *
+      diff.sum_metric_tree(*diff.metadata().find_metric(cube::expert::kTime)) /
+      old_total;
+  table.add_row({"gross balance (Time)", cube::format_value(gross),
+                 "clearly positive"});
+  std::cout << table.str();
+  return 0;
+}

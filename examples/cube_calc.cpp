@@ -1,0 +1,104 @@
+// cube_calc: batch algebra over CUBE files (the command-line counterpart
+// of the tools the original CUBE distribution shipped as cube_diff,
+// cube_merge, cube_mean).
+//
+// Usage:
+//   cube_calc <expr> [name=]file.cube ... [-o out.cube] [--hotspots N]
+//
+// Examples:
+//   cube_calc 'diff(a, b)' a=before.cube b=after.cube -o delta.cube
+//   cube_calc 'mean(exp1, exp2, exp3)' r1.cube r2.cube r3.cube
+//   cube_calc 'diff(mean(a1, a2), mean(b1, b2))' a1=... a2=... b1=... b2=...
+//
+// Unnamed files are bound to exp1, exp2, ... in order.  Without -o the
+// derived experiment's metric totals and top hotspots are printed.
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/composite.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "display/hotspots.hpp"
+#include "io/cube_format.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: cube_calc <expr> [name=]file.cube ... [-o out.cube]"
+                 " [--hotspots N]\n";
+    return 1;
+  }
+
+  const std::string expr = argv[1];
+  std::vector<std::pair<std::string, std::string>> inputs;
+  std::optional<std::string> output;
+  std::size_t hotspot_count = 10;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--hotspots" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], hotspot_count)) {
+        std::cerr << "error: --hotspots expects a number\n";
+        return 1;
+      }
+    } else {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        inputs.emplace_back("exp" + std::to_string(inputs.size() + 1), arg);
+      } else {
+        inputs.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  try {
+    std::vector<cube::Experiment> loaded;
+    loaded.reserve(inputs.size());
+    cube::ExperimentEnv env;
+    for (const auto& [name, path] : inputs) {
+      loaded.push_back(cube::read_experiment_file(path));
+      if (loaded.back().name().empty()) loaded.back().set_name(name);
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      env[inputs[i].first] = &loaded[i];
+    }
+
+    const cube::Experiment result = cube::eval_expr(expr, env);
+    std::cout << "evaluated: " << expr << "\n"
+              << "result:    " << result.name() << "\n";
+
+    if (output) {
+      cube::write_cube_xml_file(result, *output);
+      std::cout << "wrote " << *output << "\n";
+      return 0;
+    }
+
+    cube::TextTable totals;
+    totals.set_header({"metric tree", "unit", "inclusive total"});
+    totals.set_align(
+        {cube::Align::Left, cube::Align::Left, cube::Align::Right});
+    for (const cube::Metric* root : result.metadata().metric_roots()) {
+      totals.add_row({root->display_name(),
+                      std::string(cube::unit_name(root->unit())),
+                      cube::format_value(result.sum_metric_tree(*root), 4)});
+    }
+    std::cout << "\n" << totals.str();
+
+    cube::HotspotOptions opts;
+    opts.top_n = hotspot_count;
+    opts.unit = std::nullopt;
+    const auto spots = cube::find_hotspots(result, opts);
+    if (!spots.empty()) {
+      std::cout << "\ntop severity concentrations (|value| ranked):\n"
+                << cube::format_hotspots(spots);
+    }
+    return 0;
+  } catch (const cube::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+// Managing run series with the experiment repository.
+//
+// The paper's §6 relates CUBE to performance-database projects (PerfDBF,
+// PPerfDB) and calls a database backing "a natural extension".  This
+// example uses the file-backed repository to manage a measurement
+// campaign: repeated noisy PESCAN runs of two code versions are stored
+// with attributes, queried back as series, summarized with mean/stddev,
+// compared with the closed difference, and the derived result is stored
+// right next to the originals.
+//
+// Usage: experiment_database [repository-dir]
+#include <filesystem>
+#include <iostream>
+
+#include "algebra/operators.hpp"
+#include "algebra/statistics.hpp"
+#include "common/text_table.hpp"
+#include "expert/analyzer.hpp"
+#include "expert/patterns.hpp"
+#include "io/repository.hpp"
+#include "sim/apps/pescan.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+cube::Experiment measure(bool with_barriers, std::uint64_t seed) {
+  cube::sim::SimConfig cfg;
+  cfg.monitor.trace = true;
+  cfg.noise.relative = 0.015;
+  cfg.noise.seed = seed;
+  cube::sim::RegionTable regions;
+  cube::sim::PescanConfig pc;
+  pc.iterations = 8;
+  pc.with_barriers = with_barriers;
+  const auto run = cube::sim::Engine(cfg).run(
+      regions, cube::sim::build_pescan(regions, cfg.cluster, pc));
+  cube::Experiment e = cube::expert::analyze_trace(
+      run.trace,
+      {.experiment_name =
+           std::string("pescan-") + (with_barriers ? "orig" : "opt")});
+  e.set_attribute("app", "pescan");
+  e.set_attribute("config", with_barriers ? "barriers" : "nobarriers");
+  e.set_attribute("seed", std::to_string(seed));
+  return e;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir =
+      argc > 1 ? argv[1]
+               : std::filesystem::temp_directory_path() / "cube_campaign";
+  std::filesystem::remove_all(dir);
+  cube::ExperimentRepository repo(dir);
+  std::cout << "repository: " << repo.directory().string() << "\n\n";
+
+  // Measurement campaign: 3 repetitions per configuration.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    repo.store(measure(true, 100 + i));
+    repo.store(measure(false, 200 + i));
+  }
+
+  cube::TextTable listing;
+  listing.set_header({"id", "config", "seed", "kind"});
+  for (const cube::RepoEntry& e : repo.entries()) {
+    listing.add_row({e.id, e.attributes.at("config"),
+                     e.attributes.at("seed"),
+                     e.attributes.count("cube::kind")
+                         ? e.attributes.at("cube::kind")
+                         : "original"});
+  }
+  std::cout << listing.str() << "\n";
+
+  // Query each series back and summarize it.
+  const auto summarize = [&](const std::string& config) {
+    const std::vector<cube::Experiment> series =
+        repo.load_all(repo.query("config", config));
+    std::vector<const cube::Experiment*> ptrs;
+    for (const auto& e : series) ptrs.push_back(&e);
+    return cube::mean(std::span<const cube::Experiment* const>(ptrs));
+  };
+  const cube::Experiment mean_orig = summarize("barriers");
+  const cube::Experiment mean_opt = summarize("nobarriers");
+
+  // The derived comparison goes back into the repository.
+  cube::Experiment delta = cube::difference(mean_orig, mean_opt);
+  delta.set_attribute("app", "pescan");
+  const std::string delta_id = repo.store(delta);
+  std::cout << "stored derived comparison as '" << delta_id << "'\n";
+
+  // And it loads back as a first-class experiment.
+  const cube::Experiment reloaded = repo.load(delta_id);
+  const cube::Metric& time =
+      *reloaded.metadata().find_metric(cube::expert::kTime);
+  const cube::Metric& orig_time =
+      *mean_orig.metadata().find_metric(cube::expert::kTime);
+  std::cout << "mean improvement: "
+            << 100.0 * reloaded.sum_metric_tree(time) /
+                   mean_orig.sum_metric_tree(orig_time)
+            << " % of the original mean execution time\n";
+  std::cout << "repository now holds " << repo.entries().size()
+            << " experiments ("
+            << repo.query("cube::kind", "derived").size() << " derived)\n";
+  return 0;
+}

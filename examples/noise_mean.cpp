@@ -1,0 +1,92 @@
+// The mean operator: smoothing run-to-run variation.
+//
+// "On parallel systems, unrelated system activities often perturb
+// performance experiments in a way that lets results vary across multiple
+// executions."  This example runs the same balanced kernel several times
+// under simulated OS noise, shows how individual runs scatter, and derives
+// one mean experiment from the whole series — plus the difference between
+// the noisiest run and the mean, browsable like any experiment.
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "algebra/operators.hpp"
+#include "algebra/statistics.hpp"
+#include "display/browser.hpp"
+#include "expert/analyzer.hpp"
+#include "expert/patterns.hpp"
+#include "sim/apps/synthetic.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  constexpr int kRepetitions = 6;
+
+  std::vector<cube::Experiment> runs;
+  std::cout << "=== repeated noisy runs of a balanced kernel ===\n";
+  for (int i = 0; i < kRepetitions; ++i) {
+    cube::sim::SimConfig cfg;
+    cfg.cluster.num_nodes = 2;
+    cfg.cluster.procs_per_node = 4;
+    cfg.monitor.trace = true;
+    cfg.noise.relative = 0.04;       // 4 % compute jitter
+    cfg.noise.daemon_prob = 0.05;    // occasional daemon spike
+    cfg.noise.daemon_seconds = 2e-3;
+    cfg.noise.seed = 1000 + static_cast<std::uint64_t>(i);
+    cube::sim::RegionTable regions;
+    const auto run = cube::sim::Engine(cfg).run(
+        regions,
+        cube::sim::build_noisy_compute(regions, cfg.cluster, 20, 5e-3));
+    runs.push_back(cube::expert::analyze_trace(
+        run.trace, {.experiment_name = "run" + std::to_string(i + 1)}));
+  }
+
+  const cube::Metric& time =
+      *runs[0].metadata().find_metric(cube::expert::kTime);
+  std::cout << std::fixed << std::setprecision(4);
+  for (const cube::Experiment& e : runs) {
+    std::cout << "  " << e.name() << ": total time "
+              << e.sum_metric_tree(
+                     *e.metadata().find_metric(cube::expert::kTime))
+              << " s\n";
+  }
+
+  // One derived experiment summarizing the series.
+  std::vector<const cube::Experiment*> operands;
+  for (const cube::Experiment& e : runs) operands.push_back(&e);
+  const cube::Experiment averaged = cube::mean(operands);
+  std::cout << "\nmean experiment (" << averaged.provenance()
+            << "): total time "
+            << averaged.sum_metric_tree(
+                   *averaged.metadata().find_metric(cube::expert::kTime))
+            << " s\n\n";
+
+  // Which run deviated most, and where?  Difference of run vs mean.
+  std::size_t noisiest = 0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const double t = runs[i].sum_metric_tree(
+        *runs[i].metadata().find_metric(cube::expert::kTime));
+    if (t > worst) {
+      worst = t;
+      noisiest = i;
+    }
+  }
+  // Statistical reductions (closed, like every operator): where do the
+  // runs disagree the most?
+  const cube::Experiment spread = cube::stddev(operands);
+  const cube::Metric& spread_time =
+      *spread.metadata().find_metric(cube::expert::kTime);
+  std::cout << "stddev experiment (" << spread.provenance()
+            << "): total deviation mass "
+            << spread.sum_metric_tree(spread_time) << " s\n\n";
+
+  const cube::Experiment deviation = cube::difference(runs[noisiest],
+                                                      averaged);
+  std::cout << "--- deviation of the noisiest run (" << runs[noisiest].name()
+            << ") from the mean ---\n";
+  cube::Browser browser(deviation);
+  browser.execute("select metric " + std::string(cube::expert::kExecution));
+  std::cout << browser.execute("show");
+  (void)time;
+  return 0;
+}

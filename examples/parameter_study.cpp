@@ -1,0 +1,79 @@
+// Parameter study: one statement about performance over a range of
+// execution parameters.
+//
+// Paper §3 motivates the mean operator twice: smoothing random errors AND
+// "a user might want to combine several execution parameters in an overall
+// picture in order to make a single statement about the performance for a
+// range of execution parameters".  This example sweeps the PESCAN
+// transpose volume (the FFT problem-size proxy), analyzes each
+// configuration, prints the per-configuration trend, and derives the
+// overall picture with mean — then asks where performance is lost across
+// the whole range using the hotspot search on the derived experiment.
+#include <iostream>
+#include <vector>
+
+#include "algebra/operators.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "display/hotspots.hpp"
+#include "expert/analyzer.hpp"
+#include "expert/patterns.hpp"
+#include "sim/apps/pescan.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  std::cout << "=== parameter study: PESCAN transpose volume sweep ===\n\n";
+
+  const std::vector<double> volumes_kb = {2, 4, 8, 16, 32};
+  std::vector<cube::Experiment> configs;
+
+  cube::TextTable trend;
+  trend.set_header({"alltoall volume [KiB/pair]", "total time [s]",
+                    "MPI share [%]", "Wait at NxN [%]"});
+  trend.set_align({cube::Align::Right, cube::Align::Right,
+                   cube::Align::Right, cube::Align::Right});
+
+  for (const double kb : volumes_kb) {
+    cube::sim::SimConfig cfg;
+    cfg.monitor.trace = true;
+    cfg.noise.relative = 0.01;
+    cfg.noise.seed = 77 + static_cast<std::uint64_t>(kb);
+    cube::sim::RegionTable regions;
+    cube::sim::PescanConfig pc;
+    pc.iterations = 10;
+    pc.with_barriers = false;  // the optimized code version
+    pc.alltoall_bytes = kb * 1024.0;
+    const auto run = cube::sim::Engine(cfg).run(
+        regions, cube::sim::build_pescan(regions, cfg.cluster, pc));
+    configs.push_back(cube::expert::analyze_trace(
+        run.trace,
+        {.experiment_name = "volume-" + cube::format_value(kb) + "k"}));
+
+    const cube::Experiment& e = configs.back();
+    const double total = e.sum_metric_tree(
+        *e.metadata().find_metric(cube::expert::kTime));
+    const double mpi = e.sum_metric_tree(
+        *e.metadata().find_metric(cube::expert::kMpi));
+    const double nxn =
+        e.sum_metric(*e.metadata().find_metric(cube::expert::kWaitNxN));
+    trend.add_row({cube::format_value(kb), cube::format_value(total, 3),
+                   cube::format_value(100.0 * mpi / total, 1),
+                   cube::format_value(100.0 * nxn / total, 2)});
+  }
+  std::cout << trend.str() << "\n";
+
+  // The overall picture: one derived experiment for the whole range.
+  std::vector<const cube::Experiment*> ptrs;
+  for (const auto& e : configs) ptrs.push_back(&e);
+  const cube::Experiment overall = cube::mean(ptrs);
+  const double total = overall.sum_metric_tree(
+      *overall.metadata().find_metric(cube::expert::kTime));
+  std::cout << "overall picture (" << overall.provenance() << "):\n"
+            << "  mean total time across the range: "
+            << cube::format_value(total, 3) << " s\n\n";
+
+  std::cout << "--- where the range as a whole loses time ---\n"
+            << cube::format_hotspots(
+                   cube::find_hotspots(overall, {.top_n = 5}));
+  return 0;
+}

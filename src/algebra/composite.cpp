@@ -1,0 +1,209 @@
+#include "algebra/composite.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace cube {
+
+namespace {
+
+const char* op_name(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::Load: return "<load>";
+    case Expr::Op::Diff: return "diff";
+    case Expr::Op::Merge: return "merge";
+    case Expr::Op::Mean: return "mean";
+    case Expr::Op::Min: return "min";
+    case Expr::Op::Max: return "max";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Expr::Expr(Op op, std::string name, std::vector<std::unique_ptr<Expr>> args)
+    : op_(op), name_(std::move(name)), args_(std::move(args)) {}
+
+std::unique_ptr<Expr> Expr::load(std::string name) {
+  return std::unique_ptr<Expr>(new Expr(Op::Load, std::move(name), {}));
+}
+
+std::unique_ptr<Expr> Expr::apply(Op op,
+                                  std::vector<std::unique_ptr<Expr>> args) {
+  return std::unique_ptr<Expr>(new Expr(op, {}, std::move(args)));
+}
+
+Experiment Expr::eval(const ExperimentEnv& env,
+                      const OperatorOptions& options) const {
+  if (op_ == Op::Load) {
+    const auto it = env.find(name_);
+    if (it == env.end() || it->second == nullptr) {
+      throw OperationError("unbound experiment name '" + name_ + "'");
+    }
+    return it->second->clone();
+  }
+
+  std::vector<Experiment> values;
+  values.reserve(args_.size());
+  for (const auto& arg : args_) {
+    values.push_back(arg->eval(env, options));
+  }
+
+  const auto require_arity = [&](std::size_t n) {
+    if (values.size() != n) {
+      throw OperationError(std::string(op_name(op_)) + " expects " +
+                           std::to_string(n) + " arguments, got " +
+                           std::to_string(values.size()));
+    }
+  };
+  const auto require_nonempty = [&] {
+    if (values.empty()) {
+      throw OperationError(std::string(op_name(op_)) +
+                           " expects >= 1 argument");
+    }
+  };
+
+  std::vector<const Experiment*> ptrs;
+  ptrs.reserve(values.size());
+  for (const Experiment& v : values) ptrs.push_back(&v);
+
+  switch (op_) {
+    case Op::Diff:
+      require_arity(2);
+      return difference(values[0], values[1], options);
+    case Op::Merge:
+      require_arity(2);
+      return merge(values[0], values[1], options);
+    case Op::Mean:
+      require_nonempty();
+      return mean(std::span<const Experiment* const>(ptrs), options);
+    case Op::Min:
+      require_nonempty();
+      return minimum(std::span<const Experiment* const>(ptrs), options);
+    case Op::Max:
+      require_nonempty();
+      return maximum(std::span<const Experiment* const>(ptrs), options);
+    case Op::Load:
+      break;  // handled above
+  }
+  throw OperationError("unreachable expression op");
+}
+
+std::string Expr::str() const {
+  if (op_ == Op::Load) return name_;
+  std::string out = op_name(op_);
+  out += '(';
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->str();
+  }
+  out += ')';
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser for the composite expression grammar.
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<Expr> parse() {
+    auto e = parse_expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("expression parse error at offset " + std::to_string(pos_) +
+                ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool is_ident_char(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-';
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size() ||
+        !(std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '_')) {
+      fail("expected identifier");
+    }
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::unique_ptr<Expr> parse_expr() {
+    const std::string ident = parse_ident();
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return Expr::load(ident);
+    }
+    Expr::Op op;
+    if (ident == "diff" || ident == "difference") {
+      op = Expr::Op::Diff;
+    } else if (ident == "merge") {
+      op = Expr::Op::Merge;
+    } else if (ident == "mean" || ident == "avg") {
+      op = Expr::Op::Mean;
+    } else if (ident == "min") {
+      op = Expr::Op::Min;
+    } else if (ident == "max") {
+      op = Expr::Op::Max;
+    } else {
+      fail("unknown operator '" + ident + "'");
+    }
+    ++pos_;  // consume '('
+    std::vector<std::unique_ptr<Expr>> args;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ')') {
+      fail("operator '" + ident + "' requires arguments");
+    }
+    while (true) {
+      args.push_back(parse_expr());
+      skip_ws();
+      if (pos_ >= text_.size()) fail("unterminated argument list");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ')') {
+        ++pos_;
+        break;
+      }
+      fail("expected ',' or ')'");
+    }
+    return Expr::apply(op, std::move(args));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Expr> parse_expr(std::string_view text) {
+  return ExprParser(text).parse();
+}
+
+Experiment eval_expr(std::string_view text, const ExperimentEnv& env,
+                     const OperatorOptions& options) {
+  return parse_expr(text)->eval(env, options);
+}
+
+}  // namespace cube

@@ -1,0 +1,74 @@
+// Composite operators.
+//
+// Because every operator maps back into the space of valid experiments, a
+// user can "easily define composite operations, for example, in order to
+// compute the difference of averaged data" (paper §1).  This module gives
+// that composition an explicit form: a small expression AST over named
+// experiments plus a textual front end, e.g.
+//
+//     diff(mean(before1, before2), mean(after1, after2))
+//
+// evaluated against an environment binding names to experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/operators.hpp"
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// Environment binding expression identifiers to experiments.
+using ExperimentEnv = std::map<std::string, const Experiment*>;
+
+/// Node of a composite-operator expression tree.
+class Expr {
+ public:
+  enum class Op { Load, Diff, Merge, Mean, Min, Max };
+
+  /// Leaf: reference a named experiment from the environment.
+  [[nodiscard]] static std::unique_ptr<Expr> load(std::string name);
+  /// Inner node applying `op` to the children; arity is checked on eval.
+  [[nodiscard]] static std::unique_ptr<Expr> apply(
+      Op op, std::vector<std::unique_ptr<Expr>> args);
+
+  /// Evaluates the tree bottom-up.  Throws OperationError on an unbound
+  /// identifier or wrong arity.
+  [[nodiscard]] Experiment eval(const ExperimentEnv& env,
+                                const OperatorOptions& options = {}) const;
+
+  /// Canonical textual rendering, e.g. "diff(mean(a, b), c)".
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] Op op() const noexcept { return op_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Expr>>& args()
+      const noexcept {
+    return args_;
+  }
+
+ private:
+  Expr(Op op, std::string name, std::vector<std::unique_ptr<Expr>> args);
+
+  Op op_;
+  std::string name_;  // identifier for Load
+  std::vector<std::unique_ptr<Expr>> args_;
+};
+
+/// Parses the textual expression grammar
+///   expr  := ident | func '(' expr (',' expr)* ')'
+///   func  := "diff" | "merge" | "mean" | "min" | "max"
+///   ident := [A-Za-z_][A-Za-z0-9_.-]*
+/// Throws cube::Error with position information on malformed input.
+[[nodiscard]] std::unique_ptr<Expr> parse_expr(std::string_view text);
+
+/// Parse + eval in one step.
+[[nodiscard]] Experiment eval_expr(std::string_view text,
+                                   const ExperimentEnv& env,
+                                   const OperatorOptions& options = {});
+
+}  // namespace cube

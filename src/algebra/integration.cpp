@@ -1,0 +1,286 @@
+#include "algebra/integration.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "algebra/tree_merge.hpp"
+#include "common/error.hpp"
+
+namespace cube {
+
+namespace {
+
+// Returns a unique-name variant not yet present in `md` by appending ~2,
+// ~3, ... — needed when two metrics are structurally distinct (and thus both
+// kept) but happen to share a unique name, e.g. same name at different tree
+// positions or with different units.
+std::string uniquify_metric_name(const Metadata& md, const std::string& base) {
+  if (md.find_metric(base) == nullptr) return base;
+  for (std::size_t k = 2;; ++k) {
+    const std::string candidate = base + "~" + std::to_string(k);
+    if (md.find_metric(candidate) == nullptr) return candidate;
+  }
+}
+
+void integrate_metrics(std::span<const Experiment* const> operands,
+                       Metadata& out, std::vector<OperandMapping>& mappings) {
+  std::vector<std::vector<const Metric*>> roots;
+  roots.reserve(operands.size());
+  for (const Experiment* e : operands) {
+    roots.push_back(e->metadata().metric_roots());
+  }
+
+  merge_forests<Metric>(
+      roots,
+      [](const Metric& m) { return m.children(); },
+      [](const Metric& a, const Metric& b) {
+        return a.unique_name() == b.unique_name() && a.unit() == b.unit();
+      },
+      [&out](const Metric& rep, std::size_t out_parent) {
+        const Metric* parent =
+            out_parent == kNoIndex ? nullptr : out.metrics()[out_parent].get();
+        return out
+            .add_metric(parent,
+                        uniquify_metric_name(out, rep.unique_name()),
+                        rep.display_name(), rep.unit(), rep.description())
+            .index();
+      },
+      [&mappings](std::size_t op, const Metric& src, std::size_t out_id) {
+        mappings[op].metric_map[src.index()] = out_id;
+      });
+}
+
+// Region merge is a set merge keyed by (name, module): unlike the call
+// tree, regions carry no hierarchy of their own.
+void integrate_regions(std::span<const Experiment* const> operands,
+                       Metadata& out) {
+  for (const Experiment* e : operands) {
+    for (const auto& r : e->metadata().regions()) {
+      if (out.find_region(r->name(), r->module()) == nullptr) {
+        out.add_region(r->name(), r->module(), r->begin_line(), r->end_line(),
+                       r->description());
+      }
+    }
+  }
+}
+
+void integrate_cnodes(std::span<const Experiment* const> operands,
+                      const IntegrationOptions& options, Metadata& out,
+                      std::vector<OperandMapping>& mappings) {
+  std::vector<std::vector<const Cnode*>> roots;
+  roots.reserve(operands.size());
+  for (const Experiment* e : operands) {
+    roots.push_back(e->metadata().cnode_roots());
+  }
+
+  // Call sites in the output are deduplicated by (callee, file, line).
+  std::map<std::tuple<std::size_t, std::string, long>, const CallSite*>
+      out_callsites;
+  const auto out_callsite_for = [&](const Cnode& rep) -> const CallSite& {
+    const Region* callee =
+        out.find_region(rep.callee().name(), rep.callee().module());
+    // Regions were integrated first, so the callee must exist.
+    const auto key = std::make_tuple(callee->index(), rep.callsite().file(),
+                                     rep.callsite().line());
+    auto it = out_callsites.find(key);
+    if (it == out_callsites.end()) {
+      const CallSite& cs = out.add_callsite(*callee, rep.callsite().file(),
+                                            rep.callsite().line());
+      it = out_callsites.emplace(key, &cs).first;
+    }
+    return *it->second;
+  };
+
+  merge_forests<Cnode>(
+      roots,
+      [](const Cnode& c) { return c.children(); },
+      [&options](const Cnode& a, const Cnode& b) {
+        if (a.callee().name() != b.callee().name() ||
+            a.callee().module() != b.callee().module()) {
+          return false;
+        }
+        // Line numbers are never part of the equality relation (they change
+        // across code versions); the source file optionally is.
+        return !options.callsite_file_matters ||
+               a.callsite().file() == b.callsite().file();
+      },
+      [&out, &out_callsite_for](const Cnode& rep, std::size_t out_parent) {
+        const Cnode* parent =
+            out_parent == kNoIndex ? nullptr : out.cnodes()[out_parent].get();
+        return out.add_cnode(parent, out_callsite_for(rep)).index();
+      },
+      [&mappings](std::size_t op, const Cnode& src, std::size_t out_id) {
+        mappings[op].cnode_map[src.index()] = out_id;
+      });
+}
+
+// (machine position, node position within machine) of each rank, used for
+// the Auto compatibility check.
+std::map<long, std::pair<std::size_t, std::size_t>> node_positions(
+    const Metadata& md) {
+  std::map<long, std::pair<std::size_t, std::size_t>> pos;
+  for (std::size_t mi = 0; mi < md.machines().size(); ++mi) {
+    const Machine& machine = *md.machines()[mi];
+    for (std::size_t ni = 0; ni < machine.nodes().size(); ++ni) {
+      for (const Process* p : machine.nodes()[ni]->processes()) {
+        pos[p->rank()] = {mi, ni};
+      }
+    }
+  }
+  return pos;
+}
+
+bool partitions_compatible(std::span<const Experiment* const> operands) {
+  const Metadata& first = operands[0]->metadata();
+  const auto first_pos = node_positions(first);
+  for (std::size_t op = 1; op < operands.size(); ++op) {
+    const Metadata& md = operands[op]->metadata();
+    if (md.machines().size() != first.machines().size() ||
+        md.nodes().size() != first.nodes().size()) {
+      return false;
+    }
+    for (const auto& [rank, pos] : node_positions(md)) {
+      const auto it = first_pos.find(rank);
+      if (it == first_pos.end() || it->second != pos) return false;
+    }
+  }
+  return true;
+}
+
+void integrate_system(std::span<const Experiment* const> operands,
+                      const IntegrationOptions& options, Metadata& out,
+                      std::vector<OperandMapping>& mappings,
+                      bool& collapsed) {
+  // Decide whether to copy the first operand's machine/node hierarchy.
+  bool copy_first = false;
+  switch (options.system_policy) {
+    case SystemMergePolicy::CopyFirst: copy_first = true; break;
+    case SystemMergePolicy::Collapse: copy_first = false; break;
+    case SystemMergePolicy::Auto:
+      copy_first = partitions_compatible(operands);
+      break;
+  }
+  collapsed = !copy_first;
+
+  // Union of ranks; per rank: first-definer name, union of thread ids.
+  std::set<long> all_ranks;
+  std::map<long, std::string> rank_name;
+  std::map<long, std::set<long>> rank_tids;
+  std::map<long, std::vector<long>> rank_coords;
+  std::map<long, bool> rank_coords_consistent;
+  for (const Experiment* e : operands) {
+    for (const auto& p : e->metadata().processes()) {
+      const long rank = p->rank();
+      all_ranks.insert(rank);
+      rank_name.try_emplace(rank, p->name());
+      for (const Thread* t : p->threads()) {
+        rank_tids[rank].insert(t->thread_id());
+      }
+      if (options.keep_topology && p->coords().has_value()) {
+        auto [it, inserted] = rank_coords.try_emplace(rank, *p->coords());
+        auto [cit, cinserted] = rank_coords_consistent.try_emplace(rank, true);
+        if (!inserted && it->second != *p->coords()) cit->second = false;
+      }
+    }
+  }
+
+  // Build the machine/node skeleton and place processes.
+  std::map<long, Process*> out_process;
+  if (copy_first) {
+    const Metadata& first = operands[0]->metadata();
+    std::vector<SysNode*> out_nodes;
+    SysNode* last_node = nullptr;
+    for (const auto& m : first.machines()) {
+      Machine& om = out.add_machine(m->name());
+      for (const SysNode* n : m->nodes()) {
+        SysNode& on = out.add_node(om, n->name());
+        last_node = &on;
+        for (const Process* p : n->processes()) {
+          out_process[p->rank()] =
+              &out.add_process(on, p->name(), p->rank());
+          all_ranks.erase(p->rank());
+        }
+      }
+    }
+    if (!all_ranks.empty() && last_node == nullptr) {
+      Machine& om = out.add_machine("Virtual machine");
+      last_node = &out.add_node(om, "Virtual node");
+    }
+    // Ranks unknown to the first operand are appended to the last node.
+    for (const long rank : all_ranks) {
+      out_process[rank] = &out.add_process(*last_node, rank_name[rank], rank);
+    }
+  } else {
+    Machine& om = out.add_machine("Virtual machine");
+    SysNode& on = out.add_node(om, "Virtual node");
+    for (const long rank : all_ranks) {
+      out_process[rank] = &out.add_process(on, rank_name[rank], rank);
+    }
+  }
+
+  // Threads: union of ids per rank, in ascending id order.
+  std::map<std::pair<long, long>, ThreadIndex> out_thread;
+  for (auto& [rank, proc] : out_process) {
+    if (options.keep_topology) {
+      const auto cit = rank_coords.find(rank);
+      if (cit != rank_coords.end() && rank_coords_consistent[rank]) {
+        proc->set_coords(cit->second);
+      }
+    }
+    for (const long tid : rank_tids[rank]) {
+      const Thread& t = out.add_thread(
+          *proc, "thread " + std::to_string(tid), tid);
+      out_thread[{rank, tid}] = t.index();
+    }
+  }
+
+  // Per-operand thread remapping.
+  for (std::size_t op = 0; op < operands.size(); ++op) {
+    for (const auto& t : operands[op]->metadata().threads()) {
+      mappings[op].thread_map[t->index()] =
+          out_thread.at({t->rank(), t->thread_id()});
+    }
+  }
+}
+
+}  // namespace
+
+IntegrationResult integrate_metadata(std::span<const Experiment* const>
+                                         operands,
+                                     const IntegrationOptions& options) {
+  if (operands.empty()) {
+    throw OperationError("metadata integration requires >= 1 operand");
+  }
+  for (const Experiment* e : operands) {
+    if (e == nullptr) throw OperationError("null operand experiment");
+  }
+
+  IntegrationResult result;
+  result.metadata = std::make_unique<Metadata>();
+  result.mappings.resize(operands.size());
+  for (std::size_t op = 0; op < operands.size(); ++op) {
+    const Metadata& md = operands[op]->metadata();
+    result.mappings[op].metric_map.resize(md.num_metrics(), kNoIndex);
+    result.mappings[op].cnode_map.resize(md.num_cnodes(), kNoIndex);
+    result.mappings[op].thread_map.resize(md.num_threads(), kNoIndex);
+  }
+
+  integrate_metrics(operands, *result.metadata, result.mappings);
+  integrate_regions(operands, *result.metadata);
+  integrate_cnodes(operands, options, *result.metadata, result.mappings);
+  integrate_system(operands, options, *result.metadata, result.mappings,
+                   result.system_collapsed);
+  return result;
+}
+
+IntegrationResult integrate_metadata(const Experiment& a, const Experiment& b,
+                                     const IntegrationOptions& options) {
+  const Experiment* ops[] = {&a, &b};
+  return integrate_metadata(std::span<const Experiment* const>(ops, 2),
+                            options);
+}
+
+}  // namespace cube

@@ -1,0 +1,80 @@
+// Metadata integration: the first half of every algebra operator.
+//
+// Integrates the metric, program, and system dimensions of N operand
+// experiments into one new metadata set, and returns per-operand index
+// remappings through which each operand's severity function is extended to
+// the integrated domain (undefined tuples become zero).
+//
+// Equality relations (paper section 3, "Metadata Integration"):
+//   metric      — (unique name, unit of measurement)
+//   region      — (name, module)
+//   call site   — callee region; line numbers deliberately excluded because
+//                 they shift across code versions while denoting the same
+//                 site (file can be required via options)
+//   cnode       — equality of its call site (i.e. of the callee)
+//   process     — application-level rank (e.g. global MPI rank)
+//   thread      — (rank, thread id) (e.g. OpenMP thread number)
+//   machine/node— never matched; copied from the first operand or collapsed
+//                 to a single machine/node, per SystemMergePolicy
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "model/experiment.hpp"
+#include "model/metadata.hpp"
+
+namespace cube {
+
+/// How the machine/node levels of the system dimension are integrated.
+enum class SystemMergePolicy {
+  /// Copy the first operand's machine/node hierarchy if every operand's
+  /// process-to-node partitioning is compatible with it, else collapse.
+  /// This is the paper's default behavior.
+  Auto,
+  /// Always copy the first operand's machine/node hierarchy; processes of
+  /// other operands with ranks unknown to the first operand are appended to
+  /// the last node.
+  CopyFirst,
+  /// Always collapse to a single virtual machine with a single node.
+  Collapse,
+};
+
+/// Switches altering the default integration rules ("switches have been
+/// included to change the default according to a user's needs").
+struct IntegrationOptions {
+  SystemMergePolicy system_policy = SystemMergePolicy::Auto;
+  /// If true, call sites additionally require equal source files to match.
+  bool callsite_file_matters = false;
+  /// If true, preserve per-process Cartesian topology coordinates when all
+  /// operands defining a rank agree on them (extension, paper §7).
+  bool keep_topology = true;
+};
+
+/// Index remapping of one operand into the integrated metadata.
+struct OperandMapping {
+  std::vector<MetricIndex> metric_map;  ///< operand metric -> integrated
+  std::vector<CnodeIndex> cnode_map;    ///< operand cnode  -> integrated
+  std::vector<ThreadIndex> thread_map;  ///< operand thread -> integrated
+};
+
+/// Integrated metadata plus the per-operand remappings.
+struct IntegrationResult {
+  std::unique_ptr<Metadata> metadata;
+  std::vector<OperandMapping> mappings;
+  /// True if the system dimension was collapsed to a virtual machine/node.
+  bool system_collapsed = false;
+};
+
+/// Integrates the metadata of all operands.  Operands must be non-empty.
+[[nodiscard]] IntegrationResult integrate_metadata(
+    std::span<const Experiment* const> operands,
+    const IntegrationOptions& options = {});
+
+/// Convenience overload for two operands.
+[[nodiscard]] IntegrationResult integrate_metadata(
+    const Experiment& a, const Experiment& b,
+    const IntegrationOptions& options = {});
+
+}  // namespace cube

@@ -1,0 +1,100 @@
+#include "algebra/km_difference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algebra/integration.hpp"
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+
+namespace cube {
+
+KmResult km_difference(const Experiment& a, const Experiment& b,
+                       const KmOptions& options) {
+  const Experiment* ops[] = {&a, &b};
+  IntegrationResult integration =
+      integrate_metadata(std::span<const Experiment* const>(ops, 2), {});
+  const Metadata& md = *integration.metadata;
+
+  // Materialize both operands over the integrated space, aggregated to
+  // process granularity (the framework's foci are resource combinations;
+  // we use metric x call path x process).
+  const std::size_t volume =
+      md.num_metrics() * md.num_cnodes() * md.processes().size();
+  std::vector<Severity> va(volume, 0.0);
+  std::vector<Severity> vb(volume, 0.0);
+  const auto at = [&md](MetricIndex m, CnodeIndex c, std::size_t p) {
+    return (m * md.num_cnodes() + c) * md.processes().size() + p;
+  };
+  for (std::size_t op = 0; op < 2; ++op) {
+    const Experiment& source = *ops[op];
+    const OperandMapping& mapping = integration.mappings[op];
+    std::vector<Severity>& dest = op == 0 ? va : vb;
+    const Metadata& smd = source.metadata();
+    for (MetricIndex m = 0; m < smd.num_metrics(); ++m) {
+      for (CnodeIndex c = 0; c < smd.num_cnodes(); ++c) {
+        for (ThreadIndex t = 0; t < smd.num_threads(); ++t) {
+          const Severity v = source.severity().get(m, c, t);
+          if (v == 0.0) continue;
+          const ThreadIndex ot = mapping.thread_map[t];
+          const std::size_t process = md.threads()[ot]->process().index();
+          dest[at(mapping.metric_map[m], mapping.cnode_map[c], process)] +=
+              v;
+        }
+      }
+    }
+  }
+
+  std::vector<Focus> foci;
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    if (options.unit && md.metrics()[m]->unit() != *options.unit) continue;
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (std::size_t p = 0; p < md.processes().size(); ++p) {
+        const Severity x = va[at(m, c, p)];
+        const Severity y = vb[at(m, c, p)];
+        const Severity d = x - y;
+        const double magnitude = std::abs(d);
+        if (magnitude <= options.absolute_threshold) continue;
+        if (magnitude <=
+            options.relative_threshold * std::max(std::abs(x),
+                                                  std::abs(y))) {
+          continue;
+        }
+        Focus f;
+        f.metric = md.metrics()[m].get();
+        f.cnode = md.cnodes()[c].get();
+        f.process = md.processes()[p].get();
+        f.value_a = x;
+        f.value_b = y;
+        foci.push_back(f);
+      }
+    }
+  }
+  std::sort(foci.begin(), foci.end(), [](const Focus& x, const Focus& y) {
+    return std::abs(x.discrepancy()) > std::abs(y.discrepancy());
+  });
+
+  KmResult result;
+  result.metadata = std::move(integration.metadata);
+  result.foci = std::move(foci);
+  return result;
+}
+
+std::string format_foci(const std::vector<Focus>& foci, int precision) {
+  TextTable table;
+  table.set_header({"#", "metric", "call path", "process", "a", "b",
+                    "discrepancy"});
+  table.set_align({Align::Right, Align::Left, Align::Left, Align::Left,
+                   Align::Right, Align::Right, Align::Right});
+  std::size_t rank = 1;
+  for (const Focus& f : foci) {
+    table.add_row({std::to_string(rank++), f.metric->display_name(),
+                   f.cnode->path(), f.process->name(),
+                   format_value(f.value_a, precision),
+                   format_value(f.value_b, precision),
+                   format_value(f.discrepancy(), precision)});
+  }
+  return table.str();
+}
+
+}  // namespace cube

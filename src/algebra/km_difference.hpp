@@ -1,0 +1,71 @@
+// Baseline: the Karavanic/Miller performance difference operator.
+//
+// The paper positions CUBE against "the framework for multi-execution
+// performance tuning by Karavanic and Miller, which includes an operator to
+// calculate a list of resources showing a significant discrepancy between
+// different experiments.  However, this difference operator maps from its
+// input space containing entire experiments into a smaller representation
+// (i.e., a list of resources).  A repeated application is not possible,
+// further processing would require a logic or a display different from one
+// suitable for the original input data."
+//
+// This module implements that baseline faithfully so the contrast is
+// testable: km_difference returns a ranked list of FOCI (combinations of
+// resources from the different hierarchies) whose discrepancy exceeds a
+// significance threshold — NOT an experiment.  The output cannot feed back
+// into the algebra or the display; CUBE's closed difference operator can.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// A focus: one combination of resources from the different hierarchies.
+struct Focus {
+  const Metric* metric = nullptr;
+  const Cnode* cnode = nullptr;
+  const Process* process = nullptr;
+  /// Severity of the focus in each experiment (summed over the process's
+  /// threads) and their difference.
+  Severity value_a = 0.0;
+  Severity value_b = 0.0;
+  [[nodiscard]] Severity discrepancy() const { return value_a - value_b; }
+};
+
+/// Significance policy for the structural performance difference.
+struct KmOptions {
+  /// A focus is reported when |a - b| > absolute_threshold ...
+  Severity absolute_threshold = 0.0;
+  /// ... and |a - b| > relative_threshold * max(|a|, |b|).
+  double relative_threshold = 0.05;
+  /// Restrict to metrics of one unit (mixing units in one ranked list is
+  /// meaningless); unset compares everything.
+  std::optional<Unit> unit = Unit::Seconds;
+};
+
+/// Result of the structural performance difference: the ranked focus list
+/// plus the integrated metadata the foci point into (the list is not an
+/// experiment — there is no severity function over the full space, which
+/// is exactly the non-closure the paper criticizes).
+struct KmResult {
+  std::unique_ptr<Metadata> metadata;  ///< integrated resource space
+  std::vector<Focus> foci;             ///< entities owned by `metadata`
+};
+
+/// Computes the list of foci with significant discrepancy between two
+/// experiments, ranked by |discrepancy| (descending).  Both experiments'
+/// metadata are integrated first (the framework's structural merge); foci
+/// are reported over the integrated resource space, including resources
+/// that exist in only one operand.
+[[nodiscard]] KmResult km_difference(const Experiment& a,
+                                     const Experiment& b,
+                                     const KmOptions& options = {});
+
+/// Formats the focus list as an aligned table.
+[[nodiscard]] std::string format_foci(const std::vector<Focus>& foci,
+                                      int precision = 4);
+
+}  // namespace cube

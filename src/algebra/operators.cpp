@@ -1,0 +1,196 @@
+#include "algebra/operators.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cube {
+
+namespace {
+
+std::string operand_label(const Experiment& e, std::size_t index) {
+  const std::string name = e.name();
+  return !name.empty() ? name : "exp" + std::to_string(index + 1);
+}
+
+std::string label_list(std::span<const Experiment* const> operands) {
+  std::string out;
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += operand_label(*operands[i], i);
+  }
+  return out;
+}
+
+/// Scatters operand `op`'s severity into `out` through its index mapping,
+/// scaled by `factor`.  Only non-zero source values are touched, so sparse
+/// operands cost what they contain.
+void scatter_scaled(const Experiment& source, const OperandMapping& mapping,
+                    double factor, Experiment& out) {
+  const Metadata& md = source.metadata();
+  const SeverityStore& sev = source.severity();
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    const MetricIndex om = mapping.metric_map[m];
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      const CnodeIndex oc = mapping.cnode_map[c];
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        const Severity v = sev.get(m, c, t);
+        if (v != 0.0) {
+          out.severity().add(om, oc, mapping.thread_map[t], factor * v);
+        }
+      }
+    }
+  }
+}
+
+Experiment make_result(IntegrationResult& integration,
+                       const OperatorOptions& options) {
+  return Experiment(std::move(integration.metadata), options.storage);
+}
+
+/// Element-wise min/max share everything but the reduction; implemented by
+/// materializing each operand's extension and folding.
+Experiment reduce_extremum(std::span<const Experiment* const> operands,
+                           const OperatorOptions& options, bool take_min,
+                           const char* opname) {
+  if (operands.empty()) {
+    throw OperationError(std::string(opname) + " requires >= 1 operand");
+  }
+  IntegrationResult integration =
+      integrate_metadata(operands, options.integration);
+  Experiment out = make_result(integration, options);
+  const Metadata& md = out.metadata();
+
+  // Fold operand by operand; cells that an operand does not define are zero
+  // under the extension rule and participate in the reduction as zero.
+  std::vector<Severity> acc(
+      md.num_metrics() * md.num_cnodes() * md.num_threads(), 0.0);
+  const auto at = [&md](MetricIndex m, CnodeIndex c,
+                        ThreadIndex t) -> std::size_t {
+    return (m * md.num_cnodes() + c) * md.num_threads() + t;
+  };
+  for (std::size_t op = 0; op < operands.size(); ++op) {
+    Experiment extended(md.clone(), StorageKind::Sparse);
+    scatter_scaled(*operands[op], integration.mappings[op], 1.0, extended);
+    for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+      for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+        for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+          const Severity v = extended.severity().get(m, c, t);
+          Severity& slot = acc[at(m, c, t)];
+          if (op == 0) {
+            slot = v;
+          } else {
+            slot = take_min ? std::min(slot, v) : std::max(slot, v);
+          }
+        }
+      }
+    }
+  }
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        const Severity v = acc[at(m, c, t)];
+        if (v != 0.0) out.severity().set(m, c, t, v);
+      }
+    }
+  }
+  out.mark_derived(std::string(opname) + "(" + label_list(operands) + ")");
+  out.set_name(std::string(opname) + "(" + label_list(operands) + ")");
+  return out;
+}
+
+}  // namespace
+
+Experiment difference(const Experiment& a, const Experiment& b,
+                      const OperatorOptions& options) {
+  const Experiment* ops[] = {&a, &b};
+  IntegrationResult integration =
+      integrate_metadata(ops, options.integration);
+  Experiment out = make_result(integration, options);
+  scatter_scaled(a, integration.mappings[0], 1.0, out);
+  scatter_scaled(b, integration.mappings[1], -1.0, out);
+  const std::string prov = "difference(" + operand_label(a, 0) + ", " +
+                           operand_label(b, 1) + ")";
+  out.mark_derived(prov);
+  out.set_name(prov);
+  return out;
+}
+
+Experiment merge(const Experiment& a, const Experiment& b,
+                 const OperatorOptions& options) {
+  const Experiment* ops[] = {&a, &b};
+  IntegrationResult integration =
+      integrate_metadata(ops, options.integration);
+  Experiment out = make_result(integration, options);
+
+  // A metric of the integrated set is owned by the first operand that
+  // provides it; only the owner contributes its severities.
+  const std::size_t num_out_metrics = out.metadata().num_metrics();
+  std::vector<std::size_t> owner(num_out_metrics, kNoIndex);
+  for (std::size_t op = 0; op < 2; ++op) {
+    for (const MetricIndex om : integration.mappings[op].metric_map) {
+      if (owner[om] == kNoIndex) owner[om] = op;
+    }
+  }
+
+  for (std::size_t op = 0; op < 2; ++op) {
+    const Experiment& source = *ops[op];
+    const OperandMapping& mapping = integration.mappings[op];
+    const Metadata& md = source.metadata();
+    for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+      const MetricIndex om = mapping.metric_map[m];
+      if (owner[om] != op) continue;
+      for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+        const CnodeIndex oc = mapping.cnode_map[c];
+        for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+          const Severity v = source.severity().get(m, c, t);
+          if (v != 0.0) {
+            out.severity().add(om, oc, mapping.thread_map[t], v);
+          }
+        }
+      }
+    }
+  }
+
+  const std::string prov =
+      "merge(" + operand_label(a, 0) + ", " + operand_label(b, 1) + ")";
+  out.mark_derived(prov);
+  out.set_name(prov);
+  return out;
+}
+
+Experiment mean(std::span<const Experiment* const> operands,
+                const OperatorOptions& options) {
+  if (operands.empty()) {
+    throw OperationError("mean requires >= 1 operand");
+  }
+  IntegrationResult integration =
+      integrate_metadata(operands, options.integration);
+  Experiment out = make_result(integration, options);
+  const double factor = 1.0 / static_cast<double>(operands.size());
+  for (std::size_t op = 0; op < operands.size(); ++op) {
+    scatter_scaled(*operands[op], integration.mappings[op], factor, out);
+  }
+  const std::string prov = "mean(" + label_list(operands) + ")";
+  out.mark_derived(prov);
+  out.set_name(prov);
+  return out;
+}
+
+Experiment mean(const std::vector<const Experiment*>& operands,
+                const OperatorOptions& options) {
+  return mean(std::span<const Experiment* const>(operands), options);
+}
+
+Experiment minimum(std::span<const Experiment* const> operands,
+                   const OperatorOptions& options) {
+  return reduce_extremum(operands, options, /*take_min=*/true, "min");
+}
+
+Experiment maximum(std::span<const Experiment* const> operands,
+                   const OperatorOptions& options) {
+  return reduce_extremum(operands, options, /*take_min=*/false, "max");
+}
+
+}  // namespace cube

@@ -1,0 +1,58 @@
+// The algebraic operators: difference, merge, mean (and the min/max
+// extensions).
+//
+// Every operator is CLOSED: it consumes valid CUBE experiments and produces
+// a complete derived CUBE experiment — integrated metadata plus a severity
+// function defined over it — so outputs feed straight back into further
+// operators or into the display, exactly like original data.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algebra/integration.hpp"
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// Options shared by all operators.
+struct OperatorOptions {
+  IntegrationOptions integration;
+  /// Storage kind of the produced experiment.
+  StorageKind storage = StorageKind::Dense;
+};
+
+/// difference(a, b): severity = a - b over the integrated domain.  Tuples
+/// absent from an operand contribute zero; severities of the result may be
+/// negative.  Useful for before/after comparison of code or parameter
+/// changes (paper §5.1).
+[[nodiscard]] Experiment difference(const Experiment& a, const Experiment& b,
+                                    const OperatorOptions& options = {});
+
+/// merge(a, b): joins experiments with different or overlapping metric sets
+/// (e.g. counter sets that cannot be measured in one run).  For each metric
+/// of the integrated set the severities are taken from the first operand
+/// that provides the metric; b supplies only its exclusive metrics
+/// (paper §3, "we take it from the first one without loss of generality").
+[[nodiscard]] Experiment merge(const Experiment& a, const Experiment& b,
+                               const OperatorOptions& options = {});
+
+/// mean(e1..eN): element-wise arithmetic mean over the integrated domain,
+/// to smooth random perturbation across repeated runs or to summarize a
+/// range of execution parameters.  N-ary; requires N >= 1.
+[[nodiscard]] Experiment mean(std::span<const Experiment* const> operands,
+                              const OperatorOptions& options = {});
+[[nodiscard]] Experiment mean(const std::vector<const Experiment*>& operands,
+                              const OperatorOptions& options = {});
+
+/// Element-wise minimum / maximum over the integrated domain.  Not in the
+/// paper's operator list ("others may follow in the future"); provided as
+/// the natural reduction for min-of-series measurements like the paper's
+/// speedup methodology.  Absent tuples count as zero, consistent with the
+/// zero-extension rule.
+[[nodiscard]] Experiment minimum(std::span<const Experiment* const> operands,
+                                 const OperatorOptions& options = {});
+[[nodiscard]] Experiment maximum(std::span<const Experiment* const> operands,
+                                 const OperatorOptions& options = {});
+
+}  // namespace cube

@@ -1,0 +1,121 @@
+#include "algebra/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cube {
+
+namespace {
+
+std::string series_label(std::span<const Experiment* const> operands) {
+  std::string out;
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    if (i > 0) out += ", ";
+    const std::string name = operands[i]->name();
+    out += name.empty() ? "exp" + std::to_string(i + 1) : name;
+  }
+  return out;
+}
+
+/// Shared reduction core: integrates the series once, materializes the
+/// extended severities, and hands per-cell value vectors to `fold`.
+template <typename Fold>
+Experiment reduce_series(std::span<const Experiment* const> operands,
+                         const OperatorOptions& options, const char* opname,
+                         Fold fold) {
+  if (operands.size() < 2) {
+    throw OperationError(std::string(opname) + " requires >= 2 operands");
+  }
+  IntegrationResult integration =
+      integrate_metadata(operands, options.integration);
+  const Metadata& md = *integration.metadata;
+  const std::size_t volume =
+      md.num_metrics() * md.num_cnodes() * md.num_threads();
+  const auto at = [&md](MetricIndex m, CnodeIndex c, ThreadIndex t) {
+    return (m * md.num_cnodes() + c) * md.num_threads() + t;
+  };
+
+  // values[cell * N + op]
+  const std::size_t n = operands.size();
+  std::vector<Severity> values(volume * n, 0.0);
+  for (std::size_t op = 0; op < n; ++op) {
+    const Experiment& source = *operands[op];
+    const OperandMapping& mapping = integration.mappings[op];
+    const Metadata& smd = source.metadata();
+    for (MetricIndex m = 0; m < smd.num_metrics(); ++m) {
+      for (CnodeIndex c = 0; c < smd.num_cnodes(); ++c) {
+        for (ThreadIndex t = 0; t < smd.num_threads(); ++t) {
+          const Severity v = source.severity().get(m, c, t);
+          if (v != 0.0) {
+            values[at(mapping.metric_map[m], mapping.cnode_map[c],
+                      mapping.thread_map[t]) *
+                       n +
+                   op] += v;
+          }
+        }
+      }
+    }
+  }
+
+  Experiment out(std::move(integration.metadata), options.storage);
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        const Severity* cell = &values[at(m, c, t) * n];
+        const Severity v = fold(std::span<const Severity>(cell, n));
+        if (v != 0.0) out.severity().set(m, c, t, v);
+      }
+    }
+  }
+  const std::string prov =
+      std::string(opname) + "(" + series_label(operands) + ")";
+  out.mark_derived(prov);
+  out.set_name(prov);
+  return out;
+}
+
+double cell_mean(std::span<const Severity> xs) {
+  Severity sum = 0.0;
+  for (const Severity x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double cell_stddev(std::span<const Severity> xs) {
+  const double mu = cell_mean(xs);
+  double acc = 0.0;
+  for (const Severity x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+Experiment stddev(std::span<const Experiment* const> operands,
+                  const OperatorOptions& options) {
+  return reduce_series(operands, options, "stddev", cell_stddev);
+}
+
+Experiment variation(std::span<const Experiment* const> operands,
+                     const OperatorOptions& options) {
+  return reduce_series(operands, options, "variation",
+                       [](std::span<const Severity> xs) {
+                         const double mu = cell_mean(xs);
+                         if (mu == 0.0) return 0.0;
+                         return cell_stddev(xs) / std::abs(mu);
+                       });
+}
+
+SeriesSummary summarize_series(std::span<const Experiment* const> operands,
+                               const OperatorOptions& options) {
+  SeriesSummary summary{
+      mean(operands, options),
+      minimum(operands, options),
+      maximum(operands, options),
+      stddev(operands, options),
+  };
+  return summary;
+}
+
+}  // namespace cube

@@ -1,0 +1,50 @@
+// Statistical reduction over experiment series (extension).
+//
+// The paper's outlook: "New operators which perform data reduction, for
+// example, based on multivariate statistical techniques, might further
+// help manage size when applied to the integrated data."  This module adds
+// the natural first step in CUBE's own spirit — CLOSED statistical
+// reductions: given a series of experiments, it derives experiments whose
+// severity functions are the element-wise standard deviation or coefficient
+// of variation of the series, plus a bundle of {mean, min, max, stddev}
+// summaries.  Each result is a full experiment, so it feeds the display,
+// the file formats, and further operators like any other.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algebra/operators.hpp"
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// Element-wise population standard deviation over the integrated domain
+/// (absent tuples count as zero, consistent with the extension rule).
+/// Requires >= 2 operands.
+[[nodiscard]] Experiment stddev(std::span<const Experiment* const> operands,
+                                const OperatorOptions& options = {});
+
+/// Element-wise coefficient of variation: stddev / |mean|, with cells of
+/// zero mean set to zero.  A unit-free stability map of the series: the
+/// hotspots of this experiment are where runs disagree the most.
+/// Requires >= 2 operands.
+[[nodiscard]] Experiment variation(
+    std::span<const Experiment* const> operands,
+    const OperatorOptions& options = {});
+
+/// Five-number summary of a series, each member a full derived experiment.
+struct SeriesSummary {
+  Experiment mean;
+  Experiment minimum;
+  Experiment maximum;
+  Experiment stddev;
+};
+
+/// Computes all four summaries in one integration pass over the series.
+/// Requires >= 2 operands.
+[[nodiscard]] SeriesSummary summarize_series(
+    std::span<const Experiment* const> operands,
+    const OperatorOptions& options = {});
+
+}  // namespace cube

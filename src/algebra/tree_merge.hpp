@@ -1,0 +1,90 @@
+// Generic top-down structural forest merge.
+//
+// This is the multi-execution framework's structural merge operator
+// (Karavanic/Miller) that the paper reuses for the metric and program
+// dimensions.  Starting at the roots, nodes of the operands are matched
+// with a caller-supplied equality relation.  Matched nodes become a single
+// shared node in the output; unmatched nodes are copied.  Matching is
+// strictly top-down: once two nodes differ, their entire subtrees are kept
+// separate in the output even if descendants would match (the merge only
+// ever compares nodes whose parents were matched).
+//
+// The algorithm is N-ary: it merges any number of operand forests in one
+// pass, which the n-ary mean operator uses directly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cube {
+
+/// Merges operand forests into an output structure built by the callbacks.
+///
+/// \tparam Node   operand node type (e.g. Metric, Cnode)
+/// \param roots   one root list per operand
+/// \param children returns a node's child list
+/// \param equal   equality relation between operand nodes (possibly from
+///                different operands); must be symmetric and transitive on
+///                the nodes that actually get compared
+/// \param emit    called once per output node with (representative source
+///                node, output parent id or kNoIndex); returns the output id
+/// \param record  called for every (operand, source node) with the output id
+///                it was mapped to — matched or copied alike
+template <typename Node>
+void merge_forests(
+    std::span<const std::vector<const Node*>> roots,
+    const std::function<std::vector<const Node*>(const Node&)>& children,
+    const std::function<bool(const Node&, const Node&)>& equal,
+    const std::function<std::size_t(const Node&, std::size_t)>& emit,
+    const std::function<void(std::size_t, const Node&, std::size_t)>& record) {
+  const std::size_t num_operands = roots.size();
+
+  struct Slot {
+    std::size_t out_id;
+    const Node* representative;
+    // Children contributed per operand; merged at the next level.
+    std::vector<std::vector<const Node*>> child_groups;
+  };
+
+  // Recursive lambda over one sibling group.
+  const std::function<void(std::size_t,
+                           std::vector<std::vector<const Node*>>)>
+      merge_level = [&](std::size_t out_parent,
+                        std::vector<std::vector<const Node*>> groups) {
+        std::vector<Slot> slots;
+        for (std::size_t op = 0; op < num_operands; ++op) {
+          for (const Node* node : groups[op]) {
+            Slot* match = nullptr;
+            for (Slot& s : slots) {
+              if (equal(*s.representative, *node)) {
+                match = &s;
+                break;
+              }
+            }
+            if (match == nullptr) {
+              slots.push_back(Slot{emit(*node, out_parent), node,
+                                   std::vector<std::vector<const Node*>>(
+                                       num_operands)});
+              match = &slots.back();
+            }
+            record(op, *node, match->out_id);
+            auto kids = children(*node);
+            auto& group = match->child_groups[op];
+            group.insert(group.end(), kids.begin(), kids.end());
+          }
+        }
+        for (Slot& s : slots) {
+          merge_level(s.out_id, std::move(s.child_groups));
+        }
+      };
+
+  std::vector<std::vector<const Node*>> top(num_operands);
+  for (std::size_t op = 0; op < num_operands; ++op) top[op] = roots[op];
+  merge_level(kNoIndex, std::move(top));
+}
+
+}  // namespace cube

@@ -1,0 +1,55 @@
+#include "common/color.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace cube {
+
+namespace {
+
+// Ramp from faint gray (negligible) to bright red (severe).  Thresholds are
+// lower bounds on the normalized severity magnitude.
+constexpr std::array<ColorStop, 6> kRamp = {{
+    {0.00, "\x1b[90m", "gray"},
+    {0.02, "\x1b[37m", "white"},
+    {0.10, "\x1b[36m", "cyan"},
+    {0.25, "\x1b[33m", "yellow"},
+    {0.50, "\x1b[35m", "magenta"},
+    {0.75, "\x1b[31m", "red"},
+}};
+
+}  // namespace
+
+const ColorStop& color_for(double normalized) noexcept {
+  if (normalized < 0.0) normalized = -normalized;
+  if (normalized > 1.0) normalized = 1.0;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < kRamp.size(); ++i) {
+    if (normalized >= kRamp[i].threshold) best = i;
+  }
+  return kRamp[best];
+}
+
+std::string colorize(const std::string& text, double normalized, bool enable) {
+  if (!enable) return text;
+  return std::string(color_for(normalized).ansi) + text + ansi_reset();
+}
+
+std::string color_legend(bool enable) {
+  std::string out = "color legend (fraction of scale maximum):\n";
+  for (std::size_t i = 0; i < kRamp.size(); ++i) {
+    const double lo = kRamp[i].threshold;
+    const double hi = i + 1 < kRamp.size() ? kRamp[i + 1].threshold : 1.0;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  [%4.0f%% .. %4.0f%%] ", lo * 100.0,
+                  hi * 100.0);
+    out += buf;
+    out += colorize(kRamp[i].name, (lo + hi) / 2.0, enable);
+    out += '\n';
+  }
+  return out;
+}
+
+const char* ansi_reset() noexcept { return "\x1b[0m"; }
+
+}  // namespace cube

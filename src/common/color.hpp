@@ -1,0 +1,32 @@
+// ANSI color ramp used by the display component to rank severities, in the
+// spirit of the CUBE GUI's color legend.
+#pragma once
+
+#include <string>
+
+namespace cube {
+
+/// One entry of the severity color scale.
+struct ColorStop {
+  double threshold;      ///< Lower bound of this color's range, in [0,1].
+  const char* ansi;      ///< ANSI SGR sequence for the color.
+  const char* name;      ///< Human-readable color name for the legend.
+};
+
+/// Maps a normalized severity magnitude in [0,1] to an ANSI color escape.
+/// Values outside [0,1] are clamped.  The ramp runs from pale (low) through
+/// yellow/orange to red (high), mirroring CUBE's legend.
+[[nodiscard]] const ColorStop& color_for(double normalized) noexcept;
+
+/// Wraps text in the color for `normalized`, resetting afterwards.
+/// If `enable` is false the text is returned unchanged (plain renderers).
+[[nodiscard]] std::string colorize(const std::string& text, double normalized,
+                                   bool enable);
+
+/// Renders the textual color legend: one line per stop with its range.
+[[nodiscard]] std::string color_legend(bool enable);
+
+/// ANSI reset sequence.
+[[nodiscard]] const char* ansi_reset() noexcept;
+
+}  // namespace cube

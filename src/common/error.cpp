@@ -1,0 +1,22 @@
+#include "common/error.hpp"
+
+namespace cube {
+
+Error::Error(const std::string& what) : std::runtime_error(what) {}
+
+ValidationError::ValidationError(const std::string& what)
+    : Error("validation: " + what) {}
+
+OperationError::OperationError(const std::string& what)
+    : Error("operation: " + what) {}
+
+ParseError::ParseError(const std::string& what, std::size_t line,
+                       std::size_t column)
+    : Error("parse error at " + std::to_string(line) + ":" +
+            std::to_string(column) + ": " + what),
+      line_(line),
+      column_(column) {}
+
+IoError::IoError(const std::string& what) : Error("io: " + what) {}
+
+}  // namespace cube

@@ -1,0 +1,51 @@
+// Error hierarchy for the CUBE library.
+//
+// All library failures are reported through exceptions rooted at
+// cube::Error so callers can catch library errors distinctly from other
+// std::runtime_error sources.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cube {
+
+/// Root of the CUBE exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what);
+};
+
+/// A model instance violates a data-model constraint (e.g. mixed units in
+/// one metric tree, a call-tree node whose call site is undefined).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what);
+};
+
+/// An algebra operator was applied to operands it is not defined for.
+class OperationError : public Error {
+ public:
+  explicit OperationError(const std::string& what);
+};
+
+/// A file could not be parsed.  Carries 1-based line/column of the failure.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column);
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// An I/O operation on the underlying stream or filesystem failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what);
+};
+
+}  // namespace cube

@@ -1,0 +1,47 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace cube {
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double SplitMix64::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double SplitMix64::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t SplitMix64::below(std::uint64_t n) noexcept {
+  // Modulo bias is negligible for n << 2^64 (simulation use only).
+  return next() % n;
+}
+
+double SplitMix64::normal() noexcept {
+  // Box-Muller; draw u1 away from zero to keep log() finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double SplitMix64::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) noexcept {
+  SplitMix64 g(base ^ (0xA5A5A5A5DEADBEEFULL + stream * 0x9E3779B97F4A7C15ULL));
+  return g.next();
+}
+
+}  // namespace cube

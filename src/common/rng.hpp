@@ -1,0 +1,47 @@
+// Deterministic random number generation for the simulator and the
+// synthetic counter models.
+//
+// All randomness in this repository flows through SplitMix64 so that every
+// bench and test prints stable numbers across platforms (std::mt19937
+// distributions are not guaranteed identical across standard libraries).
+#pragma once
+
+#include <cstdint>
+
+namespace cube {
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit generator.
+/// Suitable for simulation noise; not for cryptography.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes a stream id into a base seed so that independent simulation
+/// components (per-rank noise, per-region jitter, ...) get decorrelated
+/// deterministic streams.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t stream) noexcept;
+
+}  // namespace cube

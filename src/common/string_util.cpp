@@ -1,0 +1,155 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace cube {
+
+namespace {
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string xml_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out.push_back(s[i]);
+      continue;
+    }
+    const std::size_t end = s.find(';', i);
+    if (end == std::string_view::npos) {
+      throw Error("unterminated entity reference in: " + std::string(s));
+    }
+    const std::string_view ent = s.substr(i + 1, end - i - 1);
+    if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      unsigned long code = 0;
+      const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      const std::string digits(ent.substr(hex ? 2 : 1));
+      if (digits.empty()) throw Error("empty character reference");
+      char* endp = nullptr;
+      code = std::strtoul(digits.c_str(), &endp, hex ? 16 : 10);
+      if (endp == nullptr || *endp != '\0' || code == 0 || code > 0x10FFFF) {
+        throw Error("invalid character reference: &" + std::string(ent) + ";");
+      }
+      // Encode as UTF-8.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      throw Error("unknown entity reference: &" + std::string(ent) + ";");
+    }
+    i = end;
+  }
+  return out;
+}
+
+std::string format_value(double v, int precision) {
+  if (!std::isfinite(v)) return std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto res = std::from_chars(first, last, out);
+  return res.ec == std::errc() && res.ptr == last;
+}
+
+bool parse_size(std::string_view s, std::size_t& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto res = std::from_chars(first, last, out);
+  return res.ec == std::errc() && res.ptr == last;
+}
+
+}  // namespace cube

@@ -1,0 +1,36 @@
+// Small string helpers used across the library (no locale dependence).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cube {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// ASCII lower-casing (metric names, units).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Escape the five XML special characters for use in text or attributes.
+[[nodiscard]] std::string xml_escape(std::string_view s);
+
+/// Inverse of xml_escape; also resolves decimal/hex character references.
+/// Throws cube::Error on a malformed entity reference.
+[[nodiscard]] std::string xml_unescape(std::string_view s);
+
+/// Format a severity value the way the CUBE display labels nodes:
+/// fixed notation, trailing zeros stripped, at most `precision` decimals.
+[[nodiscard]] std::string format_value(double v, int precision = 2);
+
+/// True if `s` parses fully as a floating-point number.
+[[nodiscard]] bool parse_double(std::string_view s, double& out);
+
+/// True if `s` parses fully as an unsigned integer.
+[[nodiscard]] bool parse_size(std::string_view s, std::size_t& out);
+
+}  // namespace cube

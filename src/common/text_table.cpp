@@ -1,0 +1,62 @@
+#include "common/text_table.hpp"
+
+#include <algorithm>
+
+namespace cube {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::set_align(std::vector<Align> align) {
+  align_ = std::move(align);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto align_of = [&](std::size_t col) {
+    return col < align_.size() ? align_[col] : Align::Left;
+  };
+
+  auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : std::string();
+      const std::size_t pad = width[i] - cell.size();
+      if (align_of(i) == Align::Right) out.append(pad, ' ');
+      out += cell;
+      if (align_of(i) == Align::Left && i + 1 < cols) out.append(pad, ' ');
+      if (i + 1 < cols) out += "  ";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit_row(header_, out);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cols; ++i) {
+      total += width[i] + (i + 1 < cols ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+}  // namespace cube

@@ -1,0 +1,35 @@
+// Aligned plain-text table formatting for bench and example output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cube {
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right };
+
+/// Accumulates rows of strings and renders them with aligned columns,
+/// a header underline, and two-space gutters.  Used by the figure/table
+/// reproduction benches to print paper-style rows.
+class TextTable {
+ public:
+  /// Defines the header.  Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Sets per-column alignment; missing entries default to Left.
+  void set_align(std::vector<Align> align);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table to a string (with trailing newline).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cube

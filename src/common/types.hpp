@@ -1,0 +1,25 @@
+// Fundamental scalar types and index vocabulary shared by all CUBE modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace cube {
+
+/// Severity values are accumulated metric quantities (seconds, bytes,
+/// occurrence counts).  They may be negative in derived experiments that
+/// represent differences, hence a signed floating-point type.
+using Severity = double;
+
+/// Dense per-experiment index of a metric within the metric forest.
+using MetricIndex = std::size_t;
+/// Dense per-experiment index of a call-tree node.
+using CnodeIndex = std::size_t;
+/// Dense per-experiment index of a thread (leaf of the system forest).
+using ThreadIndex = std::size_t;
+
+/// Sentinel meaning "no such entity" for optional parent/owner links.
+inline constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+
+}  // namespace cube

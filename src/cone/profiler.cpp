@@ -1,0 +1,142 @@
+#include "cone/profiler.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+#include "model/system_factory.hpp"
+
+namespace cube::cone {
+
+namespace {
+
+using counters::Event;
+using counters::event_info;
+
+}  // namespace
+
+Experiment profile_run(const sim::RunResult& run, const ConeOptions& options) {
+  const int num_ranks = run.cluster.num_ranks();
+  const sim::CallProfile& profile = run.profile;
+
+  auto md = std::make_unique<Metadata>();
+
+  // --- metric forest --------------------------------------------------------
+  const Metric* m_time = nullptr;
+  const Metric* m_visits = nullptr;
+  if (options.include_time) {
+    m_time = &md->add_metric(nullptr, kConeTime, "Wall-clock time",
+                             Unit::Seconds,
+                             "Exclusive wall-clock time per call path");
+    m_visits = &md->add_metric(nullptr, kConeVisits, "Visits",
+                               Unit::Occurrences,
+                               "Number of call-path visits");
+  }
+  // Counter metrics mirror the event specialization hierarchy restricted to
+  // the measured set: an event whose parent is also measured becomes a
+  // child metric; otherwise it forms its own tree root.
+  std::map<Event, const Metric*> counter_metric;
+  // Events in an EventSet are added in (parent before child) order by the
+  // predefined sets; handle arbitrary order by iterating until settled.
+  std::vector<Event> pending = options.event_set.events();
+  while (!pending.empty()) {
+    bool progressed = false;
+    std::vector<Event> still_pending;
+    for (const Event e : pending) {
+      const counters::EventInfo& info = event_info(e);
+      const Metric* parent = nullptr;
+      if (info.has_parent && options.event_set.contains(info.parent)) {
+        const auto it = counter_metric.find(info.parent);
+        if (it == counter_metric.end()) {
+          still_pending.push_back(e);
+          continue;
+        }
+        parent = it->second;
+      }
+      counter_metric[e] = &md->add_metric(
+          parent, std::string(info.name), std::string(info.name),
+          Unit::Occurrences, std::string(info.description));
+      progressed = true;
+    }
+    if (!progressed) {
+      throw OperationError("cyclic event hierarchy in event set");
+    }
+    pending = std::move(still_pending);
+  }
+
+  // --- program dimension ------------------------------------------------------
+  std::vector<const Region*> regions;
+  std::vector<const CallSite*> callsites;
+  for (const sim::RegionInfo& r : run.regions.all()) {
+    const Region& region =
+        md->add_region(r.name, r.file, r.begin_line, r.end_line);
+    regions.push_back(&region);
+    callsites.push_back(&md->add_callsite(region, r.file, r.begin_line));
+  }
+  std::vector<const Cnode*> cnodes;
+  cnodes.reserve(profile.nodes().size());
+  for (const sim::ProfileNode& n : profile.nodes()) {
+    const Cnode* parent = n.parent == kNoIndex ? nullptr : cnodes[n.parent];
+    cnodes.push_back(&md->add_cnode(parent, *callsites[n.region]));
+  }
+
+  // --- system dimension ----------------------------------------------------------
+  const std::vector<const Thread*> threads = build_regular_system(
+      *md, run.cluster.machine_name, run.cluster.num_nodes,
+      run.cluster.procs_per_node, options.topology);
+
+  md->validate();
+  Experiment experiment(std::move(md), options.storage);
+  experiment.set_name(options.experiment_name);
+  experiment.set_attribute("cube::tool", "CONE (simulated)");
+  {
+    std::string events;
+    for (const Event e : options.event_set.events()) {
+      if (!events.empty()) events += ' ';
+      events += event_info(e).name;
+    }
+    experiment.set_attribute("cone::event_set", events);
+  }
+
+  const counters::JitteredCounterModel model(counters::CounterModel{},
+                                             options.run_seed,
+                                             options.jitter_sigma);
+
+  for (std::size_t node = 0; node < profile.nodes().size(); ++node) {
+    for (int rank = 0; rank < num_ranks; ++rank) {
+      const counters::Workload& w = profile.work(node, rank);
+      if (m_time != nullptr) {
+        const double t = profile.time(node, rank);
+        if (t != 0.0) {
+          experiment.set(*m_time, *cnodes[node],
+                         *threads[static_cast<std::size_t>(rank)], t);
+        }
+        const double visits =
+            static_cast<double>(profile.visits(node, rank));
+        if (visits != 0.0) {
+          experiment.set(*m_visits, *cnodes[node],
+                         *threads[static_cast<std::size_t>(rank)], visits);
+        }
+      }
+      // Severities are exclusive along the metric tree: a parent event's
+      // stored value is its count minus the measured child events' counts
+      // (e.g. L1 accesses minus L1 misses = L1 hits — the automatic
+      // exclusive-metric computation the paper motivates the tree with).
+      for (const auto& [event, metric] : counter_metric) {
+        double v = model.value(event, w);
+        for (const auto& [other, other_metric] : counter_metric) {
+          const counters::EventInfo& info = event_info(other);
+          if (info.has_parent && info.parent == event) {
+            v -= model.value(other, w);
+          }
+        }
+        if (v != 0.0) {
+          experiment.set(*metric, *cnodes[node],
+                         *threads[static_cast<std::size_t>(rank)], v);
+        }
+      }
+    }
+  }
+  return experiment;
+}
+
+}  // namespace cube::cone

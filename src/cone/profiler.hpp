@@ -1,0 +1,49 @@
+// CONE-style call-graph profiling.
+//
+// CONE is "a call-graph profiler for MPI applications ... which maps
+// hardware-counter data onto the full call graph including line numbers"
+// using PAPI event sets.  Our CONE consumes the call-path profile a
+// simulated run accumulates, synthesizes the selected event set's counter
+// values from the recorded workloads (with per-run measurement jitter),
+// and emits a CUBE experiment: a wall-clock metric tree plus one counter
+// metric tree per event specialization hierarchy in the set.
+//
+// Because the hardware model rejects conflicting event combinations
+// (counters/eventset.hpp), obtaining e.g. FP_INS and L1_DCM takes two CONE
+// runs — which the CUBE merge operator then integrates (paper §5.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "counters/eventset.hpp"
+#include "model/experiment.hpp"
+#include "sim/engine.hpp"
+
+namespace cube::cone {
+
+/// Profiling options for one CONE measurement run.
+struct ConeOptions {
+  /// Events measured in this run; must satisfy the hardware restrictions.
+  counters::EventSet event_set = counters::event_set_fp();
+  /// Measurement-jitter stream; vary per repetition, keep across tools.
+  std::uint64_t run_seed = 0;
+  double jitter_sigma = 0.01;
+  std::string experiment_name = "cone";
+  StorageKind storage = StorageKind::Dense;
+  /// Include the wall-clock time tree (on by default).
+  bool include_time = true;
+  /// Optional per-rank Cartesian coordinates (topology extension).
+  std::vector<std::vector<long>> topology;
+};
+
+/// Unique names of CONE's non-counter metrics.
+inline constexpr const char* kConeTime = "cone_time";
+inline constexpr const char* kConeVisits = "cone_visits";
+
+/// Converts a run's call-path profile into a CUBE experiment.
+[[nodiscard]] Experiment profile_run(const sim::RunResult& run,
+                                     const ConeOptions& options = {});
+
+}  // namespace cube::cone

@@ -1,0 +1,44 @@
+#include "counters/events.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace cube::counters {
+
+namespace {
+
+constexpr std::array<EventInfo, kNumEvents> kEvents = {{
+    {Event::TOT_CYC, "PAPI_TOT_CYC", "Total cycles", false, Event::TOT_CYC},
+    {Event::TOT_INS, "PAPI_TOT_INS", "Instructions completed", false,
+     Event::TOT_INS},
+    {Event::FP_INS, "PAPI_FP_INS", "Floating point instructions", true,
+     Event::TOT_INS},
+    {Event::LD_INS, "PAPI_LD_INS", "Load instructions", true, Event::TOT_INS},
+    {Event::SR_INS, "PAPI_SR_INS", "Store instructions", true,
+     Event::TOT_INS},
+    {Event::L1_DCA, "PAPI_L1_DCA", "Level 1 data cache accesses", false,
+     Event::L1_DCA},
+    {Event::L1_DCM, "PAPI_L1_DCM", "Level 1 data cache misses", true,
+     Event::L1_DCA},
+    {Event::L2_DCM, "PAPI_L2_DCM", "Level 2 data cache misses", true,
+     Event::L1_DCM},
+    {Event::TLB_DM, "PAPI_TLB_DM", "Data TLB misses", false, Event::TLB_DM},
+}};
+
+}  // namespace
+
+const EventInfo& event_info(Event e) noexcept {
+  return kEvents[static_cast<std::size_t>(e)];
+}
+
+std::span<const EventInfo> all_events() noexcept { return kEvents; }
+
+Event parse_event(std::string_view name) {
+  for (const EventInfo& info : kEvents) {
+    if (info.name == name) return info.code;
+  }
+  throw Error("unknown hardware event '" + std::string(name) + "'");
+}
+
+}  // namespace cube::counters

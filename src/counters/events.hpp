@@ -1,0 +1,46 @@
+// Hardware performance events, modeled after the PAPI preset events the
+// paper's CONE profiler records (PAPI: Browne et al., IJHPCA 2000).
+//
+// Events form specialization hierarchies ("more general and more specific
+// events, such as cache accesses and cache misses or instructions and
+// floating-point instructions") which CONE turns into CUBE metric trees.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace cube::counters {
+
+/// Preset event identifiers.
+enum class Event : std::uint8_t {
+  TOT_CYC,  ///< total cycles
+  TOT_INS,  ///< total instructions completed
+  FP_INS,   ///< floating-point instructions (child of TOT_INS)
+  LD_INS,   ///< load instructions (child of TOT_INS)
+  SR_INS,   ///< store instructions (child of TOT_INS)
+  L1_DCA,   ///< level-1 data-cache accesses
+  L1_DCM,   ///< level-1 data-cache misses (child of L1_DCA)
+  L2_DCM,   ///< level-2 data-cache misses (child of L1_DCM)
+  TLB_DM,   ///< data TLB misses
+};
+
+inline constexpr std::size_t kNumEvents = 9;
+
+/// Static description of one event.
+struct EventInfo {
+  Event code;
+  std::string_view name;         ///< PAPI-style name, e.g. "PAPI_FP_INS"
+  std::string_view description;
+  bool has_parent;
+  Event parent;  ///< meaningful only if has_parent
+};
+
+/// Event table lookup.
+[[nodiscard]] const EventInfo& event_info(Event e) noexcept;
+/// All events, in enum order.
+[[nodiscard]] std::span<const EventInfo> all_events() noexcept;
+/// Name lookup; throws cube::Error for an unknown name.
+[[nodiscard]] Event parse_event(std::string_view name);
+
+}  // namespace cube::counters

@@ -1,0 +1,72 @@
+#include "counters/eventset.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cube::counters {
+
+HardwareModel power4_model() {
+  HardwareModel model;
+  model.num_counters = 4;
+  model.conflicts = {
+      {Event::FP_INS, Event::L1_DCM},
+      {Event::FP_INS, Event::L2_DCM},
+  };
+  return model;
+}
+
+EventSet::EventSet(HardwareModel model) : model_(std::move(model)) {}
+
+EventSet::EventSet(std::initializer_list<Event> events, HardwareModel model)
+    : model_(std::move(model)) {
+  for (const Event e : events) add(e);
+}
+
+bool EventSet::contains(Event e) const noexcept {
+  return std::find(events_.begin(), events_.end(), e) != events_.end();
+}
+
+bool EventSet::compatible(Event e) const noexcept {
+  if (contains(e)) return false;
+  if (events_.size() >= model_.num_counters) return false;
+  for (const auto& [a, b] : model_.conflicts) {
+    for (const Event member : events_) {
+      if ((a == e && b == member) || (b == e && a == member)) return false;
+    }
+  }
+  return true;
+}
+
+void EventSet::add(Event e) {
+  if (contains(e)) {
+    throw OperationError("event " + std::string(event_info(e).name) +
+                         " already in the event set");
+  }
+  if (events_.size() >= model_.num_counters) {
+    throw OperationError("event set full: hardware has " +
+                         std::to_string(model_.num_counters) + " counters");
+  }
+  for (const auto& [a, b] : model_.conflicts) {
+    for (const Event member : events_) {
+      if ((a == e && b == member) || (b == e && a == member)) {
+        throw OperationError(
+            "hardware restriction: " + std::string(event_info(e).name) +
+            " cannot be counted together with " +
+            std::string(event_info(member).name));
+      }
+    }
+  }
+  events_.push_back(e);
+}
+
+EventSet event_set_fp() {
+  return EventSet({Event::TOT_CYC, Event::TOT_INS, Event::FP_INS});
+}
+
+EventSet event_set_cache() {
+  return EventSet({Event::TOT_CYC, Event::L1_DCA, Event::L1_DCM,
+                   Event::L2_DCM});
+}
+
+}  // namespace cube::counters

@@ -1,0 +1,62 @@
+// Event sets and the hardware restriction model.
+//
+// Real counter hardware limits which events can be measured together.  The
+// paper's example: "POWER4 ... does not permit the combination of
+// floating-point instructions with level 1 data-cache misses in the same
+// run."  That restriction is the entire motivation for the merge operator's
+// §5.2 use case, so this module reproduces it faithfully: an EventSet
+// rejects conflicting combinations and over-subscription, forcing separate
+// runs exactly as on the paper's hardware.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "counters/events.hpp"
+
+namespace cube::counters {
+
+/// Restriction table of the modeled counter unit.
+struct HardwareModel {
+  /// Number of physical counter registers.
+  std::size_t num_counters = 4;
+  /// Pairs of events that cannot be programmed simultaneously.
+  std::vector<std::pair<Event, Event>> conflicts;
+};
+
+/// POWER4-style model: 4 counters; FP_INS conflicts with L1_DCM and L2_DCM
+/// (the FP unit and the cache unit share a counter multiplexer).
+[[nodiscard]] HardwareModel power4_model();
+
+/// A set of events to be measured in one run, checked against a hardware
+/// model on every addition.
+class EventSet {
+ public:
+  explicit EventSet(HardwareModel model = power4_model());
+  EventSet(std::initializer_list<Event> events,
+           HardwareModel model = power4_model());
+
+  /// Adds an event; throws OperationError if the set is full, the event is
+  /// already present, or the event conflicts with a member.
+  void add(Event e);
+  /// True if `e` could be added without violating any restriction.
+  [[nodiscard]] bool compatible(Event e) const noexcept;
+  [[nodiscard]] bool contains(Event e) const noexcept;
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] const HardwareModel& model() const noexcept { return model_; }
+
+ private:
+  HardwareModel model_;
+  std::vector<Event> events_;
+};
+
+/// The two predefined sets of the §5.2 scenario, which the hardware model
+/// forbids combining: one centered on floating-point work, one on the
+/// memory hierarchy.
+[[nodiscard]] EventSet event_set_fp();      // TOT_CYC TOT_INS FP_INS
+[[nodiscard]] EventSet event_set_cache();   // TOT_CYC L1_DCA L1_DCM L2_DCM
+
+}  // namespace cube::counters

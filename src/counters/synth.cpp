@@ -1,0 +1,83 @@
+#include "counters/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cube::counters {
+
+Workload& Workload::operator+=(const Workload& other) noexcept {
+  seconds += other.seconds;
+  flops += other.flops;
+  mem_refs += other.mem_refs;
+  // The combined working set is dominated by the larger block; summing
+  // would overstate capacity pressure for repeated visits to the same data.
+  working_set = std::max(working_set, other.working_set);
+  cold_bytes += other.cold_bytes;
+  return *this;
+}
+
+double capacity_miss_rate(double working_set, double cache_bytes, double base,
+                          double saturated) {
+  if (working_set <= cache_bytes || working_set <= 0.0) return base;
+  const double excess = 1.0 - cache_bytes / working_set;  // in (0,1)
+  return base + (saturated - base) * excess;
+}
+
+CounterModel::CounterModel(ProcessorModel processor)
+    : processor_(processor) {}
+
+double CounterModel::value(Event e, const Workload& w) const {
+  const ProcessorModel& p = processor_;
+  const double word_bytes = 8.0;
+  const double cold_refs = w.cold_bytes / word_bytes;
+  const double refs = w.mem_refs + cold_refs;
+  const double l1_rate =
+      capacity_miss_rate(w.working_set, p.l1_bytes, p.l1_base_miss_rate,
+                         p.l1_saturated_miss_rate);
+  // Streamed data misses once per line.
+  const double cold_misses = w.cold_bytes / p.line_bytes;
+  const double l1_misses = w.mem_refs * l1_rate + cold_misses;
+  const double l2_rate =
+      capacity_miss_rate(w.working_set, p.l2_bytes, p.l2_base_miss_rate, 0.9);
+
+  switch (e) {
+    case Event::TOT_CYC:
+      return w.seconds * p.clock_hz;
+    case Event::TOT_INS:
+      // FP + memory ops + ~60% integer/control overhead.
+      return (w.flops + refs) * 1.6;
+    case Event::FP_INS:
+      return w.flops;
+    case Event::LD_INS:
+      return refs * 0.65;
+    case Event::SR_INS:
+      return refs * 0.35;
+    case Event::L1_DCA:
+      return refs;
+    case Event::L1_DCM:
+      return l1_misses;
+    case Event::L2_DCM:
+      // Cold (streamed) misses mostly miss in L2 as well.
+      return w.mem_refs * l1_rate * l2_rate + cold_misses * 0.6;
+    case Event::TLB_DM:
+      return refs * p.tlb_miss_per_ref;
+  }
+  return 0.0;
+}
+
+JitteredCounterModel::JitteredCounterModel(CounterModel model,
+                                           std::uint64_t run_seed,
+                                           double relative_sigma)
+    : model_(model), run_seed_(run_seed), relative_sigma_(relative_sigma) {}
+
+double JitteredCounterModel::value(Event e, const Workload& w) const {
+  const double expected = model_.value(e, w);
+  if (expected == 0.0) return 0.0;
+  // One deterministic factor per (run, event): the whole run's measurement
+  // of an event is consistently high or low, as with real counter skew.
+  SplitMix64 rng(derive_seed(run_seed_, static_cast<std::uint64_t>(e) + 101));
+  const double factor = 1.0 + relative_sigma_ * rng.normal();
+  return expected * std::max(0.0, factor);
+}
+
+}  // namespace cube::counters

@@ -1,0 +1,90 @@
+// Analytic synthesis of hardware-counter values from simulated work.
+//
+// Substitution (see DESIGN.md): the paper measured real PAPI counters on
+// POWER4; we derive counter values deterministically from the abstract
+// workload a simulated code block performs.  The algebra only consumes the
+// resulting numbers, so an analytic model exercises the identical code
+// path while keeping every bench reproducible.  A seeded multiplicative
+// jitter models run-to-run measurement variation (what the paper's mean
+// operator smooths).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "counters/events.hpp"
+
+namespace cube::counters {
+
+/// Abstract work performed by a simulated code block.
+struct Workload {
+  double seconds = 0.0;       ///< wall time consumed
+  double flops = 0.0;         ///< floating-point operations
+  double mem_refs = 0.0;      ///< data references with locality
+  double working_set = 0.0;   ///< bytes revisited by mem_refs
+  double cold_bytes = 0.0;    ///< streamed bytes with no reuse (msg copies)
+
+  Workload& operator+=(const Workload& other) noexcept;
+  [[nodiscard]] friend Workload operator+(Workload a,
+                                          const Workload& b) noexcept {
+    a += b;
+    return a;
+  }
+};
+
+/// Cache and pipeline parameters of the modeled processor.
+struct ProcessorModel {
+  double clock_hz = 1.3e9;        ///< POWER4-class clock
+  double l1_bytes = 32.0 * 1024;  ///< L1 data cache capacity
+  double l2_bytes = 1.44e6;       ///< L2 capacity
+  double line_bytes = 128.0;      ///< cache line size
+  double l1_base_miss_rate = 0.004;
+  /// L1 miss rate that resident (blocked/looping) computation saturates at
+  /// for very large working sets.  Deliberately far below the 1-miss-per-
+  /// line rate of streamed data: receive-buffer copies must out-miss
+  /// resident compute (the §5.2 MPI_Recv hot spot).
+  double l1_saturated_miss_rate = 0.022;
+  double l2_base_miss_rate = 0.15;  ///< of L1 misses, when fitting in L2
+  double tlb_miss_per_ref = 2e-5;
+};
+
+/// Capacity miss rate for a working set against a cache of `cache_bytes`:
+/// the base rate while the working set fits, growing smoothly toward
+/// `saturated` as the set exceeds capacity.
+[[nodiscard]] double capacity_miss_rate(double working_set, double cache_bytes,
+                                        double base, double saturated);
+
+/// Deterministic counter model: same workload -> same value.
+class CounterModel {
+ public:
+  explicit CounterModel(ProcessorModel processor = {});
+
+  /// Expected value of event `e` for workload `w`.
+  [[nodiscard]] double value(Event e, const Workload& w) const;
+
+  [[nodiscard]] const ProcessorModel& processor() const noexcept {
+    return processor_;
+  }
+
+ private:
+  ProcessorModel processor_;
+};
+
+/// Adds run-to-run measurement variation: a per-(run, event) multiplicative
+/// factor around 1 with the given relative sigma, deterministic in the
+/// seed.  Separate runs (seeds) yield different measurements of the same
+/// workload — the input the mean operator exists for.
+class JitteredCounterModel {
+ public:
+  JitteredCounterModel(CounterModel model, std::uint64_t run_seed,
+                       double relative_sigma = 0.01);
+
+  [[nodiscard]] double value(Event e, const Workload& w) const;
+
+ private:
+  CounterModel model_;
+  std::uint64_t run_seed_;
+  double relative_sigma_;
+};
+
+}  // namespace cube::counters

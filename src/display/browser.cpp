@@ -1,0 +1,146 @@
+#include "display/browser.hpp"
+
+#include "common/error.hpp"
+#include "display/html.hpp"
+#include "common/string_util.hpp"
+
+namespace cube {
+
+namespace {
+
+constexpr const char* kHelp =
+    "commands:\n"
+    "  select metric <uniq_name> | select call <region>\n"
+    "  expand  metric <uniq_name> | expand  call <region> | expand all\n"
+    "  collapse metric <uniq_name> | collapse call <region> | collapse all\n"
+    "  mode absolute | mode percent | mode external <reference>\n"
+    "  view calltree | view flat\n"
+    "  export <file.html>\n"
+    "  show | help\n";
+
+// Splits off the first whitespace-separated word.
+std::pair<std::string_view, std::string_view> next_word(std::string_view s) {
+  s = trim(s);
+  std::size_t i = 0;
+  while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+  return {s.substr(0, i), trim(s.substr(i))};
+}
+
+}  // namespace
+
+Browser::Browser(const Experiment& experiment, RenderOptions render_options)
+    : state_(experiment), render_options_(render_options) {}
+
+std::string Browser::render() const {
+  return render_view(state_, render_options_);
+}
+
+void Browser::set_metric_expansion(std::string_view name, bool expanded) {
+  const Metric* m = state_.experiment().metadata().find_metric(name);
+  if (m == nullptr) {
+    throw OperationError("no metric named '" + std::string(name) + "'");
+  }
+  state_.set_metric_expanded(m->index(), expanded);
+}
+
+void Browser::set_call_expansion(std::string_view region, bool expanded) {
+  bool found = false;
+  for (const auto& c : state_.experiment().metadata().cnodes()) {
+    if (c->callee().name() == region) {
+      state_.set_cnode_expanded(c->index(), expanded);
+      found = true;
+    }
+  }
+  if (!found) {
+    throw OperationError("no call path into region '" + std::string(region) +
+                         "'");
+  }
+}
+
+std::string Browser::execute(std::string_view command) {
+  const auto [verb, rest] = next_word(command);
+  if (verb.empty()) return "";
+  if (verb == "help") return kHelp;
+  if (verb == "show") return render();
+
+  if (verb == "select") {
+    const auto [what, target] = next_word(rest);
+    if (target.empty()) throw OperationError("select: missing target");
+    if (what == "metric") {
+      state_.select_metric(target);
+    } else if (what == "call") {
+      state_.select_cnode(target);
+    } else {
+      throw OperationError("select: expected 'metric' or 'call'");
+    }
+    return "";
+  }
+
+  if (verb == "expand" || verb == "collapse") {
+    const bool expanded = verb == "expand";
+    const auto [what, target] = next_word(rest);
+    if (what == "all") {
+      if (expanded) {
+        state_.expand_all();
+      } else {
+        state_.collapse_all();
+      }
+      return "";
+    }
+    if (target.empty()) {
+      throw OperationError(std::string(verb) + ": missing target");
+    }
+    if (what == "metric") {
+      set_metric_expansion(target, expanded);
+    } else if (what == "call") {
+      set_call_expansion(target, expanded);
+    } else {
+      throw OperationError(std::string(verb) +
+                           ": expected 'metric', 'call', or 'all'");
+    }
+    return "";
+  }
+
+  if (verb == "export") {
+    if (rest.empty()) throw OperationError("export: missing file name");
+    write_html_file(state_, std::string(rest));
+    return "wrote " + std::string(rest) + "\n";
+  }
+
+  if (verb == "view") {
+    const auto [which, rest2] = next_word(rest);
+    (void)rest2;
+    if (which == "calltree" || which == "call") {
+      state_.set_program_view(ProgramView::CallTree);
+    } else if (which == "flat") {
+      state_.set_program_view(ProgramView::Flat);
+    } else {
+      throw OperationError("view: expected calltree|flat");
+    }
+    return "";
+  }
+
+  if (verb == "mode") {
+    const auto [which, arg] = next_word(rest);
+    if (which == "absolute") {
+      state_.set_mode(ValueMode::Absolute);
+    } else if (which == "percent") {
+      state_.set_mode(ValueMode::Percent);
+    } else if (which == "external") {
+      double reference = 0.0;
+      if (!parse_double(arg, reference)) {
+        throw OperationError("mode external: missing reference value");
+      }
+      state_.set_mode(ValueMode::External);
+      state_.set_external_reference(reference);
+    } else {
+      throw OperationError("mode: expected absolute|percent|external");
+    }
+    return "";
+  }
+
+  throw OperationError("unknown command '" + std::string(verb) +
+                       "' (try 'help')");
+}
+
+}  // namespace cube

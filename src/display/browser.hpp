@@ -1,0 +1,52 @@
+// Command-driven front end of the CUBE display.
+//
+// Drives a ViewState with the two user actions the paper's GUI offers —
+// selecting a node and expanding/collapsing a node — plus value-mode
+// switches, through a small textual command language.  The interactive
+// example (examples/cube_viewer) and the display tests both run on it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "display/render.hpp"
+#include "display/view.hpp"
+
+namespace cube {
+
+/// Stateful command interpreter over one experiment's view.
+///
+/// Commands:
+///   select metric <uniq_name>     select call <region>
+///   expand metric <uniq_name>     collapse metric <uniq_name>
+///   expand call <region>          collapse call <region>
+///   expand all                    collapse all
+///   mode absolute | percent | external <reference-value>
+///   view calltree | view flat
+///   export <file.html>               write the view as standalone HTML
+///   show                          render the current view
+///   help                          list commands
+class Browser {
+ public:
+  explicit Browser(const Experiment& experiment,
+                   RenderOptions render_options = {});
+
+  /// Executes one command line and returns its output ("" for state-only
+  /// commands).  Throws OperationError on an unknown command or target.
+  std::string execute(std::string_view command);
+
+  [[nodiscard]] ViewState& state() noexcept { return state_; }
+  [[nodiscard]] const ViewState& state() const noexcept { return state_; }
+
+  /// Renders the current view (same as the "show" command).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  void set_metric_expansion(std::string_view name, bool expanded);
+  void set_call_expansion(std::string_view region, bool expanded);
+
+  ViewState state_;
+  RenderOptions render_options_;
+};
+
+}  // namespace cube

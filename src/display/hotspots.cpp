@@ -1,0 +1,55 @@
+#include "display/hotspots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+
+namespace cube {
+
+std::vector<Hotspot> find_hotspots(const Experiment& experiment,
+                                   const HotspotOptions& options) {
+  const Metadata& md = experiment.metadata();
+  std::vector<Hotspot> all;
+  double magnitude_sum = 0.0;
+  for (const auto& metric : md.metrics()) {
+    if (options.unit && metric->unit() != *options.unit) continue;
+    for (const auto& cnode : md.cnodes()) {
+      Severity value = 0.0;
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        value += experiment.severity().get(metric->index(), cnode->index(),
+                                           t);
+      }
+      const double magnitude = std::abs(value);
+      if (magnitude <= options.min_magnitude || magnitude == 0.0) continue;
+      magnitude_sum += magnitude;
+      all.push_back(Hotspot{metric.get(), cnode.get(), value, 0.0});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Hotspot& a, const Hotspot& b) {
+    return std::abs(a.value) > std::abs(b.value);
+  });
+  if (all.size() > options.top_n) all.resize(options.top_n);
+  for (Hotspot& h : all) {
+    h.share = magnitude_sum > 0.0 ? std::abs(h.value) / magnitude_sum : 0.0;
+  }
+  return all;
+}
+
+std::string format_hotspots(const std::vector<Hotspot>& spots,
+                            int precision) {
+  TextTable table;
+  table.set_header({"#", "metric", "call path", "value", "share"});
+  table.set_align({Align::Right, Align::Left, Align::Left, Align::Right,
+                   Align::Right});
+  std::size_t rank = 1;
+  for (const Hotspot& h : spots) {
+    table.add_row({std::to_string(rank++), h.metric->display_name(),
+                   h.cnode->path(), format_value(h.value, precision),
+                   format_value(100.0 * h.share, 1) + "%"});
+  }
+  return table.str();
+}
+
+}  // namespace cube

@@ -1,0 +1,50 @@
+// Hotspot search over experiments.
+//
+// The closure property means any analysis written against the data model
+// works on derived data too: "mechanisms aimed at finding hotspots can be
+// applied to the original and the difference data likewise" (paper §6).
+// This module ranks (metric, call path) combinations by severity — on an
+// original experiment it finds where time is lost; on a difference
+// experiment it finds where behavior changed most (in either direction,
+// ranked by magnitude).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// One ranked finding.
+struct Hotspot {
+  const Metric* metric = nullptr;
+  const Cnode* cnode = nullptr;
+  /// Severity summed over the whole system (exclusive metric and call
+  /// values; may be negative for difference experiments).
+  Severity value = 0.0;
+  /// |value| as a fraction of the sum of |value| over all combinations.
+  double share = 0.0;
+};
+
+/// Options for the search.
+struct HotspotOptions {
+  std::size_t top_n = 10;
+  /// Restrict to metrics of this unit; all units if unset.
+  std::optional<Unit> unit = Unit::Seconds;
+  /// Skip combinations whose |value| falls below this threshold.
+  Severity min_magnitude = 0.0;
+};
+
+/// Ranks (metric, call path) combinations of `experiment` by |severity|
+/// (descending) and returns the top N.
+[[nodiscard]] std::vector<Hotspot> find_hotspots(
+    const Experiment& experiment, const HotspotOptions& options = {});
+
+/// Formats findings as an aligned table: rank, metric, call path, value,
+/// share.  Negative values (gains in a difference experiment) are marked.
+[[nodiscard]] std::string format_hotspots(const std::vector<Hotspot>& spots,
+                                          int precision = 4);
+
+}  // namespace cube

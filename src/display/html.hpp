@@ -1,0 +1,32 @@
+// Standalone HTML export of the CUBE display.
+//
+// Renders the three coupled panes as a self-contained HTML document with
+// the same information content as the text renderer: severity boxes
+// colored by magnitude, raised/sunken relief for the sign (difference
+// experiments), selection highlight, and the value-mode header.  Useful
+// for sharing a view of an (original or derived) experiment without the
+// interactive browser.
+#pragma once
+
+#include <string>
+
+#include "display/view.hpp"
+
+namespace cube {
+
+/// HTML rendering switches.
+struct HtmlOptions {
+  std::string title;        ///< page title; experiment name if empty
+  bool include_hidden = false;  ///< also render rows under collapsed nodes
+  int value_precision = 2;
+};
+
+/// Renders the current view as a complete HTML document.
+[[nodiscard]] std::string render_html(const ViewState& state,
+                                      const HtmlOptions& options = {});
+
+/// Writes render_html() to a file; throws IoError on failure.
+void write_html_file(const ViewState& state, const std::string& path,
+                     const HtmlOptions& options = {});
+
+}  // namespace cube

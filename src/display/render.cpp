@@ -1,0 +1,103 @@
+#include "display/render.hpp"
+
+#include <cmath>
+
+#include "common/color.hpp"
+#include "common/string_util.hpp"
+
+namespace cube {
+
+namespace {
+
+const char* pane_title(Pane pane) {
+  switch (pane) {
+    case Pane::Metric: return "Metric tree";
+    case Pane::Call: return "Call tree";
+    case Pane::System: return "System tree";
+  }
+  return "?";
+}
+
+const std::vector<ViewRow>& rows_of(const ViewData& view, Pane pane) {
+  switch (pane) {
+    case Pane::Metric: return view.metric_rows;
+    case Pane::Call: return view.call_rows;
+    case Pane::System: return view.system_rows;
+  }
+  return view.metric_rows;
+}
+
+}  // namespace
+
+std::string render_pane(const ViewData& view, Pane pane,
+                        const RenderOptions& options) {
+  std::string out = pane_title(pane);
+  out += '\n';
+  for (const ViewRow& row : rows_of(view, pane)) {
+    if (!row.visible && !options.show_hidden) continue;
+    std::string line = "  ";
+    for (std::size_t i = 0; i < row.depth; ++i) line += "  ";
+    // Expansion marker.
+    if (row.expandable) {
+      line += row.expanded ? "[-] " : "[+] ";
+    } else {
+      line += " *  ";
+    }
+    // Severity box: relief sign + value, colored by magnitude.
+    const double normalized =
+        view.scale_max > 0.0 ? std::abs(row.display_value) / view.scale_max
+                             : 0.0;
+    // Raised relief (positive) vs sunken relief (negative).
+    const char relief = row.value < 0.0 ? 'v' : '^';
+    std::string box = "[";
+    box += relief;
+    box += format_value(row.display_value, options.value_precision);
+    box += "]";
+    line += colorize(box, normalized, options.color);
+    line += ' ';
+    line += row.label;
+    if (row.selected) line += "  <== selected";
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_view(const ViewState& state, const RenderOptions& options) {
+  const ViewData view = compute_view(state);
+  std::string out;
+  const Experiment& e = state.experiment();
+  out += "CUBE experiment: " +
+         (e.name().empty() ? std::string("(unnamed)") : e.name());
+  out += e.kind() == ExperimentKind::Derived ? "  [derived]" : "  [original]";
+  out += '\n';
+  if (!e.provenance().empty()) {
+    out += "provenance: " + e.provenance() + '\n';
+  }
+  switch (state.mode()) {
+    case ValueMode::Absolute:
+      out += "values: absolute\n";
+      break;
+    case ValueMode::Percent:
+      out += "values: percent of selected metric root total (" +
+             format_value(view.reference, options.value_precision) + ")\n";
+      break;
+    case ValueMode::External:
+      out += "values: percent normalized to external reference (" +
+             format_value(view.reference, options.value_precision) + ")\n";
+      break;
+  }
+  out += '\n';
+  out += render_pane(view, Pane::Metric, options);
+  out += '\n';
+  out += render_pane(view, Pane::Call, options);
+  out += '\n';
+  out += render_pane(view, Pane::System, options);
+  if (options.legend) {
+    out += '\n';
+    out += color_legend(options.color);
+  }
+  return out;
+}
+
+}  // namespace cube

@@ -1,0 +1,34 @@
+// Text renderer for the CUBE display: draws the three tree-browser panes
+// with severity color ranking and sign relief.
+//
+// The original display used a GUI toolkit; this renderer reproduces its
+// information content in plain text / ANSI: per-node severity boxes colored
+// by magnitude relative to the scale maximum, with a "raised" marker for
+// positive and a "sunken" marker for negative values (the relief encoding
+// of difference experiments), a selection marker, and the color legend.
+#pragma once
+
+#include <string>
+
+#include "display/view.hpp"
+
+namespace cube {
+
+/// Rendering switches.
+struct RenderOptions {
+  bool color = false;        ///< emit ANSI colors
+  bool legend = false;       ///< append the color legend
+  bool show_hidden = false;  ///< render rows under collapsed ancestors too
+  int value_precision = 2;   ///< decimals for value labels
+};
+
+/// Renders one pane ("Metric tree", "Call tree", "System tree").
+[[nodiscard]] std::string render_pane(const ViewData& view, Pane pane,
+                                      const RenderOptions& options = {});
+
+/// Renders all three panes stacked, plus mode/reference header and
+/// optional legend — the complete display of Figure 1.
+[[nodiscard]] std::string render_view(const ViewState& state,
+                                      const RenderOptions& options = {});
+
+}  // namespace cube

@@ -1,0 +1,384 @@
+#include "display/view.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace cube {
+
+ViewState::ViewState(const Experiment& experiment)
+    : experiment_(&experiment),
+      metric_expanded_(experiment.metadata().num_metrics(), true),
+      cnode_expanded_(experiment.metadata().num_cnodes(), true),
+      machine_expanded_(experiment.metadata().machines().size(), true),
+      node_expanded_(experiment.metadata().nodes().size(), true),
+      process_expanded_(experiment.metadata().processes().size(), true) {}
+
+void ViewState::select_metric(MetricIndex m) {
+  if (m >= metric_expanded_.size()) {
+    throw OperationError("metric index out of range");
+  }
+  selected_metric_ = m;
+}
+
+void ViewState::select_metric(std::string_view unique_name) {
+  const Metric* m = experiment_->metadata().find_metric(unique_name);
+  if (m == nullptr) {
+    throw OperationError("no metric named '" + std::string(unique_name) +
+                         "'");
+  }
+  selected_metric_ = m->index();
+}
+
+void ViewState::select_cnode(CnodeIndex c) {
+  if (c >= cnode_expanded_.size()) {
+    throw OperationError("cnode index out of range");
+  }
+  selected_cnode_ = c;
+}
+
+void ViewState::select_cnode(std::string_view region_name) {
+  for (const auto& c : experiment_->metadata().cnodes()) {
+    if (c->callee().name() == region_name) {
+      selected_cnode_ = c->index();
+      return;
+    }
+  }
+  throw OperationError("no call path into region '" +
+                       std::string(region_name) + "'");
+}
+
+void ViewState::set_metric_expanded(MetricIndex m, bool expanded) {
+  metric_expanded_.at(m) = expanded;
+}
+void ViewState::set_cnode_expanded(CnodeIndex c, bool expanded) {
+  cnode_expanded_.at(c) = expanded;
+}
+void ViewState::set_machine_expanded(std::size_t index, bool expanded) {
+  machine_expanded_.at(index) = expanded;
+}
+void ViewState::set_node_expanded(std::size_t index, bool expanded) {
+  node_expanded_.at(index) = expanded;
+}
+void ViewState::set_process_expanded(std::size_t index, bool expanded) {
+  process_expanded_.at(index) = expanded;
+}
+
+void ViewState::expand_all() {
+  std::fill(metric_expanded_.begin(), metric_expanded_.end(), true);
+  std::fill(cnode_expanded_.begin(), cnode_expanded_.end(), true);
+  std::fill(machine_expanded_.begin(), machine_expanded_.end(), true);
+  std::fill(node_expanded_.begin(), node_expanded_.end(), true);
+  std::fill(process_expanded_.begin(), process_expanded_.end(), true);
+}
+
+void ViewState::collapse_all() {
+  std::fill(metric_expanded_.begin(), metric_expanded_.end(), false);
+  std::fill(cnode_expanded_.begin(), cnode_expanded_.end(), false);
+  std::fill(machine_expanded_.begin(), machine_expanded_.end(), false);
+  std::fill(node_expanded_.begin(), node_expanded_.end(), false);
+  std::fill(process_expanded_.begin(), process_expanded_.end(), false);
+}
+
+namespace {
+
+void collect_metric_subtree(const Metric& m, std::vector<char>& mask) {
+  mask[m.index()] = 1;
+  for (const Metric* c : m.children()) collect_metric_subtree(*c, mask);
+}
+
+void collect_cnode_subtree(const Cnode& c, std::vector<char>& mask) {
+  mask[c.index()] = 1;
+  for (const Cnode* cc : c.children()) collect_cnode_subtree(*cc, mask);
+}
+
+Severity metric_incl(const Metric& m, const std::vector<Severity>& excl) {
+  Severity sum = excl[m.index()];
+  for (const Metric* c : m.children()) sum += metric_incl(*c, excl);
+  return sum;
+}
+
+Severity cnode_incl(const Cnode& c, const std::vector<Severity>& excl) {
+  Severity sum = excl[c.index()];
+  for (const Cnode* cc : c.children()) sum += cnode_incl(*cc, excl);
+  return sum;
+}
+
+}  // namespace
+
+ViewData compute_view(const ViewState& state) {
+  const Experiment& e = state.experiment();
+  const Metadata& md = e.metadata();
+  const SeverityStore& sev = e.severity();
+  const std::size_t M = md.num_metrics();
+  const std::size_t C = md.num_cnodes();
+  const std::size_t T = md.num_threads();
+
+  ViewData view;
+  if (M == 0 || C == 0 || T == 0) return view;
+
+  // --- selected metric set ---------------------------------------------------
+  const Metric& msel = *md.metrics()[state.selected_metric()];
+  std::vector<char> metric_mask(M, 0);
+  if (state.metric_expanded(msel.index())) {
+    metric_mask[msel.index()] = 1;
+  } else {
+    collect_metric_subtree(msel, metric_mask);
+  }
+
+  // --- per-pane aggregates ---------------------------------------------------
+  std::vector<Severity> metric_excl(M, 0.0);
+  std::vector<Severity> call_excl(C, 0.0);  // selected metric, per cnode
+  for (MetricIndex m = 0; m < M; ++m) {
+    for (CnodeIndex c = 0; c < C; ++c) {
+      for (ThreadIndex t = 0; t < T; ++t) {
+        const Severity v = sev.get(m, c, t);
+        if (v == 0.0) continue;
+        metric_excl[m] += v;
+        if (metric_mask[m]) call_excl[c] += v;
+      }
+    }
+  }
+
+  // Selected call set.  In the flat-profile view the selection denotes a
+  // region: every call path executing in it contributes.
+  const Cnode& csel = *md.cnodes()[state.selected_cnode()];
+  std::vector<char> cnode_mask(C, 0);
+  if (state.program_view() == ProgramView::Flat) {
+    for (const auto& c : md.cnodes()) {
+      if (&c->callee() == &csel.callee()) cnode_mask[c->index()] = 1;
+    }
+  } else if (state.cnode_expanded(csel.index())) {
+    cnode_mask[csel.index()] = 1;
+  } else {
+    collect_cnode_subtree(csel, cnode_mask);
+  }
+
+  std::vector<Severity> sys_thread(T, 0.0);
+  for (MetricIndex m = 0; m < M; ++m) {
+    if (!metric_mask[m]) continue;
+    for (CnodeIndex c = 0; c < C; ++c) {
+      if (!cnode_mask[c]) continue;
+      for (ThreadIndex t = 0; t < T; ++t) {
+        sys_thread[t] += sev.get(m, c, t);
+      }
+    }
+  }
+
+  // --- reference value ---------------------------------------------------------
+  switch (state.mode()) {
+    case ValueMode::Absolute:
+      view.reference = 0.0;
+      break;
+    case ValueMode::Percent:
+      view.reference = metric_incl(msel.root(), metric_excl);
+      break;
+    case ValueMode::External:
+      view.reference = state.external_reference();
+      break;
+  }
+  const auto to_display = [&](Severity v) -> double {
+    if (state.mode() == ValueMode::Absolute) return v;
+    return view.reference != 0.0 ? 100.0 * v / view.reference : 0.0;
+  };
+
+  // --- metric pane -------------------------------------------------------------
+  {
+    // In the relative modes, a metric tree other than the selected one is
+    // normalized against its own root total: percentages only make sense
+    // within one unit of measurement (e.g. Visits must not be scaled by a
+    // Time reference).
+    const auto metric_display = [&](const Metric& m, Severity v) -> double {
+      if (state.mode() == ValueMode::Absolute) return v;
+      const Metric& root = m.root();
+      Severity reference = view.reference;
+      if (&root != &msel.root()) {
+        reference = metric_incl(root, metric_excl);
+      }
+      return reference != 0.0 ? 100.0 * v / reference : 0.0;
+    };
+
+    // DFS in root order; `visible` tracks collapsed ancestors.
+    const std::function<void(const Metric&, std::size_t, bool)> walk =
+        [&](const Metric& m, std::size_t depth, bool visible) {
+          ViewRow row;
+          row.pane = Pane::Metric;
+          row.entity_index = m.index();
+          row.depth = depth;
+          row.label = m.display_name();
+          row.expandable = !m.children().empty();
+          row.expanded = state.metric_expanded(m.index());
+          row.value = row.expandable && row.expanded
+                          ? metric_excl[m.index()]
+                          : metric_incl(m, metric_excl);
+          row.display_value = metric_display(m, row.value);
+          row.selected = m.index() == state.selected_metric();
+          row.visible = visible;
+          view.metric_rows.push_back(row);
+          const bool child_visible = visible && row.expanded;
+          for (const Metric* c : m.children()) {
+            walk(*c, depth + 1, child_visible);
+          }
+        };
+    for (const Metric* root : md.metric_roots()) walk(*root, 0, true);
+  }
+
+  // --- call pane ----------------------------------------------------------------
+  if (state.program_view() == ProgramView::Flat) {
+    // Flat profile: one row per region that appears as a callee, carrying
+    // the region's exclusive severity summed over all its call paths.
+    // (The paper: "every flat profile can be represented using multiple
+    // trivial call trees consisting only of a single node" — the flat view
+    // is the same projection applied on display.)
+    for (const auto& region : md.regions()) {
+      Severity sum = 0.0;
+      bool appears = false;
+      for (const auto& c : md.cnodes()) {
+        if (&c->callee() == region.get()) {
+          sum += call_excl[c->index()];
+          appears = true;
+        }
+      }
+      if (!appears) continue;
+      ViewRow row;
+      row.pane = Pane::Call;
+      row.entity_index = region->index();
+      row.depth = 0;
+      row.label = region->name();
+      row.expandable = false;
+      row.expanded = false;
+      row.value = sum;
+      row.display_value = to_display(sum);
+      row.selected = region.get() == &csel.callee();
+      row.visible = true;
+      view.call_rows.push_back(row);
+    }
+  } else {
+    const std::function<void(const Cnode&, std::size_t, bool)> walk =
+        [&](const Cnode& c, std::size_t depth, bool visible) {
+          ViewRow row;
+          row.pane = Pane::Call;
+          row.entity_index = c.index();
+          row.depth = depth;
+          row.label = c.callee().name();
+          row.expandable = !c.children().empty();
+          row.expanded = state.cnode_expanded(c.index());
+          row.value = row.expandable && row.expanded
+                          ? call_excl[c.index()]
+                          : cnode_incl(c, call_excl);
+          row.display_value = to_display(row.value);
+          row.selected = c.index() == state.selected_cnode();
+          row.visible = visible;
+          view.call_rows.push_back(row);
+          const bool child_visible = visible && row.expanded;
+          for (const Cnode* cc : c.children()) {
+            walk(*cc, depth + 1, child_visible);
+          }
+        };
+    for (const Cnode* root : md.cnode_roots()) walk(*root, 0, true);
+  }
+
+  // --- system pane -----------------------------------------------------------------
+  {
+    // "The thread level of single-threaded applications is hidden."
+    view.threads_hidden = std::all_of(
+        md.processes().begin(), md.processes().end(),
+        [](const auto& p) { return p->threads().size() == 1; });
+
+    const auto process_sum = [&](const Process& p) {
+      Severity sum = 0.0;
+      for (const Thread* t : p.threads()) sum += sys_thread[t->index()];
+      return sum;
+    };
+
+    for (const auto& machine : md.machines()) {
+      Severity machine_sum = 0.0;
+      for (const SysNode* node : machine->nodes()) {
+        for (const Process* p : node->processes()) {
+          machine_sum += process_sum(*p);
+        }
+      }
+      const bool mexp = state.machine_expanded(machine->index());
+      ViewRow mrow;
+      mrow.pane = Pane::System;
+      mrow.system_level = SystemLevel::Machine;
+      mrow.entity_index = machine->index();
+      mrow.depth = 0;
+      mrow.label = machine->name();
+      mrow.expandable = !machine->nodes().empty();
+      mrow.expanded = mexp;
+      mrow.value = mexp ? 0.0 : machine_sum;
+      mrow.display_value = to_display(mrow.value);
+      mrow.visible = true;
+      view.system_rows.push_back(mrow);
+
+      for (const SysNode* node : machine->nodes()) {
+        Severity node_sum = 0.0;
+        for (const Process* p : node->processes()) node_sum += process_sum(*p);
+        const bool nexp = state.node_expanded(node->index());
+        ViewRow nrow;
+        nrow.pane = Pane::System;
+        nrow.system_level = SystemLevel::Node;
+        nrow.entity_index = node->index();
+        nrow.depth = 1;
+        nrow.label = node->name();
+        nrow.expandable = !node->processes().empty();
+        nrow.expanded = nexp;
+        nrow.value = nexp ? 0.0 : node_sum;
+        nrow.display_value = to_display(nrow.value);
+        nrow.visible = mexp;
+        view.system_rows.push_back(nrow);
+
+        for (const Process* p : node->processes()) {
+          const bool has_thread_rows =
+              !view.threads_hidden && !p->threads().empty();
+          const bool pexp = state.process_expanded(p->index());
+          ViewRow prow;
+          prow.pane = Pane::System;
+          prow.system_level = SystemLevel::Process;
+          prow.entity_index = p->index();
+          prow.depth = 2;
+          prow.label = p->name();
+          prow.expandable = has_thread_rows;
+          prow.expanded = pexp;
+          prow.value = has_thread_rows && pexp ? 0.0 : process_sum(*p);
+          prow.display_value = to_display(prow.value);
+          prow.visible = mexp && nexp;
+          view.system_rows.push_back(prow);
+
+          if (has_thread_rows) {
+            for (const Thread* t : p->threads()) {
+              ViewRow trow;
+              trow.pane = Pane::System;
+              trow.system_level = SystemLevel::Thread;
+              trow.entity_index = t->index();
+              trow.depth = 3;
+              trow.label = t->name();
+              trow.expandable = false;
+              trow.expanded = false;
+              trow.value = sys_thread[t->index()];
+              trow.display_value = to_display(trow.value);
+              trow.visible = mexp && nexp && pexp;
+              view.system_rows.push_back(trow);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- color scale ------------------------------------------------------------------
+  for (const auto* rows :
+       {&view.metric_rows, &view.call_rows, &view.system_rows}) {
+    for (const ViewRow& row : *rows) {
+      if (row.visible) {
+        view.scale_max = std::max(view.scale_max, std::abs(row.display_value));
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace cube

@@ -1,0 +1,165 @@
+// View model of the CUBE display.
+//
+// The display consists of three coupled tree browsers — metric, call, and
+// system — over one experiment (original or derived alike; that is the
+// point of the closure property).  Two user actions exist: selecting a node
+// (metric or call pane) and expanding/collapsing a node (any pane).
+//
+// Aggregation semantics (paper §4):
+//  * single representation / inclusion hierarchy: a collapsed node is
+//    labeled with its inclusive value (whole subtree), an expanded node
+//    with its exclusive value, so each severity fraction appears exactly
+//    once per tree;
+//  * aggregation across dimensions: a metric label sums over all call paths
+//    and the whole system; a call label sums the *selected* metric (subtree
+//    if the selection is collapsed) over the whole system; a system label
+//    shows the selected metric for the selected call path at that entity;
+//  * values can be shown absolute, as percentages of the selected metric
+//    root's total, or normalized against an external reference value taken
+//    from another experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// Program-dimension presentation: the call tree (default) or a flat
+/// profile with one row per region ("The user can switch between a call
+/// tree or a flat-profile view of the program dimension", paper section 4).
+enum class ProgramView { CallTree, Flat };
+
+/// How node labels are rendered.
+enum class ValueMode {
+  Absolute,  ///< raw severity values
+  Percent,   ///< percent of the selected metric root's grand total
+  External,  ///< percent of an externally supplied reference value
+};
+
+/// Selection + expansion state of the three panes.
+class ViewState {
+ public:
+  /// Binds the view to an experiment (not owned).  Initial state: all nodes
+  /// expanded, first metric root and first call root selected.
+  explicit ViewState(const Experiment& experiment);
+
+  [[nodiscard]] const Experiment& experiment() const noexcept {
+    return *experiment_;
+  }
+
+  // --- selection ------------------------------------------------------------
+  void select_metric(MetricIndex m);
+  /// Selects the first metric whose unique name matches; throws
+  /// OperationError if absent.
+  void select_metric(std::string_view unique_name);
+  void select_cnode(CnodeIndex c);
+  /// Selects the first cnode whose callee region name matches.
+  void select_cnode(std::string_view region_name);
+  [[nodiscard]] MetricIndex selected_metric() const noexcept {
+    return selected_metric_;
+  }
+  [[nodiscard]] CnodeIndex selected_cnode() const noexcept {
+    return selected_cnode_;
+  }
+
+  // --- expansion --------------------------------------------------------------
+  void set_metric_expanded(MetricIndex m, bool expanded);
+  void set_cnode_expanded(CnodeIndex c, bool expanded);
+  /// Machines and nodes share one expansion table indexed by pane row; the
+  /// system pane uses entity indices per level.
+  void set_machine_expanded(std::size_t index, bool expanded);
+  void set_node_expanded(std::size_t index, bool expanded);
+  void set_process_expanded(std::size_t index, bool expanded);
+  void expand_all();
+  void collapse_all();
+
+  [[nodiscard]] bool metric_expanded(MetricIndex m) const {
+    return metric_expanded_[m];
+  }
+  [[nodiscard]] bool cnode_expanded(CnodeIndex c) const {
+    return cnode_expanded_[c];
+  }
+  [[nodiscard]] bool machine_expanded(std::size_t i) const {
+    return machine_expanded_[i];
+  }
+  [[nodiscard]] bool node_expanded(std::size_t i) const {
+    return node_expanded_[i];
+  }
+  [[nodiscard]] bool process_expanded(std::size_t i) const {
+    return process_expanded_[i];
+  }
+
+  // --- program view ------------------------------------------------------------
+  void set_program_view(ProgramView view) { program_view_ = view; }
+  [[nodiscard]] ProgramView program_view() const noexcept {
+    return program_view_;
+  }
+
+  // --- value mode -------------------------------------------------------------
+  void set_mode(ValueMode mode) { mode_ = mode; }
+  [[nodiscard]] ValueMode mode() const noexcept { return mode_; }
+  /// Reference value for ValueMode::External (e.g. the total execution time
+  /// of the experiment being compared against).
+  void set_external_reference(Severity reference) {
+    external_reference_ = reference;
+  }
+  [[nodiscard]] Severity external_reference() const noexcept {
+    return external_reference_;
+  }
+
+ private:
+  const Experiment* experiment_;
+  MetricIndex selected_metric_ = 0;
+  CnodeIndex selected_cnode_ = 0;
+  std::vector<bool> metric_expanded_;
+  std::vector<bool> cnode_expanded_;
+  std::vector<bool> machine_expanded_;
+  std::vector<bool> node_expanded_;
+  std::vector<bool> process_expanded_;
+  ProgramView program_view_ = ProgramView::CallTree;
+  ValueMode mode_ = ValueMode::Absolute;
+  Severity external_reference_ = 0.0;
+};
+
+/// Which pane a row belongs to.
+enum class Pane { Metric, Call, System };
+
+/// Which system level a system row shows.
+enum class SystemLevel { Machine, Node, Process, Thread };
+
+/// One visible row of a rendered pane.
+struct ViewRow {
+  Pane pane;
+  /// Cnode index in the call-tree view; region index in the flat view.
+  std::size_t entity_index;
+  SystemLevel system_level = SystemLevel::Machine;  ///< system pane only
+  std::size_t depth = 0;
+  std::string label;
+  Severity value = 0.0;       ///< absolute severity behind the row
+  double display_value = 0.0; ///< after applying the value mode
+  bool expandable = false;
+  bool expanded = false;
+  bool selected = false;
+  bool visible = true;  ///< false while hidden under a collapsed ancestor
+};
+
+/// Fully computed view: the three panes' rows plus scale information.
+struct ViewData {
+  std::vector<ViewRow> metric_rows;
+  std::vector<ViewRow> call_rows;
+  std::vector<ViewRow> system_rows;
+  /// Denominator used for Percent/External modes (0 in Absolute mode).
+  Severity reference = 0.0;
+  /// Largest |display value| over all rows; color ranking scale maximum.
+  double scale_max = 0.0;
+  /// True if the thread level is hidden (all processes single-threaded).
+  bool threads_hidden = false;
+};
+
+/// Evaluates the full view for the current state.  Cost is linear in the
+/// severity volume; bench A5 measures it.
+[[nodiscard]] ViewData compute_view(const ViewState& state);
+
+}  // namespace cube

@@ -1,0 +1,476 @@
+#include "expert/analyzer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "expert/patterns.hpp"
+#include "model/system_factory.hpp"
+#include "sim/engine.hpp"
+
+namespace cube::expert {
+
+namespace {
+
+using sim::CollKind;
+using sim::EventType;
+using sim::TraceEvent;
+
+/// Call tree reconstructed from the event stream, merged across ranks.
+struct CallNode {
+  std::size_t region;
+  std::size_t parent;  // kNoIndex for roots
+  std::vector<std::size_t> children;
+};
+
+/// Per-(node, rank) accumulator that grows with the node table.
+class Accum {
+ public:
+  explicit Accum(std::size_t num_ranks) : num_ranks_(num_ranks) {}
+
+  void ensure(std::size_t num_nodes) {
+    while (values_.size() < num_nodes) {
+      values_.emplace_back(num_ranks_, 0.0);
+    }
+  }
+  void add(std::size_t node, int rank, double v) {
+    values_[node][static_cast<std::size_t>(rank)] += v;
+  }
+  [[nodiscard]] double get(std::size_t node, int rank) const {
+    return values_[node][static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  std::size_t num_ranks_;
+  std::vector<std::vector<double>> values_;
+};
+
+struct SendRec {
+  double enter = 0.0;  ///< MPI_Send enter time
+  double sent = 0.0;   ///< Send event time (transfer start)
+  double bytes = 0.0;
+  std::size_t node = kNoIndex;
+  int rank = -1;
+};
+
+struct RecvRec {
+  double enter = 0.0;  ///< MPI_Recv enter time
+  double done = 0.0;   ///< Recv event time (delivery)
+  std::size_t node = kNoIndex;
+  int rank = -1;
+  SendRec matched;
+  double late_sender = 0.0;
+};
+
+struct CollRankInfo {
+  double enter = 0.0;
+  double exit = 0.0;
+  std::size_t node = kNoIndex;
+  bool seen = false;
+};
+
+struct CollRecord {
+  CollKind kind = CollKind::None;
+  int root = -1;
+  std::vector<CollRankInfo> ranks;
+};
+
+struct OpenFrame {
+  std::size_t node;
+  double enter_time;
+  double child_time = 0.0;
+};
+
+}  // namespace
+
+Experiment analyze_trace(const sim::Trace& trace,
+                         const AnalyzerOptions& options) {
+  const int num_ranks = trace.cluster.num_ranks();
+
+  // --- call-tree reconstruction + time attribution ---------------------------
+  std::vector<CallNode> nodes;
+  const auto find_or_create = [&nodes](std::size_t parent,
+                                       std::size_t region) {
+    if (parent == kNoIndex) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].parent == kNoIndex && nodes[i].region == region) {
+          return i;
+        }
+      }
+    } else {
+      for (const std::size_t c : nodes[parent].children) {
+        if (nodes[c].region == region) return c;
+      }
+    }
+    nodes.push_back(CallNode{region, parent, {}});
+    if (parent != kNoIndex) nodes[parent].children.push_back(nodes.size() - 1);
+    return nodes.size() - 1;
+  };
+
+  Accum excl_time(static_cast<std::size_t>(num_ranks));
+  Accum visits(static_cast<std::size_t>(num_ranks));
+  Accum late_sender(static_cast<std::size_t>(num_ranks));
+  Accum wrong_order(static_cast<std::size_t>(num_ranks));
+  Accum late_receiver(static_cast<std::size_t>(num_ranks));
+  Accum wait_nxn(static_cast<std::size_t>(num_ranks));
+  Accum early_reduce(static_cast<std::size_t>(num_ranks));
+  Accum late_broadcast(static_cast<std::size_t>(num_ranks));
+  Accum wait_barrier(static_cast<std::size_t>(num_ranks));
+  Accum barrier_completion(static_cast<std::size_t>(num_ranks));
+  // Per-LOCATION (rank x thread) data from fork-join parallel regions.
+  const int threads_per_proc = std::max(1, trace.cluster.threads_per_proc);
+  const std::size_t num_locations =
+      static_cast<std::size_t>(num_ranks) *
+      static_cast<std::size_t>(threads_per_proc);
+  Accum parallel_busy(num_locations);
+  Accum parallel_wall(num_locations);
+
+  using MsgKey = std::tuple<int, int, int>;
+  std::map<MsgKey, std::deque<SendRec>> sends;
+  std::vector<std::vector<RecvRec>> recvs_by_receiver(
+      static_cast<std::size_t>(num_ranks));
+  std::vector<CollRecord> collectives;
+
+  std::vector<std::vector<OpenFrame>> stacks(
+      static_cast<std::size_t>(num_ranks));
+
+  // Replay in global time order: a matching send always precedes its
+  // receive in simulated time, whatever order the trace stores events in.
+  // Stability keeps same-timestamp events of one rank in program order
+  // (per-rank timestamps are monotone).
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(trace.events.size());
+  for (const TraceEvent& e : trace.events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->time < b->time;
+                   });
+
+  for (const TraceEvent* ep : ordered) {
+    const TraceEvent& e = *ep;
+    if (e.rank < 0 || e.rank >= num_ranks) {
+      throw OperationError("trace event with rank out of range");
+    }
+    auto& stack = stacks[static_cast<std::size_t>(e.rank)];
+    switch (e.type) {
+      case EventType::Enter:
+      case EventType::CollEnter: {
+        const std::size_t parent = stack.empty() ? kNoIndex
+                                                 : stack.back().node;
+        const std::size_t node = find_or_create(parent, e.region);
+        excl_time.ensure(nodes.size());
+        visits.ensure(nodes.size());
+        late_sender.ensure(nodes.size());
+        wrong_order.ensure(nodes.size());
+        late_receiver.ensure(nodes.size());
+        wait_nxn.ensure(nodes.size());
+        early_reduce.ensure(nodes.size());
+        late_broadcast.ensure(nodes.size());
+        wait_barrier.ensure(nodes.size());
+        barrier_completion.ensure(nodes.size());
+        parallel_busy.ensure(nodes.size());
+        parallel_wall.ensure(nodes.size());
+        stack.push_back(OpenFrame{node, e.time});
+        visits.add(node, e.rank, 1.0);
+        if (e.type == EventType::CollEnter) {
+          if (collectives.size() <= e.coll_instance) {
+            collectives.resize(e.coll_instance + 1);
+          }
+          CollRecord& rec = collectives[e.coll_instance];
+          if (rec.ranks.empty()) {
+            rec.kind = e.coll;
+            rec.root = e.peer;
+            rec.ranks.resize(static_cast<std::size_t>(num_ranks));
+          }
+          CollRankInfo& info = rec.ranks[static_cast<std::size_t>(e.rank)];
+          info.enter = e.time;
+          info.node = node;
+          info.seen = true;
+        }
+        break;
+      }
+      case EventType::Exit:
+      case EventType::CollExit: {
+        if (stack.empty()) {
+          throw OperationError("exit event without matching enter (rank " +
+                               std::to_string(e.rank) + ")");
+        }
+        const OpenFrame frame = stack.back();
+        stack.pop_back();
+        const double total = e.time - frame.enter_time;
+        excl_time.add(frame.node, e.rank, total - frame.child_time);
+        if (!stack.empty()) stack.back().child_time += total;
+        if (e.type == EventType::CollExit) {
+          CollRecord& rec = collectives.at(e.coll_instance);
+          rec.ranks[static_cast<std::size_t>(e.rank)].exit = e.time;
+        }
+        break;
+      }
+      case EventType::Send: {
+        if (stack.empty()) {
+          throw OperationError("send event outside MPI_Send region");
+        }
+        SendRec rec;
+        rec.enter = stack.back().enter_time;
+        rec.sent = e.time;
+        rec.bytes = e.bytes;
+        rec.node = stack.back().node;
+        rec.rank = e.rank;
+        sends[{e.rank, e.peer, e.tag}].push_back(rec);
+        break;
+      }
+      case EventType::Parallel: {
+        if (stack.empty()) {
+          throw OperationError("parallel event outside any region");
+        }
+        // The engine brackets the region with Enter/Exit on the master;
+        // this record carries the per-thread busy times.
+        const std::size_t node = stack.back().node;
+        double slowest = 0.0;
+        for (const double ts : e.thread_seconds) {
+          slowest = std::max(slowest, ts);
+        }
+        for (std::size_t t = 0; t < e.thread_seconds.size(); ++t) {
+          const int loc = e.rank * threads_per_proc + static_cast<int>(t);
+          parallel_busy.add(node, loc, e.thread_seconds[t]);
+          parallel_wall.add(node, loc, slowest);
+        }
+        break;
+      }
+      case EventType::Recv: {
+        if (stack.empty()) {
+          throw OperationError("recv event outside MPI_Recv region");
+        }
+        RecvRec rec;
+        rec.enter = stack.back().enter_time;
+        rec.done = e.time;
+        rec.node = stack.back().node;
+        rec.rank = e.rank;
+        auto it = sends.find({e.peer, e.rank, e.tag});
+        if (it == sends.end() || it->second.empty()) {
+          throw OperationError("receive without matching send (rank " +
+                               std::to_string(e.rank) + " from " +
+                               std::to_string(e.peer) + ")");
+        }
+        rec.matched = it->second.front();
+        it->second.pop_front();
+        rec.late_sender = std::clamp(rec.matched.enter - rec.enter, 0.0,
+                                     rec.done - rec.enter);
+        recvs_by_receiver[static_cast<std::size_t>(e.rank)].push_back(rec);
+        break;
+      }
+    }
+  }
+  for (int r = 0; r < num_ranks; ++r) {
+    if (!stacks[static_cast<std::size_t>(r)].empty()) {
+      throw OperationError("rank " + std::to_string(r) +
+                           " has unclosed regions at trace end");
+    }
+  }
+
+  // --- point-to-point patterns -----------------------------------------------
+  for (auto& recvs : recvs_by_receiver) {
+    for (std::size_t i = 0; i < recvs.size(); ++i) {
+      RecvRec& rec = recvs[i];
+      if (rec.late_sender > 0.0) {
+        // Wrong order: while this receive was waiting (it waited until the
+        // matched sender entered its send), a message sent earlier than the
+        // matched one was already on its way to this receiver but gets
+        // accepted only later — an inefficient acceptance order.
+        bool wrong = false;
+        for (std::size_t j = i + 1; j < recvs.size() && !wrong; ++j) {
+          wrong = recvs[j].matched.sent < rec.matched.sent &&
+                  recvs[j].matched.sent <= rec.matched.enter;
+        }
+        if (wrong) {
+          wrong_order.add(rec.node, rec.rank, rec.late_sender);
+        } else {
+          late_sender.add(rec.node, rec.rank, rec.late_sender);
+        }
+      }
+      // Late receiver: a rendezvous sender blocked until this receive was
+      // posted; charged to the sender's call path and location.
+      if (rec.matched.bytes > trace.eager_threshold) {
+        const double lr = std::clamp(rec.enter - rec.matched.enter, 0.0,
+                                     rec.matched.sent - rec.matched.enter);
+        if (lr > 0.0) {
+          late_receiver.add(rec.matched.node, rec.matched.rank, lr);
+        }
+      }
+    }
+  }
+
+  // --- collective patterns ------------------------------------------------------
+  for (const CollRecord& rec : collectives) {
+    if (rec.ranks.empty()) continue;
+    double max_enter = 0.0;
+    double min_exit = 0.0;
+    bool first = true;
+    for (const CollRankInfo& info : rec.ranks) {
+      if (!info.seen) continue;
+      max_enter = first ? info.enter : std::max(max_enter, info.enter);
+      min_exit = first ? info.exit : std::min(min_exit, info.exit);
+      first = false;
+    }
+    for (std::size_t r = 0; r < rec.ranks.size(); ++r) {
+      const CollRankInfo& info = rec.ranks[r];
+      if (!info.seen) continue;
+      const double total = info.exit - info.enter;
+      const int rank = static_cast<int>(r);
+      switch (rec.kind) {
+        case CollKind::Barrier: {
+          const double wait = std::clamp(max_enter - info.enter, 0.0, total);
+          const double completion =
+              std::clamp(info.exit - min_exit, 0.0, total - wait);
+          wait_barrier.add(info.node, rank, wait);
+          barrier_completion.add(info.node, rank, completion);
+          break;
+        }
+        case CollKind::AllToAll:
+          wait_nxn.add(info.node, rank,
+                       std::clamp(max_enter - info.enter, 0.0, total));
+          break;
+        case CollKind::Reduce:
+          if (rank == rec.root) {
+            early_reduce.add(info.node, rank,
+                             std::clamp(max_enter - info.enter, 0.0, total));
+          }
+          break;
+        case CollKind::Bcast:
+          // Late Broadcast: a non-root waiting for data because the root
+          // entered the 1-to-N operation later than the waiter.
+          if (rank != rec.root && rec.root >= 0 &&
+              rec.ranks[static_cast<std::size_t>(rec.root)].seen) {
+            const double root_enter =
+                rec.ranks[static_cast<std::size_t>(rec.root)].enter;
+            late_broadcast.add(
+                info.node, rank,
+                std::clamp(root_enter - info.enter, 0.0, total));
+          }
+          break;
+        case CollKind::None:
+          break;
+      }
+    }
+  }
+
+  // --- assemble the experiment ----------------------------------------------------
+  auto md = std::make_unique<Metadata>();
+  add_pattern_metrics(*md);
+
+  // Regions and one call site per region.
+  std::vector<const Region*> regions;
+  std::vector<const CallSite*> callsites;
+  for (const sim::RegionInfo& r : trace.regions.all()) {
+    const Region& region =
+        md->add_region(r.name, r.file, r.begin_line, r.end_line);
+    regions.push_back(&region);
+    callsites.push_back(&md->add_callsite(region, r.file, r.begin_line));
+  }
+
+  // Call tree: nodes were created parents-first, so one pass suffices.
+  std::vector<const Cnode*> cnodes;
+  cnodes.reserve(nodes.size());
+  for (const CallNode& n : nodes) {
+    const Cnode* parent = n.parent == kNoIndex ? nullptr : cnodes[n.parent];
+    cnodes.push_back(&md->add_cnode(parent, *callsites[n.region]));
+  }
+
+  const std::vector<const Thread*> threads = build_regular_system(
+      *md, trace.cluster.machine_name, trace.cluster.num_nodes,
+      trace.cluster.procs_per_node, options.topology, threads_per_proc);
+
+  md->validate();
+  Experiment experiment(std::move(md), options.storage);
+  experiment.set_name(options.experiment_name);
+  experiment.set_attribute("cube::tool", "EXPERT (simulated)");
+
+  const Metadata& meta = experiment.metadata();
+  const auto metric = [&meta](std::string_view uniq) -> const Metric& {
+    return *meta.find_metric(uniq);
+  };
+  const Metric& m_execution = metric(kExecution);
+  const Metric& m_p2p = metric(kP2p);
+  const Metric& m_ls = metric(kLateSender);
+  const Metric& m_wo = metric(kWrongOrder);
+  const Metric& m_lr = metric(kLateReceiver);
+  const Metric& m_coll = metric(kCollective);
+  const Metric& m_nxn = metric(kWaitNxN);
+  const Metric& m_er = metric(kEarlyReduce);
+  const Metric& m_lb = metric(kLateBroadcast);
+  const Metric& m_barrier = metric(kBarrier);
+  const Metric& m_wb = metric(kWaitBarrier);
+  const Metric& m_bc = metric(kBarrierCompletion);
+  const Metric& m_idle = metric(kIdleThreads);
+  const Metric& m_visits = metric(kVisits);
+
+  // Master-thread severities live at location (rank, tid 0).
+  const auto set_loc = [&](const Metric& m, std::size_t node, int loc,
+                           double v) {
+    if (v != 0.0) {
+      experiment.set(m, *cnodes[node],
+                     *threads[static_cast<std::size_t>(loc)], v);
+    }
+  };
+  const auto set = [&](const Metric& m, std::size_t node, int rank,
+                       double v) {
+    set_loc(m, node, rank * threads_per_proc, v);
+  };
+
+  for (std::size_t node = 0; node < nodes.size(); ++node) {
+    const std::string& rname = trace.regions[nodes[node].region].name;
+    for (int rank = 0; rank < num_ranks; ++rank) {
+      const double total = excl_time.get(node, rank);
+      set(m_visits, node, rank, visits.get(node, rank));
+      if (total == 0.0) continue;
+      if (rname == sim::kMpiRecvRegion) {
+        const double ls = late_sender.get(node, rank);
+        const double wo = wrong_order.get(node, rank);
+        set(m_ls, node, rank, ls);
+        set(m_wo, node, rank, wo);
+        set(m_p2p, node, rank, std::max(0.0, total - ls - wo));
+      } else if (rname == sim::kMpiSendRegion) {
+        const double lr = late_receiver.get(node, rank);
+        set(m_lr, node, rank, lr);
+        set(m_p2p, node, rank, std::max(0.0, total - lr));
+      } else if (rname == sim::kMpiBarrierRegion) {
+        const double wb = wait_barrier.get(node, rank);
+        const double bc = barrier_completion.get(node, rank);
+        set(m_wb, node, rank, wb);
+        set(m_bc, node, rank, bc);
+        set(m_barrier, node, rank, std::max(0.0, total - wb - bc));
+      } else if (rname == sim::kMpiAlltoallRegion) {
+        const double wn = wait_nxn.get(node, rank);
+        set(m_nxn, node, rank, wn);
+        set(m_coll, node, rank, std::max(0.0, total - wn));
+      } else if (rname == sim::kMpiReduceRegion) {
+        const double er = early_reduce.get(node, rank);
+        set(m_er, node, rank, er);
+        set(m_coll, node, rank, std::max(0.0, total - er));
+      } else if (rname == sim::kMpiBcastRegion) {
+        const double lb = late_broadcast.get(node, rank);
+        set(m_lb, node, rank, lb);
+        set(m_coll, node, rank, std::max(0.0, total - lb));
+      } else if (rname == sim::kOmpParallelRegion) {
+        // Fork-join region: every thread's busy time is Execution at its
+        // own location; the rest of the region's wall time is Idle
+        // Threads ("waiting for the slowest thread").  The master's
+        // exclusive time equals the wall time and is fully re-attributed.
+        for (int t = 0; t < threads_per_proc; ++t) {
+          const int loc = rank * threads_per_proc + t;
+          const double busy = parallel_busy.get(node, loc);
+          const double wall = parallel_wall.get(node, loc);
+          set_loc(m_execution, node, loc, busy);
+          set_loc(m_idle, node, loc, std::max(0.0, wall - busy));
+        }
+      } else {
+        set(m_execution, node, rank, total);
+      }
+    }
+  }
+  return experiment;
+}
+
+}  // namespace cube::expert

@@ -1,0 +1,36 @@
+// EXPERT-style post-mortem trace analysis.
+//
+// Replays a simulator event trace, reconstructs the call tree, searches the
+// trace for inefficiency patterns (Late Sender / Messages in Wrong Order /
+// Late Receiver / Wait at N x N / Early Reduce / Wait at Barrier / Barrier
+// Completion), and emits the result as a CUBE experiment mapping
+// (performance problem, call path, location) onto the time lost to that
+// problem — exactly the compact representation the paper describes.
+//
+// Severity convention (see model/experiment.hpp): every second of a
+// location's run time is attributed to exactly one most-specific pattern
+// metric at exactly one call path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/experiment.hpp"
+#include "sim/trace.hpp"
+
+namespace cube::expert {
+
+/// Analysis options.
+struct AnalyzerOptions {
+  std::string experiment_name = "expert";
+  StorageKind storage = StorageKind::Dense;
+  /// Optional per-rank Cartesian coordinates for the topology extension.
+  std::vector<std::vector<long>> topology;
+};
+
+/// Analyzes `trace` and returns the experiment.  Throws OperationError on
+/// malformed traces (unbalanced enters, unmatched messages).
+[[nodiscard]] Experiment analyze_trace(const sim::Trace& trace,
+                                       const AnalyzerOptions& options = {});
+
+}  // namespace cube::expert

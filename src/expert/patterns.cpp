@@ -1,0 +1,61 @@
+#include "expert/patterns.hpp"
+
+#include <array>
+
+namespace cube::expert {
+
+namespace {
+
+constexpr std::array<PatternDef, 19> kPatterns = {{
+    {kTime, "Time", "", Unit::Seconds, "Total wall-clock execution time"},
+    {kExecution, "Execution", kTime, Unit::Seconds,
+     "Time outside of MPI operations"},
+    {kMpi, "MPI", kExecution, Unit::Seconds, "Time spent in MPI calls"},
+    {kCommunication, "Communication", kMpi, Unit::Seconds,
+     "Time spent in MPI communication"},
+    {kCollective, "Collective", kCommunication, Unit::Seconds,
+     "Collective communication"},
+    {kEarlyReduce, "Early Reduce", kCollective, Unit::Seconds,
+     "Root of an N-to-1 operation waiting for the first sender"},
+    {kLateBroadcast, "Late Broadcast", kCollective, Unit::Seconds,
+     "Waiting for a late root of a 1-to-N operation"},
+    {kWaitNxN, "Wait at N x N", kCollective, Unit::Seconds,
+     "Time due to inherent synchronization of N-to-N operations"},
+    {kP2p, "P2P", kCommunication, Unit::Seconds,
+     "Point-to-point communication"},
+    {kLateReceiver, "Late Receiver", kP2p, Unit::Seconds,
+     "Sender blocked until the receiver posts the matching receive"},
+    {kLateSender, "Late Sender", kP2p, Unit::Seconds,
+     "Receiver blocked on a message that has not been sent yet"},
+    {kWrongOrder, "Messages in Wrong Order", kLateSender, Unit::Seconds,
+     "Late-sender waiting caused by an inefficient acceptance order"},
+    {kIo, "IO", kMpi, Unit::Seconds, "MPI file I/O"},
+    {kSynchronization, "Synchronization", kMpi, Unit::Seconds,
+     "Explicit synchronization"},
+    {kBarrier, "Barrier", kSynchronization, Unit::Seconds,
+     "Barrier synchronization"},
+    {kWaitBarrier, "Wait at Barrier", kBarrier, Unit::Seconds,
+     "Waiting inside the barrier for the last process to reach it"},
+    {kBarrierCompletion, "Barrier Completion", kBarrier, Unit::Seconds,
+     "Time inside the barrier after the first process has left it"},
+    {kIdleThreads, "Idle Threads", kTime, Unit::Seconds,
+     "Time worker threads spend idle inside fork-join parallel regions "
+     "while waiting for the slowest thread"},
+    {kVisits, "Visits", "", Unit::Occurrences, "Number of region visits"},
+}};
+
+}  // namespace
+
+std::span<const PatternDef> pattern_table() noexcept { return kPatterns; }
+
+void add_pattern_metrics(Metadata& metadata) {
+  for (const PatternDef& def : kPatterns) {
+    const Metric* parent =
+        def.parent.empty() ? nullptr : metadata.find_metric(def.parent);
+    metadata.add_metric(parent, std::string(def.uniq_name),
+                        std::string(def.display_name), def.unit,
+                        std::string(def.description));
+  }
+}
+
+}  // namespace cube::expert

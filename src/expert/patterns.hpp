@@ -1,0 +1,56 @@
+// EXPERT's performance-problem hierarchy.
+//
+// EXPERT organizes detected inefficiency patterns in a specialization
+// hierarchy "that contains general problems, such as large communication
+// overhead, and very specific problems, such as a receiver waiting for a
+// message as a result of an inefficient acceptance order".  This table is
+// the hierarchy visible in the paper's Figure 1, realized as a CUBE metric
+// tree (plus a Visits tree in occurrences).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "model/metadata.hpp"
+
+namespace cube::expert {
+
+/// Static definition of one pattern metric.
+struct PatternDef {
+  std::string_view uniq_name;
+  std::string_view display_name;
+  std::string_view parent;  ///< uniq_name of the parent; empty for roots
+  Unit unit;
+  std::string_view description;
+};
+
+// Unique names used programmatically by the analyzer.
+inline constexpr std::string_view kTime = "time";
+inline constexpr std::string_view kExecution = "execution";
+inline constexpr std::string_view kMpi = "mpi";
+inline constexpr std::string_view kCommunication = "mpi_communication";
+inline constexpr std::string_view kCollective = "mpi_coll_communication";
+inline constexpr std::string_view kEarlyReduce = "mpi_earlyreduce";
+inline constexpr std::string_view kLateBroadcast = "mpi_latebroadcast";
+inline constexpr std::string_view kWaitNxN = "mpi_wait_nxn";
+inline constexpr std::string_view kP2p = "mpi_point2point";
+inline constexpr std::string_view kLateReceiver = "mpi_latereceiver";
+inline constexpr std::string_view kLateSender = "mpi_latesender";
+inline constexpr std::string_view kWrongOrder = "mpi_wrong_order";
+inline constexpr std::string_view kIo = "mpi_io";
+inline constexpr std::string_view kSynchronization = "mpi_synchronization";
+inline constexpr std::string_view kBarrier = "mpi_barrier";
+inline constexpr std::string_view kWaitBarrier = "mpi_wait_barrier";
+inline constexpr std::string_view kBarrierCompletion =
+    "mpi_barrier_completion";
+inline constexpr std::string_view kIdleThreads = "idle_threads";
+inline constexpr std::string_view kVisits = "visits";
+
+/// The full pattern table, parents before children.
+[[nodiscard]] std::span<const PatternDef> pattern_table() noexcept;
+
+/// Instantiates the pattern hierarchy in `metadata`; returns nothing — look
+/// metrics up by unique name afterwards.
+void add_pattern_metrics(Metadata& metadata);
+
+}  // namespace cube::expert

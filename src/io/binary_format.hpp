@@ -1,0 +1,33 @@
+// Compact binary experiment format (extension).
+//
+// The paper relies on XML only and discusses database backends as future
+// work; this binary codec is the repository's ablation point for the
+// storage representation (bench A4 in DESIGN.md compares XML vs binary
+// size and throughput).
+//
+// Layout: magic "CUBEBIN1", then length-prefixed sections in a fixed
+// order — attributes, metrics, regions, call sites, cnodes, system tree,
+// and the non-zero severity triples.  All integers are little-endian
+// fixed-width; strings are u32-length-prefixed UTF-8.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// Serializes the experiment to the binary format.
+void write_cube_binary(const Experiment& experiment, std::ostream& out);
+void write_cube_binary_file(const Experiment& experiment,
+                            const std::string& path);
+[[nodiscard]] std::string to_cube_binary(const Experiment& experiment);
+
+/// Deserializes; throws cube::Error on a malformed or truncated buffer.
+[[nodiscard]] Experiment read_cube_binary(
+    std::string_view data, StorageKind storage = StorageKind::Dense);
+[[nodiscard]] Experiment read_cube_binary_file(
+    const std::string& path, StorageKind storage = StorageKind::Dense);
+
+}  // namespace cube

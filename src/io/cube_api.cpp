@@ -1,0 +1,99 @@
+#include "io/cube_api.hpp"
+
+#include "common/error.hpp"
+#include "io/cube_format.hpp"
+
+namespace cube {
+
+Cube::Cube() : metadata_(std::make_unique<Metadata>()) {}
+
+std::size_t Cube::def_metric(const std::string& unique_name,
+                             const std::string& display_name,
+                             const std::string& uom, const std::string& descr,
+                             std::size_t parent) {
+  const Metric* parent_ptr =
+      parent == NoParent ? nullptr : metadata_->metrics().at(parent).get();
+  return metadata_
+      ->add_metric(parent_ptr, unique_name, display_name, parse_unit(uom),
+                   descr)
+      .index();
+}
+
+std::size_t Cube::def_region(const std::string& name,
+                             const std::string& module, long begin_line,
+                             long end_line) {
+  return metadata_->add_region(name, module, begin_line, end_line).index();
+}
+
+std::size_t Cube::def_callsite(const std::string& file, long line,
+                               std::size_t callee) {
+  return metadata_
+      ->add_callsite(*metadata_->regions().at(callee), file, line)
+      .index();
+}
+
+std::size_t Cube::def_cnode(std::size_t callsite, std::size_t parent) {
+  const Cnode* parent_ptr =
+      parent == NoParent ? nullptr : metadata_->cnodes().at(parent).get();
+  return metadata_
+      ->add_cnode(parent_ptr, *metadata_->callsites().at(callsite))
+      .index();
+}
+
+std::size_t Cube::def_machine(const std::string& name) {
+  return metadata_->add_machine(name).index();
+}
+
+std::size_t Cube::def_node(const std::string& name, std::size_t machine) {
+  return metadata_->add_node(*metadata_->machines().at(machine), name)
+      .index();
+}
+
+std::size_t Cube::def_process(const std::string& name, long rank,
+                              std::size_t node) {
+  return metadata_->add_process(*metadata_->nodes().at(node), name, rank)
+      .index();
+}
+
+std::size_t Cube::def_thread(const std::string& name, long thread_id,
+                             std::size_t process) {
+  return metadata_
+      ->add_thread(*metadata_->processes().at(process), name, thread_id)
+      .index();
+}
+
+void Cube::set_severity(std::size_t metric, std::size_t cnode,
+                        std::size_t thread, Severity value) {
+  pending_.push_back(Pending{metric, cnode, thread, value, false});
+}
+
+void Cube::add_severity(std::size_t metric, std::size_t cnode,
+                        std::size_t thread, Severity value) {
+  pending_.push_back(Pending{metric, cnode, thread, value, true});
+}
+
+Experiment Cube::take(const std::string& name, StorageKind storage) {
+  metadata_->validate();
+  Experiment experiment(std::move(metadata_), storage);
+  for (const Pending& p : pending_) {
+    if (p.accumulate) {
+      experiment.severity().add(p.metric, p.cnode, p.thread, p.value);
+    } else {
+      experiment.severity().set(p.metric, p.cnode, p.thread, p.value);
+    }
+  }
+  experiment.set_name(name);
+  pending_.clear();
+  metadata_ = std::make_unique<Metadata>();
+  return experiment;
+}
+
+void Cube::write_file(const Experiment& experiment, const std::string& path) {
+  write_cube_xml_file(experiment, path);
+}
+
+Experiment Cube::read_file(const std::string& path) {
+  return read_cube_xml_file(path);
+}
+
+}  // namespace cube

@@ -1,0 +1,88 @@
+// The CUBE construction API.
+//
+// The paper: "We have implemented a C++ API to read experiments from a file
+// and to create experiments and write them to a file.  The API is a simple
+// class interface with fewer than fifteen methods."  This facade is that
+// interface (13 methods): third-party tools (our CONE and EXPERT included)
+// build experiments through plain integer handles without touching the
+// model classes, then write them to disk or hand them to the algebra.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// Builder facade producing a valid CUBE experiment.
+///
+/// Handles returned by the def_* methods are dense indices into the
+/// respective entity dimension; pass kNoIndex (or the NoParent constant)
+/// where a root entity is meant.
+class Cube {
+ public:
+  /// Handle value meaning "no parent" for def_metric / def_cnode.
+  static constexpr std::size_t NoParent = kNoIndex;
+
+  Cube();
+
+  /// Defines a metric below `parent` (NoParent for a root).  `uom` is one
+  /// of "sec", "bytes", "occ".  Returns the metric handle.
+  std::size_t def_metric(const std::string& unique_name,
+                         const std::string& display_name,
+                         const std::string& uom, const std::string& descr,
+                         std::size_t parent = NoParent);
+
+  /// Defines a region (function/loop/block).  Returns the region handle.
+  std::size_t def_region(const std::string& name, const std::string& module,
+                         long begin_line = -1, long end_line = -1);
+
+  /// Defines a call site in `file` at `line` entering region `callee`.
+  std::size_t def_callsite(const std::string& file, long line,
+                           std::size_t callee);
+
+  /// Defines a call-tree node entered through `callsite`, below `parent`
+  /// (NoParent for a root call path).  Returns the cnode handle.
+  std::size_t def_cnode(std::size_t callsite, std::size_t parent = NoParent);
+
+  /// Defines a machine / an SMP node / a process / a thread.
+  std::size_t def_machine(const std::string& name);
+  std::size_t def_node(const std::string& name, std::size_t machine);
+  std::size_t def_process(const std::string& name, long rank,
+                          std::size_t node);
+  std::size_t def_thread(const std::string& name, long thread_id,
+                         std::size_t process);
+
+  /// Sets / accumulates the severity of (metric, cnode, thread).  Values
+  /// are buffered and materialized by take().
+  void set_severity(std::size_t metric, std::size_t cnode, std::size_t thread,
+                    Severity value);
+  void add_severity(std::size_t metric, std::size_t cnode, std::size_t thread,
+                    Severity value);
+
+  /// Validates and returns the finished experiment; the builder is left
+  /// empty and can be reused.  `name` becomes the experiment name.
+  [[nodiscard]] Experiment take(const std::string& name,
+                                StorageKind storage = StorageKind::Dense);
+
+  /// Writes an experiment to a CUBE XML file.
+  static void write_file(const Experiment& experiment,
+                         const std::string& path);
+  /// Reads an experiment from a CUBE XML file.
+  [[nodiscard]] static Experiment read_file(const std::string& path);
+
+ private:
+  struct Pending {
+    std::size_t metric;
+    std::size_t cnode;
+    std::size_t thread;
+    Severity value;
+    bool accumulate;
+  };
+
+  std::unique_ptr<Metadata> metadata_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace cube

@@ -1,0 +1,54 @@
+// The CUBE XML experiment format: serialization of a full experiment
+// (metadata + severity function + attributes) to and from XML.
+//
+// Layout (modeled on the format the paper describes: a metadata part and
+// the severity values stored as a three-dimensional array with one
+// dimension each for metric, call path, and thread):
+//
+//   <cube version="1.0">
+//     <attr key="..." value="..."/> ...
+//     <metrics>   nested <metric id> with <uniq_name>/<disp_name>/<uom>/
+//                 <descr> children </metrics>
+//     <program>   flat <region id name mod begin end>, <csite id file line
+//                 callee>, nested <cnode id csite> </program>
+//     <system>    nested <machine>/<node>/<process rank [coords]>/<thread
+//                 tid> </system>
+//     <severity>  <matrix metric="i"> <row cnode="j"> t0 t1 t2 ...
+//                 </row> </matrix>; all-zero rows and empty matrices are
+//                 omitted </severity>
+//   </cube>
+//
+// Identifiers in the file are the dense in-memory indices; the reader
+// nevertheless accepts arbitrary ids and remaps them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// Writes `experiment` as CUBE XML.
+void write_cube_xml(const Experiment& experiment, std::ostream& out);
+/// Writes to a file path; throws IoError if the file cannot be created.
+void write_cube_xml_file(const Experiment& experiment,
+                         const std::string& path);
+/// Convenience: returns the XML document as a string.
+[[nodiscard]] std::string to_cube_xml(const Experiment& experiment);
+
+/// Parses a CUBE XML document.  Throws ParseError / ValidationError on
+/// malformed input; the returned experiment has been validate()d.
+[[nodiscard]] Experiment read_cube_xml(std::string_view xml,
+                                       StorageKind storage = StorageKind::Dense);
+/// Reads from a file path; throws IoError if the file cannot be opened.
+[[nodiscard]] Experiment read_cube_xml_file(
+    const std::string& path, StorageKind storage = StorageKind::Dense);
+
+/// Reads an experiment file of either supported format, detected by
+/// content (binary magic first, XML otherwise).  The command-line tools
+/// use this so .cube and .cubx files mix freely.
+[[nodiscard]] Experiment read_experiment_file(
+    const std::string& path, StorageKind storage = StorageKind::Dense);
+
+}  // namespace cube

@@ -1,0 +1,194 @@
+#include "io/repository.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "io/binary_format.hpp"
+#include "io/cube_format.hpp"
+#include "io/xml_parser.hpp"
+#include "io/xml_writer.hpp"
+
+namespace cube {
+
+namespace {
+
+constexpr const char* kIndexFile = "index.xml";
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '_' || c == '.') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out = "experiment";
+  // Keep ids readable: derived experiments can have very long provenance
+  // names.
+  if (out.size() > 40) out.resize(40);
+  return out;
+}
+
+}  // namespace
+
+ExperimentRepository::ExperimentRepository(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    throw IoError("cannot create repository directory '" +
+                  directory_.string() + "': " + ec.message());
+  }
+  if (std::filesystem::exists(directory_ / kIndexFile)) {
+    read_index();
+  } else {
+    write_index();
+  }
+}
+
+void ExperimentRepository::read_index() {
+  std::ifstream in(directory_ / kIndexFile);
+  if (!in) {
+    throw IoError("cannot open repository index in '" + directory_.string() +
+                  "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto root = parse_xml(buffer.str());
+  if (root->name != "repository") {
+    throw Error("'" + directory_.string() + "' is not a CUBE repository");
+  }
+  entries_.clear();
+  for (const XmlNode* node : root->children_named("entry")) {
+    RepoEntry entry;
+    entry.id = std::string(node->required_attr("id"));
+    entry.file = std::string(node->required_attr("file"));
+    entry.format = node->attr("format").value_or("xml") == "binary"
+                       ? RepoFormat::Binary
+                       : RepoFormat::Xml;
+    for (const XmlNode* attr : node->children_named("attr")) {
+      entry.attributes[std::string(attr->required_attr("key"))] =
+          std::string(attr->required_attr("value"));
+    }
+    entries_.push_back(std::move(entry));
+  }
+}
+
+void ExperimentRepository::write_index() const {
+  std::ofstream out(directory_ / kIndexFile);
+  if (!out) {
+    throw IoError("cannot write repository index in '" +
+                  directory_.string() + "'");
+  }
+  XmlWriter w(out);
+  w.declaration();
+  w.open_element("repository");
+  for (const RepoEntry& entry : entries_) {
+    w.open_element("entry");
+    w.attribute("id", entry.id);
+    w.attribute("file", entry.file);
+    w.attribute("format", entry.format == RepoFormat::Binary
+                              ? std::string_view("binary")
+                              : std::string_view("xml"));
+    for (const auto& [key, value] : entry.attributes) {
+      w.open_element("attr");
+      w.attribute("key", key);
+      w.attribute("value", value);
+      w.close_element();
+    }
+    w.close_element();
+  }
+  w.finish();
+  out.flush();
+  if (!out) throw IoError("repository index write failed");
+}
+
+std::string ExperimentRepository::unique_id(const std::string& base) const {
+  const auto taken = [this](const std::string& candidate) {
+    for (const RepoEntry& e : entries_) {
+      if (e.id == candidate) return true;
+    }
+    return false;
+  };
+  if (!taken(base)) return base;
+  for (std::size_t k = 2;; ++k) {
+    const std::string candidate = base + "-" + std::to_string(k);
+    if (!taken(candidate)) return candidate;
+  }
+}
+
+std::string ExperimentRepository::store(const Experiment& experiment,
+                                        RepoFormat format) {
+  const std::string id = unique_id(sanitize(
+      experiment.name().empty() ? "experiment" : experiment.name()));
+  RepoEntry entry;
+  entry.id = id;
+  entry.file = id + (format == RepoFormat::Binary ? ".cubx" : ".cube");
+  entry.format = format;
+  entry.attributes =
+      std::map<std::string, std::string>(experiment.attributes().begin(),
+                                         experiment.attributes().end());
+
+  const std::filesystem::path path = directory_ / entry.file;
+  if (format == RepoFormat::Binary) {
+    write_cube_binary_file(experiment, path.string());
+  } else {
+    write_cube_xml_file(experiment, path.string());
+  }
+  entries_.push_back(std::move(entry));
+  write_index();
+  return id;
+}
+
+Experiment ExperimentRepository::load(const std::string& id) const {
+  for (const RepoEntry& entry : entries_) {
+    if (entry.id == id) {
+      const std::filesystem::path path = directory_ / entry.file;
+      return entry.format == RepoFormat::Binary
+                 ? read_cube_binary_file(path.string())
+                 : read_cube_xml_file(path.string());
+    }
+  }
+  throw Error("repository has no experiment with id '" + id + "'");
+}
+
+void ExperimentRepository::remove(const std::string& id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->id == id) {
+      std::error_code ec;
+      std::filesystem::remove(directory_ / it->file, ec);
+      entries_.erase(it);
+      write_index();
+      return;
+    }
+  }
+  throw Error("repository has no experiment with id '" + id + "'");
+}
+
+std::vector<RepoEntry> ExperimentRepository::query(
+    const std::string& key, const std::string& value) const {
+  std::vector<RepoEntry> out;
+  for (const RepoEntry& entry : entries_) {
+    const auto it = entry.attributes.find(key);
+    if (it != entry.attributes.end() && it->second == value) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::vector<Experiment> ExperimentRepository::load_all(
+    const std::vector<RepoEntry>& selection) const {
+  std::vector<Experiment> out;
+  out.reserve(selection.size());
+  for (const RepoEntry& entry : selection) {
+    out.push_back(load(entry.id));
+  }
+  return out;
+}
+
+}  // namespace cube

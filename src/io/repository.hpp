@@ -1,0 +1,86 @@
+// Experiment repository: a small file-backed store of CUBE experiments.
+//
+// The paper (§6): "implementing the CUBE algebra on top of a database
+// management system in addition to a pure XML file representation would be
+// a natural extension, and interfacing to an existing performance database
+// might open a large amount of performance data to our approach.  On the
+// other hand, CUBE — by relying on XML files only — provides
+// cross-experiment capabilities without the burden of maintaining a whole
+// database-management system."
+//
+// This module takes the middle road the paper hints at: a directory of
+// CUBE files plus an XML index of their attributes, giving store / load /
+// list / query-by-attribute over whole experiments — enough to manage the
+// run series that mean/stddev/merge consume — without any DBMS.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/experiment.hpp"
+
+namespace cube {
+
+/// On-disk encoding of a stored experiment.
+enum class RepoFormat { Xml, Binary };
+
+/// One index entry.
+struct RepoEntry {
+  std::string id;        ///< unique within the repository
+  std::string file;      ///< file name relative to the repository root
+  RepoFormat format = RepoFormat::Xml;
+  /// The experiment's attributes at store time (name, kind, provenance,
+  /// plus anything the producing tool attached) — the queryable part.
+  std::map<std::string, std::string> attributes;
+};
+
+/// Directory-backed experiment store with an XML index.
+///
+/// The index (`index.xml`) is rewritten on every mutation; concurrent
+/// writers are out of scope (single-analyst workflows, like the paper's).
+class ExperimentRepository {
+ public:
+  /// Opens (or initializes) a repository at `directory`; the directory is
+  /// created if absent.  Throws IoError/ParseError on a corrupt index.
+  explicit ExperimentRepository(std::filesystem::path directory);
+
+  /// Stores the experiment and returns its id (derived from the
+  /// experiment's name, uniquified with a numeric suffix on collision).
+  std::string store(const Experiment& experiment,
+                    RepoFormat format = RepoFormat::Xml);
+
+  /// Loads an experiment by id; throws cube::Error if unknown.
+  [[nodiscard]] Experiment load(const std::string& id) const;
+
+  /// Removes an entry and its file; throws cube::Error if unknown.
+  void remove(const std::string& id);
+
+  /// All entries, in store order.
+  [[nodiscard]] const std::vector<RepoEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Entries whose attribute `key` equals `value`.
+  [[nodiscard]] std::vector<RepoEntry> query(
+      const std::string& key, const std::string& value) const;
+
+  /// Loads several experiments at once (e.g. a run series for mean()).
+  [[nodiscard]] std::vector<Experiment> load_all(
+      const std::vector<RepoEntry>& selection) const;
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return directory_;
+  }
+
+ private:
+  void read_index();
+  void write_index() const;
+  [[nodiscard]] std::string unique_id(const std::string& base) const;
+
+  std::filesystem::path directory_;
+  std::vector<RepoEntry> entries_;
+};
+
+}  // namespace cube

@@ -1,0 +1,258 @@
+#include "io/xml_parser.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace cube {
+
+std::optional<std::string_view> XmlNode::attr(std::string_view name) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+std::string_view XmlNode::required_attr(std::string_view name) const {
+  const auto v = attr(name);
+  if (!v) {
+    throw Error("element <" + this->name + "> lacks required attribute '" +
+                std::string(name) + "'");
+  }
+  return *v;
+}
+
+const XmlNode* XmlNode::child(std::string_view name) const {
+  for (const auto& c : children) {
+    if (c->name == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::child_text(std::string_view name) const {
+  const XmlNode* c = child(name);
+  return c != nullptr ? c->text : std::string();
+}
+
+namespace {
+
+/// Single-pass recursive-descent parser over the input buffer.
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : input_(input) {}
+
+  std::unique_ptr<XmlNode> parse() {
+    skip_prolog();
+    auto root = parse_element();
+    skip_misc();
+    if (pos_ != input_.size()) {
+      fail("content after document element");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what, line_, column());
+  }
+
+  [[nodiscard]] std::size_t column() const {
+    return pos_ - line_start_ + 1;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= input_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return input_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] bool starts_with(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void expect(std::string_view s) {
+    if (!starts_with(s)) {
+      fail("expected '" + std::string(s) + "'");
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) advance();
+  }
+
+  void skip_ws() {
+    while (!eof() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      advance();
+    }
+  }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool is_name_char(char c) {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (eof() || !is_name_start(peek())) fail("expected a name");
+    std::string name;
+    while (!eof() && is_name_char(peek())) {
+      name.push_back(advance());
+    }
+    return name;
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    while (!starts_with("-->")) {
+      if (eof()) fail("unterminated comment");
+      advance();
+    }
+    expect("-->");
+  }
+
+  void skip_pi() {
+    expect("<?");
+    while (!starts_with("?>")) {
+      if (eof()) fail("unterminated processing instruction");
+      advance();
+    }
+    expect("?>");
+  }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<?")) {
+        skip_pi();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_misc();
+    // A <!DOCTYPE ...> without internal subset is tolerated and skipped.
+    if (starts_with("<!DOCTYPE")) {
+      while (!eof() && peek() != '>') advance();
+      expect(">");
+      skip_misc();
+    }
+  }
+
+  std::string parse_attr_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    advance();
+    std::string raw;
+    while (peek() != quote) {
+      if (peek() == '<') fail("'<' in attribute value");
+      raw.push_back(advance());
+    }
+    advance();
+    return xml_unescape(raw);
+  }
+
+  std::unique_ptr<XmlNode> parse_element() {
+    expect("<");
+    auto node = std::make_unique<XmlNode>();
+    node->name = parse_name();
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) fail("unterminated start tag");
+      if (peek() == '/' || peek() == '>') break;
+      std::string attr_name = parse_name();
+      skip_ws();
+      expect("=");
+      skip_ws();
+      node->attributes.emplace_back(std::move(attr_name), parse_attr_value());
+    }
+    if (peek() == '/') {
+      expect("/>");
+      return node;
+    }
+    expect(">");
+    // Content.
+    std::string raw_text;
+    while (true) {
+      if (eof()) fail("unterminated element <" + node->name + ">");
+      if (starts_with("</")) {
+        expect("</");
+        const std::string closing = parse_name();
+        if (closing != node->name) {
+          fail("mismatched closing tag </" + closing + "> for <" +
+               node->name + ">");
+        }
+        skip_ws();
+        expect(">");
+        break;
+      }
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<![CDATA[")) {
+        if (!raw_text.empty()) {
+          node->text += xml_unescape(raw_text);
+          raw_text.clear();
+        }
+        expect("<![CDATA[");
+        while (!starts_with("]]>")) {
+          if (eof()) fail("unterminated CDATA section");
+          node->text.push_back(advance());
+        }
+        expect("]]>");
+      } else if (starts_with("<?")) {
+        skip_pi();
+      } else if (peek() == '<') {
+        if (!raw_text.empty()) {
+          node->text += xml_unescape(raw_text);
+          raw_text.clear();
+        }
+        node->children.push_back(parse_element());
+      } else {
+        raw_text.push_back(advance());
+      }
+    }
+    if (!raw_text.empty()) {
+      node->text += xml_unescape(raw_text);
+    }
+    return node;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlNode> parse_xml(std::string_view input) {
+  return XmlParser(input).parse();
+}
+
+}  // namespace cube

@@ -1,0 +1,44 @@
+// Minimal XML DOM parser: elements, attributes, character data, comments,
+// CDATA sections, processing instructions, and the standard entity and
+// character references.  Sufficient for the CUBE XML format; DTDs and
+// namespaces are out of scope.
+//
+// Parse failures throw cube::ParseError carrying 1-based line/column.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cube {
+
+/// One element of the parsed document tree.
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  /// Concatenated character data directly inside this element (children's
+  /// text excluded), entity references resolved, surrounding whitespace
+  /// preserved.
+  std::string text;
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  /// Attribute lookup; nullopt if absent.
+  [[nodiscard]] std::optional<std::string_view> attr(
+      std::string_view name) const;
+  /// Attribute lookup; throws ParseError-free cube::Error if absent.
+  [[nodiscard]] std::string_view required_attr(std::string_view name) const;
+  /// First child element with the given name, or nullptr.
+  [[nodiscard]] const XmlNode* child(std::string_view name) const;
+  /// All child elements with the given name, in document order.
+  [[nodiscard]] std::vector<const XmlNode*> children_named(
+      std::string_view name) const;
+  /// Text of the first child with the given name, or "" if absent.
+  [[nodiscard]] std::string child_text(std::string_view name) const;
+};
+
+/// Parses a complete document and returns its root element.
+[[nodiscard]] std::unique_ptr<XmlNode> parse_xml(std::string_view input);
+
+}  // namespace cube

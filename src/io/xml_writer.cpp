@@ -1,0 +1,91 @@
+#include "io/xml_writer.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace cube {
+
+XmlWriter::XmlWriter(std::ostream& out) : out_(out) {}
+
+void XmlWriter::declaration() {
+  out_ << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+}
+
+void XmlWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void XmlWriter::close_start_tag() {
+  if (start_tag_open_) {
+    out_ << ">";
+    start_tag_open_ = false;
+    if (!has_inline_text_) out_ << "\n";
+  }
+}
+
+void XmlWriter::open_element(std::string_view name) {
+  close_start_tag();
+  if (has_inline_text_) {
+    throw Error("cannot nest an element inside inline text content");
+  }
+  indent();
+  out_ << '<' << name;
+  stack_.emplace_back(name);
+  start_tag_open_ = true;
+  has_inline_text_ = false;
+}
+
+void XmlWriter::attribute(std::string_view name, std::string_view value) {
+  if (!start_tag_open_) {
+    throw Error("attribute '" + std::string(name) +
+                "' added after element content");
+  }
+  out_ << ' ' << name << "=\"" << xml_escape(value) << '"';
+}
+
+void XmlWriter::attribute(std::string_view name, long value) {
+  attribute(name, std::to_string(value));
+}
+
+void XmlWriter::attribute(std::string_view name, std::size_t value) {
+  attribute(name, std::to_string(value));
+}
+
+void XmlWriter::text(std::string_view value) {
+  if (stack_.empty()) throw Error("text outside of any element");
+  if (start_tag_open_) {
+    out_ << '>';
+    start_tag_open_ = false;
+  }
+  has_inline_text_ = true;
+  out_ << xml_escape(value);
+}
+
+void XmlWriter::comment(std::string_view value) {
+  close_start_tag();
+  indent();
+  out_ << "<!-- " << value << " -->\n";
+}
+
+void XmlWriter::close_element() {
+  if (stack_.empty()) throw Error("close_element with no open element");
+  const std::string name = stack_.back();
+  stack_.pop_back();
+  if (start_tag_open_) {
+    out_ << "/>\n";
+    start_tag_open_ = false;
+  } else if (has_inline_text_) {
+    out_ << "</" << name << ">\n";
+  } else {
+    indent();
+    out_ << "</" << name << ">\n";
+  }
+  has_inline_text_ = false;
+}
+
+void XmlWriter::finish() {
+  if (stack_.empty()) throw Error("finish with no open element");
+  while (!stack_.empty()) close_element();
+}
+
+}  // namespace cube

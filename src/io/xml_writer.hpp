@@ -1,0 +1,56 @@
+// Minimal streaming XML writer with automatic escaping and indentation.
+//
+// The paper stores experiments in the CUBE XML format; this repository
+// implements the XML layer from scratch (the original used libxml2).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cube {
+
+/// Emits well-formed XML to an ostream.  Elements are opened with
+/// open_element and closed in LIFO order by close_element; attributes must
+/// be added before any child content.  All strings are escaped.
+class XmlWriter {
+ public:
+  explicit XmlWriter(std::ostream& out);
+
+  /// Writes the <?xml ...?> declaration.  Call first, at most once.
+  void declaration();
+
+  /// Opens a child element of the current element.
+  void open_element(std::string_view name);
+
+  /// Adds an attribute to the most recently opened element.  Throws
+  /// cube::Error if content has already been written into it.
+  void attribute(std::string_view name, std::string_view value);
+  void attribute(std::string_view name, long value);
+  void attribute(std::string_view name, std::size_t value);
+
+  /// Writes character data inside the current element (inline, no extra
+  /// indentation — used for short values like metric names).
+  void text(std::string_view value);
+
+  /// Writes an XML comment at the current position.
+  void comment(std::string_view value);
+
+  /// Closes the current element.
+  void close_element();
+
+  /// Closes all remaining elements.  Throws cube::Error if nothing is open.
+  void finish();
+
+ private:
+  void close_start_tag();
+  void indent();
+
+  std::ostream& out_;
+  std::vector<std::string> stack_;
+  bool start_tag_open_ = false;
+  bool has_inline_text_ = false;
+};
+
+}  // namespace cube

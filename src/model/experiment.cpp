@@ -1,0 +1,102 @@
+#include "model/experiment.hpp"
+
+#include "common/error.hpp"
+
+namespace cube {
+
+Experiment::Experiment(std::unique_ptr<Metadata> metadata, StorageKind storage)
+    : metadata_(std::move(metadata)) {
+  if (metadata_ == nullptr) {
+    throw Error("experiment requires non-null metadata");
+  }
+  severity_ =
+      make_severity_store(storage, metadata_->num_metrics(),
+                          metadata_->num_cnodes(), metadata_->num_threads());
+}
+
+void Experiment::set_attribute(std::string key, std::string value) {
+  attributes_[std::move(key)] = std::move(value);
+}
+
+std::string Experiment::attribute(std::string_view key) const {
+  const auto it = attributes_.find(std::string(key));
+  return it != attributes_.end() ? it->second : std::string();
+}
+
+ExperimentKind Experiment::kind() const {
+  return attribute("cube::kind") == "derived" ? ExperimentKind::Derived
+                                              : ExperimentKind::Original;
+}
+
+void Experiment::mark_derived(std::string provenance) {
+  set_attribute("cube::kind", "derived");
+  set_attribute("cube::provenance", std::move(provenance));
+}
+
+Severity Experiment::sum_metric(const Metric& m) const {
+  Severity sum = 0.0;
+  for (CnodeIndex c = 0; c < metadata_->num_cnodes(); ++c) {
+    for (ThreadIndex t = 0; t < metadata_->num_threads(); ++t) {
+      sum += severity_->get(m.index(), c, t);
+    }
+  }
+  return sum;
+}
+
+Severity Experiment::sum_metric_tree(const Metric& m) const {
+  Severity sum = sum_metric(m);
+  for (const Metric* child : m.children()) {
+    sum += sum_metric_tree(*child);
+  }
+  return sum;
+}
+
+Severity Experiment::sum_cnode(const Metric& m, const Cnode& c) const {
+  Severity sum = 0.0;
+  for (ThreadIndex t = 0; t < metadata_->num_threads(); ++t) {
+    sum += severity_->get(m.index(), c.index(), t);
+  }
+  return sum;
+}
+
+namespace {
+
+// Inclusive over the call subtree for one fixed metric.
+Severity call_subtree_sum(const Experiment& e, const Metric& m,
+                          const Cnode& c) {
+  Severity sum = e.sum_cnode(m, c);
+  for (const Cnode* cc : c.children()) {
+    sum += call_subtree_sum(e, m, *cc);
+  }
+  return sum;
+}
+
+}  // namespace
+
+Severity Experiment::sum_tree(const Metric& m, const Cnode& c) const {
+  // Metric subtree x call subtree: descend the metric tree once and the call
+  // tree once per metric, so every (m', c') pair is counted exactly once.
+  Severity sum = call_subtree_sum(*this, m, c);
+  for (const Metric* mc : m.children()) {
+    sum += sum_tree(*mc, c);
+  }
+  return sum;
+}
+
+Experiment Experiment::clone() const { return clone(severity_->kind()); }
+
+Experiment Experiment::clone(StorageKind storage) const {
+  Experiment copy(metadata_->clone(), storage);
+  for (MetricIndex m = 0; m < metadata_->num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < metadata_->num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < metadata_->num_threads(); ++t) {
+        const Severity v = severity_->get(m, c, t);
+        if (v != 0.0) copy.severity_->set(m, c, t, v);
+      }
+    }
+  }
+  copy.attributes_ = attributes_;
+  return copy;
+}
+
+}  // namespace cube

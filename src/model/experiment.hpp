@@ -1,0 +1,116 @@
+// Experiment: a valid instance of the CUBE data model.
+//
+// An experiment consists of metadata (the entity sets and their hierarchies,
+// see model/metadata.hpp) and data (the severity function, see
+// model/severity.hpp).  Operators of the algebra consume and produce whole
+// Experiments — the closure property of the paper.
+//
+// Severity convention used throughout this library: stored values are
+// EXCLUSIVE with respect to both the metric hierarchy and the call tree;
+// every fraction of a measured quantity appears in exactly one
+// (metric, call path, thread) cell ("single representation").  Inclusive
+// values are linear aggregations over subtrees, so all element-wise
+// operators commute with aggregation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "model/metadata.hpp"
+#include "model/severity.hpp"
+
+namespace cube {
+
+/// Whether an experiment holds measured or operator-produced data.
+enum class ExperimentKind { Original, Derived };
+
+/// Metadata + severity data + descriptive attributes.
+class Experiment {
+ public:
+  /// Takes ownership of `metadata`; allocates a zeroed severity store sized
+  /// to it.  `metadata` must not be null.
+  explicit Experiment(std::unique_ptr<Metadata> metadata,
+                      StorageKind storage = StorageKind::Dense);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+  Experiment(Experiment&&) = default;
+  Experiment& operator=(Experiment&&) = default;
+
+  [[nodiscard]] const Metadata& metadata() const noexcept { return *metadata_; }
+  [[nodiscard]] Metadata& metadata() noexcept { return *metadata_; }
+  [[nodiscard]] const SeverityStore& severity() const noexcept {
+    return *severity_;
+  }
+  [[nodiscard]] SeverityStore& severity() noexcept { return *severity_; }
+
+  // --- severity access by entity ------------------------------------------
+  [[nodiscard]] Severity get(const Metric& m, const Cnode& c,
+                             const Thread& t) const {
+    return severity_->get(m.index(), c.index(), t.index());
+  }
+  void set(const Metric& m, const Cnode& c, const Thread& t, Severity v) {
+    severity_->set(m.index(), c.index(), t.index(), v);
+  }
+  void add(const Metric& m, const Cnode& c, const Thread& t, Severity v) {
+    severity_->add(m.index(), c.index(), t.index(), v);
+  }
+
+  // --- attributes -----------------------------------------------------------
+  /// Sets a string attribute (name, provenance, experiment parameters...).
+  void set_attribute(std::string key, std::string value);
+  /// Returns the attribute value or "" if unset.
+  [[nodiscard]] std::string attribute(std::string_view key) const;
+  [[nodiscard]] const std::map<std::string, std::string>& attributes()
+      const noexcept {
+    return attributes_;
+  }
+
+  /// Experiment display name (attribute "cube::name").
+  [[nodiscard]] std::string name() const { return attribute("cube::name"); }
+  void set_name(std::string name) {
+    set_attribute("cube::name", std::move(name));
+  }
+
+  /// Original vs derived (attribute "cube::kind", default original).
+  [[nodiscard]] ExperimentKind kind() const;
+  /// Marks the experiment as derived and records how it was produced
+  /// (attribute "cube::provenance"), e.g. "difference(before, after)".
+  void mark_derived(std::string provenance);
+  [[nodiscard]] std::string provenance() const {
+    return attribute("cube::provenance");
+  }
+
+  // --- aggregation helpers ---------------------------------------------------
+  // Full-view aggregation lives in display/aggregate; these simple sums are
+  // for tests, operators, and report code.
+
+  /// Exclusive value of `m` summed over all call paths and threads.
+  [[nodiscard]] Severity sum_metric(const Metric& m) const;
+  /// Inclusive value of `m` (its whole metric subtree) summed over all call
+  /// paths and threads; the number the display shows at a collapsed root.
+  [[nodiscard]] Severity sum_metric_tree(const Metric& m) const;
+  /// Exclusive value of `m` at call path `c` summed over all threads.
+  [[nodiscard]] Severity sum_cnode(const Metric& m, const Cnode& c) const;
+  /// Inclusive over both the metric subtree and the call subtree, summed
+  /// over all threads.
+  [[nodiscard]] Severity sum_tree(const Metric& m, const Cnode& c) const;
+  /// Grand total of one metric tree identified by its root; equals
+  /// sum_metric_tree(root).
+  [[nodiscard]] Severity total(const Metric& root) const {
+    return sum_metric_tree(root);
+  }
+
+  /// Deep copy (same storage kind unless overridden).
+  [[nodiscard]] Experiment clone() const;
+  [[nodiscard]] Experiment clone(StorageKind storage) const;
+
+ private:
+  std::unique_ptr<Metadata> metadata_;
+  std::unique_ptr<SeverityStore> severity_;
+  std::map<std::string, std::string> attributes_;
+};
+
+}  // namespace cube

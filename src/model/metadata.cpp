@@ -1,0 +1,254 @@
+#include "model/metadata.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace cube {
+
+Metric& Metadata::add_metric(const Metric* parent, std::string unique_name,
+                             std::string display_name, Unit unit,
+                             std::string description) {
+  if (find_metric(unique_name) != nullptr) {
+    throw ValidationError("duplicate metric unique name '" + unique_name +
+                          "'");
+  }
+  if (parent != nullptr && parent->unit() != unit) {
+    throw ValidationError(
+        "metric '" + unique_name + "' has unit '" +
+        std::string(unit_name(unit)) + "' but its parent '" +
+        parent->unique_name() + "' has unit '" +
+        std::string(unit_name(parent->unit())) +
+        "' (all metrics of one tree must share the unit)");
+  }
+  auto* parent_mut =
+      parent != nullptr ? metrics_[parent->index()].get() : nullptr;
+  auto metric = std::unique_ptr<Metric>(
+      new Metric(metrics_.size(), std::move(unique_name),
+                 std::move(display_name), unit, std::move(description),
+                 parent_mut));
+  Metric& ref = *metric;
+  if (parent_mut != nullptr) parent_mut->children_.push_back(&ref);
+  metrics_.push_back(std::move(metric));
+  return ref;
+}
+
+Region& Metadata::add_region(std::string name, std::string module,
+                             long begin_line, long end_line,
+                             std::string description) {
+  auto region = std::unique_ptr<Region>(
+      new Region(regions_.size(), std::move(name), std::move(module),
+                 begin_line, end_line, std::move(description)));
+  Region& ref = *region;
+  regions_.push_back(std::move(region));
+  return ref;
+}
+
+CallSite& Metadata::add_callsite(const Region& callee, std::string file,
+                                 long line) {
+  if (callee.index() >= regions_.size() ||
+      regions_[callee.index()].get() != &callee) {
+    throw ValidationError("call site callee belongs to another metadata set");
+  }
+  auto cs = std::unique_ptr<CallSite>(
+      new CallSite(callsites_.size(), std::move(file), line, &callee));
+  CallSite& ref = *cs;
+  callsites_.push_back(std::move(cs));
+  return ref;
+}
+
+Cnode& Metadata::add_cnode(const Cnode* parent, const CallSite& callsite) {
+  if (callsite.index() >= callsites_.size() ||
+      callsites_[callsite.index()].get() != &callsite) {
+    throw ValidationError("cnode call site belongs to another metadata set");
+  }
+  auto* parent_mut =
+      parent != nullptr ? cnodes_[parent->index()].get() : nullptr;
+  auto cnode = std::unique_ptr<Cnode>(
+      new Cnode(cnodes_.size(), &callsite, parent_mut));
+  Cnode& ref = *cnode;
+  if (parent_mut != nullptr) parent_mut->children_.push_back(&ref);
+  cnodes_.push_back(std::move(cnode));
+  return ref;
+}
+
+Cnode& Metadata::add_cnode_for_region(const Cnode* parent,
+                                      const Region& callee, std::string file,
+                                      long line) {
+  CallSite& cs = add_callsite(callee, std::move(file), line);
+  return add_cnode(parent, cs);
+}
+
+Machine& Metadata::add_machine(std::string name) {
+  auto machine =
+      std::unique_ptr<Machine>(new Machine(machines_.size(), std::move(name)));
+  Machine& ref = *machine;
+  machines_.push_back(std::move(machine));
+  return ref;
+}
+
+SysNode& Metadata::add_node(Machine& machine, std::string name) {
+  auto node = std::unique_ptr<SysNode>(
+      new SysNode(nodes_.size(), std::move(name), &machine));
+  SysNode& ref = *node;
+  machine.nodes_.push_back(&ref);
+  nodes_.push_back(std::move(node));
+  return ref;
+}
+
+Process& Metadata::add_process(SysNode& node, std::string name, long rank) {
+  if (find_process(rank) != nullptr) {
+    throw ValidationError("duplicate process rank " + std::to_string(rank));
+  }
+  auto proc = std::unique_ptr<Process>(
+      new Process(processes_.size(), std::move(name), rank, &node));
+  Process& ref = *proc;
+  node.processes_.push_back(&ref);
+  processes_.push_back(std::move(proc));
+  return ref;
+}
+
+Thread& Metadata::add_thread(Process& process, std::string name,
+                             long thread_id) {
+  for (const Thread* t : process.threads()) {
+    if (t->thread_id() == thread_id) {
+      throw ValidationError("duplicate thread id " +
+                            std::to_string(thread_id) + " in process rank " +
+                            std::to_string(process.rank()));
+    }
+  }
+  auto thread = std::unique_ptr<Thread>(
+      new Thread(threads_.size(), std::move(name), thread_id, &process));
+  Thread& ref = *thread;
+  process.threads_.push_back(&ref);
+  threads_.push_back(std::move(thread));
+  return ref;
+}
+
+std::vector<const Metric*> Metadata::metric_roots() const {
+  std::vector<const Metric*> roots;
+  for (const auto& m : metrics_) {
+    if (m->is_root()) roots.push_back(m.get());
+  }
+  return roots;
+}
+
+std::vector<const Cnode*> Metadata::cnode_roots() const {
+  std::vector<const Cnode*> roots;
+  for (const auto& c : cnodes_) {
+    if (c->is_root()) roots.push_back(c.get());
+  }
+  return roots;
+}
+
+const Metric* Metadata::find_metric(std::string_view unique_name) const {
+  for (const auto& m : metrics_) {
+    if (m->unique_name() == unique_name) return m.get();
+  }
+  return nullptr;
+}
+
+const Region* Metadata::find_region(std::string_view name,
+                                    std::string_view module) const {
+  for (const auto& r : regions_) {
+    if (r->name() == name && r->module() == module) return r.get();
+  }
+  return nullptr;
+}
+
+const Process* Metadata::find_process(long rank) const {
+  for (const auto& p : processes_) {
+    if (p->rank() == rank) return p.get();
+  }
+  return nullptr;
+}
+
+void Metadata::validate() const {
+  // Unit consistency per metric tree.
+  for (const auto& m : metrics_) {
+    if (m->parent() != nullptr && m->parent()->unit() != m->unit()) {
+      throw ValidationError("metric '" + m->unique_name() +
+                            "' differs in unit from its parent");
+    }
+  }
+  // Mandatory thread level: every process has at least one thread.
+  for (const auto& p : processes_) {
+    if (p->threads().empty()) {
+      throw ValidationError("process rank " + std::to_string(p->rank()) +
+                            " has no threads (thread level is mandatory)");
+    }
+  }
+  // "Regions must be properly nested": within one module, the line ranges
+  // of two regions must be disjoint or one must contain the other.
+  for (const auto& a : regions_) {
+    if (a->begin_line() < 0 || a->end_line() < a->begin_line()) continue;
+    for (const auto& b : regions_) {
+      if (a.get() == b.get() || a->module() != b->module()) continue;
+      if (b->begin_line() < 0 || b->end_line() < b->begin_line()) continue;
+      const bool disjoint =
+          a->end_line() < b->begin_line() || b->end_line() < a->begin_line();
+      const bool a_in_b = b->begin_line() <= a->begin_line() &&
+                          a->end_line() <= b->end_line();
+      const bool b_in_a = a->begin_line() <= b->begin_line() &&
+                          b->end_line() <= a->end_line();
+      if (!disjoint && !a_in_b && !b_in_a) {
+        throw ValidationError("regions '" + a->name() + "' and '" +
+                              b->name() + "' in module '" + a->module() +
+                              "' overlap without nesting");
+      }
+    }
+  }
+
+  // Rank uniqueness (constructed-in, but re-checked for cloned/parsed data).
+  std::unordered_set<long> ranks;
+  for (const auto& p : processes_) {
+    if (!ranks.insert(p->rank()).second) {
+      throw ValidationError("duplicate process rank " +
+                            std::to_string(p->rank()));
+    }
+  }
+}
+
+std::unique_ptr<Metadata> Metadata::clone() const {
+  auto copy = std::make_unique<Metadata>();
+  // Metric forest: parents always precede children in creation order, so a
+  // single pass reproduces the structure with identical indices.
+  for (const auto& m : metrics_) {
+    const Metric* parent =
+        m->parent() != nullptr ? copy->metrics_[m->parent()->index()].get()
+                               : nullptr;
+    copy->add_metric(parent, m->unique_name(), m->display_name(), m->unit(),
+                     m->description());
+  }
+  for (const auto& r : regions_) {
+    copy->add_region(r->name(), r->module(), r->begin_line(), r->end_line(),
+                     r->description());
+  }
+  for (const auto& cs : callsites_) {
+    copy->add_callsite(*copy->regions_[cs->callee().index()], cs->file(),
+                       cs->line());
+  }
+  for (const auto& c : cnodes_) {
+    const Cnode* parent =
+        c->parent() != nullptr ? copy->cnodes_[c->parent()->index()].get()
+                               : nullptr;
+    copy->add_cnode(parent, *copy->callsites_[c->callsite().index()]);
+  }
+  for (const auto& m : machines_) copy->add_machine(m->name());
+  for (const auto& n : nodes_) {
+    copy->add_node(*copy->machines_[n->machine().index()], n->name());
+  }
+  for (const auto& p : processes_) {
+    Process& np = copy->add_process(*copy->nodes_[p->node().index()],
+                                    p->name(), p->rank());
+    if (p->coords()) np.set_coords(*p->coords());
+  }
+  for (const auto& t : threads_) {
+    copy->add_thread(*copy->processes_[t->process().index()], t->name(),
+                     t->thread_id());
+  }
+  return copy;
+}
+
+}  // namespace cube

@@ -1,0 +1,140 @@
+// Metadata: the entity part of a CUBE experiment.
+//
+// Owns every metric, region, call site, call-tree node, machine, node,
+// process, and thread of one experiment, assigns them dense indices, and
+// enforces the data model's constraints (validate()).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "model/metric.hpp"
+#include "model/program.hpp"
+#include "model/system.hpp"
+
+namespace cube {
+
+/// Owner and factory of all entities in one experiment's metadata.
+///
+/// Entities are created through the add_* factories and live as long as the
+/// Metadata; references handed out remain stable (entities are
+/// heap-allocated and never moved).
+class Metadata {
+ public:
+  Metadata() = default;
+  Metadata(const Metadata&) = delete;
+  Metadata& operator=(const Metadata&) = delete;
+  Metadata(Metadata&&) = default;
+  Metadata& operator=(Metadata&&) = default;
+
+  // --- metric dimension -------------------------------------------------
+  /// Adds a metric.  `parent` may be nullptr for a new root.  Throws
+  /// ValidationError on duplicate unique name or on a unit differing from
+  /// the parent's (all metrics of one tree share the unit).
+  Metric& add_metric(const Metric* parent, std::string unique_name,
+                     std::string display_name, Unit unit,
+                     std::string description = {});
+
+  // --- program dimension -------------------------------------------------
+  /// Adds a region.  (name, module) need not be unique — the same function
+  /// may legitimately be defined per template instance — but matching during
+  /// integration uses the first occurrence.
+  Region& add_region(std::string name, std::string module, long begin_line,
+                     long end_line, std::string description = {});
+
+  /// Adds a call site entering `callee`.
+  CallSite& add_callsite(const Region& callee, std::string file, long line);
+
+  /// Adds a call-tree node below `parent` (nullptr for a new root).
+  Cnode& add_cnode(const Cnode* parent, const CallSite& callsite);
+
+  /// Convenience for flat profiles and generated trees: creates a region,
+  /// a synthetic call site, and a cnode in one step.
+  Cnode& add_cnode_for_region(const Cnode* parent, const Region& callee,
+                              std::string file = {}, long line = -1);
+
+  // --- system dimension ----------------------------------------------------
+  Machine& add_machine(std::string name);
+  SysNode& add_node(Machine& machine, std::string name);
+  /// Throws ValidationError on duplicate rank.
+  Process& add_process(SysNode& node, std::string name, long rank);
+  /// Throws ValidationError on duplicate (rank, thread id).
+  Thread& add_thread(Process& process, std::string name, long thread_id);
+
+  // --- access --------------------------------------------------------------
+  [[nodiscard]] const std::vector<std::unique_ptr<Metric>>& metrics()
+      const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] std::vector<const Metric*> metric_roots() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Region>>& regions()
+      const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<CallSite>>& callsites()
+      const noexcept {
+    return callsites_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Cnode>>& cnodes()
+      const noexcept {
+    return cnodes_;
+  }
+  [[nodiscard]] std::vector<const Cnode*> cnode_roots() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Machine>>& machines()
+      const noexcept {
+    return machines_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<SysNode>>& nodes()
+      const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes()
+      const noexcept {
+    return processes_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Thread>>& threads()
+      const noexcept {
+    return threads_;
+  }
+
+  [[nodiscard]] std::size_t num_metrics() const noexcept {
+    return metrics_.size();
+  }
+  [[nodiscard]] std::size_t num_cnodes() const noexcept {
+    return cnodes_.size();
+  }
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return threads_.size();
+  }
+
+  /// Finds a metric by unique name; nullptr if absent.
+  [[nodiscard]] const Metric* find_metric(std::string_view unique_name) const;
+  /// Finds a region by (name, module); nullptr if absent.
+  [[nodiscard]] const Region* find_region(std::string_view name,
+                                          std::string_view module) const;
+  /// Finds a process by rank; nullptr if absent.
+  [[nodiscard]] const Process* find_process(long rank) const;
+
+  /// Checks all data-model constraints; throws ValidationError on the first
+  /// violation.  Constraints: per-tree unit consistency (enforced on
+  /// construction, rechecked here), every process owns >= 1 thread, ranks
+  /// and (rank, thread id) pairs unique (also enforced on construction).
+  void validate() const;
+
+  /// Deep copy preserving all dense indices.
+  [[nodiscard]] std::unique_ptr<Metadata> clone() const;
+
+ private:
+  std::vector<std::unique_ptr<Metric>> metrics_;
+  std::vector<std::unique_ptr<Region>> regions_;
+  std::vector<std::unique_ptr<CallSite>> callsites_;
+  std::vector<std::unique_ptr<Cnode>> cnodes_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::unique_ptr<SysNode>> nodes_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+};
+
+}  // namespace cube

@@ -1,0 +1,49 @@
+#include "model/metric.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace cube {
+
+std::string_view unit_name(Unit u) noexcept {
+  switch (u) {
+    case Unit::Seconds: return "sec";
+    case Unit::Bytes: return "bytes";
+    case Unit::Occurrences: return "occ";
+  }
+  return "occ";
+}
+
+Unit parse_unit(std::string_view s) {
+  const std::string l = to_lower(trim(s));
+  if (l == "sec" || l == "s" || l == "seconds") return Unit::Seconds;
+  if (l == "bytes" || l == "b" || l == "byte") return Unit::Bytes;
+  if (l == "occ" || l == "occurrences" || l == "#" || l == "count") {
+    return Unit::Occurrences;
+  }
+  throw Error("unknown unit of measurement: '" + std::string(s) + "'");
+}
+
+Metric::Metric(MetricIndex index, std::string unique_name,
+               std::string display_name, Unit unit, std::string description,
+               Metric* parent)
+    : index_(index),
+      unique_name_(std::move(unique_name)),
+      display_name_(std::move(display_name)),
+      unit_(unit),
+      description_(std::move(description)),
+      parent_(parent) {}
+
+const Metric& Metric::root() const noexcept {
+  const Metric* m = this;
+  while (m->parent_ != nullptr) m = m->parent_;
+  return *m;
+}
+
+std::size_t Metric::depth() const noexcept {
+  std::size_t d = 0;
+  for (const Metric* m = parent_; m != nullptr; m = m->parent_) ++d;
+  return d;
+}
+
+}  // namespace cube

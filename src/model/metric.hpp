@@ -1,0 +1,78 @@
+// Metric dimension of the CUBE data model.
+//
+// The metric dimension is a forest.  Each metric has a unique name and a
+// unit of measurement; within one tree all metrics must share the unit
+// (the paper's constraint that a parent metric *includes* its children,
+// e.g. execution time includes communication time).
+//
+// Severity convention: the severity stored for a metric is EXCLUSIVE with
+// respect to the metric hierarchy — each fraction of a measured quantity is
+// stored at exactly one (most specific) metric.  Inclusive values are
+// obtained by aggregating over the metric subtree (see display/aggregate).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cube {
+
+/// Unit of measurement for a metric; the paper admits exactly these three.
+enum class Unit { Seconds, Bytes, Occurrences };
+
+/// Canonical lower-case spelling ("sec", "bytes", "occ").
+[[nodiscard]] std::string_view unit_name(Unit u) noexcept;
+
+/// Parses any of the canonical spellings; throws cube::Error otherwise.
+[[nodiscard]] Unit parse_unit(std::string_view s);
+
+class Metadata;
+
+/// One node of the metric forest.  Instances are owned by a Metadata and
+/// addressed by their dense MetricIndex.
+class Metric {
+ public:
+  [[nodiscard]] MetricIndex index() const noexcept { return index_; }
+  /// Identity for cross-experiment matching (with the unit).
+  [[nodiscard]] const std::string& unique_name() const noexcept {
+    return unique_name_;
+  }
+  /// Human-readable name used by the display.
+  [[nodiscard]] const std::string& display_name() const noexcept {
+    return display_name_;
+  }
+  [[nodiscard]] Unit unit() const noexcept { return unit_; }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+
+  /// Parent in the metric tree, or nullptr for a root.
+  [[nodiscard]] const Metric* parent() const noexcept { return parent_; }
+  [[nodiscard]] const std::vector<const Metric*>& children() const noexcept {
+    return children_;
+  }
+  [[nodiscard]] bool is_root() const noexcept { return parent_ == nullptr; }
+
+  /// Root of the tree this metric belongs to.
+  [[nodiscard]] const Metric& root() const noexcept;
+
+  /// Depth below the root (root has depth 0).
+  [[nodiscard]] std::size_t depth() const noexcept;
+
+ private:
+  friend class Metadata;
+  Metric(MetricIndex index, std::string unique_name, std::string display_name,
+         Unit unit, std::string description, Metric* parent);
+
+  MetricIndex index_;
+  std::string unique_name_;
+  std::string display_name_;
+  Unit unit_;
+  std::string description_;
+  Metric* parent_;
+  std::vector<const Metric*> children_;
+};
+
+}  // namespace cube

@@ -1,0 +1,40 @@
+#include "model/program.hpp"
+
+namespace cube {
+
+Region::Region(std::size_t index, std::string name, std::string module,
+               long begin_line, long end_line, std::string description)
+    : index_(index),
+      name_(std::move(name)),
+      module_(std::move(module)),
+      begin_line_(begin_line),
+      end_line_(end_line),
+      description_(std::move(description)) {}
+
+CallSite::CallSite(std::size_t index, std::string file, long line,
+                   const Region* callee)
+    : index_(index), file_(std::move(file)), line_(line), callee_(callee) {}
+
+Cnode::Cnode(CnodeIndex index, const CallSite* callsite, Cnode* parent)
+    : index_(index), callsite_(callsite), parent_(parent) {}
+
+std::size_t Cnode::depth() const noexcept {
+  std::size_t d = 0;
+  for (const Cnode* c = parent_; c != nullptr; c = c->parent()) ++d;
+  return d;
+}
+
+std::string Cnode::path() const {
+  std::vector<const Cnode*> chain;
+  for (const Cnode* c = this; c != nullptr; c = c->parent()) {
+    chain.push_back(c);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += '/';
+    out += (*it)->callee().name();
+  }
+  return out;
+}
+
+}  // namespace cube

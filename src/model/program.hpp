@@ -1,0 +1,104 @@
+// Program dimension of the CUBE data model: regions, call sites, and the
+// call tree (a forest of call paths).
+//
+// A Region is a code section (function, loop, basic block).  A CallSite is
+// a source location where control may move from one region into another;
+// its target region is the *callee*.  A Cnode (call-tree node) represents a
+// call path and points to the call site through which it was entered.
+// Several Cnodes may reference the same CallSite (same site reached via
+// different paths).
+//
+// Flat profiles are represented as a forest of single-node call trees, one
+// per region, exactly as the paper prescribes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cube {
+
+class Metadata;
+
+/// A code section: function, loop, or other basic block.
+class Region {
+ public:
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Module (source file / library) containing the region; part of the
+  /// region's cross-experiment identity together with the name.
+  [[nodiscard]] const std::string& module() const noexcept { return module_; }
+  [[nodiscard]] long begin_line() const noexcept { return begin_line_; }
+  [[nodiscard]] long end_line() const noexcept { return end_line_; }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+
+ private:
+  friend class Metadata;
+  Region(std::size_t index, std::string name, std::string module,
+         long begin_line, long end_line, std::string description);
+
+  std::size_t index_;
+  std::string name_;
+  std::string module_;
+  long begin_line_;
+  long end_line_;
+  std::string description_;
+};
+
+/// A source location from which control enters a callee region.
+///
+/// Line numbers are recorded but deliberately excluded from the
+/// cross-experiment equality relation: the paper observes that line numbers
+/// shift across code versions while still denoting the "same" call site.
+class CallSite {
+ public:
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] long line() const noexcept { return line_; }
+  [[nodiscard]] const Region& callee() const noexcept { return *callee_; }
+
+ private:
+  friend class Metadata;
+  CallSite(std::size_t index, std::string file, long line,
+           const Region* callee);
+
+  std::size_t index_;
+  std::string file_;
+  long line_;
+  const Region* callee_;
+};
+
+/// A call-tree node (call path).  The forest may have multiple roots, e.g.
+/// for programs built from several executables.
+class Cnode {
+ public:
+  [[nodiscard]] CnodeIndex index() const noexcept { return index_; }
+  [[nodiscard]] const CallSite& callsite() const noexcept { return *callsite_; }
+  /// Convenience: the region this call path executes in.
+  [[nodiscard]] const Region& callee() const noexcept {
+    return callsite_->callee();
+  }
+  [[nodiscard]] const Cnode* parent() const noexcept { return parent_; }
+  [[nodiscard]] const std::vector<const Cnode*>& children() const noexcept {
+    return children_;
+  }
+  [[nodiscard]] bool is_root() const noexcept { return parent_ == nullptr; }
+  [[nodiscard]] std::size_t depth() const noexcept;
+
+  /// Renders the call path as "main/solver/fft" (callee names root-to-here).
+  [[nodiscard]] std::string path() const;
+
+ private:
+  friend class Metadata;
+  Cnode(CnodeIndex index, const CallSite* callsite, Cnode* parent);
+
+  CnodeIndex index_;
+  const CallSite* callsite_;
+  Cnode* parent_;
+  std::vector<const Cnode*> children_;
+};
+
+}  // namespace cube

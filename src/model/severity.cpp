@@ -1,0 +1,122 @@
+#include "model/severity.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cube {
+
+SeverityStore::SeverityStore(std::size_t metrics, std::size_t cnodes,
+                             std::size_t threads)
+    : metrics_(metrics), cnodes_(cnodes), threads_(threads) {}
+
+void SeverityStore::check(MetricIndex m, CnodeIndex c, ThreadIndex t) const {
+  if (m >= metrics_ || c >= cnodes_ || t >= threads_) {
+    throw Error("severity index (" + std::to_string(m) + "," +
+                std::to_string(c) + "," + std::to_string(t) +
+                ") out of range (" + std::to_string(metrics_) + "," +
+                std::to_string(cnodes_) + "," + std::to_string(threads_) +
+                ")");
+  }
+}
+
+DenseSeverity::DenseSeverity(std::size_t metrics, std::size_t cnodes,
+                             std::size_t threads)
+    : SeverityStore(metrics, cnodes, threads),
+      values_(metrics * cnodes * threads, 0.0) {}
+
+Severity DenseSeverity::get(MetricIndex m, CnodeIndex c, ThreadIndex t) const {
+  check(m, c, t);
+  return values_[offset(m, c, t)];
+}
+
+void DenseSeverity::set(MetricIndex m, CnodeIndex c, ThreadIndex t,
+                        Severity v) {
+  check(m, c, t);
+  values_[offset(m, c, t)] = v;
+}
+
+void DenseSeverity::add(MetricIndex m, CnodeIndex c, ThreadIndex t,
+                        Severity v) {
+  check(m, c, t);
+  values_[offset(m, c, t)] += v;
+}
+
+std::size_t DenseSeverity::nonzero_count() const {
+  std::size_t n = 0;
+  for (const Severity v : values_) {
+    if (v != 0.0) ++n;
+  }
+  return n;
+}
+
+std::size_t DenseSeverity::memory_bytes() const {
+  return values_.capacity() * sizeof(Severity);
+}
+
+std::unique_ptr<SeverityStore> DenseSeverity::clone() const {
+  return std::make_unique<DenseSeverity>(*this);
+}
+
+SparseSeverity::SparseSeverity(std::size_t metrics, std::size_t cnodes,
+                               std::size_t threads)
+    : SeverityStore(metrics, cnodes, threads) {}
+
+Severity SparseSeverity::get(MetricIndex m, CnodeIndex c,
+                             ThreadIndex t) const {
+  check(m, c, t);
+  const auto it = values_.find(key(m, c, t));
+  return it != values_.end() ? it->second : 0.0;
+}
+
+void SparseSeverity::set(MetricIndex m, CnodeIndex c, ThreadIndex t,
+                         Severity v) {
+  check(m, c, t);
+  if (v == 0.0) {
+    values_.erase(key(m, c, t));
+  } else {
+    values_[key(m, c, t)] = v;
+  }
+}
+
+void SparseSeverity::add(MetricIndex m, CnodeIndex c, ThreadIndex t,
+                         Severity v) {
+  check(m, c, t);
+  if (v == 0.0) return;
+  auto [it, inserted] = values_.try_emplace(key(m, c, t), v);
+  if (!inserted) {
+    it->second += v;
+    if (it->second == 0.0) values_.erase(it);
+  }
+}
+
+std::size_t SparseSeverity::nonzero_count() const {
+  std::size_t n = 0;
+  for (const auto& [k, v] : values_) {
+    if (v != 0.0) ++n;
+  }
+  return n;
+}
+
+std::size_t SparseSeverity::memory_bytes() const {
+  // Bucket array + one node allocation per entry (libstdc++ layout estimate).
+  return values_.bucket_count() * sizeof(void*) +
+         values_.size() *
+             (sizeof(std::uint64_t) + sizeof(Severity) + 2 * sizeof(void*));
+}
+
+std::unique_ptr<SeverityStore> SparseSeverity::clone() const {
+  return std::make_unique<SparseSeverity>(*this);
+}
+
+std::unique_ptr<SeverityStore> make_severity_store(StorageKind kind,
+                                                   std::size_t metrics,
+                                                   std::size_t cnodes,
+                                                   std::size_t threads) {
+  if (kind == StorageKind::Dense) {
+    return std::make_unique<DenseSeverity>(metrics, cnodes, threads);
+  }
+  return std::make_unique<SparseSeverity>(metrics, cnodes, threads);
+}
+
+}  // namespace cube

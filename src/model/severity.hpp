@@ -1,0 +1,114 @@
+// Severity storage: the data part of a CUBE experiment.
+//
+// The severity function maps (metric, call path, thread) index triples onto
+// accumulated metric values.  Two interchangeable stores are provided:
+//
+//  * DenseSeverity  — one contiguous 3-D array; O(1) access, O(M*C*T) space.
+//  * SparseSeverity — hash map keyed by the packed triple; space scales with
+//                     the number of non-zero entries.  Real experiments are
+//                     typically sparse along the (metric x call path) plane
+//                     (a communication metric is zero in compute regions).
+//
+// bench/bench_storage quantifies the trade-off (ablation A3 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cube {
+
+/// Which severity container an Experiment uses.
+enum class StorageKind { Dense, Sparse };
+
+/// Abstract severity container over a fixed (metrics x cnodes x threads)
+/// index space.  Out-of-range indices throw cube::Error.
+class SeverityStore {
+ public:
+  SeverityStore(std::size_t metrics, std::size_t cnodes, std::size_t threads);
+  virtual ~SeverityStore() = default;
+
+  [[nodiscard]] std::size_t num_metrics() const noexcept { return metrics_; }
+  [[nodiscard]] std::size_t num_cnodes() const noexcept { return cnodes_; }
+  [[nodiscard]] std::size_t num_threads() const noexcept { return threads_; }
+
+  [[nodiscard]] virtual Severity get(MetricIndex m, CnodeIndex c,
+                                     ThreadIndex t) const = 0;
+  virtual void set(MetricIndex m, CnodeIndex c, ThreadIndex t, Severity v) = 0;
+  virtual void add(MetricIndex m, CnodeIndex c, ThreadIndex t, Severity v) = 0;
+
+  /// Number of stored entries with a non-zero value.
+  [[nodiscard]] virtual std::size_t nonzero_count() const = 0;
+  /// Approximate heap bytes used by the container (for the ablation bench).
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+
+  [[nodiscard]] virtual StorageKind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::unique_ptr<SeverityStore> clone() const = 0;
+
+ protected:
+  void check(MetricIndex m, CnodeIndex c, ThreadIndex t) const;
+
+  std::size_t metrics_;
+  std::size_t cnodes_;
+  std::size_t threads_;
+};
+
+/// Contiguous row-major [metric][cnode][thread] array.
+class DenseSeverity final : public SeverityStore {
+ public:
+  DenseSeverity(std::size_t metrics, std::size_t cnodes, std::size_t threads);
+
+  [[nodiscard]] Severity get(MetricIndex m, CnodeIndex c,
+                             ThreadIndex t) const override;
+  void set(MetricIndex m, CnodeIndex c, ThreadIndex t, Severity v) override;
+  void add(MetricIndex m, CnodeIndex c, ThreadIndex t, Severity v) override;
+  [[nodiscard]] std::size_t nonzero_count() const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] StorageKind kind() const noexcept override {
+    return StorageKind::Dense;
+  }
+  [[nodiscard]] std::unique_ptr<SeverityStore> clone() const override;
+
+ private:
+  [[nodiscard]] std::size_t offset(MetricIndex m, CnodeIndex c,
+                                   ThreadIndex t) const noexcept {
+    return (m * cnodes_ + c) * threads_ + t;
+  }
+
+  std::vector<Severity> values_;
+};
+
+/// Hash-map store for sparse experiments; zero entries are not materialized.
+class SparseSeverity final : public SeverityStore {
+ public:
+  SparseSeverity(std::size_t metrics, std::size_t cnodes, std::size_t threads);
+
+  [[nodiscard]] Severity get(MetricIndex m, CnodeIndex c,
+                             ThreadIndex t) const override;
+  void set(MetricIndex m, CnodeIndex c, ThreadIndex t, Severity v) override;
+  void add(MetricIndex m, CnodeIndex c, ThreadIndex t, Severity v) override;
+  [[nodiscard]] std::size_t nonzero_count() const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] StorageKind kind() const noexcept override {
+    return StorageKind::Sparse;
+  }
+  [[nodiscard]] std::unique_ptr<SeverityStore> clone() const override;
+
+ private:
+  [[nodiscard]] std::uint64_t key(MetricIndex m, CnodeIndex c,
+                                  ThreadIndex t) const noexcept {
+    return (static_cast<std::uint64_t>(m) * cnodes_ + c) * threads_ + t;
+  }
+
+  std::unordered_map<std::uint64_t, Severity> values_;
+};
+
+/// Factory for the requested storage kind.
+[[nodiscard]] std::unique_ptr<SeverityStore> make_severity_store(
+    StorageKind kind, std::size_t metrics, std::size_t cnodes,
+    std::size_t threads);
+
+}  // namespace cube

@@ -1,0 +1,23 @@
+#include "model/system.hpp"
+
+namespace cube {
+
+Machine::Machine(std::size_t index, std::string name)
+    : index_(index), name_(std::move(name)) {}
+
+SysNode::SysNode(std::size_t index, std::string name, Machine* machine)
+    : index_(index), name_(std::move(name)), machine_(machine) {}
+
+Process::Process(std::size_t index, std::string name, long rank, SysNode* node)
+    : index_(index), name_(std::move(name)), rank_(rank), node_(node) {}
+
+Thread::Thread(ThreadIndex index, std::string name, long thread_id,
+               Process* process)
+    : index_(index),
+      name_(std::move(name)),
+      thread_id_(thread_id),
+      process_(process) {}
+
+long Thread::rank() const noexcept { return process_->rank(); }
+
+}  // namespace cube

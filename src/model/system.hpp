@@ -1,0 +1,116 @@
+// System dimension of the CUBE data model: a forest with the fixed levels
+// machine -> node -> process -> thread.
+//
+// Machines and nodes are mainly a logical grouping of processes for
+// aggregation; they carry no cross-experiment identity.  Processes are
+// identified by their application-level rank (e.g. MPI rank), threads by
+// (rank, thread id) (e.g. OpenMP thread number).  The thread level is
+// mandatory: a pure message-passing application is a collection of
+// single-threaded processes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cube {
+
+class Metadata;
+class SysNode;
+class Process;
+class Thread;
+
+/// Top level of the system forest (a cluster or an MPP).
+class Machine {
+ public:
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<const SysNode*>& nodes() const noexcept {
+    return nodes_;
+  }
+
+ private:
+  friend class Metadata;
+  Machine(std::size_t index, std::string name);
+
+  std::size_t index_;
+  std::string name_;
+  std::vector<const SysNode*> nodes_;
+};
+
+/// An SMP node hosting one or more processes.
+class SysNode {
+ public:
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Machine& machine() const noexcept { return *machine_; }
+  [[nodiscard]] const std::vector<const Process*>& processes() const noexcept {
+    return processes_;
+  }
+
+ private:
+  friend class Metadata;
+  SysNode(std::size_t index, std::string name, Machine* machine);
+
+  std::size_t index_;
+  std::string name_;
+  Machine* machine_;
+  std::vector<const Process*> processes_;
+};
+
+/// A process, identified across experiments by its application-level rank.
+class Process {
+ public:
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] long rank() const noexcept { return rank_; }
+  [[nodiscard]] const SysNode& node() const noexcept { return *node_; }
+  [[nodiscard]] const std::vector<const Thread*>& threads() const noexcept {
+    return threads_;
+  }
+
+  /// Optional Cartesian topology coordinates (paper §7 future work:
+  /// "integration of topology information ... into our data model").
+  [[nodiscard]] const std::optional<std::vector<long>>& coords()
+      const noexcept {
+    return coords_;
+  }
+  void set_coords(std::vector<long> coords) { coords_ = std::move(coords); }
+
+ private:
+  friend class Metadata;
+  Process(std::size_t index, std::string name, long rank, SysNode* node);
+
+  std::size_t index_;
+  std::string name_;
+  long rank_;
+  SysNode* node_;
+  std::vector<const Thread*> threads_;
+  std::optional<std::vector<long>> coords_;
+};
+
+/// A thread, the leaf level the severity function is defined over.
+class Thread {
+ public:
+  /// Dense index into the severity array's thread dimension.
+  [[nodiscard]] ThreadIndex index() const noexcept { return index_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] long thread_id() const noexcept { return thread_id_; }
+  [[nodiscard]] const Process& process() const noexcept { return *process_; }
+  /// Cross-experiment identity: (process rank, thread id).
+  [[nodiscard]] long rank() const noexcept;
+
+ private:
+  friend class Metadata;
+  Thread(ThreadIndex index, std::string name, long thread_id,
+         Process* process);
+
+  ThreadIndex index_;
+  std::string name_;
+  long thread_id_;
+  Process* process_;
+};
+
+}  // namespace cube

@@ -1,0 +1,32 @@
+#include "model/system_factory.hpp"
+
+namespace cube {
+
+std::vector<const Thread*> build_regular_system(
+    Metadata& metadata, const std::string& machine_name, int num_nodes,
+    int procs_per_node, std::span<const std::vector<long>> coords,
+    int threads_per_proc) {
+  Machine& machine = metadata.add_machine(machine_name);
+  std::vector<const Thread*> threads;
+  threads.reserve(static_cast<std::size_t>(num_nodes) *
+                  static_cast<std::size_t>(procs_per_node));
+  int rank = 0;
+  for (int n = 0; n < num_nodes; ++n) {
+    SysNode& node =
+        metadata.add_node(machine, "node" + std::to_string(n));
+    for (int p = 0; p < procs_per_node; ++p, ++rank) {
+      Process& process = metadata.add_process(
+          node, "rank " + std::to_string(rank), rank);
+      if (static_cast<std::size_t>(rank) < coords.size()) {
+        process.set_coords(coords[static_cast<std::size_t>(rank)]);
+      }
+      for (int t = 0; t < threads_per_proc; ++t) {
+        threads.push_back(&metadata.add_thread(
+            process, "thread " + std::to_string(t), t));
+      }
+    }
+  }
+  return threads;
+}
+
+}  // namespace cube

@@ -1,0 +1,24 @@
+// Convenience factory for regular system hierarchies: one machine with
+// `num_nodes` SMP nodes hosting `procs_per_node` single-threaded processes
+// each, ranks assigned node-major.  Both CONE and EXPERT use this to map a
+// run's cluster description into the system dimension.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/metadata.hpp"
+
+namespace cube {
+
+/// Populates the system dimension of `metadata` and returns the threads in
+/// (rank-major, thread-id-minor) order — thread index = rank *
+/// threads_per_proc + tid.  `coords`, if non-empty, must hold one
+/// coordinate vector per rank (topology extension, paper §7).
+std::vector<const Thread*> build_regular_system(
+    Metadata& metadata, const std::string& machine_name, int num_nodes,
+    int procs_per_node, std::span<const std::vector<long>> coords = {},
+    int threads_per_proc = 1);
+
+}  // namespace cube

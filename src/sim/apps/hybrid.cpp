@@ -1,0 +1,46 @@
+#include "sim/apps/hybrid.hpp"
+
+namespace cube::sim {
+
+std::vector<Program> build_hybrid_stencil(RegionTable& regions,
+                                          const ClusterConfig& cluster,
+                                          const HybridConfig& config) {
+  const int np = cluster.num_ranks();
+  std::vector<Program> programs;
+  programs.reserve(static_cast<std::size_t>(np));
+  for (int r = 0; r < np; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main", "hybrid.cpp", 1, 120);
+    b.enter("init_grid", "hybrid.cpp", 10, 30);
+    b.compute(2e-3, 2e-3 * 200e6, 2e-3 * 150e6, 512 * 1024);
+    b.leave();
+
+    for (int k = 0; k < config.rounds; ++k) {
+      // Fork-join update of the local grid: all threads work, imbalanced.
+      b.enter("update_grid", "hybrid.cpp", 40, 80);
+      b.parallel_compute(config.compute_seconds, config.thread_imbalance,
+                         config.compute_seconds * 300e6,
+                         config.compute_seconds * 180e6, 1024 * 1024);
+      b.leave();
+
+      // Master threads exchange boundaries (non-periodic chain).
+      b.enter("exchange_boundaries", "hybrid.cpp", 85, 110);
+      if (r + 1 < np) b.send(r + 1, 3000 + k, config.halo_bytes);
+      if (r > 0) {
+        b.recv(r - 1, 3000 + k);
+        b.send(r - 1, 4000 + k, config.halo_bytes);
+      }
+      if (r + 1 < np) b.recv(r + 1, 4000 + k);
+      b.leave();
+    }
+
+    b.enter("residual_norm", "hybrid.cpp", 112, 118);
+    b.reduce(0, 128);
+    b.leave();
+    b.leave();  // main
+    programs.push_back(b.take());
+  }
+  return programs;
+}
+
+}  // namespace cube::sim

@@ -1,0 +1,33 @@
+// Synthetic hybrid MPI + OpenMP stencil.
+//
+// The paper's scope is "message-passing and/or multithreaded applications"
+// and EXPERT analyzes "MPI and/or OpenMP traces"; this mini-app exercises
+// that combination: each MPI process runs fork-join parallel compute
+// regions with per-thread load imbalance (the source of the Idle Threads
+// metric), while the master threads exchange halos over MPI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+
+namespace cube::sim {
+
+/// Tunables of the hybrid stencil.
+struct HybridConfig {
+  int rounds = 10;
+  double compute_seconds = 4e-3;   ///< per-thread work per round
+  double thread_imbalance = 0.25;  ///< relative spread across threads
+  double halo_bytes = 8.0 * 1024;
+  std::uint64_t app_seed = 21;
+};
+
+/// Builds one program per rank; the cluster's threads_per_proc determines
+/// the fork width at run time.
+[[nodiscard]] std::vector<Program> build_hybrid_stencil(
+    RegionTable& regions, const ClusterConfig& cluster,
+    const HybridConfig& config);
+
+}  // namespace cube::sim

@@ -1,0 +1,155 @@
+#include "sim/apps/pescan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace cube::sim {
+
+namespace {
+
+// Workload densities of the numeric phases (per simulated second).
+constexpr double kFftFlopsPerSec = 400e6;
+constexpr double kFftRefsPerSec = 160e6;
+constexpr double kFftWorkingSet = 4.0 * 1024 * 1024;
+constexpr double kPotFlopsPerSec = 250e6;
+constexpr double kPotRefsPerSec = 210e6;
+constexpr double kPotWorkingSet = 2.0 * 1024 * 1024;
+
+}  // namespace
+
+std::vector<Program> build_pescan(RegionTable& regions,
+                                  const ClusterConfig& cluster,
+                                  const PescanConfig& config) {
+  const int np = cluster.num_ranks();
+  std::vector<Program> programs;
+  programs.reserve(static_cast<std::size_t>(np));
+
+  for (int r = 0; r < np; ++r) {
+    ProgramBuilder b(regions, r);
+    // Per-(rank, iteration) jitter stream; identical across code versions so
+    // before/after comparisons differ only in the barriers.
+    SplitMix64 jitter(derive_seed(config.app_seed,
+                                  static_cast<std::uint64_t>(r)));
+    // Static per-rank skew in [-0.5, 0.5]: domain-decomposition imbalance.
+    // Smooth (sinusoidal) along the process ring so that neighbor coupling
+    // in the halo exchange transports only small skew differences; the
+    // antipodal +d/-d phases of one iteration can then cancel once the
+    // barriers are gone.
+    const double skew =
+        0.5 * std::sin(2.0 * std::numbers::pi * static_cast<double>(r) /
+                       static_cast<double>(np));
+
+    b.enter("main", "pescan.cpp", 1, 400);
+    b.enter("init_potential", "pescan.cpp", 40, 95);
+    b.compute(config.init_seconds, config.init_seconds * kPotFlopsPerSec,
+              config.init_seconds * kPotRefsPerSec, kPotWorkingSet);
+    b.leave();
+
+    b.enter(kPescanSolverRegion, "pescan.cpp", 100, 310);
+    for (int k = 0; k < config.iterations; ++k) {
+      // Antipodal displacement: +d in the forward FFT, -d in the backward
+      // FFT of the same iteration.
+      const double d = config.imbalance_seconds * skew;
+      const double j1 = config.jitter_seconds * jitter.normal();
+      const double j2 = config.jitter_seconds * jitter.normal();
+
+      const double fwd = std::max(0.1e-3, config.fft_seconds + d + j1);
+      b.enter("fft_forward", "fft.cpp", 10, 120);
+      b.compute(fwd, fwd * kFftFlopsPerSec, fwd * kFftRefsPerSec,
+                kFftWorkingSet);
+      b.leave();
+
+      // Halo exchange after the imbalanced forward FFT.  Every iteration a
+      // small eager boundary plane travels down the ring; every fourth
+      // iteration the full boundary block is exchanged both ways, the
+      // backward leg above the rendezvous threshold.  Without the barriers
+      // this exchange is where part of the FFT imbalance materializes as
+      // Late Sender / Late Receiver waiting (Figure 2's P2P migration).
+      const int next = (r + 1) % np;
+      const int prev = (r + np - 1) % np;
+      b.enter("exchange_halo", "comm.cpp", 20, 80);
+      b.send(next, 100 + k, config.halo_fwd_bytes);
+      b.recv(prev, 100 + k);
+      if (k % 4 == 3) {
+        // Even/odd ordering avoids the rendezvous deadlock a naive
+        // send-first ring would produce with synchronous large-message
+        // sends (as it would under real MPI).
+        if (r % 2 == 0) {
+          b.send(prev, 500 + k, config.halo_bwd_bytes);
+          b.recv(next, 500 + k);
+        } else {
+          b.recv(next, 500 + k);
+          b.send(prev, 500 + k, config.halo_bwd_bytes);
+        }
+      }
+      b.leave();
+
+      // The original code flushed communication buffers with a barrier
+      // after the asynchronous halo exchange of each imbalanced FFT phase
+      // (introduced against buffer overflow on an IBM platform;
+      // unnecessary on this cluster).
+      if (config.with_barriers) {
+        b.enter("flush_buffers", "pescan.cpp", 150, 152);
+        b.barrier();
+        b.leave();
+      }
+
+      const double pot = std::max(0.1e-3, config.potential_seconds);
+      b.enter("apply_potential", "pescan.cpp", 180, 230);
+      b.compute(pot, pot * kPotFlopsPerSec, pot * kPotRefsPerSec,
+                kPotWorkingSet);
+      b.leave();
+
+      const double bwd = std::max(0.1e-3, config.fft_seconds - d + j2);
+      b.enter("fft_backward", "fft.cpp", 130, 240);
+      b.compute(bwd, bwd * kFftFlopsPerSec, bwd * kFftRefsPerSec,
+                kFftWorkingSet);
+      b.leave();
+
+      if (config.with_barriers) {
+        b.enter("flush_buffers", "pescan.cpp", 150, 152);
+        b.barrier();
+        b.leave();
+      }
+
+      // Block redistribution ahead of the transpose.  With the barriers in
+      // place the processes arrive here synchronized and the exchange is
+      // wait-free; once the barriers are removed, the residual displacement
+      // of the FFT phases materializes here as Late Sender — one leg of the
+      // waiting-time migration visible in Figure 2.
+      b.enter("redistribute", "comm.cpp", 90, 130);
+      b.send(next, 900 + k, config.redist_bytes);
+      b.recv(prev, 900 + k);
+      b.leave();
+
+      b.enter("transpose", "fft.cpp", 250, 300);
+      b.alltoall(config.alltoall_bytes);
+      b.leave();
+
+      b.enter("dot_product", "pescan.cpp", 260, 275);
+      b.reduce(0, config.reduce_bytes);
+      b.leave();
+
+      // Rank 0 broadcasts the updated spectrum shift.  The root leaves the
+      // preceding reduction last (it gathers the partial sums), so the
+      // other ranks incur a small Late Broadcast wait here.
+      b.enter("update_shift", "pescan.cpp", 280, 292);
+      b.bcast(0, config.reduce_bytes);
+      b.leave();
+    }
+    b.leave();  // solver
+
+    b.enter("write_eigenstates", "pescan.cpp", 320, 360);
+    b.compute(5e-3, 0.0, 5e-3 * kPotRefsPerSec, kPotWorkingSet);
+    b.leave();
+    b.leave();  // main
+
+    programs.push_back(b.take());
+  }
+  return programs;
+}
+
+}  // namespace cube::sim

@@ -1,0 +1,53 @@
+// Synthetic PESCAN (paper §5.1).
+//
+// PESCAN computes interior eigenvalues of a large Hermitian matrix with a
+// preconditioned conjugate-gradient eigensolver over the folded spectrum;
+// its core is matrix-vector products done via FFT.  The paper's unoptimized
+// version carried MPI barriers (introduced against buffer overflow on an
+// IBM platform) that were unnecessary on the Linux cluster; removing them
+// gave ~16 % solver speedup, with waiting times partly migrating into
+// point-to-point and all-to-all operations (Figure 2).
+//
+// This synthetic reproduction keeps the performance-relevant skeleton: an
+// iterative solver whose two FFT phases carry *antipodal* load imbalance
+// (+d then -d per rank and iteration).  With barriers after each phase the
+// imbalance is materialized twice per iteration as Wait-at-Barrier; without
+// them the displacements largely cancel before the next all-to-all, and
+// only the non-antipodal jitter materializes downstream (waiting-time
+// migration to Late Sender and Wait-at-NxN).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+
+namespace cube::sim {
+
+/// Tunables of the synthetic PESCAN run.
+struct PescanConfig {
+  int iterations = 25;
+  bool with_barriers = true;   ///< the unoptimized version
+  double init_seconds = 20e-3;
+  double fft_seconds = 6e-3;        ///< balanced part of each FFT phase
+  double potential_seconds = 3e-3;  ///< apply-potential phase
+  double imbalance_seconds = 3.2e-3;  ///< antipodal per-rank skew amplitude
+  double jitter_seconds = 0.04e-3;    ///< non-antipodal random skew
+  double halo_fwd_bytes = 12.0 * 1024;   ///< eager-path halo message
+  double halo_bwd_bytes = 24.0 * 1024;   ///< rendezvous-path halo message
+  double redist_bytes = 8.0 * 1024;      ///< pre-transpose redistribution
+  double alltoall_bytes = 8.0 * 1024;    ///< FFT transpose volume per pair
+  double reduce_bytes = 64;              ///< dot-product partial sums
+  std::uint64_t app_seed = 7;  ///< seed of the deterministic skew pattern
+};
+
+/// Builds one program per rank of `cluster`.
+[[nodiscard]] std::vector<Program> build_pescan(RegionTable& regions,
+                                                const ClusterConfig& cluster,
+                                                const PescanConfig& config);
+
+/// Name of the solver region (the paper's speedup is measured on it).
+inline constexpr const char* kPescanSolverRegion = "solve_pcg";
+
+}  // namespace cube::sim

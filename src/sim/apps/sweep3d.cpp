@@ -1,0 +1,90 @@
+#include "sim/apps/sweep3d.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cube::sim {
+
+namespace {
+
+constexpr double kCellFlopsPerSec = 350e6;
+constexpr double kCellRefsPerSec = 230e6;
+constexpr double kCellWorkingSet = 24.0 * 1024;  // blocked kernel, cache-resident
+
+}  // namespace
+
+std::vector<Program> build_sweep3d(RegionTable& regions,
+                                   const ClusterConfig& cluster,
+                                   const Sweep3dConfig& config) {
+  const int np = cluster.num_ranks();
+  if (config.grid_px * config.grid_py != np) {
+    throw OperationError("sweep3d grid " + std::to_string(config.grid_px) +
+                         "x" + std::to_string(config.grid_py) +
+                         " does not cover " + std::to_string(np) + " ranks");
+  }
+  const int px = config.grid_px;
+
+  std::vector<Program> programs;
+  programs.reserve(static_cast<std::size_t>(np));
+  for (int r = 0; r < np; ++r) {
+    const int x = r % px;
+    const int y = r / px;
+    ProgramBuilder b(regions, r);
+    SplitMix64 jitter(derive_seed(config.app_seed,
+                                  static_cast<std::uint64_t>(r)));
+
+    b.enter("main", "sweep3d.cpp", 1, 250);
+    b.enter("initialize", "sweep3d.cpp", 20, 60);
+    b.compute(15e-3, 15e-3 * kCellFlopsPerSec, 15e-3 * kCellRefsPerSec,
+              kCellWorkingSet);
+    b.leave();
+
+    b.enter("sweep", "sweep.cpp", 10, 180);
+    for (int s = 0; s < config.sweeps; ++s) {
+      // Alternate the four octant directions.
+      const bool x_fwd = (s % 2) == 0;
+      const bool y_fwd = (s / 2) % 2 == 0;
+      const int x_up = x_fwd ? x - 1 : x + 1;  // upstream neighbor column
+      const int y_up = y_fwd ? y - 1 : y + 1;
+      const int x_dn = x_fwd ? x + 1 : x - 1;
+      const int y_dn = y_fwd ? y + 1 : y - 1;
+      const auto rank_of = [px](int cx, int cy) { return cy * px + cx; };
+
+      b.enter("sweep_octant", "sweep.cpp", 30, 150);
+      if (x_up >= 0 && x_up < px) {
+        b.recv(rank_of(x_up, y), 1000 + s);
+      }
+      if (y_up >= 0 && y_up < config.grid_py) {
+        b.recv(rank_of(x, y_up), 2000 + s);
+      }
+      const double cell = std::max(
+          0.2e-3,
+          config.cell_seconds *
+              (1.0 + config.imbalance * jitter.normal()));
+      b.enter("compute_cell", "sweep.cpp", 60, 120);
+      b.compute(cell, cell * kCellFlopsPerSec, cell * kCellRefsPerSec,
+                kCellWorkingSet);
+      b.leave();
+      if (x_dn >= 0 && x_dn < px) {
+        b.send(rank_of(x_dn, y), 1000 + s, config.msg_bytes);
+      }
+      if (y_dn >= 0 && y_dn < config.grid_py) {
+        b.send(rank_of(x, y_dn), 2000 + s, config.msg_bytes);
+      }
+      b.leave();
+    }
+    b.leave();  // sweep
+
+    b.enter("global_flux_sum", "sweep3d.cpp", 200, 215);
+    b.reduce(0, 256);
+    b.leave();
+    b.leave();  // main
+
+    programs.push_back(b.take());
+  }
+  return programs;
+}
+
+}  // namespace cube::sim

@@ -1,0 +1,83 @@
+#include "sim/apps/synthetic.hpp"
+
+#include "common/error.hpp"
+
+namespace cube::sim {
+
+std::vector<Program> build_pingpong(RegionTable& regions,
+                                    const ClusterConfig& cluster, int rounds,
+                                    double bytes) {
+  if (cluster.num_ranks() != 2) {
+    throw OperationError("pingpong requires exactly 2 ranks");
+  }
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main", "pingpong.cpp", 1, 60);
+    b.enter("pingpong", "pingpong.cpp", 10, 50);
+    for (int k = 0; k < rounds; ++k) {
+      if (r == 0) {
+        b.send(1, k, bytes);
+        b.recv(1, 10000 + k);
+      } else {
+        b.recv(0, k);
+        b.send(0, 10000 + k, bytes);
+      }
+    }
+    b.leave();
+    b.leave();
+    programs.push_back(b.take());
+  }
+  return programs;
+}
+
+std::vector<Program> build_imbalanced_barrier(RegionTable& regions,
+                                              const ClusterConfig& cluster,
+                                              int rounds, double base_seconds,
+                                              double imbalance) {
+  const int np = cluster.num_ranks();
+  std::vector<Program> programs;
+  for (int r = 0; r < np; ++r) {
+    const double factor =
+        np > 1 ? 1.0 + imbalance * static_cast<double>(r) / (np - 1) : 1.0;
+    ProgramBuilder b(regions, r);
+    b.enter("main", "kernel.cpp", 1, 40);
+    for (int k = 0; k < rounds; ++k) {
+      b.enter("work", "kernel.cpp", 10, 20);
+      b.compute(base_seconds * factor, base_seconds * factor * 200e6,
+                base_seconds * factor * 100e6, 1024 * 1024);
+      b.leave();
+      b.enter("sync", "kernel.cpp", 25, 27);
+      b.barrier();
+      b.leave();
+    }
+    b.leave();
+    programs.push_back(b.take());
+  }
+  return programs;
+}
+
+std::vector<Program> build_noisy_compute(RegionTable& regions,
+                                         const ClusterConfig& cluster,
+                                         int rounds, double base_seconds) {
+  const int np = cluster.num_ranks();
+  std::vector<Program> programs;
+  for (int r = 0; r < np; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main", "noisy.cpp", 1, 30);
+    for (int k = 0; k < rounds; ++k) {
+      b.enter("work", "noisy.cpp", 8, 18);
+      b.compute(base_seconds, base_seconds * 300e6, base_seconds * 120e6,
+                512 * 1024);
+      b.leave();
+    }
+    b.enter("final_sync", "noisy.cpp", 22, 24);
+    b.barrier();
+    b.leave();
+    b.leave();
+    programs.push_back(b.take());
+  }
+  return programs;
+}
+
+}  // namespace cube::sim

@@ -1,0 +1,32 @@
+// Small synthetic kernels for tests, examples, and micro benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+
+namespace cube::sim {
+
+/// Two ranks exchanging `rounds` ping-pong messages of `bytes` each inside
+/// a "pingpong" region.  Requires a 2-rank cluster.
+[[nodiscard]] std::vector<Program> build_pingpong(RegionTable& regions,
+                                                  const ClusterConfig& cluster,
+                                                  int rounds, double bytes);
+
+/// All ranks compute an imbalanced block (rank r works
+/// `base * (1 + imbalance * r / (np-1))` seconds), then hit a barrier;
+/// repeated `rounds` times.  The canonical Wait-at-Barrier generator.
+[[nodiscard]] std::vector<Program> build_imbalanced_barrier(
+    RegionTable& regions, const ClusterConfig& cluster, int rounds,
+    double base_seconds, double imbalance);
+
+/// A balanced compute loop with noise-sensitive duration, used by the
+/// mean-operator example: run-to-run variation comes solely from
+/// NoiseConfig.
+[[nodiscard]] std::vector<Program> build_noisy_compute(
+    RegionTable& regions, const ClusterConfig& cluster, int rounds,
+    double base_seconds);
+
+}  // namespace cube::sim

@@ -1,0 +1,76 @@
+// Configuration of the simulated cluster, network, noise, and monitoring.
+//
+// Defaults approximate the paper's testbed: an Intel Pentium III Xeon
+// 550 MHz cluster with eight 4-way SMP nodes connected through Myrinet
+// (§5.1), with 16 processes running on four of the nodes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "counters/eventset.hpp"
+
+namespace cube::sim {
+
+/// Logical shape of the machine the application runs on.
+struct ClusterConfig {
+  std::string machine_name = "P3 Xeon cluster (Myrinet)";
+  int num_nodes = 4;           ///< SMP nodes actually used
+  int procs_per_node = 4;      ///< 4-way SMP
+  /// Threads per process for hybrid MPI+OpenMP-style applications; the
+  /// thread level of the data model is mandatory, so 1 means a pure
+  /// message-passing application of single-threaded processes.
+  int threads_per_proc = 1;
+  [[nodiscard]] int num_ranks() const noexcept {
+    return num_nodes * procs_per_node;
+  }
+  [[nodiscard]] int num_locations() const noexcept {
+    return num_ranks() * threads_per_proc;
+  }
+};
+
+/// Point-to-point / collective cost model (Myrinet-class).
+struct NetworkConfig {
+  double latency = 12e-6;           ///< one-way message latency [s]
+  double bandwidth = 140e6;         ///< link bandwidth [B/s]
+  double sw_overhead = 3e-6;        ///< per-message software overhead [s]
+  double eager_threshold = 16384;   ///< bytes; above this, rendezvous
+  double copy_bandwidth = 450e6;    ///< receiver-side buffer copy [B/s]
+  double barrier_cost = 400e-6;     ///< collective execution after arrival
+  double exit_stagger = 10e-6;      ///< per-rank spread of collective exits
+  double reduce_cost_per_kb = 6e-6; ///< reduction compute+fanin cost
+};
+
+/// Random perturbation from unrelated system activity ("system noise").
+struct NoiseConfig {
+  std::uint64_t seed = 0;       ///< base seed of the run
+  double relative = 0.0;        ///< compute-time jitter amplitude (relative)
+  double daemon_prob = 0.0;     ///< per-compute-block chance of a spike
+  double daemon_seconds = 0.0;  ///< spike duration when it hits
+};
+
+/// Trace / measurement switches.
+struct MonitorConfig {
+  bool trace = false;  ///< record an event trace
+  /// Per-event probe overhead added to the owning rank's clock while
+  /// tracing — the dilation that §5.1 avoids by measuring the final
+  /// speedup "without any trace instrumentation".
+  double probe_overhead = 1.0e-6;
+  /// If set, every Enter/Exit trace record additionally carries the
+  /// cumulative values of these counters — the space-hungry mode whose
+  /// trace-file growth §5.2 eliminates via the merge operator.
+  std::optional<counters::EventSet> trace_counters;
+  /// Seed stream for counter measurement jitter.
+  std::uint64_t counter_seed = 0;
+};
+
+/// Everything the engine needs for one run.
+struct SimConfig {
+  ClusterConfig cluster;
+  NetworkConfig network;
+  NoiseConfig noise;
+  MonitorConfig monitor;
+};
+
+}  // namespace cube::sim

@@ -1,0 +1,564 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cube::sim {
+
+namespace {
+
+using MsgKey = std::tuple<int, int, int>;  // (src, dst, tag)
+
+struct Message {
+  double send_enter = 0.0;
+  double avail = 0.0;  ///< earliest delivery time at the receiver
+  double bytes = 0.0;
+};
+
+struct RecvPost {
+  double post_time = 0.0;
+  bool claimed = false;    ///< a rendezvous sender is servicing it
+  bool satisfied = false;  ///< transfer finished, avail/bytes valid
+  double avail = 0.0;
+  double bytes = 0.0;
+};
+
+struct CollInstance {
+  CollKind kind = CollKind::None;
+  int root = -1;
+  double bytes = 0.0;
+  std::vector<double> arrival;
+  std::vector<char> arrived;
+  std::size_t count = 0;
+  bool resolved = false;
+  std::vector<double> exit_time;
+};
+
+struct RankState {
+  int rank = 0;
+  const Program* program = nullptr;
+  std::size_t pc = 0;
+  double clock = 0.0;
+  std::vector<std::size_t> stack;  ///< profile node ids
+  bool entered = false;            ///< entry effects of current action done
+  double action_t0 = 0.0;          ///< clock when the action was reached
+  std::size_t action_node = kNoIndex;
+  std::uint64_t coll_count = 0;
+  counters::Workload cum_work;  ///< cumulative, for counter trace payloads
+  SplitMix64 noise{0};
+
+  [[nodiscard]] bool done() const {
+    return pc >= program->actions.size();
+  }
+  [[nodiscard]] std::size_t top() const {
+    return stack.empty() ? kNoIndex : stack.back();
+  }
+};
+
+}  // namespace
+
+Engine::Engine(SimConfig config) : config_(std::move(config)) {}
+
+RunResult Engine::run(const RegionTable& regions,
+                      std::vector<Program> programs) const {
+  const int num_ranks = config_.cluster.num_ranks();
+  if (static_cast<int>(programs.size()) != num_ranks) {
+    throw OperationError("expected " + std::to_string(num_ranks) +
+                         " programs, got " + std::to_string(programs.size()));
+  }
+  std::sort(programs.begin(), programs.end(),
+            [](const Program& a, const Program& b) { return a.rank < b.rank; });
+  for (int r = 0; r < num_ranks; ++r) {
+    if (programs[static_cast<std::size_t>(r)].rank != r) {
+      throw OperationError("programs must cover ranks 0.." +
+                           std::to_string(num_ranks - 1) + " exactly");
+    }
+  }
+
+  RunResult result;
+  result.regions = regions;
+  result.cluster = config_.cluster;
+  result.profile = CallProfile(static_cast<std::size_t>(num_ranks));
+  result.trace.cluster = config_.cluster;
+  result.trace.eager_threshold = config_.network.eager_threshold;
+
+  // Interned communication regions.
+  const std::size_t send_region =
+      result.regions.intern(kMpiSendRegion, "mpi");
+  const std::size_t recv_region =
+      result.regions.intern(kMpiRecvRegion, "mpi");
+  const std::size_t barrier_region =
+      result.regions.intern(kMpiBarrierRegion, "mpi");
+  const std::size_t alltoall_region =
+      result.regions.intern(kMpiAlltoallRegion, "mpi");
+  const std::size_t reduce_region =
+      result.regions.intern(kMpiReduceRegion, "mpi");
+  const std::size_t bcast_region =
+      result.regions.intern(kMpiBcastRegion, "mpi");
+  const std::size_t omp_region =
+      result.regions.intern(kOmpParallelRegion, "omp");
+
+  // Counter payload configuration.
+  const bool tracing = config_.monitor.trace;
+  const bool payload = tracing && config_.monitor.trace_counters.has_value();
+  counters::CounterModel counter_model;
+  std::optional<counters::JitteredCounterModel> jittered;
+  if (payload) {
+    for (const counters::Event e :
+         config_.monitor.trace_counters->events()) {
+      result.trace.counter_names.emplace_back(counters::event_info(e).name);
+    }
+    jittered.emplace(counter_model, config_.monitor.counter_seed);
+  }
+
+  const NetworkConfig& net = config_.network;
+  CallProfile& profile = result.profile;
+
+  std::vector<RankState> ranks(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    RankState& s = ranks[static_cast<std::size_t>(r)];
+    s.rank = r;
+    s.program = &programs[static_cast<std::size_t>(r)];
+    s.noise = SplitMix64(
+        derive_seed(config_.noise.seed, static_cast<std::uint64_t>(r)));
+  }
+
+  std::map<MsgKey, std::deque<Message>> in_flight;
+  std::map<MsgKey, RecvPost> posted;
+  std::vector<CollInstance> collectives;
+
+  // --- helpers ---------------------------------------------------------------
+  const auto emit = [&](RankState& s, TraceEvent e) {
+    if (!tracing) return;
+    e.rank = s.rank;
+    if (payload) {
+      e.counters.reserve(result.trace.counter_names.size());
+      for (const counters::Event ev :
+           config_.monitor.trace_counters->events()) {
+        e.counters.push_back(jittered->value(ev, s.cum_work));
+      }
+    }
+    result.trace.events.push_back(std::move(e));
+    s.clock += config_.monitor.probe_overhead;
+  };
+
+  // Opens the implicit MPI node for a communication action.  Collectives
+  // record their own CollEnter event instead of a plain Enter.
+  const auto enter_comm_node = [&](RankState& s, std::size_t region,
+                                   bool emit_enter = true) {
+    s.action_t0 = s.clock;
+    s.action_node = profile.child(s.top(), region);
+    profile.add_visit(s.action_node, s.rank);
+    if (emit_enter) {
+      TraceEvent e;
+      e.type = EventType::Enter;
+      e.time = s.clock;
+      e.region = static_cast<std::uint32_t>(region);
+      emit(s, e);
+    }
+    s.entered = true;
+  };
+
+  const auto finish_comm_node = [&](RankState& s, std::size_t region,
+                                    double end_time) {
+    s.clock = end_time;
+    TraceEvent e;
+    e.type = EventType::Exit;
+    e.time = s.clock;
+    e.region = static_cast<std::uint32_t>(region);
+    emit(s, e);
+    profile.add_time(s.action_node, s.rank, s.clock - s.action_t0);
+    s.entered = false;
+    s.action_node = kNoIndex;
+    ++s.pc;
+  };
+
+  const auto region_of_coll = [&](CollKind kind) {
+    switch (kind) {
+      case CollKind::Barrier: return barrier_region;
+      case CollKind::AllToAll: return alltoall_region;
+      case CollKind::Reduce: return reduce_region;
+      case CollKind::Bcast: return bcast_region;
+      case CollKind::None: break;
+    }
+    return barrier_region;
+  };
+
+  const auto resolve_collective = [&](CollInstance& inst) {
+    double t_max = 0.0;
+    for (int r = 0; r < num_ranks; ++r) {
+      t_max = std::max(t_max, inst.arrival[static_cast<std::size_t>(r)]);
+    }
+    inst.exit_time.assign(static_cast<std::size_t>(num_ranks), 0.0);
+    switch (inst.kind) {
+      case CollKind::Barrier:
+        for (int r = 0; r < num_ranks; ++r) {
+          inst.exit_time[static_cast<std::size_t>(r)] =
+              t_max + net.barrier_cost + net.exit_stagger * r;
+        }
+        break;
+      case CollKind::AllToAll: {
+        const double volume = (num_ranks - 1) * inst.bytes / net.bandwidth;
+        for (int r = 0; r < num_ranks; ++r) {
+          inst.exit_time[static_cast<std::size_t>(r)] =
+              t_max + net.barrier_cost + volume + net.exit_stagger * r;
+        }
+        break;
+      }
+      case CollKind::Reduce: {
+        const double fanin =
+            net.reduce_cost_per_kb * (inst.bytes / 1024.0) *
+            std::max(1.0, std::log2(static_cast<double>(num_ranks)));
+        for (int r = 0; r < num_ranks; ++r) {
+          if (r == inst.root) {
+            inst.exit_time[static_cast<std::size_t>(r)] = t_max + fanin;
+          } else {
+            // Non-roots only inject their contribution and proceed.
+            inst.exit_time[static_cast<std::size_t>(r)] =
+                inst.arrival[static_cast<std::size_t>(r)] + net.sw_overhead +
+                inst.bytes / net.bandwidth;
+          }
+        }
+        break;
+      }
+      case CollKind::Bcast:
+        // Handled rank-locally (non-roots only wait for the root); the
+        // all-arrival resolver never runs for broadcasts.
+        break;
+      case CollKind::None:
+        break;
+    }
+    inst.resolved = true;
+  };
+
+  // Attempts one action; returns true if the rank advanced.
+  const auto step = [&](RankState& s) -> bool {
+    const Action& act = s.program->actions[s.pc];
+    switch (act.kind) {
+      case ActionKind::Enter: {
+        const std::size_t node = profile.child(s.top(), act.region);
+        s.stack.push_back(node);
+        profile.add_visit(node, s.rank);
+        TraceEvent e;
+        e.type = EventType::Enter;
+        e.time = s.clock;
+        e.region = static_cast<std::uint32_t>(act.region);
+        emit(s, e);
+        ++s.pc;
+        return true;
+      }
+      case ActionKind::Leave: {
+        if (s.stack.empty()) {
+          throw OperationError("rank " + std::to_string(s.rank) +
+                               ": leave without open region");
+        }
+        TraceEvent e;
+        e.type = EventType::Exit;
+        e.time = s.clock;
+        e.region = static_cast<std::uint32_t>(
+            profile.nodes()[s.stack.back()].region);
+        emit(s, e);
+        s.stack.pop_back();
+        ++s.pc;
+        return true;
+      }
+      case ActionKind::Compute: {
+        double duration = act.seconds;
+        if (config_.noise.relative > 0.0) {
+          duration *= 1.0 + config_.noise.relative * std::abs(s.noise.normal());
+        }
+        if (config_.noise.daemon_prob > 0.0 &&
+            s.noise.uniform() < config_.noise.daemon_prob) {
+          duration += config_.noise.daemon_seconds *
+                      (0.5 + s.noise.uniform());
+        }
+        if (s.stack.empty()) {
+          throw OperationError("rank " + std::to_string(s.rank) +
+                               ": compute outside of any region");
+        }
+        const std::size_t node = s.top();
+        counters::Workload w = act.work;
+        w.seconds = duration;
+        profile.add_time(node, s.rank, duration);
+        profile.add_work(node, s.rank, w);
+        s.cum_work += w;
+        s.clock += duration;
+        ++s.pc;
+        return true;
+      }
+      case ActionKind::ParallelCompute: {
+        // Fork-join region: every thread of the process computes; the
+        // process resumes after the slowest thread (implicit join).
+        const int num_threads = config_.cluster.threads_per_proc;
+        std::vector<double> thread_seconds(
+            static_cast<std::size_t>(num_threads));
+        double slowest = 0.0;
+        for (int t = 0; t < num_threads; ++t) {
+          double duration =
+              act.seconds *
+              std::max(0.05, 1.0 + act.spread * (s.noise.uniform() - 0.5) *
+                                       2.0);
+          if (config_.noise.relative > 0.0) {
+            duration *=
+                1.0 + config_.noise.relative * std::abs(s.noise.normal());
+          }
+          thread_seconds[static_cast<std::size_t>(t)] = duration;
+          slowest = std::max(slowest, duration);
+        }
+
+        const std::size_t node = profile.child(s.top(), omp_region);
+        profile.add_visit(node, s.rank);
+        // The profile stores the process-level wall time (what a
+        // process-granularity profiler like CONE observes) and the total
+        // work of all threads.
+        profile.add_time(node, s.rank, slowest);
+        for (int t = 0; t < num_threads; ++t) {
+          counters::Workload w = act.work;
+          w.seconds = thread_seconds[static_cast<std::size_t>(t)];
+          profile.add_work(node, s.rank, w);
+          s.cum_work += w;
+        }
+
+        TraceEvent enter;
+        enter.type = EventType::Enter;
+        enter.time = s.clock;
+        enter.region = static_cast<std::uint32_t>(omp_region);
+        emit(s, enter);
+        TraceEvent par;
+        par.type = EventType::Parallel;
+        par.time = s.clock + slowest;
+        par.region = static_cast<std::uint32_t>(omp_region);
+        par.thread_seconds = thread_seconds;
+        emit(s, par);
+        s.clock += slowest;
+        TraceEvent exit_event;
+        exit_event.type = EventType::Exit;
+        exit_event.time = s.clock;
+        exit_event.region = static_cast<std::uint32_t>(omp_region);
+        emit(s, exit_event);
+        ++s.pc;
+        return true;
+      }
+      case ActionKind::Send: {
+        const MsgKey key{s.rank, act.peer, act.tag};
+        if (!s.entered) enter_comm_node(s, send_region);
+        if (act.bytes <= net.eager_threshold) {
+          const double inject = net.sw_overhead + act.bytes / net.bandwidth;
+          Message msg;
+          msg.send_enter = s.action_t0;
+          msg.avail = s.clock + net.latency + act.bytes / net.bandwidth;
+          msg.bytes = act.bytes;
+          in_flight[key].push_back(msg);
+          TraceEvent e;
+          e.type = EventType::Send;
+          e.time = s.clock;
+          e.region = static_cast<std::uint32_t>(send_region);
+          e.peer = act.peer;
+          e.tag = act.tag;
+          e.bytes = act.bytes;
+          emit(s, e);
+          finish_comm_node(s, send_region, s.clock + inject);
+          return true;
+        }
+        // Rendezvous: wait for the receiver to post.
+        auto it = posted.find(key);
+        if (it == posted.end() || it->second.claimed) return false;
+        RecvPost& post = it->second;
+        post.claimed = true;
+        const double start = std::max(s.clock, post.post_time);
+        const double transfer = act.bytes / net.bandwidth;
+        post.satisfied = true;
+        post.avail = start + net.latency + transfer;
+        post.bytes = act.bytes;
+        TraceEvent e;
+        e.type = EventType::Send;
+        e.time = start;
+        e.region = static_cast<std::uint32_t>(send_region);
+        e.peer = act.peer;
+        e.tag = act.tag;
+        e.bytes = act.bytes;
+        emit(s, e);
+        finish_comm_node(s, send_region,
+                         start + net.sw_overhead + transfer);
+        return true;
+      }
+      case ActionKind::Recv: {
+        const MsgKey key{act.peer, s.rank, act.tag};
+        if (!s.entered) {
+          enter_comm_node(s, recv_region);
+          RecvPost post;
+          post.post_time = s.clock;
+          posted[key] = post;
+        }
+        RecvPost& post = posted[key];
+        double avail = 0.0;
+        double bytes = 0.0;
+        if (post.satisfied) {
+          avail = post.avail;
+          bytes = post.bytes;
+          posted.erase(key);
+        } else {
+          auto mit = in_flight.find(key);
+          if (mit == in_flight.end() || mit->second.empty()) return false;
+          const Message msg = mit->second.front();
+          mit->second.pop_front();
+          avail = msg.avail;
+          bytes = msg.bytes;
+          posted.erase(key);
+        }
+        const double copy = net.sw_overhead + bytes / net.copy_bandwidth;
+        const double end = std::max(s.clock, avail) + copy;
+        // Receiver-side buffer copy streams the message through the cache.
+        counters::Workload w;
+        w.seconds = end - s.clock;
+        w.cold_bytes = bytes;
+        profile.add_work(s.action_node, s.rank, w);
+        s.cum_work += w;
+        TraceEvent e;
+        e.type = EventType::Recv;
+        e.time = end;
+        e.region = static_cast<std::uint32_t>(recv_region);
+        e.peer = act.peer;
+        e.tag = act.tag;
+        e.bytes = bytes;
+        emit(s, e);
+        finish_comm_node(s, recv_region, end);
+        return true;
+      }
+      case ActionKind::Barrier:
+      case ActionKind::AllToAll:
+      case ActionKind::Reduce:
+      case ActionKind::Bcast: {
+        CollKind kind = CollKind::Barrier;
+        switch (act.kind) {
+          case ActionKind::AllToAll: kind = CollKind::AllToAll; break;
+          case ActionKind::Reduce: kind = CollKind::Reduce; break;
+          case ActionKind::Bcast: kind = CollKind::Bcast; break;
+          default: break;
+        }
+        const std::size_t inst_id = s.coll_count;
+        if (collectives.size() <= inst_id) {
+          collectives.resize(inst_id + 1);
+        }
+        CollInstance& inst = collectives[inst_id];
+        if (!s.entered) {
+          if (inst.count == 0) {
+            inst.kind = kind;
+            inst.root = act.peer;
+            inst.bytes = act.bytes;
+            inst.arrival.assign(static_cast<std::size_t>(num_ranks), 0.0);
+            inst.arrived.assign(static_cast<std::size_t>(num_ranks), 0);
+          } else if (inst.kind != kind) {
+            throw OperationError(
+                "rank " + std::to_string(s.rank) +
+                ": collective sequence mismatch at instance " +
+                std::to_string(inst_id));
+          }
+          enter_comm_node(s, region_of_coll(kind), /*emit_enter=*/false);
+          inst.arrival[static_cast<std::size_t>(s.rank)] = s.clock;
+          inst.arrived[static_cast<std::size_t>(s.rank)] = 1;
+          ++inst.count;
+          TraceEvent e;
+          e.type = EventType::CollEnter;
+          e.time = s.clock;
+          e.region = static_cast<std::uint32_t>(region_of_coll(kind));
+          e.coll = kind;
+          e.coll_instance = static_cast<std::uint32_t>(inst_id);
+          e.peer = act.peer;
+          e.bytes = act.bytes;
+          emit(s, e);
+        }
+        double end = 0.0;
+        if (kind == CollKind::Bcast) {
+          // A broadcast rank only depends on the root: the root leaves
+          // right after injecting, every other rank waits until the data
+          // sent at the root's arrival reaches it.
+          if (!inst.arrived[static_cast<std::size_t>(inst.root)]) {
+            return false;
+          }
+          const double root_arrival =
+              inst.arrival[static_cast<std::size_t>(inst.root)];
+          if (s.rank == inst.root) {
+            end = s.clock + net.sw_overhead;
+          } else {
+            end = std::max(s.clock, root_arrival + net.latency +
+                                        inst.bytes / net.bandwidth) +
+                  net.sw_overhead;
+          }
+        } else {
+          if (inst.count < static_cast<std::size_t>(num_ranks)) {
+            return false;
+          }
+          if (!inst.resolved) resolve_collective(inst);
+          end = inst.exit_time[static_cast<std::size_t>(s.rank)];
+        }
+        TraceEvent e;
+        e.type = EventType::CollExit;
+        e.time = end;
+        e.region = static_cast<std::uint32_t>(region_of_coll(kind));
+        e.coll = kind;
+        e.coll_instance = static_cast<std::uint32_t>(inst_id);
+        e.peer = act.peer;
+        e.bytes = act.bytes;
+        emit(s, e);
+        // finish_comm_node emits Exit; collectives use CollExit only, so
+        // close the node by hand.
+        s.clock = std::max(s.clock, end);
+        profile.add_time(s.action_node, s.rank, s.clock - s.action_t0);
+        s.entered = false;
+        s.action_node = kNoIndex;
+        ++s.coll_count;
+        ++s.pc;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // --- scheduler loop ------------------------------------------------------
+  while (true) {
+    bool all_done = true;
+    bool progressed = false;
+    for (RankState& s : ranks) {
+      while (!s.done()) {
+        if (!step(s)) break;
+        progressed = true;
+      }
+      all_done = all_done && s.done();
+    }
+    if (all_done) break;
+    if (!progressed) {
+      std::string blocked;
+      for (const RankState& s : ranks) {
+        if (!s.done()) {
+          blocked += (blocked.empty() ? "" : ", ") + std::to_string(s.rank);
+        }
+      }
+      throw OperationError("simulation deadlock; blocked ranks: " + blocked);
+    }
+  }
+
+  result.finish_times.resize(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    result.finish_times[static_cast<std::size_t>(r)] =
+        ranks[static_cast<std::size_t>(r)].clock;
+    result.makespan = std::max(
+        result.makespan, ranks[static_cast<std::size_t>(r)].clock);
+  }
+  result.trace.regions = result.regions;
+  // Group the event stream per rank, preserving program order inside a rank.
+  std::stable_sort(result.trace.events.begin(), result.trace.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.rank < b.rank;
+                   });
+  return result;
+}
+
+}  // namespace cube::sim

@@ -1,0 +1,69 @@
+// Discrete-event engine executing one Program per rank against a virtual
+// clock, with a network cost model, optional system noise, optional event
+// tracing (with instrumentation dilation), and call-path profiling.
+//
+// Semantics:
+//  * Compute advances the rank's clock by the (noise-perturbed) duration.
+//  * Sends up to the eager threshold are buffered: the sender pays software
+//    overhead + injection and proceeds; the message becomes available at
+//    the receiver after latency + transfer.  Larger sends use a rendezvous
+//    protocol: the sender blocks until the receiver has posted the
+//    matching receive (the source of the Late Receiver pattern).
+//  * A receive blocks until its message is available (Late Sender).
+//  * Barriers / all-to-alls complete for everyone after the last arrival
+//    (Wait at Barrier, Wait at N x N); barrier exits are slightly
+//    staggered (Barrier Completion).  A reduction delays only its root
+//    (Early Reduce).
+//  * With tracing enabled every recorded event dilates the owning rank's
+//    clock by the probe overhead; §5.1's final speedup measurement runs
+//    untraced for exactly this reason.
+#pragma once
+
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/profile.hpp"
+#include "sim/program.hpp"
+#include "sim/trace.hpp"
+
+namespace cube::sim {
+
+/// Everything one simulated run produces.
+struct RunResult {
+  CallProfile profile{0};
+  Trace trace;  ///< events empty unless MonitorConfig::trace
+  RegionTable regions;  ///< includes the interned MPI_* regions
+  ClusterConfig cluster;
+  std::vector<double> finish_times;  ///< per-rank completion
+  double makespan = 0.0;             ///< max finish time
+};
+
+/// Executes programs under a configuration.  Deterministic for equal
+/// inputs and seeds.
+class Engine {
+ public:
+  explicit Engine(SimConfig config);
+
+  /// Runs one application: `programs` must contain exactly
+  /// config.cluster.num_ranks() programs with ranks 0..N-1.  Throws
+  /// OperationError on deadlock or mismatched collective sequences.
+  [[nodiscard]] RunResult run(const RegionTable& regions,
+                              std::vector<Program> programs) const;
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+ private:
+  SimConfig config_;
+};
+
+/// Region names the engine interns for communication operations.
+inline constexpr const char* kMpiSendRegion = "MPI_Send";
+inline constexpr const char* kMpiRecvRegion = "MPI_Recv";
+inline constexpr const char* kMpiBarrierRegion = "MPI_Barrier";
+inline constexpr const char* kMpiAlltoallRegion = "MPI_Alltoall";
+inline constexpr const char* kMpiReduceRegion = "MPI_Reduce";
+inline constexpr const char* kMpiBcastRegion = "MPI_Bcast";
+/// Region representing fork-join parallel sections of hybrid applications.
+inline constexpr const char* kOmpParallelRegion = "!$omp parallel";
+
+}  // namespace cube::sim

@@ -1,0 +1,60 @@
+#include "sim/profile.hpp"
+
+namespace cube::sim {
+
+CallProfile::CallProfile(std::size_t num_ranks) : num_ranks_(num_ranks) {}
+
+std::size_t CallProfile::child(std::size_t parent, std::size_t region) {
+  if (parent == kNoIndex) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].parent == kNoIndex && nodes_[i].region == region) {
+        return i;
+      }
+    }
+  } else {
+    for (const std::size_t c : nodes_[parent].children) {
+      if (nodes_[c].region == region) return c;
+    }
+  }
+  ProfileNode node;
+  node.region = region;
+  node.parent = parent;
+  nodes_.push_back(node);
+  const std::size_t id = nodes_.size() - 1;
+  if (parent != kNoIndex) nodes_[parent].children.push_back(id);
+  time_.emplace_back(num_ranks_, 0.0);
+  work_.emplace_back(num_ranks_);
+  visits_.emplace_back(num_ranks_, 0);
+  return id;
+}
+
+void CallProfile::add_time(std::size_t node, int rank, double seconds) {
+  time_[node][static_cast<std::size_t>(rank)] += seconds;
+}
+
+void CallProfile::add_work(std::size_t node, int rank,
+                           const counters::Workload& work) {
+  work_[node][static_cast<std::size_t>(rank)] += work;
+}
+
+void CallProfile::add_visit(std::size_t node, int rank) {
+  ++visits_[node][static_cast<std::size_t>(rank)];
+}
+
+std::vector<std::size_t> CallProfile::roots() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == kNoIndex) out.push_back(i);
+  }
+  return out;
+}
+
+double CallProfile::inclusive_time(std::size_t node, int rank) const {
+  double sum = time(node, rank);
+  for (const std::size_t c : nodes_[node].children) {
+    sum += inclusive_time(c, rank);
+  }
+  return sum;
+}
+
+}  // namespace cube::sim

@@ -1,0 +1,62 @@
+// Call-path profile accumulated during a simulated run.
+//
+// The engine attributes every virtual-time interval and every unit of work
+// EXCLUSIVELY to the call path (stack of regions) active when it happened —
+// the representation the CONE profiler turns into a CUBE experiment.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "counters/synth.hpp"
+#include "sim/program.hpp"
+
+namespace cube::sim {
+
+/// One node of the merged (cross-rank) call-path tree.
+struct ProfileNode {
+  std::size_t region = kNoIndex;  ///< region executed in this call path
+  std::size_t parent = kNoIndex;  ///< kNoIndex for roots
+  std::vector<std::size_t> children;
+};
+
+/// Call-path tree plus per-(node, rank) exclusive time / work / visits.
+class CallProfile {
+ public:
+  CallProfile(std::size_t num_ranks);
+
+  /// Finds or creates the child of `parent` (kNoIndex = root level) that
+  /// executes `region`; returns its node id.
+  std::size_t child(std::size_t parent, std::size_t region);
+
+  void add_time(std::size_t node, int rank, double seconds);
+  void add_work(std::size_t node, int rank, const counters::Workload& work);
+  void add_visit(std::size_t node, int rank);
+
+  [[nodiscard]] const std::vector<ProfileNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] std::vector<std::size_t> roots() const;
+  [[nodiscard]] std::size_t num_ranks() const noexcept { return num_ranks_; }
+  [[nodiscard]] double time(std::size_t node, int rank) const {
+    return time_.at(node).at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] const counters::Workload& work(std::size_t node,
+                                               int rank) const {
+    return work_.at(node).at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] std::uint64_t visits(std::size_t node, int rank) const {
+    return visits_.at(node).at(static_cast<std::size_t>(rank));
+  }
+  /// Sum of exclusive time over the subtree of `node` for one rank.
+  [[nodiscard]] double inclusive_time(std::size_t node, int rank) const;
+
+ private:
+  std::size_t num_ranks_;
+  std::vector<ProfileNode> nodes_;
+  std::vector<std::vector<double>> time_;
+  std::vector<std::vector<counters::Workload>> work_;
+  std::vector<std::vector<std::uint64_t>> visits_;
+};
+
+}  // namespace cube::sim

@@ -1,0 +1,137 @@
+#include "sim/program.hpp"
+
+#include "common/error.hpp"
+
+namespace cube::sim {
+
+std::size_t RegionTable::intern(const std::string& name,
+                                const std::string& file, long begin_line,
+                                long end_line) {
+  const std::size_t existing = find(name);
+  if (existing != kNoIndex) return existing;
+  regions_.push_back(RegionInfo{name, file, begin_line, end_line});
+  return regions_.size() - 1;
+}
+
+std::size_t RegionTable::find(const std::string& name) const {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) return i;
+  }
+  return kNoIndex;
+}
+
+ProgramBuilder::ProgramBuilder(RegionTable& regions, int rank)
+    : regions_(&regions) {
+  program_.rank = rank;
+}
+
+ProgramBuilder& ProgramBuilder::enter(const std::string& region_name,
+                                      const std::string& file,
+                                      long begin_line, long end_line) {
+  Action a;
+  a.kind = ActionKind::Enter;
+  a.region = regions_->intern(region_name, file, begin_line, end_line);
+  program_.actions.push_back(a);
+  ++open_regions_;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::leave() {
+  if (open_regions_ == 0) {
+    throw ValidationError("leave() without matching enter()");
+  }
+  Action a;
+  a.kind = ActionKind::Leave;
+  program_.actions.push_back(a);
+  --open_regions_;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::compute(double seconds, double flops,
+                                        double mem_refs, double working_set) {
+  Action a;
+  a.kind = ActionKind::Compute;
+  a.seconds = seconds;
+  a.work.flops = flops;
+  a.work.mem_refs = mem_refs;
+  a.work.working_set = working_set;
+  program_.actions.push_back(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::parallel_compute(double seconds,
+                                                 double spread, double flops,
+                                                 double mem_refs,
+                                                 double working_set) {
+  Action a;
+  a.kind = ActionKind::ParallelCompute;
+  a.seconds = seconds;
+  a.spread = spread;
+  a.work.flops = flops;
+  a.work.mem_refs = mem_refs;
+  a.work.working_set = working_set;
+  program_.actions.push_back(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::send(int dst, int tag, double bytes) {
+  Action a;
+  a.kind = ActionKind::Send;
+  a.peer = dst;
+  a.tag = tag;
+  a.bytes = bytes;
+  program_.actions.push_back(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::recv(int src, int tag) {
+  Action a;
+  a.kind = ActionKind::Recv;
+  a.peer = src;
+  a.tag = tag;
+  program_.actions.push_back(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::barrier() {
+  Action a;
+  a.kind = ActionKind::Barrier;
+  program_.actions.push_back(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alltoall(double bytes_per_pair) {
+  Action a;
+  a.kind = ActionKind::AllToAll;
+  a.bytes = bytes_per_pair;
+  program_.actions.push_back(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::reduce(int root, double bytes) {
+  Action a;
+  a.kind = ActionKind::Reduce;
+  a.peer = root;
+  a.bytes = bytes;
+  program_.actions.push_back(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bcast(int root, double bytes) {
+  Action a;
+  a.kind = ActionKind::Bcast;
+  a.peer = root;
+  a.bytes = bytes;
+  program_.actions.push_back(a);
+  return *this;
+}
+
+Program ProgramBuilder::take() {
+  if (open_regions_ != 0) {
+    throw ValidationError("program has " + std::to_string(open_regions_) +
+                          " unclosed region(s)");
+  }
+  return std::move(program_);
+}
+
+}  // namespace cube::sim

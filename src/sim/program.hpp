@@ -1,0 +1,117 @@
+// Program model for the message-passing simulator.
+//
+// A simulated application is one straight-line Program per process rank:
+// a sequence of region enter/leave markers, compute blocks carrying an
+// abstract workload, point-to-point messages, and collective operations.
+// The engine (sim/engine.hpp) executes all ranks against a virtual clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "counters/synth.hpp"
+
+namespace cube::sim {
+
+/// Source-code region of the simulated application.
+struct RegionInfo {
+  std::string name;
+  std::string file;
+  long begin_line = -1;
+  long end_line = -1;
+};
+
+/// Interning table of regions shared by all ranks of one application.
+class RegionTable {
+ public:
+  /// Returns the id of the region with this name, creating it on first use.
+  std::size_t intern(const std::string& name, const std::string& file = {},
+                     long begin_line = -1, long end_line = -1);
+  [[nodiscard]] const RegionInfo& operator[](std::size_t id) const {
+    return regions_.at(id);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return regions_.size(); }
+  /// Id lookup by name; kNoIndex if unknown.
+  [[nodiscard]] std::size_t find(const std::string& name) const;
+  [[nodiscard]] const std::vector<RegionInfo>& all() const noexcept {
+    return regions_;
+  }
+
+ private:
+  std::vector<RegionInfo> regions_;
+};
+
+/// Kinds of simulated actions.
+enum class ActionKind {
+  Enter,     ///< enter a user region
+  Leave,     ///< leave the innermost user region
+  Compute,   ///< local computation on the master thread
+  ParallelCompute,  ///< fork-join computation over all process threads
+  Send,      ///< point-to-point send to `peer` with `tag`
+  Recv,      ///< point-to-point receive from `peer` with `tag`
+  Barrier,   ///< barrier over all ranks
+  AllToAll,  ///< all-to-all (NxN) exchange, `bytes` per pair
+  Reduce,    ///< reduction to root `peer`
+  Bcast,     ///< broadcast from root `peer`
+};
+
+/// One step of a rank's program.
+struct Action {
+  ActionKind kind;
+  std::size_t region = kNoIndex;  ///< Enter only
+  double seconds = 0.0;           ///< Compute only (pre-noise duration)
+  double spread = 0.0;            ///< ParallelCompute: thread imbalance
+  counters::Workload work;        ///< Compute only (seconds filled by engine)
+  int peer = -1;                  ///< Send dst / Recv src / Reduce root
+  int tag = 0;                    ///< Send / Recv
+  double bytes = 0.0;             ///< message or per-pair volume
+};
+
+/// The straight-line program of one rank.
+struct Program {
+  int rank = 0;
+  std::vector<Action> actions;
+};
+
+/// Convenience builder with nesting validation.
+class ProgramBuilder {
+ public:
+  ProgramBuilder(RegionTable& regions, int rank);
+
+  /// Enters a region (interned by name).
+  ProgramBuilder& enter(const std::string& region_name,
+                        const std::string& file = {}, long begin_line = -1,
+                        long end_line = -1);
+  ProgramBuilder& leave();
+
+  /// Computation of `seconds` performing `flops` floating-point operations
+  /// over `mem_refs` references to a `working_set`-byte data set.
+  ProgramBuilder& compute(double seconds, double flops = 0.0,
+                          double mem_refs = 0.0, double working_set = 0.0);
+
+  /// Fork-join parallel computation: every thread of the process works
+  /// `seconds` perturbed by up to +-`spread` (relative), the process
+  /// continues after the slowest thread (implicit join barrier).  The
+  /// workload is per thread.
+  ProgramBuilder& parallel_compute(double seconds, double spread,
+                                   double flops = 0.0, double mem_refs = 0.0,
+                                   double working_set = 0.0);
+
+  ProgramBuilder& send(int dst, int tag, double bytes);
+  ProgramBuilder& recv(int src, int tag);
+  ProgramBuilder& barrier();
+  ProgramBuilder& alltoall(double bytes_per_pair);
+  ProgramBuilder& reduce(int root, double bytes);
+  ProgramBuilder& bcast(int root, double bytes);
+
+  /// Finishes the program; throws ValidationError on unbalanced regions.
+  [[nodiscard]] Program take();
+
+ private:
+  RegionTable* regions_;
+  Program program_;
+  std::size_t open_regions_ = 0;
+};
+
+}  // namespace cube::sim

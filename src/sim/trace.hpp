@@ -1,0 +1,75 @@
+// Event-trace model and file format (EPILOG-like).
+//
+// The simulator records time-stamped events — region enter/exit, message
+// send/receive, collective enter/exit — per location, like the EPILOG
+// traces EXPERT analyzes.  Optionally every Enter/Exit record carries the
+// location's cumulative hardware-counter values; that mode reproduces the
+// trace-file blow-up the paper's §5.2 merge workflow eliminates
+// ("recording one or more hardware-counter values as part of nearly every
+// event record can increase trace-file size dramatically").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+
+namespace cube::sim {
+
+/// Trace record types.
+enum class EventType : std::uint8_t {
+  Enter,      ///< entered region `region`
+  Exit,       ///< left region `region`
+  Send,       ///< message handed to the network (inside MPI_Send)
+  Recv,       ///< message delivered (inside MPI_Recv)
+  CollEnter,  ///< entered a collective operation
+  CollExit,   ///< left a collective operation
+  Parallel,   ///< fork-join parallel region completed (per-thread times)
+};
+
+/// Collective kinds for CollEnter/CollExit.
+enum class CollKind : std::uint8_t { None, Barrier, AllToAll, Reduce, Bcast };
+
+/// One trace record.
+struct TraceEvent {
+  EventType type = EventType::Enter;
+  std::int32_t rank = 0;
+  double time = 0.0;
+  std::uint32_t region = 0;        ///< region id (MPI ops use MPI regions)
+  std::int32_t peer = -1;          ///< Send dst / Recv src / Reduce root
+  std::int32_t tag = 0;
+  double bytes = 0.0;
+  std::uint32_t coll_instance = 0; ///< matches instances across ranks
+  CollKind coll = CollKind::None;
+  /// Cumulative counter values (one per traced event), present only when
+  /// MonitorConfig::trace_counters is enabled.
+  std::vector<double> counters;
+  /// Parallel events only: busy seconds per thread of the owning process;
+  /// `time` is the join time, `time - max(thread_seconds)` the fork time.
+  std::vector<double> thread_seconds;
+};
+
+/// A complete trace: events in per-rank program order plus the metadata
+/// the analyzer needs.
+struct Trace {
+  RegionTable regions;
+  ClusterConfig cluster;
+  double eager_threshold = 0.0;  ///< protocol switch used during the run
+  std::vector<std::string> counter_names;  ///< payload schema, may be empty
+  std::vector<TraceEvent> events;
+
+  /// Serialized size in bytes (same as the file write produces).
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+/// Binary trace file I/O.
+void write_trace_file(const Trace& trace, const std::string& path);
+[[nodiscard]] Trace read_trace_file(const std::string& path);
+/// In-memory serialization (used by byte_size and the tests).
+[[nodiscard]] std::string serialize_trace(const Trace& trace);
+[[nodiscard]] Trace deserialize_trace(std::string_view data);
+
+}  // namespace cube::sim

@@ -1,0 +1,124 @@
+#include "algebra/composite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+using cube::testing::make_variant;
+
+TEST(ExprParser, ParsesIdentifier) {
+  const auto e = parse_expr("before");
+  EXPECT_EQ(e->op(), Expr::Op::Load);
+  EXPECT_EQ(e->name(), "before");
+  EXPECT_EQ(e->str(), "before");
+}
+
+TEST(ExprParser, ParsesNestedComposite) {
+  const auto e = parse_expr("diff(mean(a1, a2), mean(b1, b2))");
+  EXPECT_EQ(e->op(), Expr::Op::Diff);
+  ASSERT_EQ(e->args().size(), 2u);
+  EXPECT_EQ(e->args()[0]->op(), Expr::Op::Mean);
+  EXPECT_EQ(e->str(), "diff(mean(a1, a2), mean(b1, b2))");
+}
+
+TEST(ExprParser, AcceptsAliases) {
+  EXPECT_EQ(parse_expr("difference(a, b)")->op(), Expr::Op::Diff);
+  EXPECT_EQ(parse_expr("avg(a)")->op(), Expr::Op::Mean);
+}
+
+TEST(ExprParser, WhitespaceInsensitive) {
+  const auto e = parse_expr("  merge ( a ,b )  ");
+  EXPECT_EQ(e->op(), Expr::Op::Merge);
+}
+
+TEST(ExprParser, IdentifiersAllowDotsAndDashes) {
+  const auto e = parse_expr("run-1.cube");
+  EXPECT_EQ(e->name(), "run-1.cube");
+}
+
+TEST(ExprParser, RejectsUnknownOperator) {
+  EXPECT_THROW((void)parse_expr("frobnicate(a, b)"), Error);
+}
+
+TEST(ExprParser, RejectsTrailingInput) {
+  EXPECT_THROW((void)parse_expr("a b"), Error);
+}
+
+TEST(ExprParser, RejectsEmptyArgumentList) {
+  EXPECT_THROW((void)parse_expr("mean()"), Error);
+}
+
+TEST(ExprParser, RejectsUnterminatedList) {
+  EXPECT_THROW((void)parse_expr("mean(a, b"), Error);
+}
+
+TEST(ExprParser, RejectsEmptyInput) {
+  EXPECT_THROW((void)parse_expr("   "), Error);
+}
+
+TEST(ExprEval, LoadClonesFromEnvironment) {
+  const Experiment a = make_small();
+  const Experiment out = eval_expr("small", {{"small", &a}});
+  EXPECT_EQ(out.name(), "small");
+  EXPECT_DOUBLE_EQ(out.severity().get(0, 0, 0),
+                   a.severity().get(0, 0, 0));
+}
+
+TEST(ExprEval, UnboundNameThrows) {
+  EXPECT_THROW((void)eval_expr("nope", {}), OperationError);
+}
+
+TEST(ExprEval, DiffRequiresTwoArgs) {
+  const Experiment a = make_small();
+  EXPECT_THROW((void)eval_expr("diff(a)", {{"a", &a}}), OperationError);
+  EXPECT_THROW((void)eval_expr("diff(a, a, a)", {{"a", &a}}),
+               OperationError);
+}
+
+TEST(ExprEval, DiffOfMeansMatchesManualComposition) {
+  Experiment a1 = make_small(StorageKind::Dense, "a1");
+  Experiment a2 = make_small(StorageKind::Dense, "a2");
+  Experiment b1 = make_small(StorageKind::Dense, "b1");
+  a1.severity().set(0, 0, 0, 10.0);
+  a2.severity().set(0, 0, 0, 20.0);
+  b1.severity().set(0, 0, 0, 5.0);
+
+  const Experiment out = eval_expr(
+      "diff(mean(a1, a2), b1)",
+      {{"a1", &a1}, {"a2", &a2}, {"b1", &b1}});
+  EXPECT_DOUBLE_EQ(out.severity().get(0, 0, 0), 15.0 - 5.0);
+  EXPECT_EQ(out.kind(), ExperimentKind::Derived);
+}
+
+TEST(ExprEval, MergeAndExtremaWork) {
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const ExperimentEnv env{{"a", &a}, {"b", &b}};
+  EXPECT_NO_THROW((void)eval_expr("merge(a, b)", env));
+  EXPECT_NO_THROW((void)eval_expr("min(a, b)", env));
+  EXPECT_NO_THROW((void)eval_expr("max(a, b)", env));
+}
+
+TEST(ExprEval, DeepNestingComposes) {
+  const Experiment a = make_small();
+  const ExperimentEnv env{{"a", &a}};
+  // Closure: any depth of composition stays in the experiment space.
+  const Experiment out =
+      eval_expr("diff(mean(a, a, a), min(a, max(a, a)))", env);
+  EXPECT_NO_THROW(out.metadata().validate());
+  for (MetricIndex m = 0; m < out.metadata().num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < out.metadata().num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < out.metadata().num_threads(); ++t) {
+        EXPECT_NEAR(out.severity().get(m, c, t), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,211 @@
+#include "algebra/integration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+using cube::testing::make_variant;
+
+TEST(Integration, RequiresAtLeastOneOperand) {
+  EXPECT_THROW((void)integrate_metadata({}, {}), OperationError);
+}
+
+TEST(Integration, IdenticalMetadataSharesEveryEntity) {
+  const Experiment a = make_small();
+  const Experiment b = make_small(StorageKind::Dense, "b");
+  const IntegrationResult r = integrate_metadata(a, b);
+
+  // Same entity counts (everything matched), and both operands map each
+  // source entity to the SAME integrated entity with identical identity.
+  // (The integrated indices are a level-order permutation of the source
+  // creation order, so index equality is not required.)
+  EXPECT_EQ(r.metadata->num_metrics(), a.metadata().num_metrics());
+  EXPECT_EQ(r.metadata->num_cnodes(), a.metadata().num_cnodes());
+  EXPECT_EQ(r.metadata->num_threads(), a.metadata().num_threads());
+  for (std::size_t i = 0; i < a.metadata().num_metrics(); ++i) {
+    EXPECT_EQ(r.mappings[0].metric_map[i], r.mappings[1].metric_map[i]);
+    EXPECT_EQ(
+        r.metadata->metrics()[r.mappings[0].metric_map[i]]->unique_name(),
+        a.metadata().metrics()[i]->unique_name());
+  }
+  for (std::size_t i = 0; i < a.metadata().num_cnodes(); ++i) {
+    EXPECT_EQ(r.mappings[0].cnode_map[i], r.mappings[1].cnode_map[i]);
+    EXPECT_EQ(
+        r.metadata->cnodes()[r.mappings[0].cnode_map[i]]->callee().name(),
+        a.metadata().cnodes()[i]->callee().name());
+  }
+  for (std::size_t i = 0; i < a.metadata().num_threads(); ++i) {
+    EXPECT_EQ(r.mappings[0].thread_map[i], r.mappings[1].thread_map[i]);
+    EXPECT_EQ(r.metadata->threads()[r.mappings[0].thread_map[i]]->rank(),
+              a.metadata().threads()[i]->rank());
+  }
+}
+
+TEST(Integration, MetricUnionKeepsUnmatchedTrees) {
+  const Experiment a = make_small();          // time->mpi, visits
+  const Experiment b = make_variant();        // time->mpi, flops
+  const IntegrationResult r = integrate_metadata(a, b);
+  // time, mpi, visits, flops.
+  EXPECT_EQ(r.metadata->num_metrics(), 4u);
+  EXPECT_NE(r.metadata->find_metric("visits"), nullptr);
+  EXPECT_NE(r.metadata->find_metric("flops"), nullptr);
+  // Shared metrics map to the same integrated metric.
+  EXPECT_EQ(r.mappings[0].metric_map[0], r.mappings[1].metric_map[0]);
+  EXPECT_EQ(r.mappings[0].metric_map[1], r.mappings[1].metric_map[1]);
+}
+
+TEST(Integration, MetricsWithDifferentUnitsDoNotMatch) {
+  auto md1 = std::make_unique<Metadata>();
+  md1->add_metric(nullptr, "x", "X", Unit::Seconds, "");
+  const Region& r1 = md1->add_region("main", "a.c", 1, 2);
+  md1->add_cnode_for_region(nullptr, r1);
+  Machine& m1 = md1->add_machine("m");
+  Process& p1 = md1->add_process(md1->add_node(m1, "n"), "r0", 0);
+  md1->add_thread(p1, "t", 0);
+  Experiment a(std::move(md1));
+
+  auto md2 = std::make_unique<Metadata>();
+  md2->add_metric(nullptr, "x", "X", Unit::Bytes, "");
+  const Region& r2 = md2->add_region("main", "a.c", 1, 2);
+  md2->add_cnode_for_region(nullptr, r2);
+  Machine& m2 = md2->add_machine("m");
+  Process& p2 = md2->add_process(md2->add_node(m2, "n"), "r0", 0);
+  md2->add_thread(p2, "t", 0);
+  Experiment b(std::move(md2));
+
+  const IntegrationResult r = integrate_metadata(a, b);
+  // Both kept; the second gets a uniquified name.
+  EXPECT_EQ(r.metadata->num_metrics(), 2u);
+  EXPECT_NE(r.mappings[0].metric_map[0], r.mappings[1].metric_map[0]);
+}
+
+TEST(Integration, CallTreeUnionSharesMatchedPaths) {
+  const Experiment a = make_small();   // main -> {work -> MPI_Send, io}
+  const Experiment b = make_variant(); // main -> {work -> MPI_Send, net}
+  const IntegrationResult r = integrate_metadata(a, b);
+  // main, work, MPI_Send shared; io and net separate: 5 cnodes.
+  EXPECT_EQ(r.metadata->num_cnodes(), 5u);
+  EXPECT_EQ(r.mappings[0].cnode_map[0], r.mappings[1].cnode_map[0]);
+  EXPECT_EQ(r.mappings[0].cnode_map[1], r.mappings[1].cnode_map[1]);
+  EXPECT_EQ(r.mappings[0].cnode_map[2], r.mappings[1].cnode_map[2]);
+  EXPECT_NE(r.mappings[0].cnode_map[3], r.mappings[1].cnode_map[3]);
+}
+
+TEST(Integration, CallSiteLineNumbersDoNotPreventMatch) {
+  // make_variant's "work" call site has line 999 vs 12 in make_small; the
+  // paper prescribes matching despite line-number changes.
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_EQ(r.mappings[0].cnode_map[1], r.mappings[1].cnode_map[1]);
+}
+
+TEST(Integration, ThreadsMatchByRankAndId) {
+  const Experiment a = make_small();    // ranks 0,1 x threads 0,1
+  const Experiment b = make_variant();  // ranks 0,1,2 x threads 0,1
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_EQ(r.metadata->num_threads(), 6u);
+  // a's thread (rank0,t0) and b's thread (rank0,t0) map to the same thread.
+  EXPECT_EQ(r.mappings[0].thread_map[0], r.mappings[1].thread_map[0]);
+  // b's rank-2 threads are new.
+  const ThreadIndex b_rank2_t0 = r.mappings[1].thread_map[4];
+  const Thread& t = *r.metadata->threads()[b_rank2_t0];
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.thread_id(), 0);
+}
+
+TEST(Integration, AutoCollapsesIncompatiblePartitions) {
+  const Experiment a = make_small();    // 2 processes on 1 node
+  const Experiment b = make_variant();  // 3 processes on 1 node
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_TRUE(r.system_collapsed);
+  ASSERT_EQ(r.metadata->machines().size(), 1u);
+  EXPECT_EQ(r.metadata->machines()[0]->name(), "Virtual machine");
+}
+
+TEST(Integration, AutoCopiesCompatiblePartitions) {
+  const Experiment a = make_small();
+  const Experiment b = make_small(StorageKind::Dense, "b");
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_FALSE(r.system_collapsed);
+  ASSERT_EQ(r.metadata->machines().size(), 1u);
+  EXPECT_EQ(r.metadata->machines()[0]->name(), "m0");
+}
+
+TEST(Integration, CollapsePolicyForcesVirtualMachine) {
+  const Experiment a = make_small();
+  const Experiment b = make_small(StorageKind::Dense, "b");
+  IntegrationOptions opts;
+  opts.system_policy = SystemMergePolicy::Collapse;
+  const IntegrationResult r = integrate_metadata(a, b, opts);
+  EXPECT_TRUE(r.system_collapsed);
+  EXPECT_EQ(r.metadata->machines()[0]->name(), "Virtual machine");
+}
+
+TEST(Integration, CopyFirstAppendsUnknownRanks) {
+  const Experiment a = make_small();    // ranks 0,1
+  const Experiment b = make_variant();  // ranks 0,1,2
+  IntegrationOptions opts;
+  opts.system_policy = SystemMergePolicy::CopyFirst;
+  const IntegrationResult r = integrate_metadata(a, b, opts);
+  EXPECT_FALSE(r.system_collapsed);
+  EXPECT_EQ(r.metadata->machines()[0]->name(), "m0");
+  EXPECT_EQ(r.metadata->processes().size(), 3u);
+  EXPECT_NE(r.metadata->find_process(2), nullptr);
+}
+
+TEST(Integration, ResultMetadataValidates) {
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_NO_THROW(r.metadata->validate());
+}
+
+TEST(Integration, AllMappingsAreDefined) {
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const IntegrationResult r = integrate_metadata(a, b);
+  for (const OperandMapping& m : r.mappings) {
+    for (const MetricIndex i : m.metric_map) EXPECT_NE(i, kNoIndex);
+    for (const CnodeIndex i : m.cnode_map) EXPECT_NE(i, kNoIndex);
+    for (const ThreadIndex i : m.thread_map) EXPECT_NE(i, kNoIndex);
+  }
+}
+
+TEST(Integration, KeepsTopologyWhenConsistent) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  a.metadata().processes()[0]->set_coords({3, 4});
+  b.metadata().processes()[0]->set_coords({3, 4});
+  const IntegrationResult r = integrate_metadata(a, b);
+  ASSERT_TRUE(r.metadata->find_process(0)->coords().has_value());
+  EXPECT_EQ(*r.metadata->find_process(0)->coords(),
+            (std::vector<long>{3, 4}));
+}
+
+TEST(Integration, DropsTopologyWhenInconsistent) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  a.metadata().processes()[0]->set_coords({3, 4});
+  b.metadata().processes()[0]->set_coords({5, 6});
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_FALSE(r.metadata->find_process(0)->coords().has_value());
+}
+
+TEST(Integration, SingleOperandReproducesItsMetadata) {
+  const Experiment a = make_small();
+  const Experiment* ops[] = {&a};
+  const IntegrationResult r =
+      integrate_metadata(std::span<const Experiment* const>(ops, 1));
+  EXPECT_EQ(r.metadata->num_metrics(), a.metadata().num_metrics());
+  EXPECT_EQ(r.metadata->num_cnodes(), a.metadata().num_cnodes());
+  EXPECT_EQ(r.metadata->num_threads(), a.metadata().num_threads());
+}
+
+}  // namespace
+}  // namespace cube

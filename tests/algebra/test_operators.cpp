@@ -1,0 +1,216 @@
+#include "algebra/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+using cube::testing::make_variant;
+
+TEST(Difference, IdenticalOperandsGiveZero) {
+  const Experiment a = make_small();
+  const Experiment b = make_small(StorageKind::Dense, "b");
+  const Experiment d = difference(a, b);
+  const Metadata& md = d.metadata();
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        EXPECT_DOUBLE_EQ(d.severity().get(m, c, t), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Difference, ValuesSubtractElementwise) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  a.severity().set(0, 0, 0, 10.0);
+  b.severity().set(0, 0, 0, 4.0);
+  const Experiment d = difference(a, b);
+  EXPECT_DOUBLE_EQ(d.severity().get(0, 0, 0), 6.0);
+}
+
+TEST(Difference, CanBeNegative) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  a.severity().set(0, 0, 0, 1.0);
+  b.severity().set(0, 0, 0, 5.0);
+  const Experiment d = difference(a, b);
+  EXPECT_DOUBLE_EQ(d.severity().get(0, 0, 0), -4.0);
+}
+
+TEST(Difference, ZeroExtensionForMissingTuples) {
+  // b has call path main/net that a lacks: the difference carries -value
+  // there; a's main/io carries +value.
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const Experiment d = difference(a, b);
+  const Metadata& md = d.metadata();
+
+  const Cnode* io = nullptr;
+  const Cnode* net = nullptr;
+  for (const auto& c : md.cnodes()) {
+    if (c->callee().name() == "io") io = c.get();
+    if (c->callee().name() == "net") net = c.get();
+  }
+  ASSERT_NE(io, nullptr);
+  ASSERT_NE(net, nullptr);
+  const Metric& time = *md.find_metric("time");
+  // a's io value at (m=0,c=io,t=rank0/t0): 100+4*10+1 = 141, minus 0.
+  EXPECT_GT(d.get(time, *io, *md.threads()[0]), 0.0);
+  // b's net value appears negated.
+  EXPECT_LT(d.get(time, *net, *md.threads()[0]), 0.0);
+}
+
+TEST(Difference, MarksResultDerived) {
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const Experiment d = difference(a, b);
+  EXPECT_EQ(d.kind(), ExperimentKind::Derived);
+  EXPECT_EQ(d.provenance(), "difference(small, variant)");
+}
+
+TEST(Merge, DisjointMetricsBothPresent) {
+  const Experiment a = make_small();   // time/mpi + visits
+  const Experiment b = make_variant(); // time/mpi + flops
+  const Experiment m = merge(a, b);
+  EXPECT_NE(m.metadata().find_metric("visits"), nullptr);
+  EXPECT_NE(m.metadata().find_metric("flops"), nullptr);
+}
+
+TEST(Merge, SharedMetricTakenFromFirstOperand) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  a.severity().set(0, 0, 0, 111.0);
+  b.severity().set(0, 0, 0, 999.0);
+  const Experiment m = merge(a, b);
+  EXPECT_DOUBLE_EQ(m.severity().get(0, 0, 0), 111.0);
+}
+
+TEST(Merge, ExclusiveMetricTakenFromItsProvider) {
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const Experiment m = merge(a, b);
+  const Metadata& md = m.metadata();
+  const Metric& flops = *md.find_metric("flops");
+  // b's flops value at its (main, rank0 t0): metric idx 2 in b, cnode 0.
+  // value = 1000 + 300 + 10 + 1.
+  EXPECT_DOUBLE_EQ(m.get(flops, *md.cnodes()[0], *md.threads()[0]), 1311.0);
+}
+
+TEST(Merge, SecondOperandSharedMetricDoesNotLeakIntoUnsharedCallPaths) {
+  // b has "net" call path with time values; time is owned by a, so the
+  // merged experiment must NOT carry b's time there.
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const Experiment m = merge(a, b);
+  const Metadata& md = m.metadata();
+  const Metric& time = *md.find_metric("time");
+  for (const auto& c : md.cnodes()) {
+    if (c->callee().name() == "net") {
+      for (const auto& t : md.threads()) {
+        EXPECT_DOUBLE_EQ(m.get(time, *c, *t), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Merge, ProvenanceRecorded) {
+  const Experiment m = merge(make_small(), make_variant());
+  EXPECT_EQ(m.kind(), ExperimentKind::Derived);
+  EXPECT_EQ(m.provenance(), "merge(small, variant)");
+}
+
+TEST(Mean, SingleOperandIsIdentityOnValues) {
+  const Experiment a = make_small();
+  const Experiment* ops[] = {&a};
+  const Experiment m = mean(std::span<const Experiment* const>(ops, 1));
+  // Integrated indices are a level-order permutation of the source's
+  // creation order, so compare per metric by name.
+  for (const auto& metric : a.metadata().metrics()) {
+    const Metric* out = m.metadata().find_metric(metric->unique_name());
+    ASSERT_NE(out, nullptr);
+    EXPECT_DOUBLE_EQ(m.sum_metric(*out), a.sum_metric(*metric));
+  }
+}
+
+TEST(Mean, AveragesElementwise) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  Experiment c = make_small(StorageKind::Dense, "c");
+  a.severity().set(0, 0, 0, 3.0);
+  b.severity().set(0, 0, 0, 6.0);
+  c.severity().set(0, 0, 0, 9.0);
+  const Experiment m = mean({&a, &b, &c});
+  EXPECT_DOUBLE_EQ(m.severity().get(0, 0, 0), 6.0);
+}
+
+TEST(Mean, MissingTuplesCountAsZero) {
+  // The "net" call path exists only in variant: its mean over {small,
+  // variant} halves the variant's value (zero-extension).
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const Experiment m = mean({&a, &b});
+  const Metadata& md = m.metadata();
+  const Metric& time = *md.find_metric("time");
+  const Cnode* net = nullptr;
+  for (const auto& c : md.cnodes()) {
+    if (c->callee().name() == "net") net = c.get();
+  }
+  ASSERT_NE(net, nullptr);
+  // variant's value at (time, net, rank0/t0) = 1000+100+40+1 = 1141.
+  EXPECT_DOUBLE_EQ(m.get(time, *net, *md.threads()[0]), 1141.0 / 2.0);
+}
+
+TEST(Mean, RequiresOperands) {
+  EXPECT_THROW((void)mean(std::vector<const Experiment*>{}), OperationError);
+}
+
+TEST(Mean, NaryProvenanceListsAll) {
+  const Experiment a = make_small();
+  const Experiment b = make_small(StorageKind::Dense, "run2");
+  const Experiment c = make_small(StorageKind::Dense, "run3");
+  const Experiment m = mean({&a, &b, &c});
+  EXPECT_EQ(m.provenance(), "mean(small, run2, run3)");
+}
+
+TEST(MinMax, ElementwiseExtrema) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  a.severity().set(0, 0, 0, 3.0);
+  b.severity().set(0, 0, 0, 7.0);
+  const Experiment* ops[] = {&a, &b};
+  const Experiment lo = minimum(std::span<const Experiment* const>(ops, 2));
+  const Experiment hi = maximum(std::span<const Experiment* const>(ops, 2));
+  EXPECT_DOUBLE_EQ(lo.severity().get(0, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(hi.severity().get(0, 0, 0), 7.0);
+}
+
+TEST(MinMax, AbsentTuplesParticipateAsZero) {
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const Experiment* ops[] = {&a, &b};
+  const Experiment lo = minimum(std::span<const Experiment* const>(ops, 2));
+  const Metadata& md = lo.metadata();
+  const Metric& time = *md.find_metric("time");
+  // "net" exists only in b: min(0, value) = 0.
+  for (const auto& c : md.cnodes()) {
+    if (c->callee().name() == "net") {
+      EXPECT_DOUBLE_EQ(lo.get(time, *c, *md.threads()[0]), 0.0);
+    }
+  }
+}
+
+TEST(Operators, ResultUsesRequestedStorage) {
+  OperatorOptions opts;
+  opts.storage = StorageKind::Sparse;
+  const Experiment d = difference(make_small(), make_variant(), opts);
+  EXPECT_EQ(d.severity().kind(), StorageKind::Sparse);
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,242 @@
+// Property-style suites over the algebra's invariants, swept across
+// randomized experiments (seeded generators, both storage kinds).
+//
+// The central invariant is the paper's CLOSURE property: every operator
+// maps valid experiments onto a valid experiment, so operators compose.
+#include <gtest/gtest.h>
+
+#include "algebra/operators.hpp"
+#include "common/rng.hpp"
+#include "io/cube_format.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+struct PropertyParam {
+  std::uint64_t seed;
+  StorageKind storage;
+};
+
+/// Generates a random experiment: random metric forest, call tree, system
+/// shape, and severity values, all derived from the seed.
+Experiment random_experiment(std::uint64_t seed, StorageKind storage) {
+  SplitMix64 rng(seed);
+  auto md = std::make_unique<Metadata>();
+
+  // Metric forest: 1-2 trees, up to 5 metrics.
+  const std::size_t num_metrics = 2 + rng.below(4);
+  std::vector<const Metric*> metrics;
+  for (std::size_t i = 0; i < num_metrics; ++i) {
+    const bool root = metrics.empty() || rng.below(3) == 0;
+    const Metric* parent =
+        root ? nullptr : metrics[rng.below(metrics.size())];
+    const Unit unit = parent != nullptr
+                          ? parent->unit()
+                          : (rng.below(2) == 0 ? Unit::Seconds
+                                               : Unit::Occurrences);
+    metrics.push_back(&md->add_metric(parent, "m" + std::to_string(i),
+                                      "M" + std::to_string(i), unit, ""));
+  }
+
+  // Call tree: up to 6 nodes over up to 4 regions.
+  const std::size_t num_regions = 2 + rng.below(3);
+  std::vector<const Region*> regions;
+  for (std::size_t i = 0; i < num_regions; ++i) {
+    regions.push_back(&md->add_region("r" + std::to_string(i), "app.c",
+                                      static_cast<long>(i * 10),
+                                      static_cast<long>(i * 10 + 9)));
+  }
+  std::vector<const Cnode*> cnodes;
+  cnodes.push_back(&md->add_cnode_for_region(nullptr, *regions[0]));
+  const std::size_t extra_cnodes = 1 + rng.below(5);
+  for (std::size_t i = 0; i < extra_cnodes; ++i) {
+    const Cnode* parent = cnodes[rng.below(cnodes.size())];
+    // Avoid duplicate same-region children (would merge to one node and
+    // make value accounting ambiguous in tests).
+    const Region* region = regions[rng.below(regions.size())];
+    bool duplicate = false;
+    for (const Cnode* c : parent->children()) {
+      duplicate = duplicate || &c->callee() == region;
+    }
+    if (!duplicate) {
+      cnodes.push_back(&md->add_cnode_for_region(parent, *region));
+    }
+  }
+
+  // System: 1 machine, 1-2 nodes, 1-3 processes, 1-2 threads.
+  Machine& machine = md->add_machine("m");
+  const std::size_t num_nodes = 1 + rng.below(2);
+  long rank = 0;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    SysNode& node = md->add_node(machine, "n" + std::to_string(n));
+    const std::size_t procs = 1 + rng.below(2);
+    for (std::size_t p = 0; p < procs; ++p, ++rank) {
+      Process& proc =
+          md->add_process(node, "rank " + std::to_string(rank), rank);
+      const std::size_t threads = 1 + rng.below(2);
+      for (std::size_t t = 0; t < threads; ++t) {
+        md->add_thread(proc, "t" + std::to_string(t),
+                       static_cast<long>(t));
+      }
+    }
+  }
+
+  md->validate();
+  Experiment e(std::move(md), storage);
+  e.set_name("rand" + std::to_string(seed));
+  const Metadata& m = e.metadata();
+  for (MetricIndex mi = 0; mi < m.num_metrics(); ++mi) {
+    for (CnodeIndex ci = 0; ci < m.num_cnodes(); ++ci) {
+      for (ThreadIndex ti = 0; ti < m.num_threads(); ++ti) {
+        if (rng.below(3) != 0) {  // ~2/3 filled, rest zero
+          e.severity().set(mi, ci, ti, rng.uniform(-5.0, 50.0));
+        }
+      }
+    }
+  }
+  return e;
+}
+
+class AlgebraProperty : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  Experiment a() const {
+    return random_experiment(GetParam().seed, GetParam().storage);
+  }
+  Experiment b() const {
+    return random_experiment(GetParam().seed + 1000, GetParam().storage);
+  }
+};
+
+double grand_total(const Experiment& e) {
+  double sum = 0.0;
+  const Metadata& md = e.metadata();
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        sum += e.severity().get(m, c, t);
+      }
+    }
+  }
+  return sum;
+}
+
+TEST_P(AlgebraProperty, ClosureDifferenceValidates) {
+  const Experiment d = difference(a(), b());
+  EXPECT_NO_THROW(d.metadata().validate());
+  EXPECT_EQ(d.kind(), ExperimentKind::Derived);
+}
+
+TEST_P(AlgebraProperty, ClosureMergeValidates) {
+  const Experiment m = merge(a(), b());
+  EXPECT_NO_THROW(m.metadata().validate());
+}
+
+TEST_P(AlgebraProperty, ClosureMeanValidates) {
+  const Experiment ea = a();
+  const Experiment eb = b();
+  const Experiment m = mean({&ea, &eb});
+  EXPECT_NO_THROW(m.metadata().validate());
+}
+
+TEST_P(AlgebraProperty, ClosureResultsAreSerializable) {
+  // A derived experiment must behave exactly like an original one — in
+  // particular it must write and read back through the CUBE format.
+  const Experiment d = difference(a(), b());
+  const Experiment back = read_cube_xml(to_cube_xml(d));
+  EXPECT_NEAR(grand_total(back), grand_total(d), 1e-9);
+}
+
+TEST_P(AlgebraProperty, DiffSelfIsZero) {
+  const Experiment ea = a();
+  const Experiment d = difference(ea, ea.clone());
+  const Metadata& md = d.metadata();
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        EXPECT_NEAR(d.severity().get(m, c, t), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, DiffTotalIsDifferenceOfTotals) {
+  // Zero-extension + element-wise subtraction => grand totals subtract.
+  const Experiment ea = a();
+  const Experiment eb = b();
+  const Experiment d = difference(ea, eb);
+  EXPECT_NEAR(grand_total(d), grand_total(ea) - grand_total(eb), 1e-9);
+}
+
+TEST_P(AlgebraProperty, DiffAntiCommutes) {
+  const Experiment ea = a();
+  const Experiment eb = b();
+  const Experiment d1 = difference(ea, eb);
+  const Experiment d2 = difference(eb, ea);
+  EXPECT_NEAR(grand_total(d1), -grand_total(d2), 1e-9);
+}
+
+TEST_P(AlgebraProperty, MeanOfIdenticalCopiesIsIdentity) {
+  const Experiment ea = a();
+  const Experiment c1 = ea.clone();
+  const Experiment c2 = ea.clone();
+  const Experiment m = mean({&c1, &c2});
+  EXPECT_NEAR(grand_total(m), grand_total(ea), 1e-9);
+}
+
+TEST_P(AlgebraProperty, MeanTotalIsAverageOfTotals) {
+  const Experiment ea = a();
+  const Experiment eb = b();
+  const Experiment m = mean({&ea, &eb});
+  EXPECT_NEAR(grand_total(m), (grand_total(ea) + grand_total(eb)) / 2.0,
+              1e-9);
+}
+
+TEST_P(AlgebraProperty, MergeSelfKeepsOwnValues) {
+  const Experiment ea = a();
+  const Experiment m = merge(ea, ea.clone());
+  EXPECT_NEAR(grand_total(m), grand_total(ea), 1e-9);
+}
+
+TEST_P(AlgebraProperty, CompositionDiffOfMeans) {
+  // The paper's flagship composite: difference of averaged data.  It must
+  // simply work, producing a valid experiment whose total matches the
+  // algebraic expectation.
+  const Experiment a1 = a();
+  const Experiment a2 = a();
+  const Experiment b1 = b();
+  const Experiment d =
+      difference(mean({&a1, &a2}), mean({&b1}));
+  EXPECT_NO_THROW(d.metadata().validate());
+  EXPECT_NEAR(grand_total(d), grand_total(a1) - grand_total(b1), 1e-9);
+}
+
+TEST_P(AlgebraProperty, MinPlusMaxEqualsSumForTwoOperands) {
+  // min(x,y) + max(x,y) == x + y element-wise, hence also in total.
+  const Experiment ea = a();
+  const Experiment eb = b();
+  const Experiment* ops[] = {&ea, &eb};
+  const Experiment lo = minimum(std::span<const Experiment* const>(ops, 2));
+  const Experiment hi = maximum(std::span<const Experiment* const>(ops, 2));
+  EXPECT_NEAR(grand_total(lo) + grand_total(hi),
+              grand_total(ea) + grand_total(eb), 1e-9);
+}
+
+std::vector<PropertyParam> property_params() {
+  std::vector<PropertyParam> params;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    params.push_back({seed, StorageKind::Dense});
+    params.push_back({seed, StorageKind::Sparse});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AlgebraProperty, ::testing::ValuesIn(property_params()),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.storage == StorageKind::Dense ? "Dense" : "Sparse");
+    });
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,196 @@
+// Tests for the statistical reductions and the Karavanic/Miller baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algebra/km_difference.hpp"
+#include "algebra/statistics.hpp"
+#include "common/error.hpp"
+#include "display/hotspots.hpp"
+#include "io/cube_format.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+using cube::testing::make_variant;
+
+std::vector<Experiment> series(std::initializer_list<double> cell_values) {
+  std::vector<Experiment> runs;
+  int i = 0;
+  for (const double v : cell_values) {
+    runs.push_back(make_small(StorageKind::Dense,
+                              "run" + std::to_string(++i)));
+    runs.back().severity().set(0, 0, 0, v);
+  }
+  return runs;
+}
+
+std::vector<const Experiment*> ptrs(const std::vector<Experiment>& v) {
+  std::vector<const Experiment*> out;
+  for (const auto& e : v) out.push_back(&e);
+  return out;
+}
+
+TEST(Stddev, ElementwisePopulationDeviation) {
+  const auto runs = series({2.0, 4.0, 6.0});
+  const auto p = ptrs(runs);
+  const Experiment sd = stddev(std::span<const Experiment* const>(p));
+  // population stddev of {2,4,6} = sqrt(8/3).
+  EXPECT_NEAR(sd.severity().get(0, 0, 0), std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(Stddev, IdenticalRunsGiveZero) {
+  const auto runs = series({5.0, 5.0, 5.0});
+  const auto p = ptrs(runs);
+  const Experiment sd = stddev(std::span<const Experiment* const>(p));
+  // Identical runs: every cell deviates by zero.
+  EXPECT_EQ(sd.severity().nonzero_count(), 0u);
+}
+
+TEST(Stddev, RequiresTwoOperands) {
+  const Experiment a = make_small();
+  const Experiment* one[] = {&a};
+  EXPECT_THROW(
+      (void)stddev(std::span<const Experiment* const>(one, 1)),
+      OperationError);
+}
+
+TEST(Stddev, IsClosedAndSerializable) {
+  const auto runs = series({1.0, 3.0});
+  const auto p = ptrs(runs);
+  const Experiment sd = stddev(std::span<const Experiment* const>(p));
+  EXPECT_EQ(sd.kind(), ExperimentKind::Derived);
+  EXPECT_NO_THROW(sd.metadata().validate());
+  const Experiment back = read_cube_xml(to_cube_xml(sd));
+  EXPECT_DOUBLE_EQ(back.severity().get(0, 0, 0), 1.0);  // stddev {1,3}
+  // And it feeds further analysis like any experiment.
+  EXPECT_NO_THROW((void)find_hotspots(sd));
+}
+
+TEST(Variation, NormalizesByMeanMagnitude) {
+  const auto runs = series({2.0, 4.0});  // mean 3, stddev 1
+  const auto p = ptrs(runs);
+  const Experiment cv = variation(std::span<const Experiment* const>(p));
+  EXPECT_NEAR(cv.severity().get(0, 0, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Variation, ZeroMeanCellsAreZero) {
+  const auto runs = series({3.0, -3.0});
+  const auto p = ptrs(runs);
+  const Experiment cv = variation(std::span<const Experiment* const>(p));
+  EXPECT_DOUBLE_EQ(cv.severity().get(0, 0, 0), 0.0);
+}
+
+TEST(SeriesSummary, AllFourMembersConsistent) {
+  const auto runs = series({1.0, 2.0, 9.0});
+  const auto p = ptrs(runs);
+  const SeriesSummary s =
+      summarize_series(std::span<const Experiment* const>(p));
+  EXPECT_DOUBLE_EQ(s.mean.severity().get(0, 0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(s.minimum.severity().get(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.maximum.severity().get(0, 0, 0), 9.0);
+  EXPECT_NEAR(s.stddev.severity().get(0, 0, 0),
+              std::sqrt((9.0 + 4.0 + 25.0) / 3.0), 1e-12);
+}
+
+TEST(Stddev, MissingTuplesCountAsZero) {
+  // The "net" path exists only in make_variant: the series {small,
+  // variant} sees {0, v} there -> stddev = |v|/2.
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const Experiment* p[] = {&a, &b};
+  const Experiment sd =
+      stddev(std::span<const Experiment* const>(p, 2));
+  const Metric& time = *sd.metadata().find_metric("time");
+  for (const auto& c : sd.metadata().cnodes()) {
+    if (c->callee().name() == "net") {
+      // variant's value at (time, net, rank0/t0) = 1141.
+      EXPECT_DOUBLE_EQ(sd.get(time, *c, *sd.metadata().threads()[0]),
+                       1141.0 / 2.0);
+    }
+  }
+}
+
+// --- Karavanic/Miller baseline ------------------------------------------------
+
+TEST(KmDifference, FindsSignificantFoci) {
+  Experiment a = make_small(StorageKind::Dense, "a");
+  Experiment b = make_small(StorageKind::Dense, "b");
+  // One large change at (time, main/work, rank 1): threads 2,3 belong to
+  // process rank 1.
+  b.severity().set(0, 1, 2, b.severity().get(0, 1, 2) + 500.0);
+  const KmResult r = km_difference(a, b);
+  ASSERT_FALSE(r.foci.empty());
+  EXPECT_EQ(r.foci[0].metric->unique_name(), "time");
+  EXPECT_EQ(r.foci[0].cnode->callee().name(), "work");
+  EXPECT_EQ(r.foci[0].process->rank(), 1);
+  EXPECT_DOUBLE_EQ(r.foci[0].discrepancy(), -500.0);
+}
+
+TEST(KmDifference, ThresholdsSuppressNoise) {
+  Experiment a = make_small(StorageKind::Dense, "a");
+  Experiment b = make_small(StorageKind::Dense, "b");
+  b.severity().set(0, 0, 0, b.severity().get(0, 0, 0) + 1.0);  // 111 -> 112
+  KmOptions strict;
+  strict.relative_threshold = 0.10;  // 1/111 < 10 %
+  EXPECT_TRUE(km_difference(a, b, strict).foci.empty());
+  KmOptions loose;
+  loose.relative_threshold = 0.001;
+  EXPECT_FALSE(km_difference(a, b, loose).foci.empty());
+}
+
+TEST(KmDifference, ReportsResourcesOfEitherOperand) {
+  // "net" exists only in variant: a focus there must still be reported
+  // (the framework merges structure before differencing).
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  KmOptions opts;
+  opts.relative_threshold = 0.001;
+  const KmResult r = km_difference(a, b, opts);
+  bool net_seen = false;
+  bool io_seen = false;
+  for (const Focus& f : r.foci) {
+    net_seen = net_seen || f.cnode->callee().name() == "net";
+    io_seen = io_seen || f.cnode->callee().name() == "io";
+  }
+  EXPECT_TRUE(net_seen);
+  EXPECT_TRUE(io_seen);
+}
+
+TEST(KmDifference, IdenticalExperimentsYieldNothing) {
+  const Experiment a = make_small();
+  EXPECT_TRUE(km_difference(a, a.clone()).foci.empty());
+}
+
+TEST(KmDifference, FormatListsRankedFoci) {
+  Experiment a = make_small(StorageKind::Dense, "a");
+  Experiment b = make_small(StorageKind::Dense, "b");
+  b.severity().set(0, 1, 2, 9999.0);
+  const KmResult r = km_difference(a, b);
+  const std::string out = format_foci(r.foci);
+  EXPECT_NE(out.find("discrepancy"), std::string::npos);
+  EXPECT_NE(out.find("work"), std::string::npos);
+}
+
+TEST(KmDifference, UnitFilterRestrictsFoci) {
+  Experiment a = make_small(StorageKind::Dense, "a");
+  Experiment b = make_small(StorageKind::Dense, "b");
+  b.severity().set(2, 0, 0, 9999.0);  // change in the visits (occ) tree
+  const KmResult sec_only = km_difference(a, b);  // default: seconds
+  for (const Focus& f : sec_only.foci) {
+    EXPECT_EQ(f.metric->unit(), Unit::Seconds);
+  }
+  KmOptions all;
+  all.unit = std::nullopt;
+  all.relative_threshold = 0.5;
+  bool occ_seen = false;
+  for (const Focus& f : km_difference(a, b, all).foci) {
+    occ_seen = occ_seen || f.metric->unit() == Unit::Occurrences;
+  }
+  EXPECT_TRUE(occ_seen);
+}
+
+}  // namespace
+}  // namespace cube

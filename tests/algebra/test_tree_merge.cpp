@@ -1,0 +1,170 @@
+#include "algebra/tree_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace cube {
+namespace {
+
+/// Lightweight test tree.
+struct TNode {
+  std::string label;
+  std::vector<std::unique_ptr<TNode>> kids;
+
+  TNode* add(const std::string& l) {
+    kids.push_back(std::make_unique<TNode>(TNode{l, {}}));
+    return kids.back().get();
+  }
+};
+
+/// Output node captured by the emit callback.
+struct Out {
+  std::string label;
+  std::size_t parent;
+};
+
+struct MergeHarness {
+  std::vector<Out> out;
+  std::vector<std::map<const TNode*, std::size_t>> maps;
+
+  void run(const std::vector<std::vector<const TNode*>>& roots) {
+    maps.assign(roots.size(), {});
+    merge_forests<TNode>(
+        roots,
+        [](const TNode& n) {
+          std::vector<const TNode*> kids;
+          for (const auto& k : n.kids) kids.push_back(k.get());
+          return kids;
+        },
+        [](const TNode& a, const TNode& b) { return a.label == b.label; },
+        [this](const TNode& rep, std::size_t parent) {
+          out.push_back(Out{rep.label, parent});
+          return out.size() - 1;
+        },
+        [this](std::size_t op, const TNode& src, std::size_t id) {
+          maps[op][&src] = id;
+        });
+  }
+};
+
+TEST(TreeMerge, IdenticalTreesShareAllNodes) {
+  TNode a{"root", {}};
+  a.add("x")->add("y");
+  TNode b{"root", {}};
+  b.add("x")->add("y");
+
+  MergeHarness h;
+  h.run({{&a}, {&b}});
+  EXPECT_EQ(h.out.size(), 3u);  // root, x, y — fully shared
+  EXPECT_EQ(h.maps[0].at(&a), h.maps[1].at(&b));
+}
+
+TEST(TreeMerge, DisjointTreesAreBothKept) {
+  TNode a{"a", {}};
+  TNode b{"b", {}};
+  MergeHarness h;
+  h.run({{&a}, {&b}});
+  EXPECT_EQ(h.out.size(), 2u);
+  EXPECT_NE(h.maps[0].at(&a), h.maps[1].at(&b));
+}
+
+TEST(TreeMerge, PartialOverlapSharesMatchedPrefix) {
+  TNode a{"root", {}};
+  a.add("shared");
+  a.add("only_a");
+  TNode b{"root", {}};
+  b.add("shared");
+  b.add("only_b");
+
+  MergeHarness h;
+  h.run({{&a}, {&b}});
+  // root + shared + only_a + only_b.
+  EXPECT_EQ(h.out.size(), 4u);
+  EXPECT_EQ(h.maps[0].at(a.kids[0].get()), h.maps[1].at(b.kids[0].get()));
+}
+
+TEST(TreeMerge, TopDownOnceDifferentAlwaysDifferent) {
+  // Paper: "once two nodes are considered different, the entire subtrees
+  // rooted at these nodes will both become part of the new metadata set
+  // even if they contain matching child nodes."
+  TNode a{"root", {}};
+  a.add("left")->add("common");
+  TNode b{"root", {}};
+  b.add("right")->add("common");
+
+  MergeHarness h;
+  h.run({{&a}, {&b}});
+  // root, left, left/common, right, right/common: the "common" children do
+  // NOT merge because their parents differ.
+  EXPECT_EQ(h.out.size(), 5u);
+  EXPECT_NE(h.maps[0].at(a.kids[0]->kids[0].get()),
+            h.maps[1].at(b.kids[0]->kids[0].get()));
+}
+
+TEST(TreeMerge, ForestsWithMultipleRoots) {
+  TNode a1{"r1", {}};
+  TNode a2{"r2", {}};
+  TNode b1{"r2", {}};
+  TNode b2{"r3", {}};
+  MergeHarness h;
+  h.run({{&a1, &a2}, {&b1, &b2}});
+  // r1, r2 (shared), r3.
+  EXPECT_EQ(h.out.size(), 3u);
+  EXPECT_EQ(h.maps[0].at(&a2), h.maps[1].at(&b1));
+}
+
+TEST(TreeMerge, NaryMergeSharesAcrossAllOperands) {
+  TNode a{"root", {}};
+  TNode b{"root", {}};
+  TNode c{"root", {}};
+  c.add("extra");
+  MergeHarness h;
+  h.run({{&a}, {&b}, {&c}});
+  EXPECT_EQ(h.out.size(), 2u);
+  EXPECT_EQ(h.maps[0].at(&a), h.maps[2].at(&c));
+}
+
+TEST(TreeMerge, RootsGetNoParentSentinel) {
+  TNode a{"root", {}};
+  a.add("kid");
+  MergeHarness h;
+  h.run({{&a}});
+  EXPECT_EQ(h.out[0].parent, kNoIndex);
+  EXPECT_EQ(h.out[1].parent, 0u);
+}
+
+TEST(TreeMerge, DuplicateSiblingsWithinOneOperandCollapse) {
+  // Two identical siblings in one operand merge into one shared node —
+  // the equality relation defines identity within an operand too.
+  TNode a{"root", {}};
+  a.add("x");
+  a.add("x");
+  MergeHarness h;
+  h.run({{&a}});
+  EXPECT_EQ(h.out.size(), 2u);
+  EXPECT_EQ(h.maps[0].at(a.kids[0].get()), h.maps[0].at(a.kids[1].get()));
+}
+
+TEST(TreeMerge, EmptyOperandContributesNothing) {
+  TNode a{"root", {}};
+  MergeHarness h;
+  h.run({{&a}, {}});
+  EXPECT_EQ(h.out.size(), 1u);
+  EXPECT_TRUE(h.maps[1].empty());
+}
+
+TEST(TreeMerge, FirstOperandOrderWins) {
+  // Output order follows operand iteration order: operand 0's nodes first.
+  TNode a{"a", {}};
+  TNode b{"b", {}};
+  MergeHarness h;
+  h.run({{&a}, {&b}});
+  EXPECT_EQ(h.out[0].label, "a");
+  EXPECT_EQ(h.out[1].label, "b");
+}
+
+}  // namespace
+}  // namespace cube

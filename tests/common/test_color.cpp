@@ -1,0 +1,52 @@
+#include "common/color.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cube {
+namespace {
+
+TEST(ColorFor, LowValuesAreGray) {
+  EXPECT_STREQ(color_for(0.0).name, "gray");
+  EXPECT_STREQ(color_for(0.01).name, "gray");
+}
+
+TEST(ColorFor, HighValuesAreRed) {
+  EXPECT_STREQ(color_for(0.8).name, "red");
+  EXPECT_STREQ(color_for(1.0).name, "red");
+}
+
+TEST(ColorFor, ClampsOutOfRange) {
+  EXPECT_STREQ(color_for(5.0).name, "red");
+  EXPECT_STREQ(color_for(-0.9).name, "red");  // magnitude is used
+}
+
+TEST(ColorFor, MonotoneThresholds) {
+  // Increasing magnitude never decreases the color rank.
+  double prev_threshold = -1.0;
+  for (double v = 0.0; v <= 1.0; v += 0.05) {
+    const double t = color_for(v).threshold;
+    EXPECT_GE(t, prev_threshold);
+    prev_threshold = t;
+  }
+}
+
+TEST(Colorize, DisabledReturnsPlainText) {
+  EXPECT_EQ(colorize("x", 0.9, false), "x");
+}
+
+TEST(Colorize, EnabledWrapsWithAnsi) {
+  const std::string out = colorize("x", 0.9, true);
+  EXPECT_NE(out.find("\x1b["), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find(ansi_reset()), std::string::npos);
+}
+
+TEST(ColorLegend, ListsAllStops) {
+  const std::string legend = color_legend(false);
+  EXPECT_NE(legend.find("gray"), std::string::npos);
+  EXPECT_NE(legend.find("red"), std::string::npos);
+  EXPECT_NE(legend.find("100%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cube

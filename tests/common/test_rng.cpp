@@ -1,0 +1,94 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cube {
+namespace {
+
+TEST(SplitMix64, DeterministicForEqualSeeds) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff = any_diff || (a.next() != b.next());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SplitMix64, UniformInUnitInterval) {
+  SplitMix64 rng(7);
+  double sum = 0.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  // Mean of U(0,1) is 0.5; allow generous tolerance.
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(SplitMix64, UniformRangeRespectsBounds) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(SplitMix64, BelowStaysBelow) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(SplitMix64, NormalHasRoughlyUnitVariance) {
+  SplitMix64 rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(SplitMix64, NormalWithParameters) {
+  SplitMix64 rng(17);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(DeriveSeed, DistinctStreamsGetDistinctSeeds) {
+  const auto s0 = derive_seed(42, 0);
+  const auto s1 = derive_seed(42, 1);
+  const auto s2 = derive_seed(43, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, s2);
+  EXPECT_EQ(derive_seed(42, 0), s0);  // deterministic
+}
+
+}  // namespace
+}  // namespace cube

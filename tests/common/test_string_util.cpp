@@ -1,0 +1,122 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cube {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t "), "");
+}
+
+TEST(Trim, NoWhitespaceIsIdentity) { EXPECT_EQ(trim("abc"), "abc"); }
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-12_Z"), "abc-12_z");
+}
+
+TEST(XmlEscape, EscapesAllFiveSpecials) {
+  EXPECT_EQ(xml_escape("<a & \"b\" 'c'>"),
+            "&lt;a &amp; &quot;b&quot; &apos;c&apos;&gt;");
+}
+
+TEST(XmlEscape, PlainTextUntouched) {
+  EXPECT_EQ(xml_escape("hello world"), "hello world");
+}
+
+TEST(XmlUnescape, InverseOfEscape) {
+  const std::string original = "<a & \"b\" 'c'> plain";
+  EXPECT_EQ(xml_unescape(xml_escape(original)), original);
+}
+
+TEST(XmlUnescape, DecimalAndHexCharacterReferences) {
+  EXPECT_EQ(xml_unescape("&#65;&#x42;"), "AB");
+}
+
+TEST(XmlUnescape, Utf8FromCharacterReference) {
+  EXPECT_EQ(xml_unescape("&#xE9;"), "\xC3\xA9");  // e-acute
+}
+
+TEST(XmlUnescape, ThrowsOnUnknownEntity) {
+  EXPECT_THROW((void)xml_unescape("&bogus;"), Error);
+}
+
+TEST(XmlUnescape, ThrowsOnUnterminatedEntity) {
+  EXPECT_THROW((void)xml_unescape("a &amp b"), Error);
+}
+
+TEST(XmlUnescape, ThrowsOnInvalidCodepoint) {
+  EXPECT_THROW((void)xml_unescape("&#x110000;"), Error);
+  EXPECT_THROW((void)xml_unescape("&#;"), Error);
+}
+
+TEST(FormatValue, StripsTrailingZeros) {
+  EXPECT_EQ(format_value(1.50), "1.5");
+  EXPECT_EQ(format_value(2.00), "2");
+  EXPECT_EQ(format_value(0.25), "0.25");
+}
+
+TEST(FormatValue, NegativeZeroBecomesZero) {
+  EXPECT_EQ(format_value(-0.0001), "0");
+}
+
+TEST(FormatValue, RespectsPrecision) {
+  EXPECT_EQ(format_value(3.14159, 4), "3.1416");
+  EXPECT_EQ(format_value(3.14159, 0), "3");
+}
+
+TEST(FormatValue, NonFinite) {
+  EXPECT_EQ(format_value(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_value(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_value(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(ParseDouble, AcceptsFullMatchOnly) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_double("  -1e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(parse_double("3.25x", v));
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+}
+
+TEST(ParseSize, AcceptsUnsignedIntegers) {
+  std::size_t v = 0;
+  EXPECT_TRUE(parse_size("42", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_FALSE(parse_size("-1", v));
+  EXPECT_FALSE(parse_size("4.2", v));
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,54 @@
+#include "common/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cube {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const std::string out = t.str();
+  // Header underline present, both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RightAlignment) {
+  TextTable t;
+  t.set_header({"n"});
+  t.set_align({Align::Right});
+  t.add_row({"1"});
+  t.add_row({"100"});
+  const std::string out = t.str();
+  // "1" must be padded to width 3: appears as "  1".
+  EXPECT_NE(out.find("  1\n"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW((void)t.str());
+}
+
+TEST(TextTable, RowsWiderThanHeader) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"x", "extra"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("extra"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderMeansNoUnderline) {
+  TextTable t;
+  t.add_row({"only", "rows"});
+  const std::string out = t.str();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,67 @@
+// CONE option combinations beyond the main profiler suite.
+#include <gtest/gtest.h>
+
+#include "cone/profiler.hpp"
+#include "expert/patterns.hpp"
+#include "sim/apps/synthetic.hpp"
+#include "sim/engine.hpp"
+
+namespace cube::cone {
+namespace {
+
+sim::RunResult tiny_run() {
+  sim::SimConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.procs_per_node = 2;
+  sim::RegionTable regions;
+  return sim::Engine(cfg).run(
+      regions,
+      sim::build_imbalanced_barrier(regions, cfg.cluster, 2, 0.005, 0.3));
+}
+
+TEST(ConeOptions, TimeTreeCanBeSuppressed) {
+  ConeOptions opts;
+  opts.include_time = false;
+  opts.event_set = counters::event_set_cache();
+  const Experiment e = profile_run(tiny_run(), opts);
+  EXPECT_EQ(e.metadata().find_metric(kConeTime), nullptr);
+  EXPECT_EQ(e.metadata().find_metric(kConeVisits), nullptr);
+  EXPECT_NE(e.metadata().find_metric("PAPI_L1_DCA"), nullptr);
+}
+
+TEST(ConeOptions, SuppressedTimeStillValidates) {
+  ConeOptions opts;
+  opts.include_time = false;
+  const Experiment e = profile_run(tiny_run(), opts);
+  EXPECT_NO_THROW(e.metadata().validate());
+}
+
+TEST(ConeOptions, VisitsCountBarriers) {
+  const Experiment e = profile_run(tiny_run());
+  const Metric& visits = *e.metadata().find_metric(kConeVisits);
+  double barrier_visits = 0;
+  for (const auto& c : e.metadata().cnodes()) {
+    if (c->callee().name() == sim::kMpiBarrierRegion) {
+      for (const auto& t : e.metadata().threads()) {
+        barrier_visits += e.get(visits, *c, *t);
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(barrier_visits, 2 * 2);  // 2 rounds x 2 ranks
+}
+
+TEST(ConeOptions, SparseStorageRequested) {
+  ConeOptions opts;
+  opts.storage = StorageKind::Sparse;
+  const Experiment e = profile_run(tiny_run(), opts);
+  EXPECT_EQ(e.severity().kind(), StorageKind::Sparse);
+}
+
+TEST(ConeOptions, DefaultEventSetIsHardwareValid) {
+  // The default options must describe a measurable run out of the box.
+  const ConeOptions opts;
+  EXPECT_LE(opts.event_set.size(), opts.event_set.model().num_counters);
+}
+
+}  // namespace
+}  // namespace cube::cone

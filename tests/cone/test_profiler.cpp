@@ -1,0 +1,181 @@
+#include "cone/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/apps/sweep3d.hpp"
+#include "sim/apps/synthetic.hpp"
+#include "sim/engine.hpp"
+
+namespace cube::cone {
+namespace {
+
+using counters::Event;
+
+sim::RunResult small_run() {
+  sim::SimConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.procs_per_node = 2;
+  sim::RegionTable regions;
+  return sim::Engine(cfg).run(
+      regions, sim::build_pingpong(regions, cfg.cluster, 4, 4096));
+}
+
+TEST(Cone, BuildsTimeAndVisitTrees) {
+  const Experiment e = profile_run(small_run());
+  ASSERT_NE(e.metadata().find_metric(kConeTime), nullptr);
+  ASSERT_NE(e.metadata().find_metric(kConeVisits), nullptr);
+  EXPECT_EQ(e.metadata().find_metric(kConeTime)->unit(), Unit::Seconds);
+  EXPECT_EQ(e.metadata().find_metric(kConeVisits)->unit(),
+            Unit::Occurrences);
+}
+
+TEST(Cone, CounterMetricsMirrorEventHierarchy) {
+  ConeOptions opts;
+  opts.event_set = counters::event_set_cache();
+  const Experiment e = profile_run(small_run(), opts);
+  const Metric* dca = e.metadata().find_metric("PAPI_L1_DCA");
+  const Metric* dcm = e.metadata().find_metric("PAPI_L1_DCM");
+  const Metric* l2 = e.metadata().find_metric("PAPI_L2_DCM");
+  ASSERT_NE(dca, nullptr);
+  ASSERT_NE(dcm, nullptr);
+  ASSERT_NE(l2, nullptr);
+  EXPECT_EQ(dcm->parent(), dca);
+  EXPECT_EQ(l2->parent(), dcm);
+  EXPECT_TRUE(dca->is_root());
+}
+
+TEST(Cone, EventWithoutMeasuredParentBecomesRoot) {
+  ConeOptions opts;
+  opts.event_set = counters::EventSet({Event::FP_INS});  // parent absent
+  const Experiment e = profile_run(small_run(), opts);
+  const Metric* fp = e.metadata().find_metric("PAPI_FP_INS");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_TRUE(fp->is_root());
+}
+
+TEST(Cone, TimeMatchesProfile) {
+  const sim::RunResult run = small_run();
+  const Experiment e = profile_run(run);
+  const Metric& time = *e.metadata().find_metric(kConeTime);
+  double wall_total = 0;
+  for (const double f : run.finish_times) wall_total += f;
+  EXPECT_NEAR(e.sum_metric_tree(time), wall_total, 1e-9);
+}
+
+TEST(Cone, ParentCounterStoredExclusively) {
+  // Stored L1_DCA = accesses - misses (hits): inclusive display
+  // reconstructs accesses; the severity array never double counts.
+  ConeOptions opts;
+  opts.event_set = counters::event_set_cache();
+  opts.jitter_sigma = 0.0;
+  const sim::RunResult run = small_run();
+  const Experiment e = profile_run(run, opts);
+  const Metric& dca = *e.metadata().find_metric("PAPI_L1_DCA");
+  const Metric& dcm = *e.metadata().find_metric("PAPI_L1_DCM");
+  const counters::CounterModel model;
+  double expect_dca = 0;
+  double expect_dcm = 0;
+  for (std::size_t n = 0; n < run.profile.nodes().size(); ++n) {
+    for (int r = 0; r < 2; ++r) {
+      expect_dca += model.value(Event::L1_DCA, run.profile.work(n, r));
+      expect_dcm += model.value(Event::L1_DCM, run.profile.work(n, r));
+    }
+  }
+  EXPECT_NEAR(e.sum_metric_tree(dca), expect_dca, expect_dca * 1e-9);
+  EXPECT_NEAR(e.sum_metric_tree(dcm), expect_dcm, expect_dcm * 1e-9 + 1e-9);
+  // Exclusive value is hits = accesses - misses.
+  EXPECT_NEAR(e.sum_metric(dca), expect_dca - expect_dcm,
+              expect_dca * 1e-9);
+}
+
+TEST(Cone, JitterVariesAcrossRunSeeds) {
+  // Ping-pong performs no floating-point work, so compare a counter that
+  // is non-zero there (cycles accumulate from communication time).
+  ConeOptions a;
+  a.event_set = counters::event_set_fp();
+  a.run_seed = 1;
+  ConeOptions b = a;
+  b.run_seed = 2;
+  const sim::RunResult run = small_run();
+  const Experiment ea = profile_run(run, a);
+  const Experiment eb = profile_run(run, b);
+  const Metric& cyc_a = *ea.metadata().find_metric("PAPI_TOT_CYC");
+  const Metric& cyc_b = *eb.metadata().find_metric("PAPI_TOT_CYC");
+  ASSERT_GT(ea.sum_metric_tree(cyc_a), 0.0);
+  EXPECT_NE(ea.sum_metric_tree(cyc_a), eb.sum_metric_tree(cyc_b));
+}
+
+TEST(Cone, AttributesRecordEventSet) {
+  ConeOptions opts;
+  opts.event_set = counters::event_set_fp();
+  opts.experiment_name = "cone-fp";
+  const Experiment e = profile_run(small_run(), opts);
+  EXPECT_EQ(e.name(), "cone-fp");
+  EXPECT_NE(e.attribute("cone::event_set").find("PAPI_FP_INS"),
+            std::string::npos);
+  EXPECT_EQ(e.attribute("cube::tool"), "CONE (simulated)");
+}
+
+TEST(Cone, CallTreeMirrorsProfile) {
+  const sim::RunResult run = small_run();
+  const Experiment e = profile_run(run);
+  EXPECT_EQ(e.metadata().num_cnodes(), run.profile.nodes().size());
+  bool found = false;
+  for (const auto& c : e.metadata().cnodes()) {
+    found = found || c->path() == "main/pingpong/MPI_Recv";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cone, SweepCacheMissesConcentrateAtRecv) {
+  // The §5.2 observation: L1 miss density at MPI_Recv call paths exceeds
+  // the application average.
+  sim::SimConfig cfg;
+  sim::RegionTable regions;
+  sim::Sweep3dConfig sc;
+  sc.sweeps = 4;
+  const sim::RunResult run = sim::Engine(cfg).run(
+      regions, sim::build_sweep3d(regions, cfg.cluster, sc));
+  ConeOptions opts;
+  opts.event_set = counters::event_set_cache();
+  opts.jitter_sigma = 0.0;
+  const Experiment e = profile_run(run, opts);
+  const Metric& dcm = *e.metadata().find_metric("PAPI_L1_DCM");
+  const Metric& dca = *e.metadata().find_metric("PAPI_L1_DCA");
+
+  double recv_misses = 0;
+  double recv_accesses = 0;
+  double all_misses = 0;
+  double all_accesses = 0;
+  for (const auto& c : e.metadata().cnodes()) {
+    for (const auto& t : e.metadata().threads()) {
+      // Inclusive misses = exclusive(dcm) + exclusive(l2) etc.; compare
+      // miss *rates* using subtree sums per cnode.
+      const double misses =
+          e.get(dcm, *c, *t) +
+          e.get(*e.metadata().find_metric("PAPI_L2_DCM"), *c, *t);
+      const double accesses = e.get(dca, *c, *t) + misses;
+      all_misses += misses;
+      all_accesses += accesses;
+      if (c->callee().name() == sim::kMpiRecvRegion) {
+        recv_misses += misses;
+        recv_accesses += accesses;
+      }
+    }
+  }
+  ASSERT_GT(recv_accesses, 0.0);
+  const double recv_rate = recv_misses / recv_accesses;
+  const double avg_rate = all_misses / all_accesses;
+  EXPECT_GT(recv_rate, 2.0 * avg_rate);
+}
+
+TEST(Cone, TopologyAttached) {
+  ConeOptions opts;
+  opts.topology = {{0}, {1}};
+  const Experiment e = profile_run(small_run(), opts);
+  ASSERT_TRUE(e.metadata().find_process(0)->coords().has_value());
+}
+
+}  // namespace
+}  // namespace cube::cone

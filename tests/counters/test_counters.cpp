@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "counters/eventset.hpp"
+#include "counters/synth.hpp"
+
+namespace cube::counters {
+namespace {
+
+TEST(Events, TableIsComplete) {
+  EXPECT_EQ(all_events().size(), kNumEvents);
+  for (const EventInfo& info : all_events()) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty());
+  }
+}
+
+TEST(Events, InfoLookupMatchesCode) {
+  EXPECT_EQ(event_info(Event::FP_INS).name, "PAPI_FP_INS");
+  EXPECT_TRUE(event_info(Event::FP_INS).has_parent);
+  EXPECT_EQ(event_info(Event::FP_INS).parent, Event::TOT_INS);
+  EXPECT_FALSE(event_info(Event::TOT_CYC).has_parent);
+}
+
+TEST(Events, SpecializationHierarchy) {
+  // Cache: accesses -> misses -> L2 misses.
+  EXPECT_EQ(event_info(Event::L1_DCM).parent, Event::L1_DCA);
+  EXPECT_EQ(event_info(Event::L2_DCM).parent, Event::L1_DCM);
+}
+
+TEST(Events, ParseByName) {
+  EXPECT_EQ(parse_event("PAPI_L1_DCM"), Event::L1_DCM);
+  EXPECT_THROW((void)parse_event("PAPI_NOPE"), Error);
+}
+
+TEST(EventSet, AddAndQuery) {
+  EventSet s;
+  s.add(Event::TOT_CYC);
+  EXPECT_TRUE(s.contains(Event::TOT_CYC));
+  EXPECT_FALSE(s.contains(Event::FP_INS));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(EventSet, DuplicateRejected) {
+  EventSet s;
+  s.add(Event::TOT_CYC);
+  EXPECT_FALSE(s.compatible(Event::TOT_CYC));
+  EXPECT_THROW(s.add(Event::TOT_CYC), OperationError);
+}
+
+TEST(EventSet, CapacityLimitEnforced) {
+  EventSet s({Event::TOT_CYC, Event::TOT_INS, Event::LD_INS,
+              Event::SR_INS});
+  EXPECT_EQ(s.size(), s.model().num_counters);
+  EXPECT_FALSE(s.compatible(Event::TLB_DM));
+  EXPECT_THROW(s.add(Event::TLB_DM), OperationError);
+}
+
+TEST(EventSet, Power4ConflictFpVsCacheMisses) {
+  // The paper's §5.2 restriction: FP_INS cannot be combined with L1 data
+  // cache misses in the same run.
+  EventSet s;
+  s.add(Event::FP_INS);
+  EXPECT_FALSE(s.compatible(Event::L1_DCM));
+  EXPECT_THROW(s.add(Event::L1_DCM), OperationError);
+
+  EventSet r;
+  r.add(Event::L1_DCM);
+  EXPECT_THROW(r.add(Event::FP_INS), OperationError);
+}
+
+TEST(EventSet, PredefinedSetsAreValidAndDisjointlyMotivated) {
+  const EventSet fp = event_set_fp();
+  const EventSet cache = event_set_cache();
+  EXPECT_TRUE(fp.contains(Event::FP_INS));
+  EXPECT_TRUE(cache.contains(Event::L1_DCM));
+  // Their union is impossible on this hardware: that's why merge exists.
+  EventSet u = fp;
+  EXPECT_THROW(u.add(Event::L1_DCM), OperationError);
+}
+
+TEST(CapacityMissRate, BaseWhileFitting) {
+  EXPECT_DOUBLE_EQ(capacity_miss_rate(1000, 32768, 0.01, 0.4), 0.01);
+  EXPECT_DOUBLE_EQ(capacity_miss_rate(32768, 32768, 0.01, 0.4), 0.01);
+}
+
+TEST(CapacityMissRate, GrowsWithWorkingSet) {
+  const double r1 = capacity_miss_rate(65536, 32768, 0.01, 0.4);
+  const double r2 = capacity_miss_rate(1 << 20, 32768, 0.01, 0.4);
+  EXPECT_GT(r1, 0.01);
+  EXPECT_GT(r2, r1);
+  EXPECT_LT(r2, 0.4);
+}
+
+TEST(CounterModel, Deterministic) {
+  CounterModel model;
+  Workload w;
+  w.seconds = 1.0;
+  w.flops = 1e6;
+  w.mem_refs = 2e6;
+  w.working_set = 1 << 20;
+  EXPECT_DOUBLE_EQ(model.value(Event::FP_INS, w),
+                   model.value(Event::FP_INS, w));
+  EXPECT_DOUBLE_EQ(model.value(Event::FP_INS, w), 1e6);
+}
+
+TEST(CounterModel, CyclesScaleWithTime) {
+  CounterModel model;
+  Workload w;
+  w.seconds = 2.0;
+  EXPECT_DOUBLE_EQ(model.value(Event::TOT_CYC, w),
+                   2.0 * model.processor().clock_hz);
+}
+
+TEST(CounterModel, ChildEventsDoNotExceedParents) {
+  CounterModel model;
+  Workload w;
+  w.seconds = 1.0;
+  w.flops = 5e6;
+  w.mem_refs = 1e7;
+  w.working_set = 8 << 20;
+  w.cold_bytes = 1 << 20;
+  EXPECT_LE(model.value(Event::FP_INS, w), model.value(Event::TOT_INS, w));
+  EXPECT_LE(model.value(Event::L1_DCM, w), model.value(Event::L1_DCA, w));
+  EXPECT_LE(model.value(Event::L2_DCM, w), model.value(Event::L1_DCM, w));
+}
+
+TEST(CounterModel, ColdBytesDriveMissesDisproportionately) {
+  // A message copy (streamed, no reuse) must produce far more misses per
+  // reference than resident computation — the §5.2 cache-miss hot spot at
+  // MPI_Recv depends on this.
+  CounterModel model;
+  Workload compute;
+  compute.mem_refs = 1e6;
+  compute.working_set = 16 * 1024;  // fits in L1
+  Workload copy;
+  copy.cold_bytes = 8e6;  // same 1e6 refs (8 bytes each)
+  const double compute_rate = model.value(Event::L1_DCM, compute) /
+                              model.value(Event::L1_DCA, compute);
+  const double copy_rate =
+      model.value(Event::L1_DCM, copy) / model.value(Event::L1_DCA, copy);
+  EXPECT_GT(copy_rate, 5.0 * compute_rate);
+}
+
+TEST(CounterModel, WorkloadAccumulation) {
+  Workload a;
+  a.seconds = 1.0;
+  a.flops = 10;
+  a.working_set = 100;
+  Workload b;
+  b.seconds = 2.0;
+  b.flops = 5;
+  b.working_set = 300;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.seconds, 3.0);
+  EXPECT_DOUBLE_EQ(a.flops, 15);
+  // Working sets take the max, not the sum.
+  EXPECT_DOUBLE_EQ(a.working_set, 300);
+}
+
+TEST(JitteredModel, DeterministicPerSeed) {
+  CounterModel base;
+  Workload w;
+  w.flops = 1e8;
+  w.seconds = 1.0;
+  const JitteredCounterModel j1(base, 42, 0.02);
+  const JitteredCounterModel j2(base, 42, 0.02);
+  EXPECT_DOUBLE_EQ(j1.value(Event::FP_INS, w), j2.value(Event::FP_INS, w));
+}
+
+TEST(JitteredModel, DifferentSeedsDiffer) {
+  CounterModel base;
+  Workload w;
+  w.flops = 1e8;
+  const JitteredCounterModel j1(base, 1, 0.02);
+  const JitteredCounterModel j2(base, 2, 0.02);
+  EXPECT_NE(j1.value(Event::FP_INS, w), j2.value(Event::FP_INS, w));
+}
+
+TEST(JitteredModel, JitterIsSmallAndMeanPreserving) {
+  CounterModel base;
+  Workload w;
+  w.flops = 1e8;
+  double sum = 0;
+  constexpr int kRuns = 200;
+  for (int i = 0; i < kRuns; ++i) {
+    const JitteredCounterModel j(base, static_cast<std::uint64_t>(i), 0.01);
+    const double v = j.value(Event::FP_INS, w);
+    EXPECT_NEAR(v, 1e8, 1e8 * 0.06);  // within ~6 sigma
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kRuns, 1e8, 1e8 * 0.005);
+}
+
+TEST(JitteredModel, ZeroStaysZero) {
+  CounterModel base;
+  const JitteredCounterModel j(base, 7, 0.05);
+  Workload w;  // empty
+  EXPECT_DOUBLE_EQ(j.value(Event::FP_INS, w), 0.0);
+}
+
+}  // namespace
+}  // namespace cube::counters

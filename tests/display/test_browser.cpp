@@ -1,0 +1,134 @@
+#include "display/browser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+TEST(Browser, HelpListsCommands) {
+  const Experiment e = make_small();
+  Browser b(e);
+  const std::string help = b.execute("help");
+  EXPECT_NE(help.find("select metric"), std::string::npos);
+  EXPECT_NE(help.find("mode absolute"), std::string::npos);
+}
+
+TEST(Browser, ShowRendersView) {
+  const Experiment e = make_small();
+  Browser b(e);
+  const std::string out = b.execute("show");
+  EXPECT_NE(out.find("Metric tree"), std::string::npos);
+}
+
+TEST(Browser, SelectMetricChangesState) {
+  const Experiment e = make_small();
+  Browser b(e);
+  EXPECT_EQ(b.execute("select metric mpi"), "");
+  EXPECT_EQ(b.state().selected_metric(), 1u);
+}
+
+TEST(Browser, SelectCallChangesState) {
+  const Experiment e = make_small();
+  Browser b(e);
+  b.execute("select call io");
+  EXPECT_EQ(e.metadata()
+                .cnodes()[b.state().selected_cnode()]
+                ->callee()
+                .name(),
+            "io");
+}
+
+TEST(Browser, ExpandCollapseMetric) {
+  const Experiment e = make_small();
+  Browser b(e);
+  b.execute("collapse metric time");
+  EXPECT_FALSE(b.state().metric_expanded(0));
+  b.execute("expand metric time");
+  EXPECT_TRUE(b.state().metric_expanded(0));
+}
+
+TEST(Browser, CollapseAllAndExpandAll) {
+  const Experiment e = make_small();
+  Browser b(e);
+  b.execute("collapse all");
+  EXPECT_FALSE(b.state().cnode_expanded(0));
+  b.execute("expand all");
+  EXPECT_TRUE(b.state().cnode_expanded(0));
+}
+
+TEST(Browser, CollapseCallAffectsAllMatchingRegions) {
+  const Experiment e = make_small();
+  Browser b(e);
+  b.execute("collapse call main");
+  EXPECT_FALSE(b.state().cnode_expanded(0));
+}
+
+TEST(Browser, ModeSwitches) {
+  const Experiment e = make_small();
+  Browser b(e);
+  b.execute("mode percent");
+  EXPECT_EQ(b.state().mode(), ValueMode::Percent);
+  b.execute("mode external 123.5");
+  EXPECT_EQ(b.state().mode(), ValueMode::External);
+  EXPECT_DOUBLE_EQ(b.state().external_reference(), 123.5);
+  b.execute("mode absolute");
+  EXPECT_EQ(b.state().mode(), ValueMode::Absolute);
+}
+
+TEST(Browser, ErrorsOnBadInput) {
+  const Experiment e = make_small();
+  Browser b(e);
+  EXPECT_THROW((void)b.execute("select metric nope"), OperationError);
+  EXPECT_THROW((void)b.execute("select bogus x"), OperationError);
+  EXPECT_THROW((void)b.execute("mode external"), OperationError);
+  EXPECT_THROW((void)b.execute("frobnicate"), OperationError);
+  EXPECT_THROW((void)b.execute("expand call nope"), OperationError);
+}
+
+TEST(Browser, EmptyCommandIsNoop) {
+  const Experiment e = make_small();
+  Browser b(e);
+  EXPECT_EQ(b.execute(""), "");
+  EXPECT_EQ(b.execute("   "), "");
+}
+
+TEST(Browser, ExportWritesHtml) {
+  const Experiment e = make_small();
+  Browser b(e);
+  const std::string path = ::testing::TempDir() + "/browser_export.html";
+  const std::string out = b.execute("export " + path);
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "<!DOCTYPE html>");
+  std::remove(path.c_str());
+}
+
+TEST(Browser, ExportWithoutFileThrows) {
+  const Experiment e = make_small();
+  Browser b(e);
+  EXPECT_THROW((void)b.execute("export"), OperationError);
+}
+
+TEST(Browser, StateDrivesRender) {
+  const Experiment e = make_small();
+  Browser b(e);
+  b.execute("select metric mpi");
+  b.execute("mode percent");
+  const std::string out = b.execute("show");
+  EXPECT_NE(out.find("MPI  <== selected"), std::string::npos);
+  EXPECT_NE(out.find("percent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cube

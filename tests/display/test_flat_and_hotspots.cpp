@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.hpp"
+#include "common/error.hpp"
+#include "display/browser.hpp"
+#include "display/hotspots.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+// An experiment where one region ("f") is reached via two call paths, to
+// exercise the flat projection: main -> {a -> f, b -> f}.
+Experiment make_multipath() {
+  auto md = std::make_unique<Metadata>();
+  md->add_metric(nullptr, "time", "Time", Unit::Seconds, "");
+  const Region& r_main = md->add_region("main", "x.c", 1, 99);
+  const Region& r_a = md->add_region("a", "x.c", 10, 20);
+  const Region& r_b = md->add_region("b", "x.c", 30, 40);
+  const Region& r_f = md->add_region("f", "x.c", 50, 60);
+  const Cnode& c_main = md->add_cnode_for_region(nullptr, r_main);
+  const Cnode& c_a = md->add_cnode_for_region(&c_main, r_a);
+  const Cnode& c_b = md->add_cnode_for_region(&c_main, r_b);
+  md->add_cnode_for_region(&c_a, r_f);
+  md->add_cnode_for_region(&c_b, r_f);
+  Machine& m = md->add_machine("m");
+  Process& p = md->add_process(md->add_node(m, "n"), "r0", 0);
+  md->add_thread(p, "t0", 0);
+  Experiment e(std::move(md));
+  e.set_name("multipath");
+  // time: main=1, a=2, b=3, a/f=10, b/f=20.
+  e.severity().set(0, 0, 0, 1.0);
+  e.severity().set(0, 1, 0, 2.0);
+  e.severity().set(0, 2, 0, 3.0);
+  e.severity().set(0, 3, 0, 10.0);
+  e.severity().set(0, 4, 0, 20.0);
+  return e;
+}
+
+const ViewRow& row_labeled(const std::vector<ViewRow>& rows,
+                           const std::string& label) {
+  for (const ViewRow& r : rows) {
+    if (r.label == label) return r;
+  }
+  throw std::runtime_error("no row labeled " + label);
+}
+
+TEST(FlatView, OneRowPerRegionSummingCallPaths) {
+  const Experiment e = make_multipath();
+  ViewState s(e);
+  s.set_program_view(ProgramView::Flat);
+  const ViewData v = compute_view(s);
+  // Regions main, a, b, f -> 4 rows (each appears as a callee).
+  EXPECT_EQ(v.call_rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(row_labeled(v.call_rows, "f").value, 30.0);  // 10 + 20
+  EXPECT_DOUBLE_EQ(row_labeled(v.call_rows, "main").value, 1.0);
+  for (const ViewRow& r : v.call_rows) {
+    EXPECT_FALSE(r.expandable);
+    EXPECT_TRUE(r.visible);
+  }
+}
+
+TEST(FlatView, FlatRowsSumToCallTreeTotal) {
+  const Experiment e = make_multipath();
+  ViewState s(e);
+  s.set_program_view(ProgramView::Flat);
+  const ViewData v = compute_view(s);
+  double flat_total = 0;
+  for (const ViewRow& r : v.call_rows) flat_total += r.value;
+  EXPECT_DOUBLE_EQ(flat_total, 36.0);  // 1+2+3+10+20
+}
+
+TEST(FlatView, SelectionAggregatesAllPathsOfRegion) {
+  const Experiment e = make_multipath();
+  ViewState s(e);
+  s.set_program_view(ProgramView::Flat);
+  s.select_cnode("f");  // selects the first cnode into f
+  const ViewData v = compute_view(s);
+  // System pane shows the region total across both call paths.
+  double sys_total = 0;
+  for (const ViewRow& r : v.system_rows) {
+    if (r.system_level == SystemLevel::Process) sys_total += r.value;
+  }
+  EXPECT_DOUBLE_EQ(sys_total, 30.0);
+  EXPECT_TRUE(row_labeled(v.call_rows, "f").selected);
+}
+
+TEST(FlatView, BrowserSwitchesViews) {
+  const Experiment e = make_multipath();
+  Browser b(e);
+  b.execute("view flat");
+  EXPECT_EQ(b.state().program_view(), ProgramView::Flat);
+  const std::string flat = b.execute("show");
+  // In the flat view no expansion markers appear in the call pane region
+  // rows (all leaves).
+  EXPECT_NE(flat.find("f"), std::string::npos);
+  b.execute("view calltree");
+  EXPECT_EQ(b.state().program_view(), ProgramView::CallTree);
+  EXPECT_THROW((void)b.execute("view bogus"), OperationError);
+}
+
+TEST(Hotspots, RanksByMagnitude) {
+  const Experiment e = make_multipath();
+  const auto spots = find_hotspots(e, {.top_n = 3});
+  ASSERT_EQ(spots.size(), 3u);
+  EXPECT_DOUBLE_EQ(spots[0].value, 20.0);
+  EXPECT_EQ(spots[0].cnode->path(), "main/b/f");
+  EXPECT_DOUBLE_EQ(spots[1].value, 10.0);
+  EXPECT_GT(spots[0].share, spots[1].share);
+}
+
+TEST(Hotspots, SharesSumToAtMostOne) {
+  const Experiment e = make_multipath();
+  const auto spots = find_hotspots(e, {.top_n = 100});
+  double total = 0;
+  for (const Hotspot& h : spots) total += h.share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Hotspots, WorksOnDifferenceExperiments) {
+  // The paper's §6 point: the same hotspot search runs on derived data.
+  Experiment a = make_multipath();
+  Experiment b = make_multipath();
+  b.set_name("b");
+  b.severity().set(0, 4, 0, 35.0);  // b/f got 15 s slower in b
+  const Experiment d = difference(a, b);
+  const auto spots = find_hotspots(d, {.top_n = 1});
+  ASSERT_EQ(spots.size(), 1u);
+  EXPECT_DOUBLE_EQ(spots[0].value, -15.0);  // negative: a is faster there
+  EXPECT_EQ(spots[0].cnode->callee().name(), "f");
+}
+
+TEST(Hotspots, UnitFilter) {
+  const Experiment e = make_small();  // has sec and occ trees
+  HotspotOptions occ;
+  occ.unit = Unit::Occurrences;
+  for (const Hotspot& h : find_hotspots(e, occ)) {
+    EXPECT_EQ(h.metric->unit(), Unit::Occurrences);
+  }
+  HotspotOptions all;
+  all.unit = std::nullopt;
+  all.top_n = 1000;
+  const auto everything = find_hotspots(e, all);
+  EXPECT_EQ(everything.size(), 3u * 4u);  // 3 metrics x 4 cnodes, all set
+}
+
+TEST(Hotspots, MinMagnitudeFilter) {
+  const Experiment e = make_multipath();
+  HotspotOptions opts;
+  opts.min_magnitude = 5.0;
+  const auto spots = find_hotspots(e, opts);
+  EXPECT_EQ(spots.size(), 2u);  // only 10 and 20 survive
+}
+
+TEST(Hotspots, FormatProducesTable) {
+  const Experiment e = make_multipath();
+  const std::string out = format_hotspots(find_hotspots(e, {.top_n = 2}));
+  EXPECT_NE(out.find("main/b/f"), std::string::npos);
+  EXPECT_NE(out.find("share"), std::string::npos);
+  EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cube

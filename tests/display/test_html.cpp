@@ -1,0 +1,108 @@
+#include "display/html.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "algebra/operators.hpp"
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+TEST(Html, WellFormedDocumentSkeleton) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  const std::string html = render_html(s);
+  EXPECT_EQ(html.find("<!DOCTYPE html>"), 0u);
+  EXPECT_NE(html.find("<title>small</title>"), std::string::npos);
+  EXPECT_NE(html.find("Metric tree"), std::string::npos);
+  EXPECT_NE(html.find("Call tree"), std::string::npos);
+  EXPECT_NE(html.find("System tree"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(Html, EscapesLabels) {
+  Experiment e = make_small();
+  e.set_name("a<b & \"c\"");
+  const ViewState s(e);
+  const std::string html = render_html(s);
+  EXPECT_EQ(html.find("a<b &"), std::string::npos);
+  EXPECT_NE(html.find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+}
+
+TEST(Html, SelectionHighlighted) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.select_metric("mpi");
+  const std::string html = render_html(s);
+  EXPECT_NE(html.find("class=\"selected\""), std::string::npos);
+}
+
+TEST(Html, ReliefMarksSigns) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  b.severity().set(0, 3, 0, 9999.0);
+  const Experiment d = difference(a, b);
+  const ViewState s(d);
+  const std::string html = render_html(s);
+  EXPECT_NE(html.find("&#9661;"), std::string::npos);  // sunken (negative)
+  EXPECT_NE(html.find("&#9651;"), std::string::npos);  // raised (positive)
+  EXPECT_NE(html.find("derived experiment"), std::string::npos);
+  EXPECT_NE(html.find("provenance"), std::string::npos);
+}
+
+TEST(Html, HiddenRowsOmittedUnlessRequested) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_cnode_expanded(0, false);
+  EXPECT_EQ(render_html(s).find(">work<"), std::string::npos);
+  HtmlOptions opts;
+  opts.include_hidden = true;
+  EXPECT_NE(render_html(s, opts).find("work"), std::string::npos);
+}
+
+TEST(Html, FlatViewTitlesPane) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_program_view(ProgramView::Flat);
+  const std::string html = render_html(s);
+  EXPECT_NE(html.find("Flat profile"), std::string::npos);
+}
+
+TEST(Html, ModeHeaderReflectsState) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_mode(ValueMode::Percent);
+  EXPECT_NE(render_html(s).find("percent of selected metric root total"),
+            std::string::npos);
+}
+
+TEST(Html, FileWriting) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  const std::string path = ::testing::TempDir() + "/cube_view.html";
+  write_html_file(s, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "<!DOCTYPE html>");
+  std::remove(path.c_str());
+}
+
+TEST(Html, CustomTitle) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  HtmlOptions opts;
+  opts.title = "My View";
+  EXPECT_NE(render_html(s, opts).find("<title>My View</title>"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cube

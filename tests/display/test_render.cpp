@@ -1,0 +1,137 @@
+#include "display/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/operators.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+TEST(Render, ContainsAllThreePanes) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  const std::string out = render_view(s);
+  EXPECT_NE(out.find("Metric tree"), std::string::npos);
+  EXPECT_NE(out.find("Call tree"), std::string::npos);
+  EXPECT_NE(out.find("System tree"), std::string::npos);
+}
+
+TEST(Render, ShowsExperimentNameAndKind) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  const std::string out = render_view(s);
+  EXPECT_NE(out.find("small"), std::string::npos);
+  EXPECT_NE(out.find("[original]"), std::string::npos);
+}
+
+TEST(Render, DerivedExperimentShowsProvenance) {
+  const Experiment d = difference(make_small(), make_small());
+  const ViewState s(d);
+  const std::string out = render_view(s);
+  EXPECT_NE(out.find("[derived]"), std::string::npos);
+  EXPECT_NE(out.find("provenance: difference"), std::string::npos);
+}
+
+TEST(Render, SelectionMarkerPresent) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.select_metric("mpi");
+  const std::string out = render_view(s);
+  EXPECT_NE(out.find("MPI  <== selected"), std::string::npos);
+}
+
+TEST(Render, ExpansionMarkers) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  std::string out = render_view(s);
+  EXPECT_NE(out.find("[-] "), std::string::npos);  // expanded inner node
+  s.collapse_all();
+  out = render_view(s);
+  EXPECT_NE(out.find("[+] "), std::string::npos);  // collapsed
+}
+
+TEST(Render, ReliefEncodesSign) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  b.severity().set(0, 3, 0, 9999.0);
+  const Experiment d = difference(a, b);
+  const ViewState s(d);
+  const std::string out = render_view(s);
+  // Sunken relief marker for negative values.
+  EXPECT_NE(out.find("[v"), std::string::npos);
+  // Raised relief for positive values.
+  EXPECT_NE(out.find("[^"), std::string::npos);
+}
+
+TEST(Render, HiddenRowsOmittedByDefault) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_cnode_expanded(0, false);  // hide main's children
+  const std::string out = render_view(s);
+  EXPECT_EQ(out.find(" work"), std::string::npos);
+  RenderOptions opts;
+  opts.show_hidden = true;
+  const std::string all = render_view(s, opts);
+  EXPECT_NE(all.find("work"), std::string::npos);
+}
+
+TEST(Render, PercentModeHeaderShowsReference) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_mode(ValueMode::Percent);
+  const std::string out = render_view(s);
+  EXPECT_NE(out.find("percent of selected metric root total"),
+            std::string::npos);
+}
+
+TEST(Render, ExternalModeHeader) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_mode(ValueMode::External);
+  s.set_external_reference(42.0);
+  const std::string out = render_view(s);
+  EXPECT_NE(out.find("normalized to external reference (42)"),
+            std::string::npos);
+}
+
+TEST(Render, ColorEmitsAnsiOnlyWhenEnabled) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  RenderOptions plain;
+  EXPECT_EQ(render_view(s, plain).find("\x1b["), std::string::npos);
+  RenderOptions color;
+  color.color = true;
+  EXPECT_NE(render_view(s, color).find("\x1b["), std::string::npos);
+}
+
+TEST(Render, LegendAppendedOnRequest) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  RenderOptions opts;
+  opts.legend = true;
+  EXPECT_NE(render_view(s, opts).find("color legend"), std::string::npos);
+}
+
+TEST(Render, IndentationReflectsDepth) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  const ViewData v = compute_view(s);
+  const std::string out = render_pane(v, Pane::Call);
+  // MPI_Send at depth 2: indented deeper than work at depth 1.
+  const auto send_pos = out.find("MPI_Send");
+  const auto work_pos = out.find("work");
+  ASSERT_NE(send_pos, std::string::npos);
+  ASSERT_NE(work_pos, std::string::npos);
+  const auto line_start = [&](std::size_t pos) {
+    return out.rfind('\n', pos) + 1;
+  };
+  const std::size_t send_indent = send_pos - line_start(send_pos);
+  const std::size_t work_indent = work_pos - line_start(work_pos);
+  EXPECT_GT(send_indent, work_indent);
+}
+
+}  // namespace
+}  // namespace cube

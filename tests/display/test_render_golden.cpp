@@ -1,0 +1,74 @@
+// Golden test: the exact text rendering of a fixed small experiment.
+// Locks the display format against accidental changes; update deliberately
+// when the renderer is meant to change.
+#include <gtest/gtest.h>
+
+#include "display/render.hpp"
+
+namespace cube {
+namespace {
+
+Experiment golden_experiment() {
+  auto md = std::make_unique<Metadata>();
+  const Metric& time =
+      md->add_metric(nullptr, "time", "Time", Unit::Seconds, "");
+  md->add_metric(&time, "mpi", "MPI", Unit::Seconds, "");
+  const Region& r_main = md->add_region("main", "a.c", 1, 9);
+  const Region& r_f = md->add_region("f", "a.c", 10, 20);
+  const Cnode& c_main = md->add_cnode_for_region(nullptr, r_main);
+  md->add_cnode_for_region(&c_main, r_f);
+  Machine& m = md->add_machine("box");
+  SysNode& n = md->add_node(m, "n0");
+  Process& p0 = md->add_process(n, "p0", 0);
+  md->add_thread(p0, "t0", 0);
+  Process& p1 = md->add_process(n, "p1", 1);
+  md->add_thread(p1, "t0", 0);
+
+  Experiment e(std::move(md));
+  e.set_name("golden");
+  e.severity().set(0, 0, 0, 4.0);   // time, main, p0
+  e.severity().set(0, 1, 1, 2.0);   // time, f, p1
+  e.severity().set(1, 1, 0, 1.5);   // mpi, f, p0
+  return e;
+}
+
+TEST(RenderGolden, DefaultViewExactOutput) {
+  const Experiment e = golden_experiment();
+  ViewState s(e);
+  s.select_metric("time");
+  s.select_cnode("f");
+  const std::string expected =
+      "CUBE experiment: golden  [original]\n"
+      "values: absolute\n"
+      "\n"
+      "Metric tree\n"
+      "  [-] [^6] Time  <== selected\n"
+      "     *  [^1.5] MPI\n"
+      "\n"
+      "Call tree\n"
+      "  [-] [^4] main\n"
+      "     *  [^2] f  <== selected\n"
+      "\n"
+      "System tree\n"
+      "  [-] [^0] box\n"
+      "    [-] [^0] n0\n"
+      "       *  [^0] p0\n"
+      "       *  [^2] p1\n";
+  EXPECT_EQ(render_view(s), expected);
+}
+
+TEST(RenderGolden, PercentModeExactOutput) {
+  const Experiment e = golden_experiment();
+  ViewState s(e);
+  s.set_mode(ValueMode::Percent);
+  s.set_metric_expanded(0, false);  // collapse Time -> inclusive 7.5
+  const std::string out = render_view(s);
+  EXPECT_NE(out.find("values: percent of selected metric root total (7.5)"),
+            std::string::npos);
+  EXPECT_NE(out.find("[+] [^100] Time"), std::string::npos);
+  // MPI hidden below the collapsed root.
+  EXPECT_EQ(out.find("MPI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cube

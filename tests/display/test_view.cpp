@@ -1,0 +1,258 @@
+#include "display/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/operators.hpp"
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+const ViewRow& row_labeled(const std::vector<ViewRow>& rows,
+                           const std::string& label) {
+  for (const ViewRow& r : rows) {
+    if (r.label == label) return r;
+  }
+  throw std::runtime_error("no row labeled " + label);
+}
+
+TEST(ViewState, InitialStateSelectsFirstEntities) {
+  const Experiment e = make_small();
+  const ViewState s(e);
+  EXPECT_EQ(s.selected_metric(), 0u);
+  EXPECT_EQ(s.selected_cnode(), 0u);
+  EXPECT_TRUE(s.metric_expanded(0));
+  EXPECT_EQ(s.mode(), ValueMode::Absolute);
+}
+
+TEST(ViewState, SelectByName) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.select_metric("mpi");
+  EXPECT_EQ(s.selected_metric(), 1u);
+  s.select_cnode("io");
+  EXPECT_EQ(e.metadata().cnodes()[s.selected_cnode()]->callee().name(),
+            "io");
+}
+
+TEST(ViewState, SelectUnknownThrows) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  EXPECT_THROW(s.select_metric("nope"), OperationError);
+  EXPECT_THROW(s.select_cnode("nope"), OperationError);
+  EXPECT_THROW(s.select_metric(99), OperationError);
+}
+
+TEST(ComputeView, MetricLabelsSumAcrossEverything) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  const ViewData v = compute_view(s);
+  // Expanded "time" shows its EXCLUSIVE value (children's share excluded).
+  const Metric& time = *e.metadata().find_metric("time");
+  EXPECT_DOUBLE_EQ(row_labeled(v.metric_rows, "Time").value,
+                   e.sum_metric(time));
+  // Collapsing shows inclusive.
+  s.set_metric_expanded(time.index(), false);
+  const ViewData v2 = compute_view(s);
+  EXPECT_DOUBLE_EQ(row_labeled(v2.metric_rows, "Time").value,
+                   e.sum_metric_tree(time));
+}
+
+TEST(ComputeView, LeafMetricShowsOwnValueRegardlessOfExpansion) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  const ViewData v = compute_view(s);
+  const Metric& mpi = *e.metadata().find_metric("mpi");
+  EXPECT_DOUBLE_EQ(row_labeled(v.metric_rows, "MPI").value,
+                   e.sum_metric(mpi));
+}
+
+TEST(ComputeView, CallLabelsShowSelectedMetricOnly) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.select_metric("mpi");  // leaf, expanded -> just mpi
+  const ViewData v = compute_view(s);
+  const Metric& mpi = *e.metadata().find_metric("mpi");
+  // "io" is a leaf cnode: value = sum over threads of (mpi, io).
+  const Cnode* io = nullptr;
+  for (const auto& c : e.metadata().cnodes()) {
+    if (c->callee().name() == "io") io = c.get();
+  }
+  EXPECT_DOUBLE_EQ(row_labeled(v.call_rows, "io").value,
+                   e.sum_cnode(mpi, *io));
+}
+
+TEST(ComputeView, CollapsedMetricSelectionAggregatesSubtree) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.select_metric("time");
+  s.set_metric_expanded(0, false);  // selection collapsed -> time + mpi
+  const ViewData v = compute_view(s);
+  const Metric& time = *e.metadata().find_metric("time");
+  const Metric& mpi = *e.metadata().find_metric("mpi");
+  const Cnode& main = *e.metadata().cnodes()[0];
+  EXPECT_DOUBLE_EQ(row_labeled(v.call_rows, "main").value,
+                   e.sum_cnode(time, main) + e.sum_cnode(mpi, main));
+}
+
+TEST(ComputeView, CallExpansionSwitchesInclusiveExclusive) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  const Metric& time = *e.metadata().find_metric("time");
+  const Cnode& main = *e.metadata().cnodes()[0];
+  // Expanded: main shows its exclusive share.
+  ViewData v = compute_view(s);
+  EXPECT_DOUBLE_EQ(row_labeled(v.call_rows, "main").value,
+                   e.sum_cnode(time, main));
+  // Collapsed: whole subtree.
+  s.set_cnode_expanded(0, false);
+  v = compute_view(s);
+  double subtree = 0;
+  for (const auto& c : e.metadata().cnodes()) {
+    subtree += e.sum_cnode(time, *c);
+  }
+  EXPECT_DOUBLE_EQ(row_labeled(v.call_rows, "main").value, subtree);
+}
+
+TEST(ComputeView, SystemLabelsShowSelectedPair) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.select_metric("mpi");
+  s.select_cnode("io");
+  const ViewData v = compute_view(s);
+  // Threads visible (2 threads per process).
+  EXPECT_FALSE(v.threads_hidden);
+  const Metric& mpi = *e.metadata().find_metric("mpi");
+  const Cnode* io = nullptr;
+  for (const auto& c : e.metadata().cnodes()) {
+    if (c->callee().name() == "io") io = c.get();
+  }
+  // Thread rows carry per-thread values for (mpi, io).
+  double thread_sum = 0;
+  for (const ViewRow& r : v.system_rows) {
+    if (r.system_level == SystemLevel::Thread) {
+      thread_sum += r.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(thread_sum, e.sum_cnode(mpi, *io));
+}
+
+TEST(ComputeView, ExpandedSystemParentsShowZero) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  const ViewData v = compute_view(s);
+  for (const ViewRow& r : v.system_rows) {
+    if (r.system_level == SystemLevel::Machine ||
+        r.system_level == SystemLevel::Node) {
+      EXPECT_DOUBLE_EQ(r.value, 0.0);  // all expanded -> exclusive 0
+    }
+  }
+}
+
+TEST(ComputeView, CollapsedMachineAggregatesSystem) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_machine_expanded(0, false);
+  const ViewData v = compute_view(s);
+  const Metric& time = *e.metadata().find_metric("time");
+  const Cnode& main = *e.metadata().cnodes()[0];
+  EXPECT_DOUBLE_EQ(row_labeled(v.system_rows, "m0").value,
+                   e.sum_cnode(time, main));
+}
+
+TEST(ComputeView, PercentModeNormalizesToRootTotal) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_mode(ValueMode::Percent);
+  const ViewData v = compute_view(s);
+  const Metric& time = *e.metadata().find_metric("time");
+  EXPECT_DOUBLE_EQ(v.reference, e.sum_metric_tree(time));
+  // Collapsed root would show exactly 100%.
+  s.set_metric_expanded(0, false);
+  const ViewData v2 = compute_view(s);
+  EXPECT_NEAR(row_labeled(v2.metric_rows, "Time").display_value, 100.0,
+              1e-9);
+}
+
+TEST(ComputeView, ExternalModeUsesSuppliedReference) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_mode(ValueMode::External);
+  s.set_external_reference(200.0);
+  const ViewData v = compute_view(s);
+  EXPECT_DOUBLE_EQ(v.reference, 200.0);
+  const Metric& time = *e.metadata().find_metric("time");
+  EXPECT_NEAR(row_labeled(v.metric_rows, "Time").display_value,
+              100.0 * e.sum_metric(time) / 200.0, 1e-9);
+}
+
+TEST(ComputeView, HiddenRowsUnderCollapsedAncestors) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.set_cnode_expanded(0, false);  // collapse main
+  const ViewData v = compute_view(s);
+  EXPECT_FALSE(row_labeled(v.call_rows, "work").visible);
+  EXPECT_TRUE(row_labeled(v.call_rows, "main").visible);
+}
+
+TEST(ComputeView, ThreadsHiddenForSingleThreadedApps) {
+  // Build a single-threaded variant.
+  auto md = std::make_unique<Metadata>();
+  md->add_metric(nullptr, "t", "T", Unit::Seconds, "");
+  const Region& r = md->add_region("main", "a.c", 1, 2);
+  md->add_cnode_for_region(nullptr, r);
+  Machine& m = md->add_machine("m");
+  SysNode& n = md->add_node(m, "n");
+  Process& p0 = md->add_process(n, "p0", 0);
+  md->add_thread(p0, "t0", 0);
+  Experiment e(std::move(md));
+  e.severity().set(0, 0, 0, 5.0);
+
+  ViewState s(e);
+  const ViewData v = compute_view(s);
+  EXPECT_TRUE(v.threads_hidden);
+  for (const ViewRow& r2 : v.system_rows) {
+    EXPECT_NE(r2.system_level, SystemLevel::Thread);
+  }
+  // The process row carries the thread's value and is not expandable.
+  const ViewRow& prow = row_labeled(v.system_rows, "p0");
+  EXPECT_DOUBLE_EQ(prow.value, 5.0);
+  EXPECT_FALSE(prow.expandable);
+}
+
+TEST(ComputeView, NegativeValuesInDifferenceExperiments) {
+  Experiment a = make_small();
+  Experiment b = make_small(StorageKind::Dense, "b");
+  b.severity().set(0, 3, 0, 9999.0);  // b worse at cnode io
+  const Experiment d = difference(a, b);
+  ViewState s(d);
+  const ViewData v = compute_view(s);
+  // Some row must be negative; scale_max reflects magnitudes.
+  bool any_negative = false;
+  for (const ViewRow& r : v.call_rows) {
+    any_negative = any_negative || r.value < 0.0;
+  }
+  EXPECT_TRUE(any_negative);
+  EXPECT_GT(v.scale_max, 0.0);
+}
+
+TEST(ComputeView, SingleRepresentationSumsToTotal) {
+  // Sum of displayed (expanded = exclusive) metric rows equals the grand
+  // total of all metric trees: each fraction appears exactly once.
+  const Experiment e = make_small();
+  ViewState s(e);
+  const ViewData v = compute_view(s);
+  double displayed = 0;
+  for (const ViewRow& r : v.metric_rows) displayed += r.value;
+  double total = 0;
+  for (const auto& m : e.metadata().metrics()) {
+    total += e.sum_metric(*m);
+  }
+  EXPECT_DOUBLE_EQ(displayed, total);
+}
+
+}  // namespace
+}  // namespace cube

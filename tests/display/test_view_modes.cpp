@@ -1,0 +1,105 @@
+// Value-mode corner cases of the view model.
+#include <gtest/gtest.h>
+
+#include "display/view.hpp"
+#include "expert/patterns.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+const ViewRow& row_labeled(const std::vector<ViewRow>& rows,
+                           const std::string& label) {
+  for (const ViewRow& r : rows) {
+    if (r.label == label) return r;
+  }
+  throw std::runtime_error("no row labeled " + label);
+}
+
+TEST(ViewModes, OtherMetricTreesNormalizeAgainstOwnRoot) {
+  // make_small has a seconds tree (time->mpi) and an occurrences tree
+  // (visits).  With time selected in percent mode, the visits row must be
+  // scaled by ITS OWN total, not the time total.
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.select_metric("time");
+  s.set_mode(ValueMode::Percent);
+  s.set_metric_expanded(2, false);  // visits is a leaf anyway
+  const ViewData v = compute_view(s);
+  // Visits shown relative to its own total: exactly 100 for the root.
+  EXPECT_NEAR(row_labeled(v.metric_rows, "Visits").display_value, 100.0,
+              1e-9);
+}
+
+TEST(ViewModes, ExternalModeAlsoScopedToSelectedTree) {
+  const Experiment e = make_small();
+  ViewState s(e);
+  s.select_metric("time");
+  s.set_mode(ValueMode::External);
+  s.set_external_reference(1000.0);
+  const ViewData v = compute_view(s);
+  const Metric& time = *e.metadata().find_metric("time");
+  EXPECT_NEAR(row_labeled(v.metric_rows, "Time").display_value,
+              100.0 * e.sum_metric(time) / 1000.0, 1e-9);
+  // Visits (different tree) falls back to own-root normalization.
+  EXPECT_NEAR(row_labeled(v.metric_rows, "Visits").display_value, 100.0,
+              1e-9);
+}
+
+TEST(ViewModes, ZeroReferenceYieldsZeroDisplay) {
+  auto md = make_small().metadata().clone();
+  const Experiment zero(std::move(md));  // all-zero severities
+  ViewState s(zero);
+  s.set_mode(ValueMode::Percent);
+  const ViewData v = compute_view(s);
+  for (const ViewRow& r : v.metric_rows) {
+    EXPECT_DOUBLE_EQ(r.display_value, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(v.scale_max, 0.0);
+}
+
+TEST(ViewModes, ScaleMaxIgnoresHiddenRows) {
+  Experiment e = make_small();
+  // Put a huge value on a row that will be hidden (work under main).
+  e.severity().set(0, 1, 0, 1e9);
+  ViewState s(e);
+  s.set_cnode_expanded(0, false);  // hide main's children
+  const ViewData v = compute_view(s);
+  // main's collapsed label now contains the 1e9 (inclusive), so scale_max
+  // reflects it through the visible row, but never through hidden ones:
+  const ViewRow& main_row = row_labeled(v.call_rows, "main");
+  EXPECT_GE(v.scale_max, 1e9);
+  EXPECT_TRUE(main_row.visible);
+  const ViewRow& work_row = row_labeled(v.call_rows, "work");
+  EXPECT_FALSE(work_row.visible);
+}
+
+TEST(ViewModes, PatternHierarchyRootHasZeroExclusive) {
+  // With the EXPERT hierarchy, the Time root itself stores nothing: the
+  // expanded root displays 0, the collapsed root the full total.
+  Metadata md;
+  expert::add_pattern_metrics(md);
+  const Region& r = md.add_region("main", "a.c", 1, 2);
+  md.add_cnode_for_region(nullptr, r);
+  Machine& m = md.add_machine("m");
+  Process& p = md.add_process(md.add_node(m, "n"), "r0", 0);
+  md.add_thread(p, "t", 0);
+  auto owned = md.clone();
+  Experiment e(std::move(owned));
+  const Metric& execution = *e.metadata().find_metric(expert::kExecution);
+  e.set(execution, *e.metadata().cnodes()[0], *e.metadata().threads()[0],
+        5.0);
+
+  ViewState s(e);
+  const ViewData expanded = compute_view(s);
+  EXPECT_DOUBLE_EQ(row_labeled(expanded.metric_rows, "Time").value, 0.0);
+  s.set_metric_expanded(e.metadata().find_metric(expert::kTime)->index(),
+                        false);
+  const ViewData collapsed = compute_view(s);
+  EXPECT_DOUBLE_EQ(row_labeled(collapsed.metric_rows, "Time").value, 5.0);
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,373 @@
+#include "expert/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "expert/patterns.hpp"
+#include "sim/apps/pescan.hpp"
+#include "sim/apps/synthetic.hpp"
+#include "sim/engine.hpp"
+
+namespace cube::expert {
+namespace {
+
+sim::RunResult run_app(const sim::SimConfig& cfg,
+                       std::vector<sim::Program> programs,
+                       const sim::RegionTable& regions) {
+  return sim::Engine(cfg).run(regions, std::move(programs));
+}
+
+sim::SimConfig traced_config(int nodes, int procs) {
+  sim::SimConfig cfg;
+  cfg.cluster.num_nodes = nodes;
+  cfg.cluster.procs_per_node = procs;
+  cfg.monitor.trace = true;
+  return cfg;
+}
+
+TEST(Patterns, TableBuildsValidHierarchy) {
+  Metadata md;
+  add_pattern_metrics(md);
+  const Metric* time = md.find_metric(kTime);
+  ASSERT_NE(time, nullptr);
+  const Metric* wait = md.find_metric(kWaitBarrier);
+  ASSERT_NE(wait, nullptr);
+  // Wait at Barrier sits under Barrier under Synchronization under MPI.
+  EXPECT_EQ(wait->parent()->unique_name(), kBarrier);
+  EXPECT_EQ(&wait->root(), time);
+  // Visits is its own tree in occurrences.
+  const Metric* visits = md.find_metric(kVisits);
+  ASSERT_NE(visits, nullptr);
+  EXPECT_TRUE(visits->is_root());
+  EXPECT_EQ(visits->unit(), Unit::Occurrences);
+}
+
+TEST(Analyzer, WaitAtBarrierFromImbalance) {
+  const auto cfg = traced_config(1, 4);
+  sim::RegionTable regions;
+  const auto run = run_app(
+      cfg, sim::build_imbalanced_barrier(regions, cfg.cluster, 4, 0.01, 0.5),
+      regions);
+  const Experiment e = analyze_trace(run.trace);
+
+  const Metric& wait = *e.metadata().find_metric(kWaitBarrier);
+  // Rank 0 is fastest: per round it waits ~ 0.01 * 0.5.
+  const Severity wait_total = e.sum_metric(wait);
+  EXPECT_NEAR(wait_total,
+              4 * 0.01 * 0.5 * (1.0 + 2.0 / 3 + 1.0 / 3 + 0.0), 2e-3);
+  // The fastest rank carries the largest wait.
+  const Thread& t0 = *e.metadata().threads()[0];
+  const Thread& t3 = *e.metadata().threads()[3];
+  Severity w0 = 0;
+  Severity w3 = 0;
+  for (const auto& c : e.metadata().cnodes()) {
+    w0 += e.get(wait, *c, t0);
+    w3 += e.get(wait, *c, t3);
+  }
+  EXPECT_GT(w0, w3);
+}
+
+TEST(Analyzer, TimeDecompositionIsConserved) {
+  // The inclusive Time total equals the sum of all per-location run times
+  // (every second attributed to exactly one most-specific metric).
+  const auto cfg = traced_config(1, 4);
+  sim::RegionTable regions;
+  const auto run = run_app(
+      cfg, sim::build_imbalanced_barrier(regions, cfg.cluster, 3, 0.01, 0.4),
+      regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& time = *e.metadata().find_metric(kTime);
+  double wall_total = 0;
+  for (const double f : run.finish_times) wall_total += f;
+  // Each rank's final Exit probe dilates its clock after the last recorded
+  // event, so allow one probe overhead per rank.
+  EXPECT_NEAR(e.sum_metric_tree(time), wall_total,
+              run.finish_times.size() * cfg.monitor.probe_overhead + 1e-9);
+}
+
+TEST(Analyzer, LateSenderAtDelayedSender) {
+  auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  {
+    sim::ProgramBuilder b(regions, 0);
+    b.enter("main").compute(0.3).send(1, 0, 512).leave();  // late sender
+    programs.push_back(b.take());
+  }
+  {
+    sim::ProgramBuilder b(regions, 1);
+    b.enter("main").recv(0, 0).leave();  // waits from t=0
+    programs.push_back(b.take());
+  }
+  const auto run = run_app(cfg, std::move(programs), regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& ls = *e.metadata().find_metric(kLateSender);
+  EXPECT_NEAR(e.sum_metric(ls), 0.3, 1e-3);
+  // Attributed at the receiver's location (rank 1).
+  Severity at_rank1 = 0;
+  for (const auto& c : e.metadata().cnodes()) {
+    at_rank1 += e.get(ls, *c, *e.metadata().threads()[1]);
+  }
+  EXPECT_NEAR(at_rank1, 0.3, 1e-3);
+}
+
+TEST(Analyzer, LateReceiverForRendezvousSends) {
+  auto cfg = traced_config(1, 2);
+  cfg.network.eager_threshold = 1000;
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  {
+    sim::ProgramBuilder b(regions, 0);
+    b.enter("main").send(1, 0, 1e6).leave();  // rendezvous, blocked
+    programs.push_back(b.take());
+  }
+  {
+    sim::ProgramBuilder b(regions, 1);
+    b.enter("main").compute(0.4).recv(0, 0).leave();  // late receiver
+    programs.push_back(b.take());
+  }
+  const auto run = run_app(cfg, std::move(programs), regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& lr = *e.metadata().find_metric(kLateReceiver);
+  EXPECT_NEAR(e.sum_metric(lr), 0.4, 2e-3);
+  // Attributed at the sender's location (rank 0).
+  Severity at_rank0 = 0;
+  for (const auto& c : e.metadata().cnodes()) {
+    at_rank0 += e.get(lr, *c, *e.metadata().threads()[0]);
+  }
+  EXPECT_NEAR(at_rank0, 0.4, 2e-3);
+}
+
+TEST(Analyzer, WrongOrderDetected) {
+  // Rank 0 sends tag 1 first, then tag 0 much later; rank 1 receives tag 0
+  // FIRST: while it waits, the tag-1 message (sent earlier) sits
+  // undelivered — an inefficient acceptance order.
+  auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  {
+    sim::ProgramBuilder b(regions, 0);
+    b.enter("main")
+        .send(1, 1, 256)
+        .compute(0.2)
+        .send(1, 0, 256)
+        .leave();
+    programs.push_back(b.take());
+  }
+  {
+    sim::ProgramBuilder b(regions, 1);
+    b.enter("main").recv(0, 0).recv(0, 1).leave();
+    programs.push_back(b.take());
+  }
+  const auto run = run_app(cfg, std::move(programs), regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& wo = *e.metadata().find_metric(kWrongOrder);
+  EXPECT_NEAR(e.sum_metric(wo), 0.2, 2e-3);
+  // Plain Late Sender excludes the wrong-order share.
+  const Metric& ls = *e.metadata().find_metric(kLateSender);
+  EXPECT_NEAR(e.sum_metric(ls), 0.0, 2e-3);
+}
+
+TEST(Analyzer, WaitAtNxNFromImbalancedAlltoall) {
+  auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    sim::ProgramBuilder b(regions, r);
+    b.enter("main").compute(r == 0 ? 0.01 : 0.21).alltoall(128).leave();
+    programs.push_back(b.take());
+  }
+  const auto run = run_app(cfg, std::move(programs), regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& nxn = *e.metadata().find_metric(kWaitNxN);
+  EXPECT_NEAR(e.sum_metric(nxn), 0.2, 2e-3);
+}
+
+TEST(Analyzer, EarlyReduceAtRootOnly) {
+  auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    sim::ProgramBuilder b(regions, r);
+    b.enter("main").compute(r == 0 ? 0.01 : 0.31).reduce(0, 256).leave();
+    programs.push_back(b.take());
+  }
+  const auto run = run_app(cfg, std::move(programs), regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& er = *e.metadata().find_metric(kEarlyReduce);
+  EXPECT_NEAR(e.sum_metric(er), 0.3, 2e-3);
+  Severity at_root = 0;
+  for (const auto& c : e.metadata().cnodes()) {
+    at_root += e.get(er, *c, *e.metadata().threads()[0]);
+  }
+  EXPECT_NEAR(at_root, 0.3, 2e-3);
+}
+
+TEST(Analyzer, LateBroadcastAtWaitingNonRoots) {
+  auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    sim::ProgramBuilder b(regions, r);
+    b.enter("main").compute(r == 0 ? 0.26 : 0.01).bcast(0, 1024).leave();
+    programs.push_back(b.take());
+  }
+  const auto run = run_app(cfg, std::move(programs), regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& lb = *e.metadata().find_metric(kLateBroadcast);
+  EXPECT_NEAR(e.sum_metric(lb), 0.25, 2e-3);
+  // Attributed at the waiting non-root (rank 1).
+  Severity at_rank1 = 0;
+  for (const auto& c : e.metadata().cnodes()) {
+    at_rank1 += e.get(lb, *c, *e.metadata().threads()[1]);
+  }
+  EXPECT_NEAR(at_rank1, 0.25, 2e-3);
+}
+
+TEST(Analyzer, VisitsCounted) {
+  const auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  const auto run = run_app(
+      cfg, sim::build_pingpong(regions, cfg.cluster, 5, 128), regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& visits = *e.metadata().find_metric(kVisits);
+  // main + pingpong per rank = 2 visits each; 5 sends + 5 recvs per rank.
+  EXPECT_DOUBLE_EQ(e.sum_metric(visits), 2 * 2 + 2 * 10);
+}
+
+TEST(Analyzer, CallTreeReconstruction) {
+  const auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  const auto run = run_app(
+      cfg, sim::build_pingpong(regions, cfg.cluster, 2, 128), regions);
+  const Experiment e = analyze_trace(run.trace);
+  bool found_send_path = false;
+  for (const auto& c : e.metadata().cnodes()) {
+    if (c->path() == "main/pingpong/MPI_Send") found_send_path = true;
+  }
+  EXPECT_TRUE(found_send_path);
+}
+
+TEST(Analyzer, SystemDimensionFromCluster) {
+  const auto cfg = traced_config(2, 2);
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  for (int r = 0; r < 4; ++r) {
+    sim::ProgramBuilder b(regions, r);
+    b.enter("main").compute(0.01).leave();
+    programs.push_back(b.take());
+  }
+  const auto run = run_app(cfg, std::move(programs), regions);
+  const Experiment e = analyze_trace(run.trace);
+  EXPECT_EQ(e.metadata().machines().size(), 1u);
+  EXPECT_EQ(e.metadata().nodes().size(), 2u);
+  EXPECT_EQ(e.metadata().processes().size(), 4u);
+  EXPECT_EQ(e.metadata().num_threads(), 4u);
+  EXPECT_NO_THROW(e.metadata().validate());
+}
+
+TEST(Analyzer, TopologyOptionAttachesCoords) {
+  const auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  const auto run = run_app(
+      cfg, sim::build_pingpong(regions, cfg.cluster, 1, 64), regions);
+  AnalyzerOptions opts;
+  opts.topology = {{0, 0}, {1, 0}};
+  const Experiment e = analyze_trace(run.trace, opts);
+  ASSERT_TRUE(e.metadata().find_process(1)->coords().has_value());
+  EXPECT_EQ(*e.metadata().find_process(1)->coords(),
+            (std::vector<long>{1, 0}));
+}
+
+TEST(Analyzer, NamesAndAttributes) {
+  const auto cfg = traced_config(1, 2);
+  sim::RegionTable regions;
+  const auto run = run_app(
+      cfg, sim::build_pingpong(regions, cfg.cluster, 1, 64), regions);
+  AnalyzerOptions opts;
+  opts.experiment_name = "my-experiment";
+  const Experiment e = analyze_trace(run.trace, opts);
+  EXPECT_EQ(e.name(), "my-experiment");
+  EXPECT_EQ(e.attribute("cube::tool"), "EXPERT (simulated)");
+  EXPECT_EQ(e.kind(), ExperimentKind::Original);
+}
+
+TEST(Analyzer, TraceFileRoundTripGivesIdenticalAnalysis) {
+  // EXPERT is post-mortem: it reads trace FILES.  Serializing the trace
+  // must not change any severity.
+  const auto cfg = traced_config(1, 4);
+  sim::RegionTable regions;
+  const auto run = run_app(
+      cfg, sim::build_imbalanced_barrier(regions, cfg.cluster, 3, 0.01, 0.4),
+      regions);
+  const Experiment direct = analyze_trace(run.trace);
+  const sim::Trace reloaded =
+      sim::deserialize_trace(sim::serialize_trace(run.trace));
+  const Experiment from_file = analyze_trace(reloaded);
+  for (const auto& m : direct.metadata().metrics()) {
+    const Metric* other =
+        from_file.metadata().find_metric(m->unique_name());
+    ASSERT_NE(other, nullptr);
+    EXPECT_DOUBLE_EQ(from_file.sum_metric(*other), direct.sum_metric(*m));
+  }
+}
+
+TEST(Analyzer, MalformedTraceRejected) {
+  sim::Trace trace;
+  trace.cluster.num_nodes = 1;
+  trace.cluster.procs_per_node = 1;
+  trace.regions.intern("main");
+  sim::TraceEvent enter;
+  enter.type = sim::EventType::Enter;
+  enter.rank = 0;
+  enter.time = 0.0;
+  enter.region = 0;
+  trace.events.push_back(enter);  // never exited
+  EXPECT_THROW((void)analyze_trace(trace), OperationError);
+}
+
+TEST(Analyzer, RecvWithoutSendRejected) {
+  sim::Trace trace;
+  trace.cluster.num_nodes = 1;
+  trace.cluster.procs_per_node = 2;
+  const auto main_id =
+      static_cast<std::uint32_t>(trace.regions.intern("main"));
+  const auto recv_id = static_cast<std::uint32_t>(
+      trace.regions.intern(sim::kMpiRecvRegion));
+  sim::TraceEvent e1;
+  e1.type = sim::EventType::Enter;
+  e1.rank = 0;
+  e1.time = 0.0;
+  e1.region = main_id;
+  sim::TraceEvent e2 = e1;
+  e2.time = 0.1;
+  e2.region = recv_id;
+  sim::TraceEvent recv;
+  recv.type = sim::EventType::Recv;
+  recv.rank = 0;
+  recv.time = 0.2;
+  recv.region = recv_id;
+  recv.peer = 1;
+  trace.events = {e1, e2, recv};
+  EXPECT_THROW((void)analyze_trace(trace), OperationError);
+}
+
+TEST(Analyzer, PescanProducesPaperShapedHierarchy) {
+  sim::SimConfig cfg;
+  cfg.monitor.trace = true;
+  sim::RegionTable regions;
+  sim::PescanConfig pc;
+  pc.iterations = 4;
+  const auto run =
+      run_app(cfg, sim::build_pescan(regions, cfg.cluster, pc), regions);
+  const Experiment e = analyze_trace(run.trace);
+  const Metric& time = *e.metadata().find_metric(kTime);
+  const double total = e.sum_metric_tree(time);
+  EXPECT_GT(total, 0.0);
+  // Barrier waiting dominates MPI losses in the unoptimized version.
+  EXPECT_GT(e.sum_metric(*e.metadata().find_metric(kWaitBarrier)),
+            0.05 * total);
+}
+
+}  // namespace
+}  // namespace cube::expert

@@ -1,0 +1,81 @@
+// Parameterized analytic cross-check of the full simulator -> EXPERT path.
+//
+// For the imbalanced-barrier kernel the Wait-at-Barrier total has a closed
+// form: rank r computes base*(1 + imb*r/(np-1)) per round, so its per-round
+// wait is base*imb*(1 - r/(np-1)) and the per-round total over ranks is
+// base*imb*np/2.  The measured pattern severity must match across process
+// counts, round counts, and imbalance amplitudes — a strong end-to-end
+// invariant covering the engine's collective semantics, the trace, and the
+// analyzer's pattern arithmetic at once.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "expert/analyzer.hpp"
+#include "expert/patterns.hpp"
+#include "sim/apps/synthetic.hpp"
+#include "sim/engine.hpp"
+
+namespace cube {
+namespace {
+
+using Param = std::tuple<int /*ranks*/, int /*rounds*/, double /*imb*/>;
+
+class BarrierSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BarrierSweep, WaitAtBarrierMatchesClosedForm) {
+  const auto [ranks, rounds, imbalance] = GetParam();
+  constexpr double kBase = 0.01;
+
+  sim::SimConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.procs_per_node = ranks;
+  cfg.monitor.trace = true;
+  sim::RegionTable regions;
+  const auto run = sim::Engine(cfg).run(
+      regions, sim::build_imbalanced_barrier(regions, cfg.cluster, rounds,
+                                             kBase, imbalance));
+  const Experiment e = expert::analyze_trace(run.trace);
+
+  // Imbalance term per round: sum over ranks of base*imb*(1 - r/(np-1)).
+  // From the second round on, the staggered barrier exits (rank r leaves
+  // stagger*r later) add sum_r stagger*((np-1) - r) of extra waiting.
+  const double imbalance_term =
+      rounds * kBase * imbalance * static_cast<double>(ranks) / 2.0;
+  const double stagger_term = (rounds - 1) * cfg.network.exit_stagger *
+                              static_cast<double>(ranks) * (ranks - 1) /
+                              2.0;
+  const double expected = imbalance_term + stagger_term;
+  const double measured =
+      e.sum_metric(*e.metadata().find_metric(expert::kWaitBarrier));
+  // Tolerance: probe dilation shifts arrivals by a few probe overheads per
+  // rank and round.
+  const double tolerance =
+      rounds * ranks * 8 * cfg.monitor.probe_overhead + 1e-9;
+  EXPECT_NEAR(measured, expected, tolerance);
+
+  // And the decomposition never loses time: wait + completion + execution
+  // inside MPI_Barrier equals the inclusive Barrier total.
+  const double barrier_total =
+      e.sum_metric_tree(*e.metadata().find_metric(expert::kBarrier));
+  const double parts =
+      e.sum_metric(*e.metadata().find_metric(expert::kBarrier)) +
+      e.sum_metric(*e.metadata().find_metric(expert::kWaitBarrier)) +
+      e.sum_metric(*e.metadata().find_metric(expert::kBarrierCompletion));
+  EXPECT_NEAR(barrier_total, parts, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BarrierSweep,
+    ::testing::Values(Param{2, 2, 0.2}, Param{2, 8, 0.5}, Param{4, 4, 0.3},
+                      Param{8, 3, 0.4}, Param{16, 2, 0.25},
+                      Param{16, 5, 0.6}, Param{32, 2, 0.1}),
+    [](const auto& info) {
+      return "r" + std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "i" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) *
+                                             100));
+    });
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,95 @@
+#include "io/binary_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "io/cube_format.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+TEST(BinaryFormat, RoundTripPreservesValues) {
+  Experiment e = make_small();
+  e.set_attribute("k", "v");
+  e.severity().set(0, 0, 0, -3.25);
+  const Experiment back = read_cube_binary(to_cube_binary(e));
+  const Metadata& md = back.metadata();
+  ASSERT_EQ(md.num_metrics(), e.metadata().num_metrics());
+  ASSERT_EQ(md.num_cnodes(), e.metadata().num_cnodes());
+  ASSERT_EQ(md.num_threads(), e.metadata().num_threads());
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        EXPECT_DOUBLE_EQ(back.severity().get(m, c, t),
+                         e.severity().get(m, c, t));
+      }
+    }
+  }
+  EXPECT_EQ(back.attribute("k"), "v");
+  EXPECT_EQ(back.name(), "small");
+}
+
+TEST(BinaryFormat, PreservesHierarchies) {
+  const Experiment e = make_small();
+  const Experiment back = read_cube_binary(to_cube_binary(e));
+  EXPECT_EQ(back.metadata().cnodes()[1]->path(),
+            e.metadata().cnodes()[1]->path());
+  EXPECT_EQ(back.metadata().metrics()[1]->parent()->unique_name(), "time");
+}
+
+TEST(BinaryFormat, TopologyRoundTrip) {
+  Experiment e = make_small();
+  e.metadata().processes()[0]->set_coords({4, 5});
+  const Experiment back = read_cube_binary(to_cube_binary(e));
+  ASSERT_TRUE(back.metadata().processes()[0]->coords().has_value());
+  EXPECT_EQ(*back.metadata().processes()[0]->coords(),
+            (std::vector<long>{4, 5}));
+}
+
+TEST(BinaryFormat, BadMagicThrows) {
+  EXPECT_THROW((void)read_cube_binary("NOTCUBE!xxxx"), Error);
+  EXPECT_THROW((void)read_cube_binary(""), Error);
+}
+
+TEST(BinaryFormat, TruncatedStreamThrows) {
+  const std::string data = to_cube_binary(make_small());
+  EXPECT_THROW((void)read_cube_binary(
+                   std::string_view(data).substr(0, data.size() / 2)),
+               Error);
+}
+
+TEST(BinaryFormat, TrailingBytesThrow) {
+  std::string data = to_cube_binary(make_small());
+  data += "junk";
+  EXPECT_THROW((void)read_cube_binary(data), Error);
+}
+
+TEST(BinaryFormat, FileRoundTrip) {
+  const Experiment e = make_small();
+  const std::string path = ::testing::TempDir() + "/cube_binary_test.cubx";
+  write_cube_binary_file(e, path);
+  const Experiment back = read_cube_binary_file(path);
+  EXPECT_DOUBLE_EQ(back.severity().get(1, 1, 1),
+                   e.severity().get(1, 1, 1));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormat, SmallerThanXmlForDenseData) {
+  const Experiment e = make_small();
+  EXPECT_LT(to_cube_binary(e).size(), to_cube_xml(e).size());
+}
+
+TEST(BinaryFormat, RequestedStorageKindHonored) {
+  const Experiment e = make_small();
+  const Experiment back =
+      read_cube_binary(to_cube_binary(e), StorageKind::Sparse);
+  EXPECT_EQ(back.severity().kind(), StorageKind::Sparse);
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,109 @@
+#include "io/cube_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace cube {
+namespace {
+
+Experiment build_via_api() {
+  Cube cube;
+  const auto m_time = cube.def_metric("time", "Time", "sec", "total time");
+  const auto m_mpi = cube.def_metric("mpi", "MPI", "sec", "mpi", m_time);
+  const auto r_main = cube.def_region("main", "app.c", 1, 99);
+  const auto r_f = cube.def_region("f", "app.c", 10, 40);
+  const auto cs_main = cube.def_callsite("app.c", 1, r_main);
+  const auto cs_f = cube.def_callsite("app.c", 20, r_f);
+  const auto c_main = cube.def_cnode(cs_main);
+  const auto c_f = cube.def_cnode(cs_f, c_main);
+  const auto machine = cube.def_machine("mach");
+  const auto node = cube.def_node("node0", machine);
+  const auto p0 = cube.def_process("rank 0", 0, node);
+  const auto p1 = cube.def_process("rank 1", 1, node);
+  const auto t0 = cube.def_thread("thread 0", 0, p0);
+  const auto t1 = cube.def_thread("thread 0", 0, p1);
+  cube.set_severity(m_time, c_main, t0, 1.0);
+  cube.set_severity(m_time, c_f, t1, 2.0);
+  cube.add_severity(m_mpi, c_f, t0, 0.5);
+  cube.add_severity(m_mpi, c_f, t0, 0.25);
+  return cube.take("api-built");
+}
+
+TEST(CubeApi, BuildsValidExperiment) {
+  const Experiment e = build_via_api();
+  EXPECT_EQ(e.name(), "api-built");
+  EXPECT_NO_THROW(e.metadata().validate());
+  EXPECT_EQ(e.metadata().num_metrics(), 2u);
+  EXPECT_EQ(e.metadata().num_cnodes(), 2u);
+  EXPECT_EQ(e.metadata().num_threads(), 2u);
+}
+
+TEST(CubeApi, SeverityBufferedAndApplied) {
+  const Experiment e = build_via_api();
+  EXPECT_DOUBLE_EQ(e.severity().get(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(e.severity().get(0, 1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(e.severity().get(1, 1, 0), 0.75);  // two adds
+}
+
+TEST(CubeApi, TakeResetsBuilderForReuse) {
+  Cube cube;
+  const auto m = cube.def_metric("x", "X", "occ", "");
+  const auto r = cube.def_region("main", "a.c", 1, 2);
+  const auto cs = cube.def_callsite("a.c", 1, r);
+  const auto c = cube.def_cnode(cs);
+  const auto mach = cube.def_machine("m");
+  const auto node = cube.def_node("n", mach);
+  const auto p = cube.def_process("p", 0, node);
+  const auto t = cube.def_thread("t", 0, p);
+  cube.set_severity(m, c, t, 1.0);
+  const Experiment first = cube.take("first");
+
+  // Builder is reusable from scratch.
+  const auto m2 = cube.def_metric("y", "Y", "bytes", "");
+  EXPECT_EQ(m2, 0u);
+  const auto r2 = cube.def_region("main", "a.c", 1, 2);
+  const auto cs2 = cube.def_callsite("a.c", 1, r2);
+  const auto c2 = cube.def_cnode(cs2);
+  const auto mach2 = cube.def_machine("m");
+  const auto node2 = cube.def_node("n", mach2);
+  const auto p2 = cube.def_process("p", 0, node2);
+  (void)cube.def_thread("t", 0, p2);
+  (void)c2;
+  const Experiment second = cube.take("second");
+  EXPECT_EQ(second.metadata().find_metric("y")->unit(), Unit::Bytes);
+  EXPECT_EQ(second.metadata().find_metric("x"), nullptr);
+}
+
+TEST(CubeApi, InvalidUnitRejected) {
+  Cube cube;
+  EXPECT_THROW((void)cube.def_metric("m", "M", "parsecs", ""), Error);
+}
+
+TEST(CubeApi, BadHandleThrows) {
+  Cube cube;
+  EXPECT_THROW((void)cube.def_callsite("a.c", 1, 42), std::out_of_range);
+}
+
+TEST(CubeApi, TakeValidates) {
+  Cube cube;
+  const auto mach = cube.def_machine("m");
+  const auto node = cube.def_node("n", mach);
+  (void)cube.def_process("p", 0, node);  // no thread -> invalid
+  EXPECT_THROW((void)cube.take("bad"), ValidationError);
+}
+
+TEST(CubeApi, FileRoundTripViaStaticHelpers) {
+  const Experiment e = build_via_api();
+  const std::string path = ::testing::TempDir() + "/cube_api_test.cube";
+  Cube::write_file(e, path);
+  const Experiment back = Cube::read_file(path);
+  EXPECT_EQ(back.name(), "api-built");
+  EXPECT_DOUBLE_EQ(back.severity().get(1, 1, 0), 0.75);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,160 @@
+// File-format edge cases: arbitrary ids, unusual content, robustness.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "io/binary_format.hpp"
+#include "io/cube_format.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+TEST(CubeFormatEdge, AcceptsNonContiguousIds) {
+  // The reader remaps file ids; they need not be dense or ordered.
+  const std::string xml = R"(<cube version="1.0">
+    <metrics>
+      <metric id="77"><disp_name>T</disp_name><uniq_name>t</uniq_name>
+        <uom>sec</uom>
+        <metric id="3"><disp_name>C</disp_name><uniq_name>c</uniq_name>
+          <uom>sec</uom></metric>
+      </metric>
+    </metrics>
+    <program>
+      <region id="50" name="main" mod="a.c" begin="1" end="2"/>
+      <csite id="9" file="a.c" line="1" callee="50"/>
+      <cnode id="42" csite="9"/>
+    </program>
+    <system><machine id="0" name="m"><node id="0" name="n">
+      <process id="0" name="p" rank="0"><thread id="8" name="t" tid="0"/>
+      </process></node></machine></system>
+    <severity>
+      <matrix metric="3"><row cnode="42">2.5</row></matrix>
+    </severity></cube>)";
+  const Experiment e = read_cube_xml(xml);
+  EXPECT_EQ(e.metadata().num_metrics(), 2u);
+  const Metric& c = *e.metadata().find_metric("c");
+  EXPECT_DOUBLE_EQ(
+      e.get(c, *e.metadata().cnodes()[0], *e.metadata().threads()[0]), 2.5);
+}
+
+TEST(CubeFormatEdge, DuplicateIdsRejected) {
+  const std::string xml = R"(<cube version="1.0">
+    <metrics>
+      <metric id="1"><disp_name>T</disp_name><uniq_name>t</uniq_name>
+        <uom>sec</uom></metric>
+      <metric id="1"><disp_name>U</disp_name><uniq_name>u</uniq_name>
+        <uom>sec</uom></metric>
+    </metrics>
+    <program>
+      <region id="0" name="main" mod="a.c" begin="1" end="2"/>
+      <csite id="0" file="a.c" line="1" callee="0"/>
+      <cnode id="0" csite="0"/>
+    </program>
+    <system><machine id="0" name="m"><node id="0" name="n">
+      <process id="0" name="p" rank="0"><thread id="0" name="t" tid="0"/>
+      </process></node></machine></system></cube>)";
+  EXPECT_THROW((void)read_cube_xml(xml), Error);
+}
+
+TEST(CubeFormatEdge, MetricNamesWithSpecialCharacters) {
+  Experiment e = make_small();
+  // XML specials inside entity names must survive the round trip.
+  auto md = e.metadata().clone();
+  md->add_metric(nullptr, "bytes<sent> & \"counted\"", "B <&>",
+                 Unit::Bytes, "desc with <tags>");
+  Experiment with_special(std::move(md));
+  with_special.set_name("special");
+  const Experiment back = read_cube_xml(to_cube_xml(with_special));
+  EXPECT_NE(back.metadata().find_metric("bytes<sent> & \"counted\""),
+            nullptr);
+}
+
+TEST(CubeFormatEdge, VeryLargeAndTinyValues) {
+  Experiment e = make_small();
+  e.severity().set(0, 0, 0, 1e300);
+  e.severity().set(0, 0, 1, 5e-324);  // denormal min
+  e.severity().set(0, 0, 2, -1e-17);
+  const Experiment back = read_cube_xml(to_cube_xml(e));
+  EXPECT_DOUBLE_EQ(back.severity().get(0, 0, 0), 1e300);
+  EXPECT_DOUBLE_EQ(back.severity().get(0, 0, 1), 5e-324);
+  EXPECT_DOUBLE_EQ(back.severity().get(0, 0, 2), -1e-17);
+}
+
+TEST(CubeFormatEdge, MultiRootCallForest) {
+  // Flat profiles are multiple trivial call trees (paper §2): the format
+  // must round-trip forests.
+  auto md = std::make_unique<Metadata>();
+  md->add_metric(nullptr, "time", "T", Unit::Seconds, "");
+  const Region& r1 = md->add_region("f1", "a.c", 1, 2);
+  const Region& r2 = md->add_region("f2", "a.c", 3, 4);
+  md->add_cnode_for_region(nullptr, r1);
+  md->add_cnode_for_region(nullptr, r2);
+  Machine& m = md->add_machine("m");
+  Process& p = md->add_process(md->add_node(m, "n"), "r0", 0);
+  md->add_thread(p, "t", 0);
+  Experiment e(std::move(md));
+  e.severity().set(0, 1, 0, 4.0);
+  const Experiment back = read_cube_xml(to_cube_xml(e));
+  EXPECT_EQ(back.metadata().cnode_roots().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.severity().get(0, 1, 0), 4.0);
+}
+
+TEST(CubeFormatEdge, MultipleMachines) {
+  auto md = std::make_unique<Metadata>();
+  md->add_metric(nullptr, "time", "T", Unit::Seconds, "");
+  const Region& r = md->add_region("main", "a.c", 1, 2);
+  md->add_cnode_for_region(nullptr, r);
+  Machine& m1 = md->add_machine("cluster-a");
+  Machine& m2 = md->add_machine("cluster-b");
+  Process& p1 = md->add_process(md->add_node(m1, "n0"), "r0", 0);
+  Process& p2 = md->add_process(md->add_node(m2, "n0"), "r1", 1);
+  md->add_thread(p1, "t", 0);
+  md->add_thread(p2, "t", 0);
+  Experiment e(std::move(md));
+  const Experiment back = read_cube_xml(to_cube_xml(e));
+  EXPECT_EQ(back.metadata().machines().size(), 2u);
+  EXPECT_EQ(back.metadata().machines()[1]->name(), "cluster-b");
+}
+
+TEST(BinaryFormatEdge, XmlAndBinaryAgree) {
+  const Experiment e = make_small();
+  const Experiment via_xml = read_cube_xml(to_cube_xml(e));
+  const Experiment via_bin = read_cube_binary(to_cube_binary(e));
+  const Metadata& md = e.metadata();
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        EXPECT_DOUBLE_EQ(via_xml.severity().get(m, c, t),
+                         via_bin.severity().get(m, c, t));
+      }
+    }
+  }
+}
+
+TEST(AutoFormat, DetectsBinaryAndXmlByContent) {
+  const Experiment e = make_small();
+  const std::string dir = ::testing::TempDir();
+  const std::string xml_path = dir + "/auto_test.cube";
+  const std::string bin_path = dir + "/auto_test.cubx";
+  write_cube_xml_file(e, xml_path);
+  write_cube_binary_file(e, bin_path);
+  const Experiment from_xml = read_experiment_file(xml_path);
+  const Experiment from_bin = read_experiment_file(bin_path);
+  EXPECT_EQ(from_xml.name(), "small");
+  EXPECT_EQ(from_bin.name(), "small");
+  EXPECT_DOUBLE_EQ(from_xml.severity().get(1, 1, 1),
+                   from_bin.severity().get(1, 1, 1));
+  std::remove(xml_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(BinaryFormatEdge, CrossDecodeRejected) {
+  const Experiment e = make_small();
+  EXPECT_THROW((void)read_cube_binary(to_cube_xml(e)), Error);
+  EXPECT_THROW((void)read_cube_xml(to_cube_binary(e)), Error);
+}
+
+}  // namespace
+}  // namespace cube

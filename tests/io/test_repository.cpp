@@ -1,0 +1,162 @@
+#include "io/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "algebra/operators.hpp"
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+
+class RepositoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("cube_repo_" + std::string(
+                               ::testing::UnitTest::GetInstance()
+                                   ->current_test_info()
+                                   ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(RepositoryTest, StoreAndLoadRoundTrip) {
+  ExperimentRepository repo(dir_);
+  Experiment e = make_small();
+  e.severity().set(0, 0, 0, 77.0);
+  const std::string id = repo.store(e);
+  const Experiment back = repo.load(id);
+  EXPECT_EQ(back.name(), "small");
+  EXPECT_DOUBLE_EQ(back.severity().get(0, 0, 0), 77.0);
+}
+
+TEST_F(RepositoryTest, IdsDerivedFromNamesAndUniquified) {
+  ExperimentRepository repo(dir_);
+  const std::string id1 = repo.store(make_small());
+  const std::string id2 = repo.store(make_small());
+  EXPECT_EQ(id1, "small");
+  EXPECT_EQ(id2, "small-2");
+  EXPECT_EQ(repo.entries().size(), 2u);
+}
+
+TEST_F(RepositoryTest, NamesAreSanitizedForFiles) {
+  ExperimentRepository repo(dir_);
+  Experiment e = make_small();
+  e.set_name("diff(a / b, \"c\")");
+  const std::string id = repo.store(e);
+  EXPECT_EQ(id.find('/'), std::string::npos);
+  EXPECT_NO_THROW((void)repo.load(id));
+}
+
+TEST_F(RepositoryTest, PersistsAcrossInstances) {
+  {
+    ExperimentRepository repo(dir_);
+    repo.store(make_small());
+  }
+  ExperimentRepository reopened(dir_);
+  ASSERT_EQ(reopened.entries().size(), 1u);
+  EXPECT_EQ(reopened.entries()[0].id, "small");
+  EXPECT_NO_THROW((void)reopened.load("small"));
+}
+
+TEST_F(RepositoryTest, BinaryFormatEntries) {
+  ExperimentRepository repo(dir_);
+  const std::string id = repo.store(make_small(), RepoFormat::Binary);
+  EXPECT_EQ(repo.entries()[0].format, RepoFormat::Binary);
+  EXPECT_NE(repo.entries()[0].file.find(".cubx"), std::string::npos);
+  const Experiment back = repo.load(id);
+  EXPECT_EQ(back.name(), "small");
+  // Format survives reopening.
+  ExperimentRepository reopened(dir_);
+  EXPECT_EQ(reopened.entries()[0].format, RepoFormat::Binary);
+}
+
+TEST_F(RepositoryTest, QueryByAttribute) {
+  ExperimentRepository repo(dir_);
+  Experiment a = make_small(StorageKind::Dense, "a");
+  a.set_attribute("app", "pescan");
+  a.set_attribute("config", "barriers");
+  Experiment b = make_small(StorageKind::Dense, "b");
+  b.set_attribute("app", "pescan");
+  b.set_attribute("config", "nobarriers");
+  Experiment c = make_small(StorageKind::Dense, "c");
+  c.set_attribute("app", "sweep3d");
+  repo.store(a);
+  repo.store(b);
+  repo.store(c);
+
+  EXPECT_EQ(repo.query("app", "pescan").size(), 2u);
+  EXPECT_EQ(repo.query("config", "barriers").size(), 1u);
+  EXPECT_TRUE(repo.query("app", "nope").empty());
+}
+
+TEST_F(RepositoryTest, DerivedExperimentsQueryableByKind) {
+  ExperimentRepository repo(dir_);
+  const Experiment a = make_small(StorageKind::Dense, "a");
+  const Experiment b = make_small(StorageKind::Dense, "b");
+  repo.store(a);
+  repo.store(b);
+  repo.store(difference(a, b));
+  const auto derived = repo.query("cube::kind", "derived");
+  ASSERT_EQ(derived.size(), 1u);
+  EXPECT_NE(derived[0].attributes.at("cube::provenance").find("difference"),
+            std::string::npos);
+}
+
+TEST_F(RepositoryTest, LoadAllSeriesFeedsOperators) {
+  ExperimentRepository repo(dir_);
+  for (int i = 0; i < 3; ++i) {
+    Experiment e = make_small(StorageKind::Dense, "run");
+    e.set_attribute("series", "noise");
+    e.severity().set(0, 0, 0, static_cast<double>(i));
+    repo.store(e);
+  }
+  const std::vector<Experiment> series =
+      repo.load_all(repo.query("series", "noise"));
+  ASSERT_EQ(series.size(), 3u);
+  std::vector<const Experiment*> ptrs;
+  for (const auto& e : series) ptrs.push_back(&e);
+  const Experiment m = mean(ptrs);
+  EXPECT_DOUBLE_EQ(m.severity().get(0, 0, 0), 1.0);
+}
+
+TEST_F(RepositoryTest, RemoveDeletesEntryAndFile) {
+  ExperimentRepository repo(dir_);
+  const std::string id = repo.store(make_small());
+  const std::filesystem::path file = dir_ / repo.entries()[0].file;
+  ASSERT_TRUE(std::filesystem::exists(file));
+  repo.remove(id);
+  EXPECT_TRUE(repo.entries().empty());
+  EXPECT_FALSE(std::filesystem::exists(file));
+  EXPECT_THROW((void)repo.load(id), Error);
+}
+
+TEST_F(RepositoryTest, UnknownIdsThrow) {
+  ExperimentRepository repo(dir_);
+  EXPECT_THROW((void)repo.load("nope"), Error);
+  EXPECT_THROW(repo.remove("nope"), Error);
+}
+
+TEST_F(RepositoryTest, CorruptIndexRejected) {
+  {
+    ExperimentRepository repo(dir_);
+    repo.store(make_small());
+  }
+  {
+    std::ofstream out(dir_ / "index.xml");
+    out << "<notarepo/>";
+  }
+  EXPECT_THROW(ExperimentRepository{dir_}, Error);
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,119 @@
+#include "io/xml_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cube {
+namespace {
+
+TEST(XmlParser, SimpleElement) {
+  const auto root = parse_xml("<a/>");
+  EXPECT_EQ(root->name, "a");
+  EXPECT_TRUE(root->children.empty());
+}
+
+TEST(XmlParser, DeclarationAndWhitespaceProlog) {
+  const auto root =
+      parse_xml("<?xml version=\"1.0\"?>\n  <!-- hi -->\n<a/>\n");
+  EXPECT_EQ(root->name, "a");
+}
+
+TEST(XmlParser, Attributes) {
+  const auto root = parse_xml("<a x=\"1\" y='two'/>");
+  EXPECT_EQ(root->attr("x"), "1");
+  EXPECT_EQ(root->attr("y"), "two");
+  EXPECT_FALSE(root->attr("z").has_value());
+}
+
+TEST(XmlParser, RequiredAttrThrowsWhenMissing) {
+  const auto root = parse_xml("<a x=\"1\"/>");
+  EXPECT_EQ(root->required_attr("x"), "1");
+  EXPECT_THROW((void)root->required_attr("y"), Error);
+}
+
+TEST(XmlParser, AttributeEntitiesResolved) {
+  const auto root = parse_xml("<a x=\"a&amp;b&lt;c\"/>");
+  EXPECT_EQ(root->attr("x"), "a&b<c");
+}
+
+TEST(XmlParser, NestedChildren) {
+  const auto root = parse_xml("<a><b/><c><d/></c><b/></a>");
+  EXPECT_EQ(root->children.size(), 3u);
+  EXPECT_EQ(root->children_named("b").size(), 2u);
+  ASSERT_NE(root->child("c"), nullptr);
+  EXPECT_EQ(root->child("c")->children.size(), 1u);
+}
+
+TEST(XmlParser, TextContent) {
+  const auto root = parse_xml("<a> hello &amp; goodbye </a>");
+  EXPECT_EQ(root->text, " hello & goodbye ");
+}
+
+TEST(XmlParser, ChildTextHelper) {
+  const auto root = parse_xml("<a><name>x</name></a>");
+  EXPECT_EQ(root->child_text("name"), "x");
+  EXPECT_EQ(root->child_text("missing"), "");
+}
+
+TEST(XmlParser, MixedTextAroundChildren) {
+  const auto root = parse_xml("<a>pre<b/>post</a>");
+  EXPECT_EQ(root->text, "prepost");
+}
+
+TEST(XmlParser, CdataPreservedVerbatim) {
+  const auto root = parse_xml("<a><![CDATA[<not-xml> & raw]]></a>");
+  EXPECT_EQ(root->text, "<not-xml> & raw");
+}
+
+TEST(XmlParser, CommentsInsideContentIgnored) {
+  const auto root = parse_xml("<a>x<!-- note -->y</a>");
+  EXPECT_EQ(root->text, "xy");
+}
+
+TEST(XmlParser, ProcessingInstructionInsideContentIgnored) {
+  const auto root = parse_xml("<a><?pi data?><b/></a>");
+  EXPECT_EQ(root->children.size(), 1u);
+}
+
+TEST(XmlParser, DoctypeSkipped) {
+  const auto root = parse_xml("<!DOCTYPE cube>\n<a/>");
+  EXPECT_EQ(root->name, "a");
+}
+
+TEST(XmlParser, MismatchedClosingTagThrows) {
+  EXPECT_THROW((void)parse_xml("<a></b>"), ParseError);
+}
+
+TEST(XmlParser, UnterminatedElementThrows) {
+  EXPECT_THROW((void)parse_xml("<a><b></b>"), ParseError);
+}
+
+TEST(XmlParser, ContentAfterRootThrows) {
+  EXPECT_THROW((void)parse_xml("<a/><b/>"), ParseError);
+}
+
+TEST(XmlParser, GarbageThrows) {
+  EXPECT_THROW((void)parse_xml("not xml at all"), ParseError);
+}
+
+TEST(XmlParser, ErrorCarriesPosition) {
+  try {
+    (void)parse_xml("<a>\n  <b></c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 0u);
+  }
+}
+
+TEST(XmlParser, UnterminatedCommentThrows) {
+  EXPECT_THROW((void)parse_xml("<a><!-- oops</a>"), ParseError);
+}
+
+TEST(XmlParser, LessThanInAttributeThrows) {
+  EXPECT_THROW((void)parse_xml("<a x=\"<\"/>"), ParseError);
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,70 @@
+// Property-style sweeps over the XML layer with seeded random content.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "io/xml_parser.hpp"
+#include "io/xml_writer.hpp"
+
+#include <sstream>
+
+namespace cube {
+namespace {
+
+std::string random_text(SplitMix64& rng, std::size_t max_len) {
+  // Printable ASCII incl. the XML specials, plus some UTF-8 bytes via
+  // escaped character references on the writer side.
+  static constexpr char kAlphabet[] =
+      "abc <>&\"' XYZ\t\n01.;=-_[]{}!?";
+  const std::size_t len = rng.below(max_len + 1);
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.below(sizeof kAlphabet - 1)]);
+  }
+  return out;
+}
+
+class XmlProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlProperty, EscapeUnescapeRoundTrip) {
+  SplitMix64 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::string original = random_text(rng, 64);
+    EXPECT_EQ(xml_unescape(xml_escape(original)), original);
+  }
+}
+
+TEST_P(XmlProperty, WriterOutputAlwaysParses) {
+  SplitMix64 rng(GetParam() + 500);
+  for (int i = 0; i < 20; ++i) {
+    std::ostringstream os;
+    XmlWriter w(os);
+    w.declaration();
+    w.open_element("root");
+    const std::string attr_value = random_text(rng, 40);
+    w.attribute("v", attr_value);
+    const std::size_t children = rng.below(5);
+    std::string child_text;
+    for (std::size_t c = 0; c < children; ++c) {
+      w.open_element("child");
+      child_text = random_text(rng, 40);
+      w.text(child_text);
+      w.close_element();
+    }
+    w.close_element();
+
+    const auto root = parse_xml(os.str());
+    EXPECT_EQ(root->name, "root");
+    EXPECT_EQ(root->attr("v"), attr_value);
+    EXPECT_EQ(root->children.size(), children);
+    if (children > 0) {
+      EXPECT_EQ(root->children.back()->text, child_text);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,116 @@
+#include "io/xml_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cube {
+namespace {
+
+std::string write(const std::function<void(XmlWriter&)>& body) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  body(w);
+  return os.str();
+}
+
+TEST(XmlWriter, Declaration) {
+  const std::string out = write([](XmlWriter& w) {
+    w.declaration();
+    w.open_element("root");
+    w.close_element();
+  });
+  EXPECT_EQ(out.find("<?xml version=\"1.0\""), 0u);
+}
+
+TEST(XmlWriter, SelfClosingEmptyElement) {
+  const std::string out = write([](XmlWriter& w) {
+    w.open_element("empty");
+    w.close_element();
+  });
+  EXPECT_EQ(out, "<empty/>\n");
+}
+
+TEST(XmlWriter, AttributesAreEscaped) {
+  const std::string out = write([](XmlWriter& w) {
+    w.open_element("e");
+    w.attribute("k", "a<b&\"c\"");
+    w.close_element();
+  });
+  EXPECT_NE(out.find("k=\"a&lt;b&amp;&quot;c&quot;\""), std::string::npos);
+}
+
+TEST(XmlWriter, InlineTextElement) {
+  const std::string out = write([](XmlWriter& w) {
+    w.open_element("name");
+    w.text("x & y");
+    w.close_element();
+  });
+  EXPECT_EQ(out, "<name>x &amp; y</name>\n");
+}
+
+TEST(XmlWriter, NestedIndentation) {
+  const std::string out = write([](XmlWriter& w) {
+    w.open_element("a");
+    w.open_element("b");
+    w.close_element();
+    w.close_element();
+  });
+  EXPECT_EQ(out, "<a>\n  <b/>\n</a>\n");
+}
+
+TEST(XmlWriter, NumericAttributeOverloads) {
+  const std::string out = write([](XmlWriter& w) {
+    w.open_element("e");
+    w.attribute("i", -5L);
+    w.attribute("u", static_cast<std::size_t>(7));
+    w.close_element();
+  });
+  EXPECT_NE(out.find("i=\"-5\""), std::string::npos);
+  EXPECT_NE(out.find("u=\"7\""), std::string::npos);
+}
+
+TEST(XmlWriter, Comment) {
+  const std::string out = write([](XmlWriter& w) {
+    w.open_element("a");
+    w.comment("note");
+    w.close_element();
+  });
+  EXPECT_NE(out.find("<!-- note -->"), std::string::npos);
+}
+
+TEST(XmlWriter, AttributeAfterContentThrows) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  w.open_element("a");
+  w.text("t");
+  EXPECT_THROW(w.attribute("k", "v"), Error);
+}
+
+TEST(XmlWriter, CloseWithoutOpenThrows) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  EXPECT_THROW(w.close_element(), Error);
+}
+
+TEST(XmlWriter, FinishClosesEverything) {
+  const std::string out = write([](XmlWriter& w) {
+    w.open_element("a");
+    w.open_element("b");
+    w.open_element("c");
+    w.finish();
+  });
+  EXPECT_NE(out.find("</b>"), std::string::npos);
+  EXPECT_NE(out.find("</a>"), std::string::npos);
+}
+
+TEST(XmlWriter, TextOutsideElementThrows) {
+  std::ostringstream os;
+  XmlWriter w(os);
+  EXPECT_THROW(w.text("loose"), Error);
+}
+
+}  // namespace
+}  // namespace cube

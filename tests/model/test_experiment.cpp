@@ -1,0 +1,137 @@
+#include "model/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using testing::make_small;
+
+TEST(Experiment, RequiresMetadata) {
+  EXPECT_THROW(Experiment(nullptr), Error);
+}
+
+TEST(Experiment, AccessByEntityMatchesIndexAccess) {
+  const Experiment e = make_small();
+  const Metadata& md = e.metadata();
+  const Metric& m = *md.metrics()[1];
+  const Cnode& c = *md.cnodes()[2];
+  const Thread& t = *md.threads()[3];
+  EXPECT_DOUBLE_EQ(e.get(m, c, t), e.severity().get(1, 2, 3));
+  EXPECT_DOUBLE_EQ(e.get(m, c, t), 2 * 100 + 3 * 10 + 4);
+}
+
+TEST(Experiment, Attributes) {
+  Experiment e = make_small();
+  e.set_attribute("k", "v");
+  EXPECT_EQ(e.attribute("k"), "v");
+  EXPECT_EQ(e.attribute("missing"), "");
+  e.set_attribute("k", "v2");
+  EXPECT_EQ(e.attribute("k"), "v2");
+}
+
+TEST(Experiment, NameViaAttribute) {
+  Experiment e = make_small();
+  EXPECT_EQ(e.name(), "small");
+  e.set_name("renamed");
+  EXPECT_EQ(e.name(), "renamed");
+  EXPECT_EQ(e.attribute("cube::name"), "renamed");
+}
+
+TEST(Experiment, KindDefaultsToOriginal) {
+  const Experiment e = make_small();
+  EXPECT_EQ(e.kind(), ExperimentKind::Original);
+  EXPECT_EQ(e.provenance(), "");
+}
+
+TEST(Experiment, MarkDerivedSetsKindAndProvenance) {
+  Experiment e = make_small();
+  e.mark_derived("difference(a, b)");
+  EXPECT_EQ(e.kind(), ExperimentKind::Derived);
+  EXPECT_EQ(e.provenance(), "difference(a, b)");
+}
+
+TEST(Experiment, SumMetricIsExclusive) {
+  const Experiment e = make_small();
+  const Metric& time = *e.metadata().find_metric("time");
+  // value(0, c, t) = 100 + (c+1)*10 + (t+1); 4 cnodes x 4 threads.
+  double expected = 0;
+  for (int c = 0; c < 4; ++c) {
+    for (int t = 0; t < 4; ++t) {
+      expected += 100 + (c + 1) * 10 + (t + 1);
+    }
+  }
+  EXPECT_DOUBLE_EQ(e.sum_metric(time), expected);
+}
+
+TEST(Experiment, SumMetricTreeIncludesChildren) {
+  const Experiment e = make_small();
+  const Metric& time = *e.metadata().find_metric("time");
+  const Metric& mpi = *e.metadata().find_metric("mpi");
+  EXPECT_DOUBLE_EQ(e.sum_metric_tree(time),
+                   e.sum_metric(time) + e.sum_metric(mpi));
+}
+
+TEST(Experiment, SumCnodeSumsThreadsOnly) {
+  const Experiment e = make_small();
+  const Metric& time = *e.metadata().find_metric("time");
+  const Cnode& root = *e.metadata().cnodes()[0];
+  // value(0, 0, t) = 100 + 10 + (t+1), t in 0..3.
+  EXPECT_DOUBLE_EQ(e.sum_cnode(time, root), 4 * 110 + (1 + 2 + 3 + 4));
+}
+
+TEST(Experiment, SumTreeCountsEveryPairOnce) {
+  const Experiment e = make_small();
+  const Metric& time = *e.metadata().find_metric("time");
+  const Cnode& root = *e.metadata().cnodes()[0];
+  // Root call node spans all 4 cnodes; time tree spans metrics 0 and 1.
+  double expected = 0;
+  for (int m = 0; m < 2; ++m) {
+    for (int c = 0; c < 4; ++c) {
+      for (int t = 0; t < 4; ++t) {
+        expected += (m + 1) * 100 + (c + 1) * 10 + (t + 1);
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(e.sum_tree(time, root), expected);
+}
+
+TEST(Experiment, TotalEqualsSumMetricTree) {
+  const Experiment e = make_small();
+  const Metric& time = *e.metadata().find_metric("time");
+  EXPECT_DOUBLE_EQ(e.total(time), e.sum_metric_tree(time));
+}
+
+TEST(Experiment, CloneCopiesEverything) {
+  Experiment e = make_small();
+  e.set_attribute("extra", "1");
+  const Experiment copy = e.clone();
+  EXPECT_EQ(copy.name(), e.name());
+  EXPECT_EQ(copy.attribute("extra"), "1");
+  const Metadata& md = copy.metadata();
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        EXPECT_DOUBLE_EQ(copy.severity().get(m, c, t),
+                         e.severity().get(m, c, t));
+      }
+    }
+  }
+  // Independent severity.
+  e.severity().set(0, 0, 0, 12345.0);
+  EXPECT_NE(copy.severity().get(0, 0, 0), 12345.0);
+}
+
+TEST(Experiment, CloneCanChangeStorageKind) {
+  const Experiment e = make_small(StorageKind::Dense);
+  const Experiment sparse = e.clone(StorageKind::Sparse);
+  EXPECT_EQ(sparse.severity().kind(), StorageKind::Sparse);
+  EXPECT_DOUBLE_EQ(sparse.severity().get(1, 1, 1),
+                   e.severity().get(1, 1, 1));
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,158 @@
+#include "model/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cube {
+namespace {
+
+Metadata make_filled() {
+  Metadata md;
+  const Metric& time =
+      md.add_metric(nullptr, "time", "Time", Unit::Seconds, "");
+  md.add_metric(&time, "mpi", "MPI", Unit::Seconds, "");
+  const Region& r_main = md.add_region("main", "a.c", 1, 99);
+  const Region& r_f = md.add_region("f", "a.c", 10, 20);
+  const CallSite& cs = md.add_callsite(r_f, "a.c", 12);
+  const Cnode& c_main = md.add_cnode_for_region(nullptr, r_main);
+  md.add_cnode(&c_main, cs);
+  Machine& m = md.add_machine("mach");
+  SysNode& n = md.add_node(m, "node");
+  Process& p = md.add_process(n, "rank 0", 0);
+  md.add_thread(p, "t0", 0);
+  return md;
+}
+
+TEST(Metadata, CountsAndRoots) {
+  const Metadata md = make_filled();
+  EXPECT_EQ(md.num_metrics(), 2u);
+  EXPECT_EQ(md.num_cnodes(), 2u);
+  EXPECT_EQ(md.num_threads(), 1u);
+  EXPECT_EQ(md.metric_roots().size(), 1u);
+  EXPECT_EQ(md.cnode_roots().size(), 1u);
+}
+
+TEST(Metadata, Lookups) {
+  const Metadata md = make_filled();
+  ASSERT_NE(md.find_metric("mpi"), nullptr);
+  EXPECT_EQ(md.find_metric("nope"), nullptr);
+  ASSERT_NE(md.find_region("f", "a.c"), nullptr);
+  EXPECT_EQ(md.find_region("f", "b.c"), nullptr);
+  ASSERT_NE(md.find_process(0), nullptr);
+  EXPECT_EQ(md.find_process(5), nullptr);
+}
+
+TEST(Metadata, CnodePathRendering) {
+  const Metadata md = make_filled();
+  EXPECT_EQ(md.cnodes()[1]->path(), "main/f");
+  EXPECT_EQ(md.cnodes()[1]->depth(), 1u);
+}
+
+TEST(Metadata, DuplicateRankRejected) {
+  Metadata md;
+  Machine& m = md.add_machine("mach");
+  SysNode& n = md.add_node(m, "node");
+  md.add_process(n, "a", 0);
+  EXPECT_THROW((void)md.add_process(n, "b", 0), ValidationError);
+}
+
+TEST(Metadata, DuplicateThreadIdWithinProcessRejected) {
+  Metadata md;
+  Machine& m = md.add_machine("mach");
+  SysNode& n = md.add_node(m, "node");
+  Process& p = md.add_process(n, "a", 0);
+  md.add_thread(p, "t0", 0);
+  EXPECT_THROW((void)md.add_thread(p, "t0b", 0), ValidationError);
+}
+
+TEST(Metadata, SameThreadIdInDifferentProcessesAllowed) {
+  Metadata md;
+  Machine& m = md.add_machine("mach");
+  SysNode& n = md.add_node(m, "node");
+  Process& p0 = md.add_process(n, "a", 0);
+  Process& p1 = md.add_process(n, "b", 1);
+  md.add_thread(p0, "t0", 0);
+  EXPECT_NO_THROW((void)md.add_thread(p1, "t0", 0));
+}
+
+TEST(Metadata, ValidateRejectsThreadlessProcess) {
+  Metadata md;
+  Machine& m = md.add_machine("mach");
+  SysNode& n = md.add_node(m, "node");
+  md.add_process(n, "a", 0);
+  EXPECT_THROW(md.validate(), ValidationError);
+}
+
+TEST(Metadata, ValidateAcceptsFilled) {
+  EXPECT_NO_THROW(make_filled().validate());
+}
+
+TEST(Metadata, ForeignEntityRejected) {
+  Metadata md1;
+  Metadata md2;
+  const Region& foreign = md2.add_region("f", "x.c", 1, 2);
+  EXPECT_THROW((void)md1.add_callsite(foreign, "x.c", 1), ValidationError);
+}
+
+TEST(Metadata, CloneIsDeepAndIndexPreserving) {
+  const Metadata md = make_filled();
+  const auto copy = md.clone();
+  EXPECT_EQ(copy->num_metrics(), md.num_metrics());
+  EXPECT_EQ(copy->num_cnodes(), md.num_cnodes());
+  EXPECT_EQ(copy->num_threads(), md.num_threads());
+  // Indices preserved.
+  for (std::size_t i = 0; i < md.num_metrics(); ++i) {
+    EXPECT_EQ(copy->metrics()[i]->unique_name(),
+              md.metrics()[i]->unique_name());
+    EXPECT_EQ(copy->metrics()[i]->index(), i);
+  }
+  // Deep: entities are distinct objects.
+  EXPECT_NE(copy->metrics()[0].get(), md.metrics()[0].get());
+  // Structure preserved.
+  EXPECT_EQ(copy->cnodes()[1]->parent(), copy->cnodes()[0].get());
+  EXPECT_NO_THROW(copy->validate());
+}
+
+TEST(Metadata, CloneCopiesTopology) {
+  Metadata md;
+  Machine& m = md.add_machine("mach");
+  SysNode& n = md.add_node(m, "node");
+  Process& p = md.add_process(n, "a", 0);
+  p.set_coords({1, 2});
+  md.add_thread(p, "t", 0);
+  const auto copy = md.clone();
+  ASSERT_TRUE(copy->processes()[0]->coords().has_value());
+  EXPECT_EQ(*copy->processes()[0]->coords(), (std::vector<long>{1, 2}));
+}
+
+TEST(Metadata, ValidateRejectsImproperRegionNesting) {
+  // "Regions must be properly nested" (paper section 2): overlapping
+  // without containment is invalid.
+  Metadata md = make_filled();
+  md.add_region("overlap", "a.c", 15, 30);  // straddles f's [10, 20]
+  EXPECT_THROW(md.validate(), ValidationError);
+}
+
+TEST(Metadata, ValidateAcceptsNestedAndDisjointRegions) {
+  Metadata md = make_filled();           // main [1,99] contains f [10,20]
+  md.add_region("g", "a.c", 30, 40);     // disjoint from f, inside main
+  md.add_region("inner", "a.c", 12, 15); // nested inside f
+  md.add_region("other", "b.c", 15, 30); // other module: no constraint
+  EXPECT_NO_THROW(md.validate());
+}
+
+TEST(Metadata, ValidateIgnoresUnknownLineRanges) {
+  Metadata md = make_filled();
+  md.add_region("mpi_call", "a.c", -1, -1);  // no line info
+  EXPECT_NO_THROW(md.validate());
+}
+
+TEST(Metadata, ThreadRankReflectsProcess) {
+  const Metadata md = make_filled();
+  EXPECT_EQ(md.threads()[0]->rank(), 0);
+  EXPECT_EQ(&md.threads()[0]->process(), md.processes()[0].get());
+}
+
+}  // namespace
+}  // namespace cube

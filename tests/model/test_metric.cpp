@@ -1,0 +1,74 @@
+#include "model/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "model/metadata.hpp"
+
+namespace cube {
+namespace {
+
+TEST(Unit, Names) {
+  EXPECT_EQ(unit_name(Unit::Seconds), "sec");
+  EXPECT_EQ(unit_name(Unit::Bytes), "bytes");
+  EXPECT_EQ(unit_name(Unit::Occurrences), "occ");
+}
+
+TEST(Unit, ParseAcceptsAliases) {
+  EXPECT_EQ(parse_unit("sec"), Unit::Seconds);
+  EXPECT_EQ(parse_unit("SECONDS"), Unit::Seconds);
+  EXPECT_EQ(parse_unit(" s "), Unit::Seconds);
+  EXPECT_EQ(parse_unit("bytes"), Unit::Bytes);
+  EXPECT_EQ(parse_unit("occ"), Unit::Occurrences);
+  EXPECT_EQ(parse_unit("count"), Unit::Occurrences);
+}
+
+TEST(Unit, ParseRejectsUnknown) {
+  EXPECT_THROW((void)parse_unit("furlongs"), Error);
+}
+
+TEST(Metric, TreeStructure) {
+  Metadata md;
+  const Metric& root =
+      md.add_metric(nullptr, "time", "Time", Unit::Seconds, "r");
+  const Metric& child =
+      md.add_metric(&root, "mpi", "MPI", Unit::Seconds, "c");
+  const Metric& grand =
+      md.add_metric(&child, "p2p", "P2P", Unit::Seconds, "g");
+
+  EXPECT_TRUE(root.is_root());
+  EXPECT_FALSE(child.is_root());
+  EXPECT_EQ(child.parent(), &root);
+  ASSERT_EQ(root.children().size(), 1u);
+  EXPECT_EQ(root.children()[0], &child);
+  EXPECT_EQ(&grand.root(), &root);
+  EXPECT_EQ(grand.depth(), 2u);
+  EXPECT_EQ(root.depth(), 0u);
+}
+
+TEST(Metric, IndicesAreDenseAndOrdered) {
+  Metadata md;
+  const Metric& a = md.add_metric(nullptr, "a", "a", Unit::Bytes, "");
+  const Metric& b = md.add_metric(nullptr, "b", "b", Unit::Bytes, "");
+  EXPECT_EQ(a.index(), 0u);
+  EXPECT_EQ(b.index(), 1u);
+}
+
+TEST(Metric, UnitMismatchWithParentRejected) {
+  Metadata md;
+  const Metric& root =
+      md.add_metric(nullptr, "cache", "Cache", Unit::Occurrences, "");
+  EXPECT_THROW(
+      (void)md.add_metric(&root, "t", "t", Unit::Seconds, ""),
+      ValidationError);
+}
+
+TEST(Metric, DuplicateUniqueNameRejected) {
+  Metadata md;
+  (void)md.add_metric(nullptr, "time", "Time", Unit::Seconds, "");
+  EXPECT_THROW((void)md.add_metric(nullptr, "time", "t2", Unit::Seconds, ""),
+               ValidationError);
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,133 @@
+#include "model/severity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cube {
+namespace {
+
+/// Both stores must behave identically; every test runs for each kind.
+class SeverityStoreTest : public ::testing::TestWithParam<StorageKind> {
+ protected:
+  std::unique_ptr<SeverityStore> make(std::size_t m = 3, std::size_t c = 4,
+                                      std::size_t t = 2) const {
+    return make_severity_store(GetParam(), m, c, t);
+  }
+};
+
+TEST_P(SeverityStoreTest, StartsAllZero) {
+  const auto s = make();
+  for (MetricIndex m = 0; m < 3; ++m) {
+    for (CnodeIndex c = 0; c < 4; ++c) {
+      for (ThreadIndex t = 0; t < 2; ++t) {
+        EXPECT_EQ(s->get(m, c, t), 0.0);
+      }
+    }
+  }
+  EXPECT_EQ(s->nonzero_count(), 0u);
+}
+
+TEST_P(SeverityStoreTest, SetGetRoundTrip) {
+  auto s = make();
+  s->set(1, 2, 1, 3.5);
+  EXPECT_DOUBLE_EQ(s->get(1, 2, 1), 3.5);
+  EXPECT_EQ(s->get(1, 2, 0), 0.0);
+  EXPECT_EQ(s->nonzero_count(), 1u);
+}
+
+TEST_P(SeverityStoreTest, SetOverwrites) {
+  auto s = make();
+  s->set(0, 0, 0, 1.0);
+  s->set(0, 0, 0, -2.0);
+  EXPECT_DOUBLE_EQ(s->get(0, 0, 0), -2.0);
+}
+
+TEST_P(SeverityStoreTest, SetZeroClearsEntry) {
+  auto s = make();
+  s->set(0, 0, 0, 1.0);
+  s->set(0, 0, 0, 0.0);
+  EXPECT_EQ(s->get(0, 0, 0), 0.0);
+  EXPECT_EQ(s->nonzero_count(), 0u);
+}
+
+TEST_P(SeverityStoreTest, AddAccumulates) {
+  auto s = make();
+  s->add(2, 3, 1, 1.5);
+  s->add(2, 3, 1, 2.5);
+  EXPECT_DOUBLE_EQ(s->get(2, 3, 1), 4.0);
+}
+
+TEST_P(SeverityStoreTest, AddCancellationToZero) {
+  auto s = make();
+  s->add(0, 1, 0, 5.0);
+  s->add(0, 1, 0, -5.0);
+  EXPECT_EQ(s->get(0, 1, 0), 0.0);
+  EXPECT_EQ(s->nonzero_count(), 0u);
+}
+
+TEST_P(SeverityStoreTest, NegativeValuesAllowed) {
+  auto s = make();
+  s->set(0, 0, 0, -7.25);
+  EXPECT_DOUBLE_EQ(s->get(0, 0, 0), -7.25);
+  EXPECT_EQ(s->nonzero_count(), 1u);
+}
+
+TEST_P(SeverityStoreTest, OutOfRangeThrows) {
+  auto s = make();
+  EXPECT_THROW((void)s->get(3, 0, 0), Error);
+  EXPECT_THROW((void)s->get(0, 4, 0), Error);
+  EXPECT_THROW((void)s->get(0, 0, 2), Error);
+  EXPECT_THROW(s->set(3, 0, 0, 1.0), Error);
+  EXPECT_THROW(s->add(0, 0, 2, 1.0), Error);
+}
+
+TEST_P(SeverityStoreTest, DimensionsReported) {
+  const auto s = make(5, 6, 7);
+  EXPECT_EQ(s->num_metrics(), 5u);
+  EXPECT_EQ(s->num_cnodes(), 6u);
+  EXPECT_EQ(s->num_threads(), 7u);
+}
+
+TEST_P(SeverityStoreTest, CloneIsIndependent) {
+  auto s = make();
+  s->set(1, 1, 1, 9.0);
+  const auto copy = s->clone();
+  EXPECT_DOUBLE_EQ(copy->get(1, 1, 1), 9.0);
+  EXPECT_EQ(copy->kind(), s->kind());
+  s->set(1, 1, 1, 0.0);
+  EXPECT_DOUBLE_EQ(copy->get(1, 1, 1), 9.0);
+}
+
+TEST_P(SeverityStoreTest, MemoryBytesIsPositiveWhenPopulated) {
+  auto s = make();
+  s->set(0, 0, 0, 1.0);
+  EXPECT_GT(s->memory_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SeverityStoreTest,
+                         ::testing::Values(StorageKind::Dense,
+                                           StorageKind::Sparse),
+                         [](const auto& info) {
+                           return info.param == StorageKind::Dense
+                                      ? "Dense"
+                                      : "Sparse";
+                         });
+
+TEST(SeverityStorage, SparseUsesLessMemoryWhenSparse) {
+  auto dense = make_severity_store(StorageKind::Dense, 50, 50, 50);
+  auto sparse = make_severity_store(StorageKind::Sparse, 50, 50, 50);
+  dense->set(1, 2, 3, 1.0);
+  sparse->set(1, 2, 3, 1.0);
+  EXPECT_LT(sparse->memory_bytes(), dense->memory_bytes());
+}
+
+TEST(SeverityStorage, KindsReportedCorrectly) {
+  EXPECT_EQ(make_severity_store(StorageKind::Dense, 1, 1, 1)->kind(),
+            StorageKind::Dense);
+  EXPECT_EQ(make_severity_store(StorageKind::Sparse, 1, 1, 1)->kind(),
+            StorageKind::Sparse);
+}
+
+}  // namespace
+}  // namespace cube

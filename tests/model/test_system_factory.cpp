@@ -1,0 +1,53 @@
+#include "model/system_factory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cube {
+namespace {
+
+TEST(SystemFactory, BuildsRegularHierarchy) {
+  Metadata md;
+  const auto threads = build_regular_system(md, "cluster", 2, 3);
+  EXPECT_EQ(md.machines().size(), 1u);
+  EXPECT_EQ(md.nodes().size(), 2u);
+  EXPECT_EQ(md.processes().size(), 6u);
+  EXPECT_EQ(threads.size(), 6u);
+  EXPECT_EQ(md.machines()[0]->name(), "cluster");
+  // Ranks node-major, one thread each.
+  for (long r = 0; r < 6; ++r) {
+    const Process* p = md.find_process(r);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->threads().size(), 1u);
+  }
+  EXPECT_EQ(&md.processes()[0]->node(), md.nodes()[0].get());
+  EXPECT_EQ(&md.processes()[3]->node(), md.nodes()[1].get());
+  EXPECT_NO_THROW(md.validate());
+}
+
+TEST(SystemFactory, ThreadOrderMatchesRankOrder) {
+  Metadata md;
+  const auto threads = build_regular_system(md, "c", 2, 2);
+  for (std::size_t r = 0; r < threads.size(); ++r) {
+    EXPECT_EQ(threads[r]->rank(), static_cast<long>(r));
+    EXPECT_EQ(threads[r]->index(), r);
+  }
+}
+
+TEST(SystemFactory, AttachesTopologyCoords) {
+  Metadata md;
+  std::vector<std::vector<long>> coords = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  build_regular_system(md, "c", 1, 4, coords);
+  ASSERT_TRUE(md.processes()[3]->coords().has_value());
+  EXPECT_EQ(*md.processes()[3]->coords(), (std::vector<long>{1, 1}));
+}
+
+TEST(SystemFactory, PartialCoordsOnlyAssignedWhereGiven) {
+  Metadata md;
+  std::vector<std::vector<long>> coords = {{7}};
+  build_regular_system(md, "c", 1, 2, coords);
+  EXPECT_TRUE(md.processes()[0]->coords().has_value());
+  EXPECT_FALSE(md.processes()[1]->coords().has_value());
+}
+
+}  // namespace
+}  // namespace cube

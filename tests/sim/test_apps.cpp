@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/apps/pescan.hpp"
+#include "sim/apps/sweep3d.hpp"
+#include "sim/apps/synthetic.hpp"
+#include "sim/engine.hpp"
+
+namespace cube::sim {
+namespace {
+
+TEST(Pescan, BuildsOneProgramPerRank) {
+  RegionTable regions;
+  ClusterConfig cluster;  // 16 ranks
+  const auto programs = build_pescan(regions, cluster, PescanConfig{});
+  EXPECT_EQ(programs.size(), 16u);
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(programs[static_cast<std::size_t>(r)].rank, r);
+  }
+  EXPECT_NE(regions.find("solve_pcg"), kNoIndex);
+  EXPECT_NE(regions.find("fft_forward"), kNoIndex);
+}
+
+TEST(Pescan, RunsToCompletionWithAndWithoutBarriers) {
+  SimConfig cfg;
+  for (const bool barriers : {true, false}) {
+    RegionTable regions;
+    PescanConfig pc;
+    pc.iterations = 3;
+    pc.with_barriers = barriers;
+    auto programs = build_pescan(regions, cfg.cluster, pc);
+    EXPECT_NO_THROW(
+        (void)Engine(cfg).run(regions, std::move(programs)));
+  }
+}
+
+TEST(Pescan, BarrierRemovalIsFaster) {
+  SimConfig cfg;
+  PescanConfig pc;
+  pc.iterations = 5;
+  RegionTable r1;
+  pc.with_barriers = true;
+  const double with = Engine(cfg)
+                          .run(r1, build_pescan(r1, cfg.cluster, pc))
+                          .makespan;
+  RegionTable r2;
+  pc.with_barriers = false;
+  const double without = Engine(cfg)
+                             .run(r2, build_pescan(r2, cfg.cluster, pc))
+                             .makespan;
+  EXPECT_LT(without, with);
+}
+
+TEST(Pescan, DeterministicAcrossBuilds) {
+  SimConfig cfg;
+  PescanConfig pc;
+  pc.iterations = 3;
+  RegionTable r1;
+  RegionTable r2;
+  const double a =
+      Engine(cfg).run(r1, build_pescan(r1, cfg.cluster, pc)).makespan;
+  const double b =
+      Engine(cfg).run(r2, build_pescan(r2, cfg.cluster, pc)).makespan;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Sweep3d, RejectsMismatchedGrid) {
+  RegionTable regions;
+  ClusterConfig cluster;  // 16 ranks
+  Sweep3dConfig sc;
+  sc.grid_px = 3;
+  sc.grid_py = 3;
+  EXPECT_THROW((void)build_sweep3d(regions, cluster, sc), OperationError);
+}
+
+TEST(Sweep3d, RunsToCompletion) {
+  SimConfig cfg;
+  RegionTable regions;
+  Sweep3dConfig sc;
+  sc.sweeps = 4;
+  auto programs = build_sweep3d(regions, cfg.cluster, sc);
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  EXPECT_GT(run.makespan, 0.0);
+}
+
+TEST(Sweep3d, WavefrontSerializesCorners) {
+  // The corner rank downstream of the first sweep finishes its first
+  // octant only after upstream ranks computed: makespan exceeds
+  // sweeps * cell by the pipeline fill.
+  SimConfig cfg;
+  RegionTable regions;
+  Sweep3dConfig sc;
+  sc.sweeps = 2;
+  sc.imbalance = 0.0;
+  auto programs = build_sweep3d(regions, cfg.cluster, sc);
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  // Lower bound: per sweep, the wavefront depth is (px-1)+(py-1) hops.
+  EXPECT_GT(run.makespan, sc.sweeps * sc.cell_seconds * 2);
+}
+
+TEST(Synthetic, ImbalancedBarrierProducesWaits) {
+  SimConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.procs_per_node = 4;
+  cfg.monitor.trace = true;
+  RegionTable regions;
+  const RunResult run = Engine(cfg).run(
+      regions,
+      build_imbalanced_barrier(regions, cfg.cluster, 3, 0.01, 0.5));
+  // Rank 0 (fastest) accumulates barrier wait ~= imbalance per round.
+  double barrier_time_rank0 = 0.0;
+  for (std::size_t n = 0; n < run.profile.nodes().size(); ++n) {
+    if (run.regions[run.profile.nodes()[n].region].name ==
+        kMpiBarrierRegion) {
+      barrier_time_rank0 += run.profile.time(n, 0);
+    }
+  }
+  EXPECT_GT(barrier_time_rank0, 3 * 0.01 * 0.5 * 0.9);
+}
+
+TEST(Synthetic, PingpongRequiresTwoRanks) {
+  RegionTable regions;
+  ClusterConfig cluster;
+  cluster.num_nodes = 2;
+  cluster.procs_per_node = 2;
+  EXPECT_THROW((void)build_pingpong(regions, cluster, 1, 64),
+               OperationError);
+}
+
+}  // namespace
+}  // namespace cube::sim

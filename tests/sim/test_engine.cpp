@@ -1,0 +1,343 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/apps/synthetic.hpp"
+
+namespace cube::sim {
+namespace {
+
+SimConfig two_rank_config() {
+  SimConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.procs_per_node = 2;
+  return cfg;
+}
+
+TEST(Engine, ComputeAdvancesClock) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main").compute(0.5).leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  EXPECT_DOUBLE_EQ(run.finish_times[0], 0.5);
+  EXPECT_DOUBLE_EQ(run.makespan, 0.5);
+}
+
+TEST(Engine, RequiresCompleteRankCoverage) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  ProgramBuilder b(regions, 0);
+  b.enter("main").leave();
+  programs.push_back(b.take());
+  EXPECT_THROW((void)Engine(cfg).run(regions, std::move(programs)),
+               OperationError);
+}
+
+TEST(Engine, EagerMessageDelivery) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  {
+    ProgramBuilder b(regions, 0);
+    b.enter("main").compute(0.1).send(1, 0, 1024).leave();
+    programs.push_back(b.take());
+  }
+  {
+    ProgramBuilder b(regions, 1);
+    b.enter("main").recv(0, 0).leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  // The receiver finishes after the sender's compute + latency + transfer.
+  EXPECT_GT(run.finish_times[1], 0.1);
+  EXPECT_LT(run.finish_times[1], 0.11);
+}
+
+TEST(Engine, RendezvousSenderWaitsForReceiver) {
+  SimConfig cfg = two_rank_config();
+  cfg.network.eager_threshold = 1000;
+  RegionTable regions;
+  std::vector<Program> programs;
+  {
+    ProgramBuilder b(regions, 0);
+    b.enter("main").send(1, 0, 1e6).leave();  // rendezvous (1 MB)
+    programs.push_back(b.take());
+  }
+  {
+    ProgramBuilder b(regions, 1);
+    b.enter("main").compute(0.2).recv(0, 0).leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  // Sender cannot finish before the receiver posted at 0.2.
+  EXPECT_GT(run.finish_times[0], 0.2);
+}
+
+TEST(Engine, UnmatchedRecvDeadlocks) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  {
+    ProgramBuilder b(regions, 0);
+    b.enter("main").recv(1, 0).leave();
+    programs.push_back(b.take());
+  }
+  {
+    ProgramBuilder b(regions, 1);
+    b.enter("main").recv(0, 0).leave();
+    programs.push_back(b.take());
+  }
+  EXPECT_THROW((void)Engine(cfg).run(regions, std::move(programs)),
+               OperationError);
+}
+
+TEST(Engine, BarrierSynchronizesClocks) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main").compute(r == 0 ? 0.1 : 0.5).barrier().leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  // Both finish after the slowest arrival (0.5) plus barrier cost.
+  EXPECT_GE(run.finish_times[0], 0.5);
+  EXPECT_NEAR(run.finish_times[0], run.finish_times[1],
+              cfg.network.exit_stagger * 2 + 1e-9);
+}
+
+TEST(Engine, MismatchedCollectiveSequenceThrows) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  {
+    ProgramBuilder b(regions, 0);
+    b.enter("main").barrier().leave();
+    programs.push_back(b.take());
+  }
+  {
+    ProgramBuilder b(regions, 1);
+    b.enter("main").alltoall(64).leave();
+    programs.push_back(b.take());
+  }
+  EXPECT_THROW((void)Engine(cfg).run(regions, std::move(programs)),
+               OperationError);
+}
+
+TEST(Engine, ReduceDelaysOnlyRoot) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    // Root (rank 0) arrives early; rank 1 arrives late.
+    b.enter("main").compute(r == 0 ? 0.0001 : 0.4).reduce(0, 1024).leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  EXPECT_GE(run.finish_times[0], 0.4);  // root waited (Early Reduce)
+  EXPECT_LT(run.finish_times[1], 0.41);  // non-root did not wait for root
+}
+
+TEST(Engine, BcastNonRootsWaitForRoot) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    // Root (rank 0) arrives late; rank 1 must wait for the data.
+    b.enter("main").compute(r == 0 ? 0.5 : 0.001).bcast(0, 4096).leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  EXPECT_GE(run.finish_times[1], 0.5);  // waited for the root
+  EXPECT_LT(run.finish_times[0], 0.51);  // root did not wait for others
+}
+
+TEST(Engine, BcastRootNeverWaitsForNonRoots) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    // Root early, non-root late: the root proceeds immediately.
+    b.enter("main").compute(r == 0 ? 0.001 : 0.5).bcast(0, 4096).leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  EXPECT_LT(run.finish_times[0], 0.01);
+}
+
+TEST(Engine, DeterministicForEqualSeeds) {
+  SimConfig cfg = two_rank_config();
+  cfg.noise.relative = 0.05;
+  cfg.noise.seed = 77;
+  RegionTable r1;
+  RegionTable r2;
+  const RunResult a =
+      Engine(cfg).run(r1, build_noisy_compute(r1, cfg.cluster, 5, 0.01));
+  const RunResult b =
+      Engine(cfg).run(r2, build_noisy_compute(r2, cfg.cluster, 5, 0.01));
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Engine, NoiseSeedChangesOutcome) {
+  SimConfig cfg = two_rank_config();
+  cfg.noise.relative = 0.05;
+  cfg.noise.seed = 1;
+  RegionTable r1;
+  const RunResult a =
+      Engine(cfg).run(r1, build_noisy_compute(r1, cfg.cluster, 5, 0.01));
+  cfg.noise.seed = 2;
+  RegionTable r2;
+  const RunResult b =
+      Engine(cfg).run(r2, build_noisy_compute(r2, cfg.cluster, 5, 0.01));
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(Engine, NoiseOnlyAddsTime) {
+  SimConfig cfg = two_rank_config();
+  RegionTable r1;
+  const RunResult quiet =
+      Engine(cfg).run(r1, build_noisy_compute(r1, cfg.cluster, 5, 0.01));
+  cfg.noise.relative = 0.05;
+  cfg.noise.seed = 3;
+  RegionTable r2;
+  const RunResult noisy =
+      Engine(cfg).run(r2, build_noisy_compute(r2, cfg.cluster, 5, 0.01));
+  EXPECT_GT(noisy.makespan, quiet.makespan);
+}
+
+TEST(Engine, TracingDisabledByDefault) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  const RunResult run = Engine(cfg).run(
+      regions, build_pingpong(regions, cfg.cluster, 3, 512));
+  EXPECT_TRUE(run.trace.events.empty());
+}
+
+TEST(Engine, TracingRecordsBalancedEvents) {
+  SimConfig cfg = two_rank_config();
+  cfg.monitor.trace = true;
+  RegionTable regions;
+  const RunResult run = Engine(cfg).run(
+      regions, build_pingpong(regions, cfg.cluster, 3, 512));
+  ASSERT_FALSE(run.trace.events.empty());
+  int depth = 0;
+  for (const TraceEvent& e : run.trace.events) {
+    if (e.type == EventType::Enter || e.type == EventType::CollEnter) {
+      ++depth;
+    }
+    if (e.type == EventType::Exit || e.type == EventType::CollExit) {
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Engine, InstrumentationDilatesRuntime) {
+  SimConfig cfg = two_rank_config();
+  RegionTable r1;
+  const RunResult untraced = Engine(cfg).run(
+      r1, build_pingpong(r1, cfg.cluster, 50, 512));
+  cfg.monitor.trace = true;
+  cfg.monitor.probe_overhead = 5e-6;
+  RegionTable r2;
+  const RunResult traced = Engine(cfg).run(
+      r2, build_pingpong(r2, cfg.cluster, 50, 512));
+  EXPECT_GT(traced.makespan, untraced.makespan);
+}
+
+TEST(Engine, PerRankEventTimesAreMonotone) {
+  SimConfig cfg = two_rank_config();
+  cfg.monitor.trace = true;
+  RegionTable regions;
+  const RunResult run = Engine(cfg).run(
+      regions, build_pingpong(regions, cfg.cluster, 10, 512));
+  double last[2] = {-1.0, -1.0};
+  for (const TraceEvent& e : run.trace.events) {
+    ASSERT_GE(e.time, last[e.rank]);
+    last[e.rank] = e.time;
+  }
+}
+
+TEST(Engine, CounterPayloadAttachedWhenRequested) {
+  SimConfig cfg = two_rank_config();
+  cfg.monitor.trace = true;
+  cfg.monitor.trace_counters = counters::event_set_cache();
+  RegionTable regions;
+  const RunResult run = Engine(cfg).run(
+      regions, build_pingpong(regions, cfg.cluster, 3, 512));
+  EXPECT_EQ(run.trace.counter_names.size(), 4u);
+  bool any_nonempty = false;
+  for (const TraceEvent& e : run.trace.events) {
+    EXPECT_EQ(e.counters.size(), 4u);
+    for (const double v : e.counters) {
+      any_nonempty = any_nonempty || v > 0.0;
+    }
+  }
+  EXPECT_TRUE(any_nonempty);
+}
+
+TEST(Engine, ProfileAccountsComputeTime) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main").enter("inner").compute(0.25).leave().leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  // Find the "inner" node.
+  const CallProfile& p = run.profile;
+  bool found = false;
+  for (std::size_t n = 0; n < p.nodes().size(); ++n) {
+    if (run.regions[p.nodes()[n].region].name == "inner") {
+      found = true;
+      EXPECT_DOUBLE_EQ(p.time(n, 0), 0.25);
+      EXPECT_EQ(p.visits(n, 0), 1u);
+      EXPECT_DOUBLE_EQ(p.work(n, 0).seconds, 0.25);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Engine, ProfileMergesCallPathsAcrossRanks) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  const RunResult run = Engine(cfg).run(
+      regions, build_pingpong(regions, cfg.cluster, 2, 256));
+  // Both ranks share the same call tree: main -> pingpong -> {MPI_*}.
+  std::size_t roots = 0;
+  for (const ProfileNode& n : run.profile.nodes()) {
+    if (n.parent == kNoIndex) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST(Engine, RecvAttributesColdBytes) {
+  SimConfig cfg = two_rank_config();
+  RegionTable regions;
+  const RunResult run = Engine(cfg).run(
+      regions, build_pingpong(regions, cfg.cluster, 4, 2048));
+  double cold = 0;
+  for (std::size_t n = 0; n < run.profile.nodes().size(); ++n) {
+    if (run.regions[run.profile.nodes()[n].region].name == kMpiRecvRegion) {
+      cold += run.profile.work(n, 0).cold_bytes +
+              run.profile.work(n, 1).cold_bytes;
+    }
+  }
+  EXPECT_DOUBLE_EQ(cold, 8 * 2048.0);  // 4 rounds x 2 directions x 2048 B
+}
+
+}  // namespace
+}  // namespace cube::sim

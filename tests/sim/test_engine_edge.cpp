@@ -1,0 +1,189 @@
+// Engine edge cases: self-messages, zero-byte payloads, many-rank fan-in,
+// repeated collectives, tag multiplexing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace cube::sim {
+namespace {
+
+SimConfig config(int ranks) {
+  SimConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.procs_per_node = ranks;
+  return cfg;
+}
+
+TEST(EngineEdge, SelfMessageDelivers) {
+  auto cfg = config(1);
+  RegionTable regions;
+  std::vector<Program> programs;
+  ProgramBuilder b(regions, 0);
+  b.enter("main").send(0, 7, 512).recv(0, 7).leave();
+  programs.push_back(b.take());
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  EXPECT_GT(run.makespan, 0.0);
+}
+
+TEST(EngineEdge, ZeroByteMessages) {
+  auto cfg = config(2);
+  RegionTable regions;
+  std::vector<Program> programs;
+  {
+    ProgramBuilder b(regions, 0);
+    b.enter("main").send(1, 0, 0.0).leave();
+    programs.push_back(b.take());
+  }
+  {
+    ProgramBuilder b(regions, 1);
+    b.enter("main").recv(0, 0).leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  // Zero-byte message still pays latency + overhead.
+  EXPECT_GT(run.finish_times[1], cfg.network.latency);
+}
+
+TEST(EngineEdge, TagsMultiplexSamePair) {
+  // Out-of-order tags between the same pair resolve by tag, not arrival.
+  auto cfg = config(2);
+  cfg.monitor.trace = true;
+  RegionTable regions;
+  std::vector<Program> programs;
+  {
+    ProgramBuilder b(regions, 0);
+    b.enter("main").send(1, 5, 100).send(1, 6, 200).leave();
+    programs.push_back(b.take());
+  }
+  {
+    ProgramBuilder b(regions, 1);
+    b.enter("main").recv(0, 6).recv(0, 5).leave();  // reversed order
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  // Both received; recv events carry the right byte counts.
+  std::vector<double> sizes;
+  for (const TraceEvent& e : run.trace.events) {
+    if (e.type == EventType::Recv) sizes.push_back(e.bytes);
+  }
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_DOUBLE_EQ(sizes[0], 200);  // tag 6 first
+  EXPECT_DOUBLE_EQ(sizes[1], 100);
+}
+
+TEST(EngineEdge, ManyToOneFanIn) {
+  constexpr int kRanks = 8;
+  auto cfg = config(kRanks);
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < kRanks; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main");
+    if (r == 0) {
+      for (int src = 1; src < kRanks; ++src) b.recv(src, src);
+    } else {
+      b.compute(0.001 * r).send(0, r, 1024);
+    }
+    b.leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  // Root finishes after the slowest sender.
+  EXPECT_GT(run.finish_times[0], 0.001 * (kRanks - 1));
+}
+
+TEST(EngineEdge, RepeatedCollectivesKeepInstancesApart) {
+  auto cfg = config(2);
+  cfg.monitor.trace = true;
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main");
+    for (int k = 0; k < 5; ++k) {
+      b.compute(0.001).barrier();
+    }
+    b.leave();
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  std::set<std::uint32_t> instances;
+  for (const TraceEvent& e : run.trace.events) {
+    if (e.type == EventType::CollEnter) instances.insert(e.coll_instance);
+  }
+  EXPECT_EQ(instances.size(), 5u);
+}
+
+TEST(EngineEdge, MixedCollectiveKindsSequence) {
+  auto cfg = config(4);
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 4; ++r) {
+    ProgramBuilder b(regions, r);
+    b.enter("main")
+        .barrier()
+        .alltoall(256)
+        .reduce(2, 64)
+        .bcast(2, 64)
+        .barrier()
+        .leave();
+    programs.push_back(b.take());
+  }
+  EXPECT_NO_THROW((void)Engine(cfg).run(regions, std::move(programs)));
+}
+
+TEST(EngineEdge, SendWithoutReceiverIsHarmlessBuffered) {
+  // An eager message that is never received does not deadlock the run
+  // (buffered semantics); the data simply stays in flight.
+  auto cfg = config(2);
+  RegionTable regions;
+  std::vector<Program> programs;
+  {
+    ProgramBuilder b(regions, 0);
+    b.enter("main").send(1, 0, 128).leave();
+    programs.push_back(b.take());
+  }
+  {
+    ProgramBuilder b(regions, 1);
+    b.enter("main").compute(0.001).leave();
+    programs.push_back(b.take());
+  }
+  EXPECT_NO_THROW((void)Engine(cfg).run(regions, std::move(programs)));
+}
+
+TEST(EngineEdge, RendezvousWithoutReceiverDeadlocks) {
+  auto cfg = config(2);
+  cfg.network.eager_threshold = 64;
+  RegionTable regions;
+  std::vector<Program> programs;
+  {
+    ProgramBuilder b(regions, 0);
+    b.enter("main").send(1, 0, 1e6).leave();
+    programs.push_back(b.take());
+  }
+  {
+    ProgramBuilder b(regions, 1);
+    b.enter("main").compute(0.001).leave();
+    programs.push_back(b.take());
+  }
+  EXPECT_THROW((void)Engine(cfg).run(regions, std::move(programs)),
+               OperationError);
+}
+
+TEST(EngineEdge, EmptyProgramsFinishAtZero) {
+  auto cfg = config(2);
+  RegionTable regions;
+  std::vector<Program> programs;
+  for (int r = 0; r < 2; ++r) {
+    ProgramBuilder b(regions, r);
+    programs.push_back(b.take());
+  }
+  const RunResult run = Engine(cfg).run(regions, std::move(programs));
+  EXPECT_DOUBLE_EQ(run.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace cube::sim

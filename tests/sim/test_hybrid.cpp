@@ -1,0 +1,186 @@
+// Fork-join (multithreaded) execution: engine semantics, EXPERT's Idle
+// Threads pattern, per-thread severities, and display behavior.
+#include <gtest/gtest.h>
+
+#include "display/view.hpp"
+#include "expert/analyzer.hpp"
+#include "expert/patterns.hpp"
+#include "sim/apps/hybrid.hpp"
+#include "sim/engine.hpp"
+
+namespace cube {
+namespace {
+
+sim::SimConfig hybrid_config(int ranks, int threads) {
+  sim::SimConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.procs_per_node = ranks;
+  cfg.cluster.threads_per_proc = threads;
+  cfg.monitor.trace = true;
+  return cfg;
+}
+
+TEST(ParallelCompute, ProcessAdvancesBySlowestThread) {
+  auto cfg = hybrid_config(1, 4);
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  sim::ProgramBuilder b(regions, 0);
+  b.enter("main").parallel_compute(0.1, 0.5).leave();
+  programs.push_back(b.take());
+  const auto run = sim::Engine(cfg).run(regions, std::move(programs));
+  // Duration stays within the +-spread envelope...
+  EXPECT_GE(run.makespan, 0.1 * 0.5);
+  EXPECT_LE(run.makespan, 0.1 * 1.5 + 1e-3);
+  // ...and the join happens exactly at the slowest thread.
+  double slowest = 0.0;
+  for (const sim::TraceEvent& e : run.trace.events) {
+    for (const double ts : e.thread_seconds) {
+      slowest = std::max(slowest, ts);
+    }
+  }
+  EXPECT_NEAR(run.makespan, slowest,
+              6 * cfg.monitor.probe_overhead + 1e-9);
+}
+
+TEST(ParallelCompute, TraceCarriesPerThreadSeconds) {
+  auto cfg = hybrid_config(1, 4);
+  sim::RegionTable regions;
+  std::vector<sim::Program> programs;
+  sim::ProgramBuilder b(regions, 0);
+  b.enter("main").parallel_compute(0.05, 0.4).leave();
+  programs.push_back(b.take());
+  const auto run = sim::Engine(cfg).run(regions, std::move(programs));
+  bool found = false;
+  for (const sim::TraceEvent& e : run.trace.events) {
+    if (e.type == sim::EventType::Parallel) {
+      found = true;
+      EXPECT_EQ(e.thread_seconds.size(), 4u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ParallelCompute, TraceRoundTripKeepsThreadSeconds) {
+  auto cfg = hybrid_config(1, 2);
+  sim::RegionTable regions;
+  const auto run = sim::Engine(cfg).run(
+      regions,
+      sim::build_hybrid_stencil(regions, cfg.cluster, {.rounds = 2}));
+  const sim::Trace back =
+      sim::deserialize_trace(sim::serialize_trace(run.trace));
+  EXPECT_EQ(back.cluster.threads_per_proc, 2);
+  std::size_t parallel_events = 0;
+  for (const sim::TraceEvent& e : back.events) {
+    if (e.type == sim::EventType::Parallel) {
+      ++parallel_events;
+      EXPECT_EQ(e.thread_seconds.size(), 2u);
+    }
+  }
+  EXPECT_EQ(parallel_events, 2u);
+}
+
+TEST(IdleThreads, DetectedFromThreadImbalance) {
+  auto cfg = hybrid_config(2, 4);
+  sim::RegionTable regions;
+  sim::HybridConfig hc;
+  hc.rounds = 5;
+  hc.thread_imbalance = 0.4;
+  const auto run = sim::Engine(cfg).run(
+      regions, sim::build_hybrid_stencil(regions, cfg.cluster, hc));
+  const Experiment e = expert::analyze_trace(run.trace);
+
+  // 2 ranks x 4 threads in the system dimension.
+  EXPECT_EQ(e.metadata().num_threads(), 8u);
+  const Metric& idle = *e.metadata().find_metric(expert::kIdleThreads);
+  EXPECT_GT(e.sum_metric(idle), 0.0);
+  // Per location, busy + idle equals the region's wall time: the sum over
+  // threads of (Execution + Idle) inside the parallel node is
+  // num_threads * wall.
+  const Metric& execution = *e.metadata().find_metric(expert::kExecution);
+  const Cnode* omp = nullptr;
+  for (const auto& c : e.metadata().cnodes()) {
+    if (c->callee().name() == sim::kOmpParallelRegion) omp = c.get();
+  }
+  ASSERT_NE(omp, nullptr);
+  for (long rank = 0; rank < 2; ++rank) {
+    double wall0 = 0.0;
+    for (long tid = 0; tid < 4; ++tid) {
+      const Thread* t =
+          e.metadata().threads()[static_cast<std::size_t>(rank * 4 + tid)]
+              .get();
+      const double sum = e.get(execution, *omp, *t) + e.get(idle, *omp, *t);
+      if (tid == 0) {
+        wall0 = sum;
+      } else {
+        EXPECT_NEAR(sum, wall0, 1e-9);  // same wall for all threads
+      }
+    }
+    EXPECT_GT(wall0, 0.0);
+  }
+}
+
+TEST(IdleThreads, ZeroWithoutImbalance) {
+  auto cfg = hybrid_config(1, 4);
+  sim::RegionTable regions;
+  sim::HybridConfig hc;
+  hc.rounds = 3;
+  hc.thread_imbalance = 0.0;
+  const auto run = sim::Engine(cfg).run(
+      regions, sim::build_hybrid_stencil(regions, cfg.cluster, hc));
+  const Experiment e = expert::analyze_trace(run.trace);
+  const Metric& idle = *e.metadata().find_metric(expert::kIdleThreads);
+  EXPECT_NEAR(e.sum_metric(idle), 0.0, 1e-9);
+}
+
+TEST(IdleThreads, MpiTimeStaysOnMasterThread) {
+  auto cfg = hybrid_config(2, 4);
+  sim::RegionTable regions;
+  const auto run = sim::Engine(cfg).run(
+      regions,
+      sim::build_hybrid_stencil(regions, cfg.cluster, {.rounds = 3}));
+  const Experiment e = expert::analyze_trace(run.trace);
+  const Metric& p2p = *e.metadata().find_metric(expert::kP2p);
+  const Metric& ls = *e.metadata().find_metric(expert::kLateSender);
+  for (const auto& t : e.metadata().threads()) {
+    if (t->thread_id() == 0) continue;  // master carries MPI time
+    for (const auto& c : e.metadata().cnodes()) {
+      EXPECT_DOUBLE_EQ(e.get(p2p, *c, *t), 0.0);
+      EXPECT_DOUBLE_EQ(e.get(ls, *c, *t), 0.0);
+    }
+  }
+}
+
+TEST(IdleThreads, DisplayShowsThreadRowsForHybridRuns) {
+  auto cfg = hybrid_config(2, 2);
+  sim::RegionTable regions;
+  const auto run = sim::Engine(cfg).run(
+      regions,
+      sim::build_hybrid_stencil(regions, cfg.cluster, {.rounds = 2}));
+  const Experiment e = expert::analyze_trace(run.trace);
+  ViewState s(e);
+  const ViewData v = compute_view(s);
+  // Threads are NOT hidden (multi-threaded processes).
+  EXPECT_FALSE(v.threads_hidden);
+  std::size_t thread_rows = 0;
+  for (const ViewRow& r : v.system_rows) {
+    if (r.system_level == SystemLevel::Thread) ++thread_rows;
+  }
+  EXPECT_EQ(thread_rows, 4u);
+}
+
+TEST(IdleThreads, SingleThreadRunsUnaffected) {
+  // threads_per_proc == 1: parallel_compute degenerates to compute and no
+  // Idle Threads severity appears.
+  auto cfg = hybrid_config(2, 1);
+  sim::RegionTable regions;
+  const auto run = sim::Engine(cfg).run(
+      regions,
+      sim::build_hybrid_stencil(regions, cfg.cluster, {.rounds = 2}));
+  const Experiment e = expert::analyze_trace(run.trace);
+  EXPECT_EQ(e.metadata().num_threads(), 2u);
+  const Metric& idle = *e.metadata().find_metric(expert::kIdleThreads);
+  EXPECT_NEAR(e.sum_metric(idle), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cube

@@ -1,0 +1,80 @@
+#include "sim/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cube::sim {
+namespace {
+
+TEST(RegionTable, InternDeduplicatesByName) {
+  RegionTable t;
+  const auto a = t.intern("f", "a.c", 1, 10);
+  const auto b = t.intern("f", "other.c", 5, 6);  // same name -> same id
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[a].file, "a.c");  // first definition wins
+}
+
+TEST(RegionTable, FindByName) {
+  RegionTable t;
+  const auto id = t.intern("main");
+  EXPECT_EQ(t.find("main"), id);
+  EXPECT_EQ(t.find("nope"), kNoIndex);
+}
+
+TEST(ProgramBuilder, BuildsActionSequence) {
+  RegionTable t;
+  ProgramBuilder b(t, 3);
+  b.enter("main").compute(1.0, 100, 200, 300).send(1, 7, 1024).leave();
+  const Program p = b.take();
+  EXPECT_EQ(p.rank, 3);
+  ASSERT_EQ(p.actions.size(), 4u);
+  EXPECT_EQ(p.actions[0].kind, ActionKind::Enter);
+  EXPECT_EQ(p.actions[1].kind, ActionKind::Compute);
+  EXPECT_DOUBLE_EQ(p.actions[1].seconds, 1.0);
+  EXPECT_DOUBLE_EQ(p.actions[1].work.flops, 100);
+  EXPECT_EQ(p.actions[2].kind, ActionKind::Send);
+  EXPECT_EQ(p.actions[2].peer, 1);
+  EXPECT_EQ(p.actions[2].tag, 7);
+  EXPECT_EQ(p.actions[3].kind, ActionKind::Leave);
+}
+
+TEST(ProgramBuilder, CollectiveActions) {
+  RegionTable t;
+  ProgramBuilder b(t, 0);
+  b.enter("main").barrier().alltoall(512).reduce(2, 64).leave();
+  const Program p = b.take();
+  EXPECT_EQ(p.actions[1].kind, ActionKind::Barrier);
+  EXPECT_EQ(p.actions[2].kind, ActionKind::AllToAll);
+  EXPECT_DOUBLE_EQ(p.actions[2].bytes, 512);
+  EXPECT_EQ(p.actions[3].kind, ActionKind::Reduce);
+  EXPECT_EQ(p.actions[3].peer, 2);
+}
+
+TEST(ProgramBuilder, UnbalancedLeaveThrows) {
+  RegionTable t;
+  ProgramBuilder b(t, 0);
+  EXPECT_THROW(b.leave(), ValidationError);
+}
+
+TEST(ProgramBuilder, UnclosedRegionRejectedAtTake) {
+  RegionTable t;
+  ProgramBuilder b(t, 0);
+  b.enter("main");
+  EXPECT_THROW((void)b.take(), ValidationError);
+}
+
+TEST(ProgramBuilder, RegionsSharedAcrossBuilders) {
+  RegionTable t;
+  ProgramBuilder b0(t, 0);
+  ProgramBuilder b1(t, 1);
+  b0.enter("main").leave();
+  b1.enter("main").leave();
+  (void)b0.take();
+  (void)b1.take();
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cube::sim

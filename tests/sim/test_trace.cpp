@@ -1,0 +1,98 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "sim/apps/synthetic.hpp"
+#include "sim/engine.hpp"
+
+namespace cube::sim {
+namespace {
+
+Trace make_trace(bool with_counters = false) {
+  SimConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.procs_per_node = 2;
+  cfg.monitor.trace = true;
+  if (with_counters) {
+    cfg.monitor.trace_counters = counters::event_set_cache();
+  }
+  RegionTable regions;
+  return Engine(cfg)
+      .run(regions, build_pingpong(regions, cfg.cluster, 5, 1024))
+      .trace;
+}
+
+TEST(Trace, SerializationRoundTrip) {
+  const Trace t = make_trace();
+  const Trace back = deserialize_trace(serialize_trace(t));
+  ASSERT_EQ(back.events.size(), t.events.size());
+  EXPECT_EQ(back.regions.size(), t.regions.size());
+  EXPECT_EQ(back.cluster.num_nodes, t.cluster.num_nodes);
+  EXPECT_EQ(back.cluster.machine_name, t.cluster.machine_name);
+  EXPECT_DOUBLE_EQ(back.eager_threshold, t.eager_threshold);
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].type, t.events[i].type);
+    EXPECT_EQ(back.events[i].rank, t.events[i].rank);
+    EXPECT_DOUBLE_EQ(back.events[i].time, t.events[i].time);
+    EXPECT_EQ(back.events[i].region, t.events[i].region);
+    EXPECT_EQ(back.events[i].peer, t.events[i].peer);
+    EXPECT_EQ(back.events[i].tag, t.events[i].tag);
+  }
+}
+
+TEST(Trace, CounterPayloadRoundTrip) {
+  const Trace t = make_trace(/*with_counters=*/true);
+  const Trace back = deserialize_trace(serialize_trace(t));
+  ASSERT_EQ(back.counter_names.size(), 4u);
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    ASSERT_EQ(back.events[i].counters.size(),
+              t.events[i].counters.size());
+    for (std::size_t k = 0; k < t.events[i].counters.size(); ++k) {
+      EXPECT_DOUBLE_EQ(back.events[i].counters[k],
+                       t.events[i].counters[k]);
+    }
+  }
+}
+
+TEST(Trace, ByteSizeMatchesSerialization) {
+  const Trace t = make_trace();
+  EXPECT_EQ(t.byte_size(), serialize_trace(t).size());
+}
+
+TEST(Trace, CounterPayloadInflatesSize) {
+  // The §5.2 motivation: per-event counter values grow traces
+  // dramatically.
+  const Trace plain = make_trace(false);
+  const Trace fat = make_trace(true);
+  EXPECT_GT(fat.byte_size(), plain.byte_size() * 1.5);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const Trace t = make_trace();
+  const std::string path = ::testing::TempDir() + "/trace_test.elg";
+  write_trace_file(t, path);
+  const Trace back = read_trace_file(path);
+  EXPECT_EQ(back.events.size(), t.events.size());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, BadMagicThrows) {
+  EXPECT_THROW((void)deserialize_trace("XXXXXXXXrest"), Error);
+}
+
+TEST(Trace, TruncatedThrows) {
+  const std::string data = serialize_trace(make_trace());
+  EXPECT_THROW((void)deserialize_trace(
+                   std::string_view(data).substr(0, data.size() - 3)),
+               Error);
+}
+
+TEST(Trace, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_file("/nonexistent/file.elg"), IoError);
+}
+
+}  // namespace
+}  // namespace cube::sim

@@ -1,0 +1,103 @@
+// Shared builders for unit tests: small, fully-known experiments.
+#pragma once
+
+#include <string>
+
+#include "model/experiment.hpp"
+
+namespace cube::testing {
+
+/// A small experiment with a deterministic severity pattern.
+///
+/// Metrics:  time (sec) -> mpi (sec); visits (occ)
+/// Program:  main -> work -> MPI_Send; main -> io
+/// System:   machine "m0", node "n0", processes 0 and 1, 2 threads each
+/// Severity: value(m, c, t) = (m+1)*100 + (c+1)*10 + (t+1)
+inline Experiment make_small(StorageKind kind = StorageKind::Dense,
+                             const std::string& name = "small") {
+  auto md = std::make_unique<Metadata>();
+  const Metric& time =
+      md->add_metric(nullptr, "time", "Time", Unit::Seconds, "total");
+  md->add_metric(&time, "mpi", "MPI", Unit::Seconds, "mpi time");
+  md->add_metric(nullptr, "visits", "Visits", Unit::Occurrences, "visits");
+
+  const Region& r_main = md->add_region("main", "app.c", 1, 100);
+  const Region& r_work = md->add_region("work", "app.c", 10, 50);
+  const Region& r_send = md->add_region("MPI_Send", "mpi", -1, -1);
+  const Region& r_io = md->add_region("io", "app.c", 60, 80);
+  const Cnode& c_main = md->add_cnode_for_region(nullptr, r_main, "app.c", 1);
+  const Cnode& c_work = md->add_cnode_for_region(&c_main, r_work, "app.c", 12);
+  md->add_cnode_for_region(&c_work, r_send, "app.c", 30);
+  md->add_cnode_for_region(&c_main, r_io, "app.c", 62);
+
+  Machine& machine = md->add_machine("m0");
+  SysNode& node = md->add_node(machine, "n0");
+  for (long rank = 0; rank < 2; ++rank) {
+    Process& p =
+        md->add_process(node, "rank " + std::to_string(rank), rank);
+    md->add_thread(p, "thread 0", 0);
+    md->add_thread(p, "thread 1", 1);
+  }
+
+  Experiment e(std::move(md), kind);
+  e.set_name(name);
+  const Metadata& m = e.metadata();
+  for (MetricIndex mi = 0; mi < m.num_metrics(); ++mi) {
+    for (CnodeIndex ci = 0; ci < m.num_cnodes(); ++ci) {
+      for (ThreadIndex ti = 0; ti < m.num_threads(); ++ti) {
+        e.severity().set(mi, ci, ti,
+                         static_cast<double>((mi + 1) * 100 + (ci + 1) * 10 +
+                                             (ti + 1)));
+      }
+    }
+  }
+  return e;
+}
+
+/// A variant of make_small differing in each dimension: an extra metric
+/// tree ("flops"), a different call-tree branch (main -> net instead of
+/// io), and an extra process rank 2.  Used by the integration tests.
+inline Experiment make_variant(StorageKind kind = StorageKind::Dense,
+                               const std::string& name = "variant") {
+  auto md = std::make_unique<Metadata>();
+  const Metric& time =
+      md->add_metric(nullptr, "time", "Time", Unit::Seconds, "total");
+  md->add_metric(&time, "mpi", "MPI", Unit::Seconds, "mpi time");
+  md->add_metric(nullptr, "flops", "FLOPs", Unit::Occurrences, "flops");
+
+  const Region& r_main = md->add_region("main", "app.c", 1, 100);
+  const Region& r_work = md->add_region("work", "app.c", 10, 50);
+  const Region& r_send = md->add_region("MPI_Send", "mpi", -1, -1);
+  const Region& r_net = md->add_region("net", "app.c", 82, 95);
+  const Cnode& c_main = md->add_cnode_for_region(nullptr, r_main, "app.c", 1);
+  const Cnode& c_work =
+      md->add_cnode_for_region(&c_main, r_work, "app.c", 999);  // line moved
+  md->add_cnode_for_region(&c_work, r_send, "app.c", 30);
+  md->add_cnode_for_region(&c_main, r_net, "app.c", 84);
+
+  Machine& machine = md->add_machine("other-machine");
+  SysNode& node = md->add_node(machine, "n0");
+  for (long rank = 0; rank < 3; ++rank) {
+    Process& p =
+        md->add_process(node, "rank " + std::to_string(rank), rank);
+    md->add_thread(p, "thread 0", 0);
+    md->add_thread(p, "thread 1", 1);
+  }
+
+  Experiment e(std::move(md), kind);
+  e.set_name(name);
+  const Metadata& m = e.metadata();
+  for (MetricIndex mi = 0; mi < m.num_metrics(); ++mi) {
+    for (CnodeIndex ci = 0; ci < m.num_cnodes(); ++ci) {
+      for (ThreadIndex ti = 0; ti < m.num_threads(); ++ti) {
+        e.severity().set(mi, ci, ti,
+                         1000.0 + static_cast<double>((mi + 1) * 100 +
+                                                      (ci + 1) * 10 +
+                                                      (ti + 1)));
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace cube::testing
