@@ -1,0 +1,84 @@
+// Query-engine bench: cold versus warm latency of a repository query, and
+// thread scaling of the uncached evaluation, over a 16-experiment series.
+//
+// "Cold" plans and evaluates everything without persisting results;
+// "warm" repeats a query whose derived results are already cached, so it
+// reduces to one plan + one small cached load.  The scaling series runs
+// with the cache disabled so every iteration performs the full reduction.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "io/repository.hpp"
+#include "query/engine.hpp"
+
+namespace {
+
+using cube::bench::Shape;
+using cube::bench::make_experiment;
+
+constexpr const char* kQuery =
+    "diff(mean(attr(half=front)), mean(attr(half=back)))";
+
+// One shared on-disk repository holding a 16-run series split into two
+// attribute groups of 8.
+const std::filesystem::path& repo_dir() {
+  static const std::filesystem::path dir = [] {
+    const std::filesystem::path d =
+        std::filesystem::temp_directory_path() / "cube_bench_query_repo";
+    std::filesystem::remove_all(d);
+    cube::ExperimentRepository repo(d);
+    Shape s;
+    s.cnodes = 256;
+    for (int i = 0; i < 16; ++i) {
+      s.seed = static_cast<std::uint64_t>(i) + 1;
+      cube::Experiment e = make_experiment(s);
+      e.set_name("run-" + std::to_string(i));
+      e.set_attribute("half", i < 8 ? "front" : "back");
+      repo.store(e, cube::RepoFormat::Binary);
+    }
+    return d;
+  }();
+  return dir;
+}
+
+void BM_QueryCold(benchmark::State& state) {
+  cube::ExperimentRepository repo(repo_dir());
+  cube::query::QueryOptions options;
+  options.threads = 1;
+  options.store_derived = false;  // nothing persists -> always cold
+  cube::query::QueryEngine engine(repo, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(kQuery));
+  }
+}
+BENCHMARK(BM_QueryCold)->Unit(benchmark::kMillisecond);
+
+void BM_QueryWarm(benchmark::State& state) {
+  cube::ExperimentRepository repo(repo_dir());
+  cube::query::QueryEngine engine(repo, {.threads = 1});
+  (void)engine.run(kQuery);  // populate the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(kQuery));
+  }
+}
+BENCHMARK(BM_QueryWarm)->Unit(benchmark::kMillisecond);
+
+void BM_QueryThreads(benchmark::State& state) {
+  cube::ExperimentRepository repo(repo_dir());
+  cube::query::QueryOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.use_cache = false;
+  options.store_derived = false;
+  cube::query::QueryEngine engine(repo, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(kQuery));
+  }
+}
+BENCHMARK(BM_QueryThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

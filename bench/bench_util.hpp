@@ -38,7 +38,9 @@ inline Experiment make_experiment(const Shape& shape) {
                              Unit::Seconds, "");
   }
 
-  // Call tree: fan-out 4 over distinct regions.
+  // Call tree: fan-out 4 over distinct regions.  Line ranges are pairwise
+  // disjoint (region k covers [2k+1, 2k+2]) so the metadata satisfies the
+  // proper-nesting validation when experiments round-trip through files.
   const Region& root_region =
       md->add_region(shape.prefix + "_main", "bench.c", 1, 2);
   const Cnode* root = &md->add_cnode_for_region(nullptr, root_region);
@@ -50,7 +52,8 @@ inline Experiment make_experiment(const Shape& shape) {
       for (int k = 0; k < 4 && created < shape.cnodes; ++k, ++created) {
         const Region& r = md->add_region(
             shape.prefix + "_f" + std::to_string(created), "bench.c",
-            static_cast<long>(created), static_cast<long>(created) + 1);
+            2 * static_cast<long>(created) + 1,
+            2 * static_cast<long>(created) + 2);
         next.push_back(&md->add_cnode_for_region(p, r));
       }
     }

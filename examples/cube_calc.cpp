@@ -12,17 +12,20 @@
 //
 // Unnamed files are bound to exp1, exp2, ... in order.  Without -o the
 // derived experiment's metric totals and top hotspots are printed.
+//
+// cube_calc shares the query grammar with cube_query; expressions using
+// repository selectors (id/attr/series) are rejected here with a pointer
+// to cube_query --repo, which can resolve them.
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "algebra/composite.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
-#include "common/text_table.hpp"
-#include "display/hotspots.hpp"
 #include "io/cube_format.hpp"
+#include "query/query_expr.hpp"
+#include "report_util.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 3) {
@@ -55,6 +58,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Reject duplicate bindings instead of silently letting the later file
+  // shadow the earlier one.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+      if (inputs[i].first == inputs[j].first) {
+        std::cerr << "error: duplicate binding '" << inputs[i].first
+                  << "': bound to '" << inputs[i].second << "' and to '"
+                  << inputs[j].second << "'\n";
+        return 1;
+      }
+    }
+  }
+
   try {
     std::vector<cube::Experiment> loaded;
     loaded.reserve(inputs.size());
@@ -67,7 +83,8 @@ int main(int argc, char** argv) {
       env[inputs[i].first] = &loaded[i];
     }
 
-    const cube::Experiment result = cube::eval_expr(expr, env);
+    const cube::Experiment result =
+        cube::query::eval_query_with_env(expr, env);
     std::cout << "evaluated: " << expr << "\n"
               << "result:    " << result.name() << "\n";
 
@@ -77,25 +94,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    cube::TextTable totals;
-    totals.set_header({"metric tree", "unit", "inclusive total"});
-    totals.set_align(
-        {cube::Align::Left, cube::Align::Left, cube::Align::Right});
-    for (const cube::Metric* root : result.metadata().metric_roots()) {
-      totals.add_row({root->display_name(),
-                      std::string(cube::unit_name(root->unit())),
-                      cube::format_value(result.sum_metric_tree(*root), 4)});
-    }
-    std::cout << "\n" << totals.str();
-
-    cube::HotspotOptions opts;
-    opts.top_n = hotspot_count;
-    opts.unit = std::nullopt;
-    const auto spots = cube::find_hotspots(result, opts);
-    if (!spots.empty()) {
-      std::cout << "\ntop severity concentrations (|value| ranked):\n"
-                << cube::format_hotspots(spots);
-    }
+    cube::cli::print_experiment_report(result, hotspot_count);
     return 0;
   } catch (const cube::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,146 @@
+// cube_query: cached, parallel analysis queries over an experiment
+// repository.
+//
+// Where cube_calc binds expression names to files on its command line, a
+// cube_query expression is SELF-CONTAINED: repository selectors name the
+// stored experiments it consumes, e.g.
+//
+//   cube_query 'diff(mean(attr(run=before)), mean(attr(run=after)))'
+//       --repo /data/campaign
+//
+// The engine plans the expression (selector resolution, common-
+// subexpression elimination), evaluates independent DAG nodes on a
+// thread pool, and caches every computed sub-expression back into the
+// repository content-addressed, so repeated and overlapping queries hit
+// warm cubes instead of recomputing.  See docs/QUERY.md.
+//
+// Usage:
+//   cube_query <expr> --repo <dir> [options]
+//
+// Options:
+//   --threads N    executor threads (default: hardware concurrency)
+//   --no-cache     neither read nor write cached results
+//   --no-store     read the cache but do not persist new results
+//   --repeat N     run the query N times (cold vs warm demonstration);
+//                  exits nonzero if a repeated cacheable query never
+//                  hits the cache
+//   -o out.cube    write the result as a CUBE XML file
+//   --hotspots N   rows in the severity report (default 10)
+//   --quiet        stats only, no severity report
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "io/cube_format.hpp"
+#include "io/repository.hpp"
+#include "query/engine.hpp"
+#include "report_util.hpp"
+
+namespace {
+
+void print_stats(const cube::query::QueryStats& s, std::size_t run,
+                 std::size_t runs) {
+  std::cout << "run " << run + 1 << "/" << runs << ": " << s.plan_nodes
+            << " plan nodes (" << s.cse_reused << " reused by CSE), "
+            << s.nodes_executed << " executed, " << s.operands_loaded
+            << " operands loaded, " << s.nodes_evaluated << " evaluated, "
+            << s.cache_hits << " cache hits, " << s.cache_misses
+            << " misses, " << s.bytes_loaded << " bytes read, "
+            << s.threads_used << " threads\n"
+            << "  wall: plan " << cube::format_value(s.plan_ms, 2)
+            << " ms, exec " << cube::format_value(s.exec_ms, 2)
+            << " ms (load " << cube::format_value(s.load_ms, 2)
+            << " ms, eval " << cube::format_value(s.eval_ms, 2)
+            << " ms summed over tasks), total "
+            << cube::format_value(s.total_ms, 2) << " ms\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string expr;
+  std::optional<std::string> repo_dir;
+  std::optional<std::string> output;
+  cube::query::QueryOptions options;
+  std::size_t hotspot_count = 10;
+  std::size_t repeat = 1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo" && i + 1 < argc) {
+      repo_dir = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], options.threads)) {
+        std::cerr << "error: --threads expects a number\n";
+        return 1;
+      }
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+      options.store_derived = false;
+    } else if (arg == "--no-store") {
+      options.store_derived = false;
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], repeat) || repeat == 0) {
+        std::cerr << "error: --repeat expects a positive number\n";
+        return 1;
+      }
+    } else if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--hotspots" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], hotspot_count)) {
+        std::cerr << "error: --hotspots expects a number\n";
+        return 1;
+      }
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (expr.empty()) {
+      expr = arg;
+    } else {
+      std::cerr << "error: unexpected argument '" << arg << "'\n";
+      return 1;
+    }
+  }
+  if (expr.empty() || !repo_dir) {
+    std::cerr << "usage: cube_query <expr> --repo <dir> [--threads N]"
+                 " [--no-cache] [--no-store] [--repeat N] [-o out.cube]"
+                 " [--hotspots N] [--quiet]\n";
+    return 1;
+  }
+
+  try {
+    cube::ExperimentRepository repo(*repo_dir);
+    cube::query::QueryEngine engine(repo, options);
+
+    std::optional<cube::query::QueryResult> last;
+    for (std::size_t run = 0; run < repeat; ++run) {
+      last = engine.run(expr);
+      print_stats(last->stats, run, repeat);
+    }
+
+    std::cout << "query:     " << expr << "\n"
+              << "canonical: " << last->canonical << "\n"
+              << "result:    " << last->experiment.name() << "\n";
+    if (output) {
+      cube::write_cube_xml_file(last->experiment, *output);
+      std::cout << "wrote " << *output << "\n";
+    } else if (!quiet) {
+      cube::cli::print_experiment_report(last->experiment, hotspot_count);
+    }
+
+    // With caching on, a repeated query whose plan contains operator
+    // applications must be served warm the second time round.
+    if (repeat > 1 && options.use_cache && options.store_derived &&
+        last->stats.nodes_evaluated + last->stats.cache_hits > 0 &&
+        last->stats.cache_hits == 0) {
+      std::cerr << "error: repeated query never hit the cache\n";
+      return 1;
+    }
+    return 0;
+  } catch (const cube::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,37 @@
+// Shared terminal report for the algebra CLIs (cube_calc, cube_query):
+// per-metric-tree inclusive totals plus the top severity concentrations.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/string_util.hpp"
+#include "common/text_table.hpp"
+#include "display/hotspots.hpp"
+#include "model/experiment.hpp"
+
+namespace cube::cli {
+
+inline void print_experiment_report(const Experiment& result,
+                                    std::size_t hotspot_count) {
+  TextTable totals;
+  totals.set_header({"metric tree", "unit", "inclusive total"});
+  totals.set_align({Align::Left, Align::Left, Align::Right});
+  for (const Metric* root : result.metadata().metric_roots()) {
+    totals.add_row({root->display_name(),
+                    std::string(unit_name(root->unit())),
+                    format_value(result.sum_metric_tree(*root), 4)});
+  }
+  std::cout << "\n" << totals.str();
+
+  HotspotOptions opts;
+  opts.top_n = hotspot_count;
+  opts.unit = std::nullopt;
+  const auto spots = find_hotspots(result, opts);
+  if (!spots.empty()) {
+    std::cout << "\ntop severity concentrations (|value| ranked):\n"
+              << format_hotspots(spots);
+  }
+}
+
+}  // namespace cube::cli

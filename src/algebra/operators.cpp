@@ -25,13 +25,17 @@ std::string label_list(std::span<const Experiment* const> operands) {
 
 /// Scatters operand `op`'s severity into `out` through its index mapping,
 /// scaled by `factor`.  Only non-zero source values are touched, so sparse
-/// operands cost what they contain.
+/// operands cost what they contain.  Only output cells whose integrated
+/// metric index falls in [metric_lo, metric_hi) are written, so disjoint
+/// row ranges can be scattered concurrently into a dense store.
 void scatter_scaled(const Experiment& source, const OperandMapping& mapping,
-                    double factor, Experiment& out) {
+                    double factor, Experiment& out, MetricIndex metric_lo,
+                    MetricIndex metric_hi) {
   const Metadata& md = source.metadata();
   const SeverityStore& sev = source.severity();
   for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
     const MetricIndex om = mapping.metric_map[m];
+    if (om < metric_lo || om >= metric_hi) continue;
     for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
       const CnodeIndex oc = mapping.cnode_map[c];
       for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
@@ -49,8 +53,33 @@ Experiment make_result(IntegrationResult& integration,
   return Experiment(std::move(integration.metadata), options.storage);
 }
 
-/// Element-wise min/max share everything but the reduction; implemented by
-/// materializing each operand's extension and folding.
+/// Upper bound on row chunks handed to a ParallelFor.  Fixed (not derived
+/// from the thread count) so the chunking — and therefore any conceivable
+/// numeric effect — is identical no matter how the executor schedules it.
+constexpr std::size_t kMaxRowChunks = 32;
+
+/// Runs body(metric_lo, metric_hi) over a partition of [0, metrics).
+/// Sequential (one chunk) unless `options.parallel_for` is set and the
+/// result store allows concurrent disjoint writes (dense).
+void run_row_chunked(
+    const OperatorOptions& options, std::size_t metrics,
+    const std::function<void(MetricIndex, MetricIndex)>& body) {
+  if (!options.parallel_for || options.storage != StorageKind::Dense ||
+      metrics < 2) {
+    body(0, metrics);
+    return;
+  }
+  const std::size_t chunks = std::min(metrics, kMaxRowChunks);
+  options.parallel_for(chunks, [&](std::size_t k) {
+    const MetricIndex lo = k * metrics / chunks;
+    const MetricIndex hi = (k + 1) * metrics / chunks;
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+/// Element-wise min/max share everything but the reduction: per row chunk,
+/// each operand's zero-extension is materialized into a scratch buffer and
+/// folded cell-wise in operand order.
 Experiment reduce_extremum(std::span<const Experiment* const> operands,
                            const OperatorOptions& options, bool take_min,
                            const char* opname) {
@@ -61,40 +90,52 @@ Experiment reduce_extremum(std::span<const Experiment* const> operands,
       integrate_metadata(operands, options.integration);
   Experiment out = make_result(integration, options);
   const Metadata& md = out.metadata();
+  const std::size_t plane = md.num_cnodes() * md.num_threads();
 
-  // Fold operand by operand; cells that an operand does not define are zero
-  // under the extension rule and participate in the reduction as zero.
-  std::vector<Severity> acc(
-      md.num_metrics() * md.num_cnodes() * md.num_threads(), 0.0);
-  const auto at = [&md](MetricIndex m, CnodeIndex c,
-                        ThreadIndex t) -> std::size_t {
-    return (m * md.num_cnodes() + c) * md.num_threads() + t;
-  };
-  for (std::size_t op = 0; op < operands.size(); ++op) {
-    Experiment extended(md.clone(), StorageKind::Sparse);
-    scatter_scaled(*operands[op], integration.mappings[op], 1.0, extended);
-    for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
-      for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
-        for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-          const Severity v = extended.severity().get(m, c, t);
-          Severity& slot = acc[at(m, c, t)];
-          if (op == 0) {
-            slot = v;
-          } else {
-            slot = take_min ? std::min(slot, v) : std::max(slot, v);
+  run_row_chunked(options, md.num_metrics(), [&](MetricIndex lo,
+                                                 MetricIndex hi) {
+    const std::size_t cells = (hi - lo) * plane;
+    std::vector<Severity> acc(cells, 0.0);
+    std::vector<Severity> cur(cells);
+    for (std::size_t op = 0; op < operands.size(); ++op) {
+      // Materialize this operand's extension over the chunk; cells the
+      // operand does not define stay zero and participate in the
+      // reduction as zero (the extension rule).  Coalescing source cells
+      // accumulate, exactly as they do through SeverityStore::add.
+      std::fill(cur.begin(), cur.end(), 0.0);
+      const Metadata& smd = operands[op]->metadata();
+      const SeverityStore& sev = operands[op]->severity();
+      const OperandMapping& mapping = integration.mappings[op];
+      for (MetricIndex m = 0; m < smd.num_metrics(); ++m) {
+        const MetricIndex om = mapping.metric_map[m];
+        if (om < lo || om >= hi) continue;
+        for (CnodeIndex c = 0; c < smd.num_cnodes(); ++c) {
+          const CnodeIndex oc = mapping.cnode_map[c];
+          for (ThreadIndex t = 0; t < smd.num_threads(); ++t) {
+            const Severity v = sev.get(m, c, t);
+            if (v != 0.0) {
+              cur[(om - lo) * plane + oc * md.num_threads() +
+                  mapping.thread_map[t]] += v;
+            }
           }
         }
       }
-    }
-  }
-  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
-    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
-      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-        const Severity v = acc[at(m, c, t)];
-        if (v != 0.0) out.severity().set(m, c, t, v);
+      for (std::size_t i = 0; i < cells; ++i) {
+        acc[i] = op == 0 ? cur[i]
+                         : (take_min ? std::min(acc[i], cur[i])
+                                     : std::max(acc[i], cur[i]));
       }
     }
-  }
+    for (MetricIndex m = lo; m < hi; ++m) {
+      for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+        for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+          const Severity v =
+              acc[(m - lo) * plane + c * md.num_threads() + t];
+          if (v != 0.0) out.severity().set(m, c, t, v);
+        }
+      }
+    }
+  });
   out.mark_derived(std::string(opname) + "(" + label_list(operands) + ")");
   out.set_name(std::string(opname) + "(" + label_list(operands) + ")");
   return out;
@@ -108,8 +149,13 @@ Experiment difference(const Experiment& a, const Experiment& b,
   IntegrationResult integration =
       integrate_metadata(ops, options.integration);
   Experiment out = make_result(integration, options);
-  scatter_scaled(a, integration.mappings[0], 1.0, out);
-  scatter_scaled(b, integration.mappings[1], -1.0, out);
+  run_row_chunked(options, out.metadata().num_metrics(),
+                  [&](MetricIndex lo, MetricIndex hi) {
+                    scatter_scaled(a, integration.mappings[0], 1.0, out, lo,
+                                   hi);
+                    scatter_scaled(b, integration.mappings[1], -1.0, out, lo,
+                                   hi);
+                  });
   const std::string prov = "difference(" + operand_label(a, 0) + ", " +
                            operand_label(b, 1) + ")";
   out.mark_derived(prov);
@@ -134,24 +180,27 @@ Experiment merge(const Experiment& a, const Experiment& b,
     }
   }
 
-  for (std::size_t op = 0; op < 2; ++op) {
-    const Experiment& source = *ops[op];
-    const OperandMapping& mapping = integration.mappings[op];
-    const Metadata& md = source.metadata();
-    for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
-      const MetricIndex om = mapping.metric_map[m];
-      if (owner[om] != op) continue;
-      for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
-        const CnodeIndex oc = mapping.cnode_map[c];
-        for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-          const Severity v = source.severity().get(m, c, t);
-          if (v != 0.0) {
-            out.severity().add(om, oc, mapping.thread_map[t], v);
+  run_row_chunked(options, num_out_metrics, [&](MetricIndex lo,
+                                                MetricIndex hi) {
+    for (std::size_t op = 0; op < 2; ++op) {
+      const Experiment& source = *ops[op];
+      const OperandMapping& mapping = integration.mappings[op];
+      const Metadata& md = source.metadata();
+      for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+        const MetricIndex om = mapping.metric_map[m];
+        if (om < lo || om >= hi || owner[om] != op) continue;
+        for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+          const CnodeIndex oc = mapping.cnode_map[c];
+          for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+            const Severity v = source.severity().get(m, c, t);
+            if (v != 0.0) {
+              out.severity().add(om, oc, mapping.thread_map[t], v);
+            }
           }
         }
       }
     }
-  }
+  });
 
   const std::string prov =
       "merge(" + operand_label(a, 0) + ", " + operand_label(b, 1) + ")";
@@ -169,9 +218,13 @@ Experiment mean(std::span<const Experiment* const> operands,
       integrate_metadata(operands, options.integration);
   Experiment out = make_result(integration, options);
   const double factor = 1.0 / static_cast<double>(operands.size());
-  for (std::size_t op = 0; op < operands.size(); ++op) {
-    scatter_scaled(*operands[op], integration.mappings[op], factor, out);
-  }
+  run_row_chunked(options, out.metadata().num_metrics(),
+                  [&](MetricIndex lo, MetricIndex hi) {
+                    for (std::size_t op = 0; op < operands.size(); ++op) {
+                      scatter_scaled(*operands[op], integration.mappings[op],
+                                     factor, out, lo, hi);
+                    }
+                  });
   const std::string prov = "mean(" + label_list(operands) + ")";
   out.mark_derived(prov);
   out.set_name(prov);

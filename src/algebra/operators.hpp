@@ -7,6 +7,7 @@
 // operators or into the display, exactly like original data.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -15,11 +16,27 @@
 
 namespace cube {
 
+/// Optional executor for data-parallel severity computation: invoked as
+/// parallel_for(n, body) and expected to run body(0..n-1), possibly
+/// concurrently (ThreadPool::parallel_for has this shape).  Operators
+/// partition the INTEGRATED METRIC ROWS of the result into chunks, one
+/// body call per chunk; every output cell belongs to exactly one chunk
+/// and receives its additions in the same operand order as sequential
+/// evaluation, so results are bit-identical at any thread count.  The
+/// chunking itself is independent of the executor.
+using ParallelFor =
+    std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
 /// Options shared by all operators.
 struct OperatorOptions {
   IntegrationOptions integration;
   /// Storage kind of the produced experiment.
   StorageKind storage = StorageKind::Dense;
+  /// If set and the result storage is dense, the severity phase of the
+  /// operator runs row-chunked through this executor (see ParallelFor).
+  /// Sparse results stay sequential: their store is not safe for
+  /// concurrent disjoint writes.
+  ParallelFor parallel_for;
 };
 
 /// difference(a, b): severity = a - b over the integrated domain.  Tuples

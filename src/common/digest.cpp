@@ -1,0 +1,57 @@
+#include "common/digest.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace cube {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x100000001b3ull;
+}
+
+Fnv1a& Fnv1a::update(std::string_view bytes) noexcept {
+  for (const char c : bytes) {
+    state_ ^= static_cast<unsigned char>(c);
+    state_ *= kPrime;
+  }
+  return *this;
+}
+
+Fnv1a& Fnv1a::update(std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    state_ ^= (value >> (8 * i)) & 0xffu;
+    state_ *= kPrime;
+  }
+  return *this;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  return Fnv1a().update(bytes).value();
+}
+
+std::uint64_t digest_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot read '" + path.string() + "' for digest");
+  }
+  Fnv1a hash;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
+    hash.update(std::string_view(buffer,
+                                 static_cast<std::size_t>(in.gcount())));
+  }
+  return hash.value();
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace cube

@@ -1,0 +1,37 @@
+// Content digests for the query cache (FNV-1a, 64 bit).
+//
+// Not cryptographic — the cache keys derived experiments by the digest of
+// (canonical sub-expression x operand file digests); an adversarial
+// collision is not in the threat model of a local analysis repository,
+// and 64 bits make an accidental collision vanishingly unlikely at
+// repository scale.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace cube {
+
+/// Streaming FNV-1a 64-bit hash.
+class Fnv1a {
+ public:
+  Fnv1a& update(std::string_view bytes) noexcept;
+  Fnv1a& update(std::uint64_t value) noexcept;  // little-endian octets
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+/// One-shot digest of a byte string.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+/// Digest of a file's contents; throws IoError if unreadable.
+[[nodiscard]] std::uint64_t digest_file(const std::filesystem::path& path);
+
+/// Fixed-width lowercase hex rendering ("016x").
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+}  // namespace cube

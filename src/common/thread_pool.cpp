@@ -1,0 +1,113 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace cube {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for: iterations are claimed with a single
+/// atomic counter; completions are counted so the caller knows when the
+/// last claimed iteration (possibly running on a worker) has finished.
+struct LoopState {
+  explicit LoopState(std::size_t total) : n(total) {}
+
+  const std::size_t n;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // first failure; guarded by mutex
+  std::mutex mutex;
+  std::condition_variable done;
+
+  void drain(const std::function<void(std::size_t)>& body) {
+    for (std::size_t i; (i = next.fetch_add(1)) < n;) {
+      if (!failed.load()) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true);
+        }
+      }
+      if (completed.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+  auto state = std::make_shared<LoopState>(n);
+  // Helpers beyond what the loop can use would only claim nothing and
+  // exit, so cap them; the caller is one more drainer.
+  const std::size_t helpers = std::min(n - 1, size());
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([state, body] { state->drain(body); });
+  }
+  state->drain(body);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->completed.load() >= n; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+std::size_t ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace cube

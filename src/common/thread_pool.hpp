@@ -1,0 +1,61 @@
+// A small fixed-size thread pool for the query executor and the
+// row-chunked operator reductions.
+//
+// Two primitives are provided:
+//   - submit(task): fire-and-forget execution on a worker thread; callers
+//     that need completion or results do their own bookkeeping (the query
+//     DAG executor counts dependencies itself).
+//   - parallel_for(n, body): run body(0..n-1), distributing iterations
+//     over the workers.  The CALLER PARTICIPATES in draining iterations,
+//     so parallel_for may be invoked from inside a pool task (nested
+//     parallelism) without risk of deadlock even when every worker is
+//     busy: the calling thread alone can finish the loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cube {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 is clamped to 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks may themselves submit further tasks.  A task
+  /// must not throw; wrap bodies that can fail (parallel_for does this for
+  /// its iterations).
+  void submit(std::function<void()> task);
+
+  /// Runs body(i) for i in [0, n).  Iterations are claimed dynamically by
+  /// the workers and by the calling thread; the call returns once all n
+  /// iterations completed.  If any iteration throws, the first exception
+  /// is rethrown in the caller after the loop drains (remaining unclaimed
+  /// iterations are skipped).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// A sensible worker count for this machine (>= 1).
+  [[nodiscard]] static std::size_t default_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace cube

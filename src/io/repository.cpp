@@ -79,32 +79,53 @@ void ExperimentRepository::read_index() {
 }
 
 void ExperimentRepository::write_index() const {
-  std::ofstream out(directory_ / kIndexFile);
-  if (!out) {
-    throw IoError("cannot write repository index in '" +
-                  directory_.string() + "'");
-  }
-  XmlWriter w(out);
-  w.declaration();
-  w.open_element("repository");
-  for (const RepoEntry& entry : entries_) {
-    w.open_element("entry");
-    w.attribute("id", entry.id);
-    w.attribute("file", entry.file);
-    w.attribute("format", entry.format == RepoFormat::Binary
-                              ? std::string_view("binary")
-                              : std::string_view("xml"));
-    for (const auto& [key, value] : entry.attributes) {
-      w.open_element("attr");
-      w.attribute("key", key);
-      w.attribute("value", value);
+  // Crash safety: write the full index to a temporary file in the same
+  // directory, then atomically rename it over index.xml.  A crash at any
+  // point leaves either the old or the new index intact, never a torn
+  // one.
+  const std::filesystem::path target = directory_ / kIndexFile;
+  const std::filesystem::path temp =
+      directory_ / (std::string(kIndexFile) + ".tmp");
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) {
+      throw IoError("cannot write repository index in '" +
+                    directory_.string() + "'");
+    }
+    XmlWriter w(out);
+    w.declaration();
+    w.open_element("repository");
+    for (const RepoEntry& entry : entries_) {
+      w.open_element("entry");
+      w.attribute("id", entry.id);
+      w.attribute("file", entry.file);
+      w.attribute("format", entry.format == RepoFormat::Binary
+                                ? std::string_view("binary")
+                                : std::string_view("xml"));
+      for (const auto& [key, value] : entry.attributes) {
+        w.open_element("attr");
+        w.attribute("key", key);
+        w.attribute("value", value);
+        w.close_element();
+      }
       w.close_element();
     }
-    w.close_element();
+    w.finish();
+    out.flush();
+    if (!out) {
+      std::error_code cleanup;
+      std::filesystem::remove(temp, cleanup);
+      throw IoError("repository index write failed");
+    }
   }
-  w.finish();
-  out.flush();
-  if (!out) throw IoError("repository index write failed");
+  std::error_code ec;
+  std::filesystem::rename(temp, target, ec);
+  if (ec) {
+    std::error_code cleanup;
+    std::filesystem::remove(temp, cleanup);
+    throw IoError("cannot replace repository index '" + target.string() +
+                  "': " + ec.message());
+  }
 }
 
 std::string ExperimentRepository::unique_id(const std::string& base) const {

@@ -38,8 +38,10 @@ struct RepoEntry {
 
 /// Directory-backed experiment store with an XML index.
 ///
-/// The index (`index.xml`) is rewritten on every mutation; concurrent
-/// writers are out of scope (single-analyst workflows, like the paper's).
+/// The index (`index.xml`) is rewritten on every mutation via a temp file
+/// and an atomic rename, so a crash mid-store cannot corrupt it.
+/// Concurrent writers are out of scope (single-analyst workflows, like
+/// the paper's).
 class ExperimentRepository {
  public:
   /// Opens (or initializes) a repository at `directory`; the directory is

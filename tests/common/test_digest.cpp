@@ -1,0 +1,55 @@
+#include "common/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace cube {
+namespace {
+
+TEST(DigestTest, KnownFnv1aVectors) {
+  // Reference values of the FNV-1a 64-bit test suite.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(DigestTest, StreamingMatchesOneShot) {
+  Fnv1a h;
+  h.update("foo").update("bar");
+  EXPECT_EQ(h.value(), fnv1a("foobar"));
+}
+
+TEST(DigestTest, IntegerUpdateChangesState) {
+  Fnv1a a, b;
+  a.update(std::uint64_t{1});
+  b.update(std::uint64_t{2});
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(DigestTest, HexIsFixedWidthLowercase) {
+  EXPECT_EQ(digest_hex(0), "0000000000000000");
+  EXPECT_EQ(digest_hex(0xabcdef0123456789ull), "abcdef0123456789");
+}
+
+TEST(DigestTest, FileDigestMatchesContentDigest) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "digest_probe.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "foobar";
+  }
+  EXPECT_EQ(digest_file(path), fnv1a("foobar"));
+  std::filesystem::remove(path);
+}
+
+TEST(DigestTest, MissingFileThrows) {
+  EXPECT_THROW((void)digest_file("/nonexistent/nowhere.bin"), IoError);
+}
+
+}  // namespace
+}  // namespace cube

@@ -158,5 +158,13 @@ TEST_F(RepositoryTest, CorruptIndexRejected) {
   EXPECT_THROW(ExperimentRepository{dir_}, Error);
 }
 
+TEST_F(RepositoryTest, IndexWritesLeaveNoTempFileBehind) {
+  ExperimentRepository repo(dir_);
+  repo.store(make_small());
+  repo.store(make_small(StorageKind::Dense, "second"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "index.xml"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "index.xml.tmp"));
+}
+
 }  // namespace
 }  // namespace cube

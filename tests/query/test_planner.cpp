@@ -1,0 +1,180 @@
+#include "query/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube::query {
+namespace {
+
+using cube::testing::make_small;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("cube_plan_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    std::filesystem::remove_all(dir_);
+    repo_ = std::make_unique<ExperimentRepository>(dir_);
+  }
+  void TearDown() override {
+    repo_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string store_named(const std::string& name,
+                          const std::map<std::string, std::string>& attrs =
+                              {}) {
+    Experiment e = make_small(StorageKind::Dense, name);
+    for (const auto& [k, v] : attrs) e.set_attribute(k, v);
+    return repo_->store(e);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<ExperimentRepository> repo_;
+};
+
+TEST_F(PlannerTest, CommonSubexpressionsCollapse) {
+  store_named("a");
+  store_named("b");
+  const auto expr =
+      parse_query("diff(mean(id(a), id(b)), mean(id(a), id(b)))");
+  const QueryPlan plan = plan_query(*expr, *repo_);
+  // Two loads, one shared mean, one diff.
+  EXPECT_EQ(plan.nodes.size(), 4u);
+  EXPECT_EQ(plan.cse_reused, 3u);  // a, b, and the whole mean
+  const PlanNode& root = plan.nodes[plan.root];
+  ASSERT_EQ(root.args.size(), 2u);
+  EXPECT_EQ(root.args[0], root.args[1]);
+}
+
+TEST_F(PlannerTest, SelectorSplicesIntoNaryReduction) {
+  store_named("r1", {{"series", "noise"}});
+  store_named("r2", {{"series", "noise"}});
+  store_named("r3", {{"series", "noise"}});
+  store_named("other");
+  const QueryPlan plan =
+      plan_query(*parse_query("mean(attr(series=noise))"), *repo_);
+  const PlanNode& root = plan.nodes[plan.root];
+  EXPECT_EQ(root.kind, PlanNode::Kind::Apply);
+  EXPECT_EQ(root.args.size(), 3u);
+}
+
+TEST_F(PlannerTest, SeriesMatchesIdPrefixInStoreOrder) {
+  store_named("run-1");
+  store_named("run-2");
+  store_named("walk-1");
+  const QueryPlan plan =
+      plan_query(*parse_query("min(series(run))"), *repo_);
+  const PlanNode& root = plan.nodes[plan.root];
+  ASSERT_EQ(root.args.size(), 2u);
+  EXPECT_EQ(plan.nodes[root.args[0]].operand.id, "run-1");
+  EXPECT_EQ(plan.nodes[root.args[1]].operand.id, "run-2");
+}
+
+TEST_F(PlannerTest, BinaryOperatorAcceptsPairSelector) {
+  store_named("pair-a");
+  store_named("pair-b");
+  const QueryPlan plan =
+      plan_query(*parse_query("diff(series(pair))"), *repo_);
+  EXPECT_EQ(plan.nodes[plan.root].args.size(), 2u);
+}
+
+TEST_F(PlannerTest, EmptySelectorMatchIsAnError) {
+  store_named("a", {{"run", "before"}});
+  EXPECT_THROW(
+      (void)plan_query(*parse_query("mean(attr(run=after))"), *repo_),
+      OperationError);
+  EXPECT_THROW((void)plan_query(*parse_query("mean(series(zz))"), *repo_),
+               OperationError);
+}
+
+TEST_F(PlannerTest, AttributeMissIsAnError) {
+  store_named("a", {{"run", "before"}});
+  // The key exists nowhere: same failure mode, clear error.
+  EXPECT_THROW(
+      (void)plan_query(*parse_query("mean(attr(phase=solve))"), *repo_),
+      OperationError);
+}
+
+TEST_F(PlannerTest, UnknownIdIsAnError) {
+  store_named("a");
+  EXPECT_THROW((void)plan_query(*parse_query("id(nope)"), *repo_), Error);
+  EXPECT_THROW((void)plan_query(*parse_query("mean(a, nope)"), *repo_),
+               Error);
+}
+
+TEST_F(PlannerTest, AmbiguousSelectorInBinaryPositionIsAnError) {
+  store_named("a", {{"app", "pescan"}});
+  store_named("b", {{"app", "pescan"}});
+  store_named("c");
+  EXPECT_THROW(
+      (void)plan_query(*parse_query("diff(attr(app=pescan), id(c))"),
+                       *repo_),
+      OperationError);
+}
+
+TEST_F(PlannerTest, MultiMatchQueryRootIsAnError) {
+  store_named("a", {{"app", "pescan"}});
+  store_named("b", {{"app", "pescan"}});
+  EXPECT_THROW((void)plan_query(*parse_query("attr(app=pescan)"), *repo_),
+               OperationError);
+  // A single match is a legal root.
+  store_named("c", {{"app", "sweep3d"}});
+  const QueryPlan plan =
+      plan_query(*parse_query("attr(app=sweep3d)"), *repo_);
+  EXPECT_EQ(plan.nodes[plan.root].kind, PlanNode::Kind::Load);
+}
+
+TEST_F(PlannerTest, CacheEntriesAreInvisibleToAttrAndSeries) {
+  store_named("a", {{"app", "pescan"}});
+  store_named("a-cached", {{"app", "pescan"},
+                           {kCacheKeyAttribute, "deadbeefdeadbeef"}});
+  const QueryPlan plan =
+      plan_query(*parse_query("mean(attr(app=pescan))"), *repo_);
+  EXPECT_EQ(plan.nodes[plan.root].args.size(), 1u);
+  EXPECT_THROW((void)plan_query(*parse_query("max(series(a-c))"), *repo_),
+               OperationError);
+  // id() still addresses cached cubes exactly.
+  const QueryPlan direct =
+      plan_query(*parse_query("id(a-cached)"), *repo_);
+  EXPECT_EQ(direct.nodes[direct.root].operand.id, "a-cached");
+}
+
+TEST_F(PlannerTest, RestoringAnOperandChangesDownstreamKeys) {
+  const std::string id = store_named("a");
+  store_named("b");
+  const auto expr = parse_query("diff(id(a), id(b))");
+  const QueryPlan before = plan_query(*expr, *repo_);
+
+  // Replace a's stored data under the SAME id: remove, then store a
+  // modified experiment whose name maps back to "a".
+  repo_->remove(id);
+  Experiment modified = make_small(StorageKind::Dense, "a");
+  modified.severity().set(0, 0, 0, 424242.0);
+  ASSERT_EQ(repo_->store(modified), "a");
+
+  const QueryPlan after = plan_query(*expr, *repo_);
+  EXPECT_NE(before.nodes[before.root].key, after.nodes[after.root].key);
+  EXPECT_NE(before.nodes[before.root].canonical,
+            after.nodes[after.root].canonical);
+}
+
+TEST_F(PlannerTest, CanonicalFormNormalizesAliases) {
+  store_named("a");
+  store_named("b");
+  const QueryPlan p1 =
+      plan_query(*parse_query("difference(avg(a, b), b)"), *repo_);
+  const QueryPlan p2 =
+      plan_query(*parse_query("diff(mean(id(a), id(b)), id(b))"), *repo_);
+  EXPECT_EQ(p1.nodes[p1.root].canonical, p2.nodes[p2.root].canonical);
+  EXPECT_EQ(p1.nodes[p1.root].key, p2.nodes[p2.root].key);
+}
+
+}  // namespace
+}  // namespace cube::query

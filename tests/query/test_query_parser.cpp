@@ -1,0 +1,79 @@
+#include "query/query_expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube::query {
+namespace {
+
+using cube::testing::make_small;
+
+TEST(QueryParserTest, PlainCompositeGrammarStillParses) {
+  const auto e = parse_query("diff(mean(a, b), c)");
+  EXPECT_EQ(e->str(), "diff(mean(a, b), c)");
+  EXPECT_EQ(e->kind(), QueryExpr::Kind::Apply);
+  EXPECT_EQ(e->op(), QueryExpr::Op::Diff);
+}
+
+TEST(QueryParserTest, SelectorsParseAndRenderCanonically) {
+  EXPECT_EQ(parse_query("id(pescan-4n)")->str(), "id(pescan-4n)");
+  EXPECT_EQ(parse_query("id(\"pescan-4n\")")->str(), "id(pescan-4n)");
+  EXPECT_EQ(parse_query("series(run)")->str(), "series(run)");
+  EXPECT_EQ(parse_query("attr(app=sweep3d, nodes=16)")->str(),
+            "attr(app=sweep3d, nodes=16)");
+  // Values needing quotes keep them.
+  EXPECT_EQ(parse_query("attr(name=\"a b\")")->str(), "attr(name=\"a b\")");
+}
+
+TEST(QueryParserTest, AttrValuesMayStartWithDigits) {
+  const auto e = parse_query("attr(nodes=16)");
+  ASSERT_EQ(e->pairs().size(), 1u);
+  EXPECT_EQ(e->pairs()[0].first, "nodes");
+  EXPECT_EQ(e->pairs()[0].second, "16");
+}
+
+TEST(QueryParserTest, SelectorsNestInsideOperators) {
+  const auto e = parse_query(
+      "diff(mean(attr(run=before)), mean(attr(run=after)))");
+  EXPECT_EQ(e->str(), "diff(mean(attr(run=before)), mean(attr(run=after)))");
+}
+
+TEST(QueryParserTest, MalformedInputThrows) {
+  EXPECT_THROW((void)parse_query("diff(a"), Error);
+  EXPECT_THROW((void)parse_query("unknown(a, b)"), Error);
+  EXPECT_THROW((void)parse_query("attr(=x)"), Error);
+  EXPECT_THROW((void)parse_query("attr(k)"), Error);
+  EXPECT_THROW((void)parse_query("id(\"unterminated)"), Error);
+  EXPECT_THROW((void)parse_query("mean()"), Error);
+  EXPECT_THROW((void)parse_query("a b"), Error);
+}
+
+TEST(QueryParserTest, ToCompositeLowersRefsAndOperators) {
+  const Experiment a = make_small(StorageKind::Dense, "a");
+  const Experiment b = make_small(StorageKind::Dense, "b");
+  const ExperimentEnv env{{"a", &a}, {"b", &b}};
+  const Experiment via_query = eval_query_with_env("diff(a, b)", env);
+  const Experiment direct = eval_expr("diff(a, b)", env);
+  ASSERT_EQ(via_query.metadata().num_metrics(),
+            direct.metadata().num_metrics());
+  for (MetricIndex m = 0; m < direct.metadata().num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < direct.metadata().num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < direct.metadata().num_threads(); ++t) {
+        ASSERT_EQ(via_query.severity().get(m, c, t),
+                  direct.severity().get(m, c, t));
+      }
+    }
+  }
+}
+
+TEST(QueryParserTest, ToCompositeRejectsSelectors) {
+  const ExperimentEnv env;
+  EXPECT_THROW((void)eval_query_with_env("mean(attr(run=before))", env),
+               OperationError);
+  EXPECT_THROW((void)parse_query("id(x)")->to_composite(), OperationError);
+}
+
+}  // namespace
+}  // namespace cube::query
