@@ -1,6 +1,8 @@
 // Shared helpers for the benchmark and figure-reproduction binaries.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -21,11 +23,16 @@ struct Shape {
   /// prefixes share nothing, equal prefixes share everything.
   std::string prefix = "m";
   std::uint64_t seed = 1;
+  /// Severity storage backing the experiment.
+  StorageKind storage = StorageKind::Dense;
 };
 
 /// Builds a deterministic synthetic experiment of the given shape: a metric
 /// forest of chains of depth 4, a call tree of fan-out 4, and a flat
-/// system of single-threaded processes.
+/// system of single-threaded processes.  Entities are inserted in
+/// pre-order (document order), the same order integrate_metadata emits
+/// merged entities — experiments that share a prefix therefore integrate
+/// with identity mappings, like repeated runs of one binary.
 inline Experiment make_experiment(const Shape& shape) {
   auto md = std::make_unique<Metadata>();
 
@@ -44,27 +51,25 @@ inline Experiment make_experiment(const Shape& shape) {
   const Region& root_region =
       md->add_region(shape.prefix + "_main", "bench.c", 1, 2);
   const Cnode* root = &md->add_cnode_for_region(nullptr, root_region);
-  std::vector<const Cnode*> frontier{root};
   std::size_t created = 1;
-  while (created < shape.cnodes) {
-    std::vector<const Cnode*> next;
-    for (const Cnode* p : frontier) {
-      for (int k = 0; k < 4 && created < shape.cnodes; ++k, ++created) {
-        const Region& r = md->add_region(
-            shape.prefix + "_f" + std::to_string(created), "bench.c",
-            2 * static_cast<long>(created) + 1,
-            2 * static_cast<long>(created) + 2);
-        next.push_back(&md->add_cnode_for_region(p, r));
-      }
-    }
-    frontier = std::move(next);
-    if (frontier.empty()) break;
-  }
+  const std::function<void(const Cnode*, std::size_t)> grow =
+      [&](const Cnode* p, std::size_t depth) {
+        if (depth >= 6) return;
+        for (int k = 0; k < 4 && created < shape.cnodes; ++k) {
+          const Region& r = md->add_region(
+              shape.prefix + "_f" + std::to_string(created), "bench.c",
+              2 * static_cast<long>(created) + 1,
+              2 * static_cast<long>(created) + 2);
+          ++created;
+          grow(&md->add_cnode_for_region(p, r), depth + 1);
+        }
+      };
+  grow(root, 0);
 
   build_regular_system(*md, "bench machine", 1,
                        static_cast<int>(shape.threads));
 
-  Experiment e(std::move(md));
+  Experiment e(std::move(md), shape.storage);
   e.set_name(shape.prefix);
   SplitMix64 rng(shape.seed);
   const Metadata& m = e.metadata();

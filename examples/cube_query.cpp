@@ -27,6 +27,8 @@
 //   -o out.cube    write the result as a CUBE XML file
 //   --hotspots N   rows in the severity report (default 10)
 //   --quiet        stats only, no severity report
+//   --verbose      additionally print which bulk severity kernels fired
+//                  (identity/remap x dense/sparse, cells vs nnz processed)
 #include <iostream>
 #include <optional>
 #include <string>
@@ -41,7 +43,7 @@
 namespace {
 
 void print_stats(const cube::query::QueryStats& s, std::size_t run,
-                 std::size_t runs) {
+                 std::size_t runs, bool verbose) {
   std::cout << "run " << run + 1 << "/" << runs << ": " << s.plan_nodes
             << " plan nodes (" << s.cse_reused << " reused by CSE), "
             << s.nodes_executed << " executed, " << s.operands_loaded
@@ -55,6 +57,15 @@ void print_stats(const cube::query::QueryStats& s, std::size_t run,
             << " ms, eval " << cube::format_value(s.eval_ms, 2)
             << " ms summed over tasks), total "
             << cube::format_value(s.total_ms, 2) << " ms\n";
+  if (verbose) {
+    std::cout << "  kernels: " << s.kernel_applications
+              << " bulk operator applications, " << s.kernel_chunks
+              << " cell chunks; identity-dense "
+              << s.kernel_identity_dense_cells << " cells, remap-dense "
+              << s.kernel_remap_dense_cells << " cells, identity-sparse "
+              << s.kernel_identity_sparse_nnz << " nnz, remap-sparse "
+              << s.kernel_remap_sparse_nnz << " nnz\n";
+  }
 }
 
 }  // namespace
@@ -67,6 +78,7 @@ int main(int argc, char** argv) {
   std::size_t hotspot_count = 10;
   std::size_t repeat = 1;
   bool quiet = false;
+  bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -96,6 +108,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
     } else if (expr.empty()) {
       expr = arg;
     } else {
@@ -106,7 +120,7 @@ int main(int argc, char** argv) {
   if (expr.empty() || !repo_dir) {
     std::cerr << "usage: cube_query <expr> --repo <dir> [--threads N]"
                  " [--no-cache] [--no-store] [--repeat N] [-o out.cube]"
-                 " [--hotspots N] [--quiet]\n";
+                 " [--hotspots N] [--quiet] [--verbose]\n";
     return 1;
   }
 
@@ -117,7 +131,7 @@ int main(int argc, char** argv) {
     std::optional<cube::query::QueryResult> last;
     for (std::size_t run = 0; run < repeat; ++run) {
       last = engine.run(expr);
-      print_stats(last->stats, run, repeat);
+      print_stats(last->stats, run, repeat, verbose);
     }
 
     std::cout << "query:     " << expr << "\n"

@@ -273,6 +273,25 @@ IntegrationResult integrate_metadata(std::span<const Experiment* const>
   integrate_cnodes(operands, options, *result.metadata, result.mappings);
   integrate_system(operands, options, *result.metadata, result.mappings,
                    result.system_collapsed);
+
+  // Flag identity mappings per operand and dimension: the operand spans the
+  // whole integrated dimension and every index maps onto itself.  Operator
+  // kernels use this to run remap-free (see OperandMapping::identity).
+  const auto is_identity = [](const auto& map, std::size_t out_size) {
+    if (map.size() != out_size) return false;
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      if (map[i] != i) return false;
+    }
+    return true;
+  };
+  for (OperandMapping& mp : result.mappings) {
+    mp.metric_identity =
+        is_identity(mp.metric_map, result.metadata->num_metrics());
+    mp.cnode_identity =
+        is_identity(mp.cnode_map, result.metadata->num_cnodes());
+    mp.thread_identity =
+        is_identity(mp.thread_map, result.metadata->num_threads());
+  }
   return result;
 }
 

@@ -53,10 +53,26 @@ struct IntegrationOptions {
 };
 
 /// Index remapping of one operand into the integrated metadata.
+///
+/// The per-dimension identity flags record that the operand's index space
+/// coincides with the integrated one (same size, map[i] == i).  This is the
+/// common case — repeated runs of one binary share all metadata — and lets
+/// operator kernels skip the remap indirection entirely: with identity()
+/// true, operand cell i IS integrated cell i, so dense operands reduce
+/// straight over aligned flat arrays.
 struct OperandMapping {
   std::vector<MetricIndex> metric_map;  ///< operand metric -> integrated
   std::vector<CnodeIndex> cnode_map;    ///< operand cnode  -> integrated
   std::vector<ThreadIndex> thread_map;  ///< operand thread -> integrated
+  bool metric_identity = false;  ///< metric_map is the identity onto out
+  bool cnode_identity = false;   ///< cnode_map is the identity onto out
+  bool thread_identity = false;  ///< thread_map is the identity onto out
+
+  /// True if the operand's whole flattened cell space maps 1:1 onto the
+  /// integrated cell space.
+  [[nodiscard]] bool identity() const noexcept {
+    return metric_identity && cnode_identity && thread_identity;
+  }
 };
 
 /// Integrated metadata plus the per-operand remappings.

@@ -23,6 +23,383 @@ std::string label_list(std::span<const Experiment* const> operands) {
   return out;
 }
 
+Experiment make_result(IntegrationResult& integration,
+                       const OperatorOptions& options) {
+  return Experiment(std::move(integration.metadata), options.storage);
+}
+
+// ===========================================================================
+// Bulk kernels (docs/STORAGE.md)
+//
+// The severity phase of every operator is a linear pass over the result's
+// FLATTENED cell space [0, M*C*T), partitioned into fixed chunks.  Per
+// chunk, each operand is accumulated through the fastest applicable
+// kernel:
+//
+//   identity mapping x dense operand  -> remap-free flat array pass
+//   remapped         x dense operand  -> row-wise scatter, clamped to chunk
+//   identity mapping x sparse operand -> binary-searched non-zero range
+//   remapped         x sparse operand -> one pass over the sorted non-zeros
+//
+// Every kernel applies a cell's contributions in ascending source (m, c, t)
+// order and operands are processed in operand order, exactly like the
+// per-cell reference path below, so results are bit-identical to it (and
+// independent of the thread count — chunk boundaries depend only on the
+// shape).
+// ===========================================================================
+
+/// Fixed upper bound on cell chunks handed to a ParallelFor.  Not derived
+/// from the thread count, so the partition — and therefore any conceivable
+/// numeric effect — is identical no matter how the executor schedules it.
+constexpr std::size_t kMaxCellChunks = 32;
+
+std::size_t num_cell_chunks(std::size_t cells) {
+  return std::max<std::size_t>(1, std::min(cells, kMaxCellChunks));
+}
+
+/// Shape of the integrated (result) cell space.
+struct OutShape {
+  std::size_t metrics = 0;
+  std::size_t cnodes = 0;
+  std::size_t threads = 0;
+  std::size_t plane = 0;  ///< cnodes * threads
+  std::size_t cells = 0;  ///< metrics * plane
+};
+
+OutShape shape_of(const Metadata& md) {
+  OutShape os;
+  os.metrics = md.num_metrics();
+  os.cnodes = md.num_cnodes();
+  os.threads = md.num_threads();
+  os.plane = os.cnodes * os.threads;
+  os.cells = os.metrics * os.plane;
+  return os;
+}
+
+using SparseSnapshot = std::vector<std::pair<std::uint64_t, Severity>>;
+
+/// Per-chunk kernel counters, flushed once into the shared atomics.
+struct LocalKernelStats {
+  std::uint64_t identity_dense_cells = 0;
+  std::uint64_t remap_dense_cells = 0;
+  std::uint64_t identity_sparse_nnz = 0;
+  std::uint64_t remap_sparse_nnz = 0;
+
+  void flush(KernelStats* stats) const {
+    if (stats == nullptr) return;
+    stats->identity_dense_cells += identity_dense_cells;
+    stats->remap_dense_cells += remap_dense_cells;
+    stats->identity_sparse_nnz += identity_sparse_nnz;
+    stats->remap_sparse_nnz += remap_sparse_nnz;
+  }
+};
+
+/// One operand's severity, prepared for the kernels: either a flat dense
+/// cell array (the store's own contiguous cells, or a densified mirror of
+/// a near-full sparse store) or a sorted non-zero snapshot.
+struct PreparedOperand {
+  const Severity* dense = nullptr;        ///< flat row-major cell array
+  const SparseSnapshot* snapshot = nullptr;  ///< sorted (key, value) list
+};
+
+/// Accumulates `factor` times the operand's zero-extended severity into
+/// `acc`, which covers the result cells [cell_lo, cell_hi) — acc[i] is
+/// result cell cell_lo + i.  Metric entries mapped to kNoIndex are
+/// skipped (merge ownership masking).
+void accumulate_operand(const Experiment& source, const OperandMapping& mapping,
+                        double factor, Severity* acc, std::size_t cell_lo,
+                        std::size_t cell_hi, const OutShape& os,
+                        const PreparedOperand& prep, LocalKernelStats& ks) {
+  const SeverityStore& sev = source.severity();
+  const bool identity = mapping.identity();
+
+  if (prep.dense != nullptr) {
+    if (identity) {
+      // The operand's cell space IS the result's: one aligned flat pass.
+      const Severity* src = prep.dense + cell_lo;
+      const std::size_t n = cell_hi - cell_lo;
+      if (factor == 1.0) {
+        for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+      } else {
+        for (std::size_t i = 0; i < n; ++i) acc[i] += factor * src[i];
+      }
+      ks.identity_dense_cells += n;
+      return;
+    }
+    // Row-wise scatter: visit each source (metric, cnode) row whose mapped
+    // result row intersects the chunk; rows fully inside skip the per-cell
+    // bound check.
+    const Severity* all = prep.dense;
+    const std::size_t sm = sev.num_metrics();
+    const std::size_t sc = sev.num_cnodes();
+    const std::size_t st = sev.num_threads();
+    for (MetricIndex m = 0; m < sm; ++m) {
+      const MetricIndex om = mapping.metric_map[m];
+      if (om == kNoIndex) continue;
+      for (CnodeIndex c = 0; c < sc; ++c) {
+        const std::size_t out_row =
+            (om * os.cnodes + mapping.cnode_map[c]) * os.threads;
+        if (out_row + os.threads <= cell_lo || out_row >= cell_hi) continue;
+        const Severity* row = all + (m * sc + c) * st;
+        if (cell_lo <= out_row && out_row + os.threads <= cell_hi) {
+          for (ThreadIndex t = 0; t < st; ++t) {
+            const Severity v = row[t];
+            if (v != 0.0) {
+              acc[out_row + mapping.thread_map[t] - cell_lo] += factor * v;
+            }
+          }
+        } else {
+          for (ThreadIndex t = 0; t < st; ++t) {
+            const std::size_t cell = out_row + mapping.thread_map[t];
+            if (cell < cell_lo || cell >= cell_hi) continue;
+            const Severity v = row[t];
+            if (v != 0.0) acc[cell - cell_lo] += factor * v;
+          }
+        }
+        ks.remap_dense_cells += st;
+      }
+    }
+    return;
+  }
+
+  const SparseSnapshot* snapshot = prep.snapshot;
+  if (identity) {
+    // Source keys equal result cells: binary-search the chunk's range.
+    const auto first = std::lower_bound(
+        snapshot->begin(), snapshot->end(), cell_lo,
+        [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+    std::uint64_t n = 0;
+    for (auto it = first; it != snapshot->end() && it->first < cell_hi; ++it) {
+      acc[it->first - cell_lo] += factor * it->second;
+      ++n;
+    }
+    ks.identity_sparse_nnz += n;
+    return;
+  }
+  // One ascending pass over the non-zeros, remapping each to its result
+  // cell and filtering by the chunk.  O(nnz) per chunk — still far below
+  // the O(M*C*T) dense index space a low-fill operand would otherwise pay.
+  const std::size_t st = sev.num_threads();
+  const std::size_t splane = sev.num_cnodes() * st;
+  std::uint64_t applied = 0;
+  for (const auto& [key, v] : *snapshot) {
+    const MetricIndex om = mapping.metric_map[key / splane];
+    if (om == kNoIndex) continue;
+    const std::size_t rest = key % splane;
+    const std::size_t cell = (om * os.cnodes + mapping.cnode_map[rest / st]) *
+                                 os.threads +
+                             mapping.thread_map[rest % st];
+    if (cell < cell_lo || cell >= cell_hi) continue;
+    acc[cell - cell_lo] += factor * v;
+    ++applied;
+  }
+  ks.remap_sparse_nnz += applied;
+}
+
+/// Prepares every operand once per operator application.  Dense stores
+/// expose their contiguous cells directly.  A sparse store is snapshotted
+/// into a sorted non-zero list (O(nnz log nnz); the kernels binary-search
+/// / scan it per chunk) — unless it is at least half full, where the
+/// snapshot costs more memory (16 bytes/entry) than a flat mirror
+/// (8 bytes/cell) and the sort dominates the whole operator: such
+/// operands are densified with one unordered scatter and handled by the
+/// dense kernels, whose ascending cell order keeps results bit-identical.
+std::vector<PreparedOperand> prepare_operands(
+    std::span<const Experiment* const> sources,
+    std::vector<SparseSnapshot>& snapshot_storage,
+    std::vector<std::vector<Severity>>& mirror_storage) {
+  snapshot_storage.resize(sources.size());
+  mirror_storage.resize(sources.size());
+  std::vector<PreparedOperand> prepared(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const SeverityStore& sev = sources[i]->severity();
+    if (sev.kind() != StorageKind::Sparse) {
+      prepared[i].dense = static_cast<const DenseSeverity&>(sev).cells().data();
+      continue;
+    }
+    const auto& sparse = static_cast<const SparseSeverity&>(sev);
+    if (2 * sparse.nonzero_count() >= sparse.num_cells()) {
+      mirror_storage[i].assign(sparse.num_cells(), 0.0);
+      sparse.scatter_into(mirror_storage[i]);
+      prepared[i].dense = mirror_storage[i].data();
+    } else {
+      snapshot_storage[i] = sparse.sorted_cells();
+      prepared[i].snapshot = &snapshot_storage[i];
+    }
+  }
+  return prepared;
+}
+
+/// Runs body(chunk, cell_lo, cell_hi) over the fixed partition of
+/// [0, cells) into num_cell_chunks(cells) contiguous ranges.
+void run_cell_chunked(
+    const OperatorOptions& options, std::size_t cells,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t chunks = num_cell_chunks(cells);
+  if (options.kernel_stats != nullptr) options.kernel_stats->chunks += chunks;
+  const auto run = [&](std::size_t k) {
+    const std::size_t lo = k * cells / chunks;
+    const std::size_t hi = (k + 1) * cells / chunks;
+    if (lo < hi) body(k, lo, hi);
+  };
+  if (options.parallel_for && chunks > 1) {
+    options.parallel_for(chunks, run);
+  } else {
+    for (std::size_t k = 0; k < chunks; ++k) run(k);
+  }
+}
+
+/// Writes the non-zero entries of per-chunk staging buffers into a sparse
+/// result, in chunk order.  Chunks cover disjoint cell ranges, so the
+/// stored values are independent of execution order by construction.
+void merge_staged(Experiment& out, const OutShape& os,
+                  std::vector<SparseSnapshot>& staged) {
+  SeverityStore& sev = out.severity();
+  for (const SparseSnapshot& chunk : staged) {
+    for (const auto& [cell, v] : chunk) {
+      const std::size_t rest = cell % os.plane;
+      sev.set(cell / os.plane, rest / os.threads, rest % os.threads, v);
+    }
+  }
+}
+
+/// The severity phase shared by difference, merge, and mean: result cell
+/// values are sums of factor-scaled operand extensions.  Dense results are
+/// accumulated in place through disjoint mutable spans; sparse results go
+/// through per-chunk dense staging buffers (at most one per in-flight
+/// chunk) whose non-zeros are merged afterwards under the fixed chunk
+/// order.
+void bulk_linear_combine(std::span<const Experiment* const> sources,
+                         std::span<const OperandMapping> mappings,
+                         std::span<const double> factors, Experiment& out,
+                         const OperatorOptions& options) {
+  const OutShape os = shape_of(out.metadata());
+  if (os.cells == 0) return;
+  std::vector<SparseSnapshot> snapshot_storage;
+  std::vector<std::vector<Severity>> mirror_storage;
+  const auto prepared =
+      prepare_operands(sources, snapshot_storage, mirror_storage);
+  KernelStats* stats = options.kernel_stats;
+  if (stats != nullptr) ++stats->applications;
+
+  if (out.severity().kind() == StorageKind::Dense) {
+    auto& dense_out = static_cast<DenseSeverity&>(out.severity());
+    run_cell_chunked(options, os.cells,
+                     [&](std::size_t, std::size_t lo, std::size_t hi) {
+                       LocalKernelStats ks;
+                       Severity* acc = dense_out.cells_mut(lo, hi).data();
+                       for (std::size_t i = 0; i < sources.size(); ++i) {
+                         accumulate_operand(*sources[i], mappings[i],
+                                            factors[i], acc, lo, hi, os,
+                                            prepared[i], ks);
+                       }
+                       ks.flush(stats);
+                     });
+    return;
+  }
+
+  std::vector<SparseSnapshot> staged(num_cell_chunks(os.cells));
+  run_cell_chunked(options, os.cells,
+                   [&](std::size_t k, std::size_t lo, std::size_t hi) {
+                     LocalKernelStats ks;
+                     std::vector<Severity> buf(hi - lo, 0.0);
+                     for (std::size_t i = 0; i < sources.size(); ++i) {
+                       accumulate_operand(*sources[i], mappings[i], factors[i],
+                                          buf.data(), lo, hi, os, prepared[i],
+                                          ks);
+                     }
+                     for (std::size_t i = 0; i < buf.size(); ++i) {
+                       if (buf[i] != 0.0) staged[k].emplace_back(lo + i, buf[i]);
+                     }
+                     ks.flush(stats);
+                   });
+  merge_staged(out, os, staged);
+}
+
+/// The severity phase of min/max: per chunk, each operand's zero-extension
+/// is materialized into a scratch buffer and folded cell-wise in operand
+/// order.
+void bulk_reduce_extremum(std::span<const Experiment* const> sources,
+                          std::span<const OperandMapping> mappings,
+                          bool take_min, Experiment& out,
+                          const OperatorOptions& options) {
+  const OutShape os = shape_of(out.metadata());
+  if (os.cells == 0) return;
+  std::vector<SparseSnapshot> snapshot_storage;
+  std::vector<std::vector<Severity>> mirror_storage;
+  const auto prepared =
+      prepare_operands(sources, snapshot_storage, mirror_storage);
+  KernelStats* stats = options.kernel_stats;
+  if (stats != nullptr) ++stats->applications;
+
+  DenseSeverity* dense_out =
+      out.severity().kind() == StorageKind::Dense
+          ? &static_cast<DenseSeverity&>(out.severity())
+          : nullptr;
+  std::vector<SparseSnapshot> staged(
+      dense_out != nullptr ? 0 : num_cell_chunks(os.cells));
+
+  run_cell_chunked(
+      options, os.cells, [&](std::size_t k, std::size_t lo, std::size_t hi) {
+        LocalKernelStats ks;
+        const std::size_t n = hi - lo;
+        std::vector<Severity> acc(n, 0.0);
+        std::vector<Severity> cur(n);
+        for (std::size_t op = 0; op < sources.size(); ++op) {
+          std::fill(cur.begin(), cur.end(), 0.0);
+          accumulate_operand(*sources[op], mappings[op], 1.0, cur.data(), lo,
+                             hi, os, prepared[op], ks);
+          if (op == 0) {
+            acc = cur;
+          } else if (take_min) {
+            for (std::size_t i = 0; i < n; ++i) {
+              acc[i] = std::min(acc[i], cur[i]);
+            }
+          } else {
+            for (std::size_t i = 0; i < n; ++i) {
+              acc[i] = std::max(acc[i], cur[i]);
+            }
+          }
+        }
+        if (dense_out != nullptr) {
+          Severity* cells = dense_out->cells_mut(lo, hi).data();
+          for (std::size_t i = 0; i < n; ++i) {
+            if (acc[i] != 0.0) cells[i] = acc[i];
+          }
+        } else {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (acc[i] != 0.0) staged[k].emplace_back(lo + i, acc[i]);
+          }
+        }
+        ks.flush(stats);
+      });
+  if (dense_out == nullptr) merge_staged(out, os, staged);
+}
+
+/// For merge: a copy of the operand mappings where metrics NOT owned by
+/// the operand are masked to kNoIndex, so the shared kernels skip them.
+std::vector<OperandMapping> masked_merge_mappings(
+    const std::vector<OperandMapping>& mappings,
+    const std::vector<std::size_t>& owner) {
+  std::vector<OperandMapping> masked = mappings;
+  for (std::size_t op = 0; op < masked.size(); ++op) {
+    for (MetricIndex& om : masked[op].metric_map) {
+      if (owner[om] != op) {
+        om = kNoIndex;
+        masked[op].metric_identity = false;
+      }
+    }
+  }
+  return masked;
+}
+
+// ===========================================================================
+// Per-cell reference path (OperatorOptions::use_bulk_kernels == false)
+//
+// The original virtual get/add implementation, kept verbatim as the oracle
+// the equivalence suite compares the bulk kernels against bit-for-bit.
+// ===========================================================================
+
 /// Scatters operand `op`'s severity into `out` through its index mapping,
 /// scaled by `factor`.  Only non-zero source values are touched, so sparse
 /// operands cost what they contain.  Only output cells whose integrated
@@ -48,16 +425,6 @@ void scatter_scaled(const Experiment& source, const OperandMapping& mapping,
   }
 }
 
-Experiment make_result(IntegrationResult& integration,
-                       const OperatorOptions& options) {
-  return Experiment(std::move(integration.metadata), options.storage);
-}
-
-/// Upper bound on row chunks handed to a ParallelFor.  Fixed (not derived
-/// from the thread count) so the chunking — and therefore any conceivable
-/// numeric effect — is identical no matter how the executor schedules it.
-constexpr std::size_t kMaxRowChunks = 32;
-
 /// Runs body(metric_lo, metric_hi) over a partition of [0, metrics).
 /// Sequential (one chunk) unless `options.parallel_for` is set and the
 /// result store allows concurrent disjoint writes (dense).
@@ -69,7 +436,7 @@ void run_row_chunked(
     body(0, metrics);
     return;
   }
-  const std::size_t chunks = std::min(metrics, kMaxRowChunks);
+  const std::size_t chunks = std::min(metrics, kMaxCellChunks);
   options.parallel_for(chunks, [&](std::size_t k) {
     const MetricIndex lo = k * metrics / chunks;
     const MetricIndex hi = (k + 1) * metrics / chunks;
@@ -77,18 +444,10 @@ void run_row_chunked(
   });
 }
 
-/// Element-wise min/max share everything but the reduction: per row chunk,
-/// each operand's zero-extension is materialized into a scratch buffer and
-/// folded cell-wise in operand order.
-Experiment reduce_extremum(std::span<const Experiment* const> operands,
-                           const OperatorOptions& options, bool take_min,
-                           const char* opname) {
-  if (operands.empty()) {
-    throw OperationError(std::string(opname) + " requires >= 1 operand");
-  }
-  IntegrationResult integration =
-      integrate_metadata(operands, options.integration);
-  Experiment out = make_result(integration, options);
+void reference_reduce_extremum(std::span<const Experiment* const> operands,
+                               const IntegrationResult& integration,
+                               const OperatorOptions& options, bool take_min,
+                               Experiment& out) {
   const Metadata& md = out.metadata();
   const std::size_t plane = md.num_cnodes() * md.num_threads();
 
@@ -136,6 +495,24 @@ Experiment reduce_extremum(std::span<const Experiment* const> operands,
       }
     }
   });
+}
+
+/// Element-wise min/max share everything but the reduction.
+Experiment reduce_extremum(std::span<const Experiment* const> operands,
+                           const OperatorOptions& options, bool take_min,
+                           const char* opname) {
+  if (operands.empty()) {
+    throw OperationError(std::string(opname) + " requires >= 1 operand");
+  }
+  IntegrationResult integration =
+      integrate_metadata(operands, options.integration);
+  Experiment out = make_result(integration, options);
+  if (options.use_bulk_kernels) {
+    bulk_reduce_extremum(operands, integration.mappings, take_min, out,
+                         options);
+  } else {
+    reference_reduce_extremum(operands, integration, options, take_min, out);
+  }
   out.mark_derived(std::string(opname) + "(" + label_list(operands) + ")");
   out.set_name(std::string(opname) + "(" + label_list(operands) + ")");
   return out;
@@ -149,13 +526,18 @@ Experiment difference(const Experiment& a, const Experiment& b,
   IntegrationResult integration =
       integrate_metadata(ops, options.integration);
   Experiment out = make_result(integration, options);
-  run_row_chunked(options, out.metadata().num_metrics(),
-                  [&](MetricIndex lo, MetricIndex hi) {
-                    scatter_scaled(a, integration.mappings[0], 1.0, out, lo,
-                                   hi);
-                    scatter_scaled(b, integration.mappings[1], -1.0, out, lo,
-                                   hi);
-                  });
+  if (options.use_bulk_kernels) {
+    const double factors[] = {1.0, -1.0};
+    bulk_linear_combine(ops, integration.mappings, factors, out, options);
+  } else {
+    run_row_chunked(options, out.metadata().num_metrics(),
+                    [&](MetricIndex lo, MetricIndex hi) {
+                      scatter_scaled(a, integration.mappings[0], 1.0, out, lo,
+                                     hi);
+                      scatter_scaled(b, integration.mappings[1], -1.0, out, lo,
+                                     hi);
+                    });
+  }
   const std::string prov = "difference(" + operand_label(a, 0) + ", " +
                            operand_label(b, 1) + ")";
   out.mark_derived(prov);
@@ -180,27 +562,34 @@ Experiment merge(const Experiment& a, const Experiment& b,
     }
   }
 
-  run_row_chunked(options, num_out_metrics, [&](MetricIndex lo,
-                                                MetricIndex hi) {
-    for (std::size_t op = 0; op < 2; ++op) {
-      const Experiment& source = *ops[op];
-      const OperandMapping& mapping = integration.mappings[op];
-      const Metadata& md = source.metadata();
-      for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
-        const MetricIndex om = mapping.metric_map[m];
-        if (om < lo || om >= hi || owner[om] != op) continue;
-        for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
-          const CnodeIndex oc = mapping.cnode_map[c];
-          for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-            const Severity v = source.severity().get(m, c, t);
-            if (v != 0.0) {
-              out.severity().add(om, oc, mapping.thread_map[t], v);
+  if (options.use_bulk_kernels) {
+    const std::vector<OperandMapping> masked =
+        masked_merge_mappings(integration.mappings, owner);
+    const double factors[] = {1.0, 1.0};
+    bulk_linear_combine(ops, masked, factors, out, options);
+  } else {
+    run_row_chunked(options, num_out_metrics, [&](MetricIndex lo,
+                                                  MetricIndex hi) {
+      for (std::size_t op = 0; op < 2; ++op) {
+        const Experiment& source = *ops[op];
+        const OperandMapping& mapping = integration.mappings[op];
+        const Metadata& md = source.metadata();
+        for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+          const MetricIndex om = mapping.metric_map[m];
+          if (om < lo || om >= hi || owner[om] != op) continue;
+          for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+            const CnodeIndex oc = mapping.cnode_map[c];
+            for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+              const Severity v = source.severity().get(m, c, t);
+              if (v != 0.0) {
+                out.severity().add(om, oc, mapping.thread_map[t], v);
+              }
             }
           }
         }
       }
-    }
-  });
+    });
+  }
 
   const std::string prov =
       "merge(" + operand_label(a, 0) + ", " + operand_label(b, 1) + ")";
@@ -218,13 +607,18 @@ Experiment mean(std::span<const Experiment* const> operands,
       integrate_metadata(operands, options.integration);
   Experiment out = make_result(integration, options);
   const double factor = 1.0 / static_cast<double>(operands.size());
-  run_row_chunked(options, out.metadata().num_metrics(),
-                  [&](MetricIndex lo, MetricIndex hi) {
-                    for (std::size_t op = 0; op < operands.size(); ++op) {
-                      scatter_scaled(*operands[op], integration.mappings[op],
-                                     factor, out, lo, hi);
-                    }
-                  });
+  if (options.use_bulk_kernels) {
+    const std::vector<double> factors(operands.size(), factor);
+    bulk_linear_combine(operands, integration.mappings, factors, out, options);
+  } else {
+    run_row_chunked(options, out.metadata().num_metrics(),
+                    [&](MetricIndex lo, MetricIndex hi) {
+                      for (std::size_t op = 0; op < operands.size(); ++op) {
+                        scatter_scaled(*operands[op], integration.mappings[op],
+                                       factor, out, lo, hi);
+                      }
+                    });
+  }
   const std::string prov = "mean(" + label_list(operands) + ")";
   out.mark_derived(prov);
   out.set_name(prov);

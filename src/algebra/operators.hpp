@@ -7,6 +7,8 @@
 // operators or into the display, exactly like original data.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -19,24 +21,49 @@ namespace cube {
 /// Optional executor for data-parallel severity computation: invoked as
 /// parallel_for(n, body) and expected to run body(0..n-1), possibly
 /// concurrently (ThreadPool::parallel_for has this shape).  Operators
-/// partition the INTEGRATED METRIC ROWS of the result into chunks, one
+/// partition the FLATTENED CELL SPACE of the result into chunks, one
 /// body call per chunk; every output cell belongs to exactly one chunk
 /// and receives its additions in the same operand order as sequential
 /// evaluation, so results are bit-identical at any thread count.  The
-/// chunking itself is independent of the executor.
+/// chunking itself is independent of the executor.  Dense results are
+/// written in place (disjoint ranges); sparse results go through
+/// per-chunk staging buffers merged under the fixed chunk order.
 using ParallelFor =
     std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
+/// Counters describing which bulk severity kernels fired (docs/STORAGE.md).
+/// Atomic because chunks of one operator application run concurrently;
+/// aggregated per query run into QueryStats.
+struct KernelStats {
+  /// Dense operand with an identity mapping: remap-free flat array pass.
+  std::atomic<std::uint64_t> identity_dense_cells{0};
+  /// Dense operand scattered through its index mapping (cells visited).
+  std::atomic<std::uint64_t> remap_dense_cells{0};
+  /// Sparse operand with an identity mapping (non-zeros applied).
+  std::atomic<std::uint64_t> identity_sparse_nnz{0};
+  /// Sparse operand scattered through its index mapping (non-zeros applied).
+  std::atomic<std::uint64_t> remap_sparse_nnz{0};
+  /// Cell chunks executed across all operator applications.
+  std::atomic<std::uint64_t> chunks{0};
+  /// Operator applications that ran through the bulk path.
+  std::atomic<std::uint64_t> applications{0};
+};
 
 /// Options shared by all operators.
 struct OperatorOptions {
   IntegrationOptions integration;
   /// Storage kind of the produced experiment.
   StorageKind storage = StorageKind::Dense;
-  /// If set and the result storage is dense, the severity phase of the
-  /// operator runs row-chunked through this executor (see ParallelFor).
-  /// Sparse results stay sequential: their store is not safe for
-  /// concurrent disjoint writes.
+  /// If set, the severity phase of the operator runs cell-chunked through
+  /// this executor (see ParallelFor) — for dense AND sparse results.
   ParallelFor parallel_for;
+  /// Use the devirtualized bulk kernels (default).  False selects the
+  /// per-cell reference path, kept as the bit-identical oracle for the
+  /// equivalence suite; the reference path parallelizes dense results
+  /// by metric rows only.
+  bool use_bulk_kernels = true;
+  /// If non-null, bulk-kernel path counters are accumulated here.
+  KernelStats* kernel_stats = nullptr;
 };
 
 /// difference(a, b): severity = a - b over the integrated domain.  Tuples

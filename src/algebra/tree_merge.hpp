@@ -44,13 +44,21 @@ void merge_forests(
   const std::size_t num_operands = roots.size();
 
   struct Slot {
-    std::size_t out_id;
     const Node* representative;
+    // (operand, source node) pairs matched into this output node.
+    std::vector<std::pair<std::size_t, const Node*>> members;
     // Children contributed per operand; merged at the next level.
     std::vector<std::vector<const Node*>> child_groups;
   };
 
-  // Recursive lambda over one sibling group.
+  // Recursive lambda over one sibling group.  Matching happens per sibling
+  // group (top-down), but output nodes are EMITTED in pre-order DFS —
+  // a slot's whole subtree before its next sibling.  That is document
+  // order: an operand whose entities were inserted in pre-order (as file
+  // parsers and derived experiments produce them) maps onto the
+  // integrated set via the IDENTITY when the operands' structures agree,
+  // which is what lets operator kernels drop the remap indirection
+  // (OperandMapping::identity).
   const std::function<void(std::size_t,
                            std::vector<std::vector<const Node*>>)>
       merge_level = [&](std::size_t out_parent,
@@ -66,19 +74,24 @@ void merge_forests(
               }
             }
             if (match == nullptr) {
-              slots.push_back(Slot{emit(*node, out_parent), node,
+              slots.push_back(Slot{node,
+                                   {},
                                    std::vector<std::vector<const Node*>>(
                                        num_operands)});
               match = &slots.back();
             }
-            record(op, *node, match->out_id);
+            match->members.emplace_back(op, node);
             auto kids = children(*node);
             auto& group = match->child_groups[op];
             group.insert(group.end(), kids.begin(), kids.end());
           }
         }
         for (Slot& s : slots) {
-          merge_level(s.out_id, std::move(s.child_groups));
+          const std::size_t out_id = emit(*s.representative, out_parent);
+          for (const auto& [op, node] : s.members) {
+            record(op, *node, out_id);
+          }
+          merge_level(out_id, std::move(s.child_groups));
         }
       };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "common/string_util.hpp"
 #include "common/text_table.hpp"
@@ -11,16 +13,34 @@ namespace cube {
 std::vector<Hotspot> find_hotspots(const Experiment& experiment,
                                    const HotspotOptions& options) {
   const Metadata& md = experiment.metadata();
+  const SeverityStore& sev = experiment.severity();
+  const std::size_t C = md.num_cnodes();
+  const std::size_t T = md.num_threads();
+
+  // Thread-summed (metric, cnode) plane in one bulk pass over the store
+  // (docs/STORAGE.md); ascending-order visitation keeps the sums
+  // bit-identical to a per-cell loop.
+  std::vector<Severity> plane_sum(md.num_metrics() * C, 0.0);
+  if (sev.kind() == StorageKind::Dense) {
+    const std::span<const Severity> cells =
+        static_cast<const DenseSeverity&>(sev).cells();
+    for (std::size_t row = 0; row < plane_sum.size(); ++row) {
+      Severity value = 0.0;
+      for (ThreadIndex t = 0; t < T; ++t) value += cells[row * T + t];
+      plane_sum[row] = value;
+    }
+  } else {
+    static_cast<const SparseSeverity&>(sev).for_each_nonzero(
+        0, sev.num_cells(),
+        [&](std::uint64_t key, Severity v) { plane_sum[key / T] += v; });
+  }
+
   std::vector<Hotspot> all;
   double magnitude_sum = 0.0;
   for (const auto& metric : md.metrics()) {
     if (options.unit && metric->unit() != *options.unit) continue;
     for (const auto& cnode : md.cnodes()) {
-      Severity value = 0.0;
-      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-        value += experiment.severity().get(metric->index(), cnode->index(),
-                                           t);
-      }
+      const Severity value = plane_sum[metric->index() * C + cnode->index()];
       const double magnitude = std::abs(value);
       if (magnitude <= options.min_magnitude || magnitude == 0.0) continue;
       magnitude_sum += magnitude;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <span>
 
 #include "common/error.hpp"
 
@@ -129,17 +131,35 @@ ViewData compute_view(const ViewState& state) {
   }
 
   // --- per-pane aggregates ---------------------------------------------------
+  // Bulk passes over the store (docs/STORAGE.md): dense walks the
+  // contiguous cell array, sparse visits only the non-zeros — both in
+  // ascending (m, c, t) order, so the sums are bit-identical to a
+  // per-cell loop.
+  const std::size_t plane = C * T;
   std::vector<Severity> metric_excl(M, 0.0);
   std::vector<Severity> call_excl(C, 0.0);  // selected metric, per cnode
-  for (MetricIndex m = 0; m < M; ++m) {
-    for (CnodeIndex c = 0; c < C; ++c) {
-      for (ThreadIndex t = 0; t < T; ++t) {
-        const Severity v = sev.get(m, c, t);
-        if (v == 0.0) continue;
-        metric_excl[m] += v;
-        if (metric_mask[m]) call_excl[c] += v;
+  if (sev.kind() == StorageKind::Dense) {
+    const std::span<const Severity> cells =
+        static_cast<const DenseSeverity&>(sev).cells();
+    std::size_t i = 0;
+    for (MetricIndex m = 0; m < M; ++m) {
+      const bool masked = metric_mask[m] != 0;
+      for (CnodeIndex c = 0; c < C; ++c) {
+        for (ThreadIndex t = 0; t < T; ++t, ++i) {
+          const Severity v = cells[i];
+          if (v == 0.0) continue;
+          metric_excl[m] += v;
+          if (masked) call_excl[c] += v;
+        }
       }
     }
+  } else {
+    static_cast<const SparseSeverity&>(sev).for_each_nonzero(
+        0, sev.num_cells(), [&](std::uint64_t key, Severity v) {
+          const MetricIndex m = key / plane;
+          metric_excl[m] += v;
+          if (metric_mask[m]) call_excl[(key % plane) / T] += v;
+        });
   }
 
   // Selected call set.  In the flat-profile view the selection denotes a
@@ -157,14 +177,27 @@ ViewData compute_view(const ViewState& state) {
   }
 
   std::vector<Severity> sys_thread(T, 0.0);
-  for (MetricIndex m = 0; m < M; ++m) {
-    if (!metric_mask[m]) continue;
-    for (CnodeIndex c = 0; c < C; ++c) {
-      if (!cnode_mask[c]) continue;
-      for (ThreadIndex t = 0; t < T; ++t) {
-        sys_thread[t] += sev.get(m, c, t);
+  if (sev.kind() == StorageKind::Dense) {
+    const auto& dense = static_cast<const DenseSeverity&>(sev);
+    for (MetricIndex m = 0; m < M; ++m) {
+      if (!metric_mask[m]) continue;
+      for (CnodeIndex c = 0; c < C; ++c) {
+        if (!cnode_mask[c]) continue;
+        const std::size_t row = (m * C + c) * T;
+        const std::span<const Severity> values = dense.cells(row, row + T);
+        for (ThreadIndex t = 0; t < T; ++t) {
+          sys_thread[t] += values[t];
+        }
       }
     }
+  } else {
+    static_cast<const SparseSeverity&>(sev).for_each_nonzero(
+        0, sev.num_cells(), [&](std::uint64_t key, Severity v) {
+          if (!metric_mask[key / plane]) return;
+          const std::size_t rest = key % plane;
+          if (!cnode_mask[rest / T]) return;
+          sys_thread[rest % T] += v;
+        });
   }
 
   // --- reference value ---------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "model/severity.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/error.hpp"
@@ -103,6 +104,19 @@ std::size_t SparseSeverity::memory_bytes() const {
   return values_.bucket_count() * sizeof(void*) +
          values_.size() *
              (sizeof(std::uint64_t) + sizeof(Severity) + 2 * sizeof(void*));
+}
+
+void SparseSeverity::scatter_into(std::span<Severity> cells) const {
+  for (const auto& [k, v] : values_) cells[k] = v;
+}
+
+std::vector<std::pair<std::uint64_t, Severity>> SparseSeverity::sorted_cells()
+    const {
+  std::vector<std::pair<std::uint64_t, Severity>> cells(values_.begin(),
+                                                        values_.end());
+  std::sort(cells.begin(), cells.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return cells;
 }
 
 std::unique_ptr<SeverityStore> SparseSeverity::clone() const {

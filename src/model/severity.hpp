@@ -9,12 +9,23 @@
 //                     typically sparse along the (metric x call path) plane
 //                     (a communication metric is zero in compute regions).
 //
+// Besides the virtual per-cell interface, each concrete store exposes a
+// NON-VIRTUAL bulk access path (docs/STORAGE.md): DenseSeverity hands out
+// contiguous spans over the flattened row-major [metric][cnode][thread]
+// cell space, SparseSeverity offers ordered non-zero visitation over
+// flattened cell ranges.  Operators and display aggregation are built on
+// these, so dense combines become flat vectorizable loops and sparse
+// operands cost O(nnz) instead of O(M*C*T).
+//
 // bench/bench_storage quantifies the trade-off (ablation A3 in DESIGN.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -34,6 +45,15 @@ class SeverityStore {
   [[nodiscard]] std::size_t num_metrics() const noexcept { return metrics_; }
   [[nodiscard]] std::size_t num_cnodes() const noexcept { return cnodes_; }
   [[nodiscard]] std::size_t num_threads() const noexcept { return threads_; }
+
+  /// Cells per metric row of the flattened cell space.
+  [[nodiscard]] std::size_t plane_size() const noexcept {
+    return cnodes_ * threads_;
+  }
+  /// Total number of cells (metrics * cnodes * threads).
+  [[nodiscard]] std::size_t num_cells() const noexcept {
+    return metrics_ * plane_size();
+  }
 
   [[nodiscard]] virtual Severity get(MetricIndex m, CnodeIndex c,
                                      ThreadIndex t) const = 0;
@@ -72,6 +92,27 @@ class DenseSeverity final : public SeverityStore {
   }
   [[nodiscard]] std::unique_ptr<SeverityStore> clone() const override;
 
+  // --- non-virtual bulk access (docs/STORAGE.md) ---------------------------
+  // The backing array is row-major [metric][cnode][thread]; flattened cell
+  // index = (m * cnodes + c) * threads + t.
+
+  /// The whole cell space as one contiguous read-only span.
+  [[nodiscard]] std::span<const Severity> cells() const noexcept {
+    return values_;
+  }
+  /// Read-only view of the flattened cell range [lo, hi).
+  [[nodiscard]] std::span<const Severity> cells(std::size_t lo,
+                                                std::size_t hi) const noexcept {
+    return std::span<const Severity>(values_).subspan(lo, hi - lo);
+  }
+  /// Mutable view of the flattened cell range [lo, hi).  Disjoint ranges
+  /// may be written concurrently; that is what makes dense results safe
+  /// for chunk-parallel operator kernels.
+  [[nodiscard]] std::span<Severity> cells_mut(std::size_t lo,
+                                              std::size_t hi) noexcept {
+    return std::span<Severity>(values_).subspan(lo, hi - lo);
+  }
+
  private:
   [[nodiscard]] std::size_t offset(MetricIndex m, CnodeIndex c,
                                    ThreadIndex t) const noexcept {
@@ -96,6 +137,40 @@ class SparseSeverity final : public SeverityStore {
     return StorageKind::Sparse;
   }
   [[nodiscard]] std::unique_ptr<SeverityStore> clone() const override;
+
+  // --- non-virtual bulk access (docs/STORAGE.md) ---------------------------
+  // Flattened cell keys use the same row-major layout as DenseSeverity:
+  // key = (m * cnodes + c) * threads + t.  Visitation is ALWAYS in
+  // ascending key order — i.e. the exact order a per-cell (m, c, t) triple
+  // loop touches the non-zero cells — so severity reductions built on it
+  // are bit-identical to the per-cell reference path.
+
+  /// Sorted snapshot of all (flattened key, value) entries, ascending by
+  /// key.  O(nnz log nnz); operator kernels take one snapshot per operand
+  /// and binary-search it per chunk instead of re-scanning the hash map.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Severity>> sorted_cells()
+      const;
+
+  /// Writes every non-zero value into cells[key]; cells must span the full
+  /// flattened cell space.  Unlike the ordered visitors this is one
+  /// unordered hash-map pass — distinct keys write distinct slots, so no
+  /// order is observable.  O(nnz) with no sort: the way to materialize a
+  /// near-dense operand (see densify threshold in the operator kernels).
+  void scatter_into(std::span<Severity> cells) const;
+
+  /// Calls fn(flattened_key, value) for every non-zero cell with key in
+  /// [lo, hi), ascending by key.  One hash-map scan + sort of the hits;
+  /// use sorted_cells() when visiting many ranges of the same store.
+  template <typename Fn>
+  void for_each_nonzero(std::uint64_t lo, std::uint64_t hi, Fn&& fn) const {
+    std::vector<std::pair<std::uint64_t, Severity>> hits;
+    for (const auto& [k, v] : values_) {
+      if (k >= lo && k < hi) hits.emplace_back(k, v);
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [k, v] : hits) fn(k, v);
+  }
 
  private:
   [[nodiscard]] std::uint64_t key(MetricIndex m, CnodeIndex c,

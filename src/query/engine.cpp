@@ -132,6 +132,8 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
   // --- execute ------------------------------------------------------------
   const auto t_exec = Clock::now();
   OperatorOptions op_options = options_.operators;
+  KernelStats kernel_stats;
+  op_options.kernel_stats = &kernel_stats;
   if (pool_) {
     ThreadPool* pool = pool_.get();
     op_options.parallel_for =
@@ -286,6 +288,12 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
 
   stats.exec_ms = ms_since(t_exec);
   stats.total_ms = ms_since(t_total);
+  stats.kernel_identity_dense_cells = kernel_stats.identity_dense_cells;
+  stats.kernel_remap_dense_cells = kernel_stats.remap_dense_cells;
+  stats.kernel_identity_sparse_nnz = kernel_stats.identity_sparse_nnz;
+  stats.kernel_remap_sparse_nnz = kernel_stats.remap_sparse_nnz;
+  stats.kernel_chunks = kernel_stats.chunks;
+  stats.kernel_applications = kernel_stats.applications;
 
   std::shared_ptr<Experiment> root = std::move(results[plan.root]);
   results.clear();

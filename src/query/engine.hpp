@@ -53,6 +53,16 @@ struct QueryStats {
   std::size_t cache_misses = 0;    ///< cacheable nodes that were computed
   std::uintmax_t bytes_loaded = 0; ///< file bytes read (operands + hits)
   std::size_t threads_used = 1;
+  // Bulk severity-kernel path counters summed over all operator
+  // applications of the run (see cube::KernelStats / docs/STORAGE.md):
+  // which kernel fired (identity vs remap x dense vs sparse operand) and
+  // how much data it touched (cells vs non-zeros).
+  std::uint64_t kernel_identity_dense_cells = 0;
+  std::uint64_t kernel_remap_dense_cells = 0;
+  std::uint64_t kernel_identity_sparse_nnz = 0;
+  std::uint64_t kernel_remap_sparse_nnz = 0;
+  std::uint64_t kernel_chunks = 0;        ///< cell chunks executed
+  std::uint64_t kernel_applications = 0;  ///< ops through the bulk path
   // Wall time per stage.  plan/exec/total are end-to-end; load/eval are
   // summed across concurrent tasks (they can exceed exec_ms).
   double plan_ms = 0.0;

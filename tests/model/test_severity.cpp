@@ -1,5 +1,9 @@
 #include "model/severity.hpp"
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -127,6 +131,69 @@ TEST(SeverityStorage, KindsReportedCorrectly) {
             StorageKind::Dense);
   EXPECT_EQ(make_severity_store(StorageKind::Sparse, 1, 1, 1)->kind(),
             StorageKind::Sparse);
+}
+
+// --- bulk access layer (docs/STORAGE.md) -----------------------------------
+
+TEST(DenseBulkAccess, CellsFollowRowMajorLayout) {
+  DenseSeverity s(2, 3, 4);
+  EXPECT_EQ(s.plane_size(), 12u);
+  EXPECT_EQ(s.num_cells(), 24u);
+  s.set(1, 2, 3, 7.5);
+  const std::span<const Severity> cells = s.cells();
+  ASSERT_EQ(cells.size(), 24u);
+  EXPECT_EQ(cells[(1 * 3 + 2) * 4 + 3], 7.5);
+}
+
+TEST(DenseBulkAccess, MutableRangeWritesThrough) {
+  DenseSeverity s(2, 2, 2);
+  const std::span<Severity> range = s.cells_mut(4, 8);  // metric row 1
+  ASSERT_EQ(range.size(), 4u);
+  range[1] = 3.25;  // cell 5 = (m=1, c=0, t=1)
+  EXPECT_EQ(s.get(1, 0, 1), 3.25);
+  const std::span<const Severity> view = s.cells(4, 6);
+  EXPECT_EQ(view[1], 3.25);
+}
+
+TEST(SparseBulkAccess, SortedCellsAscendingByFlattenedKey) {
+  SparseSeverity s(2, 3, 4);
+  s.set(1, 2, 3, 1.0);
+  s.set(0, 0, 1, 2.0);
+  s.set(1, 0, 0, 3.0);
+  const auto cells = s.sorted_cells();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].first, 1u);  // (0,0,1)
+  EXPECT_EQ(cells[0].second, 2.0);
+  EXPECT_EQ(cells[1].first, 12u);  // (1,0,0)
+  EXPECT_EQ(cells[1].second, 3.0);
+  EXPECT_EQ(cells[2].first, 23u);  // (1,2,3)
+  EXPECT_EQ(cells[2].second, 1.0);
+}
+
+TEST(SparseBulkAccess, ForEachNonzeroVisitsRangeInOrder) {
+  SparseSeverity s(2, 3, 4);
+  s.set(0, 0, 1, 2.0);
+  s.set(1, 0, 0, 3.0);
+  s.set(1, 2, 3, 1.0);
+  std::vector<std::uint64_t> keys;
+  s.for_each_nonzero(1, 23, [&](std::uint64_t k, Severity v) {
+    keys.push_back(k);
+    EXPECT_NE(v, 0.0);
+  });
+  ASSERT_EQ(keys.size(), 2u);  // key 23 excluded (half-open range)
+  EXPECT_EQ(keys[0], 1u);
+  EXPECT_EQ(keys[1], 12u);
+}
+
+TEST(SparseBulkAccess, ErasedEntriesNeverVisited) {
+  SparseSeverity s(1, 2, 2);
+  s.set(0, 0, 0, 5.0);
+  s.add(0, 0, 0, -5.0);  // exact cancellation erases the entry
+  EXPECT_TRUE(s.sorted_cells().empty());
+  std::size_t visited = 0;
+  s.for_each_nonzero(0, s.num_cells(),
+                     [&](std::uint64_t, Severity) { ++visited; });
+  EXPECT_EQ(visited, 0u);
 }
 
 }  // namespace
