@@ -172,6 +172,58 @@ BENCHMARK(BM_MeanIdentityDense)
     ->Args({1024, 1})
     ->Args({1024, 0});
 
+// --- Ablation A11: shared-metadata fast path vs structural merge ----------
+
+/// Digest-equal operands (repeated runs of one binary).  With sharing on
+/// (the default) integration compares one u64 per operand and reuses the
+/// first operand's instance; forced off, it re-merges all three forests
+/// per call.  The severity pass is identical in both, so the delta IS the
+/// integration cost the digest removes.
+void BM_DifferenceMetadataPath(benchmark::State& state) {
+  Shape s = shape_for(state.range(0));
+  const cube::Experiment a = make_experiment(s);
+  s.seed = 2;
+  const cube::Experiment b = make_experiment(s);
+  cube::OperatorOptions opts;
+  opts.integration.reuse_identical_metadata = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cube::difference(a, b, opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * state.range(0) * 8 * 16);
+}
+BENCHMARK(BM_DifferenceMetadataPath)
+    ->ArgNames({"cnodes", "shared"})
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Args({1024, 1})
+    ->Args({1024, 0});
+
+void BM_MeanMetadataPath(benchmark::State& state) {
+  Shape s = shape_for(state.range(0));
+  std::vector<cube::Experiment> operands;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    s.seed = i + 1;
+    operands.push_back(make_experiment(s));
+  }
+  std::vector<const cube::Experiment*> ptrs;
+  for (const auto& e : operands) ptrs.push_back(&e);
+  cube::OperatorOptions opts;
+  opts.integration.reuse_identical_metadata = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cube::mean(std::span<const cube::Experiment* const>(ptrs), opts));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 8 * 16 * 8);
+}
+BENCHMARK(BM_MeanMetadataPath)
+    ->ArgNames({"cnodes", "shared"})
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Args({1024, 1})
+    ->Args({1024, 0});
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -10,6 +10,7 @@
 #include <filesystem>
 
 #include "bench_util.hpp"
+#include "io/binary_format.hpp"
 #include "io/repository.hpp"
 #include "query/engine.hpp"
 
@@ -78,6 +79,49 @@ void BM_QueryThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
     benchmark::kMillisecond);
+
+// --- Ablation A11: series load, metadata by reference vs inline -----------
+
+// The same 16-run series stored as legacy inline-metadata files: every
+// load re-parses the full metadata.  The by-ref repository parses the one
+// blob once and every further load of the digest hits the interner.
+const std::filesystem::path& inline_dir() {
+  static const std::filesystem::path dir = [] {
+    const std::filesystem::path d =
+        std::filesystem::temp_directory_path() / "cube_bench_query_inline";
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    Shape s;
+    s.cnodes = 256;
+    for (int i = 0; i < 16; ++i) {
+      s.seed = static_cast<std::uint64_t>(i) + 1;
+      const cube::Experiment e = make_experiment(s);
+      cube::write_cube_binary_file(
+          e, (d / ("run-" + std::to_string(i) + ".cubx")).string());
+    }
+    return d;
+  }();
+  return dir;
+}
+
+void BM_SeriesLoadInline(benchmark::State& state) {
+  const std::filesystem::path& dir = inline_dir();
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      benchmark::DoNotOptimize(cube::read_cube_binary_file(
+          (dir / ("run-" + std::to_string(i) + ".cubx")).string()));
+    }
+  }
+}
+BENCHMARK(BM_SeriesLoadInline)->Unit(benchmark::kMillisecond);
+
+void BM_SeriesLoadByRef(benchmark::State& state) {
+  cube::ExperimentRepository repo(repo_dir());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.load_all(repo.entries()));
+  }
+}
+BENCHMARK(BM_SeriesLoadByRef)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
   cube::ExperimentRepository repo(dir);
   std::cout << "repository: " << repo.directory().string() << "\n\n";
 
-  // Measurement campaign: 3 repetitions per configuration.
-  for (std::uint64_t i = 0; i < 3; ++i) {
+  // Measurement campaign: 4 repetitions per configuration.
+  for (std::uint64_t i = 0; i < 4; ++i) {
     repo.store(measure(true, 100 + i));
     repo.store(measure(false, 200 + i));
   }

@@ -21,6 +21,11 @@
 int main() {
   constexpr int kRepetitions = 6;
 
+  // The repetitions differ only in measurement noise, so their metadata is
+  // structurally identical; the interner lets all six experiments share a
+  // single frozen instance, and the operators below take their
+  // shared-metadata fast path.
+  cube::MetadataInterner interner;
   std::vector<cube::Experiment> runs;
   std::cout << "=== repeated noisy runs of a balanced kernel ===\n";
   for (int i = 0; i < kRepetitions; ++i) {
@@ -37,8 +42,11 @@ int main() {
         regions,
         cube::sim::build_noisy_compute(regions, cfg.cluster, 20, 5e-3));
     runs.push_back(cube::expert::analyze_trace(
-        run.trace, {.experiment_name = "run" + std::to_string(i + 1)}));
+        run.trace, {.experiment_name = "run" + std::to_string(i + 1),
+                    .interner = &interner}));
   }
+  std::cout << "  " << kRepetitions << " runs share "
+            << interner.size() << " metadata instance(s)\n";
 
   const cube::Metric& time =
       *runs[0].metadata().find_metric(cube::expert::kTime);

@@ -246,6 +246,66 @@ void integrate_system(std::span<const Experiment* const> operands,
   }
 }
 
+// Whether any sibling group of the cnode forest holds two nodes that are
+// EQUAL under the integration relation (same callee, and same file if it
+// matters).  Such siblings would be merged into one output cnode by the
+// structural path even when all operands are identical, so the digest
+// short-circuit must not fire for them.  Metrics and threads cannot
+// collide this way (unique names / unique (rank, tid) are enforced on
+// construction).
+bool has_mergeable_cnode_siblings(const Metadata& md,
+                                  const IntegrationOptions& options) {
+  const auto equal = [&options](const Cnode& a, const Cnode& b) {
+    if (a.callee().name() != b.callee().name() ||
+        a.callee().module() != b.callee().module()) {
+      return false;
+    }
+    return !options.callsite_file_matters ||
+           a.callsite().file() == b.callsite().file();
+  };
+  const auto group_collides = [&equal](const std::vector<const Cnode*>& g) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      for (std::size_t j = i + 1; j < g.size(); ++j) {
+        if (equal(*g[i], *g[j])) return true;
+      }
+    }
+    return false;
+  };
+  if (group_collides(md.cnode_roots())) return true;
+  for (const auto& c : md.cnodes()) {
+    if (group_collides(c->children())) return true;
+  }
+  return false;
+}
+
+// The digest short-circuit is only semantics-preserving when the structural
+// merge of the identical operands would reproduce the first operand's
+// metadata with identity mappings.
+bool can_share_metadata(std::span<const Experiment* const> operands,
+                        const IntegrationOptions& options) {
+  if (!options.reuse_identical_metadata) return false;
+  // Collapse rebuilds the machine/node level even for one operand.
+  if (options.system_policy == SystemMergePolicy::Collapse) return false;
+  const std::uint64_t digest = operands[0]->metadata().digest();
+  for (std::size_t op = 1; op < operands.size(); ++op) {
+    // Pointer equality is the fast path (series over one shared instance);
+    // digest equality catches structurally identical separate instances.
+    if (&operands[op]->metadata() != &operands[0]->metadata() &&
+        operands[op]->metadata().digest() != digest) {
+      return false;
+    }
+  }
+  const Metadata& md = operands[0]->metadata();
+  // Without keep_topology the structural path drops coordinates; sharing
+  // would keep them.
+  if (!options.keep_topology) {
+    for (const auto& p : md.processes()) {
+      if (p->coords().has_value()) return false;
+    }
+  }
+  return !has_mergeable_cnode_siblings(md, options);
+}
+
 }  // namespace
 
 IntegrationResult integrate_metadata(std::span<const Experiment* const>
@@ -259,8 +319,37 @@ IntegrationResult integrate_metadata(std::span<const Experiment* const>
   }
 
   IntegrationResult result;
-  result.metadata = std::make_unique<Metadata>();
   result.mappings.resize(operands.size());
+
+  if (can_share_metadata(operands, options)) {
+    // All operands are structurally identical: share the first operand's
+    // metadata instance and make every mapping the identity.  The maps are
+    // still materialized (map[i] == i) because the reference per-cell
+    // operator path indexes them directly.
+    result.metadata = operands[0]->metadata_ptr();
+    result.shared_metadata = true;
+    for (OperandMapping& mp : result.mappings) {
+      const Metadata& md = *result.metadata;
+      mp.metric_map.resize(md.num_metrics());
+      mp.cnode_map.resize(md.num_cnodes());
+      mp.thread_map.resize(md.num_threads());
+      for (std::size_t i = 0; i < mp.metric_map.size(); ++i) {
+        mp.metric_map[i] = static_cast<MetricIndex>(i);
+      }
+      for (std::size_t i = 0; i < mp.cnode_map.size(); ++i) {
+        mp.cnode_map[i] = static_cast<CnodeIndex>(i);
+      }
+      for (std::size_t i = 0; i < mp.thread_map.size(); ++i) {
+        mp.thread_map[i] = static_cast<ThreadIndex>(i);
+      }
+      mp.metric_identity = true;
+      mp.cnode_identity = true;
+      mp.thread_identity = true;
+    }
+    return result;
+  }
+
+  auto merged = std::make_unique<Metadata>();
   for (std::size_t op = 0; op < operands.size(); ++op) {
     const Metadata& md = operands[op]->metadata();
     result.mappings[op].metric_map.resize(md.num_metrics(), kNoIndex);
@@ -268,11 +357,12 @@ IntegrationResult integrate_metadata(std::span<const Experiment* const>
     result.mappings[op].thread_map.resize(md.num_threads(), kNoIndex);
   }
 
-  integrate_metrics(operands, *result.metadata, result.mappings);
-  integrate_regions(operands, *result.metadata);
-  integrate_cnodes(operands, options, *result.metadata, result.mappings);
-  integrate_system(operands, options, *result.metadata, result.mappings,
+  integrate_metrics(operands, *merged, result.mappings);
+  integrate_regions(operands, *merged);
+  integrate_cnodes(operands, options, *merged, result.mappings);
+  integrate_system(operands, options, *merged, result.mappings,
                    result.system_collapsed);
+  result.metadata = freeze_metadata(std::move(merged));
 
   // Flag identity mappings per operand and dimension: the operand spans the
   // whole integrated dimension and every index maps onto itself.  Operator

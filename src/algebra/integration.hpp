@@ -50,6 +50,11 @@ struct IntegrationOptions {
   /// If true, preserve per-process Cartesian topology coordinates when all
   /// operands defining a rank agree on them (extension, paper §7).
   bool keep_topology = true;
+  /// If true (default), operands whose metadata digests all agree skip the
+  /// structural merge entirely: the result SHARES the first operand's
+  /// metadata instance and all mappings are the identity.  Disable to force
+  /// the structural path (oracle comparison, benchmarking).
+  bool reuse_identical_metadata = true;
 };
 
 /// Index remapping of one operand into the integrated metadata.
@@ -77,10 +82,15 @@ struct OperandMapping {
 
 /// Integrated metadata plus the per-operand remappings.
 struct IntegrationResult {
-  std::unique_ptr<Metadata> metadata;
+  /// Frozen, shareable integrated metadata.  When `shared_metadata` is true
+  /// this IS the first operand's instance (pointer-equal), not a copy.
+  std::shared_ptr<const Metadata> metadata;
   std::vector<OperandMapping> mappings;
   /// True if the system dimension was collapsed to a virtual machine/node.
   bool system_collapsed = false;
+  /// True if the digest short-circuit fired: no structural merge ran and
+  /// `metadata` is shared with the operands.
+  bool shared_metadata = false;
 };
 
 /// Integrates the metadata of all operands.  Operands must be non-empty.

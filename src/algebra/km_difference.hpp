@@ -51,8 +51,8 @@ struct KmOptions {
 /// experiment — there is no severity function over the full space, which
 /// is exactly the non-closure the paper criticizes).
 struct KmResult {
-  std::unique_ptr<Metadata> metadata;  ///< integrated resource space
-  std::vector<Focus> foci;             ///< entities owned by `metadata`
+  std::shared_ptr<const Metadata> metadata;  ///< integrated resource space
+  std::vector<Focus> foci;  ///< entities owned by `metadata`
 };
 
 /// Computes the list of foci with significant discrepancy between two

@@ -152,4 +152,13 @@ bool parse_size(std::string_view s, std::size_t& out) {
   return res.ec == std::errc() && res.ptr == last;
 }
 
+bool parse_hex64(std::string_view s, std::uint64_t& out) {
+  s = trim(s);
+  if (s.empty() || s.size() > 16) return false;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto res = std::from_chars(first, last, out, 16);
+  return res.ec == std::errc() && res.ptr == last;
+}
+
 }  // namespace cube

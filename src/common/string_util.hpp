@@ -1,6 +1,7 @@
 // Small string helpers used across the library (no locale dependence).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,5 +33,9 @@ namespace cube {
 
 /// True if `s` parses fully as an unsigned integer.
 [[nodiscard]] bool parse_size(std::string_view s, std::size_t& out);
+
+/// True if `s` parses fully as a lowercase/uppercase hex integer (no 0x
+/// prefix) fitting 64 bits — the digest rendering of digest_hex().
+[[nodiscard]] bool parse_hex64(std::string_view s, std::uint64_t& out);
 
 }  // namespace cube

@@ -12,24 +12,20 @@ namespace {
 using counters::Event;
 using counters::event_info;
 
-}  // namespace
-
-Experiment profile_run(const sim::RunResult& run, const ConeOptions& options) {
-  const int num_ranks = run.cluster.num_ranks();
+/// Builds the metric/program/system forests one measurement of `run`
+/// describes.  The structure depends only on the run and the options — not
+/// on the jitter seed — so a repetition series shares one instance.
+std::unique_ptr<Metadata> build_metadata(const sim::RunResult& run,
+                                         const ConeOptions& options) {
   const sim::CallProfile& profile = run.profile;
-
   auto md = std::make_unique<Metadata>();
 
   // --- metric forest --------------------------------------------------------
-  const Metric* m_time = nullptr;
-  const Metric* m_visits = nullptr;
   if (options.include_time) {
-    m_time = &md->add_metric(nullptr, kConeTime, "Wall-clock time",
-                             Unit::Seconds,
-                             "Exclusive wall-clock time per call path");
-    m_visits = &md->add_metric(nullptr, kConeVisits, "Visits",
-                               Unit::Occurrences,
-                               "Number of call-path visits");
+    md->add_metric(nullptr, kConeTime, "Wall-clock time", Unit::Seconds,
+                   "Exclusive wall-clock time per call path");
+    md->add_metric(nullptr, kConeVisits, "Visits", Unit::Occurrences,
+                   "Number of call-path visits");
   }
   // Counter metrics mirror the event specialization hierarchy restricted to
   // the measured set: an event whose parent is also measured becomes a
@@ -63,15 +59,14 @@ Experiment profile_run(const sim::RunResult& run, const ConeOptions& options) {
     pending = std::move(still_pending);
   }
 
-  // --- program dimension ------------------------------------------------------
-  std::vector<const Region*> regions;
+  // --- program dimension ----------------------------------------------------
   std::vector<const CallSite*> callsites;
   for (const sim::RegionInfo& r : run.regions.all()) {
     const Region& region =
         md->add_region(r.name, r.file, r.begin_line, r.end_line);
-    regions.push_back(&region);
     callsites.push_back(&md->add_callsite(region, r.file, r.begin_line));
   }
+  // Cnode index i corresponds to profile node i (insertion order).
   std::vector<const Cnode*> cnodes;
   cnodes.reserve(profile.nodes().size());
   for (const sim::ProfileNode& n : profile.nodes()) {
@@ -79,13 +74,22 @@ Experiment profile_run(const sim::RunResult& run, const ConeOptions& options) {
     cnodes.push_back(&md->add_cnode(parent, *callsites[n.region]));
   }
 
-  // --- system dimension ----------------------------------------------------------
-  const std::vector<const Thread*> threads = build_regular_system(
-      *md, run.cluster.machine_name, run.cluster.num_nodes,
-      run.cluster.procs_per_node, options.topology);
+  // --- system dimension -----------------------------------------------------
+  build_regular_system(*md, run.cluster.machine_name, run.cluster.num_nodes,
+                       run.cluster.procs_per_node, options.topology);
 
   md->validate();
-  Experiment experiment(std::move(md), options.storage);
+  return md;
+}
+
+/// Synthesizes one repetition's severities into `experiment` (whose
+/// metadata came from build_metadata over the same run and options).
+void fill_experiment(Experiment& experiment, const sim::RunResult& run,
+                     const ConeOptions& options, std::uint64_t run_seed) {
+  const int num_ranks = run.cluster.num_ranks();
+  const sim::CallProfile& profile = run.profile;
+  const Metadata& meta = experiment.metadata();
+
   experiment.set_name(options.experiment_name);
   experiment.set_attribute("cube::tool", "CONE (simulated)");
   {
@@ -97,24 +101,35 @@ Experiment profile_run(const sim::RunResult& run, const ConeOptions& options) {
     experiment.set_attribute("cone::event_set", events);
   }
 
+  // Entities by position: the builder added cnodes in profile-node order
+  // and threads in rank order, so indices line up even when the metadata
+  // instance is a shared one from an earlier repetition.
+  const Metric* m_time =
+      options.include_time ? meta.find_metric(kConeTime) : nullptr;
+  const Metric* m_visits =
+      options.include_time ? meta.find_metric(kConeVisits) : nullptr;
+  std::map<Event, const Metric*> counter_metric;
+  for (const Event e : options.event_set.events()) {
+    counter_metric[e] = meta.find_metric(event_info(e).name);
+  }
+
   const counters::JitteredCounterModel model(counters::CounterModel{},
-                                             options.run_seed,
-                                             options.jitter_sigma);
+                                             run_seed, options.jitter_sigma);
 
   for (std::size_t node = 0; node < profile.nodes().size(); ++node) {
+    const Cnode& cnode = *meta.cnodes()[node];
     for (int rank = 0; rank < num_ranks; ++rank) {
+      const Thread& thread = *meta.threads()[static_cast<std::size_t>(rank)];
       const counters::Workload& w = profile.work(node, rank);
       if (m_time != nullptr) {
         const double t = profile.time(node, rank);
         if (t != 0.0) {
-          experiment.set(*m_time, *cnodes[node],
-                         *threads[static_cast<std::size_t>(rank)], t);
+          experiment.set(*m_time, cnode, thread, t);
         }
         const double visits =
             static_cast<double>(profile.visits(node, rank));
         if (visits != 0.0) {
-          experiment.set(*m_visits, *cnodes[node],
-                         *threads[static_cast<std::size_t>(rank)], visits);
+          experiment.set(*m_visits, cnode, thread, visits);
         }
       }
       // Severities are exclusive along the metric tree: a parent event's
@@ -130,13 +145,43 @@ Experiment profile_run(const sim::RunResult& run, const ConeOptions& options) {
           }
         }
         if (v != 0.0) {
-          experiment.set(*metric, *cnodes[node],
-                         *threads[static_cast<std::size_t>(rank)], v);
+          experiment.set(*metric, cnode, thread, v);
         }
       }
     }
   }
+}
+
+}  // namespace
+
+Experiment profile_run(const sim::RunResult& run, const ConeOptions& options) {
+  Experiment experiment(build_metadata(run, options), options.storage);
+  fill_experiment(experiment, run, options, options.run_seed);
   return experiment;
+}
+
+std::vector<Experiment> profile_series(
+    const sim::RunResult& run, const std::vector<std::uint64_t>& run_seeds,
+    const ConeOptions& options) {
+  // One frozen metadata for the whole series: every repetition differs
+  // only in its jitter stream, so the digest-equal operands feed straight
+  // into the operators' shared-metadata fast path, and storing the series
+  // writes a single blob.
+  const std::shared_ptr<const Metadata> metadata =
+      freeze_metadata(build_metadata(run, options));
+  std::vector<Experiment> series;
+  series.reserve(run_seeds.size());
+  for (std::size_t i = 0; i < run_seeds.size(); ++i) {
+    Experiment experiment(metadata, options.storage);
+    fill_experiment(experiment, run, options, run_seeds[i]);
+    experiment.set_name(options.experiment_name + "-r" +
+                        std::to_string(i + 1));
+    experiment.set_attribute("cone::run_seed",
+                             std::to_string(run_seeds[i]));
+    experiment.set_attribute("cone::series", options.experiment_name);
+    series.push_back(std::move(experiment));
+  }
+  return series;
 }
 
 }  // namespace cube::cone

@@ -46,4 +46,15 @@ inline constexpr const char* kConeVisits = "cone_visits";
 [[nodiscard]] Experiment profile_run(const sim::RunResult& run,
                                      const ConeOptions& options = {});
 
+/// Profiles one run repeatedly, once per jitter seed, as a repetition
+/// series for mean/stddev.  All experiments share ONE frozen metadata
+/// instance (same structure, different measurement noise), so operators
+/// take their shared-metadata fast path and a repository stores the
+/// series' metadata blob exactly once.  Experiments are named
+/// `<experiment_name>-r<k>` and carry `cone::series` / `cone::run_seed`
+/// attributes for attribute selectors.
+[[nodiscard]] std::vector<Experiment> profile_series(
+    const sim::RunResult& run, const std::vector<std::uint64_t>& run_seeds,
+    const ConeOptions& options = {});
+
 }  // namespace cube::cone

@@ -371,21 +371,43 @@ Experiment analyze_trace(const sim::Trace& trace,
   }
 
   // Call tree: nodes were created parents-first, so one pass suffices.
-  std::vector<const Cnode*> cnodes;
-  cnodes.reserve(nodes.size());
-  for (const CallNode& n : nodes) {
-    const Cnode* parent = n.parent == kNoIndex ? nullptr : cnodes[n.parent];
-    cnodes.push_back(&md->add_cnode(parent, *callsites[n.region]));
+  // Cnode index i corresponds to call node i (insertion order).
+  {
+    std::vector<const Cnode*> built;
+    built.reserve(nodes.size());
+    for (const CallNode& n : nodes) {
+      const Cnode* parent = n.parent == kNoIndex ? nullptr : built[n.parent];
+      built.push_back(&md->add_cnode(parent, *callsites[n.region]));
+    }
   }
 
-  const std::vector<const Thread*> threads = build_regular_system(
-      *md, trace.cluster.machine_name, trace.cluster.num_nodes,
-      trace.cluster.procs_per_node, options.topology, threads_per_proc);
+  build_regular_system(*md, trace.cluster.machine_name,
+                       trace.cluster.num_nodes, trace.cluster.procs_per_node,
+                       options.topology, threads_per_proc);
 
   md->validate();
-  Experiment experiment(std::move(md), options.storage);
+  std::shared_ptr<const Metadata> shared = freeze_metadata(std::move(md));
+  if (options.interner != nullptr) {
+    // A structurally identical earlier analysis wins: this copy is dropped
+    // and the experiment shares the pooled instance.
+    shared = options.interner->intern(std::move(shared));
+  }
+  Experiment experiment(std::move(shared), options.storage);
   experiment.set_name(options.experiment_name);
   experiment.set_attribute("cube::tool", "EXPERT (simulated)");
+
+  // Re-derive entity pointers from the experiment's (possibly pooled)
+  // metadata instance: positions match the build order above.
+  std::vector<const Cnode*> cnodes;
+  cnodes.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    cnodes.push_back(experiment.metadata().cnodes()[i].get());
+  }
+  std::vector<const Thread*> threads;
+  threads.reserve(experiment.metadata().threads().size());
+  for (const auto& t : experiment.metadata().threads()) {
+    threads.push_back(t.get());
+  }
 
   const Metadata& meta = experiment.metadata();
   const auto metric = [&meta](std::string_view uniq) -> const Metric& {

@@ -26,6 +26,11 @@ struct AnalyzerOptions {
   StorageKind storage = StorageKind::Dense;
   /// Optional per-rank Cartesian coordinates for the topology extension.
   std::vector<std::vector<long>> topology;
+  /// Optional interner: analyses of structurally identical traces (e.g. a
+  /// repetition series under different noise seeds) then share one frozen
+  /// metadata instance instead of carrying one copy each.  Must outlive
+  /// the call; the returned experiment only keeps a shared_ptr.
+  MetadataInterner* interner = nullptr;
 };
 
 /// Analyzes `trace` and returns the experiment.  Throws OperationError on

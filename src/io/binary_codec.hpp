@@ -1,0 +1,58 @@
+// Internal little-endian codec shared by the binary experiment format
+// (CUBEBIN1/CUBEBIN2) and the metadata blob format (CUBEMET1).
+//
+// Not part of the public io API — the public entry points live in
+// binary_format.hpp and meta_format.hpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "model/metadata.hpp"
+
+namespace cube::detail {
+
+class BinaryEncoder {
+ public:
+  explicit BinaryEncoder(std::ostream& out) : out_(out) {}
+
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+
+ private:
+  std::ostream& out_;
+};
+
+class BinaryDecoder {
+ public:
+  explicit BinaryDecoder(std::string_view data) : data_(data) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes the metadata sections (metrics, regions, call sites, cnodes,
+/// machines, nodes, processes, threads) in the fixed CUBEBIN1 order.
+void encode_metadata(BinaryEncoder& e, const Metadata& md);
+
+/// Reads the metadata sections back; the returned metadata is validated
+/// but NOT frozen (callers freeze or hand it to Experiment).
+[[nodiscard]] std::unique_ptr<Metadata> decode_metadata(BinaryDecoder& d);
+
+}  // namespace cube::detail

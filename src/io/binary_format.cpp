@@ -3,173 +3,33 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
+#include "io/binary_codec.hpp"
 
 namespace cube {
 
 namespace {
 
 constexpr char kMagic[8] = {'C', 'U', 'B', 'E', 'B', 'I', 'N', '1'};
+// By-reference variant: metadata is NOT inline; the stream embeds the
+// structural digest of a metadata blob instead (see meta_format.hpp).
+constexpr char kRefMagic[8] = {'C', 'U', 'B', 'E', 'B', 'I', 'N', '2'};
 
-class Encoder {
- public:
-  explicit Encoder(std::ostream& out) : out_(out) {}
-
-  void u32(std::uint32_t v) {
-    char buf[4];
-    for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)));
-    out_.write(buf, 4);
-  }
-  void i64(std::int64_t v) {
-    char buf[8];
-    const auto u = static_cast<std::uint64_t>(v);
-    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((u >> (8 * i)));
-    out_.write(buf, 8);
-  }
-  void f64(double v) {
-    static_assert(sizeof(double) == 8);
-    char buf[8];
-    std::memcpy(buf, &v, 8);
-    out_.write(buf, 8);
-  }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
-  }
-
- private:
-  std::ostream& out_;
-};
-
-class Decoder {
- public:
-  explicit Decoder(std::string_view data) : data_(data) {}
-
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-  std::int64_t i64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return static_cast<std::int64_t>(v);
-  }
-  double f64() {
-    need(8);
-    double v = 0;
-    std::memcpy(&v, data_.data() + pos_, 8);
-    pos_ += 8;
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t len = u32();
-    need(len);
-    std::string s(data_.substr(pos_, len));
-    pos_ += len;
-    return s;
-  }
-  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
-
- private:
-  void need(std::size_t n) const {
-    if (pos_ + n > data_.size()) {
-      throw Error("truncated CUBE binary data");
-    }
-  }
-
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
-void write_cube_binary(const Experiment& experiment, std::ostream& out) {
-  const Metadata& md = experiment.metadata();
-  out.write(kMagic, sizeof kMagic);
-  Encoder e(out);
-
-  e.u32(static_cast<std::uint32_t>(experiment.attributes().size()));
-  for (const auto& [k, v] : experiment.attributes()) {
+void encode_attributes(detail::BinaryEncoder& e, const Experiment& exp) {
+  e.u32(static_cast<std::uint32_t>(exp.attributes().size()));
+  for (const auto& [k, v] : exp.attributes()) {
     e.str(k);
     e.str(v);
   }
+}
 
-  e.u32(static_cast<std::uint32_t>(md.metrics().size()));
-  for (const auto& m : md.metrics()) {
-    e.u32(m->parent() != nullptr
-              ? static_cast<std::uint32_t>(m->parent()->index())
-              : 0xFFFFFFFFu);
-    e.str(m->unique_name());
-    e.str(m->display_name());
-    e.u32(static_cast<std::uint32_t>(m->unit()));
-    e.str(m->description());
-  }
-
-  e.u32(static_cast<std::uint32_t>(md.regions().size()));
-  for (const auto& r : md.regions()) {
-    e.str(r->name());
-    e.str(r->module());
-    e.i64(r->begin_line());
-    e.i64(r->end_line());
-    e.str(r->description());
-  }
-
-  e.u32(static_cast<std::uint32_t>(md.callsites().size()));
-  for (const auto& cs : md.callsites()) {
-    e.u32(static_cast<std::uint32_t>(cs->callee().index()));
-    e.str(cs->file());
-    e.i64(cs->line());
-  }
-
-  e.u32(static_cast<std::uint32_t>(md.cnodes().size()));
-  for (const auto& c : md.cnodes()) {
-    e.u32(c->parent() != nullptr
-              ? static_cast<std::uint32_t>(c->parent()->index())
-              : 0xFFFFFFFFu);
-    e.u32(static_cast<std::uint32_t>(c->callsite().index()));
-  }
-
-  e.u32(static_cast<std::uint32_t>(md.machines().size()));
-  for (const auto& m : md.machines()) e.str(m->name());
-  e.u32(static_cast<std::uint32_t>(md.nodes().size()));
-  for (const auto& n : md.nodes()) {
-    e.u32(static_cast<std::uint32_t>(n->machine().index()));
-    e.str(n->name());
-  }
-  e.u32(static_cast<std::uint32_t>(md.processes().size()));
-  for (const auto& p : md.processes()) {
-    e.u32(static_cast<std::uint32_t>(p->node().index()));
-    e.str(p->name());
-    e.i64(p->rank());
-    const auto& coords = p->coords();
-    e.u32(coords ? static_cast<std::uint32_t>(coords->size()) : 0);
-    if (coords) {
-      for (const long c : *coords) e.i64(c);
-    }
-  }
-  e.u32(static_cast<std::uint32_t>(md.threads().size()));
-  for (const auto& t : md.threads()) {
-    e.u32(static_cast<std::uint32_t>(t->process().index()));
-    e.str(t->name());
-    e.i64(t->thread_id());
-  }
-
-  // Non-zero severity triples.
-  const SeverityStore& sev = experiment.severity();
+void encode_severity(detail::BinaryEncoder& e, const Experiment& exp) {
+  const Metadata& md = exp.metadata();
+  const SeverityStore& sev = exp.severity();
   e.u32(static_cast<std::uint32_t>(sev.nonzero_count()));
   for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
     for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
@@ -186,11 +46,63 @@ void write_cube_binary(const Experiment& experiment, std::ostream& out) {
   }
 }
 
+std::vector<std::pair<std::string, std::string>> decode_attributes(
+    detail::BinaryDecoder& d) {
+  const std::uint32_t num_attrs = d.u32();
+  std::vector<std::pair<std::string, std::string>> attrs;
+  attrs.reserve(num_attrs);
+  for (std::uint32_t i = 0; i < num_attrs; ++i) {
+    std::string k = d.str();
+    std::string v = d.str();
+    attrs.emplace_back(std::move(k), std::move(v));
+  }
+  return attrs;
+}
+
+void decode_severity(detail::BinaryDecoder& d, Experiment& experiment) {
+  const std::uint32_t num_values = d.u32();
+  for (std::uint32_t i = 0; i < num_values; ++i) {
+    const std::uint32_t m = d.u32();
+    const std::uint32_t c = d.u32();
+    const std::uint32_t t = d.u32();
+    const double v = d.f64();
+    experiment.severity().set(m, c, t, v);
+  }
+  if (!d.done()) throw Error("trailing bytes after CUBE binary stream");
+}
+
+}  // namespace
+
+void write_cube_binary(const Experiment& experiment, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  detail::BinaryEncoder e(out);
+  encode_attributes(e, experiment);
+  detail::encode_metadata(e, experiment.metadata());
+  encode_severity(e, experiment);
+}
+
+void write_cube_binary_ref(const Experiment& experiment, std::ostream& out) {
+  out.write(kRefMagic, sizeof kRefMagic);
+  detail::BinaryEncoder e(out);
+  encode_attributes(e, experiment);
+  e.u64(experiment.metadata().digest());
+  encode_severity(e, experiment);
+}
+
 void write_cube_binary_file(const Experiment& experiment,
                             const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw IoError("cannot create file '" + path + "'");
   write_cube_binary(experiment, out);
+  out.flush();
+  if (!out) throw IoError("write to '" + path + "' failed");
+}
+
+void write_cube_binary_ref_file(const Experiment& experiment,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot create file '" + path + "'");
+  write_cube_binary_ref(experiment, out);
   out.flush();
   if (!out) throw IoError("write to '" + path + "' failed");
 }
@@ -201,123 +113,56 @@ std::string to_cube_binary(const Experiment& experiment) {
   return os.str();
 }
 
-Experiment read_cube_binary(std::string_view data, StorageKind storage) {
-  if (data.size() < sizeof kMagic ||
-      std::memcmp(data.data(), kMagic, sizeof kMagic) != 0) {
+std::string to_cube_binary_ref(const Experiment& experiment) {
+  std::ostringstream os(std::ios::binary);
+  write_cube_binary_ref(experiment, os);
+  return os.str();
+}
+
+Experiment read_cube_binary(std::string_view data, StorageKind storage,
+                            const MetadataResolver& resolver) {
+  const bool by_ref = data.size() >= sizeof kRefMagic &&
+                      std::memcmp(data.data(), kRefMagic,
+                                  sizeof kRefMagic) == 0;
+  if (!by_ref && (data.size() < sizeof kMagic ||
+                  std::memcmp(data.data(), kMagic, sizeof kMagic) != 0)) {
     throw Error("not a CUBE binary stream (bad magic)");
   }
-  Decoder d(data.substr(sizeof kMagic));
+  detail::BinaryDecoder d(data.substr(sizeof kMagic));
+  auto attrs = decode_attributes(d);
 
-  const std::uint32_t num_attrs = d.u32();
-  std::vector<std::pair<std::string, std::string>> attrs;
-  attrs.reserve(num_attrs);
-  for (std::uint32_t i = 0; i < num_attrs; ++i) {
-    std::string k = d.str();
-    std::string v = d.str();
-    attrs.emplace_back(std::move(k), std::move(v));
-  }
-
-  auto md = std::make_unique<Metadata>();
-
-  const std::uint32_t num_metrics = d.u32();
-  for (std::uint32_t i = 0; i < num_metrics; ++i) {
-    const std::uint32_t parent = d.u32();
-    std::string uniq = d.str();
-    std::string disp = d.str();
-    const auto unit = static_cast<Unit>(d.u32());
-    std::string descr = d.str();
-    const Metric* parent_ptr =
-        parent == 0xFFFFFFFFu ? nullptr : md->metrics().at(parent).get();
-    md->add_metric(parent_ptr, std::move(uniq), std::move(disp), unit,
-                   std::move(descr));
-  }
-
-  const std::uint32_t num_regions = d.u32();
-  for (std::uint32_t i = 0; i < num_regions; ++i) {
-    std::string name = d.str();
-    std::string mod = d.str();
-    const long begin = static_cast<long>(d.i64());
-    const long end = static_cast<long>(d.i64());
-    std::string descr = d.str();
-    md->add_region(std::move(name), std::move(mod), begin, end,
-                   std::move(descr));
-  }
-
-  const std::uint32_t num_callsites = d.u32();
-  for (std::uint32_t i = 0; i < num_callsites; ++i) {
-    const std::uint32_t callee = d.u32();
-    std::string file = d.str();
-    const long line = static_cast<long>(d.i64());
-    md->add_callsite(*md->regions().at(callee), std::move(file), line);
-  }
-
-  const std::uint32_t num_cnodes = d.u32();
-  for (std::uint32_t i = 0; i < num_cnodes; ++i) {
-    const std::uint32_t parent = d.u32();
-    const std::uint32_t csite = d.u32();
-    const Cnode* parent_ptr =
-        parent == 0xFFFFFFFFu ? nullptr : md->cnodes().at(parent).get();
-    md->add_cnode(parent_ptr, *md->callsites().at(csite));
-  }
-
-  const std::uint32_t num_machines = d.u32();
-  for (std::uint32_t i = 0; i < num_machines; ++i) {
-    md->add_machine(d.str());
-  }
-  const std::uint32_t num_nodes = d.u32();
-  for (std::uint32_t i = 0; i < num_nodes; ++i) {
-    const std::uint32_t machine = d.u32();
-    md->add_node(*md->machines().at(machine), d.str());
-  }
-  const std::uint32_t num_processes = d.u32();
-  for (std::uint32_t i = 0; i < num_processes; ++i) {
-    const std::uint32_t node = d.u32();
-    std::string name = d.str();
-    const long rank = static_cast<long>(d.i64());
-    Process& p = md->add_process(*md->nodes().at(node), std::move(name), rank);
-    const std::uint32_t num_coords = d.u32();
-    if (num_coords > 0) {
-      std::vector<long> coords;
-      coords.reserve(num_coords);
-      for (std::uint32_t k = 0; k < num_coords; ++k) {
-        coords.push_back(static_cast<long>(d.i64()));
+  Experiment experiment = [&]() -> Experiment {
+    if (by_ref) {
+      const std::uint64_t digest = d.u64();
+      if (!resolver) {
+        throw Error(
+            "by-reference CUBE binary stream requires a metadata resolver "
+            "(metadata digest " +
+            digest_hex(digest) + ")");
       }
-      p.set_coords(std::move(coords));
+      auto md = resolver(digest);
+      if (md == nullptr) {
+        throw Error("unresolved metadata digest " + digest_hex(digest));
+      }
+      return Experiment(std::move(md), storage);
     }
-  }
-  const std::uint32_t num_threads = d.u32();
-  for (std::uint32_t i = 0; i < num_threads; ++i) {
-    const std::uint32_t process = d.u32();
-    std::string name = d.str();
-    const long tid = static_cast<long>(d.i64());
-    md->add_thread(*md->processes().at(process), std::move(name), tid);
-  }
+    return Experiment(detail::decode_metadata(d), storage);
+  }();
 
-  md->validate();
-  Experiment experiment(std::move(md), storage);
   for (auto& [k, v] : attrs) {
     experiment.set_attribute(std::move(k), std::move(v));
   }
-
-  const std::uint32_t num_values = d.u32();
-  for (std::uint32_t i = 0; i < num_values; ++i) {
-    const std::uint32_t m = d.u32();
-    const std::uint32_t c = d.u32();
-    const std::uint32_t t = d.u32();
-    const double v = d.f64();
-    experiment.severity().set(m, c, t, v);
-  }
-  if (!d.done()) throw Error("trailing bytes after CUBE binary stream");
+  decode_severity(d, experiment);
   return experiment;
 }
 
-Experiment read_cube_binary_file(const std::string& path,
-                                 StorageKind storage) {
+Experiment read_cube_binary_file(const std::string& path, StorageKind storage,
+                                 const MetadataResolver& resolver) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open file '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return read_cube_binary(buffer.str(), storage);
+  return read_cube_binary(buffer.str(), storage, resolver);
 }
 
 }  // namespace cube

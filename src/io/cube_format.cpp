@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "io/binary_format.hpp"
@@ -15,6 +16,9 @@ namespace cube {
 namespace {
 
 constexpr const char* kFormatVersion = "1.0";
+// Version 1.1 adds the by-reference form: a <metaref digest="..."/>
+// element replaces the inline <metrics>/<program>/<system> sections.
+constexpr const char* kRefFormatVersion = "1.1";
 
 // Severity values are written with enough digits to round-trip doubles.
 std::string severity_to_string(Severity v) {
@@ -66,7 +70,81 @@ std::string coords_to_string(const std::vector<long>& coords) {
   return out;
 }
 
+// Severity ids written here are the dense in-memory indices; in the
+// by-reference form they therefore index the referenced metadata directly.
+void write_severity_section(XmlWriter& w, const Experiment& experiment) {
+  const Metadata& md = experiment.metadata();
+  w.open_element("severity");
+  const SeverityStore& sev = experiment.severity();
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    bool matrix_open = false;
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      bool all_zero = true;
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        if (sev.get(m, c, t) != 0.0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) continue;
+      if (!matrix_open) {
+        w.open_element("matrix");
+        w.attribute("metric", m);
+        matrix_open = true;
+      }
+      w.open_element("row");
+      w.attribute("cnode", c);
+      std::string values;
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        if (t > 0) values += ' ';
+        values += severity_to_string(sev.get(m, c, t));
+      }
+      w.text(values);
+      w.close_element();
+    }
+    if (matrix_open) w.close_element();
+  }
+  w.close_element();
+}
+
+void write_attr_section(XmlWriter& w, const Experiment& experiment) {
+  for (const auto& [key, value] : experiment.attributes()) {
+    w.open_element("attr");
+    w.attribute("key", key);
+    w.attribute("value", value);
+    w.close_element();
+  }
+}
+
 }  // namespace
+
+void write_cube_xml_ref(const Experiment& experiment, std::ostream& out) {
+  XmlWriter w(out);
+  w.declaration();
+  w.open_element("cube");
+  w.attribute("version", std::string_view(kRefFormatVersion));
+  write_attr_section(w, experiment);
+  w.open_element("metaref");
+  w.attribute("digest", digest_hex(experiment.metadata().digest()));
+  w.close_element();
+  write_severity_section(w, experiment);
+  w.finish();
+}
+
+void write_cube_xml_ref_file(const Experiment& experiment,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create file '" + path + "'");
+  write_cube_xml_ref(experiment, out);
+  out.flush();
+  if (!out) throw IoError("write to '" + path + "' failed");
+}
+
+std::string to_cube_xml_ref(const Experiment& experiment) {
+  std::ostringstream os;
+  write_cube_xml_ref(experiment, os);
+  return os.str();
+}
 
 void write_cube_xml(const Experiment& experiment, std::ostream& out) {
   const Metadata& md = experiment.metadata();
@@ -75,12 +153,7 @@ void write_cube_xml(const Experiment& experiment, std::ostream& out) {
   w.open_element("cube");
   w.attribute("version", std::string_view(kFormatVersion));
 
-  for (const auto& [key, value] : experiment.attributes()) {
-    w.open_element("attr");
-    w.attribute("key", key);
-    w.attribute("value", value);
-    w.close_element();
-  }
+  write_attr_section(w, experiment);
 
   w.open_element("metrics");
   for (const Metric* root : md.metric_roots()) {
@@ -144,37 +217,7 @@ void write_cube_xml(const Experiment& experiment, std::ostream& out) {
   }
   w.close_element();
 
-  w.open_element("severity");
-  const SeverityStore& sev = experiment.severity();
-  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
-    bool matrix_open = false;
-    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
-      bool all_zero = true;
-      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-        if (sev.get(m, c, t) != 0.0) {
-          all_zero = false;
-          break;
-        }
-      }
-      if (all_zero) continue;
-      if (!matrix_open) {
-        w.open_element("matrix");
-        w.attribute("metric", m);
-        matrix_open = true;
-      }
-      w.open_element("row");
-      w.attribute("cnode", c);
-      std::string values;
-      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-        if (t > 0) values += ' ';
-        values += severity_to_string(sev.get(m, c, t));
-      }
-      w.text(values);
-      w.close_element();
-    }
-    if (matrix_open) w.close_element();
-  }
-  w.close_element();
+  write_severity_section(w, experiment);
 
   w.finish();
 }
@@ -221,12 +264,16 @@ long parse_long_attr(const XmlNode& node, std::string_view attr,
 /// remapped to dense in-memory indices through the id maps.
 class CubeDecoder {
  public:
-  CubeDecoder(const XmlNode& root, StorageKind storage)
-      : root_(root), storage_(storage) {}
+  CubeDecoder(const XmlNode& root, StorageKind storage,
+              const MetadataResolver& resolver)
+      : root_(root), storage_(storage), resolver_(resolver) {}
 
   Experiment decode() {
     if (root_.name != "cube") {
       throw Error("document element is <" + root_.name + ">, expected <cube>");
+    }
+    if (const XmlNode* ref = root_.child("metaref")) {
+      return decode_by_reference(*ref);
     }
     auto md = std::make_unique<Metadata>();
     decode_metrics(*md);
@@ -241,6 +288,32 @@ class CubeDecoder {
   }
 
  private:
+  Experiment decode_by_reference(const XmlNode& ref) {
+    const std::string hex(ref.required_attr("digest"));
+    std::uint64_t digest = 0;
+    if (!parse_hex64(hex, digest)) {
+      throw Error("malformed metadata digest '" + hex + "'");
+    }
+    if (!resolver_) {
+      throw Error(
+          "by-reference cube document requires a metadata resolver "
+          "(metadata digest " +
+          hex + ")");
+    }
+    auto md = resolver_(digest);
+    if (md == nullptr) {
+      throw Error("unresolved metadata digest " + hex);
+    }
+    // Severity ids in the by-reference form ARE the dense indices of the
+    // referenced metadata: the id maps become the identity.
+    for (MetricIndex m = 0; m < md->num_metrics(); ++m) metric_ids_[m] = m;
+    for (CnodeIndex c = 0; c < md->num_cnodes(); ++c) cnode_ids_[c] = c;
+    Experiment experiment(std::move(md), storage_);
+    decode_attributes(experiment);
+    decode_severity(experiment);
+    return experiment;
+  }
+
   void decode_attributes(Experiment& e) const {
     for (const XmlNode* attr : root_.children_named("attr")) {
       e.set_attribute(std::string(attr->required_attr("key")),
@@ -413,6 +486,7 @@ class CubeDecoder {
 
   const XmlNode& root_;
   StorageKind storage_;
+  const MetadataResolver& resolver_;
   std::map<std::size_t, MetricIndex> metric_ids_;
   std::map<std::size_t, std::size_t> region_ids_;
   std::map<std::size_t, std::size_t> callsite_ids_;
@@ -422,30 +496,40 @@ class CubeDecoder {
 
 }  // namespace
 
-Experiment read_cube_xml(std::string_view xml, StorageKind storage) {
+Experiment read_cube_xml(std::string_view xml, StorageKind storage,
+                         const MetadataResolver& resolver) {
   const auto root = parse_xml(xml);
-  return CubeDecoder(*root, storage).decode();
+  return CubeDecoder(*root, storage, resolver).decode();
 }
 
-Experiment read_cube_xml_file(const std::string& path, StorageKind storage) {
+Experiment read_cube_xml_file(const std::string& path, StorageKind storage,
+                              const MetadataResolver& resolver) {
   std::ifstream in(path);
   if (!in) throw IoError("cannot open file '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return read_cube_xml(buffer.str(), storage);
+  return read_cube_xml(buffer.str(), storage, resolver);
 }
 
-Experiment read_experiment_file(const std::string& path,
-                                StorageKind storage) {
+Experiment read_experiment_file(const std::string& path, StorageKind storage,
+                                const MetadataResolver& resolver) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open file '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string data = buffer.str();
-  if (data.size() >= 8 && data.compare(0, 8, "CUBEBIN1") == 0) {
-    return read_cube_binary(data, storage);
+  // Files written by the repository reference their metadata blob; resolve
+  // against the sibling meta/ directory unless the caller supplied a
+  // resolver of their own.
+  const MetadataResolver effective =
+      resolver ? resolver
+               : directory_resolver(
+                     std::filesystem::path(path).parent_path());
+  if (data.size() >= 8 && (data.compare(0, 8, "CUBEBIN1") == 0 ||
+                           data.compare(0, 8, "CUBEBIN2") == 0)) {
+    return read_cube_binary(data, storage, effective);
   }
-  return read_cube_xml(data, storage);
+  return read_cube_xml(data, storage, effective);
 }
 
 }  // namespace cube

@@ -20,16 +20,22 @@
 //
 // Identifiers in the file are the dense in-memory indices; the reader
 // nevertheless accepts arbitrary ids and remaps them.
+//
+// Version 1.1 adds the by-reference form: <metaref digest="..."/> replaces
+// the three metadata sections and points at a metadata blob
+// (meta_format.hpp); severity ids are then the dense indices of the
+// referenced metadata.  Reading one requires a MetadataResolver.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "io/meta_format.hpp"
 #include "model/experiment.hpp"
 
 namespace cube {
 
-/// Writes `experiment` as CUBE XML.
+/// Writes `experiment` as CUBE XML (inline metadata).
 void write_cube_xml(const Experiment& experiment, std::ostream& out);
 /// Writes to a file path; throws IoError if the file cannot be created.
 void write_cube_xml_file(const Experiment& experiment,
@@ -37,18 +43,32 @@ void write_cube_xml_file(const Experiment& experiment,
 /// Convenience: returns the XML document as a string.
 [[nodiscard]] std::string to_cube_xml(const Experiment& experiment);
 
-/// Parses a CUBE XML document.  Throws ParseError / ValidationError on
-/// malformed input; the returned experiment has been validate()d.
-[[nodiscard]] Experiment read_cube_xml(std::string_view xml,
-                                       StorageKind storage = StorageKind::Dense);
+/// Writes the by-reference form (version 1.1): attributes + <metaref> +
+/// severity.  The referenced metadata blob must be stored separately (the
+/// repository does this).
+void write_cube_xml_ref(const Experiment& experiment, std::ostream& out);
+void write_cube_xml_ref_file(const Experiment& experiment,
+                             const std::string& path);
+[[nodiscard]] std::string to_cube_xml_ref(const Experiment& experiment);
+
+/// Parses a CUBE XML document of either form.  Throws ParseError /
+/// ValidationError on malformed input (including a by-reference document
+/// without a resolver); the returned experiment has been validate()d.
+[[nodiscard]] Experiment read_cube_xml(
+    std::string_view xml, StorageKind storage = StorageKind::Dense,
+    const MetadataResolver& resolver = {});
 /// Reads from a file path; throws IoError if the file cannot be opened.
 [[nodiscard]] Experiment read_cube_xml_file(
-    const std::string& path, StorageKind storage = StorageKind::Dense);
+    const std::string& path, StorageKind storage = StorageKind::Dense,
+    const MetadataResolver& resolver = {});
 
 /// Reads an experiment file of either supported format, detected by
 /// content (binary magic first, XML otherwise).  The command-line tools
-/// use this so .cube and .cubx files mix freely.
+/// use this so .cube and .cubx files mix freely.  By-reference files are
+/// resolved through `resolver` when given, else against the meta/
+/// directory next to the file (the repository layout).
 [[nodiscard]] Experiment read_experiment_file(
-    const std::string& path, StorageKind storage = StorageKind::Dense);
+    const std::string& path, StorageKind storage = StorageKind::Dense,
+    const MetadataResolver& resolver = {});
 
 }  // namespace cube

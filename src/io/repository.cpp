@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "io/binary_format.hpp"
 #include "io/cube_format.hpp"
@@ -15,6 +16,7 @@ namespace cube {
 namespace {
 
 constexpr const char* kIndexFile = "index.xml";
+constexpr const char* kMetaDir = "meta";
 
 std::string sanitize(const std::string& name) {
   std::string out;
@@ -70,6 +72,7 @@ void ExperimentRepository::read_index() {
     entry.format = node->attr("format").value_or("xml") == "binary"
                        ? RepoFormat::Binary
                        : RepoFormat::Xml;
+    entry.meta = std::string(node->attr("meta").value_or(""));
     for (const XmlNode* attr : node->children_named("attr")) {
       entry.attributes[std::string(attr->required_attr("key"))] =
           std::string(attr->required_attr("value"));
@@ -102,6 +105,7 @@ void ExperimentRepository::write_index() const {
       w.attribute("format", entry.format == RepoFormat::Binary
                                 ? std::string_view("binary")
                                 : std::string_view("xml"));
+      if (!entry.meta.empty()) w.attribute("meta", entry.meta);
       for (const auto& [key, value] : entry.attributes) {
         w.open_element("attr");
         w.attribute("key", key);
@@ -142,6 +146,53 @@ std::string ExperimentRepository::unique_id(const std::string& base) const {
   }
 }
 
+MetadataResolver ExperimentRepository::resolver() const {
+  return directory_resolver(directory_, &interner_);
+}
+
+std::string ExperimentRepository::ensure_blob(const Metadata& metadata) const {
+  const std::string hex = digest_hex(metadata.digest());
+  const std::filesystem::path dir = directory_ / kMetaDir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cannot create metadata directory '" + dir.string() +
+                  "': " + ec.message());
+  }
+  const std::filesystem::path blob = dir / meta_blob_name(metadata.digest());
+  if (!std::filesystem::exists(blob)) {
+    // Blobs are immutable once written; write-then-rename so a crash never
+    // leaves a torn blob under its final content-addressed name.
+    const std::filesystem::path temp = blob.string() + ".tmp";
+    write_cube_meta_file(metadata, temp.string());
+    std::filesystem::rename(temp, blob, ec);
+    if (ec) {
+      std::error_code cleanup;
+      std::filesystem::remove(temp, cleanup);
+      throw IoError("cannot place metadata blob '" + blob.string() +
+                    "': " + ec.message());
+    }
+  }
+  return hex;
+}
+
+bool ExperimentRepository::blob_referenced(const std::string& hex) const {
+  for (const RepoEntry& e : entries_) {
+    if (e.meta == hex) return true;
+  }
+  return false;
+}
+
+void ExperimentRepository::write_experiment_file(const Experiment& experiment,
+                                                 const RepoEntry& entry) const {
+  const std::filesystem::path path = directory_ / entry.file;
+  if (entry.format == RepoFormat::Binary) {
+    write_cube_binary_ref_file(experiment, path.string());
+  } else {
+    write_cube_xml_ref_file(experiment, path.string());
+  }
+}
+
 std::string ExperimentRepository::store(const Experiment& experiment,
                                         RepoFormat format) {
   const std::string id = unique_id(sanitize(
@@ -150,31 +201,49 @@ std::string ExperimentRepository::store(const Experiment& experiment,
   entry.id = id;
   entry.file = id + (format == RepoFormat::Binary ? ".cubx" : ".cube");
   entry.format = format;
+  entry.meta = ensure_blob(experiment.metadata());
   entry.attributes =
       std::map<std::string, std::string>(experiment.attributes().begin(),
                                          experiment.attributes().end());
 
-  const std::filesystem::path path = directory_ / entry.file;
-  if (format == RepoFormat::Binary) {
-    write_cube_binary_file(experiment, path.string());
-  } else {
-    write_cube_xml_file(experiment, path.string());
-  }
+  write_experiment_file(experiment, entry);
   entries_.push_back(std::move(entry));
   write_index();
+  // Future loads of this digest should share the instance just stored.
+  (void)interner_.intern(experiment.metadata_ptr());
   return id;
 }
 
 Experiment ExperimentRepository::load(const std::string& id) const {
   for (const RepoEntry& entry : entries_) {
     if (entry.id == id) {
-      const std::filesystem::path path = directory_ / entry.file;
-      return entry.format == RepoFormat::Binary
-                 ? read_cube_binary_file(path.string())
-                 : read_cube_xml_file(path.string());
+      return load_path(directory_ / entry.file, entry.format);
     }
   }
   throw Error("repository has no experiment with id '" + id + "'");
+}
+
+Experiment ExperimentRepository::load_path(const std::filesystem::path& path,
+                                           RepoFormat format,
+                                           StorageKind storage) const {
+  return format == RepoFormat::Binary
+             ? read_cube_binary_file(path.string(), storage, resolver())
+             : read_cube_xml_file(path.string(), storage, resolver());
+}
+
+std::size_t ExperimentRepository::migrate() {
+  std::size_t rewritten = 0;
+  for (RepoEntry& entry : entries_) {
+    if (!entry.meta.empty()) continue;
+    const std::filesystem::path path = directory_ / entry.file;
+    const Experiment experiment = load_path(path, entry.format);
+    entry.meta = ensure_blob(experiment.metadata());
+    write_experiment_file(experiment, entry);
+    (void)interner_.intern(experiment.metadata_ptr());
+    ++rewritten;
+  }
+  if (rewritten > 0) write_index();
+  return rewritten;
 }
 
 void ExperimentRepository::remove(const std::string& id) {
@@ -182,12 +251,42 @@ void ExperimentRepository::remove(const std::string& id) {
     if (it->id == id) {
       std::error_code ec;
       std::filesystem::remove(directory_ / it->file, ec);
+      const std::string meta = it->meta;
       entries_.erase(it);
+      if (!meta.empty() && !blob_referenced(meta)) {
+        std::filesystem::remove(
+            directory_ / kMetaDir / (meta + ".meta"), ec);
+      }
       write_index();
       return;
     }
   }
   throw Error("repository has no experiment with id '" + id + "'");
+}
+
+std::vector<std::string> ExperimentRepository::orphan_blobs() const {
+  std::vector<std::string> orphans;
+  const std::filesystem::path dir = directory_ / kMetaDir;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return orphans;
+  for (const auto& file : std::filesystem::directory_iterator(dir, ec)) {
+    const std::filesystem::path& p = file.path();
+    if (p.extension() != ".meta") continue;
+    if (!blob_referenced(p.stem().string())) {
+      orphans.push_back((std::filesystem::path(kMetaDir) /
+                         p.filename()).string());
+    }
+  }
+  return orphans;
+}
+
+std::size_t ExperimentRepository::remove_orphan_blobs() {
+  std::size_t removed = 0;
+  for (const std::string& rel : orphan_blobs()) {
+    std::error_code ec;
+    if (std::filesystem::remove(directory_ / rel, ec) && !ec) ++removed;
+  }
+  return removed;
 }
 
 std::vector<RepoEntry> ExperimentRepository::query(

@@ -12,13 +12,24 @@
 // CUBE files plus an XML index of their attributes, giving store / load /
 // list / query-by-attribute over whole experiments — enough to manage the
 // run series that mean/stddev/merge consume — without any DBMS.
+//
+// Metadata is content-addressed: store() writes each distinct metadata
+// once as a blob under meta/<digest>.meta and the experiment files
+// reference it by digest (FORMAT.md, "Metadata by reference").  Storing a
+// 32-run series therefore writes the metadata once, and loading the
+// series parses it once — every loaded experiment shares one in-memory
+// instance through the repository's interner.  Pre-refactor repositories
+// (inline metadata, no meta/ directory) load unchanged; migrate() rewrites
+// them to the blob layout in place.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "io/meta_format.hpp"
 #include "model/experiment.hpp"
 
 namespace cube {
@@ -31,6 +42,9 @@ struct RepoEntry {
   std::string id;        ///< unique within the repository
   std::string file;      ///< file name relative to the repository root
   RepoFormat format = RepoFormat::Xml;
+  /// Hex digest of the referenced metadata blob; empty for a legacy entry
+  /// whose file carries its metadata inline.
+  std::string meta;
   /// The experiment's attributes at store time (name, kind, provenance,
   /// plus anything the producing tool attached) — the queryable part.
   std::map<std::string, std::string> attributes;
@@ -50,14 +64,48 @@ class ExperimentRepository {
 
   /// Stores the experiment and returns its id (derived from the
   /// experiment's name, uniquified with a numeric suffix on collision).
+  /// The metadata blob is written only if its digest is new.
   std::string store(const Experiment& experiment,
                     RepoFormat format = RepoFormat::Xml);
 
-  /// Loads an experiment by id; throws cube::Error if unknown.
+  /// Loads an experiment by id; throws cube::Error if unknown.  Metadata
+  /// of blob-backed entries is interned: experiments over the same digest
+  /// share one instance.
   [[nodiscard]] Experiment load(const std::string& id) const;
 
-  /// Removes an entry and its file; throws cube::Error if unknown.
+  /// Loads an experiment file through this repository's blob resolver and
+  /// interner — for callers that resolved the path themselves (the query
+  /// engine's planner).  `path` need not be listed in the index.
+  [[nodiscard]] Experiment load_path(
+      const std::filesystem::path& path, RepoFormat format,
+      StorageKind storage = StorageKind::Dense) const;
+
+  /// The digest -> metadata resolver over this repository's meta/
+  /// directory, backed by its interner.  Valid while the repository lives.
+  [[nodiscard]] MetadataResolver resolver() const;
+
+  /// The metadata interner; exposed so other layers (query engine) can
+  /// share instances with repository loads.
+  [[nodiscard]] MetadataInterner& interner() const noexcept {
+    return interner_;
+  }
+
+  /// Rewrites every legacy entry (inline metadata) to the blob-backed
+  /// layout in place; returns how many entries were rewritten.
+  std::size_t migrate();
+
+  /// Removes an entry and its file; throws cube::Error if unknown.  If the
+  /// entry was the last referent of its metadata blob, the blob is deleted
+  /// too.
   void remove(const std::string& id);
+
+  /// Blob files under meta/ referenced by no index entry (e.g. left over
+  /// from a crash between blob write and index write).  Returned as file
+  /// names relative to the repository root.
+  [[nodiscard]] std::vector<std::string> orphan_blobs() const;
+
+  /// Deletes all orphan blobs; returns how many were removed.
+  std::size_t remove_orphan_blobs();
 
   /// All entries, in store order.
   [[nodiscard]] const std::vector<RepoEntry>& entries() const noexcept {
@@ -80,9 +128,16 @@ class ExperimentRepository {
   void read_index();
   void write_index() const;
   [[nodiscard]] std::string unique_id(const std::string& base) const;
+  /// Writes the blob for `metadata` if absent; returns its hex digest.
+  std::string ensure_blob(const Metadata& metadata) const;
+  /// True if any entry references the blob digest `hex`.
+  [[nodiscard]] bool blob_referenced(const std::string& hex) const;
+  void write_experiment_file(const Experiment& experiment,
+                             const RepoEntry& entry) const;
 
   std::filesystem::path directory_;
   std::vector<RepoEntry> entries_;
+  mutable MetadataInterner interner_;
 };
 
 }  // namespace cube

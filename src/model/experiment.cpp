@@ -5,9 +5,16 @@
 namespace cube {
 
 Experiment::Experiment(std::unique_ptr<Metadata> metadata, StorageKind storage)
+    : Experiment(freeze_metadata(std::move(metadata)), storage) {}
+
+Experiment::Experiment(std::shared_ptr<const Metadata> metadata,
+                       StorageKind storage)
     : metadata_(std::move(metadata)) {
   if (metadata_ == nullptr) {
     throw Error("experiment requires non-null metadata");
+  }
+  if (!metadata_->frozen()) {
+    throw Error("experiment requires frozen metadata");
   }
   severity_ =
       make_severity_store(storage, metadata_->num_metrics(),
@@ -86,12 +93,18 @@ Severity Experiment::sum_tree(const Metric& m, const Cnode& c) const {
 Experiment Experiment::clone() const { return clone(severity_->kind()); }
 
 Experiment Experiment::clone(StorageKind storage) const {
-  Experiment copy(metadata_->clone(), storage);
-  for (MetricIndex m = 0; m < metadata_->num_metrics(); ++m) {
-    for (CnodeIndex c = 0; c < metadata_->num_cnodes(); ++c) {
-      for (ThreadIndex t = 0; t < metadata_->num_threads(); ++t) {
-        const Severity v = severity_->get(m, c, t);
-        if (v != 0.0) copy.severity_->set(m, c, t, v);
+  // Metadata is immutable, so the copy SHARES it — cloning an experiment
+  // copies only severity data and attributes.
+  Experiment copy(metadata_, storage);
+  if (storage == severity_->kind()) {
+    copy.severity_ = severity_->clone();
+  } else {
+    for (MetricIndex m = 0; m < metadata_->num_metrics(); ++m) {
+      for (CnodeIndex c = 0; c < metadata_->num_cnodes(); ++c) {
+        for (ThreadIndex t = 0; t < metadata_->num_threads(); ++t) {
+          const Severity v = severity_->get(m, c, t);
+          if (v != 0.0) copy.severity_->set(m, c, t, v);
+        }
       }
     }
   }

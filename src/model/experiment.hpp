@@ -27,11 +27,21 @@ namespace cube {
 enum class ExperimentKind { Original, Derived };
 
 /// Metadata + severity data + descriptive attributes.
+///
+/// Metadata is immutable and shared: many experiments (repeated runs of one
+/// binary, operator results over digest-equal operands) hold the SAME
+/// Metadata instance.  The severity store is sized to the metadata at
+/// construction and the frozen contract guarantees they can never desync.
 class Experiment {
  public:
-  /// Takes ownership of `metadata`; allocates a zeroed severity store sized
-  /// to it.  `metadata` must not be null.
+  /// Takes ownership of `metadata`, freezing it; allocates a zeroed severity
+  /// store sized to it.  `metadata` must not be null.
   explicit Experiment(std::unique_ptr<Metadata> metadata,
+                      StorageKind storage = StorageKind::Dense);
+
+  /// Shares already-frozen metadata; allocates a zeroed severity store sized
+  /// to it.  `metadata` must be non-null and frozen.
+  explicit Experiment(std::shared_ptr<const Metadata> metadata,
                       StorageKind storage = StorageKind::Dense);
 
   Experiment(const Experiment&) = delete;
@@ -40,7 +50,12 @@ class Experiment {
   Experiment& operator=(Experiment&&) = default;
 
   [[nodiscard]] const Metadata& metadata() const noexcept { return *metadata_; }
-  [[nodiscard]] Metadata& metadata() noexcept { return *metadata_; }
+  /// The shared handle — lets callers construct further experiments over the
+  /// same metadata instance without copying it.
+  [[nodiscard]] const std::shared_ptr<const Metadata>& metadata_ptr()
+      const noexcept {
+    return metadata_;
+  }
   [[nodiscard]] const SeverityStore& severity() const noexcept {
     return *severity_;
   }
@@ -108,7 +123,7 @@ class Experiment {
   [[nodiscard]] Experiment clone(StorageKind storage) const;
 
  private:
-  std::unique_ptr<Metadata> metadata_;
+  std::shared_ptr<const Metadata> metadata_;
   std::unique_ptr<SeverityStore> severity_;
   std::map<std::string, std::string> attributes_;
 };

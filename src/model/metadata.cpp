@@ -3,13 +3,23 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 
 namespace cube {
 
+void Metadata::require_mutable(const char* operation) const {
+  if (frozen_) {
+    throw ValidationError(std::string(operation) +
+                          " on frozen metadata (experiments share immutable "
+                          "metadata; clone() to build a variant)");
+  }
+}
+
 Metric& Metadata::add_metric(const Metric* parent, std::string unique_name,
                              std::string display_name, Unit unit,
                              std::string description) {
+  require_mutable("add_metric");
   if (find_metric(unique_name) != nullptr) {
     throw ValidationError("duplicate metric unique name '" + unique_name +
                           "'");
@@ -37,6 +47,7 @@ Metric& Metadata::add_metric(const Metric* parent, std::string unique_name,
 Region& Metadata::add_region(std::string name, std::string module,
                              long begin_line, long end_line,
                              std::string description) {
+  require_mutable("add_region");
   auto region = std::unique_ptr<Region>(
       new Region(regions_.size(), std::move(name), std::move(module),
                  begin_line, end_line, std::move(description)));
@@ -47,6 +58,7 @@ Region& Metadata::add_region(std::string name, std::string module,
 
 CallSite& Metadata::add_callsite(const Region& callee, std::string file,
                                  long line) {
+  require_mutable("add_callsite");
   if (callee.index() >= regions_.size() ||
       regions_[callee.index()].get() != &callee) {
     throw ValidationError("call site callee belongs to another metadata set");
@@ -59,6 +71,7 @@ CallSite& Metadata::add_callsite(const Region& callee, std::string file,
 }
 
 Cnode& Metadata::add_cnode(const Cnode* parent, const CallSite& callsite) {
+  require_mutable("add_cnode");
   if (callsite.index() >= callsites_.size() ||
       callsites_[callsite.index()].get() != &callsite) {
     throw ValidationError("cnode call site belongs to another metadata set");
@@ -81,6 +94,7 @@ Cnode& Metadata::add_cnode_for_region(const Cnode* parent,
 }
 
 Machine& Metadata::add_machine(std::string name) {
+  require_mutable("add_machine");
   auto machine =
       std::unique_ptr<Machine>(new Machine(machines_.size(), std::move(name)));
   Machine& ref = *machine;
@@ -89,6 +103,7 @@ Machine& Metadata::add_machine(std::string name) {
 }
 
 SysNode& Metadata::add_node(Machine& machine, std::string name) {
+  require_mutable("add_node");
   auto node = std::unique_ptr<SysNode>(
       new SysNode(nodes_.size(), std::move(name), &machine));
   SysNode& ref = *node;
@@ -98,6 +113,7 @@ SysNode& Metadata::add_node(Machine& machine, std::string name) {
 }
 
 Process& Metadata::add_process(SysNode& node, std::string name, long rank) {
+  require_mutable("add_process");
   if (find_process(rank) != nullptr) {
     throw ValidationError("duplicate process rank " + std::to_string(rank));
   }
@@ -111,6 +127,7 @@ Process& Metadata::add_process(SysNode& node, std::string name, long rank) {
 
 Thread& Metadata::add_thread(Process& process, std::string name,
                              long thread_id) {
+  require_mutable("add_thread");
   for (const Thread* t : process.threads()) {
     if (t->thread_id() == thread_id) {
       throw ValidationError("duplicate thread id " +
@@ -124,6 +141,143 @@ Thread& Metadata::add_thread(Process& process, std::string name,
   process.threads_.push_back(&ref);
   threads_.push_back(std::move(thread));
   return ref;
+}
+
+namespace {
+
+// Digest helpers: every field is either length-prefixed (strings) or
+// fixed-width (integers), and every section starts with a tag and a count,
+// so no two distinct entity sequences can serialize to the same byte
+// stream (no ambiguity from concatenation).
+void hash_str(Fnv1a& h, std::string_view s) {
+  h.update(static_cast<std::uint64_t>(s.size()));
+  h.update(s);
+}
+
+void hash_i64(Fnv1a& h, long v) {
+  h.update(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+}
+
+void hash_section(Fnv1a& h, std::string_view tag, std::size_t count) {
+  hash_str(h, tag);
+  h.update(static_cast<std::uint64_t>(count));
+}
+
+// Index of an optional parent, with an out-of-band value for "root".
+constexpr std::uint64_t kNoParent = ~std::uint64_t{0};
+
+}  // namespace
+
+void Metadata::freeze() {
+  if (frozen_) return;
+  Fnv1a h;
+  hash_section(h, "metrics", metrics_.size());
+  for (const auto& m : metrics_) {
+    h.update(m->parent() != nullptr
+                 ? static_cast<std::uint64_t>(m->parent()->index())
+                 : kNoParent);
+    hash_str(h, m->unique_name());
+    hash_str(h, m->display_name());
+    hash_str(h, unit_name(m->unit()));
+    hash_str(h, m->description());
+  }
+  hash_section(h, "regions", regions_.size());
+  for (const auto& r : regions_) {
+    hash_str(h, r->name());
+    hash_str(h, r->module());
+    hash_i64(h, r->begin_line());
+    hash_i64(h, r->end_line());
+    hash_str(h, r->description());
+  }
+  hash_section(h, "callsites", callsites_.size());
+  for (const auto& cs : callsites_) {
+    h.update(static_cast<std::uint64_t>(cs->callee().index()));
+    hash_str(h, cs->file());
+    hash_i64(h, cs->line());
+  }
+  hash_section(h, "cnodes", cnodes_.size());
+  for (const auto& c : cnodes_) {
+    h.update(c->parent() != nullptr
+                 ? static_cast<std::uint64_t>(c->parent()->index())
+                 : kNoParent);
+    h.update(static_cast<std::uint64_t>(c->callsite().index()));
+  }
+  hash_section(h, "machines", machines_.size());
+  for (const auto& m : machines_) hash_str(h, m->name());
+  hash_section(h, "nodes", nodes_.size());
+  for (const auto& n : nodes_) {
+    h.update(static_cast<std::uint64_t>(n->machine().index()));
+    hash_str(h, n->name());
+  }
+  hash_section(h, "processes", processes_.size());
+  for (const auto& p : processes_) {
+    h.update(static_cast<std::uint64_t>(p->node().index()));
+    hash_str(h, p->name());
+    hash_i64(h, p->rank());
+    if (p->coords()) {
+      h.update(static_cast<std::uint64_t>(p->coords()->size()));
+      for (long c : *p->coords()) hash_i64(h, c);
+    } else {
+      h.update(kNoParent);  // distinguishes "no coords" from empty coords
+    }
+  }
+  hash_section(h, "threads", threads_.size());
+  for (const auto& t : threads_) {
+    h.update(static_cast<std::uint64_t>(t->process().index()));
+    hash_str(h, t->name());
+    hash_i64(h, t->thread_id());
+  }
+  digest_ = h.value();
+  frozen_ = true;
+}
+
+std::uint64_t Metadata::digest() const {
+  if (!frozen_) {
+    throw Error("metadata digest requested before freeze()");
+  }
+  return digest_;
+}
+
+std::shared_ptr<const Metadata> freeze_metadata(
+    std::unique_ptr<Metadata> metadata) {
+  if (metadata == nullptr) throw Error("freeze_metadata: null metadata");
+  metadata->freeze();
+  return std::shared_ptr<const Metadata>(std::move(metadata));
+}
+
+std::shared_ptr<const Metadata> MetadataInterner::intern(
+    std::shared_ptr<const Metadata> metadata) {
+  if (metadata == nullptr) throw Error("interner: null metadata");
+  const std::uint64_t key = metadata->digest();  // throws if unfrozen
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = pool_.try_emplace(key);
+  if (!inserted) {
+    if (auto live = it->second.lock()) return live;
+  }
+  it->second = metadata;
+  return metadata;
+}
+
+std::shared_ptr<const Metadata> MetadataInterner::lookup(
+    std::uint64_t digest) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pool_.find(digest);
+  if (it == pool_.end()) return nullptr;
+  return it->second.lock();
+}
+
+std::size_t MetadataInterner::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if (it->second.expired()) {
+      it = pool_.erase(it);
+    } else {
+      ++live;
+      ++it;
+    }
+  }
+  return live;
 }
 
 std::vector<const Metric*> Metadata::metric_roots() const {

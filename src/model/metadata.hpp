@@ -3,10 +3,22 @@
 // Owns every metric, region, call site, call-tree node, machine, node,
 // process, and thread of one experiment, assigns them dense indices, and
 // enforces the data model's constraints (validate()).
+//
+// Lifecycle: build -> freeze -> share.  A Metadata starts mutable; the
+// add_* factories grow it.  freeze() ends the build phase: it computes a
+// structural FNV-1a digest over all entities once and permanently rejects
+// further mutation.  Frozen metadata is immutable and therefore safely
+// shared — Experiment holds std::shared_ptr<const Metadata>, so a series
+// of repeated runs of one binary carries ONE metadata instance through
+// operators, the query cache, and the repository (see DESIGN.md,
+// "Metadata lifecycle").
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -20,7 +32,8 @@ namespace cube {
 ///
 /// Entities are created through the add_* factories and live as long as the
 /// Metadata; references handed out remain stable (entities are
-/// heap-allocated and never moved).
+/// heap-allocated and never moved).  After freeze() the add_* factories
+/// throw and the structural digest() becomes available.
 class Metadata {
  public:
   Metadata() = default;
@@ -62,6 +75,17 @@ class Metadata {
   Process& add_process(SysNode& node, std::string name, long rank);
   /// Throws ValidationError on duplicate (rank, thread id).
   Thread& add_thread(Process& process, std::string name, long thread_id);
+
+  // --- lifecycle ------------------------------------------------------------
+  /// Ends the build phase: computes the structural digest once and rejects
+  /// any further add_* call with ValidationError.  Idempotent.
+  void freeze();
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  /// Structural FNV-1a digest over all entities in index order.  Two
+  /// Metadata instances built identically have equal digests; any
+  /// structural change (name, unit, hierarchy, rank, coords, ...) changes
+  /// it.  Throws Error if called before freeze().
+  [[nodiscard]] std::uint64_t digest() const;
 
   // --- access --------------------------------------------------------------
   [[nodiscard]] const std::vector<std::unique_ptr<Metric>>& metrics()
@@ -123,10 +147,13 @@ class Metadata {
   /// and (rank, thread id) pairs unique (also enforced on construction).
   void validate() const;
 
-  /// Deep copy preserving all dense indices.
+  /// Deep copy preserving all dense indices.  The copy is UNFROZEN — this
+  /// is the escape hatch for building a variant of existing metadata.
   [[nodiscard]] std::unique_ptr<Metadata> clone() const;
 
  private:
+  void require_mutable(const char* operation) const;
+
   std::vector<std::unique_ptr<Metric>> metrics_;
   std::vector<std::unique_ptr<Region>> regions_;
   std::vector<std::unique_ptr<CallSite>> callsites_;
@@ -135,6 +162,42 @@ class Metadata {
   std::vector<std::unique_ptr<SysNode>> nodes_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<Thread>> threads_;
+  bool frozen_ = false;
+  std::uint64_t digest_ = 0;
+};
+
+/// Freezes `metadata` and converts it to the shared-immutable form every
+/// consumer of built metadata wants.  The canonical end of a build phase.
+[[nodiscard]] std::shared_ptr<const Metadata> freeze_metadata(
+    std::unique_ptr<Metadata> metadata);
+
+/// Digest-keyed pool of frozen metadata: interning a newly parsed or built
+/// instance returns the pooled instance with the same structural digest if
+/// one is still alive, so repeated-run experiments loaded independently
+/// end up SHARING one metadata object (pointer-equal), which in turn lets
+/// the algebra's integration short-circuit structurally.
+///
+/// Entries are held weakly — the interner keeps nothing alive and cleans
+/// expired slots opportunistically.  Thread-safe (the query engine interns
+/// from pool workers).
+class MetadataInterner {
+ public:
+  /// Returns the pooled equivalent of `metadata` (which must be frozen),
+  /// registering it if its digest is new or expired.
+  [[nodiscard]] std::shared_ptr<const Metadata> intern(
+      std::shared_ptr<const Metadata> metadata);
+
+  /// The pooled instance for `digest`, or nullptr if none is alive.
+  [[nodiscard]] std::shared_ptr<const Metadata> lookup(
+      std::uint64_t digest) const;
+
+  /// Number of live pooled instances.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::uint64_t, std::weak_ptr<const Metadata>>
+      pool_;
 };
 
 }  // namespace cube

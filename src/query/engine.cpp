@@ -30,10 +30,13 @@ struct CachedCube {
   RepoFormat format = RepoFormat::Binary;
 };
 
-Experiment read_stored(const std::filesystem::path& path, RepoFormat format) {
-  return format == RepoFormat::Binary
-             ? read_cube_binary_file(path.string())
-             : read_cube_xml_file(path.string());
+// Loads go through the repository so blob-backed files resolve against its
+// meta/ directory and interner — a series of operands over one metadata
+// digest shares a single in-memory instance even when loaded from
+// different pool workers.
+Experiment read_stored(const ExperimentRepository& repo,
+                       const std::filesystem::path& path, RepoFormat format) {
+  return repo.load_path(path, format);
 }
 
 Experiment apply_op(QueryExpr::Op op,
@@ -152,7 +155,7 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
       case Action::LoadOperand: {
         const auto t0 = Clock::now();
         auto e = std::make_shared<Experiment>(
-            read_stored(node.operand.path, node.operand.format));
+            read_stored(repo_, node.operand.path, node.operand.format));
         std::lock_guard<std::mutex> lock(mutex);
         results[i] = std::move(e);
         ++stats.operands_loaded;
@@ -166,7 +169,7 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
         const std::uintmax_t size =
             std::filesystem::file_size(cached[i].path, ec);
         auto e = std::make_shared<Experiment>(
-            read_stored(cached[i].path, cached[i].format));
+            read_stored(repo_, cached[i].path, cached[i].format));
         std::lock_guard<std::mutex> lock(mutex);
         results[i] = std::move(e);
         ++stats.cache_hits;

@@ -5,6 +5,7 @@
 
 #include "common/digest.hpp"
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 
 namespace cube::query {
 
@@ -178,7 +179,19 @@ class Planner {
     if (ec) node.operand.bytes = 0;
     node.canonical =
         "id:" + entry.id + "@" + digest_hex(node.operand.digest);
-    node.key = node.operand.digest;
+    if (!entry.meta.empty() &&
+        parse_hex64(entry.meta, node.operand.meta_digest)) {
+      // Blob-backed entry: the file holds only a digest reference, so the
+      // metadata's own structural digest joins the key.  Legacy inline
+      // entries keep the bare file digest — their pre-refactor cache keys
+      // stay valid.
+      node.key = Fnv1a()
+                     .update(node.operand.digest)
+                     .update(node.operand.meta_digest)
+                     .value();
+    } else {
+      node.key = node.operand.digest;
+    }
     plan_.nodes.push_back(std::move(node));
     const std::size_t index = plan_.nodes.size() - 1;
     loads_.emplace(entry.id, index);

@@ -44,6 +44,11 @@ struct ResolvedOperand {
   RepoFormat format = RepoFormat::Xml;
   std::uint64_t digest = 0;     ///< FNV-1a of the file bytes
   std::uintmax_t bytes = 0;     ///< file size
+  /// Structural digest of the referenced metadata blob (0 for a legacy
+  /// inline-metadata entry).  Mixed into the load key: the key must change
+  /// if an entry is repointed at different metadata even though the
+  /// experiment file bytes (attrs + digest + severity) happen to collide.
+  std::uint64_t meta_digest = 0;
 };
 
 /// One DAG node, either a repository load or an operator application.

@@ -178,10 +178,13 @@ TEST(Integration, AllMappingsAreDefined) {
 }
 
 TEST(Integration, KeepsTopologyWhenConsistent) {
-  Experiment a = make_small();
-  Experiment b = make_small(StorageKind::Dense, "b");
-  a.metadata().processes()[0]->set_coords({3, 4});
-  b.metadata().processes()[0]->set_coords({3, 4});
+  const Experiment base = make_small();
+  auto md_a = base.metadata().clone();
+  md_a->processes()[0]->set_coords({3, 4});
+  auto md_b = base.metadata().clone();
+  md_b->processes()[0]->set_coords({3, 4});
+  const Experiment a(std::move(md_a));
+  const Experiment b(std::move(md_b));
   const IntegrationResult r = integrate_metadata(a, b);
   ASSERT_TRUE(r.metadata->find_process(0)->coords().has_value());
   EXPECT_EQ(*r.metadata->find_process(0)->coords(),
@@ -189,10 +192,13 @@ TEST(Integration, KeepsTopologyWhenConsistent) {
 }
 
 TEST(Integration, DropsTopologyWhenInconsistent) {
-  Experiment a = make_small();
-  Experiment b = make_small(StorageKind::Dense, "b");
-  a.metadata().processes()[0]->set_coords({3, 4});
-  b.metadata().processes()[0]->set_coords({5, 6});
+  const Experiment base = make_small();
+  auto md_a = base.metadata().clone();
+  md_a->processes()[0]->set_coords({3, 4});
+  auto md_b = base.metadata().clone();
+  md_b->processes()[0]->set_coords({5, 6});
+  const Experiment a(std::move(md_a));
+  const Experiment b(std::move(md_b));
   const IntegrationResult r = integrate_metadata(a, b);
   EXPECT_FALSE(r.metadata->find_process(0)->coords().has_value());
 }

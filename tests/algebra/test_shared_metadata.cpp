@@ -1,0 +1,171 @@
+// The digest short-circuit: operands with identical frozen metadata skip
+// the structural merge, the result SHARES the operand instance, and the
+// values are bit-identical to the structural path's.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algebra/integration.hpp"
+#include "algebra/operators.hpp"
+#include "algebra/statistics.hpp"
+#include "common/rng.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+using cube::testing::make_small;
+using cube::testing::make_variant;
+
+/// A copy of `e` with independently chosen severities: structurally
+/// digest-equal but a DIFFERENT Metadata instance, like two repetitions
+/// profiled by separate tool invocations.
+Experiment rebuild_with_values(const Experiment& e, std::uint64_t seed) {
+  Experiment copy(freeze_metadata(e.metadata().clone()), StorageKind::Dense);
+  copy.set_name(e.name() + "-rebuilt");
+  SplitMix64 rng(seed);
+  const Metadata& m = copy.metadata();
+  for (MetricIndex mi = 0; mi < m.num_metrics(); ++mi) {
+    for (CnodeIndex ci = 0; ci < m.num_cnodes(); ++ci) {
+      for (ThreadIndex ti = 0; ti < m.num_threads(); ++ti) {
+        copy.severity().set(mi, ci, ti, rng.uniform(0.0, 100.0));
+      }
+    }
+  }
+  return copy;
+}
+
+void expect_same_cells(const Experiment& a, const Experiment& b) {
+  ASSERT_EQ(a.metadata().num_metrics(), b.metadata().num_metrics());
+  ASSERT_EQ(a.metadata().num_cnodes(), b.metadata().num_cnodes());
+  ASSERT_EQ(a.metadata().num_threads(), b.metadata().num_threads());
+  for (MetricIndex mi = 0; mi < a.metadata().num_metrics(); ++mi) {
+    for (CnodeIndex ci = 0; ci < a.metadata().num_cnodes(); ++ci) {
+      for (ThreadIndex ti = 0; ti < a.metadata().num_threads(); ++ti) {
+        EXPECT_EQ(a.severity().get(mi, ci, ti), b.severity().get(mi, ci, ti))
+            << "cell (" << mi << ", " << ci << ", " << ti << ")";
+      }
+    }
+  }
+}
+
+TEST(SharedMetadata, IntegrationSharesPointerAndImpliesIdentity) {
+  const Experiment a = make_small();
+  const Experiment b = rebuild_with_values(a, 7);
+  ASSERT_NE(a.metadata_ptr().get(), b.metadata_ptr().get());
+  ASSERT_EQ(a.metadata().digest(), b.metadata().digest());
+
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_TRUE(r.shared_metadata);
+  EXPECT_EQ(r.metadata.get(), a.metadata_ptr().get());
+  ASSERT_EQ(r.mappings.size(), 2u);
+  for (const OperandMapping& map : r.mappings) {
+    EXPECT_TRUE(map.identity());
+    ASSERT_EQ(map.cnode_map.size(), a.metadata().num_cnodes());
+    for (CnodeIndex c = 0; c < a.metadata().num_cnodes(); ++c) {
+      EXPECT_EQ(map.cnode_map[c], c);
+    }
+  }
+}
+
+TEST(SharedMetadata, DisabledOptionForcesStructuralPath) {
+  const Experiment a = make_small();
+  const Experiment b = rebuild_with_values(a, 7);
+  IntegrationOptions options;
+  options.reuse_identical_metadata = false;
+  const IntegrationResult r = integrate_metadata(a, b, options);
+  EXPECT_FALSE(r.shared_metadata);
+  EXPECT_NE(r.metadata.get(), a.metadata_ptr().get());
+  EXPECT_EQ(r.metadata->num_cnodes(), a.metadata().num_cnodes());
+}
+
+TEST(SharedMetadata, DifferingDigestsFallBackToStructuralMerge) {
+  const Experiment a = make_small();
+  const Experiment b = make_variant();
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_FALSE(r.shared_metadata);
+  EXPECT_NE(r.metadata.get(), a.metadata_ptr().get());
+}
+
+TEST(SharedMetadata, MergeableSiblingCnodesDisableSharing) {
+  // Two sibling cnodes calling the same region: the structural merge
+  // would fold them into one, so the short-circuit must not fire even
+  // though the operands are digest-equal.
+  const auto build = [] {
+    auto md = std::make_unique<Metadata>();
+    md->add_metric(nullptr, "time", "Time", Unit::Seconds, "");
+    const Region& r_main = md->add_region("main", "app.c", 1, 100);
+    const Region& r_leaf = md->add_region("leaf", "app.c", 10, 20);
+    const Cnode& c_main =
+        md->add_cnode_for_region(nullptr, r_main, "app.c", 1);
+    md->add_cnode_for_region(&c_main, r_leaf, "app.c", 5);
+    md->add_cnode_for_region(&c_main, r_leaf, "app.c", 9);
+    Machine& machine = md->add_machine("m0");
+    SysNode& node = md->add_node(machine, "n0");
+    Process& p = md->add_process(node, "rank 0", 0);
+    md->add_thread(p, "thread 0", 0);
+    md->validate();
+    return Experiment(std::move(md));
+  };
+  const Experiment a = build();
+  const Experiment b = build();
+  ASSERT_EQ(a.metadata().digest(), b.metadata().digest());
+  const IntegrationResult r = integrate_metadata(a, b);
+  EXPECT_FALSE(r.shared_metadata);
+  // The duplicate-key siblings merged: 3 cnodes became 2.
+  EXPECT_EQ(r.metadata->num_cnodes(), 2u);
+}
+
+TEST(SharedMetadata, OperatorsShareTheOperandInstance) {
+  const Experiment a = make_small();
+  const Experiment b = rebuild_with_values(a, 11);
+  const Experiment d = difference(a, b);
+  EXPECT_EQ(d.metadata_ptr().get(), a.metadata_ptr().get());
+  const Experiment m = merge(a, b);
+  EXPECT_EQ(m.metadata_ptr().get(), a.metadata_ptr().get());
+
+  std::vector<const Experiment*> ops{&a, &b};
+  EXPECT_EQ(mean(ops).metadata_ptr().get(), a.metadata_ptr().get());
+  EXPECT_EQ(minimum(ops).metadata_ptr().get(), a.metadata_ptr().get());
+  EXPECT_EQ(maximum(ops).metadata_ptr().get(), a.metadata_ptr().get());
+}
+
+TEST(SharedMetadata, RandomizedEquivalenceAgainstStructuralOracle) {
+  // Bit-identical results whichever path runs: the fast path is an
+  // optimization, never a semantic change.
+  const Experiment base = make_small();
+  std::vector<Experiment> series;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    series.push_back(rebuild_with_values(base, 100 + s));
+  }
+  std::vector<const Experiment*> ops;
+  for (const Experiment& e : series) ops.push_back(&e);
+
+  OperatorOptions fast;
+  OperatorOptions oracle;
+  oracle.integration.reuse_identical_metadata = false;
+
+  expect_same_cells(mean(ops, fast), mean(ops, oracle));
+  expect_same_cells(minimum(ops, fast), minimum(ops, oracle));
+  expect_same_cells(maximum(ops, fast), maximum(ops, oracle));
+  expect_same_cells(difference(series[0], series[1], fast),
+                    difference(series[0], series[1], oracle));
+  expect_same_cells(merge(series[0], series[1], fast),
+                    merge(series[0], series[1], oracle));
+  expect_same_cells(stddev(ops, fast), stddev(ops, oracle));
+}
+
+TEST(SharedMetadata, SparseStorageTakesTheFastPathToo) {
+  const Experiment a = make_small(StorageKind::Sparse);
+  const Experiment b = rebuild_with_values(a, 3);
+  OperatorOptions options;
+  options.storage = StorageKind::Sparse;
+  const Experiment d = difference(a, b, options);
+  EXPECT_EQ(d.metadata_ptr().get(), a.metadata_ptr().get());
+  OperatorOptions oracle = options;
+  oracle.integration.reuse_identical_metadata = false;
+  expect_same_cells(d, difference(a, b, oracle));
+}
+
+}  // namespace
+}  // namespace cube

@@ -177,5 +177,53 @@ TEST(Cone, TopologyAttached) {
   ASSERT_TRUE(e.metadata().find_process(0)->coords().has_value());
 }
 
+TEST(Cone, SeriesSharesOneFrozenMetadata) {
+  const sim::RunResult run = small_run();
+  const std::vector<Experiment> series =
+      profile_series(run, {1, 2, 3}, {.experiment_name = "rep"});
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].name(), "rep-r1");
+  EXPECT_EQ(series[2].name(), "rep-r3");
+  for (const Experiment& e : series) {
+    EXPECT_TRUE(e.metadata().frozen());
+    EXPECT_EQ(e.metadata_ptr().get(), series[0].metadata_ptr().get());
+    EXPECT_EQ(e.attribute("cone::series"), "rep");
+  }
+  // Different jitter seeds produce different counter values somewhere.
+  bool any_difference = false;
+  const Metadata& md = series[0].metadata();
+  for (MetricIndex m = 0; m < md.num_metrics() && !any_difference; ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes() && !any_difference; ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        if (series[0].severity().get(m, c, t) !=
+            series[1].severity().get(m, c, t)) {
+          any_difference = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Cone, SeriesMatchesProfileRunPerSeed) {
+  const sim::RunResult run = small_run();
+  ConeOptions opts;
+  opts.run_seed = 42;
+  const Experiment single = profile_run(run, opts);
+  const std::vector<Experiment> series = profile_series(run, {42}, {});
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(single.metadata().digest(), series[0].metadata().digest());
+  const Metadata& md = single.metadata();
+  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+        EXPECT_EQ(series[0].severity().get(m, c, t),
+                  single.severity().get(m, c, t));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cube::cone

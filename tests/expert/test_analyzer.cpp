@@ -369,5 +369,30 @@ TEST(Analyzer, PescanProducesPaperShapedHierarchy) {
             0.05 * total);
 }
 
+TEST(Analyzer, InternerSharesMetadataAcrossRepetitions) {
+  // Two analyses of structurally identical traces (different noise seeds)
+  // share ONE frozen metadata through the interner.
+  MetadataInterner interner;
+  std::vector<Experiment> runs;
+  for (int i = 0; i < 2; ++i) {
+    sim::SimConfig cfg = traced_config(1, 2);
+    cfg.noise.relative = 0.05;
+    cfg.noise.seed = 100 + static_cast<std::uint64_t>(i);
+    sim::RegionTable regions;
+    const auto run = run_app(
+        cfg, sim::build_noisy_compute(regions, cfg.cluster, 8, 1e-3),
+        regions);
+    runs.push_back(analyze_trace(
+        run.trace, {.experiment_name = "rep" + std::to_string(i),
+                    .interner = &interner}));
+  }
+  EXPECT_TRUE(runs[0].metadata().frozen());
+  EXPECT_EQ(runs[0].metadata_ptr().get(), runs[1].metadata_ptr().get());
+  EXPECT_EQ(interner.size(), 1u);
+  // Values still belong to each repetition: noise differs somewhere.
+  const Metric& time = *runs[0].metadata().find_metric(kTime);
+  EXPECT_NE(runs[0].sum_metric_tree(time), runs[1].sum_metric_tree(time));
+}
+
 }  // namespace
 }  // namespace cube::expert

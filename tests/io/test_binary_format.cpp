@@ -43,8 +43,9 @@ TEST(BinaryFormat, PreservesHierarchies) {
 }
 
 TEST(BinaryFormat, TopologyRoundTrip) {
-  Experiment e = make_small();
-  e.metadata().processes()[0]->set_coords({4, 5});
+  auto md = make_small().metadata().clone();
+  md->processes()[0]->set_coords({4, 5});
+  const Experiment e(std::move(md));
   const Experiment back = read_cube_binary(to_cube_binary(e));
   ASSERT_TRUE(back.metadata().processes()[0]->coords().has_value());
   EXPECT_EQ(*back.metadata().processes()[0]->coords(),
@@ -89,6 +90,39 @@ TEST(BinaryFormat, RequestedStorageKindHonored) {
   const Experiment back =
       read_cube_binary(to_cube_binary(e), StorageKind::Sparse);
   EXPECT_EQ(back.severity().kind(), StorageKind::Sparse);
+}
+
+TEST(BinaryFormatByRef, RoundTripSharesTheResolvedInstance) {
+  Experiment e = make_small();
+  e.set_attribute("k", "v");
+  e.severity().set(0, 0, 0, -3.25);
+  const auto md = e.metadata_ptr();
+  const auto resolve =
+      [md](std::uint64_t digest) -> std::shared_ptr<const Metadata> {
+    return digest == md->digest() ? md : nullptr;
+  };
+  const Experiment back =
+      read_cube_binary(to_cube_binary_ref(e), StorageKind::Dense, resolve);
+  EXPECT_EQ(back.metadata_ptr().get(), md.get());
+  EXPECT_EQ(back.attribute("k"), "v");
+  for (MetricIndex m = 0; m < md->num_metrics(); ++m) {
+    for (CnodeIndex c = 0; c < md->num_cnodes(); ++c) {
+      for (ThreadIndex t = 0; t < md->num_threads(); ++t) {
+        EXPECT_DOUBLE_EQ(back.severity().get(m, c, t),
+                         e.severity().get(m, c, t));
+      }
+    }
+  }
+}
+
+TEST(BinaryFormatByRef, MissingResolverThrows) {
+  EXPECT_THROW((void)read_cube_binary(to_cube_binary_ref(make_small())),
+               Error);
+}
+
+TEST(BinaryFormatByRef, MuchSmallerThanInlineForm) {
+  const Experiment e = make_small();
+  EXPECT_LT(to_cube_binary_ref(e).size(), to_cube_binary(e).size());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 
 #include "common/error.hpp"
 #include "testutil.hpp"
@@ -87,8 +88,9 @@ TEST(CubeFormat, AllZeroExperimentOmitsSeverityRows) {
 }
 
 TEST(CubeFormat, TopologyCoordsRoundTrip) {
-  Experiment e = make_small();
-  e.metadata().processes()[1]->set_coords({2, -1, 0});
+  auto md = make_small().metadata().clone();
+  md->processes()[1]->set_coords({2, -1, 0});
+  const Experiment e(std::move(md));
   const Experiment back = read_cube_xml(to_cube_xml(e));
   ASSERT_TRUE(back.metadata().processes()[1]->coords().has_value());
   EXPECT_EQ(*back.metadata().processes()[1]->coords(),
@@ -166,6 +168,78 @@ TEST(CubeFormat, ReaderValidatesModelConstraints) {
       <process id="0" name="p" rank="0"/></node></machine></system>
     </cube>)";
   EXPECT_THROW((void)read_cube_xml(xml), ValidationError);
+}
+
+/// Resolver over a single in-memory instance, keyed by its digest.
+MetadataResolver single_resolver(std::shared_ptr<const Metadata> md) {
+  return [md = std::move(md)](
+             std::uint64_t digest) -> std::shared_ptr<const Metadata> {
+    return digest == md->digest() ? md : nullptr;
+  };
+}
+
+TEST(CubeFormatByRef, RoundTripSharesTheResolvedInstance) {
+  Experiment e = make_small();
+  e.set_attribute("custom", "value");
+  const std::string xml = to_cube_xml_ref(e);
+  EXPECT_NE(xml.find("<metaref"), std::string::npos);
+  // The metadata sections are gone from the document itself.
+  EXPECT_EQ(xml.find("<metrics"), std::string::npos);
+  EXPECT_EQ(xml.find("<program"), std::string::npos);
+
+  const Experiment back =
+      read_cube_xml(xml, StorageKind::Dense, single_resolver(e.metadata_ptr()));
+  expect_equal_experiments(e, back);
+  EXPECT_EQ(back.metadata_ptr().get(), e.metadata_ptr().get());
+}
+
+TEST(CubeFormatByRef, MissingResolverThrows) {
+  const Experiment e = make_small();
+  EXPECT_THROW((void)read_cube_xml(to_cube_xml_ref(e)), Error);
+}
+
+TEST(CubeFormatByRef, UnresolvableDigestThrows) {
+  const Experiment e = make_small();
+  const auto nothing = [](std::uint64_t) {
+    return std::shared_ptr<const Metadata>();
+  };
+  EXPECT_THROW(
+      (void)read_cube_xml(to_cube_xml_ref(e), StorageKind::Dense, nothing),
+      Error);
+}
+
+TEST(CubeFormatByRef, SpecialCharacterAttributesRoundTrip) {
+  // Attribute values exercising every XML escape, through BOTH document
+  // forms: ampersands, angle brackets, and both quote kinds.
+  Experiment e = make_small();
+  e.set_attribute("cmd", "a.out <in >out 2>&1");
+  e.set_attribute("note", R"(he said "fast" & 'correct')");
+  e.set_attribute("expr", "diff(a<b, c&d)");
+
+  const Experiment inline_back = read_cube_xml(to_cube_xml(e));
+  EXPECT_EQ(inline_back.attributes(), e.attributes());
+
+  const Experiment ref_back = read_cube_xml(
+      to_cube_xml_ref(e), StorageKind::Dense,
+      single_resolver(e.metadata_ptr()));
+  EXPECT_EQ(ref_back.attributes(), e.attributes());
+}
+
+TEST(CubeFormatByRef, ReadExperimentFileResolvesAgainstMetaDirectory) {
+  // The repository layout: <dir>/run.cube referencing <dir>/meta/<digest>.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cube_byref_layout";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "meta");
+  const Experiment e = make_small();
+  write_cube_meta_file(
+      e.metadata(),
+      (dir / "meta" / meta_blob_name(e.metadata().digest())).string());
+  write_cube_xml_ref_file(e, (dir / "run.cube").string());
+
+  const Experiment back = read_experiment_file((dir / "run.cube").string());
+  expect_equal_experiments(e, back);
+  fs::remove_all(dir);
 }
 
 }  // namespace

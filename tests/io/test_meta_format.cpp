@@ -1,0 +1,99 @@
+// The CUBEMET1 metadata blob: round-trips, integrity checking, and the
+// directory resolver used by the repository layout.
+#include "io/meta_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "testutil.hpp"
+
+namespace cube {
+namespace {
+
+std::shared_ptr<const Metadata> small_metadata() {
+  return cube::testing::make_small().metadata_ptr();
+}
+
+TEST(MetaFormat, RoundTripPreservesStructureAndDigest) {
+  const auto md = small_metadata();
+  const std::string blob = to_cube_meta(*md);
+  EXPECT_TRUE(is_cube_meta(blob));
+  const auto back = read_cube_meta(blob);
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(back->frozen());
+  EXPECT_EQ(back->digest(), md->digest());
+  EXPECT_EQ(back->num_metrics(), md->num_metrics());
+  EXPECT_EQ(back->num_cnodes(), md->num_cnodes());
+  EXPECT_EQ(back->num_threads(), md->num_threads());
+}
+
+TEST(MetaFormat, UnfrozenMetadataIsRejected) {
+  Metadata md;
+  md.add_metric(nullptr, "time", "Time", Unit::Seconds, "");
+  EXPECT_THROW((void)to_cube_meta(md), Error);
+}
+
+TEST(MetaFormat, BadMagicRejected) {
+  EXPECT_FALSE(is_cube_meta("CUBEBIN1..."));
+  EXPECT_THROW((void)read_cube_meta("CUBEBIN1..."), Error);
+  EXPECT_THROW((void)read_cube_meta(""), Error);
+}
+
+TEST(MetaFormat, CorruptedContentFailsTheDigestCheck) {
+  std::string blob = to_cube_meta(*small_metadata());
+  // Flip a byte in a section name, past the magic and the recorded digest.
+  ASSERT_GT(blob.size(), 40u);
+  blob[40] ^= 0x01;
+  EXPECT_THROW((void)read_cube_meta(blob), Error);
+}
+
+TEST(MetaFormat, TrailingBytesRejected) {
+  std::string blob = to_cube_meta(*small_metadata());
+  blob += "junk";
+  EXPECT_THROW((void)read_cube_meta(blob), Error);
+}
+
+TEST(MetaFormat, BlobNameIsPaddedHex) {
+  EXPECT_EQ(meta_blob_name(0x1234), "0000000000001234.meta");
+}
+
+TEST(MetaFormat, DirectoryResolverReadsTheBlobLayout) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "cube_meta_resolver";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir / "meta");
+  const auto md = small_metadata();
+  write_cube_meta_file(*md,
+                       (dir / "meta" / meta_blob_name(md->digest())).string());
+
+  const MetadataResolver resolve = directory_resolver(dir);
+  const auto found = resolve(md->digest());
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->digest(), md->digest());
+  EXPECT_THROW((void)resolve(md->digest() ^ 1u), Error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MetaFormat, DirectoryResolverInternsRepeatedDigests) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "cube_meta_interned";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir / "meta");
+  const auto md = small_metadata();
+  write_cube_meta_file(*md,
+                       (dir / "meta" / meta_blob_name(md->digest())).string());
+
+  MetadataInterner interner;
+  const MetadataResolver resolve = directory_resolver(dir, &interner);
+  const auto first = resolve(md->digest());
+  const auto second = resolve(md->digest());
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(interner.size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cube

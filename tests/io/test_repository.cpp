@@ -7,6 +7,7 @@
 
 #include "algebra/operators.hpp"
 #include "common/error.hpp"
+#include "io/cube_format.hpp"
 #include "testutil.hpp"
 
 namespace cube {
@@ -164,6 +165,142 @@ TEST_F(RepositoryTest, IndexWritesLeaveNoTempFileBehind) {
   repo.store(make_small(StorageKind::Dense, "second"));
   EXPECT_TRUE(std::filesystem::exists(dir_ / "index.xml"));
   EXPECT_FALSE(std::filesystem::exists(dir_ / "index.xml.tmp"));
+}
+
+std::size_t count_blobs(const std::filesystem::path& dir) {
+  std::size_t n = 0;
+  if (!std::filesystem::is_directory(dir / "meta")) return 0;
+  for (const auto& f :
+       std::filesystem::directory_iterator(dir / "meta")) {
+    if (f.path().extension() == ".meta") ++n;
+  }
+  return n;
+}
+
+TEST_F(RepositoryTest, SeriesStoresExactlyOneMetadataBlob) {
+  ExperimentRepository repo(dir_);
+  for (int i = 0; i < 32; ++i) {
+    Experiment e = make_small(StorageKind::Dense, "run");
+    e.set_attribute("series", "a11");
+    e.severity().set(0, 0, 0, static_cast<double>(i));
+    repo.store(e, i % 2 == 0 ? RepoFormat::Xml : RepoFormat::Binary);
+  }
+  EXPECT_EQ(count_blobs(dir_), 1u);
+  for (const RepoEntry& entry : repo.entries()) {
+    EXPECT_FALSE(entry.meta.empty());
+  }
+}
+
+TEST_F(RepositoryTest, LoadedSeriesSharesOneMetadataInstance) {
+  {
+    ExperimentRepository repo(dir_);
+    for (int i = 0; i < 4; ++i) {
+      repo.store(make_small(StorageKind::Dense, "run"),
+                 RepoFormat::Binary);
+    }
+  }
+  // A fresh instance proves sharing comes from the interner, not from the
+  // store-time cache.
+  ExperimentRepository reopened(dir_);
+  const std::vector<Experiment> series =
+      reopened.load_all(reopened.entries());
+  ASSERT_EQ(series.size(), 4u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].metadata_ptr().get(),
+              series[0].metadata_ptr().get());
+  }
+  EXPECT_EQ(reopened.interner().size(), 1u);
+}
+
+TEST_F(RepositoryTest, LegacyInlineRepositoryLoadsUnchanged) {
+  // The pre-blob layout: inline-metadata files, no meta attribute, no
+  // meta/ directory.
+  std::filesystem::create_directories(dir_);
+  write_cube_xml_file(make_small(), (dir_ / "run.cube").string());
+  {
+    std::ofstream out(dir_ / "index.xml");
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+           "<repository>"
+           "<entry id=\"run\" file=\"run.cube\" format=\"xml\"/>"
+           "</repository>\n";
+  }
+  ExperimentRepository repo(dir_);
+  ASSERT_EQ(repo.entries().size(), 1u);
+  EXPECT_TRUE(repo.entries()[0].meta.empty());
+  const Experiment back = repo.load("run");
+  EXPECT_EQ(back.name(), "small");
+  EXPECT_DOUBLE_EQ(back.severity().get(0, 0, 0),
+                   make_small().severity().get(0, 0, 0));
+}
+
+TEST_F(RepositoryTest, MigrateRewritesLegacyEntriesToBlobLayout) {
+  std::filesystem::create_directories(dir_);
+  write_cube_xml_file(make_small(), (dir_ / "run.cube").string());
+  {
+    std::ofstream out(dir_ / "index.xml");
+    out << "<repository>"
+           "<entry id=\"run\" file=\"run.cube\" format=\"xml\"/>"
+           "</repository>";
+  }
+  ExperimentRepository repo(dir_);
+  EXPECT_EQ(repo.migrate(), 1u);
+  EXPECT_EQ(repo.migrate(), 0u);  // idempotent
+  ASSERT_FALSE(repo.entries()[0].meta.empty());
+  EXPECT_EQ(count_blobs(dir_), 1u);
+  {
+    std::ifstream in(dir_ / "run.cube");
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("<metaref"), std::string::npos);
+  }
+  // The migrated layout persists and still loads.
+  ExperimentRepository reopened(dir_);
+  EXPECT_FALSE(reopened.entries()[0].meta.empty());
+  EXPECT_EQ(reopened.load("run").name(), "small");
+}
+
+TEST_F(RepositoryTest, RemoveKeepsBlobWhileReferencedThenDeletesIt) {
+  ExperimentRepository repo(dir_);
+  const std::string id1 = repo.store(make_small(StorageKind::Dense, "a"));
+  const std::string id2 = repo.store(make_small(StorageKind::Dense, "b"));
+  ASSERT_EQ(count_blobs(dir_), 1u);
+  repo.remove(id1);
+  EXPECT_EQ(count_blobs(dir_), 1u);  // still referenced by id2
+  repo.remove(id2);
+  EXPECT_EQ(count_blobs(dir_), 0u);  // last referent gone
+}
+
+TEST_F(RepositoryTest, OrphanBlobsDetectedAndRemovable) {
+  ExperimentRepository repo(dir_);
+  repo.store(make_small());
+  ASSERT_EQ(count_blobs(dir_), 1u);
+  {
+    // A blob left behind by a crash between blob write and index write.
+    std::ofstream out(dir_ / "meta" / "00000000deadbeef.meta");
+    out << "stray";
+  }
+  const std::vector<std::string> orphans = repo.orphan_blobs();
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_NE(orphans[0].find("00000000deadbeef.meta"), std::string::npos);
+  EXPECT_EQ(repo.remove_orphan_blobs(), 1u);
+  EXPECT_TRUE(repo.orphan_blobs().empty());
+  EXPECT_EQ(count_blobs(dir_), 1u);  // the referenced blob survives
+}
+
+TEST_F(RepositoryTest, SpecialCharacterAttributesSurviveTheIndex) {
+  const std::string value = R"(a.out <in >out 2>&1 "quoted" & 'single')";
+  {
+    ExperimentRepository repo(dir_);
+    Experiment e = make_small();
+    e.set_attribute("cmd", value);
+    repo.store(e);
+  }
+  ExperimentRepository reopened(dir_);
+  ASSERT_EQ(reopened.entries().size(), 1u);
+  EXPECT_EQ(reopened.entries()[0].attributes.at("cmd"), value);
+  EXPECT_EQ(reopened.query("cmd", value).size(), 1u);
+  // ... and through the experiment file itself.
+  EXPECT_EQ(reopened.load("small").attribute("cmd"), value);
 }
 
 }  // namespace

@@ -11,7 +11,40 @@ namespace {
 using testing::make_small;
 
 TEST(Experiment, RequiresMetadata) {
-  EXPECT_THROW(Experiment(nullptr), Error);
+  EXPECT_THROW(Experiment(std::unique_ptr<Metadata>()), Error);
+  EXPECT_THROW(Experiment(std::shared_ptr<const Metadata>()), Error);
+}
+
+TEST(Experiment, RequiresFrozenMetadataWhenShared) {
+  auto md = std::make_shared<Metadata>();
+  EXPECT_THROW(
+      Experiment(std::shared_ptr<const Metadata>(std::move(md))), Error);
+}
+
+TEST(Experiment, MetadataIsFrozenOnConstruction) {
+  // The mutable metadata accessor is gone: the only view an experiment
+  // offers is const, and the instance itself is frozen, so metadata can
+  // never drift after the digest was computed.
+  const Experiment e = make_small();
+  EXPECT_TRUE(e.metadata().frozen());
+  EXPECT_NE(e.metadata().digest(), 0u);
+  EXPECT_EQ(e.metadata_ptr().get(), &e.metadata());
+}
+
+TEST(Experiment, ClonesShareTheMetadataInstance) {
+  const Experiment e = make_small();
+  const Experiment copy = e.clone();
+  EXPECT_EQ(copy.metadata_ptr().get(), e.metadata_ptr().get());
+  const Experiment sparse = e.clone(StorageKind::Sparse);
+  EXPECT_EQ(sparse.metadata_ptr().get(), e.metadata_ptr().get());
+}
+
+TEST(Experiment, ExperimentsCanShareMetadataExplicitly) {
+  const Experiment a = make_small();
+  Experiment b(a.metadata_ptr(), StorageKind::Dense);
+  b.severity().set(0, 0, 0, 1.5);
+  EXPECT_EQ(b.metadata_ptr().get(), a.metadata_ptr().get());
+  EXPECT_NE(b.severity().get(0, 0, 0), a.severity().get(0, 0, 0));
 }
 
 TEST(Experiment, AccessByEntityMatchesIndexAccess) {

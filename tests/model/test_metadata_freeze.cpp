@@ -1,0 +1,153 @@
+// The build-then-freeze metadata lifecycle: mutation guards, structural
+// digests, and the interner that deduplicates frozen instances.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "model/metadata.hpp"
+
+namespace cube {
+namespace {
+
+std::unique_ptr<Metadata> build_tiny() {
+  auto md = std::make_unique<Metadata>();
+  const Metric& time =
+      md->add_metric(nullptr, "time", "Time", Unit::Seconds, "total");
+  md->add_metric(&time, "mpi", "MPI", Unit::Seconds, "mpi time");
+  const Region& r_main = md->add_region("main", "app.c", 1, 100);
+  const Region& r_work = md->add_region("work", "app.c", 10, 50);
+  const Cnode& c_main = md->add_cnode_for_region(nullptr, r_main, "app.c", 1);
+  md->add_cnode_for_region(&c_main, r_work, "app.c", 12);
+  Machine& machine = md->add_machine("m0");
+  SysNode& node = md->add_node(machine, "n0");
+  Process& p = md->add_process(node, "rank 0", 0);
+  md->add_thread(p, "thread 0", 0);
+  md->validate();
+  return md;
+}
+
+TEST(MetadataFreeze, StartsMutableAndUndigested) {
+  auto md = build_tiny();
+  EXPECT_FALSE(md->frozen());
+  EXPECT_THROW((void)md->digest(), Error);
+}
+
+TEST(MetadataFreeze, FreezeBlocksEveryFactory) {
+  auto md = build_tiny();
+  md->freeze();
+  EXPECT_TRUE(md->frozen());
+  EXPECT_THROW(md->add_metric(nullptr, "x", "X", Unit::Seconds, ""),
+               ValidationError);
+  EXPECT_THROW(md->add_region("r", "f.c", 1, 2), ValidationError);
+  EXPECT_THROW(md->add_machine("m1"), ValidationError);
+}
+
+TEST(MetadataFreeze, FreezeIsIdempotent) {
+  auto md = build_tiny();
+  md->freeze();
+  const std::uint64_t d = md->digest();
+  md->freeze();
+  EXPECT_EQ(md->digest(), d);
+}
+
+TEST(MetadataFreeze, IdenticalStructuresHashEqual) {
+  auto a = build_tiny();
+  auto b = build_tiny();
+  a->freeze();
+  b->freeze();
+  EXPECT_EQ(a->digest(), b->digest());
+}
+
+TEST(MetadataFreeze, EveryDimensionFeedsTheDigest) {
+  auto base = build_tiny();
+  base->freeze();
+  const std::uint64_t d = base->digest();
+
+  {  // metric dimension
+    auto md = build_tiny();
+    md->add_metric(nullptr, "visits", "Visits", Unit::Occurrences, "");
+    md->freeze();
+    EXPECT_NE(md->digest(), d);
+  }
+  {  // program dimension
+    auto md = build_tiny();
+    const Region& io = md->add_region("io", "app.c", 60, 80);
+    md->add_cnode_for_region(md->cnode_roots()[0], io, "app.c", 62);
+    md->freeze();
+    EXPECT_NE(md->digest(), d);
+  }
+  {  // system dimension
+    auto md = build_tiny();
+    Process& p = md->add_process(*md->nodes()[0], "rank 1", 1);
+    md->add_thread(p, "thread 0", 0);
+    md->freeze();
+    EXPECT_NE(md->digest(), d);
+  }
+  {  // topology coordinates
+    auto md = build_tiny();
+    md->processes()[0]->set_coords({0, 1});
+    md->freeze();
+    EXPECT_NE(md->digest(), d);
+  }
+}
+
+TEST(MetadataFreeze, CloneIsUnfrozenAndHashesEqualAfterFreeze) {
+  auto md = build_tiny();
+  md->freeze();
+  auto copy = md->clone();
+  EXPECT_FALSE(copy->frozen());
+  copy->freeze();
+  EXPECT_EQ(copy->digest(), md->digest());
+}
+
+TEST(MetadataFreeze, FreezeMetadataHelperFreezes) {
+  const std::shared_ptr<const Metadata> shared =
+      freeze_metadata(build_tiny());
+  ASSERT_NE(shared, nullptr);
+  EXPECT_TRUE(shared->frozen());
+  EXPECT_NE(shared->digest(), 0u);
+}
+
+TEST(MetadataInternerTest, DeduplicatesByDigest) {
+  MetadataInterner interner;
+  const auto a = interner.intern(freeze_metadata(build_tiny()));
+  const auto b = interner.intern(freeze_metadata(build_tiny()));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(MetadataInternerTest, DistinctStructuresStayDistinct) {
+  MetadataInterner interner;
+  auto variant = build_tiny();
+  variant->add_metric(nullptr, "visits", "Visits", Unit::Occurrences, "");
+  const auto a = interner.intern(freeze_metadata(build_tiny()));
+  const auto b = interner.intern(freeze_metadata(std::move(variant)));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(MetadataInternerTest, LookupFindsLiveEntries) {
+  MetadataInterner interner;
+  const auto a = interner.intern(freeze_metadata(build_tiny()));
+  EXPECT_EQ(interner.lookup(a->digest()).get(), a.get());
+  EXPECT_EQ(interner.lookup(a->digest() ^ 1u), nullptr);
+}
+
+TEST(MetadataInternerTest, DroppedInstancesExpire) {
+  MetadataInterner interner;
+  std::uint64_t digest = 0;
+  {
+    const auto a = interner.intern(freeze_metadata(build_tiny()));
+    digest = a->digest();
+  }
+  // The pool holds weak references only: once the last owner is gone, the
+  // digest resolves to nothing and a re-intern starts a fresh entry.
+  EXPECT_EQ(interner.lookup(digest), nullptr);
+  const auto b = interner.intern(freeze_metadata(build_tiny()));
+  EXPECT_EQ(b->digest(), digest);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cube

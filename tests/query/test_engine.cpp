@@ -247,5 +247,22 @@ TEST_F(QueryEngineTest, StatsReportStagesAndBytes) {
   EXPECT_FALSE(result.canonical.empty());
 }
 
+TEST_F(QueryEngineTest, SeriesLoadsShareInternedMetadata) {
+  for (int i = 0; i < 4; ++i) {
+    store_salted("run-" + std::to_string(i + 1), static_cast<double>(i),
+                 {{"series", "noise"}});
+  }
+  // Parallel loads across pool workers still dedup through the
+  // repository's interner: one metadata instance backs the whole series.
+  QueryEngine engine(*repo_, {.threads = 4, .store_derived = false});
+  const QueryResult result = engine.run("mean(attr(series=noise))");
+  EXPECT_EQ(result.stats.operands_loaded, 4u);
+  EXPECT_EQ(repo_->interner().size(), 1u);
+  // The mean over a digest-identical series shares that instance too.
+  EXPECT_EQ(result.experiment.metadata_ptr().get(),
+            repo_->interner().lookup(
+                result.experiment.metadata().digest()).get());
+}
+
 }  // namespace
 }  // namespace cube::query

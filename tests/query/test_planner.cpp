@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
+#include "io/cube_format.hpp"
 #include "testutil.hpp"
 
 namespace cube::query {
@@ -163,6 +165,38 @@ TEST_F(PlannerTest, RestoringAnOperandChangesDownstreamKeys) {
   EXPECT_NE(before.nodes[before.root].key, after.nodes[after.root].key);
   EXPECT_NE(before.nodes[before.root].canonical,
             after.nodes[after.root].canonical);
+}
+
+TEST_F(PlannerTest, ByRefLoadKeysMixInTheMetadataDigest) {
+  store_named("a");
+  const QueryPlan plan = plan_query(*parse_query("id(a)"), *repo_);
+  const ResolvedOperand& operand = plan.nodes[plan.root].operand;
+  // Blob-backed entry: the file digest alone no longer identifies the
+  // experiment content, so the key differs from it.
+  ASSERT_FALSE(repo_->entries()[0].meta.empty());
+  EXPECT_NE(operand.meta_digest, 0u);
+  EXPECT_NE(plan.nodes[plan.root].key, operand.digest);
+  // Planning again over unchanged files is stable.
+  const QueryPlan again = plan_query(*parse_query("id(a)"), *repo_);
+  EXPECT_EQ(again.nodes[again.root].key, plan.nodes[plan.root].key);
+}
+
+TEST_F(PlannerTest, LegacyEntriesKeepTheBareFileDigestKey) {
+  // A pre-refactor entry (inline metadata, no meta attribute) must keep
+  // its original cache key so existing cached cubes stay valid.
+  write_cube_xml_file(make_small(StorageKind::Dense, "old"),
+                      (dir_ / "old.cube").string());
+  {
+    std::ofstream out(dir_ / "index.xml");
+    out << "<repository>"
+           "<entry id=\"old\" file=\"old.cube\" format=\"xml\"/>"
+           "</repository>";
+  }
+  repo_ = std::make_unique<ExperimentRepository>(dir_);
+  const QueryPlan plan = plan_query(*parse_query("id(old)"), *repo_);
+  const PlanNode& node = plan.nodes[plan.root];
+  EXPECT_EQ(node.operand.meta_digest, 0u);
+  EXPECT_EQ(node.key, node.operand.digest);
 }
 
 TEST_F(PlannerTest, CanonicalFormNormalizesAliases) {
