@@ -1,0 +1,104 @@
+// cube_lint: static invariant checker for CUBE experiments and
+// repositories.
+//
+// Checks files (CUBE XML of either version, CUBEBIN binary, CUBEMET1
+// metadata blobs) or a whole experiment repository against the data-model
+// invariants the algebra assumes: well-formed metric/program/system
+// forests, resolving cross-dimension references, a severity function
+// confined to the metric x cnode x thread cross product with finite
+// values, matching content digests, and — in repository mode — index
+// integrity, blob reachability, orphans, and stale cached query results.
+// Every rule id is documented in docs/LINT.md.
+//
+// Usage:
+//   cube_lint <file>...            lint experiment files / metadata blobs
+//   cube_lint --repo <dir>         lint a whole repository
+//
+// Options:
+//   --format text|json   report format (default text)
+//   --no-values          skip the severity value scan (structure only)
+//   --no-digest          skip the structural digest recomputation
+//   --max-per-rule N     findings reported per value rule before folding
+//                        into a summary (default 16, 0 = unlimited)
+//   --quiet              no report, exit code only
+//
+// Exit code mirrors the worst finding: 0 clean (or notes only),
+// 1 warnings, 2 errors, 3 usage error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/file_lint.hpp"
+#include "lint/repo_lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <file>... | --repo <dir> [--format text|json]\n"
+               "  [--no-values] [--no-digest] [--max-per-rule N] [--quiet]\n";
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string repo_dir;
+  std::string format = "text";
+  bool quiet = false;
+  cube::lint::Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo" && i + 1 < argc) {
+      repo_dir = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "json") return usage(argv[0]);
+    } else if (arg == "--no-values") {
+      options.check_values = false;
+    } else if (arg == "--no-digest") {
+      options.check_digest = false;
+    } else if (arg == "--max-per-rule" && i + 1 < argc) {
+      try {
+        options.max_per_rule = std::stoul(argv[++i]);
+      } catch (...) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() == repo_dir.empty()) return usage(argv[0]);
+
+  cube::lint::DiagnosticSink sink;
+  if (!repo_dir.empty()) {
+    cube::lint::lint_repository(repo_dir, sink, options);
+  } else {
+    for (const std::string& file : files) {
+      // Prefix every finding with the file it concerns; with one file the
+      // prefix is still useful for scripts concatenating reports.
+      sink.set_subject(file);
+      cube::lint::lint_file(file, sink, options);
+    }
+    sink.set_subject({});
+  }
+
+  if (!quiet) {
+    if (format == "json") {
+      sink.write_json(std::cout);
+    } else {
+      sink.write_text(std::cout);
+    }
+  }
+  return sink.exit_code();
+}

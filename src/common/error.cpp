@@ -19,4 +19,23 @@ ParseError::ParseError(const std::string& what, std::size_t line,
 
 IoError::IoError(const std::string& what) : Error("io: " + what) {}
 
+namespace {
+
+std::string check_message(const std::string& rule, const std::string& location,
+                          const std::string& what) {
+  std::string out = "[" + rule + "] ";
+  if (!location.empty()) out += location + ": ";
+  out += what;
+  return out;
+}
+
+}  // namespace
+
+CheckError::CheckError(std::string rule, std::string location,
+                       const std::string& what)
+    : Error(check_message(rule, location, what)),
+      rule_(std::move(rule)),
+      location_(std::move(location)),
+      detail_(what) {}
+
 }  // namespace cube

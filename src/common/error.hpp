@@ -48,4 +48,32 @@ class IoError : public Error {
   explicit IoError(const std::string& what);
 };
 
+/// A well-known invariant of the data model or a file format was violated.
+///
+/// Unlike the plain Error/ParseError messages, a CheckError is STRUCTURED:
+/// it names the violated invariant by its lint rule id (docs/LINT.md) and
+/// the location within the experiment where it was detected (e.g.
+/// `metric "time" / cnode #42 / thread #3`).  The lint subsystem maps
+/// CheckErrors straight onto diagnostics; throw sites that detect a
+/// nameable invariant violation should prefer this type.
+class CheckError : public Error {
+ public:
+  CheckError(std::string rule, std::string location, const std::string& what);
+
+  /// The violated lint rule, e.g. "sev.out-of-range".
+  [[nodiscard]] const std::string& rule() const noexcept { return rule_; }
+  /// Where the violation sits, e.g. `metric "time" / cnode #42`; may be
+  /// empty when the failure concerns the whole file or stream.
+  [[nodiscard]] const std::string& location() const noexcept {
+    return location_;
+  }
+  /// The bare message without the rule/location prefix.
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::string rule_;
+  std::string location_;
+  std::string detail_;
+};
+
 }  // namespace cube

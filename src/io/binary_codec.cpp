@@ -38,7 +38,10 @@ void BinaryEncoder::str(const std::string& s) {
 
 void BinaryDecoder::need(std::size_t n) const {
   if (pos_ + n > data_.size()) {
-    throw Error("truncated CUBE binary data");
+    throw CheckError("file.truncated",
+                     "byte offset " + std::to_string(pos_),
+                     "stream ends " + std::to_string(n) +
+                         " byte(s) short of the next field");
   }
 }
 

@@ -60,15 +60,31 @@ std::vector<std::pair<std::string, std::string>> decode_attributes(
 }
 
 void decode_severity(detail::BinaryDecoder& d, Experiment& experiment) {
+  const Metadata& md = experiment.metadata();
   const std::uint32_t num_values = d.u32();
   for (std::uint32_t i = 0; i < num_values; ++i) {
     const std::uint32_t m = d.u32();
     const std::uint32_t c = d.u32();
     const std::uint32_t t = d.u32();
     const double v = d.f64();
+    if (m >= md.num_metrics() || c >= md.num_cnodes() ||
+        t >= md.num_threads()) {
+      throw CheckError(
+          "sev.out-of-range",
+          "metric #" + std::to_string(m) + " / cnode #" + std::to_string(c) +
+              " / thread #" + std::to_string(t),
+          "severity triple #" + std::to_string(i) +
+              " lies outside the metric x cnode x thread cross product (" +
+              std::to_string(md.num_metrics()) + " x " +
+              std::to_string(md.num_cnodes()) + " x " +
+              std::to_string(md.num_threads()) + ")");
+    }
     experiment.severity().set(m, c, t, v);
   }
-  if (!d.done()) throw Error("trailing bytes after CUBE binary stream");
+  if (!d.done()) {
+    throw CheckError("file.trailing-bytes", "",
+                     "trailing bytes after CUBE binary stream");
+  }
 }
 
 }  // namespace
@@ -126,7 +142,8 @@ Experiment read_cube_binary(std::string_view data, StorageKind storage,
                                   sizeof kRefMagic) == 0;
   if (!by_ref && (data.size() < sizeof kMagic ||
                   std::memcmp(data.data(), kMagic, sizeof kMagic) != 0)) {
-    throw Error("not a CUBE binary stream (bad magic)");
+    throw CheckError("file.bad-magic", "",
+                     "not a CUBE binary stream (bad magic)");
   }
   detail::BinaryDecoder d(data.substr(sizeof kMagic));
   auto attrs = decode_attributes(d);
@@ -142,7 +159,9 @@ Experiment read_cube_binary(std::string_view data, StorageKind storage,
       }
       auto md = resolver(digest);
       if (md == nullptr) {
-        throw Error("unresolved metadata digest " + digest_hex(digest));
+        throw CheckError(
+            "meta.unresolved-ref", "",
+            "no metadata blob resolves digest " + digest_hex(digest));
       }
       return Experiment(std::move(md), storage);
     }

@@ -254,8 +254,10 @@ long parse_long_attr(const XmlNode& node, std::string_view attr,
   if (!v) return fallback;
   double d = 0;
   if (!parse_double(*v, d)) {
-    throw Error("element <" + node.name + "> has non-numeric attribute '" +
-                std::string(attr) + "'");
+    throw CheckError("parse.number",
+                     "element <" + node.name + "> / attribute '" +
+                         std::string(attr) + "'",
+                     "value '" + std::string(*v) + "' is not a number");
   }
   return static_cast<long>(d);
 }
@@ -292,7 +294,8 @@ class CubeDecoder {
     const std::string hex(ref.required_attr("digest"));
     std::uint64_t digest = 0;
     if (!parse_hex64(hex, digest)) {
-      throw Error("malformed metadata digest '" + hex + "'");
+      throw CheckError("meta.bad-ref", "element <metaref>",
+                       "malformed metadata digest '" + hex + "'");
     }
     if (!resolver_) {
       throw Error(
@@ -302,7 +305,8 @@ class CubeDecoder {
     }
     auto md = resolver_(digest);
     if (md == nullptr) {
-      throw Error("unresolved metadata digest " + hex);
+      throw CheckError("meta.unresolved-ref", "element <metaref>",
+                       "no metadata blob resolves digest " + hex);
     }
     // Severity ids in the by-reference form ARE the dense indices of the
     // referenced metadata: the id maps become the identity.
@@ -334,7 +338,9 @@ class CubeDecoder {
         md.add_metric(parent, uniq, disp, parse_unit(node.child_text("uom")),
                       node.child_text("descr"));
     if (!metric_ids_.emplace(file_id, m.index()).second) {
-      throw Error("duplicate metric id " + std::to_string(file_id));
+      throw CheckError("forest.duplicate-id",
+                       "metric #" + std::to_string(file_id),
+                       "the metric id appears more than once in the document");
     }
     for (const XmlNode* child : node.children_named("metric")) {
       decode_metric_tree(md, *child, &m);
@@ -355,13 +361,18 @@ class CubeDecoder {
     const std::size_t csite_id = parse_id(node, "csite");
     const auto cs = callsite_ids_.find(csite_id);
     if (cs == callsite_ids_.end()) {
-      throw Error("cnode references unknown csite " +
-                  std::to_string(csite_id));
+      throw CheckError("ref.dangling-callsite",
+                       "cnode #" + std::to_string(file_id),
+                       "cnode references csite id " +
+                           std::to_string(csite_id) +
+                           " which the <program> section does not define");
     }
     const Cnode& c =
         md.add_cnode(parent, *md.callsites()[cs->second]);
     if (!cnode_ids_.emplace(file_id, c.index()).second) {
-      throw Error("duplicate cnode id " + std::to_string(file_id));
+      throw CheckError("forest.duplicate-id",
+                       "cnode #" + std::to_string(file_id),
+                       "the cnode id appears more than once in the document");
     }
     for (const XmlNode* child : node.children_named("cnode")) {
       decode_cnode_tree(md, *child, &c);
@@ -379,7 +390,9 @@ class CubeDecoder {
           parse_long_attr(*r, "begin", -1), parse_long_attr(*r, "end", -1),
           std::string(r->attr("descr").value_or("")));
       if (!region_ids_.emplace(file_id, region.index()).second) {
-        throw Error("duplicate region id " + std::to_string(file_id));
+        throw CheckError("forest.duplicate-id",
+                       "region #" + std::to_string(file_id),
+                       "the region id appears more than once in the document");
       }
     }
     for (const XmlNode* cs : program->children_named("csite")) {
@@ -387,15 +400,20 @@ class CubeDecoder {
       const std::size_t callee_id = parse_id(*cs, "callee");
       const auto callee = region_ids_.find(callee_id);
       if (callee == region_ids_.end()) {
-        throw Error("csite references unknown region " +
-                    std::to_string(callee_id));
+        throw CheckError("ref.dangling-callee",
+                         "csite #" + std::to_string(file_id),
+                         "csite references callee region id " +
+                             std::to_string(callee_id) +
+                             " which the <program> section does not define");
       }
       const CallSite& site = md.add_callsite(
           *md.regions()[callee->second],
           std::string(cs->attr("file").value_or("")),
           parse_long_attr(*cs, "line", -1));
       if (!callsite_ids_.emplace(file_id, site.index()).second) {
-        throw Error("duplicate csite id " + std::to_string(file_id));
+        throw CheckError("forest.duplicate-id",
+                       "csite #" + std::to_string(file_id),
+                       "the csite id appears more than once in the document");
       }
     }
     for (const XmlNode* c : program->children_named("cnode")) {
@@ -423,8 +441,12 @@ class CubeDecoder {
               if (piece.empty()) continue;
               double d = 0;
               if (!parse_double(piece, d)) {
-                throw Error("malformed coords '" + std::string(*coords) +
-                            "'");
+                throw CheckError(
+                    "parse.number",
+                    "process rank " + std::to_string(process.rank()) +
+                        " / coordinate #" + std::to_string(cs.size()),
+                    "token '" + piece + "' in coords '" +
+                        std::string(*coords) + "' is not a number");
               }
               cs.push_back(static_cast<long>(d));
             }
@@ -436,7 +458,9 @@ class CubeDecoder {
                 process, std::string(tn->attr("name").value_or("thread")),
                 parse_long_attr(*tn, "tid", 0));
             if (!thread_ids_.emplace(file_id, thread.index()).second) {
-              throw Error("duplicate thread id " + std::to_string(file_id));
+              throw CheckError("forest.duplicate-id",
+                       "thread #" + std::to_string(file_id),
+                       "the thread id appears more than once in the document");
             }
           }
         }
@@ -452,28 +476,45 @@ class CubeDecoder {
       const std::size_t metric_file_id = parse_id(*matrix, "metric");
       const auto m = metric_ids_.find(metric_file_id);
       if (m == metric_ids_.end()) {
-        throw Error("severity matrix references unknown metric " +
-                    std::to_string(metric_file_id));
+        throw CheckError("ref.dangling-metric",
+                         "severity matrix metric #" +
+                             std::to_string(metric_file_id),
+                         "matrix references a metric id the <metrics> "
+                         "section does not define");
       }
       for (const XmlNode* row : matrix->children_named("row")) {
         const std::size_t cnode_file_id = parse_id(*row, "cnode");
         const auto c = cnode_ids_.find(cnode_file_id);
         if (c == cnode_ids_.end()) {
-          throw Error("severity row references unknown cnode " +
-                      std::to_string(cnode_file_id));
+          throw CheckError("ref.dangling-cnode",
+                           "metric #" + std::to_string(metric_file_id) +
+                               " / severity row cnode #" +
+                               std::to_string(cnode_file_id),
+                           "row references a cnode id the <program> "
+                           "section does not define");
         }
         std::size_t t = 0;
         std::istringstream tokens{row->text};
         std::string piece;
         while (tokens >> piece) {
           if (t >= num_threads) {
-            throw Error("severity row for cnode " +
-                        std::to_string(cnode_file_id) + " has more than " +
-                        std::to_string(num_threads) + " values");
+            throw CheckError(
+                "sev.out-of-range",
+                "metric #" + std::to_string(metric_file_id) + " / cnode #" +
+                    std::to_string(cnode_file_id) + " / thread #" +
+                    std::to_string(t),
+                "severity row holds more than the " +
+                    std::to_string(num_threads) +
+                    " values the system dimension admits");
           }
           double v = 0;
           if (!parse_double(piece, v)) {
-            throw Error("malformed severity value '" + piece + "'");
+            throw CheckError(
+                "sev.malformed-value",
+                "metric #" + std::to_string(metric_file_id) + " / cnode #" +
+                    std::to_string(cnode_file_id) + " / thread #" +
+                    std::to_string(t),
+                "severity token '" + piece + "' is not a number");
           }
           // Threads were created in document order: file thread position ==
           // in-memory index order within the row.

@@ -47,17 +47,22 @@ std::string to_cube_meta(const Metadata& metadata) {
 
 std::shared_ptr<const Metadata> read_cube_meta(std::string_view data) {
   if (!is_cube_meta(data)) {
-    throw Error("not a CUBE metadata blob (bad magic)");
+    throw CheckError("file.bad-magic", "",
+                     "not a CUBE metadata blob (bad magic)");
   }
   detail::BinaryDecoder d(data.substr(sizeof kMetaMagic));
   const std::uint64_t recorded = d.u64();
   auto md = detail::decode_metadata(d);
-  if (!d.done()) throw Error("trailing bytes after CUBE metadata blob");
+  if (!d.done()) {
+    throw CheckError("file.trailing-bytes", "",
+                     "trailing bytes after CUBE metadata blob");
+  }
   auto frozen = freeze_metadata(std::move(md));
   if (frozen->digest() != recorded) {
-    throw Error("metadata blob digest mismatch (recorded " +
-                digest_hex(recorded) + ", content hashes to " +
-                digest_hex(frozen->digest()) + ")");
+    throw CheckError("meta.digest-mismatch", "",
+                     "metadata blob digest mismatch (recorded " +
+                         digest_hex(recorded) + ", content hashes to " +
+                         digest_hex(frozen->digest()) + ")");
   }
   return frozen;
 }
@@ -86,8 +91,9 @@ MetadataResolver directory_resolver(std::filesystem::path directory,
     if (md->digest() != digest) {
       // read_cube_meta verified content against the blob's own record; this
       // guards against a blob filed under the wrong name.
-      throw Error("metadata blob '" + meta_blob_name(digest) +
-                  "' holds digest " + digest_hex(md->digest()));
+      throw CheckError("meta.misfiled-blob", meta_blob_name(digest),
+                       "blob holds digest " + digest_hex(md->digest()) +
+                           ", not the digest its file name claims");
     }
     return interner != nullptr ? interner->intern(std::move(md)) : md;
   };

@@ -226,9 +226,12 @@ Experiment ExperimentRepository::load(const std::string& id) const {
 Experiment ExperimentRepository::load_path(const std::filesystem::path& path,
                                            RepoFormat format,
                                            StorageKind storage) const {
-  return format == RepoFormat::Binary
-             ? read_cube_binary_file(path.string(), storage, resolver())
-             : read_cube_xml_file(path.string(), storage, resolver());
+  Experiment experiment =
+      format == RepoFormat::Binary
+          ? read_cube_binary_file(path.string(), storage, resolver())
+          : read_cube_xml_file(path.string(), storage, resolver());
+  if (validator_) validator_(experiment, path.string());
+  return experiment;
 }
 
 std::size_t ExperimentRepository::migrate() {

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,6 +37,12 @@ namespace cube {
 
 /// On-disk encoding of a stored experiment.
 enum class RepoFormat { Xml, Binary };
+
+/// Validation hook run over every experiment a repository loads; `context`
+/// names the data source (the file path).  Throwing aborts the load.  The
+/// lint subsystem provides a ready-made one (cube::lint::load_validator).
+using LoadValidator =
+    std::function<void(const Experiment&, const std::string&)>;
 
 /// One index entry.
 struct RepoEntry {
@@ -90,6 +97,17 @@ class ExperimentRepository {
     return interner_;
   }
 
+  /// Installs (or clears, with an empty function) a validator run over
+  /// every experiment load()/load_path()/load_all() produces.  Off by
+  /// default: the readers already reject malformed data, so the extra
+  /// O(data) pass is opt-in for pipelines that ingest foreign files.
+  void set_load_validator(LoadValidator validator) {
+    validator_ = std::move(validator);
+  }
+  [[nodiscard]] const LoadValidator& load_validator() const noexcept {
+    return validator_;
+  }
+
   /// Rewrites every legacy entry (inline metadata) to the blob-backed
   /// layout in place; returns how many entries were rewritten.
   std::size_t migrate();
@@ -138,6 +156,7 @@ class ExperimentRepository {
   std::filesystem::path directory_;
   std::vector<RepoEntry> entries_;
   mutable MetadataInterner interner_;
+  LoadValidator validator_;
 };
 
 }  // namespace cube

@@ -1,0 +1,100 @@
+// Structured diagnostics for the static invariant checker (docs/LINT.md).
+//
+// Every lint rule reports through a Diagnostic: the rule id it fired
+// (stable, dot-separated, e.g. "sev.out-of-range"), a severity level, a
+// location path into the experiment or repository (e.g.
+// `metric "time" / cnode #42`), the finding itself, and an optional fix
+// hint.  A DiagnosticSink collects them; consumers render text or JSON,
+// or turn error-level findings into a ValidationError (load guarding).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cube::lint {
+
+/// How severe a finding is.  `Error` marks data the algebra is not defined
+/// over; `Warning` marks data that is technically valid but will surprise
+/// (shadowed regions, stale cache entries); `Note` is informational.
+enum class Level { Note, Warning, Error };
+
+/// Canonical lower-case rendering ("note", "warning", "error").
+[[nodiscard]] std::string_view level_name(Level level) noexcept;
+
+/// One finding of the checker.
+struct Diagnostic {
+  std::string rule;      ///< stable rule id, e.g. "forest.empty-process"
+  Level level = Level::Error;
+  std::string location;  ///< path into the data, e.g. `metric "time"`
+  std::string message;   ///< what is wrong
+  std::string hint;      ///< optional: how to fix it
+};
+
+/// Collector all rules report into.
+///
+/// The sink also carries the SUBJECT currently being linted (a file name,
+/// a repository entry id); rules prepend it to their locations so one sink
+/// can span a whole repository run.
+class DiagnosticSink {
+ public:
+  /// Reports a finding; `location` is prefixed with the current subject.
+  void report(std::string rule, Level level, std::string location,
+              std::string message, std::string hint = {});
+
+  void error(std::string rule, std::string location, std::string message,
+             std::string hint = {}) {
+    report(std::move(rule), Level::Error, std::move(location),
+           std::move(message), std::move(hint));
+  }
+  void warning(std::string rule, std::string location, std::string message,
+               std::string hint = {}) {
+    report(std::move(rule), Level::Warning, std::move(location),
+           std::move(message), std::move(hint));
+  }
+  void note(std::string rule, std::string location, std::string message,
+            std::string hint = {}) {
+    report(std::move(rule), Level::Note, std::move(location),
+           std::move(message), std::move(hint));
+  }
+
+  /// Sets the subject prefix for subsequent reports ("" clears it).
+  void set_subject(std::string subject) { subject_ = std::move(subject); }
+  [[nodiscard]] const std::string& subject() const noexcept {
+    return subject_;
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t errors() const noexcept { return errors_; }
+  [[nodiscard]] std::size_t warnings() const noexcept { return warnings_; }
+  [[nodiscard]] std::size_t notes() const noexcept { return notes_; }
+
+  /// True if any finding reached `level`.
+  [[nodiscard]] bool reached(Level level) const noexcept;
+
+  /// Process exit code mirroring the max severity: 0 clean (or notes
+  /// only), 1 warnings, 2 errors.
+  [[nodiscard]] int exit_code() const noexcept;
+
+  /// True if a diagnostic with this rule id was reported.
+  [[nodiscard]] bool has_rule(std::string_view rule) const noexcept;
+
+  /// Human-readable report, one line per finding plus a summary line.
+  void write_text(std::ostream& out) const;
+  /// Machine-readable report: one JSON object with a findings array and
+  /// per-level counts.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::string subject_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+  std::size_t notes_ = 0;
+};
+
+}  // namespace cube::lint

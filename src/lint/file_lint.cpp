@@ -1,0 +1,84 @@
+#include "lint/file_lint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "io/binary_format.hpp"
+#include "io/cube_format.hpp"
+
+namespace cube::lint {
+
+namespace {
+
+/// Reports a load failure as a diagnostic, preserving the structure of a
+/// CheckError and degrading gracefully for the legacy exception types.
+void report_exception(DiagnosticSink& sink) {
+  try {
+    throw;
+  } catch (const CheckError& e) {
+    sink.error(e.rule(), e.location(), e.detail());
+  } catch (const ParseError& e) {
+    sink.error("parse.syntax",
+               "line " + std::to_string(e.line()) + ", column " +
+                   std::to_string(e.column()),
+               e.what());
+  } catch (const ValidationError& e) {
+    sink.error("model.invalid", "", e.what());
+  } catch (const IoError& e) {
+    sink.error("file.io", "", e.what());
+  } catch (const Error& e) {
+    sink.error("file.unreadable", "", e.what());
+  }
+}
+
+}  // namespace
+
+std::optional<Experiment> lint_file(const std::filesystem::path& path,
+                                    DiagnosticSink& sink,
+                                    const Options& options,
+                                    const MetadataResolver& resolver,
+                                    FileKind* kind_out) {
+  if (kind_out != nullptr) *kind_out = FileKind::Unreadable;
+
+  std::string head;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      sink.error("file.io", "", "cannot open file '" + path.string() + "'");
+      return std::nullopt;
+    }
+    char buffer[8] = {};
+    in.read(buffer, sizeof buffer);
+    head.assign(buffer, static_cast<std::size_t>(in.gcount()));
+  }
+
+  if (is_cube_meta(head)) {
+    if (kind_out != nullptr) *kind_out = FileKind::MetadataBlob;
+    try {
+      // read_cube_meta_file already proves content-vs-recorded digest; the
+      // structural recheck below would only repeat it.
+      auto md = read_cube_meta_file(path.string());
+      Options blob_options = options;
+      blob_options.check_digest = false;
+      lint_metadata(*md, sink, blob_options);
+    } catch (const Error&) {
+      report_exception(sink);
+    }
+    return std::nullopt;
+  }
+
+  if (kind_out != nullptr) *kind_out = FileKind::Experiment;
+  try {
+    Experiment e = read_experiment_file(path.string(), StorageKind::Dense,
+                                        resolver);
+    lint_experiment(e, sink, options);
+    return e;
+  } catch (const Error&) {
+    report_exception(sink);
+    return std::nullopt;
+  }
+}
+
+}  // namespace cube::lint

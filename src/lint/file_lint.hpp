@@ -1,0 +1,39 @@
+// File-level lint: runs the invariant checker over on-disk artifacts.
+//
+// The readers in src/io already detect format violations and throw — most
+// of them as structured CheckErrors carrying a rule id and a location.
+// This pass turns a load attempt into diagnostics instead of an exception:
+// a CheckError maps 1:1 onto a Diagnostic, the legacy exception types map
+// onto the generic parse/io rules, and a file that loads cleanly is then
+// handed to the in-memory passes (lint.hpp).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "io/meta_format.hpp"
+#include "lint/lint.hpp"
+
+namespace cube::lint {
+
+/// What lint_file found the artifact to be.
+enum class FileKind { Experiment, MetadataBlob, Unreadable };
+
+/// Lints one artifact: a CUBE XML / CUBEBIN experiment file or a CUBEMET1
+/// metadata blob (classified by content).  Load failures are reported into
+/// `sink`; a loaded experiment (or blob) additionally runs through
+/// lint_experiment / lint_metadata.
+///
+/// By-reference files resolve through `resolver` when given, else against
+/// the meta/ directory next to the file (the repository layout).  The
+/// caller owns the sink's subject; this function does not change it.
+///
+/// Returns the successfully loaded experiment (empty for blobs or on
+/// failure) so callers can chain further checks without re-reading.
+std::optional<Experiment> lint_file(const std::filesystem::path& path,
+                                    DiagnosticSink& sink,
+                                    const Options& options = {},
+                                    const MetadataResolver& resolver = {},
+                                    FileKind* kind_out = nullptr);
+
+}  // namespace cube::lint

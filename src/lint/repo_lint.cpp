@@ -1,0 +1,196 @@
+#include "lint/repo_lint.hpp"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/digest.hpp"
+#include "common/error.hpp"
+#include "io/meta_format.hpp"
+#include "io/repository.hpp"
+#include "lint/file_lint.hpp"
+
+namespace cube::lint {
+
+namespace {
+
+// Attribute names the query engine stamps onto cached results; see
+// src/query/planner.hpp (kCacheKeyAttribute / kCacheExprAttribute).  Spelled
+// out here because lint sits below the query layer (the engine calls INTO
+// lint for load validation).
+constexpr const char* kCacheKey = "cube::cache-key";
+constexpr const char* kCacheExpr = "cube::cache-expr";
+
+/// One `id:<entry>@<hexdigest>` operand reference of a canonical cache
+/// expression.
+struct OperandRef {
+  std::string id;
+  std::string hex;
+};
+
+/// Extracts every operand reference from a canonical expression like
+/// `difference(id:before@00ab...,id:after@00cd...)`.
+std::vector<OperandRef> parse_operand_refs(const std::string& expr) {
+  std::vector<OperandRef> refs;
+  std::size_t pos = 0;
+  while ((pos = expr.find("id:", pos)) != std::string::npos) {
+    pos += 3;
+    const std::size_t at = expr.find('@', pos);
+    if (at == std::string::npos) break;
+    std::size_t end = at + 1;
+    while (end < expr.size() &&
+           std::isxdigit(static_cast<unsigned char>(expr[end])) != 0) {
+      ++end;
+    }
+    refs.push_back(
+        OperandRef{expr.substr(pos, at - pos), expr.substr(at + 1, end - at - 1)});
+    pos = end;
+  }
+  return refs;
+}
+
+void lint_cache_entry(const ExperimentRepository& repo, const RepoEntry& entry,
+                      const std::map<std::string, const RepoEntry*>& by_id,
+                      DiagnosticSink& sink) {
+  const auto expr = entry.attributes.find(kCacheExpr);
+  if (expr == entry.attributes.end()) {
+    sink.warning("repo.stale-cache", "attribute \"" + std::string(kCacheKey) +
+                                         "\"",
+                 "cached result records no canonical expression",
+                 "without " + std::string(kCacheExpr) +
+                     " the entry can never be reused; remove it");
+    return;
+  }
+  for (const OperandRef& ref : parse_operand_refs(expr->second)) {
+    const auto it = by_id.find(ref.id);
+    if (it == by_id.end()) {
+      sink.warning("repo.stale-cache", "operand \"" + ref.id + "\"",
+                   "cached result references an experiment that has left "
+                   "the repository",
+                   "the cache key can never be produced again; remove the "
+                   "entry");
+      continue;
+    }
+    std::uint64_t current = 0;
+    try {
+      current = digest_file(repo.directory() / it->second->file);
+    } catch (const Error&) {
+      continue;  // the missing/unreadable file gets its own diagnostic
+    }
+    if (digest_hex(current) != ref.hex) {
+      sink.warning("repo.stale-cache", "operand \"" + ref.id + "\"",
+                   "operand file changed since the result was cached "
+                   "(recorded digest " + ref.hex + ", file now hashes to " +
+                       digest_hex(current) + ")",
+                   "the engine will recompute and re-store; remove the "
+                   "stale entry to reclaim space");
+    }
+  }
+}
+
+void lint_blobs(const ExperimentRepository& repo, DiagnosticSink& sink,
+                const Options& options) {
+  const std::filesystem::path meta_dir = repo.directory() / "meta";
+  std::error_code ec;
+  if (!std::filesystem::exists(meta_dir, ec)) return;
+  std::set<std::filesystem::path> blobs;  // deterministic report order
+  for (const auto& entry : std::filesystem::directory_iterator(meta_dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".meta") {
+      blobs.insert(entry.path());
+    }
+  }
+  for (const std::filesystem::path& blob : blobs) {
+    sink.set_subject("meta/" + blob.filename().string());
+    try {
+      auto md = read_cube_meta_file(blob.string());
+      if (meta_blob_name(md->digest()) != blob.filename().string()) {
+        sink.error("meta.misfiled-blob", "",
+                   "blob holds digest " + digest_hex(md->digest()) +
+                       ", not the digest its file name claims",
+                   "a resolver looking the content up by its digest will "
+                   "never find it here");
+      }
+      Options blob_options = options;
+      blob_options.check_digest = false;  // read_cube_meta_file verified it
+      lint_metadata(*md, sink, blob_options);
+    } catch (const CheckError& e) {
+      sink.error(e.rule(), e.location(), e.detail());
+    } catch (const Error& e) {
+      sink.error("file.unreadable", "", e.what());
+    }
+  }
+  for (const std::string& orphan : repo.orphan_blobs()) {
+    sink.set_subject({});
+    sink.warning("repo.orphan-blob", orphan,
+                 "metadata blob is referenced by no index entry",
+                 "likely left over from a crash between blob write and "
+                 "index write; remove_orphan_blobs() reclaims it");
+  }
+}
+
+}  // namespace
+
+void lint_repository(const std::filesystem::path& directory,
+                     DiagnosticSink& sink, const Options& options) {
+  const std::string old_subject = sink.subject();
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) {
+    sink.error("repo.bad-index", directory.string(),
+               "not a directory");
+    return;
+  }
+  if (!std::filesystem::exists(directory / "index.xml", ec)) {
+    sink.error("repo.bad-index", directory.string(),
+               "directory carries no index.xml",
+               "an experiment repository is identified by its index; is "
+               "this the right path?");
+    return;
+  }
+
+  std::unique_ptr<ExperimentRepository> repo;
+  try {
+    repo = std::make_unique<ExperimentRepository>(directory);
+  } catch (const Error& e) {
+    sink.error("repo.bad-index", (directory / "index.xml").string(), e.what());
+    return;
+  }
+
+  std::map<std::string, const RepoEntry*> by_id;
+  for (const RepoEntry& entry : repo->entries()) {
+    if (!by_id.emplace(entry.id, &entry).second) {
+      sink.error("repo.duplicate-id", "entry \"" + entry.id + "\"",
+                 "the id appears more than once in the index",
+                 "load(id) resolves to the first occurrence; the later "
+                 "entry is unreachable");
+    }
+  }
+
+  for (const RepoEntry& entry : repo->entries()) {
+    sink.set_subject("entry \"" + entry.id + "\"");
+    const std::filesystem::path file = directory / entry.file;
+    if (!std::filesystem::is_regular_file(file, ec)) {
+      sink.error("repo.missing-file", entry.file,
+                 "file listed in the index does not exist");
+      continue;
+    }
+    if (!entry.meta.empty() &&
+        !std::filesystem::is_regular_file(
+            directory / "meta" / (entry.meta + ".meta"), ec)) {
+      sink.error("repo.missing-blob", "meta/" + entry.meta + ".meta",
+                 "metadata blob referenced by the entry does not exist",
+                 "every experiment over this metadata is unloadable");
+      continue;  // loading below could only repeat the failure
+    }
+    lint_file(file, sink, options, repo->resolver());
+    if (entry.attributes.count(kCacheKey) != 0) {
+      lint_cache_entry(*repo, entry, by_id, sink);
+    }
+  }
+
+  lint_blobs(*repo, sink, options);
+  sink.set_subject(old_subject);
+}
+
+}  // namespace cube::lint

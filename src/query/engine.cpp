@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "io/binary_format.hpp"
 #include "io/cube_format.hpp"
+#include "lint/lint.hpp"
 
 namespace cube::query {
 
@@ -35,8 +36,11 @@ struct CachedCube {
 // digest shares a single in-memory instance even when loaded from
 // different pool workers.
 Experiment read_stored(const ExperimentRepository& repo,
-                       const std::filesystem::path& path, RepoFormat format) {
-  return repo.load_path(path, format);
+                       const std::filesystem::path& path, RepoFormat format,
+                       bool validate) {
+  Experiment experiment = repo.load_path(path, format);
+  if (validate) lint::require_valid(experiment, path.string());
+  return experiment;
 }
 
 Experiment apply_op(QueryExpr::Op op,
@@ -155,7 +159,8 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
       case Action::LoadOperand: {
         const auto t0 = Clock::now();
         auto e = std::make_shared<Experiment>(
-            read_stored(repo_, node.operand.path, node.operand.format));
+            read_stored(repo_, node.operand.path, node.operand.format,
+                        options_.validate_loads));
         std::lock_guard<std::mutex> lock(mutex);
         results[i] = std::move(e);
         ++stats.operands_loaded;
@@ -169,7 +174,8 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
         const std::uintmax_t size =
             std::filesystem::file_size(cached[i].path, ec);
         auto e = std::make_shared<Experiment>(
-            read_stored(repo_, cached[i].path, cached[i].format));
+            read_stored(repo_, cached[i].path, cached[i].format,
+                        options_.validate_loads));
         std::lock_guard<std::mutex> lock(mutex);
         results[i] = std::move(e);
         ++stats.cache_hits;

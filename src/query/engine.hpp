@@ -39,6 +39,12 @@ struct QueryOptions {
   bool use_cache = true;
   /// Persist computed sub-expressions back into the repository.
   bool store_derived = true;
+  /// Run the invariant checker (cube::lint::require_valid) over every
+  /// experiment loaded from the repository — operands and cache hits —
+  /// throwing ValidationError on error-level findings.  Off by default:
+  /// the readers already reject malformed files, so the extra O(data)
+  /// pass is for pipelines that ingest repositories they did not write.
+  bool validate_loads = false;
   OperatorOptions operators;
 };
 

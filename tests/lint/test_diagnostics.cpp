@@ -1,0 +1,80 @@
+#include "lint/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using cube::lint::DiagnosticSink;
+using cube::lint::Level;
+
+TEST(Diagnostics, CountsPerLevelAndExitCode) {
+  DiagnosticSink sink;
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.exit_code(), 0);
+
+  sink.note("a.note", "", "informational");
+  EXPECT_EQ(sink.exit_code(), 0);  // notes alone stay clean
+  EXPECT_TRUE(sink.reached(Level::Note));
+  EXPECT_FALSE(sink.reached(Level::Warning));
+
+  sink.warning("a.warning", "", "suspicious");
+  EXPECT_EQ(sink.exit_code(), 1);
+  EXPECT_TRUE(sink.reached(Level::Warning));
+  EXPECT_FALSE(sink.reached(Level::Error));
+
+  sink.error("a.error", "", "broken");
+  EXPECT_EQ(sink.exit_code(), 2);
+  EXPECT_TRUE(sink.reached(Level::Error));
+
+  EXPECT_EQ(sink.notes(), 1u);
+  EXPECT_EQ(sink.warnings(), 1u);
+  EXPECT_EQ(sink.errors(), 1u);
+  EXPECT_EQ(sink.diagnostics().size(), 3u);
+  EXPECT_TRUE(sink.has_rule("a.warning"));
+  EXPECT_FALSE(sink.has_rule("a.missing"));
+}
+
+TEST(Diagnostics, SubjectPrefixesLocations) {
+  DiagnosticSink sink;
+  sink.set_subject("entry \"run-1\"");
+  sink.error("r.x", "metric \"time\"", "bad");
+  sink.error("r.y", "", "bad too");
+  sink.set_subject({});
+  sink.error("r.z", "cnode #1", "still bad");
+
+  EXPECT_EQ(sink.diagnostics()[0].location, "entry \"run-1\" / metric \"time\"");
+  EXPECT_EQ(sink.diagnostics()[1].location, "entry \"run-1\"");
+  EXPECT_EQ(sink.diagnostics()[2].location, "cnode #1");
+}
+
+TEST(Diagnostics, TextReportListsFindingsAndSummary) {
+  DiagnosticSink sink;
+  sink.warning("sev.negative", "metric \"time\" / cnode #2 / thread #0",
+               "negative severity", "measured quantities are non-negative");
+  std::ostringstream out;
+  sink.write_text(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("warning [sev.negative]"), std::string::npos);
+  EXPECT_NE(text.find("metric \"time\" / cnode #2 / thread #0"),
+            std::string::npos);
+  EXPECT_NE(text.find("hint: measured quantities"), std::string::npos);
+  EXPECT_NE(text.find("0 error(s), 1 warning(s), 0 note(s)"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, JsonReportEscapesSpecialCharacters) {
+  DiagnosticSink sink;
+  sink.error("r.q", "region \"a\\b\"", "line1\nline2");
+  std::ostringstream out;
+  sink.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"r.q\""), std::string::npos);
+  EXPECT_NE(json.find("region \\\"a\\\\b\\\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_EQ(json.find("line1\nline2"), std::string::npos);  // no raw newline
+}
+
+}  // namespace

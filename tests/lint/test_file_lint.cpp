@@ -1,0 +1,166 @@
+// File-level lint over deliberately corrupted on-disk fixtures: each
+// corruption must surface as the documented rule id, never as a crash or a
+// silently wrong experiment.
+#include "lint/file_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "io/binary_format.hpp"
+#include "io/cube_format.hpp"
+#include "io/meta_format.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+using cube::Experiment;
+using cube::lint::DiagnosticSink;
+using cube::lint::FileKind;
+using cube::testing::make_small;
+
+class FileLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("cube_lint_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_ / "meta");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path write(const std::string& name,
+                              const std::string& bytes) const {
+    const std::filesystem::path path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileLintTest, CleanFilesOfEveryFormatReportNothing) {
+  const Experiment e = make_small();
+  const auto xml = write("clean.cube", cube::to_cube_xml(e));
+  const auto bin = write("clean.cubx", cube::to_cube_binary(e));
+  const auto blob = write("clean.meta", cube::to_cube_meta(e.metadata()));
+
+  for (const auto& path : {xml, bin}) {
+    DiagnosticSink sink;
+    FileKind kind = FileKind::Unreadable;
+    const auto loaded = cube::lint::lint_file(path, sink, {}, {}, &kind);
+    EXPECT_TRUE(sink.empty()) << path;
+    EXPECT_EQ(kind, FileKind::Experiment);
+    ASSERT_TRUE(loaded.has_value()) << path;
+    EXPECT_EQ(loaded->metadata().digest(), e.metadata().digest());
+  }
+  DiagnosticSink sink;
+  FileKind kind = FileKind::Unreadable;
+  EXPECT_FALSE(cube::lint::lint_file(blob, sink, {}, {}, &kind).has_value());
+  EXPECT_EQ(kind, FileKind::MetadataBlob);
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST_F(FileLintTest, TruncatedBinaryRefStream) {
+  // A CUBEBIN2 file cut short mid-stream: the decoder must stop at the
+  // exact missing field, not read past the buffer.
+  const Experiment e = make_small();
+  cube::write_cube_meta_file(
+      e.metadata(),
+      (dir_ / "meta" / cube::meta_blob_name(e.metadata().digest())).string());
+  const std::string full = cube::to_cube_binary_ref(e);
+  const auto path =
+      write("truncated.cubx", full.substr(0, full.size() * 3 / 5));
+
+  DiagnosticSink sink;
+  cube::lint::lint_file(path, sink, {}, cube::directory_resolver(dir_));
+  EXPECT_TRUE(sink.has_rule("file.truncated"));
+  EXPECT_EQ(sink.exit_code(), 2);
+}
+
+TEST_F(FileLintTest, MetadataBlobWithFlippedDigestByte) {
+  // Flip one byte of the recorded digest (bytes 8..15, right after the
+  // magic): the content then no longer hashes to what the blob claims.
+  std::string blob = cube::to_cube_meta(make_small().metadata());
+  blob[10] = static_cast<char>(blob[10] ^ 0x01);
+  const auto path = write("flipped.meta", blob);
+
+  DiagnosticSink sink;
+  FileKind kind = FileKind::Unreadable;
+  cube::lint::lint_file(path, sink, {}, {}, &kind);
+  EXPECT_EQ(kind, FileKind::MetadataBlob);
+  EXPECT_TRUE(sink.has_rule("meta.digest-mismatch"));
+  EXPECT_EQ(sink.exit_code(), 2);
+}
+
+TEST_F(FileLintTest, XmlCallSiteWithDanglingCallee) {
+  std::string xml = cube::to_cube_xml(make_small());
+  const auto pos = xml.find("callee=\"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = xml.find('"', pos + 8);
+  xml.replace(pos, end + 1 - pos, "callee=\"99\"");
+  const auto path = write("dangling.cube", xml);
+
+  DiagnosticSink sink;
+  cube::lint::lint_file(path, sink);
+  EXPECT_TRUE(sink.has_rule("ref.dangling-callee"));
+  EXPECT_EQ(sink.exit_code(), 2);
+}
+
+TEST_F(FileLintTest, SeverityRowSpillingPastTheThreadRange) {
+  // A <row> with more values than the system has threads describes cells
+  // outside the metric x cnode x thread cross product.
+  std::string xml = cube::to_cube_xml(make_small());
+  const auto pos = xml.find("</row>");
+  ASSERT_NE(pos, std::string::npos);
+  xml.insert(pos, " 123 456");
+  const auto path = write("overflow.cube", xml);
+
+  DiagnosticSink sink;
+  cube::lint::lint_file(path, sink);
+  EXPECT_TRUE(sink.has_rule("sev.out-of-range"));
+  EXPECT_EQ(sink.exit_code(), 2);
+}
+
+TEST_F(FileLintTest, BinaryTrailingBytes) {
+  const auto path =
+      write("trailing.cubx", cube::to_cube_binary(make_small()) + "junk");
+  DiagnosticSink sink;
+  cube::lint::lint_file(path, sink);
+  EXPECT_TRUE(sink.has_rule("file.trailing-bytes"));
+}
+
+TEST_F(FileLintTest, UnparsableFileIsASyntaxError) {
+  const auto path = write("garbage.cube", "this is not a cube file at all");
+  DiagnosticSink sink;
+  cube::lint::lint_file(path, sink);
+  EXPECT_EQ(sink.exit_code(), 2);
+  EXPECT_TRUE(sink.has_rule("parse.syntax"));
+}
+
+TEST_F(FileLintTest, MissingFileReportsIoError) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(
+      cube::lint::lint_file(dir_ / "absent.cube", sink).has_value());
+  EXPECT_TRUE(sink.has_rule("file.io"));
+}
+
+TEST_F(FileLintTest, UnresolvableMetarefReportsUnresolvedRef) {
+  const Experiment e = make_small();
+  // By-reference XML without the blob on disk: the resolver cannot supply
+  // the metadata.
+  const auto path = write("ref.cube", cube::to_cube_xml_ref(e));
+  DiagnosticSink sink;
+  cube::lint::lint_file(path, sink, {}, cube::directory_resolver(dir_));
+  EXPECT_TRUE(sink.has_rule("meta.unresolved-ref") ||
+              sink.has_rule("file.io"));
+  EXPECT_EQ(sink.exit_code(), 2);
+}
+
+}  // namespace

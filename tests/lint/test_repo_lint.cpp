@@ -1,0 +1,242 @@
+// Repository-level lint: index integrity, blob reachability, orphans,
+// stale cache entries — plus the opt-in load validation hooks in the
+// repository and the query engine.
+#include "lint/repo_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "io/cube_format.hpp"
+#include "io/meta_format.hpp"
+#include "io/repository.hpp"
+#include "lint/lint.hpp"
+#include "query/engine.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+using cube::Experiment;
+using cube::ExperimentRepository;
+using cube::StorageKind;
+using cube::ValidationError;
+using cube::lint::DiagnosticSink;
+using cube::testing::make_small;
+using cube::testing::make_variant;
+
+class RepoLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("cube_repolint_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    std::filesystem::remove_all(dir_);
+    repo_ = std::make_unique<ExperimentRepository>(dir_);
+  }
+  void TearDown() override {
+    repo_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string store_salted(const std::string& name, double salt) {
+    Experiment e = make_small(StorageKind::Dense, name);
+    e.set_attribute("series", "s");
+    for (std::size_t m = 0; m < e.metadata().num_metrics(); ++m) {
+      for (std::size_t c = 0; c < e.metadata().num_cnodes(); ++c) {
+        for (std::size_t t = 0; t < e.metadata().num_threads(); ++t) {
+          e.severity().add(m, c, t, salt);
+        }
+      }
+    }
+    return repo_->store(e);
+  }
+
+  /// Runs one cacheable query so the repository gains a cached derived
+  /// entry (sequential engine: deterministic, TSan-friendly).
+  void run_query(const std::string& text) {
+    cube::query::QueryOptions options;
+    options.threads = 1;
+    cube::query::QueryEngine engine(*repo_, options);
+    (void)engine.run(text);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<ExperimentRepository> repo_;
+};
+
+TEST_F(RepoLintTest, CleanRepositoryWithCacheReportsNothing) {
+  const std::string a = store_salted("run-a", 0.5);
+  const std::string b = store_salted("run-b", 1.5);
+  run_query("mean(" + a + ", " + b + ")");
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  std::ostringstream report;
+  sink.write_text(report);
+  EXPECT_EQ(sink.errors(), 0u) << report.str();
+  EXPECT_EQ(sink.warnings(), 0u) << report.str();
+}
+
+TEST_F(RepoLintTest, MissingEntryFile) {
+  const std::string id = store_salted("gone", 0.5);
+  std::filesystem::remove(dir_ / (id + ".cube"));
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.missing-file"));
+  EXPECT_EQ(sink.exit_code(), 2);
+}
+
+TEST_F(RepoLintTest, MissingMetadataBlob) {
+  store_salted("blobless", 0.5);
+  std::filesystem::remove_all(dir_ / "meta");
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.missing-blob"));
+}
+
+TEST_F(RepoLintTest, OrphanAndMisfiledBlobs) {
+  store_salted("keeper", 0.5);
+  // A valid blob no entry references: orphaned but correctly filed.
+  const Experiment stray = make_variant();
+  cube::write_cube_meta_file(
+      stray.metadata(),
+      (dir_ / "meta" / cube::meta_blob_name(stray.metadata().digest()))
+          .string());
+  // The same blob under a name claiming a different digest: misfiled.
+  cube::write_cube_meta_file(
+      stray.metadata(),
+      (dir_ / "meta" / "00000000deadbeef.meta").string());
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.orphan-blob"));
+  EXPECT_TRUE(sink.has_rule("meta.misfiled-blob"));
+}
+
+TEST_F(RepoLintTest, RemovedOperandMakesCacheEntryStale) {
+  const std::string a = store_salted("op-a", 0.5);
+  const std::string b = store_salted("op-b", 1.5);
+  run_query("mean(" + a + ", " + b + ")");
+  repo_->remove(a);
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.stale-cache"));
+  bool names_operand = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.rule == "repo.stale-cache" &&
+        d.location.find(a) != std::string::npos) {
+      names_operand = true;
+    }
+  }
+  EXPECT_TRUE(names_operand);
+}
+
+TEST_F(RepoLintTest, RewrittenOperandMakesCacheEntryStale) {
+  const std::string a = store_salted("rw-a", 0.5);
+  const std::string b = store_salted("rw-b", 1.5);
+  run_query("mean(" + a + ", " + b + ")");
+  // Re-materialize operand `a` with different data under the SAME file
+  // name: the recorded operand digest no longer matches the file.
+  Experiment changed = make_small(StorageKind::Dense, "rw-a");
+  changed.severity().set(0, 0, 0, 42.0);
+  cube::write_cube_xml_file(changed, (dir_ / (a + ".cube")).string());
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.stale-cache"));
+}
+
+TEST_F(RepoLintTest, DuplicateIndexId) {
+  store_salted("twin", 0.5);
+  // Duplicate the entry block in index.xml by hand.
+  const std::filesystem::path index = dir_ / "index.xml";
+  std::ifstream in(index);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string text = buffer.str();
+  const auto begin = text.find("  <entry");
+  const auto end = text.find("</entry>") + 9;
+  ASSERT_NE(begin, std::string::npos);
+  text.insert(end, text.substr(begin, end - begin));
+  std::ofstream(index) << text;
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.duplicate-id"));
+}
+
+TEST_F(RepoLintTest, NotARepository) {
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_ / "nowhere", sink);
+  EXPECT_TRUE(sink.has_rule("repo.bad-index"));
+  DiagnosticSink sink2;
+  std::filesystem::create_directories(dir_ / "plain");
+  cube::lint::lint_repository(dir_ / "plain", sink2);
+  EXPECT_TRUE(sink2.has_rule("repo.bad-index"));
+}
+
+TEST_F(RepoLintTest, CorruptedEntryFileSurfacesFileRule) {
+  const std::string id = store_salted("chopped", 0.5);
+  const std::filesystem::path file = dir_ / (id + ".cube");
+  std::ifstream in(file, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  const std::string bytes = buffer.str();
+  std::ofstream(file, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_EQ(sink.exit_code(), 2);
+  bool prefixed = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.location.find("entry \"" + id + "\"") != std::string::npos) {
+      prefixed = true;
+    }
+  }
+  EXPECT_TRUE(prefixed);  // findings name the entry they belong to
+}
+
+TEST_F(RepoLintTest, RepositoryLoadValidatorHookGuardsLoads) {
+  Experiment bad = make_small(StorageKind::Dense, "poisoned");
+  bad.severity().set(0, 0, 0, std::numeric_limits<double>::quiet_NaN());
+  const std::string id = repo_->store(bad);
+
+  // Without the hook the reader happily returns the NaN cube.
+  EXPECT_NO_THROW((void)repo_->load(id));
+  repo_->set_load_validator(cube::lint::load_validator());
+  EXPECT_THROW((void)repo_->load(id), ValidationError);
+  repo_->set_load_validator({});
+  EXPECT_NO_THROW((void)repo_->load(id));
+}
+
+TEST_F(RepoLintTest, QueryEngineValidateLoadsFlag) {
+  Experiment bad = make_small(StorageKind::Dense, "bad-op");
+  bad.severity().set(0, 0, 0, std::numeric_limits<double>::quiet_NaN());
+  const std::string id = repo_->store(bad);
+
+  cube::query::QueryOptions options;
+  options.threads = 1;
+  options.store_derived = false;
+  {
+    cube::query::QueryEngine engine(*repo_, options);
+    EXPECT_NO_THROW((void)engine.run("max(" + id + ", " + id + ")"));
+  }
+  options.validate_loads = true;
+  {
+    cube::query::QueryEngine engine(*repo_, options);
+    EXPECT_THROW((void)engine.run("max(" + id + ", " + id + ")"),
+                 ValidationError);
+  }
+}
+
+}  // namespace
