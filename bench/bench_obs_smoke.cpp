@@ -1,0 +1,99 @@
+// Smoke check for the tracer's disabled fast path (docs/OBSERVABILITY.md):
+// with tracing off a span site costs one relaxed atomic load and a branch,
+// so the instrumentation added to the operators must stay far below 2% of
+// a dense difference.  Registered under ctest and run by the bench-smoke
+// CI job; exits nonzero if the bound is violated.
+//
+// The check is analytic rather than differential — the un-instrumented
+// binary no longer exists to compare against.  It measures (a) the cost of
+// one disabled span site in a tight loop and (b) the wall time of a dense
+// identity difference, then bounds the overhead by the fixed number of
+// span sites one difference executes (operator.diff + phase.integrate +
+// phase.severity + at most 32 severity.chunk spans).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "algebra/operators.hpp"
+#include "bench_util.hpp"
+#include "obs/tracer.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+using cube::bench::Shape;
+using cube::bench::make_experiment;
+
+double elapsed_ns(const Clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+/// Best-of-`reps` wall time of f(), in nanoseconds.
+template <typename F>
+double best_time_ns(const F& f, int reps) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point t0 = Clock::now();
+    f();
+    const double ns = elapsed_ns(t0);
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  if (cube::obs::tracing_enabled()) {
+    std::fprintf(stderr, "tracing unexpectedly enabled at startup\n");
+    return 1;
+  }
+
+  // (a) One disabled span site.  The loop body is two Span constructions
+  // (with and without a note) so both OBS_SPAN forms are covered.
+  constexpr int kSites = 1 << 20;
+  const auto span_loop = [] {
+    for (int i = 0; i < kSites; ++i) {
+      OBS_SPAN("smoke.noop");
+      OBS_SPAN("smoke.noop", "note");
+    }
+  };
+  span_loop();  // warm-up
+  const double site_ns = best_time_ns(span_loop, 5) / (2.0 * kSites);
+
+  // (b) A dense identity difference — same shape bench_operators uses for
+  // its dense diff rows (two experiments sharing a prefix integrate with
+  // identity mappings).
+  Shape shape;
+  const cube::Experiment a = make_experiment(shape);
+  Shape shape_b = shape;
+  shape_b.seed = 2;
+  const cube::Experiment b = make_experiment(shape_b);
+  volatile double sink = 0;
+  const double diff_ns = best_time_ns(
+      [&] {
+        const cube::Experiment d = cube::difference(a, b);
+        sink = d.severity().get(0, 0, 0);
+      },
+      5);
+
+  // Span sites executed by one difference: the operator span, the two
+  // phase spans, and one severity.chunk span per cell chunk (capped at 32
+  // by kMaxCellChunks).
+  constexpr double kSitesPerDiff = 3 + 32;
+  const double overhead = kSitesPerDiff * site_ns / diff_ns;
+
+  std::printf(
+      "disabled span site: %.2f ns\n"
+      "dense identity diff: %.1f us\n"
+      "bounded overhead (%g sites/diff): %.4f%% (limit 2%%)\n",
+      site_ns, diff_ns / 1e3, kSitesPerDiff, overhead * 100.0);
+  (void)sink;
+
+  if (overhead >= 0.02) {
+    std::fprintf(stderr, "disabled-tracer overhead bound exceeded\n");
+    return 1;
+  }
+  return 0;
+}

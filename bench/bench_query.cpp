@@ -8,10 +8,16 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "io/binary_format.hpp"
 #include "io/repository.hpp"
+#include "obs/self_profile.hpp"
+#include "obs/tracer.hpp"
 #include "query/engine.hpp"
 
 namespace {
@@ -125,4 +131,49 @@ BENCHMARK(BM_SeriesLoadByRef)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus one extra flag: --self-profile=<file> traces the
+// whole benchmark run and exports it as a CUBE experiment on exit, so the
+// CI round-trip job can lint and diff the bench's own profile
+// (docs/OBSERVABILITY.md).
+int main(int argc, char** argv) {
+  std::string profile_file;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr std::string_view kFlag = "--self-profile=";
+    const std::string_view arg = argv[i];
+    if (i > 0 && arg.substr(0, kFlag.size()) == kFlag) {
+      profile_file = std::string(arg.substr(kFlag.size()));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  if (!profile_file.empty()) {
+    cube::obs::set_current_thread_name("main");
+    cube::obs::enable_tracing();
+  }
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!profile_file.empty()) {
+    cube::obs::disable_tracing();
+    cube::obs::SelfProfileOptions options;
+    options.name = "bench_query self-profile";
+    try {
+      cube::obs::write_self_profile_file(
+          cube::obs::export_self_profile(options), profile_file);
+    } catch (const std::exception& e) {
+      std::cerr << "error: cannot write self-profile '" << profile_file
+                << "': " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "wrote self-profile " << profile_file << "\n";
+  }
+  return 0;
+}

@@ -24,13 +24,15 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "io/cube_format.hpp"
+#include "obs_util.hpp"
 #include "query/query_expr.hpp"
 #include "report_util.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::cerr << "usage: cube_calc <expr> [name=]file.cube ... [-o out.cube]"
-                 " [--hotspots N]\n";
+                 " [--hotspots N]"
+              << cube::cli::ObsOptions::usage() << "\n";
     return 1;
   }
 
@@ -38,10 +40,14 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> inputs;
   std::optional<std::string> output;
   std::size_t hotspot_count = 10;
+  cube::cli::ObsOptions obs;
+  obs.tool = "cube_calc";
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "-o" && i + 1 < argc) {
+    if (obs.parse_arg(argc, argv, i)) {
+      // handled
+    } else if (arg == "-o" && i + 1 < argc) {
       output = argv[++i];
     } else if (arg == "--hotspots" && i + 1 < argc) {
       if (!cube::parse_size(argv[++i], hotspot_count)) {
@@ -71,6 +77,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  obs.begin();
   try {
     std::vector<cube::Experiment> loaded;
     loaded.reserve(inputs.size());
@@ -91,11 +98,11 @@ int main(int argc, char** argv) {
     if (output) {
       cube::write_cube_xml_file(result, *output);
       std::cout << "wrote " << *output << "\n";
-      return 0;
+      return obs.finish() ? 0 : 1;
     }
 
     cube::cli::print_experiment_report(result, hotspot_count);
-    return 0;
+    return obs.finish() ? 0 : 1;
   } catch (const cube::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

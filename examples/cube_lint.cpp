@@ -30,13 +30,16 @@
 
 #include "lint/file_lint.hpp"
 #include "lint/repo_lint.hpp"
+#include "obs_util.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <file>... | --repo <dir> [--format text|json]\n"
-               "  [--no-values] [--no-digest] [--max-per-rule N] [--quiet]\n";
+               "  [--no-values] [--no-digest] [--max-per-rule N] [--quiet]\n"
+               " " +
+                   std::string(cube::cli::ObsOptions::usage()) + "\n";
   return 3;
 }
 
@@ -48,10 +51,14 @@ int main(int argc, char** argv) {
   std::string format = "text";
   bool quiet = false;
   cube::lint::Options options;
+  cube::cli::ObsOptions obs;
+  obs.tool = "cube_lint";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--repo" && i + 1 < argc) {
+    if (obs.parse_arg(argc, argv, i)) {
+      // handled
+    } else if (arg == "--repo" && i + 1 < argc) {
       repo_dir = argv[++i];
     } else if (arg == "--format" && i + 1 < argc) {
       format = argv[++i];
@@ -80,6 +87,7 @@ int main(int argc, char** argv) {
   }
   if (files.empty() == repo_dir.empty()) return usage(argv[0]);
 
+  obs.begin();
   cube::lint::DiagnosticSink sink;
   if (!repo_dir.empty()) {
     cube::lint::lint_repository(repo_dir, sink, options);
@@ -100,5 +108,6 @@ int main(int argc, char** argv) {
       sink.write_text(std::cout);
     }
   }
+  if (!obs.finish() && sink.exit_code() == 0) return 3;
   return sink.exit_code();
 }

@@ -29,6 +29,10 @@
 //   --quiet        stats only, no severity report
 //   --verbose      additionally print which bulk severity kernels fired
 //                  (identity/remap x dense/sparse, cells vs nnz processed)
+//   --trace f.json        write a Chrome trace_event JSON of this run
+//   --self-profile f.cube export this run's own profile as a CUBE
+//                         experiment (.cubx = binary)
+//   --stats               print the span call-tree and metric table
 #include <iostream>
 #include <optional>
 #include <string>
@@ -37,6 +41,7 @@
 #include "common/string_util.hpp"
 #include "io/cube_format.hpp"
 #include "io/repository.hpp"
+#include "obs_util.hpp"
 #include "query/engine.hpp"
 #include "report_util.hpp"
 
@@ -79,10 +84,14 @@ int main(int argc, char** argv) {
   std::size_t repeat = 1;
   bool quiet = false;
   bool verbose = false;
+  cube::cli::ObsOptions obs;
+  obs.tool = "cube_query";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--repo" && i + 1 < argc) {
+    if (obs.parse_arg(argc, argv, i)) {
+      // handled
+    } else if (arg == "--repo" && i + 1 < argc) {
       repo_dir = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       if (!cube::parse_size(argv[++i], options.threads)) {
@@ -120,10 +129,12 @@ int main(int argc, char** argv) {
   if (expr.empty() || !repo_dir) {
     std::cerr << "usage: cube_query <expr> --repo <dir> [--threads N]"
                  " [--no-cache] [--no-store] [--repeat N] [-o out.cube]"
-                 " [--hotspots N] [--quiet] [--verbose]\n";
+                 " [--hotspots N] [--quiet] [--verbose]"
+              << cube::cli::ObsOptions::usage() << "\n";
     return 1;
   }
 
+  obs.begin();
   try {
     cube::ExperimentRepository repo(*repo_dir);
     cube::query::QueryEngine engine(repo, options);
@@ -143,6 +154,7 @@ int main(int argc, char** argv) {
     } else if (!quiet) {
       cube::cli::print_experiment_report(last->experiment, hotspot_count);
     }
+    if (!obs.finish()) return 1;
 
     // With caching on, a repeated query whose plan contains operator
     // applications must be served warm the second time round.

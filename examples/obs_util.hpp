@@ -1,0 +1,106 @@
+// Shared observability flags for the example tools (docs/OBSERVABILITY.md):
+//
+//   --trace <file>         write a Chrome trace_event JSON of the run
+//                          (open in chrome://tracing or Perfetto)
+//   --self-profile <file>  export the run's spans and metrics as a CUBE
+//                          experiment (.cubx = binary, else XML) — the
+//                          tool profiling itself with its own data model
+//   --stats                print the span call-tree and metric table
+//
+// Any of the three enables tracing for the whole run; without them the
+// instrumentation stays in its disabled fast path.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "obs/report.hpp"
+#include "obs/self_profile.hpp"
+#include "obs/tracer.hpp"
+
+namespace cube::cli {
+
+struct ObsOptions {
+  std::optional<std::string> trace_file;
+  std::optional<std::string> profile_file;
+  bool stats = false;
+  /// Tool name, used as the exported experiment's name.
+  std::string tool = "tool";
+
+  [[nodiscard]] bool any() const {
+    return trace_file.has_value() || profile_file.has_value() || stats;
+  }
+
+  /// Usage-string fragment for the flags handled here.
+  static const char* usage() {
+    return " [--trace f.json] [--self-profile f.cube] [--stats]";
+  }
+
+  /// Consumes argv[i] if it is one of the observability flags (advancing
+  /// i over the flag's value); returns false for unrelated arguments.
+  bool parse_arg(int argc, char** argv, int& i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+      return true;
+    }
+    if (arg == "--self-profile" && i + 1 < argc) {
+      profile_file = argv[++i];
+      return true;
+    }
+    if (arg == "--stats") {
+      stats = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Enables tracing when any output was requested.  Call before the work.
+  void begin() const {
+    if (!any()) return;
+    obs::set_current_thread_name("main");
+    obs::enable_tracing();
+  }
+
+  /// Stops tracing and writes the requested outputs.  Returns false (with
+  /// a message on stderr) if an output file could not be written.
+  bool finish() const {
+    if (!any()) return true;
+    obs::disable_tracing();
+    const auto threads = obs::Tracer::instance().snapshot();
+    if (stats) {
+      obs::write_text_report(std::cout, threads,
+                             obs::MetricsRegistry::global());
+    }
+    if (trace_file) {
+      std::ofstream out(*trace_file);
+      if (!out) {
+        std::cerr << "error: cannot create trace file '" << *trace_file
+                  << "'\n";
+        return false;
+      }
+      obs::write_chrome_trace(out, threads);
+      std::cout << "wrote trace " << *trace_file << "\n";
+    }
+    if (profile_file) {
+      obs::SelfProfileOptions options;
+      options.name = tool + " self-profile";
+      try {
+        obs::write_self_profile_file(
+            obs::export_self_profile(threads, obs::MetricsRegistry::global(),
+                                     options),
+            *profile_file);
+      } catch (const std::exception& e) {
+        std::cerr << "error: cannot write self-profile '" << *profile_file
+                  << "': " << e.what() << "\n";
+        return false;
+      }
+      std::cout << "wrote self-profile " << *profile_file << "\n";
+    }
+    return true;
+  }
+};
+
+}  // namespace cube::cli

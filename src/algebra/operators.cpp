@@ -4,10 +4,19 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/tracer.hpp"
 
 namespace cube {
 
 namespace {
+
+/// Runs the metadata-integration phase under its own span, so operator
+/// profiles separate integration cost from the severity kernels.
+IntegrationResult integrate_traced(std::span<const Experiment* const> operands,
+                                   const IntegrationOptions& options) {
+  OBS_SPAN("phase.integrate");
+  return integrate_metadata(operands, options);
+}
 
 std::string operand_label(const Experiment& e, std::size_t index) {
   const std::string name = e.name();
@@ -78,19 +87,49 @@ OutShape shape_of(const Metadata& md) {
 
 using SparseSnapshot = std::vector<std::pair<std::uint64_t, Severity>>;
 
-/// Per-chunk kernel counters, flushed once into the shared atomics.
+/// The kernel counters of OperatorOptions::metrics, resolved ONCE per
+/// operator application (registration takes the registry mutex; updates
+/// are relaxed atomics).  All-null when no registry was supplied.
+struct KernelCounters {
+  obs::Counter* identity_dense_cells = nullptr;
+  obs::Counter* remap_dense_cells = nullptr;
+  obs::Counter* identity_sparse_nnz = nullptr;
+  obs::Counter* remap_sparse_nnz = nullptr;
+  obs::Counter* chunks = nullptr;
+  obs::Counter* applications = nullptr;
+
+  static KernelCounters resolve(obs::MetricsRegistry* registry) {
+    KernelCounters kc;
+    if (registry == nullptr) return kc;
+    kc.identity_dense_cells =
+        &registry->counter(kernel_counters::kIdentityDenseCells);
+    kc.remap_dense_cells = &registry->counter(kernel_counters::kRemapDenseCells);
+    kc.identity_sparse_nnz =
+        &registry->counter(kernel_counters::kIdentitySparseNnz);
+    kc.remap_sparse_nnz = &registry->counter(kernel_counters::kRemapSparseNnz);
+    kc.chunks = &registry->counter(kernel_counters::kChunks);
+    kc.applications = &registry->counter(kernel_counters::kApplications);
+    return kc;
+  }
+};
+
+/// Per-chunk kernel counters, flushed once into the shared registry.
 struct LocalKernelStats {
   std::uint64_t identity_dense_cells = 0;
   std::uint64_t remap_dense_cells = 0;
   std::uint64_t identity_sparse_nnz = 0;
   std::uint64_t remap_sparse_nnz = 0;
 
-  void flush(KernelStats* stats) const {
-    if (stats == nullptr) return;
-    stats->identity_dense_cells += identity_dense_cells;
-    stats->remap_dense_cells += remap_dense_cells;
-    stats->identity_sparse_nnz += identity_sparse_nnz;
-    stats->remap_sparse_nnz += remap_sparse_nnz;
+  void flush(const KernelCounters& kc) const {
+    if (kc.identity_dense_cells == nullptr) return;
+    if (identity_dense_cells != 0) {
+      kc.identity_dense_cells->add(identity_dense_cells);
+    }
+    if (remap_dense_cells != 0) kc.remap_dense_cells->add(remap_dense_cells);
+    if (identity_sparse_nnz != 0) {
+      kc.identity_sparse_nnz->add(identity_sparse_nnz);
+    }
+    if (remap_sparse_nnz != 0) kc.remap_sparse_nnz->add(remap_sparse_nnz);
   }
 };
 
@@ -233,14 +272,17 @@ std::vector<PreparedOperand> prepare_operands(
 /// Runs body(chunk, cell_lo, cell_hi) over the fixed partition of
 /// [0, cells) into num_cell_chunks(cells) contiguous ranges.
 void run_cell_chunked(
-    const OperatorOptions& options, std::size_t cells,
+    const OperatorOptions& options, const KernelCounters& kc, std::size_t cells,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   const std::size_t chunks = num_cell_chunks(cells);
-  if (options.kernel_stats != nullptr) options.kernel_stats->chunks += chunks;
+  if (kc.chunks != nullptr) kc.chunks->add(chunks);
   const auto run = [&](std::size_t k) {
     const std::size_t lo = k * cells / chunks;
     const std::size_t hi = (k + 1) * cells / chunks;
-    if (lo < hi) body(k, lo, hi);
+    if (lo < hi) {
+      OBS_SPAN("severity.chunk");
+      body(k, lo, hi);
+    }
   };
   if (options.parallel_for && chunks > 1) {
     options.parallel_for(chunks, run);
@@ -279,12 +321,12 @@ void bulk_linear_combine(std::span<const Experiment* const> sources,
   std::vector<std::vector<Severity>> mirror_storage;
   const auto prepared =
       prepare_operands(sources, snapshot_storage, mirror_storage);
-  KernelStats* stats = options.kernel_stats;
-  if (stats != nullptr) ++stats->applications;
+  const KernelCounters kc = KernelCounters::resolve(options.metrics);
+  if (kc.applications != nullptr) kc.applications->add(1);
 
   if (out.severity().kind() == StorageKind::Dense) {
     auto& dense_out = static_cast<DenseSeverity&>(out.severity());
-    run_cell_chunked(options, os.cells,
+    run_cell_chunked(options, kc, os.cells,
                      [&](std::size_t, std::size_t lo, std::size_t hi) {
                        LocalKernelStats ks;
                        Severity* acc = dense_out.cells_mut(lo, hi).data();
@@ -293,13 +335,13 @@ void bulk_linear_combine(std::span<const Experiment* const> sources,
                                             factors[i], acc, lo, hi, os,
                                             prepared[i], ks);
                        }
-                       ks.flush(stats);
+                       ks.flush(kc);
                      });
     return;
   }
 
   std::vector<SparseSnapshot> staged(num_cell_chunks(os.cells));
-  run_cell_chunked(options, os.cells,
+  run_cell_chunked(options, kc, os.cells,
                    [&](std::size_t k, std::size_t lo, std::size_t hi) {
                      LocalKernelStats ks;
                      std::vector<Severity> buf(hi - lo, 0.0);
@@ -311,7 +353,7 @@ void bulk_linear_combine(std::span<const Experiment* const> sources,
                      for (std::size_t i = 0; i < buf.size(); ++i) {
                        if (buf[i] != 0.0) staged[k].emplace_back(lo + i, buf[i]);
                      }
-                     ks.flush(stats);
+                     ks.flush(kc);
                    });
   merge_staged(out, os, staged);
 }
@@ -329,8 +371,8 @@ void bulk_reduce_extremum(std::span<const Experiment* const> sources,
   std::vector<std::vector<Severity>> mirror_storage;
   const auto prepared =
       prepare_operands(sources, snapshot_storage, mirror_storage);
-  KernelStats* stats = options.kernel_stats;
-  if (stats != nullptr) ++stats->applications;
+  const KernelCounters kc = KernelCounters::resolve(options.metrics);
+  if (kc.applications != nullptr) kc.applications->add(1);
 
   DenseSeverity* dense_out =
       out.severity().kind() == StorageKind::Dense
@@ -340,7 +382,8 @@ void bulk_reduce_extremum(std::span<const Experiment* const> sources,
       dense_out != nullptr ? 0 : num_cell_chunks(os.cells));
 
   run_cell_chunked(
-      options, os.cells, [&](std::size_t k, std::size_t lo, std::size_t hi) {
+      options, kc, os.cells,
+      [&](std::size_t k, std::size_t lo, std::size_t hi) {
         LocalKernelStats ks;
         const std::size_t n = hi - lo;
         std::vector<Severity> acc(n, 0.0);
@@ -371,7 +414,7 @@ void bulk_reduce_extremum(std::span<const Experiment* const> sources,
             if (acc[i] != 0.0) staged[k].emplace_back(lo + i, acc[i]);
           }
         }
-        ks.flush(stats);
+        ks.flush(kc);
       });
   if (dense_out == nullptr) merge_staged(out, os, staged);
 }
@@ -505,13 +548,16 @@ Experiment reduce_extremum(std::span<const Experiment* const> operands,
     throw OperationError(std::string(opname) + " requires >= 1 operand");
   }
   IntegrationResult integration =
-      integrate_metadata(operands, options.integration);
+      integrate_traced(operands, options.integration);
   Experiment out = make_result(integration, options);
-  if (options.use_bulk_kernels) {
-    bulk_reduce_extremum(operands, integration.mappings, take_min, out,
-                         options);
-  } else {
-    reference_reduce_extremum(operands, integration, options, take_min, out);
+  {
+    OBS_SPAN("phase.severity");
+    if (options.use_bulk_kernels) {
+      bulk_reduce_extremum(operands, integration.mappings, take_min, out,
+                           options);
+    } else {
+      reference_reduce_extremum(operands, integration, options, take_min, out);
+    }
   }
   out.mark_derived(std::string(opname) + "(" + label_list(operands) + ")");
   out.set_name(std::string(opname) + "(" + label_list(operands) + ")");
@@ -522,21 +568,25 @@ Experiment reduce_extremum(std::span<const Experiment* const> operands,
 
 Experiment difference(const Experiment& a, const Experiment& b,
                       const OperatorOptions& options) {
+  OBS_SPAN("operator.diff");
   const Experiment* ops[] = {&a, &b};
   IntegrationResult integration =
-      integrate_metadata(ops, options.integration);
+      integrate_traced(ops, options.integration);
   Experiment out = make_result(integration, options);
-  if (options.use_bulk_kernels) {
-    const double factors[] = {1.0, -1.0};
-    bulk_linear_combine(ops, integration.mappings, factors, out, options);
-  } else {
-    run_row_chunked(options, out.metadata().num_metrics(),
-                    [&](MetricIndex lo, MetricIndex hi) {
-                      scatter_scaled(a, integration.mappings[0], 1.0, out, lo,
-                                     hi);
-                      scatter_scaled(b, integration.mappings[1], -1.0, out, lo,
-                                     hi);
-                    });
+  {
+    OBS_SPAN("phase.severity");
+    if (options.use_bulk_kernels) {
+      const double factors[] = {1.0, -1.0};
+      bulk_linear_combine(ops, integration.mappings, factors, out, options);
+    } else {
+      run_row_chunked(options, out.metadata().num_metrics(),
+                      [&](MetricIndex lo, MetricIndex hi) {
+                        scatter_scaled(a, integration.mappings[0], 1.0, out, lo,
+                                       hi);
+                        scatter_scaled(b, integration.mappings[1], -1.0, out,
+                                       lo, hi);
+                      });
+    }
   }
   const std::string prov = "difference(" + operand_label(a, 0) + ", " +
                            operand_label(b, 1) + ")";
@@ -547,9 +597,10 @@ Experiment difference(const Experiment& a, const Experiment& b,
 
 Experiment merge(const Experiment& a, const Experiment& b,
                  const OperatorOptions& options) {
+  OBS_SPAN("operator.merge");
   const Experiment* ops[] = {&a, &b};
   IntegrationResult integration =
-      integrate_metadata(ops, options.integration);
+      integrate_traced(ops, options.integration);
   Experiment out = make_result(integration, options);
 
   // A metric of the integrated set is owned by the first operand that
@@ -562,33 +613,36 @@ Experiment merge(const Experiment& a, const Experiment& b,
     }
   }
 
-  if (options.use_bulk_kernels) {
-    const std::vector<OperandMapping> masked =
-        masked_merge_mappings(integration.mappings, owner);
-    const double factors[] = {1.0, 1.0};
-    bulk_linear_combine(ops, masked, factors, out, options);
-  } else {
-    run_row_chunked(options, num_out_metrics, [&](MetricIndex lo,
-                                                  MetricIndex hi) {
-      for (std::size_t op = 0; op < 2; ++op) {
-        const Experiment& source = *ops[op];
-        const OperandMapping& mapping = integration.mappings[op];
-        const Metadata& md = source.metadata();
-        for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
-          const MetricIndex om = mapping.metric_map[m];
-          if (om < lo || om >= hi || owner[om] != op) continue;
-          for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
-            const CnodeIndex oc = mapping.cnode_map[c];
-            for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-              const Severity v = source.severity().get(m, c, t);
-              if (v != 0.0) {
-                out.severity().add(om, oc, mapping.thread_map[t], v);
+  {
+    OBS_SPAN("phase.severity");
+    if (options.use_bulk_kernels) {
+      const std::vector<OperandMapping> masked =
+          masked_merge_mappings(integration.mappings, owner);
+      const double factors[] = {1.0, 1.0};
+      bulk_linear_combine(ops, masked, factors, out, options);
+    } else {
+      run_row_chunked(options, num_out_metrics, [&](MetricIndex lo,
+                                                    MetricIndex hi) {
+        for (std::size_t op = 0; op < 2; ++op) {
+          const Experiment& source = *ops[op];
+          const OperandMapping& mapping = integration.mappings[op];
+          const Metadata& md = source.metadata();
+          for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
+            const MetricIndex om = mapping.metric_map[m];
+            if (om < lo || om >= hi || owner[om] != op) continue;
+            for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
+              const CnodeIndex oc = mapping.cnode_map[c];
+              for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
+                const Severity v = source.severity().get(m, c, t);
+                if (v != 0.0) {
+                  out.severity().add(om, oc, mapping.thread_map[t], v);
+                }
               }
             }
           }
         }
-      }
-    });
+      });
+    }
   }
 
   const std::string prov =
@@ -600,24 +654,30 @@ Experiment merge(const Experiment& a, const Experiment& b,
 
 Experiment mean(std::span<const Experiment* const> operands,
                 const OperatorOptions& options) {
+  OBS_SPAN("operator.mean");
   if (operands.empty()) {
     throw OperationError("mean requires >= 1 operand");
   }
   IntegrationResult integration =
-      integrate_metadata(operands, options.integration);
+      integrate_traced(operands, options.integration);
   Experiment out = make_result(integration, options);
   const double factor = 1.0 / static_cast<double>(operands.size());
-  if (options.use_bulk_kernels) {
-    const std::vector<double> factors(operands.size(), factor);
-    bulk_linear_combine(operands, integration.mappings, factors, out, options);
-  } else {
-    run_row_chunked(options, out.metadata().num_metrics(),
-                    [&](MetricIndex lo, MetricIndex hi) {
-                      for (std::size_t op = 0; op < operands.size(); ++op) {
-                        scatter_scaled(*operands[op], integration.mappings[op],
-                                       factor, out, lo, hi);
-                      }
-                    });
+  {
+    OBS_SPAN("phase.severity");
+    if (options.use_bulk_kernels) {
+      const std::vector<double> factors(operands.size(), factor);
+      bulk_linear_combine(operands, integration.mappings, factors, out,
+                          options);
+    } else {
+      run_row_chunked(options, out.metadata().num_metrics(),
+                      [&](MetricIndex lo, MetricIndex hi) {
+                        for (std::size_t op = 0; op < operands.size(); ++op) {
+                          scatter_scaled(*operands[op],
+                                         integration.mappings[op], factor, out,
+                                         lo, hi);
+                        }
+                      });
+    }
   }
   const std::string prov = "mean(" + label_list(operands) + ")";
   out.mark_derived(prov);
@@ -632,11 +692,13 @@ Experiment mean(const std::vector<const Experiment*>& operands,
 
 Experiment minimum(std::span<const Experiment* const> operands,
                    const OperatorOptions& options) {
+  OBS_SPAN("operator.min");
   return reduce_extremum(operands, options, /*take_min=*/true, "min");
 }
 
 Experiment maximum(std::span<const Experiment* const> operands,
                    const OperatorOptions& options) {
+  OBS_SPAN("operator.max");
   return reduce_extremum(operands, options, /*take_min=*/false, "max");
 }
 

@@ -7,14 +7,14 @@
 // operators or into the display, exactly like original data.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
+#include <cstddef>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "algebra/integration.hpp"
 #include "model/experiment.hpp"
+#include "obs/metrics.hpp"
 
 namespace cube {
 
@@ -31,23 +31,28 @@ namespace cube {
 using ParallelFor =
     std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
 
-/// Counters describing which bulk severity kernels fired (docs/STORAGE.md).
-/// Atomic because chunks of one operator application run concurrently;
-/// aggregated per query run into QueryStats.
-struct KernelStats {
-  /// Dense operand with an identity mapping: remap-free flat array pass.
-  std::atomic<std::uint64_t> identity_dense_cells{0};
-  /// Dense operand scattered through its index mapping (cells visited).
-  std::atomic<std::uint64_t> remap_dense_cells{0};
-  /// Sparse operand with an identity mapping (non-zeros applied).
-  std::atomic<std::uint64_t> identity_sparse_nnz{0};
-  /// Sparse operand scattered through its index mapping (non-zeros applied).
-  std::atomic<std::uint64_t> remap_sparse_nnz{0};
-  /// Cell chunks executed across all operator applications.
-  std::atomic<std::uint64_t> chunks{0};
-  /// Operator applications that ran through the bulk path.
-  std::atomic<std::uint64_t> applications{0};
-};
+/// Stable names of the bulk-kernel counters operators record into
+/// OperatorOptions::metrics (docs/STORAGE.md, docs/OBSERVABILITY.md).
+/// Chunks of one application run concurrently; Counter updates are relaxed
+/// atomics, so the names can be bumped from any worker.
+namespace kernel_counters {
+/// Dense operand with an identity mapping: remap-free flat array pass.
+inline constexpr const char* kIdentityDenseCells =
+    "algebra.kernel.identity_dense_cells";
+/// Dense operand scattered through its index mapping (cells visited).
+inline constexpr const char* kRemapDenseCells =
+    "algebra.kernel.remap_dense_cells";
+/// Sparse operand with an identity mapping (non-zeros applied).
+inline constexpr const char* kIdentitySparseNnz =
+    "algebra.kernel.identity_sparse_nnz";
+/// Sparse operand scattered through its index mapping (non-zeros applied).
+inline constexpr const char* kRemapSparseNnz =
+    "algebra.kernel.remap_sparse_nnz";
+/// Cell chunks executed across all operator applications.
+inline constexpr const char* kChunks = "algebra.kernel.chunks";
+/// Operator applications that ran through the bulk path.
+inline constexpr const char* kApplications = "algebra.kernel.applications";
+}  // namespace kernel_counters
 
 /// Options shared by all operators.
 struct OperatorOptions {
@@ -62,8 +67,11 @@ struct OperatorOptions {
   /// equivalence suite; the reference path parallelizes dense results
   /// by metric rows only.
   bool use_bulk_kernels = true;
-  /// If non-null, bulk-kernel path counters are accumulated here.
-  KernelStats* kernel_stats = nullptr;
+  /// If non-null, the bulk-kernel counters (kernel_counters above) are
+  /// accumulated into this registry.  Pass a per-run local registry for
+  /// isolated readings (the query engine does), or
+  /// &obs::MetricsRegistry::global() to feed the process-wide one.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// difference(a, b): severity = a - b over the integrated domain.  Tuples

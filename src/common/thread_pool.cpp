@@ -2,17 +2,51 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace cube {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Pool instruments live in the global registry; resolved once per process.
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "pool.tasks", obs::SampleUnit::Count);
+  return c;
+}
+
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "pool.queue_wait", obs::SampleUnit::Seconds);
+  return h;
+}
+
+obs::Gauge& threads_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "pool.threads", obs::SampleUnit::Count);
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  threads_gauge().set(static_cast<double>(n));
 }
 
 ThreadPool::~ThreadPool() {
@@ -25,16 +59,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  Task entry;
+  entry.fn = std::move(task);
+  if (obs::tracing_enabled()) entry.enqueue_ns = now_ns();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
   }
   ready_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  obs::set_current_thread_name(worker_name(index));
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -42,7 +80,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (task.enqueue_ns != 0) {
+      queue_wait_histogram().observe(
+          static_cast<double>(now_ns() - task.enqueue_ns) / 1e9);
+      tasks_counter().add(1);
+      OBS_SPAN("pool.task");
+      task.fn();
+    } else {
+      task.fn();
+    }
   }
 }
 
@@ -108,6 +154,10 @@ void ThreadPool::parallel_for(std::size_t n,
 std::size_t ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::string ThreadPool::worker_name(std::size_t i) {
+  return "worker." + std::to_string(i);
 }
 
 }  // namespace cube

@@ -14,9 +14,11 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -48,11 +50,22 @@ class ThreadPool {
   /// A sensible worker count for this machine (>= 1).
   [[nodiscard]] static std::size_t default_threads();
 
+  /// The tracer name of worker `i`: "worker.<i>".  Stable across runs and
+  /// pools, so self-profile span attribution is deterministic.
+  [[nodiscard]] static std::string worker_name(std::size_t i);
+
  private:
-  void worker_loop();
+  struct Task {
+    std::function<void()> fn;
+    /// Enqueue timestamp for the pool.queue_wait histogram; 0 when tracing
+    /// was off at submit time (no clock read on the disabled path).
+    std::int64_t enqueue_ns = 0;
+  };
+
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable ready_;
   bool stopping_ = false;

@@ -9,10 +9,36 @@
 #include "common/digest.hpp"
 #include "common/error.hpp"
 #include "io/binary_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace cube {
 
 namespace {
+
+obs::Counter& bytes_read_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.bin.bytes_read", obs::SampleUnit::Bytes);
+  return c;
+}
+
+obs::Counter& bytes_written_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.bin.bytes_written", obs::SampleUnit::Bytes);
+  return c;
+}
+
+/// Adds the stream-position delta across `write` to io.bin.bytes_written
+/// (string streams and files both support tellp; -1 positions are skipped).
+template <typename WriteFn>
+void write_counted(std::ostream& out, const WriteFn& write) {
+  const auto before = out.tellp();
+  write();
+  const auto after = out.tellp();
+  if (before != std::streampos(-1) && after != std::streampos(-1)) {
+    bytes_written_counter().add(static_cast<std::uint64_t>(after - before));
+  }
+}
 
 constexpr char kMagic[8] = {'C', 'U', 'B', 'E', 'B', 'I', 'N', '1'};
 // By-reference variant: metadata is NOT inline; the stream embeds the
@@ -90,19 +116,25 @@ void decode_severity(detail::BinaryDecoder& d, Experiment& experiment) {
 }  // namespace
 
 void write_cube_binary(const Experiment& experiment, std::ostream& out) {
-  out.write(kMagic, sizeof kMagic);
-  detail::BinaryEncoder e(out);
-  encode_attributes(e, experiment);
-  detail::encode_metadata(e, experiment.metadata());
-  encode_severity(e, experiment);
+  OBS_SPAN("io.bin.write");
+  write_counted(out, [&] {
+    out.write(kMagic, sizeof kMagic);
+    detail::BinaryEncoder e(out);
+    encode_attributes(e, experiment);
+    detail::encode_metadata(e, experiment.metadata());
+    encode_severity(e, experiment);
+  });
 }
 
 void write_cube_binary_ref(const Experiment& experiment, std::ostream& out) {
-  out.write(kRefMagic, sizeof kRefMagic);
-  detail::BinaryEncoder e(out);
-  encode_attributes(e, experiment);
-  e.u64(experiment.metadata().digest());
-  encode_severity(e, experiment);
+  OBS_SPAN("io.bin.write");
+  write_counted(out, [&] {
+    out.write(kRefMagic, sizeof kRefMagic);
+    detail::BinaryEncoder e(out);
+    encode_attributes(e, experiment);
+    e.u64(experiment.metadata().digest());
+    encode_severity(e, experiment);
+  });
 }
 
 void write_cube_binary_file(const Experiment& experiment,
@@ -137,6 +169,8 @@ std::string to_cube_binary_ref(const Experiment& experiment) {
 
 Experiment read_cube_binary(std::string_view data, StorageKind storage,
                             const MetadataResolver& resolver) {
+  OBS_SPAN("io.bin.read");
+  bytes_read_counter().add(data.size());
   const bool by_ref = data.size() >= sizeof kRefMagic &&
                       std::memcmp(data.data(), kRefMagic,
                                   sizeof kRefMagic) == 0;

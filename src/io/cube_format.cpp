@@ -10,10 +10,36 @@
 #include "io/binary_format.hpp"
 #include "io/xml_parser.hpp"
 #include "io/xml_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace cube {
 
 namespace {
+
+obs::Counter& xml_bytes_read_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.xml.bytes_read", obs::SampleUnit::Bytes);
+  return c;
+}
+
+obs::Counter& xml_bytes_written_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.xml.bytes_written", obs::SampleUnit::Bytes);
+  return c;
+}
+
+/// Adds the stream-position delta across `write` to io.xml.bytes_written
+/// (-1 positions, from streams without a position, are skipped).
+template <typename WriteFn>
+void xml_write_counted(std::ostream& out, const WriteFn& write) {
+  const auto before = out.tellp();
+  write();
+  const auto after = out.tellp();
+  if (before != std::streampos(-1) && after != std::streampos(-1)) {
+    xml_bytes_written_counter().add(static_cast<std::uint64_t>(after - before));
+  }
+}
 
 constexpr const char* kFormatVersion = "1.0";
 // Version 1.1 adds the by-reference form: a <metaref digest="..."/>
@@ -119,16 +145,19 @@ void write_attr_section(XmlWriter& w, const Experiment& experiment) {
 }  // namespace
 
 void write_cube_xml_ref(const Experiment& experiment, std::ostream& out) {
-  XmlWriter w(out);
-  w.declaration();
-  w.open_element("cube");
-  w.attribute("version", std::string_view(kRefFormatVersion));
-  write_attr_section(w, experiment);
-  w.open_element("metaref");
-  w.attribute("digest", digest_hex(experiment.metadata().digest()));
-  w.close_element();
-  write_severity_section(w, experiment);
-  w.finish();
+  OBS_SPAN("io.xml.write");
+  xml_write_counted(out, [&] {
+    XmlWriter w(out);
+    w.declaration();
+    w.open_element("cube");
+    w.attribute("version", std::string_view(kRefFormatVersion));
+    write_attr_section(w, experiment);
+    w.open_element("metaref");
+    w.attribute("digest", digest_hex(experiment.metadata().digest()));
+    w.close_element();
+    write_severity_section(w, experiment);
+    w.finish();
+  });
 }
 
 void write_cube_xml_ref_file(const Experiment& experiment,
@@ -147,7 +176,9 @@ std::string to_cube_xml_ref(const Experiment& experiment) {
 }
 
 void write_cube_xml(const Experiment& experiment, std::ostream& out) {
+  OBS_SPAN("io.xml.write");
   const Metadata& md = experiment.metadata();
+  xml_write_counted(out, [&] {
   XmlWriter w(out);
   w.declaration();
   w.open_element("cube");
@@ -220,6 +251,7 @@ void write_cube_xml(const Experiment& experiment, std::ostream& out) {
   write_severity_section(w, experiment);
 
   w.finish();
+  });
 }
 
 void write_cube_xml_file(const Experiment& experiment,
@@ -539,6 +571,8 @@ class CubeDecoder {
 
 Experiment read_cube_xml(std::string_view xml, StorageKind storage,
                          const MetadataResolver& resolver) {
+  OBS_SPAN("io.xml.read");
+  xml_bytes_read_counter().add(xml.size());
   const auto root = parse_xml(xml);
   return CubeDecoder(*root, storage, resolver).decode();
 }

@@ -7,12 +7,26 @@
 #include "common/digest.hpp"
 #include "common/error.hpp"
 #include "io/binary_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace cube {
 
 namespace {
 
 constexpr char kMetaMagic[8] = {'C', 'U', 'B', 'E', 'M', 'E', 'T', '1'};
+
+obs::Counter& meta_bytes_read_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.meta.bytes_read", obs::SampleUnit::Bytes);
+  return c;
+}
+
+obs::Counter& meta_bytes_written_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.meta.bytes_written", obs::SampleUnit::Bytes);
+  return c;
+}
 
 }  // namespace
 
@@ -22,13 +36,19 @@ bool is_cube_meta(std::string_view data) noexcept {
 }
 
 void write_cube_meta(const Metadata& metadata, std::ostream& out) {
+  OBS_SPAN("io.meta.write");
   if (!metadata.frozen()) {
     throw Error("metadata blob requires frozen metadata");
   }
+  const auto before = out.tellp();
   out.write(kMetaMagic, sizeof kMetaMagic);
   detail::BinaryEncoder e(out);
   e.u64(metadata.digest());
   detail::encode_metadata(e, metadata);
+  const auto after = out.tellp();
+  if (before != std::streampos(-1) && after != std::streampos(-1)) {
+    meta_bytes_written_counter().add(static_cast<std::uint64_t>(after - before));
+  }
 }
 
 void write_cube_meta_file(const Metadata& metadata, const std::string& path) {
@@ -46,6 +66,8 @@ std::string to_cube_meta(const Metadata& metadata) {
 }
 
 std::shared_ptr<const Metadata> read_cube_meta(std::string_view data) {
+  OBS_SPAN("io.meta.read");
+  meta_bytes_read_counter().add(data.size());
   if (!is_cube_meta(data)) {
     throw CheckError("file.bad-magic", "",
                      "not a CUBE metadata blob (bad magic)");

@@ -10,6 +10,8 @@
 #include "io/cube_format.hpp"
 #include "io/xml_parser.hpp"
 #include "io/xml_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace cube {
 
@@ -17,6 +19,24 @@ namespace {
 
 constexpr const char* kIndexFile = "index.xml";
 constexpr const char* kMetaDir = "meta";
+
+obs::Counter& loads_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("repo.loads");
+  return c;
+}
+
+obs::Counter& stores_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("repo.stores");
+  return c;
+}
+
+obs::Gauge& entries_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("repo.entries");
+  return g;
+}
 
 std::string sanitize(const std::string& name) {
   std::string out;
@@ -195,6 +215,7 @@ void ExperimentRepository::write_experiment_file(const Experiment& experiment,
 
 std::string ExperimentRepository::store(const Experiment& experiment,
                                         RepoFormat format) {
+  OBS_SPAN("repo.store");
   const std::string id = unique_id(sanitize(
       experiment.name().empty() ? "experiment" : experiment.name()));
   RepoEntry entry;
@@ -211,6 +232,8 @@ std::string ExperimentRepository::store(const Experiment& experiment,
   write_index();
   // Future loads of this digest should share the instance just stored.
   (void)interner_.intern(experiment.metadata_ptr());
+  stores_counter().add(1);
+  entries_gauge().set(static_cast<double>(entries_.size()));
   return id;
 }
 
@@ -226,6 +249,8 @@ Experiment ExperimentRepository::load(const std::string& id) const {
 Experiment ExperimentRepository::load_path(const std::filesystem::path& path,
                                            RepoFormat format,
                                            StorageKind storage) const {
+  OBS_SPAN("repo.load");
+  loads_counter().add(1);
   Experiment experiment =
       format == RepoFormat::Binary
           ? read_cube_binary_file(path.string(), storage, resolver())

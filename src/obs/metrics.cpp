@@ -1,0 +1,258 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cube::obs {
+
+namespace {
+
+/// Relaxed atomic add for doubles (atomic<double>::fetch_add is C++20 but
+/// not universally lowered; the CAS loop is portable and uncontended here).
+void atomic_add(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;
+  const int exp = std::ilogb(v) + 30;  // 2^-30 s (~1ns) lands in bucket 0
+  if (exp < 0) return 0;
+  if (exp >= static_cast<int>(Histogram::kBuckets)) {
+    return Histogram::kBuckets - 1;
+  }
+  return static_cast<std::size_t>(exp);
+}
+
+}  // namespace
+
+std::string_view sample_unit_name(SampleUnit u) noexcept {
+  switch (u) {
+    case SampleUnit::Seconds:
+      return "sec";
+    case SampleUnit::Bytes:
+      return "bytes";
+    case SampleUnit::Count:
+      return "occ";
+  }
+  return "occ";
+}
+
+void Histogram::observe(double v) noexcept {
+  const std::uint64_t seen = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (seen == 0) {
+    // First observation seeds min/max; racing observers fix it up below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+  }
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  const std::uint64_t n = other.count();
+  if (n == 0) return;
+  const std::uint64_t seen = count_.fetch_add(n, std::memory_order_relaxed);
+  atomic_add(sum_, other.sum());
+  if (seen == 0) {
+    min_.store(other.min(), std::memory_order_relaxed);
+    max_.store(other.max(), std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, other.min());
+    atomic_max(max_, other.max());
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
+  }
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::resolve(std::string_view name,
+                                                      InstrumentKind kind,
+                                                      SampleUnit unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second->kind != kind || it->second->unit != unit) {
+      throw std::runtime_error(
+          "obs metric '" + std::string(name) +
+          "' re-registered with a different kind or unit");
+    }
+    return *it->second;
+  }
+  auto instrument = std::make_unique<Instrument>();
+  instrument->kind = kind;
+  instrument->unit = unit;
+  return *entries_.emplace(std::string(name), std::move(instrument))
+              .first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, SampleUnit unit) {
+  return resolve(name, InstrumentKind::Counter, unit).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, SampleUnit unit) {
+  return resolve(name, InstrumentKind::Gauge, unit).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      SampleUnit unit) {
+  return resolve(name, InstrumentKind::Histogram, unit).histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, instrument] : entries_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = instrument->kind;
+    s.unit = instrument->unit;
+    switch (instrument->kind) {
+      case InstrumentKind::Counter:
+        s.value = static_cast<double>(instrument->counter.value());
+        break;
+      case InstrumentKind::Gauge:
+        s.value = instrument->gauge.value();
+        break;
+      case InstrumentKind::Histogram:
+        s.value = instrument->histogram.sum();
+        s.count = instrument->histogram.count();
+        s.min = instrument->histogram.min();
+        s.max = instrument->histogram.max();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::absorb(const MetricsRegistry& other) {
+  // Snapshot the source outside our own lock (distinct registries; the
+  // source keeps serving concurrent updates).
+  std::vector<std::pair<std::string, const Instrument*>> sources;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    sources.reserve(other.entries_.size());
+    for (const auto& [name, instrument] : other.entries_) {
+      sources.emplace_back(name, instrument.get());
+    }
+  }
+  for (const auto& [name, src] : sources) {
+    Instrument& dst = resolve(name, src->kind, src->unit);
+    switch (src->kind) {
+      case InstrumentKind::Counter:
+        dst.counter.add(src->counter.value());
+        break;
+      case InstrumentKind::Gauge:
+        dst.gauge.set(src->gauge.value());
+        break;
+      case InstrumentKind::Histogram:
+        dst.histogram.merge(src->histogram);
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, instrument] : entries_) {
+    (void)name;
+    instrument->counter.reset();
+    instrument->gauge.reset();
+    instrument->histogram.reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies:
+  // instrumentation sites cache references resolved during static-init-
+  // order-unknown moments and may fire from detached threads at exit.
+  return *registry;
+}
+
+void write_metrics_report(std::ostream& out,
+                          const MetricsRegistry& registry) {
+  const std::vector<MetricSample> samples = registry.snapshot();
+  if (samples.empty()) {
+    out << "  (no metrics recorded)\n";
+    return;
+  }
+  std::size_t width = 0;
+  for (const MetricSample& s : samples) {
+    width = std::max(width, s.name.size());
+  }
+  for (const MetricSample& s : samples) {
+    std::ostringstream value;
+    switch (s.kind) {
+      case InstrumentKind::Counter:
+      case InstrumentKind::Gauge:
+        if (s.value == std::floor(s.value) && std::abs(s.value) < 1e15) {
+          value << static_cast<long long>(s.value);
+        } else {
+          value << std::setprecision(6) << s.value;
+        }
+        value << ' ' << sample_unit_name(s.unit);
+        break;
+      case InstrumentKind::Histogram:
+        value << s.count << " samples, sum " << std::setprecision(6)
+              << s.value << ' ' << sample_unit_name(s.unit) << " (mean "
+              << (s.count == 0 ? 0.0
+                               : s.value / static_cast<double>(s.count))
+              << ", min " << s.min << ", max " << s.max << ')';
+        break;
+    }
+    out << "  " << s.name << std::string(width - s.name.size() + 2, ' ')
+        << value.str() << '\n';
+  }
+}
+
+}  // namespace cube::obs

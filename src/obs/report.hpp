@@ -1,0 +1,33 @@
+// Exporters over tracer snapshots: a human-readable text report and the
+// Chrome trace_event JSON consumed by about://tracing and Perfetto
+// (docs/OBSERVABILITY.md).  The third exporter — the CUBE experiment
+// form — lives in obs/self_profile.hpp, above the data model.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace cube::obs {
+
+/// Writes an indented per-thread span tree (visits, inclusive and
+/// exclusive wall ms per call path) followed by the metrics table.
+void write_text_report(std::ostream& out,
+                       const std::vector<ThreadSnapshot>& threads,
+                       const MetricsRegistry& registry);
+/// Convenience over the process-wide tracer and registry.
+void write_text_report(std::ostream& out);
+
+/// Writes Chrome trace_event JSON: one complete ("ph":"X") event per span
+/// with microsecond timestamps, plus thread_name metadata events so the
+/// viewer labels rows "main", "worker.0", ....  Span notes are emitted
+/// under "args".
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<ThreadSnapshot>& threads);
+/// Convenience over the process-wide tracer; throws on stream failure via
+/// the caller's stream state (callers writing files should check).
+void write_chrome_trace(std::ostream& out);
+
+}  // namespace cube::obs

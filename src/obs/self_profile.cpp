@@ -1,0 +1,185 @@
+#include "obs/self_profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/binary_format.hpp"
+#include "io/cube_format.hpp"
+#include "model/metadata.hpp"
+
+namespace cube::obs {
+
+namespace {
+
+Unit to_model_unit(SampleUnit u) {
+  switch (u) {
+    case SampleUnit::Seconds:
+      return Unit::Seconds;
+    case SampleUnit::Bytes:
+      return Unit::Bytes;
+    case SampleUnit::Count:
+      return Unit::Occurrences;
+  }
+  return Unit::Occurrences;
+}
+
+/// A call path as the sequence of span names from a thread root down.
+using Path = std::vector<std::string>;
+
+}  // namespace
+
+Experiment export_self_profile(const std::vector<ThreadSnapshot>& threads,
+                               const MetricsRegistry& registry,
+                               const SelfProfileOptions& options) {
+  // --- collect the call paths and span names ------------------------------
+  // path_of[t][i] is span i's full path on thread t; paths double as the
+  // deterministic creation order for regions and cnodes (sorted), so two
+  // runs recording the same span structure build digest-equal metadata no
+  // matter how threads interleaved.
+  std::vector<std::vector<Path>> path_of(threads.size());
+  std::vector<std::string> span_names;
+  std::vector<Path> all_paths;
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    const ThreadSnapshot& snap = threads[t];
+    path_of[t].resize(snap.spans.size());
+    for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+      const SpanRecord& rec = snap.spans[i];
+      Path path = rec.parent == kNoParent ? Path{} : path_of[t][rec.parent];
+      path.emplace_back(rec.name);
+      span_names.emplace_back(rec.name);
+      all_paths.push_back(path);
+      path_of[t][i] = std::move(path);
+    }
+  }
+  std::sort(span_names.begin(), span_names.end());
+  span_names.erase(std::unique(span_names.begin(), span_names.end()),
+                   span_names.end());
+  std::sort(all_paths.begin(), all_paths.end());
+  all_paths.erase(std::unique(all_paths.begin(), all_paths.end()),
+                  all_paths.end());
+
+  const std::vector<MetricSample> samples = registry.snapshot();
+
+  // --- metadata -----------------------------------------------------------
+  auto md = std::make_unique<Metadata>();
+
+  // Metric dimension: the span-derived roots first, then one root per
+  // registry instrument (flat — units differ across instruments, and the
+  // data model requires one unit per tree).
+  const Metric& time_metric = md->add_metric(
+      nullptr, "time", "Time", Unit::Seconds,
+      "exclusive wall time per call path and thread, from tracer spans");
+  const Metric& visits_metric =
+      md->add_metric(nullptr, "visits", "Visits", Unit::Occurrences,
+                     "span entries per call path and thread");
+  std::vector<const Metric*> sample_metric(samples.size(), nullptr);
+  std::vector<const Metric*> sample_count_metric(samples.size(), nullptr);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    sample_metric[i] = &md->add_metric(nullptr, s.name, s.name,
+                                       to_model_unit(s.unit),
+                                       "obs registry instrument");
+    if (s.kind == InstrumentKind::Histogram) {
+      sample_count_metric[i] =
+          &md->add_metric(nullptr, s.name + ".count", s.name + ".count",
+                          Unit::Occurrences, "histogram observation count");
+    }
+  }
+
+  // Program dimension: one region per span name under a synthetic "(run)"
+  // root; one cnode per distinct path.  Sorted path order guarantees a
+  // parent path (a strict prefix) is created before its extensions.
+  const Region& run_region = md->add_region("(run)", "obs", -1, -1,
+                                            "whole traced tool run");
+  const Cnode& run_root = md->add_cnode_for_region(nullptr, run_region);
+  std::map<std::string, const Region*> region_of;
+  for (const std::string& name : span_names) {
+    region_of.emplace(name,
+                      &md->add_region(name, "obs", -1, -1, "tracer span"));
+  }
+  std::map<Path, const Cnode*> cnode_of;
+  for (const Path& path : all_paths) {
+    const Cnode* parent = &run_root;
+    if (path.size() > 1) {
+      parent = cnode_of.at(Path(path.begin(), path.end() - 1));
+    }
+    cnode_of.emplace(
+        path, &md->add_cnode_for_region(parent, *region_of.at(path.back())));
+  }
+
+  // System dimension: one process hosting one thread per traced thread, in
+  // snapshot order (the tracer already sorted "main" first, then workers).
+  Machine& machine = md->add_machine("host");
+  SysNode& node = md->add_node(machine, "node0");
+  Process& process = md->add_process(node, "self", 0);
+  std::vector<const Thread*> model_threads;
+  if (threads.empty()) {
+    model_threads.push_back(&md->add_thread(process, "main", 0));
+  } else {
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+      model_threads.push_back(&md->add_thread(
+          process, threads[t].thread_name, static_cast<long>(t)));
+    }
+  }
+
+  Experiment profile(freeze_metadata(std::move(md)), options.storage);
+
+  // --- severity -----------------------------------------------------------
+  // Exclusive time: each span's duration minus its direct children's.
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    const ThreadSnapshot& snap = threads[t];
+    std::vector<std::int64_t> child_ns(snap.spans.size(), 0);
+    for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+      const SpanRecord& rec = snap.spans[i];
+      if (rec.parent != kNoParent) {
+        child_ns[rec.parent] += rec.end_ns - rec.start_ns;
+      }
+    }
+    for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+      const SpanRecord& rec = snap.spans[i];
+      const Cnode& cnode = *cnode_of.at(path_of[t][i]);
+      const std::int64_t excl =
+          std::max<std::int64_t>(0, rec.end_ns - rec.start_ns - child_ns[i]);
+      profile.add(time_metric, cnode, *model_threads[t],
+                  static_cast<Severity>(excl) / 1e9);
+      profile.add(visits_metric, cnode, *model_threads[t], 1.0);
+    }
+  }
+  // Registry instruments are process-global: attribute them to the "(run)"
+  // root on the first thread.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    profile.set(*sample_metric[i], run_root, *model_threads[0], s.value);
+    if (sample_count_metric[i] != nullptr) {
+      profile.set(*sample_count_metric[i], run_root, *model_threads[0],
+                  static_cast<Severity>(s.count));
+    }
+  }
+
+  std::size_t total_spans = 0;
+  for (const ThreadSnapshot& snap : threads) total_spans += snap.spans.size();
+  profile.set_name(options.name);
+  profile.set_attribute("obs::threads", std::to_string(threads.size()));
+  profile.set_attribute("obs::spans", std::to_string(total_spans));
+  return profile;
+}
+
+Experiment export_self_profile(const SelfProfileOptions& options) {
+  return export_self_profile(Tracer::instance().snapshot(),
+                             MetricsRegistry::global(), options);
+}
+
+void write_self_profile_file(const Experiment& profile,
+                             const std::string& path) {
+  const bool binary =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".cubx") == 0;
+  if (binary) {
+    write_cube_binary_file(profile, path);
+  } else {
+    write_cube_xml_file(profile, path);
+  }
+}
+
+}  // namespace cube::obs

@@ -1,0 +1,57 @@
+// The headline exporter: the tool's own profile as a CUBE experiment.
+//
+// The paper's closure property says every operator maps valid experiments
+// to valid experiments, so one pipeline serves original and derived data
+// alike.  This module closes the loop on the tool itself: the tracer's
+// span forest becomes the call-tree dimension (one region per span name,
+// one cnode per distinct call path under a synthetic "(run)" root), the
+// metric names become the metric-tree dimension ("time" and "visits" from
+// the spans, one metric per registry instrument), and the traced threads
+// become the system dimension ("main", "worker.0", ...).  The result is a
+// frozen, digest-valid Experiment: cube_lint accepts it, every codec
+// round-trips it, and cube_diff/mean of two tool runs flow through the
+// same operators the profile measured.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace cube::obs {
+
+struct SelfProfileOptions {
+  /// Experiment display name (attribute "cube::name").
+  std::string name = "self-profile";
+  /// Storage of the produced severity function.  Profiles are small and
+  /// mostly filled along the time/visits rows; dense is the default.
+  StorageKind storage = StorageKind::Dense;
+};
+
+/// Maps a tracer snapshot plus a metrics registry onto an Experiment.
+///
+/// Span wall time is recorded EXCLUSIVE per (call path, thread) in seconds
+/// under the "time" metric — children's time is subtracted from the
+/// parent's, matching the library-wide severity convention — and span
+/// entries count under "visits".  Registry instruments become one root
+/// metric each (histograms additionally get "<name>.count"), attributed
+/// to the "(run)" root of the first thread.  Entity creation order is
+/// deterministic: regions and call paths sorted by name, threads in
+/// snapshot order ("main", then workers numerically).
+[[nodiscard]] Experiment export_self_profile(
+    const std::vector<ThreadSnapshot>& threads,
+    const MetricsRegistry& registry, const SelfProfileOptions& options = {});
+
+/// Convenience over the process-wide tracer and registry.
+[[nodiscard]] Experiment export_self_profile(
+    const SelfProfileOptions& options = {});
+
+/// Writes `profile` to `path`, choosing the codec by extension: ".cubx"
+/// writes the compact binary format, anything else CUBE XML.  Throws
+/// IoError on failure.
+void write_self_profile_file(const Experiment& profile,
+                             const std::string& path);
+
+}  // namespace cube::obs

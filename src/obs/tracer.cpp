@@ -1,0 +1,233 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <tuple>
+
+namespace cube::obs {
+
+namespace detail {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Per-thread span buffer.  The owning thread appends lock-free; readers
+/// (snapshot) see completed records through the end_ns release/acquire
+/// pair.  The chunk list and the name are the only shared mutable
+/// structure and sit behind a mutex taken on growth (rare) and reads.
+class ThreadTrace {
+ public:
+  static constexpr std::size_t kChunkSlots = 1024;
+
+  Slot* open(const char* name, const char* note) {
+    const std::uint32_t index = size_.load(std::memory_order_relaxed);
+    if (index / kChunkSlots == chunk_count_) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+      ++chunk_count_;
+    }
+    Slot& slot = chunks_[index / kChunkSlots][index % kChunkSlots];
+    slot.name = name;
+    slot.note = note;
+    slot.parent = open_stack_.empty() ? kNoParent : open_stack_.back();
+    slot.start_ns = now_ns();
+    // Publish the initialized slot; end_ns is still 0 (open).
+    size_.store(index + 1, std::memory_order_release);
+    open_stack_.push_back(index);
+    return &slot;
+  }
+
+  void close(Slot* slot) {
+    // RAII scoping destroys inner spans first, so the closing span is the
+    // top of the open stack — including during exception unwinding.
+    open_stack_.pop_back();
+    slot->end_ns.store(now_ns(), std::memory_order_release);
+  }
+
+  void set_name(std::string name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    name_ = std::move(name);
+  }
+
+  [[nodiscard]] std::string name() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return name_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t open_depth() const { return open_stack_.size(); }
+
+  /// Copies the slots [0, size()) — callers filter open ones.
+  [[nodiscard]] std::vector<SpanRecord> copy_slots() const {
+    const std::size_t n = size_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SpanRecord> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Slot& slot = chunks_[i / kChunkSlots][i % kChunkSlots];
+      SpanRecord rec;
+      rec.name = slot.name;
+      rec.note = slot.note;
+      rec.start_ns = slot.start_ns;
+      rec.end_ns = slot.end_ns.load(std::memory_order_acquire);
+      rec.parent = slot.parent;
+      out.push_back(rec);
+    }
+    return out;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    chunks_.clear();
+    chunk_count_ = 0;
+    size_.store(0, std::memory_order_relaxed);
+    open_stack_.clear();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  /// Mirror of chunks_.size() readable without the mutex by the owner
+  /// thread (only the owner ever grows the list).
+  std::size_t chunk_count_ = 0;
+  std::atomic<std::uint32_t> size_{0};
+  std::vector<std::uint32_t> open_stack_;  ///< owner thread only
+  mutable std::mutex mutex_;
+  std::string name_;
+};
+
+namespace {
+
+// The shared_ptr keeps the buffer alive past thread exit (the Tracer holds
+// another reference); the raw pointer is the per-span fast path.
+thread_local std::shared_ptr<ThreadTrace> t_trace;
+thread_local ThreadTrace* t_trace_raw = nullptr;
+
+/// Sort key making snapshot order independent of registration order:
+/// "main" first, then "worker.<n>" numerically, then everything else by
+/// name.
+std::tuple<int, long, std::string> thread_order_key(const std::string& name) {
+  if (name == "main") return {0, 0, name};
+  constexpr const char* kWorker = "worker.";
+  if (name.rfind(kWorker, 0) == 0) {
+    const std::string digits = name.substr(7);
+    if (!digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string::npos) {
+      return {1, std::stol(digits), name};
+    }
+  }
+  return {2, 0, name};
+}
+
+}  // namespace
+
+}  // namespace detail
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+detail::ThreadTrace& Tracer::local() {
+  if (detail::t_trace_raw == nullptr) {
+    auto trace = std::make_shared<detail::ThreadTrace>();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      trace->set_name("thread." + std::to_string(traces_.size()));
+      traces_.push_back(trace);
+    }
+    detail::t_trace = std::move(trace);
+    detail::t_trace_raw = detail::t_trace.get();
+  }
+  return *detail::t_trace_raw;
+}
+
+void Tracer::set_thread_name(std::string name) {
+  local().set_name(std::move(name));
+}
+
+void set_current_thread_name(std::string name) {
+  Tracer::instance().set_thread_name(std::move(name));
+}
+
+std::vector<ThreadSnapshot> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<detail::ThreadTrace>> traces;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces = traces_;
+  }
+  std::vector<ThreadSnapshot> out;
+  for (const auto& trace : traces) {
+    const std::vector<SpanRecord> slots = trace->copy_slots();
+    ThreadSnapshot snap;
+    snap.thread_name = trace->name();
+    // Keep only completed spans; remap parent indices and lift spans whose
+    // parent is still open onto the nearest closed ancestor.
+    std::vector<std::uint32_t> remap(slots.size(), kNoParent);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].end_ns == 0) continue;
+      SpanRecord rec = slots[i];
+      std::uint32_t parent = rec.parent;
+      while (parent != kNoParent && remap[parent] == kNoParent) {
+        parent = slots[parent].parent;
+      }
+      rec.parent = parent == kNoParent ? kNoParent : remap[parent];
+      remap[i] = static_cast<std::uint32_t>(snap.spans.size());
+      snap.spans.push_back(rec);
+    }
+    if (!snap.spans.empty() || !snap.thread_name.empty()) {
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadSnapshot& a, const ThreadSnapshot& b) {
+              return detail::thread_order_key(a.thread_name) <
+                     detail::thread_order_key(b.thread_name);
+            });
+  return out;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& trace : traces_) trace->clear();
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& trace : traces_) n += trace->size();
+  return n;
+}
+
+std::size_t Tracer::open_span_depth() {
+  return detail::t_trace_raw == nullptr ? 0
+                                        : detail::t_trace_raw->open_depth();
+}
+
+void Span::open(const char* name, const char* note) noexcept {
+  trace_ = &Tracer::instance().local();
+  slot_ = trace_->open(name, note);
+}
+
+void Span::close() noexcept {
+  if (slot_ != nullptr) {
+    trace_->close(slot_);
+    slot_ = nullptr;
+  }
+}
+
+void Span::annotate(const char* note) noexcept {
+  if (slot_ != nullptr) slot_->note = note;
+}
+
+}  // namespace cube::obs

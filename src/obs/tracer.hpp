@@ -1,0 +1,186 @@
+// Self-profiling tracer: RAII wall-time spans recorded into per-thread
+// buffers (docs/OBSERVABILITY.md).
+//
+// The instrumented hot paths of this library (operators, io codecs, query
+// engine, thread pool) open spans through OBS_SPAN("dotted.name").  With
+// tracing disabled — the default — a span site costs one relaxed atomic
+// load and a branch; nothing is allocated and no clock is read.  Enabled,
+// each span appends one record to a buffer owned by its thread: no locks
+// and no cross-thread traffic on the hot path (a mutex is taken only when
+// a buffer grows by a chunk, every kChunkSlots spans).
+//
+// Records carry (name, start, end, parent), so each thread's records form
+// a call forest: parents are recorded before their children and nesting is
+// tracked with a per-thread stack of open spans.  RAII guarantees the
+// stack unwinds balanced through exceptions — a span opened before a
+// throwing operator closes in its destructor like any other local.
+//
+// Buffers are owned by the Tracer (shared with the thread-local handle),
+// so spans recorded by a pool worker survive the pool's destruction and
+// are still exported afterwards.  snapshot() and reset() expect a
+// quiescent tracer: disable tracing and finish in-flight work first.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cube::obs {
+
+/// Index marking "no parent span" (a per-thread root).
+inline constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+namespace detail {
+
+/// Global enabled flag, inline so the Span fast path is a single relaxed
+/// load without a function-local-static guard check.
+inline std::atomic<bool> g_tracing_enabled{false};
+
+/// One recorded span.  `end_ns` doubles as the publication flag: it is
+/// stored with release order when the span closes, and a snapshot reading
+/// it non-zero with acquire order sees every other field.
+struct Slot {
+  const char* name = nullptr;  ///< static string from the span site
+  const char* note = nullptr;  ///< optional static annotation
+  std::int64_t start_ns = 0;
+  std::atomic<std::int64_t> end_ns{0};  ///< 0 while the span is open
+  std::uint32_t parent = kNoParent;     ///< slot index within this thread
+};
+
+class ThreadTrace;
+
+}  // namespace detail
+
+/// A completed span as reported by Tracer::snapshot().  `parent` indexes
+/// the owning ThreadSnapshot's span vector (kNoParent for a root).
+struct SpanRecord {
+  const char* name = nullptr;
+  const char* note = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint32_t parent = kNoParent;
+};
+
+/// All completed spans of one thread, in record (= open) order: a parent
+/// always precedes its children.
+struct ThreadSnapshot {
+  std::string thread_name;
+  std::vector<SpanRecord> spans;
+};
+
+/// Process-wide span collector.  One instance exists (instance()); the
+/// free helpers below cover the common calls.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void enable() noexcept {
+    detail::g_tracing_enabled.store(true, std::memory_order_relaxed);
+  }
+  void disable() noexcept {
+    detail::g_tracing_enabled.store(false, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Names the calling thread's buffer ("main", "worker.3", ...).  Span
+  /// attribution uses these names, so give identical work identical names
+  /// across runs to make trace diffs line up (the thread pool does).
+  /// Threads that never call this are named "thread.<k>" in registration
+  /// order.
+  void set_thread_name(std::string name);
+
+  /// Copies out every thread's spans.  Threads are ordered "main" first,
+  /// then "worker.<n>" numerically, then the rest by name — deterministic
+  /// for identically-named threads regardless of registration order.
+  /// Open spans are skipped; a closed span under a still-open parent is
+  /// reparented to its nearest closed ancestor.  Intended to run on a
+  /// quiescent tracer (tracing disabled or all spans closed).
+  [[nodiscard]] std::vector<ThreadSnapshot> snapshot() const;
+
+  /// Drops all recorded spans (buffers stay registered, names survive).
+  /// Must not run concurrently with open spans: a live Span holds a
+  /// pointer into its buffer.
+  void reset();
+
+  /// Total spans recorded since the last reset (open + closed).
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Depth of the calling thread's open-span stack — 0 when every RAII
+  /// span unwound.  Exposed for the exception-unwind regression tests.
+  [[nodiscard]] static std::size_t open_span_depth();
+
+  /// The calling thread's buffer, registered on first use.  Internal, used
+  /// by Span; public only because the macro-expanded call sites need it.
+  detail::ThreadTrace& local();
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<detail::ThreadTrace>> traces_;
+};
+
+/// Enables/disables tracing on the process-wide tracer.
+inline void enable_tracing() { Tracer::instance().enable(); }
+inline void disable_tracing() { Tracer::instance().disable(); }
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+/// Names the calling thread for span attribution.
+void set_current_thread_name(std::string name);
+
+/// RAII span.  Constructing with tracing disabled is a no-op (one relaxed
+/// load); otherwise the span records [construction, destruction) wall time
+/// into the calling thread's buffer.  `name` and `note` must be static
+/// strings (string literals at the instrumentation sites).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (detail::g_tracing_enabled.load(std::memory_order_relaxed)) {
+      open(name, nullptr);
+    }
+  }
+  Span(const char* name, const char* note) noexcept {
+    if (detail::g_tracing_enabled.load(std::memory_order_relaxed)) {
+      open(name, note);
+    }
+  }
+  ~Span() { close(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches/replaces the annotation after construction (e.g. once the
+  /// cache outcome of the spanned work is known).  No-op when the span
+  /// was opened with tracing disabled.
+  void annotate(const char* note) noexcept;
+
+  /// True if this span is recording (tracing was enabled at construction).
+  [[nodiscard]] bool active() const noexcept { return slot_ != nullptr; }
+
+  /// Closes the span before the end of its scope (for phases that end
+  /// mid-function).  Idempotent; the destructor then does nothing.  Only
+  /// valid while no span opened AFTER this one is still open (RAII nesting
+  /// — inner spans close first).
+  void finish() noexcept { close(); }
+
+ private:
+  void open(const char* name, const char* note) noexcept;
+  void close() noexcept;
+
+  detail::Slot* slot_ = nullptr;
+  detail::ThreadTrace* trace_ = nullptr;
+};
+
+#define CUBE_OBS_CONCAT_INNER(a, b) a##b
+#define CUBE_OBS_CONCAT(a, b) CUBE_OBS_CONCAT_INNER(a, b)
+/// Opens an RAII span for the rest of the enclosing scope.
+#define OBS_SPAN(...) \
+  ::cube::obs::Span CUBE_OBS_CONCAT(obs_span_, __LINE__) { __VA_ARGS__ }
+
+}  // namespace cube::obs

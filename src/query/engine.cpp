@@ -13,6 +13,8 @@
 #include "io/binary_format.hpp"
 #include "io/cube_format.hpp"
 #include "lint/lint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace cube::query {
 
@@ -82,12 +84,14 @@ QueryResult QueryEngine::run(std::string_view text) {
 }
 
 QueryResult QueryEngine::run(const QueryExpr& expr) {
+  OBS_SPAN("query.run");
   const auto t_total = Clock::now();
   QueryStats stats;
   stats.threads_used = options_.threads;
 
   // --- plan ---------------------------------------------------------------
   const auto t_plan = Clock::now();
+  obs::Span plan_span("query.plan");
   QueryPlan plan = plan_query(expr, repo_, options_.operators);
   stats.plan_nodes = plan.nodes.size();
   stats.cse_reused = plan.cse_reused;
@@ -135,12 +139,16 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
     if (needed[i]) ++stats.nodes_executed;
   }
   stats.plan_ms = ms_since(t_plan);
+  plan_span.finish();
 
   // --- execute ------------------------------------------------------------
   const auto t_exec = Clock::now();
   OperatorOptions op_options = options_.operators;
-  KernelStats kernel_stats;
-  op_options.kernel_stats = &kernel_stats;
+  // Kernel counters land in a per-run registry, so concurrent engines (and
+  // runs) read isolated values; absorbed into the global registry at the
+  // end for the process-wide self-profile.
+  obs::MetricsRegistry run_metrics;
+  op_options.metrics = &run_metrics;
   if (pool_) {
     ThreadPool* pool = pool_.get();
     op_options.parallel_for =
@@ -157,6 +165,7 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
     const PlanNode& node = plan.nodes[i];
     switch (action[i]) {
       case Action::LoadOperand: {
+        OBS_SPAN("query.load");
         const auto t0 = Clock::now();
         auto e = std::make_shared<Experiment>(
             read_stored(repo_, node.operand.path, node.operand.format,
@@ -169,6 +178,7 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
         break;
       }
       case Action::LoadCached: {
+        OBS_SPAN("query.load", "cache-hit");
         const auto t0 = Clock::now();
         std::error_code ec;
         const std::uintmax_t size =
@@ -184,6 +194,7 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
         break;
       }
       case Action::Compute: {
+        OBS_SPAN("query.compute", options_.use_cache ? "cache-miss" : nullptr);
         const auto t0 = Clock::now();
         std::vector<const Experiment*> operands;
         operands.reserve(node.args.size());
@@ -297,12 +308,28 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
 
   stats.exec_ms = ms_since(t_exec);
   stats.total_ms = ms_since(t_total);
-  stats.kernel_identity_dense_cells = kernel_stats.identity_dense_cells;
-  stats.kernel_remap_dense_cells = kernel_stats.remap_dense_cells;
-  stats.kernel_identity_sparse_nnz = kernel_stats.identity_sparse_nnz;
-  stats.kernel_remap_sparse_nnz = kernel_stats.remap_sparse_nnz;
-  stats.kernel_chunks = kernel_stats.chunks;
-  stats.kernel_applications = kernel_stats.applications;
+  stats.kernel_identity_dense_cells =
+      run_metrics.counter(kernel_counters::kIdentityDenseCells).value();
+  stats.kernel_remap_dense_cells =
+      run_metrics.counter(kernel_counters::kRemapDenseCells).value();
+  stats.kernel_identity_sparse_nnz =
+      run_metrics.counter(kernel_counters::kIdentitySparseNnz).value();
+  stats.kernel_remap_sparse_nnz =
+      run_metrics.counter(kernel_counters::kRemapSparseNnz).value();
+  stats.kernel_chunks = run_metrics.counter(kernel_counters::kChunks).value();
+  stats.kernel_applications =
+      run_metrics.counter(kernel_counters::kApplications).value();
+
+  // Feed the process-wide registry: the run's kernel counters plus the
+  // engine's own tallies, under stable query.* names.
+  run_metrics.counter("query.runs").add(1);
+  run_metrics.counter("query.cache.hits").add(stats.cache_hits);
+  run_metrics.counter("query.cache.misses").add(stats.cache_misses);
+  run_metrics.counter("query.operands_loaded").add(stats.operands_loaded);
+  run_metrics.counter("query.nodes_evaluated").add(stats.nodes_evaluated);
+  run_metrics.counter("query.bytes_loaded", obs::SampleUnit::Bytes)
+      .add(stats.bytes_loaded);
+  obs::MetricsRegistry::global().absorb(run_metrics);
 
   std::shared_ptr<Experiment> root = std::move(results[plan.root]);
   results.clear();

@@ -60,9 +60,10 @@ struct QueryStats {
   std::uintmax_t bytes_loaded = 0; ///< file bytes read (operands + hits)
   std::size_t threads_used = 1;
   // Bulk severity-kernel path counters summed over all operator
-  // applications of the run (see cube::KernelStats / docs/STORAGE.md):
+  // applications of the run (see cube::kernel_counters / docs/STORAGE.md):
   // which kernel fired (identity vs remap x dense vs sparse operand) and
-  // how much data it touched (cells vs non-zeros).
+  // how much data it touched (cells vs non-zeros).  Copied out of the
+  // run's local obs::MetricsRegistry after execution.
   std::uint64_t kernel_identity_dense_cells = 0;
   std::uint64_t kernel_remap_dense_cells = 0;
   std::uint64_t kernel_identity_sparse_nnz = 0;

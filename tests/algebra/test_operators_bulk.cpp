@@ -17,9 +17,15 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "model/system_factory.hpp"
+#include "obs/metrics.hpp"
 
 namespace cube {
 namespace {
+
+/// Reads one of the kernel_counters out of a per-call registry.
+std::uint64_t kernel_count(obs::MetricsRegistry& reg, const char* name) {
+  return reg.counter(name).value();
+}
 
 struct Shape {
   std::size_t metrics = 5;
@@ -200,8 +206,8 @@ TEST_P(BulkEquivalence, MatchesPerCellReferenceBitForBit) {
           for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
             OperatorOptions bulk;
             bulk.storage = result_storage;
-            KernelStats stats;
-            bulk.kernel_stats = &stats;
+            obs::MetricsRegistry stats;
+            bulk.metrics = &stats;
             if (threads > 1) bulk.parallel_for = pool_for;
             const Experiment got = apply(op, ptrs, bulk);
             const std::string label =
@@ -212,17 +218,21 @@ TEST_P(BulkEquivalence, MatchesPerCellReferenceBitForBit) {
                 (result_storage == StorageKind::Dense ? "dense" : "sparse") +
                 " threads=" + std::to_string(threads);
             expect_bit_identical(got, want, label);
-            EXPECT_EQ(stats.applications.load(), 1u) << label;
-            EXPECT_GT(stats.chunks.load(), 0u) << label;
+            EXPECT_EQ(kernel_count(stats, kernel_counters::kApplications), 1u)
+                << label;
+            EXPECT_GT(kernel_count(stats, kernel_counters::kChunks), 0u)
+                << label;
             // The right kernel family must have fired for the operands.
             // Sparse operands at full occupancy are densified (see the
             // prepare_operands threshold) and legitimately run the dense
             // kernels.
             const bool dense_ops = operand_storage == StorageKind::Dense;
             const std::uint64_t dense_work =
-                stats.identity_dense_cells + stats.remap_dense_cells;
+                kernel_count(stats, kernel_counters::kIdentityDenseCells) +
+                kernel_count(stats, kernel_counters::kRemapDenseCells);
             const std::uint64_t sparse_work =
-                stats.identity_sparse_nnz + stats.remap_sparse_nnz;
+                kernel_count(stats, kernel_counters::kIdentitySparseNnz) +
+                kernel_count(stats, kernel_counters::kRemapSparseNnz);
             EXPECT_GT(dense_work + sparse_work, 0u) << label;
             if (dense_ops) {
               EXPECT_EQ(sparse_work, 0u) << label;
@@ -262,13 +272,13 @@ TEST(BulkKernels, IdenticalMetadataTakesIdentityFastPath) {
   }
 
   OperatorOptions options;
-  KernelStats stats;
-  options.kernel_stats = &stats;
+  obs::MetricsRegistry stats;
+  options.metrics = &stats;
   (void)difference(operands[0], operands[1], options);
-  EXPECT_GT(stats.identity_dense_cells.load(), 0u);
-  EXPECT_EQ(stats.remap_dense_cells.load(), 0u);
-  EXPECT_EQ(stats.identity_sparse_nnz.load(), 0u);
-  EXPECT_EQ(stats.remap_sparse_nnz.load(), 0u);
+  EXPECT_GT(kernel_count(stats, kernel_counters::kIdentityDenseCells), 0u);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kRemapDenseCells), 0u);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kIdentitySparseNnz), 0u);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kRemapSparseNnz), 0u);
 }
 
 TEST(BulkKernels, DisjointMetadataTakesRemapPath) {
@@ -280,11 +290,11 @@ TEST(BulkKernels, DisjointMetadataTakesRemapPath) {
   EXPECT_FALSE(integration.mappings[1].identity());
 
   OperatorOptions options;
-  KernelStats stats;
-  options.kernel_stats = &stats;
+  obs::MetricsRegistry stats;
+  options.metrics = &stats;
   (void)difference(operands[0], operands[1], options);
-  EXPECT_GT(stats.remap_dense_cells.load(), 0u);
-  EXPECT_EQ(stats.identity_dense_cells.load(), 0u);
+  EXPECT_GT(kernel_count(stats, kernel_counters::kRemapDenseCells), 0u);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kIdentityDenseCells), 0u);
 }
 
 TEST(BulkKernels, SparseOperandsCostNonzeros) {
@@ -292,14 +302,14 @@ TEST(BulkKernels, SparseOperandsCostNonzeros) {
       make_operands(MetaKind::Identical, 2, 0.01, StorageKind::Sparse);
   const Experiment* ptrs[] = {&operands[0], &operands[1]};
   OperatorOptions options;
-  KernelStats stats;
-  options.kernel_stats = &stats;
+  obs::MetricsRegistry stats;
+  options.metrics = &stats;
   (void)difference(*ptrs[0], *ptrs[1], options);
   const std::uint64_t nnz = operands[0].severity().nonzero_count() +
                             operands[1].severity().nonzero_count();
-  EXPECT_EQ(stats.identity_sparse_nnz.load(), nnz);
-  EXPECT_EQ(stats.identity_dense_cells.load(), 0u);
-  EXPECT_EQ(stats.remap_dense_cells.load(), 0u);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kIdentitySparseNnz), nnz);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kIdentityDenseCells), 0u);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kRemapDenseCells), 0u);
 }
 
 TEST(BulkKernels, SingleMetricExperimentStillChunks) {
@@ -321,10 +331,10 @@ TEST(BulkKernels, SingleMetricExperimentStillChunks) {
       [&pool](std::size_t n, const std::function<void(std::size_t)>& body) {
         pool.parallel_for(n, body);
       };
-  KernelStats stats;
-  options.kernel_stats = &stats;
+  obs::MetricsRegistry stats;
+  options.metrics = &stats;
   const Experiment bulk = difference(a, b, options);
-  EXPECT_GT(stats.chunks.load(), 1u);
+  EXPECT_GT(kernel_count(stats, kernel_counters::kChunks), 1u);
 
   OperatorOptions reference;
   reference.use_bulk_kernels = false;

@@ -1,0 +1,144 @@
+// MetricsRegistry unit tests: instrument semantics, snapshot order,
+// absorb, reset-keeps-references, and the stable-name contract
+// (re-registering under a different kind or unit throws).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cube::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, GaugeKeepsLastLevel) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.gauge");
+  g.set(8.0);
+  g.set(4.0);
+  EXPECT_EQ(g.value(), 4.0);
+}
+
+TEST(Metrics, HistogramTracksDistribution) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.hist");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  h.observe(2.0);
+  h.observe(0.5);
+  h.observe(1.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  EXPECT_NEAR(h.mean(), 4.0 / 3.0, 1e-12);
+  std::uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    bucketed += h.bucket(i);
+  }
+  EXPECT_EQ(bucketed, 3u);
+}
+
+TEST(Metrics, SnapshotIsSortedByNameWithTypedFields) {
+  MetricsRegistry reg;
+  reg.histogram("b.hist", SampleUnit::Seconds).observe(0.25);
+  reg.counter("c.counter", SampleUnit::Bytes).add(7);
+  reg.gauge("a.gauge").set(3.0);
+
+  const std::vector<MetricSample> samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.gauge");
+  EXPECT_EQ(samples[0].kind, InstrumentKind::Gauge);
+  EXPECT_EQ(samples[0].value, 3.0);
+  EXPECT_EQ(samples[1].name, "b.hist");
+  EXPECT_EQ(samples[1].kind, InstrumentKind::Histogram);
+  EXPECT_EQ(samples[1].unit, SampleUnit::Seconds);
+  EXPECT_EQ(samples[1].count, 1u);
+  EXPECT_EQ(samples[1].value, 0.25);  // histogram sum
+  EXPECT_EQ(samples[2].name, "c.counter");
+  EXPECT_EQ(samples[2].unit, SampleUnit::Bytes);
+  EXPECT_EQ(samples[2].value, 7.0);
+}
+
+TEST(Metrics, AbsorbAccumulatesAndRegistersMissingInstruments) {
+  MetricsRegistry global;
+  global.counter("shared.counter").add(10);
+
+  MetricsRegistry run;
+  run.counter("shared.counter").add(5);
+  run.counter("run.only", SampleUnit::Bytes).add(3);
+  run.gauge("run.gauge").set(2.0);
+  run.histogram("run.hist").observe(1.0);
+  run.histogram("run.hist").observe(3.0);
+
+  global.absorb(run);
+  EXPECT_EQ(global.counter("shared.counter").value(), 15u);
+  EXPECT_EQ(global.counter("run.only", SampleUnit::Bytes).value(), 3u);
+  EXPECT_EQ(global.gauge("run.gauge").value(), 2.0);
+  EXPECT_EQ(global.histogram("run.hist").count(), 2u);
+  EXPECT_DOUBLE_EQ(global.histogram("run.hist").sum(), 4.0);
+  EXPECT_DOUBLE_EQ(global.histogram("run.hist").min(), 1.0);
+  EXPECT_DOUBLE_EQ(global.histogram("run.hist").max(), 3.0);
+  // The source is untouched.
+  EXPECT_EQ(run.counter("shared.counter").value(), 5u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.counter");
+  Histogram& h = reg.histogram("test.hist");
+  c.add(9);
+  h.observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.size(), 2u);  // instruments never disappear
+  c.add(1);  // the cached reference still feeds the registry
+  EXPECT_EQ(reg.counter("test.counter").value(), 1u);
+}
+
+TEST(Metrics, ReRegisteringWithDifferentKindOrUnitThrows) {
+  MetricsRegistry reg;
+  reg.counter("test.name", SampleUnit::Bytes);
+  EXPECT_THROW(reg.gauge("test.name", SampleUnit::Bytes),
+               std::runtime_error);
+  EXPECT_THROW(reg.counter("test.name", SampleUnit::Count),
+               std::runtime_error);
+  // The original registration is unaffected.
+  EXPECT_NO_THROW(reg.counter("test.name", SampleUnit::Bytes).add(1));
+}
+
+TEST(Metrics, ReportListsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("report.counter").add(12);
+  reg.histogram("report.hist").observe(0.5);
+  std::ostringstream out;
+  write_metrics_report(out, reg);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("report.counter"), std::string::npos);
+  EXPECT_NE(text.find("12 occ"), std::string::npos);
+  EXPECT_NE(text.find("report.hist"), std::string::npos);
+  EXPECT_NE(text.find("1 samples"), std::string::npos);
+
+  std::ostringstream empty;
+  write_metrics_report(empty, MetricsRegistry{});
+  EXPECT_NE(empty.str().find("no metrics recorded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cube::obs

@@ -1,0 +1,207 @@
+// Self-profile exporter tests: the span/metric mapping onto the data
+// model, zero lint diagnostics, round trips through both codecs, and the
+// other two exporters' output formats (docs/OBSERVABILITY.md).
+#include "obs/self_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/binary_format.hpp"
+#include "io/cube_format.hpp"
+#include "lint/lint.hpp"
+#include "obs/report.hpp"
+
+namespace cube::obs {
+namespace {
+
+/// A hand-built snapshot with fully-known times:
+///   main:      query.run [1000, 5000] > operator.diff [2000, 3000]
+///   worker.0:  pool.task [1000, 2000]
+std::vector<ThreadSnapshot> fixed_snapshot() {
+  std::vector<ThreadSnapshot> threads(2);
+  threads[0].thread_name = "main";
+  threads[0].spans = {
+      {"query.run", nullptr, 1000, 5000, kNoParent},
+      {"operator.diff", "cache-miss", 2000, 3000, 0},
+  };
+  threads[1].thread_name = "worker.0";
+  threads[1].spans = {{"pool.task", nullptr, 1000, 2000, kNoParent}};
+  return threads;
+}
+
+MetricsRegistry& fixed_registry() {
+  static MetricsRegistry* reg = [] {
+    auto* r = new MetricsRegistry();
+    r->counter("test.bytes", SampleUnit::Bytes).add(123);
+    r->histogram("test.wait", SampleUnit::Seconds).observe(0.5);
+    r->histogram("test.wait", SampleUnit::Seconds).observe(1.5);
+    return r;
+  }();
+  return *reg;
+}
+
+/// The cnode whose callee region has `name`; nullptr if absent.
+const Cnode* find_cnode(const Metadata& md, const std::string& name) {
+  for (const auto& cnode : md.cnodes()) {
+    if (cnode->callee().name() == name) return cnode.get();
+  }
+  return nullptr;
+}
+
+TEST(SelfProfile, MapsSpansAndMetricsOntoTheDataModel) {
+  SelfProfileOptions options;
+  options.name = "test self-profile";
+  const Experiment profile =
+      export_self_profile(fixed_snapshot(), fixed_registry(), options);
+  const Metadata& md = profile.metadata();
+
+  EXPECT_EQ(profile.name(), "test self-profile");
+  EXPECT_EQ(profile.attribute("obs::threads"), "2");
+  EXPECT_EQ(profile.attribute("obs::spans"), "3");
+
+  // Metric dimension: time + visits + one metric per instrument (the
+  // histogram also gets a .count companion).
+  const Metric* time = md.find_metric("time");
+  const Metric* visits = md.find_metric("visits");
+  const Metric* bytes = md.find_metric("test.bytes");
+  const Metric* wait = md.find_metric("test.wait");
+  const Metric* wait_count = md.find_metric("test.wait.count");
+  ASSERT_NE(time, nullptr);
+  ASSERT_NE(visits, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_NE(wait, nullptr);
+  ASSERT_NE(wait_count, nullptr);
+  EXPECT_EQ(time->unit(), Unit::Seconds);
+  EXPECT_EQ(bytes->unit(), Unit::Bytes);
+
+  // Program dimension: "(run)" root plus one cnode per distinct path.
+  const Cnode* run = find_cnode(md, "(run)");
+  const Cnode* query_run = find_cnode(md, "query.run");
+  const Cnode* diff = find_cnode(md, "operator.diff");
+  const Cnode* task = find_cnode(md, "pool.task");
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(query_run, nullptr);
+  ASSERT_NE(diff, nullptr);
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(query_run->parent(), run);
+  EXPECT_EQ(diff->parent(), query_run);
+  EXPECT_EQ(task->parent(), run);
+
+  // System dimension: one thread per traced thread, in snapshot order.
+  ASSERT_EQ(md.num_threads(), 2u);
+  EXPECT_EQ(md.threads()[0]->name(), "main");
+  EXPECT_EQ(md.threads()[1]->name(), "worker.0");
+  const Thread& t_main = *md.threads()[0];
+  const Thread& t_worker = *md.threads()[1];
+
+  // Exclusive time: query.run's 4000 ns minus the child's 1000 ns.
+  EXPECT_DOUBLE_EQ(profile.get(*time, *query_run, t_main), 3000e-9);
+  EXPECT_DOUBLE_EQ(profile.get(*time, *diff, t_main), 1000e-9);
+  EXPECT_DOUBLE_EQ(profile.get(*time, *task, t_worker), 1000e-9);
+  EXPECT_DOUBLE_EQ(profile.get(*time, *task, t_main), 0.0);
+  EXPECT_DOUBLE_EQ(profile.get(*visits, *diff, t_main), 1.0);
+
+  // Instruments land on the "(run)" root of the first thread.
+  EXPECT_DOUBLE_EQ(profile.get(*bytes, *run, t_main), 123.0);
+  EXPECT_DOUBLE_EQ(profile.get(*wait, *run, t_main), 2.0);
+  EXPECT_DOUBLE_EQ(profile.get(*wait_count, *run, t_main), 2.0);
+}
+
+TEST(SelfProfile, LintsCleanWithZeroDiagnostics) {
+  const Experiment profile =
+      export_self_profile(fixed_snapshot(), fixed_registry());
+  lint::DiagnosticSink sink;
+  lint::lint_experiment(profile, sink);
+  EXPECT_TRUE(sink.empty()) << [&] {
+    std::ostringstream out;
+    sink.write_text(out);
+    return out.str();
+  }();
+}
+
+TEST(SelfProfile, EmptySnapshotStillExportsAValidExperiment) {
+  const Experiment profile =
+      export_self_profile({}, MetricsRegistry{});
+  lint::DiagnosticSink sink;
+  lint::lint_experiment(profile, sink);
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(profile.metadata().num_threads(), 1u);  // synthetic "main"
+}
+
+TEST(SelfProfile, RoundTripsThroughBothCodecs) {
+  const Experiment profile =
+      export_self_profile(fixed_snapshot(), fixed_registry());
+  const std::filesystem::path dir(::testing::TempDir());
+  const std::string xml_path = (dir / "self_profile_rt.cube").string();
+  const std::string bin_path = (dir / "self_profile_rt.cubx").string();
+  write_self_profile_file(profile, xml_path);
+  write_self_profile_file(profile, bin_path);
+
+  // Extension picks the codec: the binary file must NOT parse as XML.
+  const Experiment from_xml = read_experiment_file(xml_path);
+  const Experiment from_bin = read_cube_binary_file(bin_path);
+  for (const Experiment* rt : {&from_xml, &from_bin}) {
+    ASSERT_EQ(rt->metadata().digest(), profile.metadata().digest());
+    EXPECT_EQ(rt->name(), profile.name());
+    for (MetricIndex m = 0; m < profile.metadata().num_metrics(); ++m) {
+      for (CnodeIndex c = 0; c < profile.metadata().num_cnodes(); ++c) {
+        for (ThreadIndex t = 0; t < profile.metadata().num_threads(); ++t) {
+          ASSERT_EQ(rt->severity().get(m, c, t),
+                    profile.severity().get(m, c, t))
+              << "cell (" << m << ", " << c << ", " << t << ")";
+        }
+      }
+    }
+    lint::DiagnosticSink sink;
+    lint::lint_experiment(*rt, sink);
+    EXPECT_TRUE(sink.empty());
+  }
+  std::filesystem::remove(xml_path);
+  std::filesystem::remove(bin_path);
+}
+
+TEST(SelfProfile, ExportIsDeterministic) {
+  // Two runs recording the same span structure build digest-equal
+  // metadata (entity creation order is sorted, not arrival order), which
+  // is what lets cube_diff line up two traced runs of one tool.
+  const Experiment a =
+      export_self_profile(fixed_snapshot(), fixed_registry());
+  const Experiment b =
+      export_self_profile(fixed_snapshot(), fixed_registry());
+  EXPECT_EQ(a.metadata().digest(), b.metadata().digest());
+}
+
+TEST(ChromeTrace, EmitsCompleteEventsAndThreadNames) {
+  std::ostringstream out;
+  write_chrome_trace(out, fixed_snapshot());
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"main\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker.0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query.run\""), std::string::npos);
+  // Timestamps are rebased to the earliest span and in microseconds: the
+  // diff span starts 1000 ns = 1 us after the base.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"note\":\"cache-miss\""), std::string::npos);
+}
+
+TEST(TextReport, ListsCallTreeAndMetrics) {
+  std::ostringstream out;
+  write_text_report(out, fixed_snapshot(), fixed_registry());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("main"), std::string::npos);
+  EXPECT_NE(text.find("query.run"), std::string::npos);
+  EXPECT_NE(text.find("operator.diff"), std::string::npos);
+  EXPECT_NE(text.find("test.bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cube::obs

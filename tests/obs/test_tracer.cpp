@@ -1,0 +1,211 @@
+// Tracer unit tests: disabled no-op fast path, nesting/parent links,
+// thread naming and snapshot order, reset, and the exception-unwind
+// guarantee the RAII spans make (docs/OBSERVABILITY.md).
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cube::obs {
+namespace {
+
+/// The tracer and its registered per-thread buffers are process-global, so
+/// every test starts from a disabled tracer with no recorded spans.
+/// (Buffers registered by earlier tests survive with zero spans; span
+/// assertions therefore go through find_spans, which skips empty threads.)
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disable_tracing();
+    Tracer::instance().reset();
+  }
+  void TearDown() override {
+    disable_tracing();
+    Tracer::instance().reset();
+  }
+};
+
+/// The one thread snapshot holding spans under `name`; nullptr if none.
+const ThreadSnapshot* find_spans(const std::vector<ThreadSnapshot>& threads,
+                                 const std::string& name) {
+  for (const ThreadSnapshot& t : threads) {
+    if (t.thread_name == name && !t.spans.empty()) return &t;
+  }
+  return nullptr;
+}
+
+TEST_F(TracerTest, DisabledSpanSitesRecordNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  {
+    OBS_SPAN("t.outer");
+    OBS_SPAN("t.inner", "note");
+    Span named("t.explicit");
+    EXPECT_FALSE(named.active());
+    named.annotate("ignored");
+  }
+  EXPECT_EQ(Tracer::instance().span_count(), 0u);
+}
+
+TEST_F(TracerTest, RecordsNestingWithParentLinks) {
+  set_current_thread_name("t.nesting");
+  enable_tracing();
+  {
+    OBS_SPAN("t.root");
+    { OBS_SPAN("t.child"); }
+    { OBS_SPAN("t.child"); }
+  }
+  { OBS_SPAN("t.root2"); }
+  disable_tracing();
+
+  const auto threads = Tracer::instance().snapshot();
+  const ThreadSnapshot* snap = find_spans(threads, "t.nesting");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->spans.size(), 4u);
+  // Record order: a parent precedes its children.
+  EXPECT_STREQ(snap->spans[0].name, "t.root");
+  EXPECT_EQ(snap->spans[0].parent, kNoParent);
+  EXPECT_STREQ(snap->spans[1].name, "t.child");
+  EXPECT_EQ(snap->spans[1].parent, 0u);
+  EXPECT_STREQ(snap->spans[2].name, "t.child");
+  EXPECT_EQ(snap->spans[2].parent, 0u);
+  EXPECT_STREQ(snap->spans[3].name, "t.root2");
+  EXPECT_EQ(snap->spans[3].parent, kNoParent);
+  for (const SpanRecord& rec : snap->spans) {
+    EXPECT_GE(rec.end_ns, rec.start_ns);
+  }
+  // Children lie inside their parent's interval.
+  EXPECT_GE(snap->spans[1].start_ns, snap->spans[0].start_ns);
+  EXPECT_LE(snap->spans[2].end_ns, snap->spans[0].end_ns);
+}
+
+TEST_F(TracerTest, NotesAndAnnotateAreRecorded) {
+  set_current_thread_name("t.notes");
+  enable_tracing();
+  { OBS_SPAN("t.noted", "cache-hit"); }
+  {
+    Span s("t.late");
+    s.annotate("cache-miss");
+  }
+  disable_tracing();
+
+  const auto threads = Tracer::instance().snapshot();
+  const ThreadSnapshot* snap = find_spans(threads, "t.notes");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->spans.size(), 2u);
+  EXPECT_STREQ(snap->spans[0].note, "cache-hit");
+  EXPECT_STREQ(snap->spans[1].note, "cache-miss");
+}
+
+TEST_F(TracerTest, FinishClosesEarlyAndIsIdempotent) {
+  set_current_thread_name("t.finish");
+  enable_tracing();
+  {
+    Span phase("t.phase");
+    { OBS_SPAN("t.within"); }
+    phase.finish();
+    phase.finish();  // idempotent; destructor is a further no-op
+    { OBS_SPAN("t.after"); }
+  }
+  disable_tracing();
+
+  const auto threads = Tracer::instance().snapshot();
+  const ThreadSnapshot* snap = find_spans(threads, "t.finish");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->spans.size(), 3u);
+  EXPECT_STREQ(snap->spans[0].name, "t.phase");
+  EXPECT_STREQ(snap->spans[1].name, "t.within");
+  EXPECT_EQ(snap->spans[1].parent, 0u);
+  // The span opened after finish() is a sibling root, not a child.
+  EXPECT_STREQ(snap->spans[2].name, "t.after");
+  EXPECT_EQ(snap->spans[2].parent, kNoParent);
+}
+
+TEST_F(TracerTest, SnapshotOrdersMainThenWorkersThenNames) {
+  enable_tracing();
+  set_current_thread_name("main");
+  { OBS_SPAN("t.on-main"); }
+  // Register workers out of numeric order plus an oddly-named thread.
+  for (const char* name : {"worker.10", "worker.2", "aux"}) {
+    std::thread([name] {
+      set_current_thread_name(name);
+      OBS_SPAN("t.on-worker");
+    }).join();
+  }
+  disable_tracing();
+
+  const auto threads = Tracer::instance().snapshot();
+  std::vector<std::string> order;
+  for (const ThreadSnapshot& t : threads) {
+    if (!t.spans.empty()) order.push_back(t.thread_name);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"main", "worker.2", "worker.10",
+                                             "aux"}));
+}
+
+TEST_F(TracerTest, ResetDropsSpansButKeepsBuffersUsable) {
+  set_current_thread_name("t.reset");
+  enable_tracing();
+  { OBS_SPAN("t.before-reset"); }
+  EXPECT_GE(Tracer::instance().span_count(), 1u);
+  Tracer::instance().reset();
+  EXPECT_EQ(Tracer::instance().span_count(), 0u);
+
+  { OBS_SPAN("t.after-reset"); }
+  disable_tracing();
+  const auto threads = Tracer::instance().snapshot();
+  const ThreadSnapshot* snap = find_spans(threads, "t.reset");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->spans.size(), 1u);
+  EXPECT_STREQ(snap->spans[0].name, "t.after-reset");
+}
+
+TEST_F(TracerTest, ManySpansCrossChunkBoundaries) {
+  // kChunkSlots is 1024; recording a few thousand spans exercises chunk
+  // growth and keeps parent indices valid across chunks.
+  set_current_thread_name("t.chunks");
+  enable_tracing();
+  {
+    OBS_SPAN("t.chunk-root");
+    for (int i = 0; i < 5000; ++i) {
+      OBS_SPAN("t.chunk-leaf");
+    }
+  }
+  disable_tracing();
+  const auto threads = Tracer::instance().snapshot();
+  const ThreadSnapshot* snap = find_spans(threads, "t.chunks");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->spans.size(), 5001u);
+  for (std::size_t i = 1; i < snap->spans.size(); ++i) {
+    EXPECT_EQ(snap->spans[i].parent, 0u);
+  }
+}
+
+TEST_F(TracerTest, ExceptionsUnwindOpenSpans) {
+  set_current_thread_name("t.unwind");
+  enable_tracing();
+  ASSERT_EQ(Tracer::instance().open_span_depth(), 0u);
+  try {
+    OBS_SPAN("t.outer");
+    OBS_SPAN("t.inner");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(Tracer::instance().open_span_depth(), 0u);
+  disable_tracing();
+
+  // Both spans closed (published) despite the throw.
+  const auto threads = Tracer::instance().snapshot();
+  const ThreadSnapshot* snap = find_spans(threads, "t.unwind");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->spans.size(), 2u);
+  for (const SpanRecord& rec : snap->spans) {
+    EXPECT_GT(rec.end_ns, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cube::obs
