@@ -1,0 +1,176 @@
+// cube_client: command-line client for the cubed daemon (docs/SERVER.md).
+//
+// Runs a query remotely and prints the same severity report cube_query
+// prints locally, plus how the server served it (computed, cache-hit, or
+// coalesced).  Also drives the daemon's control surface: ping, remote
+// stats, shutdown.
+//
+// Usage:
+//   cube_client --socket <path> [<expr>] [options]
+//
+// Options:
+//   --repeat N        run the query N times over one session (the second
+//                     round trip demonstrates a shared-cache hit)
+//   -o out.cube       write the (last) result as CUBE XML
+//   --hotspots N      rows in the severity report (default 10)
+//   --quiet           suppress the severity report
+//   --expect-served computed|hit|coalesced
+//                     exit nonzero unless the LAST response was served
+//                     that way (CI assertions)
+//   --expect-busy     exit 0 only if the server sheds the query with
+//                     BUSY (CI assertion for --force-busy daemons)
+//   --ping            liveness probe
+//   --server-stats    print the server's metric samples
+//   --shutdown        ask the daemon to drain and exit
+//
+// Exit codes: 0 success, 1 error, 2 unexpected BUSY.
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "io/cube_format.hpp"
+#include "report_util.hpp"
+#include "server/client.hpp"
+
+namespace {
+
+const char* served_name(cube::server::Served served) {
+  switch (served) {
+    case cube::server::Served::Computed: return "computed";
+    case cube::server::Served::CacheHit: return "hit";
+    case cube::server::Served::Coalesced: return "coalesced";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cube::server::ClientConfig config;
+  std::string expr;
+  std::optional<std::string> output;
+  std::optional<std::string> expect_served;
+  std::size_t repeat = 1;
+  std::size_t hotspot_count = 10;
+  bool quiet = false;
+  bool expect_busy = false;
+  bool do_ping = false;
+  bool do_stats = false;
+  bool do_shutdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], repeat) || repeat == 0) {
+        std::cerr << "error: --repeat expects a positive number\n";
+        return 1;
+      }
+    } else if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--hotspots" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], hotspot_count)) {
+        std::cerr << "error: --hotspots expects a number\n";
+        return 1;
+      }
+    } else if (arg == "--expect-served" && i + 1 < argc) {
+      expect_served = argv[++i];
+    } else if (arg == "--expect-busy") {
+      expect_busy = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--ping") {
+      do_ping = true;
+    } else if (arg == "--server-stats") {
+      do_stats = true;
+    } else if (arg == "--shutdown") {
+      do_shutdown = true;
+    } else if (expr.empty() && !arg.empty() && arg[0] != '-') {
+      expr = arg;
+    } else {
+      std::cerr << "error: unexpected argument '" << arg << "'\n";
+      return 1;
+    }
+  }
+  if (config.socket_path.empty() ||
+      (expr.empty() && !do_ping && !do_stats && !do_shutdown)) {
+    std::cerr << "usage: cube_client --socket <path> [<expr>] [--repeat N]"
+                 " [-o out.cube] [--hotspots N] [--quiet]"
+                 " [--expect-served computed|hit|coalesced] [--expect-busy]"
+                 " [--ping] [--server-stats] [--shutdown]\n";
+    return 1;
+  }
+
+  try {
+    cube::server::CubeClient client(config);
+    if (do_ping) {
+      client.ping();
+      std::cout << "pong from " << client.server_name() << " (generation "
+                << client.generation() << ")\n";
+    }
+
+    if (!expr.empty()) {
+      std::optional<cube::server::ClientResult> last;
+      try {
+        for (std::size_t run = 0; run < repeat; ++run) {
+          last = client.query(expr);
+          std::cout << "run " << run + 1 << "/" << repeat << ": served "
+                    << served_name(last->served) << ", server "
+                    << cube::format_value(last->server_ms, 2) << " ms, "
+                    << last->wire_bytes << " wire bytes"
+                    << (last->meta_shipped ? " (metadata shipped)"
+                                           : " (metadata cached)")
+                    << "\n";
+        }
+      } catch (const cube::server::BusyError& e) {
+        if (expect_busy) {
+          std::cout << "busy as expected: " << e.payload().reason
+                    << " (inflight " << e.payload().inflight << ", retry "
+                    << e.payload().retry_ms << " ms)\n";
+          return 0;
+        }
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      }
+      if (expect_busy) {
+        std::cerr << "error: expected BUSY but the query was served\n";
+        return 1;
+      }
+      std::cout << "query:     " << expr << "\n"
+                << "canonical: " << last->canonical << "\n"
+                << "result:    " << last->experiment.name() << "\n";
+      if (expect_served && *expect_served != served_name(last->served)) {
+        std::cerr << "error: expected last response served '"
+                  << *expect_served << "', got '" << served_name(last->served)
+                  << "'\n";
+        return 1;
+      }
+      if (output) {
+        cube::write_cube_xml_file(last->experiment, *output);
+        std::cout << "wrote " << *output << "\n";
+      } else if (!quiet) {
+        cube::cli::print_experiment_report(last->experiment, hotspot_count);
+      }
+    }
+
+    if (do_stats) {
+      const cube::server::StatsPayload stats = client.stats();
+      for (const auto& s : stats.samples) {
+        std::cout << s.name << " = " << cube::format_value(s.value, 3);
+        if (s.count > 0) std::cout << " (count " << s.count << ")";
+        std::cout << "\n";
+      }
+    }
+    if (do_shutdown) {
+      client.shutdown_server();
+      std::cout << "server acknowledged shutdown\n";
+    }
+    return 0;
+  } catch (const cube::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

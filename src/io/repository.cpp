@@ -80,6 +80,7 @@ void ExperimentRepository::read_index() {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  index_digest_ = fnv1a(buffer.str());
   const auto root = parse_xml(buffer.str());
   if (root->name != "repository") {
     throw Error("'" + directory_.string() + "' is not a CUBE repository");
@@ -109,13 +110,11 @@ void ExperimentRepository::write_index() const {
   const std::filesystem::path target = directory_ / kIndexFile;
   const std::filesystem::path temp =
       directory_ / (std::string(kIndexFile) + ".tmp");
+  // Render to a buffer first: the digest of the bytes about to land on
+  // disk is what refresh() later compares the on-disk index against.
+  std::ostringstream rendered;
   {
-    std::ofstream out(temp, std::ios::trunc);
-    if (!out) {
-      throw IoError("cannot write repository index in '" +
-                    directory_.string() + "'");
-    }
-    XmlWriter w(out);
+    XmlWriter w(rendered);
     w.declaration();
     w.open_element("repository");
     for (const RepoEntry& entry : entries_) {
@@ -135,6 +134,15 @@ void ExperimentRepository::write_index() const {
       w.close_element();
     }
     w.finish();
+  }
+  const std::string bytes = rendered.str();
+  {
+    std::ofstream out(temp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      throw IoError("cannot write repository index in '" +
+                    directory_.string() + "'");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out) {
       std::error_code cleanup;
@@ -150,6 +158,7 @@ void ExperimentRepository::write_index() const {
     throw IoError("cannot replace repository index '" + target.string() +
                   "': " + ec.message());
   }
+  index_digest_ = fnv1a(bytes);
 }
 
 std::string ExperimentRepository::unique_id(const std::string& base) const {
@@ -216,6 +225,7 @@ void ExperimentRepository::write_experiment_file(const Experiment& experiment,
 std::string ExperimentRepository::store(const Experiment& experiment,
                                         RepoFormat format) {
   OBS_SPAN("repo.store");
+  std::unique_lock lock(mutex_);
   const std::string id = unique_id(sanitize(
       experiment.name().empty() ? "experiment" : experiment.name()));
   RepoEntry entry;
@@ -230,6 +240,7 @@ std::string ExperimentRepository::store(const Experiment& experiment,
   write_experiment_file(experiment, entry);
   entries_.push_back(std::move(entry));
   write_index();
+  generation_.fetch_add(1, std::memory_order_release);
   // Future loads of this digest should share the instance just stored.
   (void)interner_.intern(experiment.metadata_ptr());
   stores_counter().add(1);
@@ -238,12 +249,24 @@ std::string ExperimentRepository::store(const Experiment& experiment,
 }
 
 Experiment ExperimentRepository::load(const std::string& id) const {
-  for (const RepoEntry& entry : entries_) {
-    if (entry.id == id) {
-      return load_path(directory_ / entry.file, entry.format);
+  std::filesystem::path path;
+  RepoFormat format = RepoFormat::Xml;
+  {
+    std::shared_lock lock(mutex_);
+    bool found = false;
+    for (const RepoEntry& entry : entries_) {
+      if (entry.id == id) {
+        path = directory_ / entry.file;
+        format = entry.format;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw Error("repository has no experiment with id '" + id + "'");
     }
   }
-  throw Error("repository has no experiment with id '" + id + "'");
+  return load_path(path, format);
 }
 
 Experiment ExperimentRepository::load_path(const std::filesystem::path& path,
@@ -259,7 +282,29 @@ Experiment ExperimentRepository::load_path(const std::filesystem::path& path,
   return experiment;
 }
 
+bool ExperimentRepository::refresh() {
+  std::unique_lock lock(mutex_);
+  std::uint64_t on_disk = 0;
+  try {
+    on_disk = digest_file(directory_ / kIndexFile);
+  } catch (const Error&) {
+    throw IoError("cannot re-read repository index in '" +
+                  directory_.string() + "'");
+  }
+  if (on_disk == index_digest_) return false;
+  read_index();
+  generation_.fetch_add(1, std::memory_order_release);
+  entries_gauge().set(static_cast<double>(entries_.size()));
+  return true;
+}
+
+std::vector<RepoEntry> ExperimentRepository::entries_snapshot() const {
+  std::shared_lock lock(mutex_);
+  return entries_;
+}
+
 std::size_t ExperimentRepository::migrate() {
+  std::unique_lock lock(mutex_);
   std::size_t rewritten = 0;
   for (RepoEntry& entry : entries_) {
     if (!entry.meta.empty()) continue;
@@ -270,11 +315,15 @@ std::size_t ExperimentRepository::migrate() {
     (void)interner_.intern(experiment.metadata_ptr());
     ++rewritten;
   }
-  if (rewritten > 0) write_index();
+  if (rewritten > 0) {
+    write_index();
+    generation_.fetch_add(1, std::memory_order_release);
+  }
   return rewritten;
 }
 
 void ExperimentRepository::remove(const std::string& id) {
+  std::unique_lock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->id == id) {
       std::error_code ec;
@@ -286,6 +335,7 @@ void ExperimentRepository::remove(const std::string& id) {
             directory_ / kMetaDir / (meta + ".meta"), ec);
       }
       write_index();
+      generation_.fetch_add(1, std::memory_order_release);
       return;
     }
   }
@@ -293,6 +343,7 @@ void ExperimentRepository::remove(const std::string& id) {
 }
 
 std::vector<std::string> ExperimentRepository::orphan_blobs() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> orphans;
   const std::filesystem::path dir = directory_ / kMetaDir;
   std::error_code ec;
@@ -319,6 +370,7 @@ std::size_t ExperimentRepository::remove_orphan_blobs() {
 
 std::vector<RepoEntry> ExperimentRepository::query(
     const std::string& key, const std::string& value) const {
+  std::shared_lock lock(mutex_);
   std::vector<RepoEntry> out;
   for (const RepoEntry& entry : entries_) {
     const auto it = entry.attributes.find(key);

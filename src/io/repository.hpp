@@ -23,10 +23,12 @@
 // them to the blob layout in place.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -61,8 +63,18 @@ struct RepoEntry {
 ///
 /// The index (`index.xml`) is rewritten on every mutation via a temp file
 /// and an atomic rename, so a crash mid-store cannot corrupt it.
-/// Concurrent writers are out of scope (single-analyst workflows, like
-/// the paper's).
+///
+/// CONCURRENCY.  One ExperimentRepository instance is safe to share
+/// between threads: mutations (store/remove/migrate/refresh) take an
+/// exclusive lock, readers (load/query/load_all/entries_snapshot) a
+/// shared one, and the metadata interner synchronizes itself.  This is
+/// what lets the analysis daemon serve many sessions over one instance.
+/// ACROSS processes the index is append-coherent but not push-updated: a
+/// writer's atomic index rename is seen by other processes only when they
+/// call refresh(), which re-reads the index if its bytes changed (the
+/// daemon does this; a long-running CLI can too).  Two processes STORING
+/// concurrently into the same directory remain out of scope — last index
+/// rename wins.
 class ExperimentRepository {
  public:
   /// Opens (or initializes) a repository at `directory`; the directory is
@@ -125,10 +137,32 @@ class ExperimentRepository {
   /// Deletes all orphan blobs; returns how many were removed.
   std::size_t remove_orphan_blobs();
 
-  /// All entries, in store order.
+  /// Re-reads the index from disk if its bytes changed since this
+  /// instance last read or wrote it — picking up entries appended by
+  /// ANOTHER process (a CLI storing into a repository a daemon serves).
+  /// Returns true (and bumps generation()) when the entry list was
+  /// reloaded, false when the on-disk index is the one already held.
+  /// Throws IoError/ParseError if the index became unreadable.
+  bool refresh();
+
+  /// Monotonic change counter: bumped by every store/remove/migrate and
+  /// by each refresh() that picked up external changes.  Cheap to poll;
+  /// the query layer keys plan caches on it.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// All entries, in store order.  NOT safe against a concurrent mutator
+  /// (the reference's vector can reallocate mid-iteration): use it from
+  /// single-threaded tools, and entries_snapshot() anywhere a store may
+  /// run concurrently.
   [[nodiscard]] const std::vector<RepoEntry>& entries() const noexcept {
     return entries_;
   }
+
+  /// Copy of the entry list under the shared lock — the concurrency-safe
+  /// counterpart of entries().
+  [[nodiscard]] std::vector<RepoEntry> entries_snapshot() const;
 
   /// Entries whose attribute `key` equals `value`.
   [[nodiscard]] std::vector<RepoEntry> query(
@@ -157,6 +191,12 @@ class ExperimentRepository {
   std::vector<RepoEntry> entries_;
   mutable MetadataInterner interner_;
   LoadValidator validator_;
+  /// Guards entries_ and index rewrites; see the class comment.
+  mutable std::shared_mutex mutex_;
+  std::atomic<std::uint64_t> generation_{0};
+  /// FNV-1a of the index bytes this instance last read or wrote; refresh()
+  /// compares the on-disk index against it.
+  mutable std::uint64_t index_digest_ = 0;
 };
 
 }  // namespace cube

@@ -22,6 +22,7 @@ namespace {
 // lint for load validation).
 constexpr const char* kCacheKey = "cube::cache-key";
 constexpr const char* kCacheExpr = "cube::cache-expr";
+constexpr const char* kCacheOperands = "cube::cache-operands";
 
 /// One `id:<entry>@<hexdigest>` operand reference of a canonical cache
 /// expression.
@@ -51,9 +52,41 @@ std::vector<OperandRef> parse_operand_refs(const std::string& expr) {
   return refs;
 }
 
+/// Splits a kCacheOperands attribute ("hex hex hex ...") into tokens.
+std::vector<std::string> split_operand_digests(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    const std::size_t end = value.find(' ', pos);
+    const std::size_t stop = end == std::string::npos ? value.size() : end;
+    if (stop > pos) out.push_back(value.substr(pos, stop - pos));
+    pos = stop + 1;
+  }
+  return out;
+}
+
 void lint_cache_entry(const ExperimentRepository& repo, const RepoEntry& entry,
                       const std::map<std::string, const RepoEntry*>& by_id,
+                      const std::set<std::string>& file_digests,
                       DiagnosticSink& sink) {
+  // Digest-keyed staleness (the daemon's shared result cache, which keys
+  // entries purely by content digests): each recorded operand digest must
+  // still be the digest of SOME repository file — under any id.  A digest
+  // that resolves nowhere can never be planned again, so no cache key
+  // reaching this entry can ever be rebuilt: the entry is dead weight.
+  const auto operands = entry.attributes.find(kCacheOperands);
+  if (operands != entry.attributes.end()) {
+    for (const std::string& hex : split_operand_digests(operands->second)) {
+      if (file_digests.count(hex) == 0) {
+        sink.warning(
+            "repo.stale-cache-operand", "operand digest " + hex,
+            "cached result records an operand digest that no repository "
+            "file currently hashes to",
+            "a digest-keyed result cache (cubed) can never serve or "
+            "revalidate this entry; remove it to reclaim space");
+      }
+    }
+  }
   const auto expr = entry.attributes.find(kCacheExpr);
   if (expr == entry.attributes.end()) {
     sink.warning("repo.stale-cache", "attribute \"" + std::string(kCacheKey) +
@@ -167,6 +200,17 @@ void lint_repository(const std::filesystem::path& directory,
     }
   }
 
+  // Digests of every entry file, for the digest-resolution cache check.
+  std::set<std::string> file_digests;
+  for (const RepoEntry& entry : repo->entries()) {
+    try {
+      file_digests.insert(
+          digest_hex(digest_file(directory / entry.file)));
+    } catch (const Error&) {
+      // unreadable files get their own diagnostic below
+    }
+  }
+
   for (const RepoEntry& entry : repo->entries()) {
     sink.set_subject("entry \"" + entry.id + "\"");
     const std::filesystem::path file = directory / entry.file;
@@ -185,7 +229,7 @@ void lint_repository(const std::filesystem::path& directory,
     }
     lint_file(file, sink, options, repo->resolver());
     if (entry.attributes.count(kCacheKey) != 0) {
-      lint_cache_entry(*repo, entry, by_id, sink);
+      lint_cache_entry(*repo, entry, by_id, file_digests, sink);
     }
   }
 

@@ -1,5 +1,6 @@
 #include "query/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -75,31 +76,50 @@ QueryEngine::QueryEngine(ExperimentRepository& repo, QueryOptions options)
     options_.threads = ThreadPool::default_threads();
   }
   if (options_.threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.threads);
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
   }
+}
+
+QueryEngine::QueryEngine(ExperimentRepository& repo, QueryOptions options,
+                         ThreadPool& pool)
+    : repo_(repo), options_(options), pool_(&pool) {
+  options_.threads = pool.size();
 }
 
 QueryResult QueryEngine::run(std::string_view text) {
   return run(*parse_query(text));
 }
 
+QueryPlan QueryEngine::plan(const QueryExpr& expr) const {
+  return plan_query(expr, repo_, options_.operators);
+}
+
 QueryResult QueryEngine::run(const QueryExpr& expr) {
   OBS_SPAN("query.run");
   const auto t_total = Clock::now();
-  QueryStats stats;
-  stats.threads_used = options_.threads;
-
-  // --- plan ---------------------------------------------------------------
   const auto t_plan = Clock::now();
   obs::Span plan_span("query.plan");
-  QueryPlan plan = plan_query(expr, repo_, options_.operators);
+  const QueryPlan query_plan = plan(expr);
+  const double plan_ms = ms_since(t_plan);
+  plan_span.finish();
+  QueryResult result = run_plan(query_plan);
+  result.stats.plan_ms = plan_ms;
+  result.stats.total_ms = ms_since(t_total);
+  return result;
+}
+
+QueryResult QueryEngine::run_plan(const QueryPlan& plan) {
+  const auto t_total = Clock::now();
+  QueryStats stats;
+  stats.threads_used = options_.threads;
   stats.plan_nodes = plan.nodes.size();
   stats.cse_reused = plan.cse_reused;
 
   // Snapshot the cached cubes (repository entries carrying a cache key).
   std::map<std::string, CachedCube> cache;
   if (options_.use_cache) {
-    for (const RepoEntry& entry : repo_.entries()) {
+    for (const RepoEntry& entry : repo_.entries_snapshot()) {
       const auto it = entry.attributes.find(kCacheKeyAttribute);
       if (it != entry.attributes.end()) {
         cache.emplace(it->second,
@@ -138,8 +158,38 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
   for (std::size_t i = 0; i < n; ++i) {
     if (needed[i]) ++stats.nodes_executed;
   }
-  stats.plan_ms = ms_since(t_plan);
-  plan_span.finish();
+
+  // Transitive leaf operand digests per node, stamped onto stored derived
+  // cubes (kCacheOperandsAttribute) so digest-keyed caches — the daemon's
+  // shared result cache — can be linted for staleness.  Computed from the
+  // full plan: cache pruning hides subtrees from execution, not from the
+  // result's provenance.
+  std::vector<std::vector<std::uint64_t>> leaves;
+  if (options_.store_derived) {
+    leaves.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {  // topological: children first
+      const PlanNode& node = plan.nodes[i];
+      if (node.kind == PlanNode::Kind::Load) {
+        leaves[i].push_back(node.operand.digest);
+        continue;
+      }
+      for (const std::size_t child : node.args) {
+        leaves[i].insert(leaves[i].end(), leaves[child].begin(),
+                         leaves[child].end());
+      }
+      std::sort(leaves[i].begin(), leaves[i].end());
+      leaves[i].erase(std::unique(leaves[i].begin(), leaves[i].end()),
+                      leaves[i].end());
+    }
+  }
+  const auto operands_attr = [&](std::size_t i) {
+    std::string out;
+    for (const std::uint64_t digest : leaves[i]) {
+      if (!out.empty()) out += ' ';
+      out += digest_hex(digest);
+    }
+    return out;
+  };
 
   // --- execute ------------------------------------------------------------
   const auto t_exec = Clock::now();
@@ -150,7 +200,7 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
   obs::MetricsRegistry run_metrics;
   op_options.metrics = &run_metrics;
   if (pool_) {
-    ThreadPool* pool = pool_.get();
+    ThreadPool* pool = pool_;
     op_options.parallel_for =
         [pool](std::size_t chunks,
                const std::function<void(std::size_t)>& body) {
@@ -208,6 +258,7 @@ QueryResult QueryEngine::run(const QueryExpr& expr) {
           // cache snapshot finds them.
           out.set_attribute(kCacheKeyAttribute, digest_hex(node.key));
           out.set_attribute(kCacheExprAttribute, node.canonical);
+          out.set_attribute(kCacheOperandsAttribute, operands_attr(i));
         }
         auto e = std::make_shared<Experiment>(std::move(out));
         const double eval_ms = ms_since(t0);

@@ -85,14 +85,36 @@ struct QueryResult {
   std::string canonical;  ///< canonical root expression over resolved ids
 };
 
+/// Evaluates queries against a repository.  One engine may serve MANY
+/// threads at once: run()/run_plan() keep all per-run state on the
+/// caller's stack, the repository synchronizes itself, and the thread
+/// pool is safe to share — the analysis daemon multiplexes every session
+/// onto a single engine over one pool.  Callers of run_plan() must not
+/// be pool workers of the engine's own pool (the DAG wait would occupy a
+/// worker); session threads and main() are fine.
 class QueryEngine {
  public:
   explicit QueryEngine(ExperimentRepository& repo, QueryOptions options = {});
+  /// Runs on `pool` (shared, externally owned) instead of spawning a
+  /// private one; `pool` must outlive the engine.  options.threads only
+  /// labels QueryStats::threads_used in this form.
+  QueryEngine(ExperimentRepository& repo, QueryOptions options,
+              ThreadPool& pool);
 
   /// Parse + plan + execute.  Throws cube::Error (and subclasses) on
   /// parse, resolution, or evaluation failure.
   [[nodiscard]] QueryResult run(std::string_view text);
   [[nodiscard]] QueryResult run(const QueryExpr& expr);
+
+  /// Plans without executing — the daemon's plan cache keys off the
+  /// root node's content-addressed digest before deciding whether any
+  /// execution is needed at all.
+  [[nodiscard]] QueryPlan plan(const QueryExpr& expr) const;
+
+  /// Executes a previously produced plan (stats.plan_ms stays 0; run()
+  /// composes the two).  The plan must come from this engine's
+  /// repository and operator options.
+  [[nodiscard]] QueryResult run_plan(const QueryPlan& plan);
 
   [[nodiscard]] const QueryOptions& options() const noexcept {
     return options_;
@@ -101,7 +123,8 @@ class QueryEngine {
  private:
   ExperimentRepository& repo_;
   QueryOptions options_;
-  std::unique_ptr<ThreadPool> pool_;  // null when running sequentially
+  ThreadPool* pool_ = nullptr;        // null when running sequentially
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace cube::query

@@ -36,8 +36,11 @@ std::string options_tag(const OperatorOptions& options) {
 
 class Planner {
  public:
+  // Selector resolution iterates a SNAPSHOT of the index: the daemon
+  // plans while other sessions store derived results into the same
+  // repository, and an entries() reference could reallocate mid-walk.
   Planner(const ExperimentRepository& repo, const OperatorOptions& options)
-      : repo_(repo), options_(options) {}
+      : repo_(repo), entries_(repo.entries_snapshot()), options_(options) {}
 
   QueryPlan run(const QueryExpr& expr) {
     const std::vector<std::size_t> roots = plan_node(expr);
@@ -129,7 +132,7 @@ class Planner {
   }
 
   const RepoEntry& find_id(const QueryExpr& expr) {
-    for (const RepoEntry& entry : repo_.entries()) {
+    for (const RepoEntry& entry : entries_) {
       if (entry.id == expr.name()) return entry;
     }
     throw Error("repository has no experiment with id '" + expr.name() +
@@ -138,7 +141,7 @@ class Planner {
 
   std::vector<const RepoEntry*> match_selector(const QueryExpr& expr) {
     std::vector<const RepoEntry*> matches;
-    for (const RepoEntry& entry : repo_.entries()) {
+    for (const RepoEntry& entry : entries_) {
       if (is_cache_entry(entry)) continue;
       if (expr.kind() == QueryExpr::Kind::Series) {
         if (entry.id.rfind(expr.name(), 0) == 0) matches.push_back(&entry);
@@ -199,6 +202,7 @@ class Planner {
   }
 
   const ExperimentRepository& repo_;
+  const std::vector<RepoEntry> entries_;
   const OperatorOptions& options_;
   QueryPlan plan_;
   std::map<std::string, std::size_t> cse_;   // canonical -> node

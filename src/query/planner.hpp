@@ -36,6 +36,13 @@ namespace cube::query {
 inline constexpr const char* kCacheKeyAttribute = "cube::cache-key";
 /// Attribute recording the canonical sub-expression a cached cube answers.
 inline constexpr const char* kCacheExprAttribute = "cube::cache-expr";
+/// Attribute listing the content digests (space-separated 016x hex) of the
+/// leaf operand files a cached cube was computed from.  The analysis
+/// server's shared result cache is keyed purely by such digests, so lint
+/// can flag entries whose operands no longer resolve to any repository
+/// file (rule repo.stale-cache-operand) — dead weight a digest-keyed
+/// cache can never serve again.
+inline constexpr const char* kCacheOperandsAttribute = "cube::cache-operands";
 
 /// A stored experiment an evaluation will read.
 struct ResolvedOperand {

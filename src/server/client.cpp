@@ -1,0 +1,161 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "io/binary_format.hpp"
+#include "io/meta_format.hpp"
+
+namespace cube::server {
+
+namespace {
+
+int connect_unix(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string spath = path.string();
+  if (spath.size() >= sizeof(addr.sun_path)) {
+    throw IoError("socket path too long for sockaddr_un: " + spath);
+  }
+  std::memcpy(addr.sun_path, spath.c_str(), spath.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    throw IoError("connect " + spath + ": " + std::strerror(saved));
+  }
+  return fd;
+}
+
+}  // namespace
+
+CubeClient::CubeClient(ClientConfig config) : config_(std::move(config)) {
+  // A server vanishing mid-write must surface as EPIPE/IoError, not kill
+  // the client process.
+  ::signal(SIGPIPE, SIG_IGN);
+  fd_ = connect_unix(config_.socket_path);
+  try {
+    HelloPayload hello;
+    hello.client = config_.name;
+    const Frame reply =
+        round_trip(MsgType::Hello, encode_hello(hello), MsgType::HelloOk);
+    const HelloOkPayload ok = decode_hello_ok(reply.payload);
+    if (ok.version != kProtocolVersion) {
+      throw ProtocolError("server speaks protocol version " +
+                          std::to_string(ok.version) + ", client speaks " +
+                          std::to_string(kProtocolVersion));
+    }
+    generation_ = ok.generation;
+    server_name_ = ok.server;
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+CubeClient::~CubeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame CubeClient::round_trip(MsgType type, std::string_view payload,
+                             MsgType expected) {
+  (void)write_frame(fd_, type, payload);
+  std::optional<Frame> reply = read_frame(fd_, config_.max_payload);
+  if (!reply) {
+    throw IoError("server closed the connection before replying");
+  }
+  if (reply->type == MsgType::Error) {
+    throw RemoteError(decode_error(reply->payload));
+  }
+  if (reply->type != expected) {
+    throw ProtocolError(std::string("expected ") + msg_type_name(expected) +
+                        ", got " + msg_type_name(reply->type));
+  }
+  return std::move(*reply);
+}
+
+ResultPayload CubeClient::query_raw(const std::string& text) {
+  QueryPayload query;
+  query.text = text;
+  const std::string encoded = encode_query(query);
+  (void)write_frame(fd_, MsgType::Query, encoded);
+  std::optional<Frame> reply = read_frame(fd_, config_.max_payload);
+  if (!reply) {
+    throw IoError("server closed the connection before replying");
+  }
+  switch (reply->type) {
+    case MsgType::Result:
+      return decode_result(reply->payload);
+    case MsgType::Busy:
+      throw BusyError(decode_busy(reply->payload));
+    case MsgType::Error:
+      throw RemoteError(decode_error(reply->payload));
+    default:
+      throw ProtocolError(std::string("expected Result, got ") +
+                          msg_type_name(reply->type));
+  }
+}
+
+ClientResult CubeClient::query(const std::string& text) {
+  QueryPayload query;
+  query.text = text;
+  const std::string encoded = encode_query(query);
+  (void)write_frame(fd_, MsgType::Query, encoded);
+  std::optional<Frame> reply = read_frame(fd_, config_.max_payload);
+  if (!reply) {
+    throw IoError("server closed the connection before replying");
+  }
+  if (reply->type == MsgType::Busy) {
+    throw BusyError(decode_busy(reply->payload));
+  }
+  if (reply->type == MsgType::Error) {
+    throw RemoteError(decode_error(reply->payload));
+  }
+  if (reply->type != MsgType::Result) {
+    throw ProtocolError(std::string("expected Result, got ") +
+                        msg_type_name(reply->type));
+  }
+  const std::size_t wire_bytes = reply->payload.size();
+  ResultPayload result = decode_result(reply->payload);
+
+  if (!result.meta_blob.empty()) {
+    std::shared_ptr<const Metadata> md = read_cube_meta(result.meta_blob);
+    metas_[md->digest()] = std::move(md);
+  }
+  ClientResult out{
+      read_cube_binary(result.body, config_.storage,
+                       [this](std::uint64_t digest) {
+                         auto it = metas_.find(digest);
+                         return it == metas_.end() ? nullptr : it->second;
+                       }),
+      result.served,
+      std::move(result.canonical),
+      result.server_ms,
+      wire_bytes,
+      !result.meta_blob.empty()};
+  return out;
+}
+
+StatsPayload CubeClient::stats() {
+  const Frame reply = round_trip(MsgType::Stats, {}, MsgType::StatsOk);
+  return decode_stats(reply.payload);
+}
+
+void CubeClient::ping() {
+  (void)round_trip(MsgType::Ping, {}, MsgType::Pong);
+}
+
+void CubeClient::shutdown_server() {
+  (void)round_trip(MsgType::Shutdown, {}, MsgType::ShutdownOk);
+}
+
+}  // namespace cube::server

@@ -1,0 +1,307 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/posix_io.hpp"
+#include "io/binary_codec.hpp"
+
+namespace cube::server {
+
+namespace {
+
+/// Every decoder maps the codec's CheckError (truncation inside a field)
+/// onto ProtocolError, so the session layer reports one structured
+/// category for all malformed input.
+template <typename Fn>
+auto decoding(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const CheckError& e) {
+    throw ProtocolError(std::string("malformed ") + what + " payload: " +
+                        e.detail());
+  }
+}
+
+void require_done(const detail::BinaryDecoder& d, const char* what) {
+  if (!d.done()) {
+    throw ProtocolError(std::string("malformed ") + what +
+                        " payload: trailing bytes after the last field");
+  }
+}
+
+void put_u32(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>(v >> (8 * i));
+}
+
+void put_u64(char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+constexpr std::size_t kHeaderSize = 16;
+
+bool known_type(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(MsgType::Hello) &&
+         t <= static_cast<std::uint32_t>(MsgType::ShutdownOk);
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::Hello: return "Hello";
+    case MsgType::HelloOk: return "HelloOk";
+    case MsgType::Query: return "Query";
+    case MsgType::Result: return "Result";
+    case MsgType::Error: return "Error";
+    case MsgType::Busy: return "Busy";
+    case MsgType::Ping: return "Ping";
+    case MsgType::Pong: return "Pong";
+    case MsgType::Stats: return "Stats";
+    case MsgType::StatsOk: return "StatsOk";
+    case MsgType::Shutdown: return "Shutdown";
+    case MsgType::ShutdownOk: return "ShutdownOk";
+  }
+  return "unknown";
+}
+
+std::size_t write_frame(int fd, MsgType type, std::string_view payload) {
+  char header[kHeaderSize];
+  put_u32(header, kFrameMagic);
+  put_u32(header + 4, static_cast<std::uint32_t>(type));
+  put_u64(header + 8, payload.size());
+  // One header write, one payload write: both EINTR-safe and resumed
+  // across partial transfers, so a frame can never be torn by a signal.
+  write_full(fd, header, kHeaderSize);
+  if (!payload.empty()) write_full(fd, payload.data(), payload.size());
+  return kHeaderSize + payload.size();
+}
+
+std::optional<Frame> read_frame(int fd, std::uint64_t max_payload) {
+  char header[kHeaderSize];
+  const std::size_t got = read_full(fd, header, kHeaderSize);
+  if (got == 0) return std::nullopt;  // clean EOF between frames
+  if (got < kHeaderSize) {
+    throw ProtocolError("stream ended inside a frame header (" +
+                        std::to_string(got) + " of " +
+                        std::to_string(kHeaderSize) + " bytes)");
+  }
+  if (get_u32(header) != kFrameMagic) {
+    throw ProtocolError("bad frame magic (not a cubed peer?)");
+  }
+  const std::uint32_t raw_type = get_u32(header + 4);
+  if (!known_type(raw_type)) {
+    throw ProtocolError("unknown message type " + std::to_string(raw_type));
+  }
+  const std::uint64_t len = get_u64(header + 8);
+  if (len > max_payload) {
+    throw ProtocolError("frame payload of " + std::to_string(len) +
+                        " bytes exceeds the " + std::to_string(max_payload) +
+                        "-byte ceiling");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(raw_type);
+  frame.payload.resize(static_cast<std::size_t>(len));
+  if (len > 0) {
+    const std::size_t body = read_full(fd, frame.payload.data(),
+                                       frame.payload.size());
+    if (body < frame.payload.size()) {
+      throw ProtocolError("stream ended inside a " +
+                          std::string(msg_type_name(frame.type)) +
+                          " payload (" + std::to_string(body) + " of " +
+                          std::to_string(len) + " bytes)");
+    }
+  }
+  return frame;
+}
+
+// --- payload codecs -------------------------------------------------------
+
+std::string encode_hello(const HelloPayload& p) {
+  std::ostringstream out;
+  detail::BinaryEncoder e(out);
+  e.u32(p.version);
+  e.str(p.client);
+  return out.str();
+}
+
+HelloPayload decode_hello(std::string_view payload) {
+  return decoding("Hello", [&] {
+    detail::BinaryDecoder d(payload);
+    HelloPayload p;
+    p.version = d.u32();
+    p.client = d.str();
+    require_done(d, "Hello");
+    return p;
+  });
+}
+
+std::string encode_hello_ok(const HelloOkPayload& p) {
+  std::ostringstream out;
+  detail::BinaryEncoder e(out);
+  e.u32(p.version);
+  e.str(p.server);
+  e.u64(p.generation);
+  return out.str();
+}
+
+HelloOkPayload decode_hello_ok(std::string_view payload) {
+  return decoding("HelloOk", [&] {
+    detail::BinaryDecoder d(payload);
+    HelloOkPayload p;
+    p.version = d.u32();
+    p.server = d.str();
+    p.generation = d.u64();
+    require_done(d, "HelloOk");
+    return p;
+  });
+}
+
+std::string encode_query(const QueryPayload& p) {
+  std::ostringstream out;
+  detail::BinaryEncoder e(out);
+  e.str(p.text);
+  e.u32(p.flags);
+  return out.str();
+}
+
+QueryPayload decode_query(std::string_view payload) {
+  return decoding("Query", [&] {
+    detail::BinaryDecoder d(payload);
+    QueryPayload p;
+    p.text = d.str();
+    p.flags = d.u32();
+    require_done(d, "Query");
+    return p;
+  });
+}
+
+std::string encode_result(const ResultPayload& p) {
+  std::ostringstream out;
+  detail::BinaryEncoder e(out);
+  e.u32(static_cast<std::uint32_t>(p.served));
+  e.str(p.meta_blob);
+  e.str(p.body);
+  e.str(p.canonical);
+  e.f64(p.server_ms);
+  return out.str();
+}
+
+ResultPayload decode_result(std::string_view payload) {
+  return decoding("Result", [&] {
+    detail::BinaryDecoder d(payload);
+    ResultPayload p;
+    const std::uint32_t served = d.u32();
+    if (served > static_cast<std::uint32_t>(Served::Coalesced)) {
+      throw ProtocolError("malformed Result payload: unknown served mode " +
+                          std::to_string(served));
+    }
+    p.served = static_cast<Served>(served);
+    p.meta_blob = d.str();
+    p.body = d.str();
+    p.canonical = d.str();
+    p.server_ms = d.f64();
+    require_done(d, "Result");
+    return p;
+  });
+}
+
+std::string encode_error(const ErrorPayload& p) {
+  std::ostringstream out;
+  detail::BinaryEncoder e(out);
+  e.str(p.category);
+  e.str(p.message);
+  return out.str();
+}
+
+ErrorPayload decode_error(std::string_view payload) {
+  return decoding("Error", [&] {
+    detail::BinaryDecoder d(payload);
+    ErrorPayload p;
+    p.category = d.str();
+    p.message = d.str();
+    require_done(d, "Error");
+    return p;
+  });
+}
+
+std::string encode_busy(const BusyPayload& p) {
+  std::ostringstream out;
+  detail::BinaryEncoder e(out);
+  e.u32(p.retry_ms);
+  e.u64(p.inflight);
+  e.f64(p.queue_wait_ms);
+  e.str(p.reason);
+  return out.str();
+}
+
+BusyPayload decode_busy(std::string_view payload) {
+  return decoding("Busy", [&] {
+    detail::BinaryDecoder d(payload);
+    BusyPayload p;
+    p.retry_ms = d.u32();
+    p.inflight = d.u64();
+    p.queue_wait_ms = d.f64();
+    p.reason = d.str();
+    require_done(d, "Busy");
+    return p;
+  });
+}
+
+std::string encode_stats(const StatsPayload& p) {
+  std::ostringstream out;
+  detail::BinaryEncoder e(out);
+  e.u32(static_cast<std::uint32_t>(p.samples.size()));
+  for (const obs::MetricSample& s : p.samples) {
+    e.str(s.name);
+    e.u32(static_cast<std::uint32_t>(s.kind));
+    e.u32(static_cast<std::uint32_t>(s.unit));
+    e.f64(s.value);
+    e.u64(s.count);
+    e.f64(s.min);
+    e.f64(s.max);
+  }
+  return out.str();
+}
+
+StatsPayload decode_stats(std::string_view payload) {
+  return decoding("StatsOk", [&] {
+    detail::BinaryDecoder d(payload);
+    StatsPayload p;
+    const std::uint32_t n = d.u32();
+    p.samples.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      obs::MetricSample s;
+      s.name = d.str();
+      s.kind = static_cast<obs::InstrumentKind>(d.u32());
+      s.unit = static_cast<obs::SampleUnit>(d.u32());
+      s.value = d.f64();
+      s.count = d.u64();
+      s.min = d.f64();
+      s.max = d.f64();
+      p.samples.push_back(std::move(s));
+    }
+    require_done(d, "StatsOk");
+    return p;
+  });
+}
+
+}  // namespace cube::server

@@ -1,0 +1,298 @@
+#include "server/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+#include "io/binary_format.hpp"
+#include "io/meta_format.hpp"
+#include "obs/tracer.hpp"
+#include "query/query_expr.hpp"
+
+namespace cube::server {
+
+namespace {
+
+/// Internal marker: the query text itself failed to parse (parse_query
+/// reports this as a plain Error, which would otherwise be
+/// indistinguishable from a planning failure).
+class QueryParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal signal: an owned computation was shed by admission control.
+/// Thrown through ResultCache::fail so coalesced waiters surface the same
+/// structured Busy outcome as the shedding owner.
+class BusyShed : public Error {
+ public:
+  explicit BusyShed(BusyPayload payload)
+      : Error("busy: " + payload.reason), payload_(std::move(payload)) {}
+  [[nodiscard]] const BusyPayload& payload() const noexcept {
+    return payload_;
+  }
+
+ private:
+  BusyPayload payload_;
+};
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+QueryOutcome error_outcome(std::string category, std::string message) {
+  QueryOutcome out;
+  out.status = QueryOutcome::Status::Error;
+  out.error = ErrorPayload{std::move(category), std::move(message)};
+  return out;
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService(ExperimentRepository& repo,
+                                 ServiceConfig config)
+    : config_(std::move(config)),
+      repo_(repo),
+      cache_(config_.cache_capacity_bytes),
+      queries_(obs::MetricsRegistry::global().counter("server.queries")),
+      cache_hits_(obs::MetricsRegistry::global().counter("server.cache_hits")),
+      coalesced_(obs::MetricsRegistry::global().counter("server.coalesced")),
+      computes_(obs::MetricsRegistry::global().counter("server.computes")),
+      busy_(obs::MetricsRegistry::global().counter("server.busy")),
+      errors_(obs::MetricsRegistry::global().counter("server.errors")),
+      queue_wait_hist_(obs::MetricsRegistry::global().histogram(
+          "server.queue_wait", obs::SampleUnit::Seconds)),
+      service_time_(obs::MetricsRegistry::global().histogram(
+          "server.service_time", obs::SampleUnit::Seconds)),
+      inflight_gauge_(obs::MetricsRegistry::global().gauge("server.inflight")),
+      cache_bytes_(obs::MetricsRegistry::global().gauge(
+          "server.cache_bytes", obs::SampleUnit::Bytes)) {
+  if (config_.threads == 0) config_.threads = ThreadPool::default_threads();
+  if (config_.max_inflight == 0) config_.max_inflight = 2 * config_.threads;
+  pool_ = std::make_unique<ThreadPool>(config_.threads);
+
+  query::QueryOptions options;
+  options.threads = config_.threads;
+  options.store_derived = config_.store_derived;
+  options.validate_loads = config_.validate_loads;
+  engine_ = std::make_unique<query::QueryEngine>(repo_, options, *pool_);
+}
+
+AnalysisService::~AnalysisService() = default;
+
+AnalysisService::PlannedQuery AnalysisService::resolve_plan(
+    const std::string& text) {
+  const std::uint64_t epoch = plan_epoch_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    auto it = plan_cache_.find(text);
+    if (it != plan_cache_.end() && it->second.epoch == epoch) {
+      return it->second;
+    }
+  }
+  OBS_SPAN("server.plan");
+  // parse_query reports syntax problems as plain Error; promote them so
+  // the wire error category distinguishes parse from plan failures.
+  std::unique_ptr<query::QueryExpr> expr;
+  try {
+    expr = query::parse_query(text);
+  } catch (const Error& e) {
+    throw QueryParseError(e.what());
+  }
+  PlannedQuery planned;
+  planned.epoch = epoch;
+  planned.plan =
+      std::make_shared<const query::QueryPlan>(engine_->plan(*expr));
+  planned.key = planned.plan->nodes[planned.plan->root].key;
+  planned.canonical = planned.plan->nodes[planned.plan->root].canonical;
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    plan_cache_[text] = planned;
+  }
+  return planned;
+}
+
+BusyPayload AnalysisService::busy_payload(const std::string& reason) const {
+  BusyPayload busy;
+  busy.retry_ms = config_.busy_retry_ms;
+  busy.inflight = inflight_.load(std::memory_order_relaxed);
+  busy.queue_wait_ms = queue_wait_ewma_ms_.load(std::memory_order_relaxed);
+  busy.reason = reason;
+  return busy;
+}
+
+void AnalysisService::note_queue_wait(double ms) {
+  // Half-weight blend toward the newest sample; recent_queue_wait_ms()
+  // additionally decays the value by age, so a single slow sample cannot
+  // shed traffic forever.
+  const double old = queue_wait_ewma_ms_.load(std::memory_order_relaxed);
+  const double blended =
+      queue_wait_stamp_ns_.load(std::memory_order_relaxed) == 0
+          ? ms
+          : 0.5 * old + 0.5 * ms;
+  queue_wait_ewma_ms_.store(blended, std::memory_order_relaxed);
+  queue_wait_stamp_ns_.store(now_ns(), std::memory_order_relaxed);
+  queue_wait_hist_.observe(ms / 1000.0);
+}
+
+double AnalysisService::recent_queue_wait_ms() {
+  bool expected = false;
+  if (probe_outstanding_.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+    const std::int64_t submitted = now_ns();
+    pool_->submit([this, submitted] {
+      note_queue_wait(static_cast<double>(now_ns() - submitted) / 1e6);
+      probe_outstanding_.store(false, std::memory_order_release);
+    });
+  }
+  const std::int64_t stamp =
+      queue_wait_stamp_ns_.load(std::memory_order_relaxed);
+  if (stamp == 0) return 0.0;
+  // Half-life of one second: a wait observed two seconds ago counts a
+  // quarter of its value.
+  const double age_s = static_cast<double>(now_ns() - stamp) / 1e9;
+  return queue_wait_ewma_ms_.load(std::memory_order_relaxed) *
+         std::pow(0.5, age_s);
+}
+
+QueryOutcome AnalysisService::handle_query(const std::string& text) {
+  OBS_SPAN("server.query");
+  const std::int64_t t0 = now_ns();
+  queries_.add();
+  auto finish = [&](QueryOutcome out) {
+    out.server_ms = static_cast<double>(now_ns() - t0) / 1e6;
+    service_time_.observe(out.server_ms / 1000.0);
+    cache_bytes_.set(static_cast<double>(cache_.size_bytes()));
+    return out;
+  };
+
+  if (config_.force_busy) {
+    busy_.add();
+    QueryOutcome out;
+    out.status = QueryOutcome::Status::Busy;
+    out.busy = busy_payload("forced by configuration");
+    return finish(out);
+  }
+
+  PlannedQuery planned;
+  try {
+    planned = resolve_plan(text);
+  } catch (const QueryParseError& e) {
+    errors_.add();
+    return finish(error_outcome("parse", e.what()));
+  } catch (const Error& e) {
+    errors_.add();
+    return finish(error_outcome("plan", e.what()));
+  }
+
+  ResultCache::Lookup lookup;
+  try {
+    lookup = cache_.acquire(planned.key);
+  } catch (const BusyShed& e) {
+    busy_.add();
+    QueryOutcome out;
+    out.status = QueryOutcome::Status::Busy;
+    out.busy = e.payload();
+    return finish(out);
+  } catch (const Error& e) {
+    // Coalesced onto a computation that failed.
+    errors_.add();
+    return finish(error_outcome("eval", e.what()));
+  }
+
+  if (lookup.outcome != ResultCache::Outcome::Owner) {
+    const bool hit = lookup.outcome == ResultCache::Outcome::Hit;
+    (hit ? cache_hits_ : coalesced_).add();
+    QueryOutcome out;
+    out.status = QueryOutcome::Status::Ok;
+    out.served = hit ? Served::CacheHit : Served::Coalesced;
+    out.result = std::move(lookup.result);
+    return finish(out);
+  }
+
+  // Owner path: this thread must compute — unless admission sheds it.
+  std::string shed_reason;
+  const double wait_ms = recent_queue_wait_ms();
+  if (inflight_.load(std::memory_order_relaxed) >= config_.max_inflight) {
+    shed_reason = "computation ceiling reached";
+  } else if (wait_ms > config_.busy_queue_wait_ms) {
+    shed_reason = "executor queue wait degraded";
+  }
+  if (!shed_reason.empty()) {
+    busy_.add();
+    QueryOutcome out;
+    out.status = QueryOutcome::Status::Busy;
+    out.busy = busy_payload(shed_reason);
+    cache_.fail(planned.key,
+                [busy = out.busy] { throw BusyShed(busy); });
+    return finish(out);
+  }
+
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  inflight_gauge_.set(
+      static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+  try {
+    OBS_SPAN("server.compute");
+    if (config_.before_compute) config_.before_compute();
+    query::QueryResult result = engine_->run_plan(*planned.plan);
+
+    CachedResult cached;
+    {
+      OBS_SPAN("server.serialize");
+      cached.canonical = result.canonical;
+      cached.meta_digest = result.experiment.metadata().digest();
+      cached.meta_blob = std::make_shared<const std::string>(
+          to_cube_meta(result.experiment.metadata()));
+      cached.body = std::make_shared<const std::string>(
+          to_cube_binary_ref(result.experiment));
+    }
+    std::shared_ptr<const CachedResult> published =
+        cache_.publish(planned.key, std::move(cached));
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    inflight_gauge_.set(
+        static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+    computes_.add();
+
+    QueryOutcome out;
+    out.status = QueryOutcome::Status::Ok;
+    out.served = Served::Computed;
+    out.result = std::move(published);
+    return finish(out);
+  } catch (...) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    inflight_gauge_.set(
+        static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+    errors_.add();
+    try {
+      throw;
+    } catch (const Error& e) {
+      cache_.fail(planned.key,
+                  [msg = std::string(e.what())] { throw Error(msg); });
+      return finish(error_outcome("eval", e.what()));
+    } catch (const std::exception& e) {
+      cache_.fail(planned.key,
+                  [msg = std::string(e.what())] { throw Error(msg); });
+      return finish(error_outcome("internal", e.what()));
+    }
+  }
+}
+
+StatsPayload AnalysisService::stats() const {
+  StatsPayload payload;
+  payload.samples = obs::MetricsRegistry::global().snapshot();
+  return payload;
+}
+
+bool AnalysisService::refresh() {
+  if (!repo_.refresh()) return false;
+  plan_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  plan_cache_.clear();
+  return true;
+}
+
+}  // namespace cube::server

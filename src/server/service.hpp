@@ -1,0 +1,163 @@
+// AnalysisService: the daemon's query-serving core, independent of any
+// transport so tests and bench_server can drive it in-process.
+//
+// A query travels: plan cache (text -> content-addressed root key; planned
+// at most once per repository epoch) -> shared ResultCache (key -> wire
+// bytes; identical concurrent misses coalesce onto one computation) ->
+// QueryEngine::run_plan on the shared ThreadPool (miss only).  A hit or a
+// coalesced wait therefore never re-plans, never reloads operands, and
+// never re-serializes — it hands back the cached frame bytes.
+//
+// ADMISSION CONTROL applies to the compute path: when the executor's
+// recent queue wait (measured by probe tasks through the same pool the
+// DAG runs on, exported as the server.queue_wait histogram) degrades past
+// ServiceConfig::busy_queue_wait_ms, or more than max_inflight
+// computations are already running, the service sheds the miss with a
+// structured Busy outcome instead of queueing unboundedly.  Cache hits
+// are still served while shedding — they cost a map lookup, not pool
+// time.  Sessions coalesced onto a shed computation receive Busy too.
+//
+// All entry points are thread-safe; one service instance serves every
+// session of the daemon.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_pool.hpp"
+#include "io/repository.hpp"
+#include "obs/metrics.hpp"
+#include "query/engine.hpp"
+#include "server/protocol.hpp"
+#include "server/result_cache.hpp"
+
+namespace cube::server {
+
+struct ServiceConfig {
+  /// Executor worker threads; 0 picks ThreadPool::default_threads().
+  std::size_t threads = 0;
+  /// Computations allowed in flight before misses shed; 0 derives
+  /// 2 * threads.
+  std::size_t max_inflight = 0;
+  /// Shed misses when the recent executor queue wait exceeds this.
+  double busy_queue_wait_ms = 50.0;
+  /// Backoff suggested to shed clients.
+  std::uint32_t busy_retry_ms = 100;
+  /// Byte budget of the shared result cache.
+  std::size_t cache_capacity_bytes = 256ull << 20;
+  /// Forwarded to QueryOptions.
+  bool store_derived = true;
+  bool validate_loads = false;
+  /// Shed EVERY query unconditionally — deterministic Busy for tests and
+  /// the CI smoke job (cubed --force-busy).
+  bool force_busy = false;
+  /// Test hook: runs on the owner path after admission, before execution.
+  /// Lets tests hold a computation open while concurrent sessions coalesce
+  /// onto it.
+  std::function<void()> before_compute;
+};
+
+/// What one query produced, transport-agnostic.  The daemon maps this
+/// onto a Result / Busy / Error frame; in-process callers read it
+/// directly.
+struct QueryOutcome {
+  enum class Status { Ok, Busy, Error };
+  Status status = Status::Error;
+  Served served = Served::Computed;            ///< Ok
+  std::shared_ptr<const CachedResult> result;  ///< Ok
+  BusyPayload busy;                            ///< Busy
+  ErrorPayload error;                          ///< Error
+  double server_ms = 0.0;
+};
+
+class AnalysisService {
+ public:
+  AnalysisService(ExperimentRepository& repo, ServiceConfig config = {});
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Serves one query.  Never throws for query-level failures — they come
+  /// back as Status::Error with a category ("parse", "plan", "eval",
+  /// "internal").
+  [[nodiscard]] QueryOutcome handle_query(const std::string& text);
+
+  /// Snapshot of the process metrics registry (the StatsOk payload).
+  [[nodiscard]] StatsPayload stats() const;
+
+  /// Re-reads the repository index if another process changed it; on a
+  /// change the plan cache is invalidated (selector resolution and operand
+  /// digests may differ).  The result cache stays — its keys are content
+  /// digests, which are valid forever.  Returns true if the index changed.
+  bool refresh();
+
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return repo_.generation();
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
+
+ private:
+  /// A planned query text: the root cache key plus the plan itself, kept
+  /// so an uncached key can execute without re-planning.
+  struct PlannedQuery {
+    std::uint64_t epoch = 0;
+    std::uint64_t key = 0;
+    std::string canonical;
+    std::shared_ptr<const query::QueryPlan> plan;
+  };
+
+  [[nodiscard]] PlannedQuery resolve_plan(const std::string& text);
+  [[nodiscard]] BusyPayload busy_payload(const std::string& reason) const;
+  /// Samples the executor queue wait with a probe task (at most one in
+  /// flight) and returns the decayed recent wait in ms.
+  double recent_queue_wait_ms();
+  void note_queue_wait(double ms);
+
+  ServiceConfig config_;
+  ExperimentRepository& repo_;
+  ResultCache cache_;
+
+  std::mutex plan_mutex_;
+  std::unordered_map<std::string, PlannedQuery> plan_cache_;
+  /// Bumped when refresh() sees an external index change; plan cache
+  /// entries from older epochs are invalid.
+  std::atomic<std::uint64_t> plan_epoch_{0};
+
+  std::atomic<std::size_t> inflight_{0};
+
+  // Queue-wait probe state: an exponentially weighted recent wait that
+  // decays toward zero while the pool is idle, so a past overload cannot
+  // shed the first query after a quiet period.
+  std::atomic<bool> probe_outstanding_{false};
+  std::atomic<double> queue_wait_ewma_ms_{0.0};
+  std::atomic<std::int64_t> queue_wait_stamp_ns_{0};
+
+  obs::Counter& queries_;
+  obs::Counter& cache_hits_;
+  obs::Counter& coalesced_;
+  obs::Counter& computes_;
+  obs::Counter& busy_;
+  obs::Counter& errors_;
+  obs::Histogram& queue_wait_hist_;
+  obs::Histogram& service_time_;
+  obs::Gauge& inflight_gauge_;
+  obs::Gauge& cache_bytes_;
+
+  // pool_ is declared after the probe state (its tasks touch it) and
+  // engine_ last (it runs on the pool): destruction joins the workers
+  // first, then tears down what they referenced.
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<query::QueryEngine> engine_;
+};
+
+}  // namespace cube::server

@@ -1,0 +1,154 @@
+// EINTR-safe fd helpers (common/posix_io.hpp): exact transfers across
+// partial reads/writes, retry through signal interruption, and clean
+// errors on dead descriptors.
+#include "common/posix_io.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace {
+
+using cube::read_full;
+using cube::write_full;
+
+std::string pattern_bytes(std::size_t n) {
+  std::string s(n, '\0');
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<char>('a' + (i * 131) % 23);
+  }
+  return s;
+}
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (fds[0] != -1) ::close(fds[0]);
+    fds[0] = -1;
+  }
+  void close_write() {
+    if (fds[1] != -1) ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(PosixIo, ReadFullReassemblesDribbledWrites) {
+  Pipe p;
+  const std::string data = pattern_bytes(64 * 1024);
+  std::thread writer([&] {
+    // Dribble in awkward chunk sizes so the reader sees many partial
+    // reads; the helper must resume at the right offset every time.
+    std::size_t pos = 0;
+    std::size_t chunk = 1;
+    while (pos < data.size()) {
+      const std::size_t n = std::min(chunk, data.size() - pos);
+      write_full(p.fds[1], data.data() + pos, n);
+      pos += n;
+      chunk = chunk * 3 + 1;
+    }
+    p.close_write();
+  });
+  std::string got(data.size(), '\0');
+  EXPECT_EQ(read_full(p.fds[0], got.data(), got.size()), got.size());
+  EXPECT_EQ(got, data);
+  writer.join();
+}
+
+TEST(PosixIo, ReadFullReportsShortCountAtEof) {
+  Pipe p;
+  write_full(p.fds[1], "abc", 3);
+  p.close_write();
+  char buf[16];
+  EXPECT_EQ(read_full(p.fds[0], buf, sizeof buf), 3u);
+  EXPECT_EQ(std::string(buf, 3), "abc");
+  EXPECT_EQ(read_full(p.fds[0], buf, sizeof buf), 0u);  // clean EOF
+}
+
+TEST(PosixIo, WriteFullPushesThroughTinySocketBuffers) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // Shrink the send buffer so a large write cannot complete in one call
+  // and the helper has to loop over partial transfers.
+  const int small = 4096;
+  (void)::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+  const std::string data = pattern_bytes(512 * 1024);
+  std::string got(data.size(), '\0');
+  std::thread reader([&] {
+    EXPECT_EQ(read_full(sv[1], got.data(), got.size()), got.size());
+  });
+  write_full(sv[0], data.data(), data.size());
+  reader.join();
+  EXPECT_EQ(got, data);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(PosixIo, ReadFullRetriesThroughSignalInterruption) {
+  // Install a no-op SIGUSR1 handler WITHOUT SA_RESTART, so a signal
+  // arriving while read(2) blocks makes it fail with EINTR — exactly the
+  // case the helper must absorb.
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;
+  struct sigaction old = {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  Pipe p;
+  std::atomic<bool> done{false};
+  const pthread_t reader_thread = ::pthread_self();
+  std::thread pinger([&] {
+    // Keep interrupting the (blocked) reader until the payload lands.
+    while (!done.load()) {
+      ::pthread_kill(reader_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    write_full(p.fds[1], "payload!", 8);
+    p.close_write();
+  });
+
+  char buf[8];
+  EXPECT_EQ(read_full(p.fds[0], buf, sizeof buf), sizeof buf);
+  EXPECT_EQ(std::string(buf, sizeof buf), "payload!");
+  done.store(true);
+  pinger.join();
+  writer.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+}
+
+TEST(PosixIo, WriteFullThrowsIoErrorOnClosedPeer) {
+  // EPIPE must surface as cube::IoError, not kill the process: suppress
+  // SIGPIPE for the write below (the server does the same).
+  ::signal(SIGPIPE, SIG_IGN);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);
+  const std::string data(1 << 20, 'x');
+  EXPECT_THROW(write_full(sv[0], data.data(), data.size()), cube::IoError);
+  ::close(sv[0]);
+}
+
+TEST(PosixIo, ReadFullThrowsIoErrorOnBadDescriptor) {
+  char buf[4];
+  EXPECT_THROW(read_full(-1, buf, sizeof buf), cube::IoError);
+}
+
+}  // namespace

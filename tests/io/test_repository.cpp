@@ -4,6 +4,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <thread>
 
 #include "algebra/operators.hpp"
 #include "common/error.hpp"
@@ -301,6 +303,75 @@ TEST_F(RepositoryTest, SpecialCharacterAttributesSurviveTheIndex) {
   EXPECT_EQ(reopened.query("cmd", value).size(), 1u);
   // ... and through the experiment file itself.
   EXPECT_EQ(reopened.load("small").attribute("cmd"), value);
+}
+
+// Daemon + CLI co-existence (docs/SERVER.md): a second ExperimentRepository
+// over the same directory stands in for another process appending to the
+// store; a running reader must see its rows after refresh().
+TEST_F(RepositoryTest, RefreshPicksUpConcurrentlyStoredExperiments) {
+  ExperimentRepository reader(dir_);
+  const std::uint64_t gen0 = reader.generation();
+  EXPECT_FALSE(reader.refresh());  // nothing changed yet
+  EXPECT_EQ(reader.generation(), gen0);
+
+  ExperimentRepository writer(dir_);
+  Experiment e = make_small();
+  e.severity().set(0, 0, 0, 13.0);
+  const std::string id = writer.store(e);
+
+  // The reader's in-memory index predates the store...
+  EXPECT_TRUE(reader.entries_snapshot().empty());
+  EXPECT_THROW((void)reader.load(id), Error);
+  // ...and refresh() brings the appended row in.
+  EXPECT_TRUE(reader.refresh());
+  EXPECT_GT(reader.generation(), gen0);
+  ASSERT_EQ(reader.entries_snapshot().size(), 1u);
+  EXPECT_EQ(reader.entries_snapshot()[0].id, id);
+  EXPECT_DOUBLE_EQ(reader.load(id).severity().get(0, 0, 0), 13.0);
+
+  // Idempotent: the same on-disk index refreshes to false.
+  EXPECT_FALSE(reader.refresh());
+}
+
+TEST_F(RepositoryTest, RefreshSeesRemovalsToo) {
+  ExperimentRepository writer(dir_);
+  const std::string id = writer.store(make_small());
+  ExperimentRepository reader(dir_);
+  ASSERT_EQ(reader.entries_snapshot().size(), 1u);
+  writer.remove(id);
+  EXPECT_TRUE(reader.refresh());
+  EXPECT_TRUE(reader.entries_snapshot().empty());
+}
+
+TEST_F(RepositoryTest, ConcurrentStoresAndSnapshotsAreSafe) {
+  // One shared instance, many threads storing and snapshotting at once —
+  // the daemon's world.  Every id must come back unique and loadable.
+  ExperimentRepository repo(dir_);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::string>> ids(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kEach; ++k) {
+        Experiment e = make_small();
+        e.set_name("run-" + std::to_string(t));
+        ids[t].push_back(repo.store(e));
+        (void)repo.entries_snapshot();
+        (void)repo.query("cube::name", "run-" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::string> unique;
+  for (const auto& per_thread : ids) {
+    for (const std::string& id : per_thread) {
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate id " << id;
+      EXPECT_NO_THROW((void)repo.load(id));
+    }
+  }
+  EXPECT_EQ(repo.entries_snapshot().size(),
+            static_cast<std::size_t>(kThreads * kEach));
 }
 
 }  // namespace

@@ -153,6 +153,47 @@ TEST_F(RepoLintTest, RewrittenOperandMakesCacheEntryStale) {
   EXPECT_TRUE(sink.has_rule("repo.stale-cache"));
 }
 
+TEST_F(RepoLintTest, UnresolvableOperandDigestFlagsServerCacheEntry) {
+  // The daemon's shared result cache is keyed purely by content digests
+  // (cube::cache-operands).  Corrupt an operand file in place: its bytes
+  // now hash to a digest no cache entry recorded, so the recorded operand
+  // digest resolves to NO current repository file and the cached result
+  // can never be served again.
+  const std::string a = store_salted("srv-a", 0.5);
+  const std::string b = store_salted("srv-b", 1.5);
+  run_query("mean(" + a + ", " + b + ")");
+
+  // Sanity: the derived entry records its operand digests.
+  bool recorded = false;
+  for (const auto& entry : repo_->entries_snapshot()) {
+    if (entry.attributes.count("cube::cache-operands") != 0) recorded = true;
+  }
+  ASSERT_TRUE(recorded);
+
+  Experiment changed = make_small(StorageKind::Dense, "srv-a");
+  changed.severity().set(0, 0, 0, 1234.5);
+  cube::write_cube_xml_file(changed, (dir_ / (a + ".cube")).string());
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.stale-cache-operand"));
+}
+
+TEST_F(RepoLintTest, ResolvedOperandDigestsKeepServerCacheClean) {
+  // Re-storing an operand's CONTENT under a different id keeps the digest
+  // resolvable — the digest-keyed rule must stay quiet even though ids
+  // moved around.
+  const std::string a = store_salted("mv-a", 0.5);
+  const std::string b = store_salted("mv-b", 1.5);
+  run_query("mean(" + a + ", " + b + ")");
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  for (const auto& d : sink.diagnostics()) {
+    EXPECT_NE(d.rule, "repo.stale-cache-operand") << d.message;
+  }
+}
+
 TEST_F(RepoLintTest, DuplicateIndexId) {
   store_salted("twin", 0.5);
   // Duplicate the entry block in index.xml by hand.

@@ -1,0 +1,254 @@
+// Wire protocol robustness: framing round trips, and every malformed
+// input class (truncation, oversized prefixes, garbage magic, unknown
+// types, trailing bytes) surfaces as a structured ProtocolError — never
+// a crash, a hang, or a silent misparse.
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/posix_io.hpp"
+
+namespace {
+
+using cube::IoError;
+using cube::read_full;
+using cube::write_full;
+using namespace cube::server;
+
+/// A pipe whose fds close automatically.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void close_write() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+  int r() const { return fds[0]; }
+  int w() const { return fds[1]; }
+};
+
+std::string le32(std::uint32_t v) {
+  std::string out(4, '\0');
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>(v >> (8 * i));
+  return out;
+}
+
+std::string le64(std::uint64_t v) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>(v >> (8 * i));
+  return out;
+}
+
+std::string header(std::uint32_t magic, std::uint32_t type,
+                   std::uint64_t len) {
+  return le32(magic) + le32(type) + le64(len);
+}
+
+TEST(Protocol, FrameRoundTripsThroughAPipe) {
+  Pipe pipe;
+  const std::string payload = "hello payload \x01\x02\x03";
+  const std::size_t wrote = write_frame(pipe.w(), MsgType::Query, payload);
+  EXPECT_EQ(wrote, 16 + payload.size());
+
+  const auto frame = read_frame(pipe.r());
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::Query);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(Protocol, EmptyPayloadFrameRoundTrips) {
+  Pipe pipe;
+  EXPECT_EQ(write_frame(pipe.w(), MsgType::Ping, {}), 16u);
+  const auto frame = read_frame(pipe.r());
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::Ping);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(Protocol, CleanEofAtFrameBoundaryIsNullopt) {
+  Pipe pipe;
+  write_frame(pipe.w(), MsgType::Pong, {});
+  pipe.close_write();
+  EXPECT_TRUE(read_frame(pipe.r()).has_value());
+  EXPECT_FALSE(read_frame(pipe.r()).has_value());  // EOF between frames
+}
+
+TEST(Protocol, TruncatedHeaderThrows) {
+  Pipe pipe;
+  write_full(pipe.w(), "CUBS\x01\x00\x00", 7);  // 7 of 16 header bytes
+  pipe.close_write();
+  EXPECT_THROW((void)read_frame(pipe.r()), ProtocolError);
+}
+
+TEST(Protocol, TruncatedPayloadThrows) {
+  Pipe pipe;
+  const std::string h = header(kFrameMagic,
+                               static_cast<std::uint32_t>(MsgType::Query),
+                               100);
+  write_full(pipe.w(), h.data(), h.size());
+  write_full(pipe.w(), "only ten b", 10);
+  pipe.close_write();
+  EXPECT_THROW((void)read_frame(pipe.r()), ProtocolError);
+}
+
+TEST(Protocol, GarbageMagicThrows) {
+  Pipe pipe;
+  const std::string h = header(0xdeadbeefu, 1, 0);
+  write_full(pipe.w(), h.data(), h.size());
+  pipe.close_write();
+  EXPECT_THROW((void)read_frame(pipe.r()), ProtocolError);
+}
+
+TEST(Protocol, UnknownMessageTypeThrows) {
+  Pipe pipe;
+  const std::string h = header(kFrameMagic, 999, 0);
+  write_full(pipe.w(), h.data(), h.size());
+  pipe.close_write();
+  EXPECT_THROW((void)read_frame(pipe.r()), ProtocolError);
+}
+
+TEST(Protocol, OversizedLengthPrefixRejectedBeforeAllocation) {
+  Pipe pipe;
+  // A hostile 4 EiB length prefix: the reader must reject it from the
+  // header alone instead of attempting the allocation.
+  const std::string h = header(kFrameMagic,
+                               static_cast<std::uint32_t>(MsgType::Query),
+                               1ull << 62);
+  write_full(pipe.w(), h.data(), h.size());
+  EXPECT_THROW((void)read_frame(pipe.r()), ProtocolError);
+}
+
+TEST(Protocol, CustomPayloadCeilingIsEnforced) {
+  Pipe pipe;
+  write_frame(pipe.w(), MsgType::Query, std::string(2048, 'x'));
+  EXPECT_THROW((void)read_frame(pipe.r(), /*max_payload=*/1024),
+               ProtocolError);
+}
+
+TEST(Protocol, BadDescriptorSurfacesIoError) {
+  EXPECT_THROW((void)read_frame(-1), IoError);
+  EXPECT_THROW((void)write_frame(-1, MsgType::Ping, {}), IoError);
+}
+
+TEST(Protocol, HelloRoundTrip) {
+  HelloPayload p;
+  p.client = "test client";
+  const HelloPayload q = decode_hello(encode_hello(p));
+  EXPECT_EQ(q.version, kProtocolVersion);
+  EXPECT_EQ(q.client, "test client");
+}
+
+TEST(Protocol, HelloOkRoundTrip) {
+  HelloOkPayload p;
+  p.server = "cubed-test";
+  p.generation = 42;
+  const HelloOkPayload q = decode_hello_ok(encode_hello_ok(p));
+  EXPECT_EQ(q.server, "cubed-test");
+  EXPECT_EQ(q.generation, 42u);
+}
+
+TEST(Protocol, QueryRoundTrip) {
+  QueryPayload p;
+  p.text = "mean(attr(run=before))";
+  const QueryPayload q = decode_query(encode_query(p));
+  EXPECT_EQ(q.text, p.text);
+  EXPECT_EQ(q.flags, 0u);
+}
+
+TEST(Protocol, ResultRoundTrip) {
+  ResultPayload p;
+  p.served = Served::Coalesced;
+  p.meta_blob = std::string("CUBEMET1 pretend blob");
+  p.body = std::string(1000, 'b');
+  p.canonical = "mean(id:a@00aa)";
+  p.server_ms = 12.5;
+  const ResultPayload q = decode_result(encode_result(p));
+  EXPECT_EQ(q.served, Served::Coalesced);
+  EXPECT_EQ(q.meta_blob, p.meta_blob);
+  EXPECT_EQ(q.body, p.body);
+  EXPECT_EQ(q.canonical, p.canonical);
+  EXPECT_DOUBLE_EQ(q.server_ms, 12.5);
+}
+
+TEST(Protocol, ErrorAndBusyRoundTrip) {
+  const ErrorPayload e =
+      decode_error(encode_error(ErrorPayload{"parse", "unexpected ')'"}));
+  EXPECT_EQ(e.category, "parse");
+  EXPECT_EQ(e.message, "unexpected ')'");
+
+  BusyPayload b;
+  b.retry_ms = 250;
+  b.inflight = 7;
+  b.queue_wait_ms = 80.5;
+  b.reason = "executor queue wait degraded";
+  const BusyPayload r = decode_busy(encode_busy(b));
+  EXPECT_EQ(r.retry_ms, 250u);
+  EXPECT_EQ(r.inflight, 7u);
+  EXPECT_DOUBLE_EQ(r.queue_wait_ms, 80.5);
+  EXPECT_EQ(r.reason, b.reason);
+}
+
+TEST(Protocol, StatsRoundTrip) {
+  StatsPayload p;
+  cube::obs::MetricSample s;
+  s.name = "server.queries";
+  s.kind = cube::obs::InstrumentKind::Counter;
+  s.unit = cube::obs::SampleUnit::Count;
+  s.value = 17.0;
+  p.samples.push_back(s);
+  s.name = "server.queue_wait";
+  s.kind = cube::obs::InstrumentKind::Histogram;
+  s.unit = cube::obs::SampleUnit::Seconds;
+  s.value = 1.25;
+  s.count = 9;
+  s.min = 0.001;
+  s.max = 0.5;
+  p.samples.push_back(s);
+
+  const StatsPayload q = decode_stats(encode_stats(p));
+  ASSERT_EQ(q.samples.size(), 2u);
+  EXPECT_EQ(q.samples[0].name, "server.queries");
+  EXPECT_DOUBLE_EQ(q.samples[0].value, 17.0);
+  EXPECT_EQ(q.samples[1].kind, cube::obs::InstrumentKind::Histogram);
+  EXPECT_EQ(q.samples[1].count, 9u);
+  EXPECT_DOUBLE_EQ(q.samples[1].max, 0.5);
+}
+
+TEST(Protocol, TruncatedPayloadBytesRejected) {
+  QueryPayload p;
+  p.text = "mean(a, b)";
+  const std::string bytes = encode_query(p);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)decode_query(bytes.substr(0, cut)), ProtocolError)
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(Protocol, TrailingPayloadBytesRejected) {
+  const std::string bytes = encode_hello(HelloPayload{}) + "junk";
+  EXPECT_THROW((void)decode_hello(bytes), ProtocolError);
+}
+
+TEST(Protocol, UnknownServedModeRejected) {
+  ResultPayload p;
+  std::string bytes = encode_result(p);
+  bytes[0] = 99;  // served is the first little-endian u32
+  EXPECT_THROW((void)decode_result(bytes), ProtocolError);
+}
+
+TEST(Protocol, MsgTypeNamesAreStable) {
+  EXPECT_STREQ(msg_type_name(MsgType::Hello), "Hello");
+  EXPECT_STREQ(msg_type_name(MsgType::Busy), "Busy");
+  EXPECT_STREQ(msg_type_name(MsgType::ShutdownOk), "ShutdownOk");
+  EXPECT_STREQ(msg_type_name(static_cast<MsgType>(999)), "unknown");
+}
+
+}  // namespace

@@ -1,0 +1,317 @@
+// AnalysisService: plan + result caching across calls, coalescing of
+// identical concurrent queries, admission control, error classification,
+// and repository refresh.
+#include "server/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/repository.hpp"
+#include "obs/metrics.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+using cube::Experiment;
+using cube::ExperimentRepository;
+using cube::StorageKind;
+using cube::server::AnalysisService;
+using cube::server::QueryOutcome;
+using cube::server::Served;
+using cube::server::ServiceConfig;
+using cube::testing::make_small;
+
+std::uint64_t counter_value(const char* name) {
+  return cube::obs::MetricsRegistry::global().counter(name).value();
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("cube_service_" + std::string(::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name()));
+    std::filesystem::remove_all(dir_);
+    repo_ = std::make_unique<ExperimentRepository>(dir_);
+    a_ = store_salted("run-a", 0.5);
+    b_ = store_salted("run-b", 1.5);
+  }
+  void TearDown() override {
+    repo_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string store_salted(const std::string& name, double salt) {
+    Experiment e = make_small(StorageKind::Dense, name);
+    for (std::size_t m = 0; m < e.metadata().num_metrics(); ++m) {
+      for (std::size_t c = 0; c < e.metadata().num_cnodes(); ++c) {
+        for (std::size_t t = 0; t < e.metadata().num_threads(); ++t) {
+          e.severity().add(m, c, t, salt);
+        }
+      }
+    }
+    return repo_->store(e);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<ExperimentRepository> repo_;
+  std::string a_, b_;
+};
+
+TEST_F(ServiceTest, ComputesThenServesFromSharedCache) {
+  ServiceConfig config;
+  config.threads = 2;
+  AnalysisService service(*repo_, config);
+  const std::string query = "mean(" + a_ + ", " + b_ + ")";
+
+  const QueryOutcome first = service.handle_query(query);
+  ASSERT_EQ(first.status, QueryOutcome::Status::Ok);
+  EXPECT_EQ(first.served, Served::Computed);
+  ASSERT_NE(first.result, nullptr);
+  EXPECT_FALSE(first.result->body->empty());
+  EXPECT_FALSE(first.result->meta_blob->empty());
+  EXPECT_NE(first.result->meta_digest, 0u);
+
+  const QueryOutcome second = service.handle_query(query);
+  ASSERT_EQ(second.status, QueryOutcome::Status::Ok);
+  EXPECT_EQ(second.served, Served::CacheHit);
+  // The identical immutable instance — no re-plan, no reload, no
+  // re-serialization.
+  EXPECT_EQ(second.result, first.result);
+}
+
+TEST_F(ServiceTest, ConcurrentIdenticalQueriesComputeExactlyOnce) {
+  ServiceConfig config;
+  config.threads = 2;
+  // Hold the single computation open long enough for every session to
+  // arrive at the cache.
+  config.before_compute = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
+  AnalysisService service(*repo_, config);
+  const std::string query = "max(" + a_ + ", " + b_ + ")";
+  const std::uint64_t computes_before = counter_value("server.computes");
+
+  constexpr int kSessions = 8;
+  std::vector<QueryOutcome> outcomes(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back(
+        [&, i] { outcomes[i] = service.handle_query(query); });
+  }
+  for (auto& t : threads) t.join();
+
+  int computed = 0;
+  for (const QueryOutcome& outcome : outcomes) {
+    ASSERT_EQ(outcome.status, QueryOutcome::Status::Ok);
+    if (outcome.served == Served::Computed) ++computed;
+    // Every session holds the same shared result instance.
+    EXPECT_EQ(outcome.result, outcomes[0].result);
+  }
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(counter_value("server.computes") - computes_before, 1u);
+}
+
+TEST_F(ServiceTest, ForceBusyShedsEveryQueryWithStructuredPayload) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.force_busy = true;
+  config.busy_retry_ms = 123;
+  AnalysisService service(*repo_, config);
+
+  const QueryOutcome outcome =
+      service.handle_query("mean(" + a_ + ", " + b_ + ")");
+  ASSERT_EQ(outcome.status, QueryOutcome::Status::Busy);
+  EXPECT_EQ(outcome.busy.retry_ms, 123u);
+  EXPECT_FALSE(outcome.busy.reason.empty());
+}
+
+TEST_F(ServiceTest, InflightCeilingShedsTheSecondMiss) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.max_inflight = 1;
+  config.busy_queue_wait_ms = 1e9;  // only the ceiling sheds here
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  bool entered = false;
+  std::atomic<bool> first_call{true};
+  config.before_compute = [&] {
+    if (!first_call.exchange(false)) return;  // block only the first owner
+    std::unique_lock<std::mutex> lock(m);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  AnalysisService service(*repo_, config);
+
+  const std::string slow = "mean(" + a_ + ", " + b_ + ")";
+  const std::string other = "max(" + a_ + ", " + b_ + ")";
+  auto blocked = std::async(std::launch::async,
+                            [&] { return service.handle_query(slow); });
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return entered; });
+  }
+
+  // One computation is in flight and the ceiling is 1: a different
+  // query's miss must shed.
+  const QueryOutcome shed = service.handle_query(other);
+  ASSERT_EQ(shed.status, QueryOutcome::Status::Busy);
+  EXPECT_EQ(shed.busy.inflight, 1u);
+  EXPECT_EQ(shed.busy.reason, "computation ceiling reached");
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+    cv.notify_all();
+  }
+  const QueryOutcome done = blocked.get();
+  ASSERT_EQ(done.status, QueryOutcome::Status::Ok);
+
+  // With the pool drained the shed query now computes.
+  const QueryOutcome retry = service.handle_query(other);
+  ASSERT_EQ(retry.status, QueryOutcome::Status::Ok);
+  EXPECT_EQ(retry.served, Served::Computed);
+}
+
+TEST_F(ServiceTest, HitsAreServedWhileMissesShed) {
+  // Admission control applies to COMPUTE work only: with the inflight
+  // ceiling saturated, a warm key is still served while a cold one sheds.
+  ServiceConfig config;
+  config.threads = 1;
+  config.max_inflight = 1;
+  config.busy_queue_wait_ms = 1e9;
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  bool entered = false;
+  std::atomic<int> compute_calls{0};
+  config.before_compute = [&] {
+    if (compute_calls.fetch_add(1) != 1) return;  // block the 2nd compute
+    std::unique_lock<std::mutex> lock(m);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  AnalysisService service(*repo_, config);
+
+  const std::string warm = "mean(" + a_ + ", " + b_ + ")";
+  const std::string slow = "max(" + a_ + ", " + b_ + ")";
+  const std::string cold = "min(" + a_ + ", " + b_ + ")";
+  ASSERT_EQ(service.handle_query(warm).served, Served::Computed);
+
+  auto blocked = std::async(std::launch::async,
+                            [&] { return service.handle_query(slow); });
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return entered; });
+  }
+
+  const QueryOutcome hit = service.handle_query(warm);
+  ASSERT_EQ(hit.status, QueryOutcome::Status::Ok);
+  EXPECT_EQ(hit.served, Served::CacheHit);
+
+  const QueryOutcome shed = service.handle_query(cold);
+  EXPECT_EQ(shed.status, QueryOutcome::Status::Busy);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+    cv.notify_all();
+  }
+  EXPECT_EQ(blocked.get().status, QueryOutcome::Status::Ok);
+}
+
+TEST_F(ServiceTest, ErrorCategoriesAreStructured) {
+  ServiceConfig config;
+  config.threads = 1;
+  AnalysisService service(*repo_, config);
+
+  const QueryOutcome parse = service.handle_query("mean(");
+  ASSERT_EQ(parse.status, QueryOutcome::Status::Error);
+  EXPECT_EQ(parse.error.category, "parse");
+
+  const QueryOutcome plan = service.handle_query("mean(no-such-id)");
+  ASSERT_EQ(plan.status, QueryOutcome::Status::Error);
+  EXPECT_EQ(plan.error.category, "plan");
+
+  // With load validation on, a NaN operand plans fine but fails during
+  // execution — the eval category.
+  ServiceConfig strict;
+  strict.threads = 1;
+  strict.validate_loads = true;
+  AnalysisService validating(*repo_, strict);
+  Experiment bad = make_small(StorageKind::Dense, "poisoned");
+  bad.severity().set(0, 0, 0, std::numeric_limits<double>::quiet_NaN());
+  const std::string poisoned = repo_->store(bad);
+  const std::string failing = "max(" + poisoned + ", " + poisoned + ")";
+
+  const QueryOutcome eval = validating.handle_query(failing);
+  ASSERT_EQ(eval.status, QueryOutcome::Status::Error);
+  EXPECT_EQ(eval.error.category, "eval");
+
+  // A failed computation never poisons the key: the same query still
+  // fails, freshly, rather than hanging on a dead in-flight slot.
+  const QueryOutcome again = validating.handle_query(failing);
+  ASSERT_EQ(again.status, QueryOutcome::Status::Error);
+  EXPECT_EQ(again.error.category, "eval");
+}
+
+TEST_F(ServiceTest, RefreshPicksUpConcurrentlyStoredExperiments) {
+  ServiceConfig config;
+  config.threads = 1;
+  AnalysisService service(*repo_, config);
+
+  // Another process (second repository object over the same directory)
+  // appends an experiment.
+  ExperimentRepository other(dir_);
+  Experiment fresh = make_small(StorageKind::Dense, "late-arrival");
+  const std::string id = other.store(fresh);
+
+  const QueryOutcome before =
+      service.handle_query("max(" + id + ", " + id + ")");
+  ASSERT_EQ(before.status, QueryOutcome::Status::Error);
+  EXPECT_EQ(before.error.category, "plan");
+
+  EXPECT_TRUE(service.refresh());
+  EXPECT_FALSE(service.refresh());  // idempotent until the next change
+
+  const QueryOutcome after =
+      service.handle_query("max(" + id + ", " + id + ")");
+  ASSERT_EQ(after.status, QueryOutcome::Status::Ok);
+  EXPECT_EQ(after.served, Served::Computed);
+}
+
+TEST_F(ServiceTest, StatsExposeServerInstruments) {
+  ServiceConfig config;
+  config.threads = 1;
+  AnalysisService service(*repo_, config);
+  (void)service.handle_query("mean(" + a_ + ", " + b_ + ")");
+
+  const cube::server::StatsPayload stats = service.stats();
+  bool saw_queries = false;
+  bool saw_queue_wait = false;
+  for (const auto& sample : stats.samples) {
+    if (sample.name == "server.queries") saw_queries = true;
+    if (sample.name == "server.queue_wait") saw_queue_wait = true;
+  }
+  EXPECT_TRUE(saw_queries);
+  EXPECT_TRUE(saw_queue_wait);
+}
+
+}  // namespace
