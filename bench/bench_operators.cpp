@@ -149,6 +149,8 @@ BENCHMARK(BM_DifferenceIdentityDense)
     ->Args({1024, 1})
     ->Args({1024, 0});
 
+// mode: 0 = per-cell reference, 1 = per-operand bulk kernels,
+//       2 = batched SoA scalar, 3 = batched SoA + SIMD (docs/KERNELS.md).
 void BM_MeanIdentityDense(benchmark::State& state) {
   Shape s = shape_for(state.range(0));
   std::vector<cube::Experiment> operands;
@@ -159,7 +161,11 @@ void BM_MeanIdentityDense(benchmark::State& state) {
   std::vector<const cube::Experiment*> ptrs;
   for (const auto& e : operands) ptrs.push_back(&e);
   cube::OperatorOptions opts;
-  opts.use_bulk_kernels = state.range(1) != 0;
+  const std::int64_t mode = state.range(1);
+  opts.use_bulk_kernels = mode >= 1;
+  opts.use_batch_kernels = mode >= 2;
+  opts.simd_policy = mode >= 3 ? cube::simd::Policy::Auto
+                               : cube::simd::Policy::ForceScalar;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         cube::mean(std::span<const cube::Experiment* const>(ptrs), opts));
@@ -168,7 +174,9 @@ void BM_MeanIdentityDense(benchmark::State& state) {
                           state.range(0) * 8 * 16 * 4);
 }
 BENCHMARK(BM_MeanIdentityDense)
-    ->ArgNames({"cnodes", "bulk"})
+    ->ArgNames({"cnodes", "mode"})
+    ->Args({1024, 3})
+    ->Args({1024, 2})
     ->Args({1024, 1})
     ->Args({1024, 0});
 

@@ -37,12 +37,15 @@
 #include <optional>
 #include <string>
 
+#include "algebra/simd.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "io/cube_format.hpp"
 #include "io/repository.hpp"
+#include "lint/diagnostics.hpp"
 #include "obs_util.hpp"
 #include "query/engine.hpp"
+#include "query/plan_lint.hpp"
 #include "report_util.hpp"
 
 namespace {
@@ -69,7 +72,11 @@ void print_stats(const cube::query::QueryStats& s, std::size_t run,
               << s.kernel_identity_dense_cells << " cells, remap-dense "
               << s.kernel_remap_dense_cells << " cells, identity-sparse "
               << s.kernel_identity_sparse_nnz << " nnz, remap-sparse "
-              << s.kernel_remap_sparse_nnz << " nnz\n";
+              << s.kernel_remap_sparse_nnz << " nnz\n"
+              << "  batch: " << s.kernel_batch_tiles << " SoA tiles, width "
+              << s.kernel_batch_width << " (simd "
+              << cube::simd::backend_name(cube::simd::active_backend())
+              << ")\n";
   }
 }
 
@@ -138,6 +145,15 @@ int main(int argc, char** argv) {
   try {
     cube::ExperimentRepository repo(*repo_dir);
     cube::query::QueryEngine engine(repo, options);
+
+    // Plan-shape advisories (perf.series-foldable & co.) go to stderr;
+    // they never affect the exit code or the result.
+    {
+      cube::lint::DiagnosticSink advisories;
+      cube::query::lint_plan(engine.plan(*cube::query::parse_query(expr)),
+                             advisories);
+      if (!advisories.empty()) advisories.write_text(std::cerr);
+    }
 
     std::optional<cube::query::QueryResult> last;
     for (std::size_t run = 0; run < repeat; ++run) {

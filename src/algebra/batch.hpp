@@ -1,0 +1,128 @@
+// Batched structure-of-arrays severity kernels (docs/KERNELS.md).
+//
+// The severity phase of an n-ary operator runs as ONE sweep through the
+// result's flattened cell space: the space is partitioned into the fixed
+// chunk grid (shared with the per-operand kernels of docs/STORAGE.md),
+// each chunk is walked in tiles of kTileCells cells, and for every tile
+// each operand contributes one row of a structure-of-arrays staging block
+// — identity x dense operands borrow their cell span directly (zero
+// copies), remapped and sparse operands gather into the tile once — after
+// which a simd reduction folds the N rows per cell in operand order.
+//
+// Precondition of the staging layout: no operand mapping may COALESCE two
+// source cells onto one result cell (per-dimension injectivity, checked
+// by batchable()).  Integration produces injective mappings for
+// well-formed metadata; if a mapping is not injective the operators fall
+// back to the per-operand chunk kernels, which accumulate coalescing
+// contributions exactly like the reference path.
+//
+// This header also hosts the chunking/counter infrastructure shared with
+// the per-operand kernels in operators.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "algebra/integration.hpp"
+#include "algebra/operators.hpp"
+#include "algebra/simd.hpp"
+#include "model/experiment.hpp"
+#include "obs/metrics.hpp"
+
+namespace cube::batch {
+
+/// Fixed upper bound on cell chunks handed to a ParallelFor.  Not derived
+/// from the thread count, so the partition — and therefore any conceivable
+/// numeric effect — is identical no matter how the executor schedules it.
+inline constexpr std::size_t kMaxCellChunks = 32;
+
+/// Cells per SoA staging tile.  A tile row is 32 KiB — long enough that
+/// the hardware prefetcher locks onto each operand stream — and a 64-wide
+/// batch stages within 2 MiB, so the in-flight working set stays
+/// cache-sized at any batch width.  Tile boundaries never affect results:
+/// the reduction is independent per cell.
+inline constexpr std::size_t kTileCells = 4096;
+
+[[nodiscard]] std::size_t num_cell_chunks(std::size_t cells);
+
+/// Shape of the integrated (result) cell space.
+struct OutShape {
+  std::size_t metrics = 0;
+  std::size_t cnodes = 0;
+  std::size_t threads = 0;
+  std::size_t plane = 0;  ///< cnodes * threads
+  std::size_t cells = 0;  ///< metrics * plane
+};
+
+[[nodiscard]] OutShape shape_of(const Metadata& md);
+
+using SparseSnapshot = std::vector<std::pair<std::uint64_t, Severity>>;
+
+/// The kernel counters of OperatorOptions::metrics, resolved ONCE per
+/// operator application (registration takes the registry mutex; updates
+/// are relaxed atomics).  All-null when no registry was supplied.
+struct KernelCounters {
+  obs::Counter* identity_dense_cells = nullptr;
+  obs::Counter* remap_dense_cells = nullptr;
+  obs::Counter* identity_sparse_nnz = nullptr;
+  obs::Counter* remap_sparse_nnz = nullptr;
+  obs::Counter* chunks = nullptr;
+  obs::Counter* applications = nullptr;
+  obs::Counter* batch_tiles = nullptr;
+  obs::Counter* batch_width = nullptr;
+
+  static KernelCounters resolve(obs::MetricsRegistry* registry);
+};
+
+/// Per-chunk kernel counters, flushed once into the shared registry.
+struct LocalKernelStats {
+  std::uint64_t identity_dense_cells = 0;
+  std::uint64_t remap_dense_cells = 0;
+  std::uint64_t identity_sparse_nnz = 0;
+  std::uint64_t remap_sparse_nnz = 0;
+  std::uint64_t batch_tiles = 0;
+
+  void flush(const KernelCounters& kc) const;
+};
+
+/// Runs body(chunk, cell_lo, cell_hi) over the fixed partition of
+/// [0, cells) into num_cell_chunks(cells) contiguous ranges.
+void run_cell_chunked(
+    const OperatorOptions& options, const KernelCounters& kc, std::size_t cells,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Writes the non-zero entries of per-chunk staging buffers into a sparse
+/// result, in chunk order.  Chunks cover disjoint cell ranges, so the
+/// stored values are independent of execution order by construction.
+void merge_staged(Experiment& out, const OutShape& os,
+                  std::vector<SparseSnapshot>& staged);
+
+/// True if every mapping is per-dimension injective into the result space
+/// (no two source cells coalesce onto one result cell) — the precondition
+/// of the SoA staging layout.  kNoIndex entries (merge ownership masking)
+/// are skipped.
+[[nodiscard]] bool batchable(std::span<const OperandMapping> mappings,
+                             const OutShape& os);
+
+/// Per-tile reduction: overwrite acc[0, n) with a per-cell fold over the
+/// nrows operand rows (simd::reduce_sum, simd::reduce_extremum, or the
+/// statistics folds).
+using TileReduce = std::function<void(Severity* acc, const simd::TileRow* rows,
+                                      std::size_t nrows, std::size_t n)>;
+
+/// The batched severity phase: one chunked sweep staging all N operands
+/// per tile and reducing them with `reduce`.  Requires batchable()
+/// mappings.  Dense results are reduced straight into their cell spans;
+/// sparse results go through per-chunk staging merged in fixed chunk
+/// order.  Bit-identical at any thread count, tile size, and batch width:
+/// the fold order per cell is the operand order, always.
+void reduce_batched(std::span<const Experiment* const> sources,
+                    std::span<const OperandMapping> mappings,
+                    std::span<const double> factors, Experiment& out,
+                    const OperatorOptions& options, const TileReduce& reduce);
+
+}  // namespace cube::batch

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "algebra/batch.hpp"
+#include "algebra/simd.hpp"
 #include "common/error.hpp"
 #include "obs/tracer.hpp"
 
@@ -32,13 +34,13 @@ std::string label_list(std::span<const Experiment* const> operands) {
   return out;
 }
 
-Experiment make_result(IntegrationResult& integration,
+Experiment make_result(const IntegrationResult& integration,
                        const OperatorOptions& options) {
-  return Experiment(std::move(integration.metadata), options.storage);
+  return Experiment(integration.metadata, options.storage);
 }
 
 // ===========================================================================
-// Bulk kernels (docs/STORAGE.md)
+// Per-operand bulk kernels (docs/STORAGE.md)
 //
 // The severity phase of every operator is a linear pass over the result's
 // FLATTENED cell space [0, M*C*T), partitioned into fixed chunks.  Per
@@ -55,83 +57,21 @@ Experiment make_result(IntegrationResult& integration,
 // per-cell reference path below, so results are bit-identical to it (and
 // independent of the thread count — chunk boundaries depend only on the
 // shape).
+//
+// By default the severity phase runs through the batched SoA tile kernels
+// (algebra/batch.hpp, docs/KERNELS.md) instead; the per-operand kernels
+// here remain the fallback for non-injective operand mappings (where
+// coalescing source cells must accumulate) and for
+// OperatorOptions::use_batch_kernels == false.
 // ===========================================================================
 
-/// Fixed upper bound on cell chunks handed to a ParallelFor.  Not derived
-/// from the thread count, so the partition — and therefore any conceivable
-/// numeric effect — is identical no matter how the executor schedules it.
-constexpr std::size_t kMaxCellChunks = 32;
-
-std::size_t num_cell_chunks(std::size_t cells) {
-  return std::max<std::size_t>(1, std::min(cells, kMaxCellChunks));
-}
-
-/// Shape of the integrated (result) cell space.
-struct OutShape {
-  std::size_t metrics = 0;
-  std::size_t cnodes = 0;
-  std::size_t threads = 0;
-  std::size_t plane = 0;  ///< cnodes * threads
-  std::size_t cells = 0;  ///< metrics * plane
-};
-
-OutShape shape_of(const Metadata& md) {
-  OutShape os;
-  os.metrics = md.num_metrics();
-  os.cnodes = md.num_cnodes();
-  os.threads = md.num_threads();
-  os.plane = os.cnodes * os.threads;
-  os.cells = os.metrics * os.plane;
-  return os;
-}
-
-using SparseSnapshot = std::vector<std::pair<std::uint64_t, Severity>>;
-
-/// The kernel counters of OperatorOptions::metrics, resolved ONCE per
-/// operator application (registration takes the registry mutex; updates
-/// are relaxed atomics).  All-null when no registry was supplied.
-struct KernelCounters {
-  obs::Counter* identity_dense_cells = nullptr;
-  obs::Counter* remap_dense_cells = nullptr;
-  obs::Counter* identity_sparse_nnz = nullptr;
-  obs::Counter* remap_sparse_nnz = nullptr;
-  obs::Counter* chunks = nullptr;
-  obs::Counter* applications = nullptr;
-
-  static KernelCounters resolve(obs::MetricsRegistry* registry) {
-    KernelCounters kc;
-    if (registry == nullptr) return kc;
-    kc.identity_dense_cells =
-        &registry->counter(kernel_counters::kIdentityDenseCells);
-    kc.remap_dense_cells = &registry->counter(kernel_counters::kRemapDenseCells);
-    kc.identity_sparse_nnz =
-        &registry->counter(kernel_counters::kIdentitySparseNnz);
-    kc.remap_sparse_nnz = &registry->counter(kernel_counters::kRemapSparseNnz);
-    kc.chunks = &registry->counter(kernel_counters::kChunks);
-    kc.applications = &registry->counter(kernel_counters::kApplications);
-    return kc;
-  }
-};
-
-/// Per-chunk kernel counters, flushed once into the shared registry.
-struct LocalKernelStats {
-  std::uint64_t identity_dense_cells = 0;
-  std::uint64_t remap_dense_cells = 0;
-  std::uint64_t identity_sparse_nnz = 0;
-  std::uint64_t remap_sparse_nnz = 0;
-
-  void flush(const KernelCounters& kc) const {
-    if (kc.identity_dense_cells == nullptr) return;
-    if (identity_dense_cells != 0) {
-      kc.identity_dense_cells->add(identity_dense_cells);
-    }
-    if (remap_dense_cells != 0) kc.remap_dense_cells->add(remap_dense_cells);
-    if (identity_sparse_nnz != 0) {
-      kc.identity_sparse_nnz->add(identity_sparse_nnz);
-    }
-    if (remap_sparse_nnz != 0) kc.remap_sparse_nnz->add(remap_sparse_nnz);
-  }
-};
+using batch::KernelCounters;
+using batch::kMaxCellChunks;
+using batch::LocalKernelStats;
+using batch::num_cell_chunks;
+using batch::OutShape;
+using batch::shape_of;
+using batch::SparseSnapshot;
 
 /// One operand's severity, prepared for the kernels: either a flat dense
 /// cell array (the store's own contiguous cells, or a densified mirror of
@@ -269,41 +209,8 @@ std::vector<PreparedOperand> prepare_operands(
   return prepared;
 }
 
-/// Runs body(chunk, cell_lo, cell_hi) over the fixed partition of
-/// [0, cells) into num_cell_chunks(cells) contiguous ranges.
-void run_cell_chunked(
-    const OperatorOptions& options, const KernelCounters& kc, std::size_t cells,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
-  const std::size_t chunks = num_cell_chunks(cells);
-  if (kc.chunks != nullptr) kc.chunks->add(chunks);
-  const auto run = [&](std::size_t k) {
-    const std::size_t lo = k * cells / chunks;
-    const std::size_t hi = (k + 1) * cells / chunks;
-    if (lo < hi) {
-      OBS_SPAN("severity.chunk");
-      body(k, lo, hi);
-    }
-  };
-  if (options.parallel_for && chunks > 1) {
-    options.parallel_for(chunks, run);
-  } else {
-    for (std::size_t k = 0; k < chunks; ++k) run(k);
-  }
-}
-
-/// Writes the non-zero entries of per-chunk staging buffers into a sparse
-/// result, in chunk order.  Chunks cover disjoint cell ranges, so the
-/// stored values are independent of execution order by construction.
-void merge_staged(Experiment& out, const OutShape& os,
-                  std::vector<SparseSnapshot>& staged) {
-  SeverityStore& sev = out.severity();
-  for (const SparseSnapshot& chunk : staged) {
-    for (const auto& [cell, v] : chunk) {
-      const std::size_t rest = cell % os.plane;
-      sev.set(cell / os.plane, rest / os.threads, rest % os.threads, v);
-    }
-  }
-}
+using batch::merge_staged;
+using batch::run_cell_chunked;
 
 /// The severity phase shared by difference, merge, and mean: result cell
 /// values are sums of factor-scaled operand extensions.  Dense results are
@@ -417,6 +324,62 @@ void bulk_reduce_extremum(std::span<const Experiment* const> sources,
         ks.flush(kc);
       });
   if (dense_out == nullptr) merge_staged(out, os, staged);
+}
+
+/// Dispatches the linear-combination severity phase onto the batched SoA
+/// tile path (default) or the per-operand chunk kernels — taken when the
+/// caller opted out or when an operand mapping coalesces source cells,
+/// which the staging layout cannot express (docs/KERNELS.md).  Both paths
+/// are bit-identical.
+void severity_linear_combine(std::span<const Experiment* const> sources,
+                             std::span<const OperandMapping> mappings,
+                             std::span<const double> factors, Experiment& out,
+                             const OperatorOptions& options) {
+  if (options.use_batch_kernels &&
+      batch::batchable(mappings, shape_of(out.metadata()))) {
+    const simd::Policy policy = options.simd_policy;
+    batch::reduce_batched(
+        sources, mappings, factors, out, options,
+        [policy](Severity* acc, const simd::TileRow* rows, std::size_t nrows,
+                 std::size_t n) {
+          simd::reduce_sum(acc, rows, nrows, n, policy);
+        });
+    return;
+  }
+  bulk_linear_combine(sources, mappings, factors, out, options);
+}
+
+/// Same dispatch for the min/max severity phase.
+void severity_reduce_extremum(std::span<const Experiment* const> sources,
+                              std::span<const OperandMapping> mappings,
+                              bool take_min, Experiment& out,
+                              const OperatorOptions& options) {
+  if (options.use_batch_kernels &&
+      batch::batchable(mappings, shape_of(out.metadata()))) {
+    const std::vector<double> ones(sources.size(), 1.0);
+    const simd::Policy policy = options.simd_policy;
+    batch::reduce_batched(
+        sources, mappings, ones, out, options,
+        [policy, take_min](Severity* acc, const simd::TileRow* rows,
+                           std::size_t nrows, std::size_t n) {
+          simd::reduce_extremum(acc, rows, nrows, n, take_min, policy);
+        });
+    return;
+  }
+  bulk_reduce_extremum(sources, mappings, take_min, out, options);
+}
+
+/// Validates a caller-supplied hoisted IntegrationResult (docs/KERNELS.md)
+/// against the operand list it claims to cover.
+void check_hoisted(const char* opname,
+                   std::span<const Experiment* const> operands,
+                   const IntegrationResult& integration) {
+  if (integration.mappings.size() != operands.size()) {
+    throw OperationError(std::string(opname) + ": integration result covers " +
+                         std::to_string(integration.mappings.size()) +
+                         " operands, called with " +
+                         std::to_string(operands.size()));
+  }
 }
 
 /// For merge: a copy of the operand mappings where metrics NOT owned by
@@ -540,27 +503,64 @@ void reference_reduce_extremum(std::span<const Experiment* const> operands,
   });
 }
 
-/// Element-wise min/max share everything but the reduction.
+/// Element-wise min/max share everything but the reduction.  `pre` is a
+/// caller-hoisted integration result, or null to integrate here.
 Experiment reduce_extremum(std::span<const Experiment* const> operands,
+                           const IntegrationResult* pre,
                            const OperatorOptions& options, bool take_min,
                            const char* opname) {
   if (operands.empty()) {
     throw OperationError(std::string(opname) + " requires >= 1 operand");
   }
-  IntegrationResult integration =
-      integrate_traced(operands, options.integration);
+  IntegrationResult local;
+  if (pre == nullptr) {
+    local = integrate_traced(operands, options.integration);
+    pre = &local;
+  } else {
+    check_hoisted(opname, operands, *pre);
+  }
+  const IntegrationResult& integration = *pre;
   Experiment out = make_result(integration, options);
   {
     OBS_SPAN("phase.severity");
     if (options.use_bulk_kernels) {
-      bulk_reduce_extremum(operands, integration.mappings, take_min, out,
-                           options);
+      severity_reduce_extremum(operands, integration.mappings, take_min, out,
+                               options);
     } else {
       reference_reduce_extremum(operands, integration, options, take_min, out);
     }
   }
   out.mark_derived(std::string(opname) + "(" + label_list(operands) + ")");
   out.set_name(std::string(opname) + "(" + label_list(operands) + ")");
+  return out;
+}
+
+/// The mean severity phase + provenance over an already-integrated series.
+Experiment mean_impl(std::span<const Experiment* const> operands,
+                     const IntegrationResult& integration,
+                     const OperatorOptions& options) {
+  Experiment out = make_result(integration, options);
+  const double factor = 1.0 / static_cast<double>(operands.size());
+  {
+    OBS_SPAN("phase.severity");
+    if (options.use_bulk_kernels) {
+      const std::vector<double> factors(operands.size(), factor);
+      severity_linear_combine(operands, integration.mappings, factors, out,
+                              options);
+    } else {
+      run_row_chunked(options, out.metadata().num_metrics(),
+                      [&](MetricIndex lo, MetricIndex hi) {
+                        for (std::size_t op = 0; op < operands.size(); ++op) {
+                          scatter_scaled(*operands[op],
+                                         integration.mappings[op], factor, out,
+                                         lo, hi);
+                        }
+                      });
+    }
+  }
+  const std::string prov = "mean(" + label_list(operands) + ")";
+  out.mark_derived(prov);
+  out.set_name(prov);
   return out;
 }
 
@@ -577,7 +577,8 @@ Experiment difference(const Experiment& a, const Experiment& b,
     OBS_SPAN("phase.severity");
     if (options.use_bulk_kernels) {
       const double factors[] = {1.0, -1.0};
-      bulk_linear_combine(ops, integration.mappings, factors, out, options);
+      severity_linear_combine(ops, integration.mappings, factors, out,
+                              options);
     } else {
       run_row_chunked(options, out.metadata().num_metrics(),
                       [&](MetricIndex lo, MetricIndex hi) {
@@ -619,7 +620,7 @@ Experiment merge(const Experiment& a, const Experiment& b,
       const std::vector<OperandMapping> masked =
           masked_merge_mappings(integration.mappings, owner);
       const double factors[] = {1.0, 1.0};
-      bulk_linear_combine(ops, masked, factors, out, options);
+      severity_linear_combine(ops, masked, factors, out, options);
     } else {
       run_row_chunked(options, num_out_metrics, [&](MetricIndex lo,
                                                     MetricIndex hi) {
@@ -658,31 +659,9 @@ Experiment mean(std::span<const Experiment* const> operands,
   if (operands.empty()) {
     throw OperationError("mean requires >= 1 operand");
   }
-  IntegrationResult integration =
+  const IntegrationResult integration =
       integrate_traced(operands, options.integration);
-  Experiment out = make_result(integration, options);
-  const double factor = 1.0 / static_cast<double>(operands.size());
-  {
-    OBS_SPAN("phase.severity");
-    if (options.use_bulk_kernels) {
-      const std::vector<double> factors(operands.size(), factor);
-      bulk_linear_combine(operands, integration.mappings, factors, out,
-                          options);
-    } else {
-      run_row_chunked(options, out.metadata().num_metrics(),
-                      [&](MetricIndex lo, MetricIndex hi) {
-                        for (std::size_t op = 0; op < operands.size(); ++op) {
-                          scatter_scaled(*operands[op],
-                                         integration.mappings[op], factor, out,
-                                         lo, hi);
-                        }
-                      });
-    }
-  }
-  const std::string prov = "mean(" + label_list(operands) + ")";
-  out.mark_derived(prov);
-  out.set_name(prov);
-  return out;
+  return mean_impl(operands, integration, options);
 }
 
 Experiment mean(const std::vector<const Experiment*>& operands,
@@ -690,16 +669,44 @@ Experiment mean(const std::vector<const Experiment*>& operands,
   return mean(std::span<const Experiment* const>(operands), options);
 }
 
+Experiment mean(std::span<const Experiment* const> operands,
+                const IntegrationResult& integration,
+                const OperatorOptions& options) {
+  OBS_SPAN("operator.mean");
+  if (operands.empty()) {
+    throw OperationError("mean requires >= 1 operand");
+  }
+  check_hoisted("mean", operands, integration);
+  return mean_impl(operands, integration, options);
+}
+
 Experiment minimum(std::span<const Experiment* const> operands,
                    const OperatorOptions& options) {
   OBS_SPAN("operator.min");
-  return reduce_extremum(operands, options, /*take_min=*/true, "min");
+  return reduce_extremum(operands, nullptr, options, /*take_min=*/true, "min");
 }
 
 Experiment maximum(std::span<const Experiment* const> operands,
                    const OperatorOptions& options) {
   OBS_SPAN("operator.max");
-  return reduce_extremum(operands, options, /*take_min=*/false, "max");
+  return reduce_extremum(operands, nullptr, options, /*take_min=*/false,
+                         "max");
+}
+
+Experiment minimum(std::span<const Experiment* const> operands,
+                   const IntegrationResult& integration,
+                   const OperatorOptions& options) {
+  OBS_SPAN("operator.min");
+  return reduce_extremum(operands, &integration, options, /*take_min=*/true,
+                         "min");
+}
+
+Experiment maximum(std::span<const Experiment* const> operands,
+                   const IntegrationResult& integration,
+                   const OperatorOptions& options) {
+  OBS_SPAN("operator.max");
+  return reduce_extremum(operands, &integration, options, /*take_min=*/false,
+                         "max");
 }
 
 }  // namespace cube

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "algebra/integration.hpp"
+#include "algebra/simd.hpp"
 #include "model/experiment.hpp"
 #include "obs/metrics.hpp"
 
@@ -52,6 +53,13 @@ inline constexpr const char* kRemapSparseNnz =
 inline constexpr const char* kChunks = "algebra.kernel.chunks";
 /// Operator applications that ran through the bulk path.
 inline constexpr const char* kApplications = "algebra.kernel.applications";
+/// SoA tiles staged and reduced by the batched n-ary kernels
+/// (docs/KERNELS.md).  Zero when every application took the per-operand
+/// or reference path.
+inline constexpr const char* kBatchTiles = "algebra.kernel.batch_tiles";
+/// Sum of operand counts over batched applications; batch_width /
+/// applications is the average batch width.
+inline constexpr const char* kBatchWidth = "algebra.kernel.batch_width";
 }  // namespace kernel_counters
 
 /// Options shared by all operators.
@@ -67,6 +75,18 @@ struct OperatorOptions {
   /// equivalence suite; the reference path parallelizes dense results
   /// by metric rows only.
   bool use_bulk_kernels = true;
+  /// Use the batched structure-of-arrays tile kernels (docs/KERNELS.md)
+  /// for the severity phase (default).  False falls back to the
+  /// per-operand chunk kernels of docs/STORAGE.md — also taken
+  /// automatically per application when an operand mapping coalesces
+  /// source cells.  Both paths are bit-identical to the reference path,
+  /// so this knob never affects results (and is excluded from planner
+  /// cache keys).
+  bool use_batch_kernels = true;
+  /// SIMD policy of the batched reduction: Auto picks the best backend
+  /// the build and CPU support, ForceScalar pins the scalar oracle.
+  /// Bit-identical either way.
+  simd::Policy simd_policy = simd::Policy::Auto;
   /// If non-null, the bulk-kernel counters (kernel_counters above) are
   /// accumulated into this registry.  Pass a per-run local registry for
   /// isolated readings (the query engine does), or
@@ -96,6 +116,24 @@ struct OperatorOptions {
                               const OperatorOptions& options = {});
 [[nodiscard]] Experiment mean(const std::vector<const Experiment*>& operands,
                               const OperatorOptions& options = {});
+
+/// Integration-hoisted n-ary forms: `integration` must be the result of
+/// integrate_metadata over exactly these operands (in order).  Lets a
+/// caller computing several reductions of ONE series (mean + min + max +
+/// stddev, see summarize_series) run the metadata phase once instead of
+/// once per operator — the structural merge is the dominant cost when the
+/// series' metadata is digest-distinct but structurally equal (e.g.
+/// shifted line numbers).  Throws OperationError on an operand-count
+/// mismatch.
+[[nodiscard]] Experiment mean(std::span<const Experiment* const> operands,
+                              const IntegrationResult& integration,
+                              const OperatorOptions& options = {});
+[[nodiscard]] Experiment minimum(std::span<const Experiment* const> operands,
+                                 const IntegrationResult& integration,
+                                 const OperatorOptions& options = {});
+[[nodiscard]] Experiment maximum(std::span<const Experiment* const> operands,
+                                 const IntegrationResult& integration,
+                                 const OperatorOptions& options = {});
 
 /// Element-wise minimum / maximum over the integrated domain.  Not in the
 /// paper's operator list ("others may follow in the future"); provided as

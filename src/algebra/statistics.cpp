@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "algebra/batch.hpp"
 #include "common/error.hpp"
 
 namespace cube {
@@ -20,18 +21,35 @@ std::string series_label(std::span<const Experiment* const> operands) {
   return out;
 }
 
-/// Shared reduction core: integrates the series once, materializes the
-/// extended severities, and hands per-cell value vectors to `fold`.
+// The per-cell folds, written against an accessor at(r) -> r-th operand's
+// zero-extended value so the tiled batch path (strided rows) and the
+// reference path (contiguous values) share one arithmetic definition.
+// Accumulation order is operand order in both, so results are bit-equal.
+
+template <typename At>
+double cell_mean(const At& at, std::size_t n) {
+  Severity sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) sum += at(r);
+  return sum / static_cast<double>(n);
+}
+
+template <typename At>
+double cell_stddev(const At& at, std::size_t n) {
+  const double mu = cell_mean(at, n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) acc += (at(r) - mu) * (at(r) - mu);
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+/// Reference reduction (the oracle, and the fallback for non-batchable
+/// mappings): materializes the extended severities per cell through the
+/// virtual store interface — coalescing source cells accumulate — and
+/// folds each cell's contiguous value vector.
 template <typename Fold>
-Experiment reduce_series(std::span<const Experiment* const> operands,
-                         const OperatorOptions& options, const char* opname,
-                         Fold fold) {
-  if (operands.size() < 2) {
-    throw OperationError(std::string(opname) + " requires >= 2 operands");
-  }
-  IntegrationResult integration =
-      integrate_metadata(operands, options.integration);
-  const Metadata& md = *integration.metadata;
+void reference_fold_series(std::span<const Experiment* const> operands,
+                           const IntegrationResult& integration,
+                           Experiment& out, const Fold& fold) {
+  const Metadata& md = out.metadata();
   const std::size_t volume =
       md.num_metrics() * md.num_cnodes() * md.num_threads();
   const auto at = [&md](MetricIndex m, CnodeIndex c, ThreadIndex t) {
@@ -60,14 +78,64 @@ Experiment reduce_series(std::span<const Experiment* const> operands,
     }
   }
 
-  Experiment out(std::move(integration.metadata), options.storage);
   for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
     for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
       for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
         const Severity* cell = &values[at(m, c, t) * n];
-        const Severity v = fold(std::span<const Severity>(cell, n));
+        const auto get = [cell](std::size_t r) { return cell[r]; };
+        const Severity v = fold(get, n);
         if (v != 0.0) out.severity().set(m, c, t, v);
       }
+    }
+  }
+}
+
+/// Shared reduction core: integrates the series once (or adopts a hoisted
+/// result), then folds the N operands per cell.  By default the fold runs
+/// through the batched SoA tile sweep (algebra/batch.hpp) — ONE chunked,
+/// optionally parallel traversal of the cell space with each operand
+/// staged as a tile row; the O(volume * N) materialization of the
+/// reference path above disappears.
+template <typename Fold>
+Experiment reduce_series(std::span<const Experiment* const> operands,
+                         const IntegrationResult* pre,
+                         const OperatorOptions& options, const char* opname,
+                         const Fold& fold) {
+  if (operands.size() < 2) {
+    throw OperationError(std::string(opname) + " requires >= 2 operands");
+  }
+  IntegrationResult local;
+  if (pre == nullptr) {
+    local = integrate_metadata(operands, options.integration);
+    pre = &local;
+  } else if (pre->mappings.size() != operands.size()) {
+    throw OperationError(std::string(opname) +
+                         ": integration result covers " +
+                         std::to_string(pre->mappings.size()) +
+                         " operands, called with " +
+                         std::to_string(operands.size()));
+  }
+  const IntegrationResult& integration = *pre;
+
+  Experiment out(integration.metadata, options.storage);
+  const batch::OutShape os = batch::shape_of(out.metadata());
+  if (os.cells > 0) {
+    if (options.use_bulk_kernels && options.use_batch_kernels &&
+        batch::batchable(integration.mappings, os)) {
+      const std::vector<double> ones(operands.size(), 1.0);
+      batch::reduce_batched(
+          operands, integration.mappings, ones, out, options,
+          [&fold](Severity* acc, const simd::TileRow* rows, std::size_t nrows,
+                  std::size_t n) {
+            for (std::size_t i = 0; i < n; ++i) {
+              const auto get = [rows, i](std::size_t r) {
+                return rows[r].data[i];
+              };
+              acc[i] = fold(get, nrows);
+            }
+          });
+    } else {
+      reference_fold_series(operands, integration, out, fold);
     }
   }
   const std::string prov =
@@ -77,43 +145,59 @@ Experiment reduce_series(std::span<const Experiment* const> operands,
   return out;
 }
 
-double cell_mean(std::span<const Severity> xs) {
-  Severity sum = 0.0;
-  for (const Severity x : xs) sum += x;
-  return sum / static_cast<double>(xs.size());
-}
+const auto stddev_fold = [](const auto& at, std::size_t n) {
+  return cell_stddev(at, n);
+};
 
-double cell_stddev(std::span<const Severity> xs) {
-  const double mu = cell_mean(xs);
-  double acc = 0.0;
-  for (const Severity x : xs) acc += (x - mu) * (x - mu);
-  return std::sqrt(acc / static_cast<double>(xs.size()));
-}
+const auto variation_fold = [](const auto& at, std::size_t n) {
+  const double mu = cell_mean(at, n);
+  if (mu == 0.0) return 0.0;
+  return cell_stddev(at, n) / std::abs(mu);
+};
 
 }  // namespace
 
 Experiment stddev(std::span<const Experiment* const> operands,
                   const OperatorOptions& options) {
-  return reduce_series(operands, options, "stddev", cell_stddev);
+  return reduce_series(operands, nullptr, options, "stddev", stddev_fold);
+}
+
+Experiment stddev(std::span<const Experiment* const> operands,
+                  const IntegrationResult& integration,
+                  const OperatorOptions& options) {
+  return reduce_series(operands, &integration, options, "stddev",
+                       stddev_fold);
 }
 
 Experiment variation(std::span<const Experiment* const> operands,
                      const OperatorOptions& options) {
-  return reduce_series(operands, options, "variation",
-                       [](std::span<const Severity> xs) {
-                         const double mu = cell_mean(xs);
-                         if (mu == 0.0) return 0.0;
-                         return cell_stddev(xs) / std::abs(mu);
-                       });
+  return reduce_series(operands, nullptr, options, "variation",
+                       variation_fold);
+}
+
+Experiment variation(std::span<const Experiment* const> operands,
+                     const IntegrationResult& integration,
+                     const OperatorOptions& options) {
+  return reduce_series(operands, &integration, options, "variation",
+                       variation_fold);
 }
 
 SeriesSummary summarize_series(std::span<const Experiment* const> operands,
                                const OperatorOptions& options) {
+  if (operands.size() < 2) {
+    throw OperationError("summarize_series requires >= 2 operands");
+  }
+  // One metadata integration for all four reductions.  Before the hoisted
+  // operator forms existed, each of the four integrated separately — four
+  // structural merges whenever the series' metadata is digest-distinct
+  // but structurally equal.
+  const IntegrationResult integration =
+      integrate_metadata(operands, options.integration);
   SeriesSummary summary{
-      mean(operands, options),
-      minimum(operands, options),
-      maximum(operands, options),
-      stddev(operands, options),
+      mean(operands, integration, options),
+      minimum(operands, integration, options),
+      maximum(operands, integration, options),
+      stddev(operands, integration, options),
   };
   return summary;
 }

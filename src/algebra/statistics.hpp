@@ -25,6 +25,12 @@ namespace cube {
 [[nodiscard]] Experiment stddev(std::span<const Experiment* const> operands,
                                 const OperatorOptions& options = {});
 
+/// Integration-hoisted form: `integration` must cover exactly these
+/// operands (see the hoisted operator overloads in operators.hpp).
+[[nodiscard]] Experiment stddev(std::span<const Experiment* const> operands,
+                                const IntegrationResult& integration,
+                                const OperatorOptions& options = {});
+
 /// Element-wise coefficient of variation: stddev / |mean|, with cells of
 /// zero mean set to zero.  A unit-free stability map of the series: the
 /// hotspots of this experiment are where runs disagree the most.
@@ -32,6 +38,9 @@ namespace cube {
 [[nodiscard]] Experiment variation(
     std::span<const Experiment* const> operands,
     const OperatorOptions& options = {});
+[[nodiscard]] Experiment variation(
+    std::span<const Experiment* const> operands,
+    const IntegrationResult& integration, const OperatorOptions& options = {});
 
 /// Five-number summary of a series, each member a full derived experiment.
 struct SeriesSummary {

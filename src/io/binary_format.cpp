@@ -53,22 +53,33 @@ void encode_attributes(detail::BinaryEncoder& e, const Experiment& exp) {
   }
 }
 
+// Severity encoding runs over the non-virtual bulk layer
+// (docs/STORAGE.md): dense stores stream their contiguous cell span,
+// sparse stores their key-sorted non-zeros — which IS ascending (m, c, t)
+// order, so the bytes are identical to the per-cell triple loop this
+// replaces (and to what decode_severity expects).
 void encode_severity(detail::BinaryEncoder& e, const Experiment& exp) {
-  const Metadata& md = exp.metadata();
   const SeverityStore& sev = exp.severity();
+  const std::size_t cnodes = sev.num_cnodes();
+  const std::size_t threads = sev.num_threads();
+  const auto entry = [&](std::uint64_t cell, Severity v) {
+    const std::uint64_t rest = cell % (cnodes * threads);
+    e.u32(static_cast<std::uint32_t>(cell / (cnodes * threads)));
+    e.u32(static_cast<std::uint32_t>(rest / threads));
+    e.u32(static_cast<std::uint32_t>(rest % threads));
+    e.f64(v);
+  };
   e.u32(static_cast<std::uint32_t>(sev.nonzero_count()));
-  for (MetricIndex m = 0; m < md.num_metrics(); ++m) {
-    for (CnodeIndex c = 0; c < md.num_cnodes(); ++c) {
-      for (ThreadIndex t = 0; t < md.num_threads(); ++t) {
-        const Severity v = sev.get(m, c, t);
-        if (v != 0.0) {
-          e.u32(static_cast<std::uint32_t>(m));
-          e.u32(static_cast<std::uint32_t>(c));
-          e.u32(static_cast<std::uint32_t>(t));
-          e.f64(v);
-        }
-      }
+  if (sev.kind() == StorageKind::Dense) {
+    const auto cells = static_cast<const DenseSeverity&>(sev).cells();
+    for (std::uint64_t cell = 0; cell < cells.size(); ++cell) {
+      if (cells[cell] != 0.0) entry(cell, cells[cell]);
     }
+    return;
+  }
+  for (const auto& [cell, v] :
+       static_cast<const SparseSeverity&>(sev).sorted_cells()) {
+    if (v != 0.0) entry(cell, v);
   }
 }
 

@@ -106,6 +106,23 @@ std::size_t SparseSeverity::memory_bytes() const {
              (sizeof(std::uint64_t) + sizeof(Severity) + 2 * sizeof(void*));
 }
 
+void SparseSeverity::set_cells(
+    std::span<const std::pair<std::uint64_t, Severity>> entries) {
+  values_.reserve(values_.size() + entries.size());
+  const std::uint64_t cells = num_cells();
+  for (const auto& [k, v] : entries) {
+    if (k >= cells) {
+      throw Error("severity cell key " + std::to_string(k) +
+                  " out of range (" + std::to_string(cells) + " cells)");
+    }
+    if (v == 0.0) {
+      values_.erase(k);
+    } else {
+      values_[k] = v;
+    }
+  }
+}
+
 void SparseSeverity::scatter_into(std::span<Severity> cells) const {
   for (const auto& [k, v] : values_) cells[k] = v;
 }

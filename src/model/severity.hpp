@@ -151,6 +151,13 @@ class SparseSeverity final : public SeverityStore {
   [[nodiscard]] std::vector<std::pair<std::uint64_t, Severity>> sorted_cells()
       const;
 
+  /// Bulk insert of (flattened key, value) entries: value semantics of
+  /// set() per entry (zero erases) without the per-cell virtual dispatch
+  /// or triple decomposition.  Keys must be < num_cells() (throws
+  /// cube::Error otherwise); later entries overwrite earlier ones.  The
+  /// operator kernels merge their per-chunk staging buffers through this.
+  void set_cells(std::span<const std::pair<std::uint64_t, Severity>> entries);
+
   /// Writes every non-zero value into cells[key]; cells must span the full
   /// flattened cell space.  Unlike the ordered visitors this is one
   /// unordered hash-map pass — distinct keys write distinct slots, so no

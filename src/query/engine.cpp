@@ -370,6 +370,10 @@ QueryResult QueryEngine::run_plan(const QueryPlan& plan) {
   stats.kernel_chunks = run_metrics.counter(kernel_counters::kChunks).value();
   stats.kernel_applications =
       run_metrics.counter(kernel_counters::kApplications).value();
+  stats.kernel_batch_tiles =
+      run_metrics.counter(kernel_counters::kBatchTiles).value();
+  stats.kernel_batch_width =
+      run_metrics.counter(kernel_counters::kBatchWidth).value();
 
   // Feed the process-wide registry: the run's kernel counters plus the
   // engine's own tallies, under stable query.* names.

@@ -70,6 +70,8 @@ struct QueryStats {
   std::uint64_t kernel_remap_sparse_nnz = 0;
   std::uint64_t kernel_chunks = 0;        ///< cell chunks executed
   std::uint64_t kernel_applications = 0;  ///< ops through the bulk path
+  std::uint64_t kernel_batch_tiles = 0;   ///< SoA tiles staged + reduced
+  std::uint64_t kernel_batch_width = 0;   ///< sum of batched operand counts
   // Wall time per stage.  plan/exec/total are end-to-end; load/eval are
   // summed across concurrent tasks (they can exceed exec_ms).
   double plan_ms = 0.0;

@@ -1,0 +1,30 @@
+// Plan-level lint: performance advisories over a planned query DAG
+// (docs/LINT.md).
+//
+// Where the model/file/repository passes check VALIDITY, this pass
+// checks EFFICIENCY: it inspects the shape of an evaluation DAG the
+// planner produced and points out formulations that compute the right
+// answer the slow way.  Findings are note-level — the plan will run and
+// the result is identical either way.
+//
+// Rules:
+//   perf.series-foldable — a Mean/Min/Max application is nested inside
+//     another application of the SAME operator, and every load leaf of
+//     the chain shares one (nonzero) metadata digest.  Such a chain
+//     re-traverses the cell space once per nesting level; flattened into
+//     a single n-ary application the engine folds all operands in ONE
+//     batched sweep (docs/KERNELS.md), and with identical metadata the
+//     integration phase also collapses to a single pass.
+#pragma once
+
+#include "lint/diagnostics.hpp"
+#include "query/planner.hpp"
+
+namespace cube::query {
+
+/// Runs the plan-shape rules over `plan`, reporting into `sink`.
+/// Locations are canonical sub-expressions, so the finding can be read
+/// without the plan at hand.
+void lint_plan(const QueryPlan& plan, lint::DiagnosticSink& sink);
+
+}  // namespace cube::query
