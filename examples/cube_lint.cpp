@@ -20,6 +20,11 @@
 //   --no-digest          skip the structural digest recomputation
 //   --max-per-rule N     findings reported per value rule before folding
 //                        into a summary (default 16, 0 = unlimited)
+//   --fix-layout         repository mode only: run migrate() first —
+//                        rewrite legacy entries to the blob form, convert
+//                        the repository to the sharded layout, and sweep
+//                        crash leftovers (stray segments) — then lint the
+//                        result
 //   --quiet              no report, exit code only
 //
 // Exit code mirrors the worst finding: 0 clean (or notes only),
@@ -28,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+#include "io/repository.hpp"
 #include "lint/file_lint.hpp"
 #include "lint/repo_lint.hpp"
 #include "obs_util.hpp"
@@ -37,7 +44,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <file>... | --repo <dir> [--format text|json]\n"
-               "  [--no-values] [--no-digest] [--max-per-rule N] [--quiet]\n"
+               "  [--no-values] [--no-digest] [--max-per-rule N]\n"
+               "  [--fix-layout] [--quiet]\n"
                " " +
                    std::string(cube::cli::ObsOptions::usage()) + "\n";
   return 3;
@@ -50,6 +58,7 @@ int main(int argc, char** argv) {
   std::string repo_dir;
   std::string format = "text";
   bool quiet = false;
+  bool fix_layout = false;
   cube::lint::Options options;
   cube::cli::ObsOptions obs;
   obs.tool = "cube_lint";
@@ -73,6 +82,8 @@ int main(int argc, char** argv) {
       } catch (...) {
         return usage(argv[0]);
       }
+    } else if (arg == "--fix-layout") {
+      fix_layout = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -86,10 +97,28 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty() == repo_dir.empty()) return usage(argv[0]);
+  if (fix_layout && repo_dir.empty()) return usage(argv[0]);
 
   obs.begin();
   cube::lint::DiagnosticSink sink;
   if (!repo_dir.empty()) {
+    if (fix_layout) {
+      try {
+        cube::ExperimentRepository repo(repo_dir);
+        const std::size_t changed = repo.migrate();
+        if (!quiet) {
+          std::cout << "fix-layout: " << changed
+                    << " change(s); layout is now "
+                    << (repo.layout() == cube::RepoLayout::Sharded
+                            ? "sharded"
+                            : "legacy")
+                    << "\n";
+        }
+      } catch (const cube::Error& e) {
+        std::cerr << "fix-layout failed: " << e.what() << "\n";
+        return 3;
+      }
+    }
     cube::lint::lint_repository(repo_dir, sink, options);
   } else {
     for (const std::string& file : files) {

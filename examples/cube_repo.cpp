@@ -1,0 +1,97 @@
+// cube_repo: repository administration CLI (docs/STORAGE.md).
+//
+// Thin command wrapper over the ExperimentRepository maintenance API —
+// the pieces that make sense from a shell or a CI job rather than from
+// analysis code:
+//
+//   cube_repo info <dir>      layout, entry/segment/blob counts, debt
+//   cube_repo migrate <dir>   rewrite legacy entries to the blob form,
+//                             convert to the sharded layout, sweep crash
+//                             leftovers; idempotent (prints 0 changes on
+//                             an already-converted repository)
+//   cube_repo compact <dir>   fold the segmented index into one sealed
+//                             segment (tombstone/overwrite records drop)
+//   cube_repo gc <dir>        remove orphan blobs and stray segments
+//
+// Exit code: 0 on success, 1 on any failure, 3 on usage error.
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "io/index_segments.hpp"
+#include "io/repository.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: cube_repo info|migrate|compact|gc <repository>\n";
+  return 3;
+}
+
+const char* layout_name(cube::RepoLayout layout) {
+  return layout == cube::RepoLayout::Sharded ? "sharded" : "legacy";
+}
+
+std::size_t count_blobs(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::size_t n = 0;
+  for (std::filesystem::recursive_directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file()) ++n;
+  }
+  return n;
+}
+
+int info(cube::ExperimentRepository& repo) {
+  std::cout << "layout:   " << layout_name(repo.layout()) << "\n"
+            << "entries:  " << repo.entries().size() << "\n"
+            << "meta:     " << count_blobs(repo.directory() / "meta")
+            << " blob(s)\n"
+            << "sev:      " << count_blobs(repo.directory() / "sev")
+            << " blob(s)\n";
+  if (const cube::SegmentedIndex* index = repo.segmented_index()) {
+    const auto strays = index->stray_segments();
+    std::cout << "segments: " << index->segment_names().size()
+              << " listed, " << strays.orphans.size() << " orphan, "
+              << strays.stale.size() << " stale\n"
+              << "dead:     " << index->dead_records(repo.entries().size())
+              << " record(s) pending compaction\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::string command = argv[1];
+  try {
+    cube::ExperimentRepository repo(argv[2]);
+    if (command == "info") return info(repo);
+    if (command == "migrate") {
+      const std::size_t changed = repo.migrate();
+      std::cout << "migrate: " << changed << " change(s); layout is "
+                << layout_name(repo.layout()) << "\n";
+      return 0;
+    }
+    if (command == "compact") {
+      const std::size_t superseded = repo.compact();
+      std::cout << "compact: " << superseded
+                << " segment(s) superseded\n";
+      return 0;
+    }
+    if (command == "gc") {
+      const std::size_t blobs = repo.remove_orphan_blobs();
+      const std::size_t segments = repo.remove_stray_segments();
+      std::cout << "gc: " << blobs << " orphan blob(s), " << segments
+                << " stray segment(s) removed\n";
+      return 0;
+    }
+    usage();
+    return 3;
+  } catch (const cube::Error& e) {
+    std::cerr << "cube_repo: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -8,7 +8,11 @@
 // compared with the closed difference, and the derived result is stored
 // right next to the originals.
 //
-// Usage: experiment_database [repository-dir]
+// Usage: experiment_database [repository-dir] [--legacy]
+//
+// --legacy builds the repository in the legacy single-index layout
+// (index.xml, flat blobs) instead of the sharded default — CI uses it to
+// produce a pre-migration repository for the migrate() round-trip check.
 #include <filesystem>
 #include <iostream>
 
@@ -47,11 +51,21 @@ cube::Experiment measure(bool with_barriers, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::filesystem::path dir =
-      argc > 1 ? argv[1]
-               : std::filesystem::temp_directory_path() / "cube_campaign";
+  std::filesystem::path dir;
+  cube::RepoLayout layout = cube::RepoLayout::Auto;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--legacy") {
+      layout = cube::RepoLayout::Legacy;
+    } else {
+      dir = arg;
+    }
+  }
+  if (dir.empty()) {
+    dir = std::filesystem::temp_directory_path() / "cube_campaign";
+  }
   std::filesystem::remove_all(dir);
-  cube::ExperimentRepository repo(dir);
+  cube::ExperimentRepository repo(dir, layout);
   std::cout << "repository: " << repo.directory().string() << "\n\n";
 
   // Measurement campaign: 4 repetitions per configuration.

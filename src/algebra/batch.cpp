@@ -100,6 +100,16 @@ bool injective(const std::vector<std::size_t>& map, std::size_t out_size) {
 
 }  // namespace
 
+void release_consumed(std::span<const Experiment* const> sources,
+                      std::span<const OperandMapping> mappings,
+                      std::size_t lo, std::size_t hi) {
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (!mappings[i].identity()) continue;
+    const SeverityStore& sev = sources[i]->severity();
+    if (sev.file_backed()) sev.release_cells(lo, hi);
+  }
+}
+
 bool batchable(std::span<const OperandMapping> mappings, const OutShape& os) {
   for (const OperandMapping& m : mappings) {
     if (m.identity()) continue;
@@ -359,6 +369,9 @@ void reduce_batched(std::span<const Experiment* const> sources,
           }
         }
         ks.flush(kc);
+        if (options.release_operand_pages) {
+          release_consumed(sources, mappings, lo, hi);
+        }
       });
   if (dense_out == nullptr) merge_staged(out, os, staged);
 }

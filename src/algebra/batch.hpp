@@ -101,6 +101,15 @@ void run_cell_chunked(
 void merge_staged(Experiment& out, const OutShape& os,
                   std::vector<SparseSnapshot>& staged);
 
+/// Releases the file-backed pages of every identity-mapped operand for
+/// the consumed result cell range [lo, hi) — the streaming hook behind
+/// OperatorOptions::release_operand_pages.  Identity mappings make source
+/// and result cell indices coincide, so the range translates directly;
+/// remapped or owned operands are skipped.
+void release_consumed(std::span<const Experiment* const> sources,
+                      std::span<const OperandMapping> mappings,
+                      std::size_t lo, std::size_t hi);
+
 /// True if every mapping is per-dimension injective into the result space
 /// (no two source cells coalesce onto one result cell) — the precondition
 /// of the SoA staging layout.  kNoIndex entries (merge ownership masking)

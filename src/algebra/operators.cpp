@@ -243,6 +243,9 @@ void bulk_linear_combine(std::span<const Experiment* const> sources,
                                             prepared[i], ks);
                        }
                        ks.flush(kc);
+                       if (options.release_operand_pages) {
+                         batch::release_consumed(sources, mappings, lo, hi);
+                       }
                      });
     return;
   }
@@ -261,6 +264,9 @@ void bulk_linear_combine(std::span<const Experiment* const> sources,
                        if (buf[i] != 0.0) staged[k].emplace_back(lo + i, buf[i]);
                      }
                      ks.flush(kc);
+                     if (options.release_operand_pages) {
+                       batch::release_consumed(sources, mappings, lo, hi);
+                     }
                    });
   merge_staged(out, os, staged);
 }
@@ -322,21 +328,64 @@ void bulk_reduce_extremum(std::span<const Experiment* const> sources,
           }
         }
         ks.flush(kc);
+        if (options.release_operand_pages) {
+          batch::release_consumed(sources, mappings, lo, hi);
+        }
       });
   if (dense_out == nullptr) merge_staged(out, os, staged);
 }
 
+/// Batch widths from which the all-sparse heuristic below applies.  Below
+/// it the two paths are within noise of each other and the batched path's
+/// tile staging amortizes fine.
+constexpr std::size_t kSparseSeriesWidth = 16;
+
+/// True when the per-operand chunk kernels are expected to beat the
+/// batched SoA path: every operand is identity-mapped AND sparse enough to
+/// stay sparse in both paths (below the densify threshold).  The batched
+/// path must then gather every operand's non-zeros into full dense tile
+/// rows and reduce all N rows per cell; the per-operand path just scatters
+/// each operand's non-zeros once, skipping the empty cells entirely.
+/// Measured at ~20% on width-64 identity series of 1% density
+/// (EXPERIMENTS.md A14); the gap grows with width and sparsity.
+bool prefer_per_operand(std::span<const Experiment* const> sources,
+                        std::span<const OperandMapping> mappings) {
+  if (sources.size() < kSparseSeriesWidth) return false;
+  for (const OperandMapping& m : mappings) {
+    if (!m.identity()) return false;
+  }
+  for (const Experiment* source : sources) {
+    const SeverityStore& sev = source->severity();
+    if (sev.kind() != StorageKind::Sparse) return false;
+    // At or past the densify threshold both paths go dense anyway.
+    if (2 * sev.nonzero_count() >= sev.num_cells()) return false;
+  }
+  return true;
+}
+
+/// Records which path the dispatch picked (kernel_counters::kPath*).
+void count_path(const OperatorOptions& options, bool batched) {
+  if (options.metrics == nullptr) return;
+  options.metrics
+      ->counter(batched ? kernel_counters::kPathBatched
+                        : kernel_counters::kPathPerOperand)
+      .add(1);
+}
+
 /// Dispatches the linear-combination severity phase onto the batched SoA
 /// tile path (default) or the per-operand chunk kernels — taken when the
-/// caller opted out or when an operand mapping coalesces source cells,
-/// which the staging layout cannot express (docs/KERNELS.md).  Both paths
-/// are bit-identical.
+/// caller opted out, when an operand mapping coalesces source cells
+/// (which the staging layout cannot express, docs/KERNELS.md), or when
+/// the all-sparse series heuristic above predicts the per-operand path to
+/// win.  All paths are bit-identical.
 void severity_linear_combine(std::span<const Experiment* const> sources,
                              std::span<const OperandMapping> mappings,
                              std::span<const double> factors, Experiment& out,
                              const OperatorOptions& options) {
   if (options.use_batch_kernels &&
-      batch::batchable(mappings, shape_of(out.metadata()))) {
+      batch::batchable(mappings, shape_of(out.metadata())) &&
+      !prefer_per_operand(sources, mappings)) {
+    count_path(options, true);
     const simd::Policy policy = options.simd_policy;
     batch::reduce_batched(
         sources, mappings, factors, out, options,
@@ -346,6 +395,7 @@ void severity_linear_combine(std::span<const Experiment* const> sources,
         });
     return;
   }
+  count_path(options, false);
   bulk_linear_combine(sources, mappings, factors, out, options);
 }
 
@@ -355,7 +405,9 @@ void severity_reduce_extremum(std::span<const Experiment* const> sources,
                               bool take_min, Experiment& out,
                               const OperatorOptions& options) {
   if (options.use_batch_kernels &&
-      batch::batchable(mappings, shape_of(out.metadata()))) {
+      batch::batchable(mappings, shape_of(out.metadata())) &&
+      !prefer_per_operand(sources, mappings)) {
+    count_path(options, true);
     const std::vector<double> ones(sources.size(), 1.0);
     const simd::Policy policy = options.simd_policy;
     batch::reduce_batched(
@@ -366,6 +418,7 @@ void severity_reduce_extremum(std::span<const Experiment* const> sources,
         });
     return;
   }
+  count_path(options, false);
   bulk_reduce_extremum(sources, mappings, take_min, out, options);
 }
 

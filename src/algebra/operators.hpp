@@ -60,6 +60,13 @@ inline constexpr const char* kBatchTiles = "algebra.kernel.batch_tiles";
 /// Sum of operand counts over batched applications; batch_width /
 /// applications is the average batch width.
 inline constexpr const char* kBatchWidth = "algebra.kernel.batch_width";
+/// Applications the dispatch sent through the batched SoA path.
+inline constexpr const char* kPathBatched = "algebra.kernel.path_batched";
+/// Applications the dispatch sent through the per-operand chunk kernels —
+/// by opt-out, a non-batchable mapping, or the all-sparse series
+/// heuristic (EXPERIMENTS.md A14).
+inline constexpr const char* kPathPerOperand =
+    "algebra.kernel.path_per_operand";
 }  // namespace kernel_counters
 
 /// Options shared by all operators.
@@ -87,6 +94,14 @@ struct OperatorOptions {
   /// the build and CPU support, ForceScalar pins the scalar oracle.
   /// Bit-identical either way.
   simd::Policy simd_policy = simd::Policy::Auto;
+  /// Drop file-backed operand pages (madvise(MADV_DONTNEED)) as soon as a
+  /// cell chunk has been consumed, so reductions over mmapped columnar
+  /// series (docs/STORAGE.md, CUBESEV1) stream at bounded resident memory
+  /// instead of faulting the whole series in.  Affects only
+  /// identity-mapped operands whose severity store is file-backed; owned
+  /// stores and remapped operands are untouched.  Never affects results —
+  /// released pages refault from the file on the next access.
+  bool release_operand_pages = false;
   /// If non-null, the bulk-kernel counters (kernel_counters above) are
   /// accumulated into this registry.  Pass a per-run local registry for
   /// isolated readings (the query engine does), or

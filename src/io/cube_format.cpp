@@ -45,6 +45,9 @@ constexpr const char* kFormatVersion = "1.0";
 // Version 1.1 adds the by-reference form: a <metaref digest="..."/>
 // element replaces the inline <metrics>/<program>/<system> sections.
 constexpr const char* kRefFormatVersion = "1.1";
+// Version 1.2 adds the columnar form: a <sevref digest="..."/> element
+// replaces the <severity> section and points at a CUBESEV1 blob.
+constexpr const char* kSevRefFormatVersion = "1.2";
 
 // Severity values are written with enough digits to round-trip doubles.
 std::string severity_to_string(Severity v) {
@@ -175,6 +178,46 @@ std::string to_cube_xml_ref(const Experiment& experiment) {
   return os.str();
 }
 
+void write_cube_xml_sev_ref(const Experiment& experiment,
+                            std::uint64_t sev_digest, std::ostream& out) {
+  OBS_SPAN("io.xml.write");
+  xml_write_counted(out, [&] {
+    XmlWriter w(out);
+    w.declaration();
+    w.open_element("cube");
+    w.attribute("version", std::string_view(kSevRefFormatVersion));
+    write_attr_section(w, experiment);
+    w.open_element("metaref");
+    w.attribute("digest", digest_hex(experiment.metadata().digest()));
+    w.close_element();
+    w.open_element("sevref");
+    w.attribute("digest", digest_hex(sev_digest));
+    w.attribute("storage",
+                experiment.severity().kind() == StorageKind::Dense
+                    ? std::string_view("dense")
+                    : std::string_view("sparse"));
+    w.close_element();
+    w.finish();
+  });
+}
+
+void write_cube_xml_sev_ref_file(const Experiment& experiment,
+                                 std::uint64_t sev_digest,
+                                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create file '" + path + "'");
+  write_cube_xml_sev_ref(experiment, sev_digest, out);
+  out.flush();
+  if (!out) throw IoError("write to '" + path + "' failed");
+}
+
+std::string to_cube_xml_sev_ref(const Experiment& experiment,
+                                std::uint64_t sev_digest) {
+  std::ostringstream os;
+  write_cube_xml_sev_ref(experiment, sev_digest, os);
+  return os.str();
+}
+
 void write_cube_xml(const Experiment& experiment, std::ostream& out) {
   OBS_SPAN("io.xml.write");
   const Metadata& md = experiment.metadata();
@@ -299,8 +342,12 @@ long parse_long_attr(const XmlNode& node, std::string_view attr,
 class CubeDecoder {
  public:
   CubeDecoder(const XmlNode& root, StorageKind storage,
-              const MetadataResolver& resolver)
-      : root_(root), storage_(storage), resolver_(resolver) {}
+              const MetadataResolver& resolver,
+              const SeverityResolver& sev_resolver)
+      : root_(root),
+        storage_(storage),
+        resolver_(resolver),
+        sev_resolver_(sev_resolver) {}
 
   Experiment decode() {
     if (root_.name != "cube") {
@@ -340,6 +387,11 @@ class CubeDecoder {
       throw CheckError("meta.unresolved-ref", "element <metaref>",
                        "no metadata blob resolves digest " + hex);
     }
+    // Columnar form: the severity lives in a CUBESEV1 blob referenced by
+    // digest; there is no <severity> section to decode.
+    if (const XmlNode* sref = root_.child("sevref")) {
+      return decode_columnar(*sref, std::move(md));
+    }
     // Severity ids in the by-reference form ARE the dense indices of the
     // referenced metadata: the id maps become the identity.
     for (MetricIndex m = 0; m < md->num_metrics(); ++m) metric_ids_[m] = m;
@@ -347,6 +399,34 @@ class CubeDecoder {
     Experiment experiment(std::move(md), storage_);
     decode_attributes(experiment);
     decode_severity(experiment);
+    return experiment;
+  }
+
+  Experiment decode_columnar(const XmlNode& sref,
+                             std::shared_ptr<const Metadata> md) {
+    const std::string hex(sref.required_attr("digest"));
+    std::uint64_t digest = 0;
+    if (!parse_hex64(hex, digest)) {
+      throw CheckError("sev.bad-ref", "element <sevref>",
+                       "malformed severity digest '" + hex + "'");
+    }
+    if (!sev_resolver_) {
+      throw Error(
+          "columnar cube document requires a severity resolver "
+          "(severity digest " +
+          hex + ")");
+    }
+    const StorageKind blob_kind = sref.attr("storage").value_or("dense") ==
+                                          std::string_view("sparse")
+                                      ? StorageKind::Sparse
+                                      : StorageKind::Dense;
+    auto store = sev_resolver_(digest, blob_kind);
+    if (store == nullptr) {
+      throw CheckError("sev.unresolved-ref", "element <sevref>",
+                       "no severity blob resolves digest " + hex);
+    }
+    Experiment experiment(std::move(md), std::move(store));
+    decode_attributes(experiment);
     return experiment;
   }
 
@@ -560,6 +640,7 @@ class CubeDecoder {
   const XmlNode& root_;
   StorageKind storage_;
   const MetadataResolver& resolver_;
+  const SeverityResolver& sev_resolver_;
   std::map<std::size_t, MetricIndex> metric_ids_;
   std::map<std::size_t, std::size_t> region_ids_;
   std::map<std::size_t, std::size_t> callsite_ids_;
@@ -570,41 +651,70 @@ class CubeDecoder {
 }  // namespace
 
 Experiment read_cube_xml(std::string_view xml, StorageKind storage,
-                         const MetadataResolver& resolver) {
+                         const MetadataResolver& resolver,
+                         const SeverityResolver& sev_resolver) {
   OBS_SPAN("io.xml.read");
   xml_bytes_read_counter().add(xml.size());
   const auto root = parse_xml(xml);
-  return CubeDecoder(*root, storage, resolver).decode();
+  return CubeDecoder(*root, storage, resolver, sev_resolver).decode();
 }
 
 Experiment read_cube_xml_file(const std::string& path, StorageKind storage,
-                              const MetadataResolver& resolver) {
+                              const MetadataResolver& resolver,
+                              const SeverityResolver& sev_resolver) {
   std::ifstream in(path);
   if (!in) throw IoError("cannot open file '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return read_cube_xml(buffer.str(), storage, resolver);
+  return read_cube_xml(buffer.str(), storage, resolver, sev_resolver);
 }
 
+namespace {
+
+/// The repository directory an experiment file belongs to: the file's own
+/// directory, or — for the sharded exp/<ab>/ layout, where files sit two
+/// levels below the root — the nearest ancestor containing a repository
+/// marker (index/, index.xml, or a meta/ blob directory).
+std::filesystem::path repo_root_for(const std::filesystem::path& file) {
+  std::error_code ec;
+  std::filesystem::path dir = file.parent_path();
+  std::filesystem::path probe = dir;
+  for (int depth = 0; depth < 3 && !probe.empty(); ++depth) {
+    if (std::filesystem::exists(probe / "index", ec) ||
+        std::filesystem::exists(probe / "index.xml", ec) ||
+        std::filesystem::is_directory(probe / "meta", ec)) {
+      return probe;
+    }
+    if (probe == probe.parent_path()) break;
+    probe = probe.parent_path();
+  }
+  return dir;
+}
+
+}  // namespace
+
 Experiment read_experiment_file(const std::string& path, StorageKind storage,
-                                const MetadataResolver& resolver) {
+                                const MetadataResolver& resolver,
+                                const SeverityResolver& sev_resolver) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open file '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string data = buffer.str();
-  // Files written by the repository reference their metadata blob; resolve
-  // against the sibling meta/ directory unless the caller supplied a
-  // resolver of their own.
+  // Files written by the repository reference their metadata (and, for
+  // columnar envelopes, severity) blobs; resolve against the enclosing
+  // repository's blob directories unless the caller supplied resolvers.
+  std::filesystem::path root;
+  if (!resolver || !sev_resolver) root = repo_root_for(path);
   const MetadataResolver effective =
-      resolver ? resolver
-               : directory_resolver(
-                     std::filesystem::path(path).parent_path());
+      resolver ? resolver : directory_resolver(root);
+  const SeverityResolver effective_sev =
+      sev_resolver ? sev_resolver : directory_severity_resolver(root);
   if (data.size() >= 8 && (data.compare(0, 8, "CUBEBIN1") == 0 ||
                            data.compare(0, 8, "CUBEBIN2") == 0)) {
     return read_cube_binary(data, storage, effective);
   }
-  return read_cube_xml(data, storage, effective);
+  return read_cube_xml(data, storage, effective, effective_sev);
 }
 
 }  // namespace cube

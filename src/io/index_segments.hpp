@@ -1,0 +1,172 @@
+// Segmented, append-friendly repository index (the sharded layout's
+// replacement for the monolithic rewritten index.xml).
+//
+// On disk, under <repository>/index/:
+//
+//   MANIFEST          the segment list, one name per line after a header
+//                     line; rewritten atomically (temp + rename) only when
+//                     the list changes (seal, compaction).  Its presence
+//                     marks a sharded-layout repository.
+//   seg-NNNNNN.log    record logs.  All but the last listed segment are
+//                     sealed; the last is ACTIVE and append-only.
+//
+// Each record is length-prefixed and checksummed:
+//
+//   R <payload-bytes> <fnv1a-hex>\n
+//   <payload>\n
+//
+// where <payload> is a one-element XML fragment: an <entry .../> (store)
+// or <remove id="..."/> (tombstone).  Replaying the segments in manifest
+// order reproduces the entry list; a store() is ONE record append instead
+// of an O(repo) index rewrite.
+//
+// Crash safety, extending the atomic-rename discipline of the legacy
+// index: appends are single buffered writes, so a crash leaves at most a
+// torn final frame, which the checksummed framing detects — readers stop
+// at the tear and lose only the unfinished record; the next append by a
+// (re)opened writer truncates the tear first.  Seals and compactions
+// commit through the MANIFEST rename: segments not (yet) listed are
+// simply never read, so a crash at any intermediate step is lossless
+// (cube_lint reports the leftovers as orphan/stale segments).
+//
+// Readers refresh cheaply: an unchanged MANIFEST means only the active
+// segment can have grown, so refresh() stats one file and parses only the
+// appended tail — the generation-aware counterpart of the legacy
+// whole-index digest compare.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/repo_entry.hpp"
+
+namespace cube {
+
+/// Manages the index/ directory of one repository.  Not thread-safe: the
+/// owning ExperimentRepository serializes access through its own lock.
+class SegmentedIndex {
+ public:
+  static constexpr const char* kIndexDirName = "index";
+  static constexpr const char* kManifestName = "MANIFEST";
+  /// Active segment is sealed (and a fresh one started) past this many
+  /// records, bounding the tail a refresh() may have to re-parse.
+  static constexpr std::uint64_t kSealRecords = 1024;
+  /// compact() is worthwhile once this many dead records accumulated and
+  /// they outnumber the live entries.
+  static constexpr std::uint64_t kCompactMinDead = 64;
+
+  /// True if `repo_dir` holds a segmented index (the sharded layout
+  /// marker).
+  [[nodiscard]] static bool present(const std::filesystem::path& repo_dir);
+
+  /// Binds to <repo_dir>/index without touching the disk; call create()
+  /// or load() next.
+  explicit SegmentedIndex(std::filesystem::path repo_dir);
+
+  /// Initializes an empty index: the directory, one empty active
+  /// segment, and the MANIFEST.  Fails if a MANIFEST already exists.
+  void create();
+
+  /// Full replay: reads the MANIFEST and every listed segment, rebuilding
+  /// `entries` (cleared first) in store order.  Torn final frames are
+  /// tolerated (see header comment).  Throws IoError/ParseError on a
+  /// missing or corrupt manifest/segment.
+  void load(std::vector<RepoEntry>& entries);
+
+  /// Picks up changes written by another process: a changed MANIFEST
+  /// triggers a full reload; an unchanged one re-parses only the active
+  /// segment's appended tail.  Returns true if `entries` changed.
+  bool refresh(std::vector<RepoEntry>& entries);
+
+  /// Appends one store record to the active segment, sealing it first if
+  /// full.  The caller updates its entry list itself.
+  void append(const RepoEntry& entry);
+
+  /// Appends one tombstone record.
+  void append_remove(const std::string& id);
+
+  /// Rewrites the index as [one compacted segment holding `live`, one
+  /// fresh active segment], committing via the MANIFEST rename, then
+  /// deletes the superseded segments (best effort).  Returns the number
+  /// of segment files superseded.
+  std::size_t compact(const std::vector<RepoEntry>& live);
+
+  /// True when enough tombstone/overwrite waste accumulated that
+  /// compact() is worthwhile (`live_count` = current entry count).
+  [[nodiscard]] bool should_compact(std::size_t live_count) const noexcept;
+
+  /// Records replayed minus records still live — the compaction debt.
+  [[nodiscard]] std::uint64_t dead_records(std::size_t live_count)
+      const noexcept {
+    return records_total_ > live_count ? records_total_ - live_count : 0;
+  }
+
+  [[nodiscard]] std::filesystem::path index_dir() const {
+    return repo_dir_ / kIndexDirName;
+  }
+
+  /// The MANIFEST's segment list as of the last load/refresh/mutation.
+  [[nodiscard]] const std::vector<std::string>& segment_names()
+      const noexcept {
+    return names_;
+  }
+
+  /// Segment-shaped files in index/ the MANIFEST does not list.
+  /// `orphans`: numbered after the last listed segment — typically an
+  /// interrupted compaction's output that never committed.  `stale`:
+  /// numbered at or before the last listed segment, plus *.tmp leftovers
+  /// — superseded files an interrupted compaction did not delete.  Names
+  /// are relative to the repository root.
+  struct StraySegments {
+    std::vector<std::string> orphans;
+    std::vector<std::string> stale;
+  };
+  [[nodiscard]] StraySegments stray_segments() const;
+
+  /// Deletes every stray segment file; returns how many were removed.
+  std::size_t remove_stray_segments();
+
+ private:
+  struct SegmentState {
+    std::string name;
+    std::uint64_t parsed_bytes = 0;  ///< valid record prefix last seen
+    std::uint64_t records = 0;       ///< records in that prefix
+    bool torn_tail = false;  ///< bytes past parsed_bytes are garbage
+  };
+
+  [[nodiscard]] std::filesystem::path segment_path(
+      const std::string& name) const {
+    return index_dir() / name;
+  }
+  [[nodiscard]] std::string next_segment_name() const;
+  void write_manifest(const std::vector<std::string>& names);
+  void read_manifest();
+  /// Parses records in `data` starting at `offset`, applying them to
+  /// `entries`; returns the valid byte prefix and record count applied.
+  struct ParseResult {
+    std::uint64_t valid_bytes = 0;
+    std::uint64_t records = 0;
+  };
+  ParseResult parse_records(std::string_view data, std::uint64_t offset,
+                            const std::string& name,
+                            std::vector<RepoEntry>& entries);
+  void apply_record(std::string_view payload, const std::string& name,
+                    std::vector<RepoEntry>& entries);
+  /// Seals the active segment and starts a fresh one (MANIFEST rewrite).
+  void seal_active();
+  void append_frame(std::string_view payload);
+
+  std::filesystem::path repo_dir_;
+  std::vector<std::string> names_;      ///< manifest order
+  std::vector<SegmentState> segments_;  ///< parallel to names_
+  std::uint64_t manifest_digest_ = 0;   ///< fnv1a of MANIFEST bytes held
+  std::uint64_t records_total_ = 0;     ///< records applied since load()
+};
+
+/// Renders / parses one record payload (exposed for tests and lint).
+[[nodiscard]] std::string render_entry_record(const RepoEntry& entry);
+[[nodiscard]] std::string render_remove_record(const std::string& id);
+
+}  // namespace cube

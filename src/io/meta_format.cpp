@@ -108,8 +108,15 @@ MetadataResolver directory_resolver(std::filesystem::path directory,
     if (interner != nullptr) {
       if (auto live = interner->lookup(digest)) return live;
     }
-    auto md = read_cube_meta_file(
-        (directory / "meta" / meta_blob_name(digest)).string());
+    // Sharded layout first (meta/<ab>/<digest>.meta), flat as fallback.
+    const std::string name = meta_blob_name(digest);
+    std::error_code ec;
+    std::filesystem::path path =
+        directory / "meta" / name.substr(0, 2) / name;
+    if (!std::filesystem::exists(path, ec)) {
+      path = directory / "meta" / name;
+    }
+    auto md = read_cube_meta_file(path.string());
     if (md->digest() != digest) {
       // read_cube_meta verified content against the blob's own record; this
       // guards against a blob filed under the wrong name.

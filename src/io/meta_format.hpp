@@ -29,8 +29,10 @@ namespace cube {
 using MetadataResolver =
     std::function<std::shared_ptr<const Metadata>(std::uint64_t digest)>;
 
-/// Resolver over the repository blob layout: reads `meta/<digest>.meta`
-/// under `directory`.  With `interner`, repeated digests return the SAME
+/// Resolver over the repository blob layout: reads the blob under
+/// `directory` at `meta/<ab>/<digest>.meta` (the sharded layout, <ab> =
+/// first two digest hex digits) or `meta/<digest>.meta` (legacy flat
+/// layout).  With `interner`, repeated digests return the SAME
 /// instance (pointer-equal), which is what makes a loaded run series share
 /// its metadata in memory.  The interner must outlive the resolver.
 [[nodiscard]] MetadataResolver directory_resolver(

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/digest.hpp"
 #include "common/error.hpp"
@@ -19,6 +20,8 @@ namespace {
 
 constexpr const char* kIndexFile = "index.xml";
 constexpr const char* kMetaDir = "meta";
+constexpr const char* kSevDir = "sev";
+constexpr const char* kExpDir = "exp";
 
 obs::Counter& loads_counter() {
   static obs::Counter& c =
@@ -55,9 +58,76 @@ std::string sanitize(const std::string& name) {
   return out;
 }
 
+/// Two-hex-digit shard directory name for a blob file name ("<016x>.ext")
+/// or bare hex digest: its first two characters.
+std::string shard_of(const std::string& hex_name) {
+  return hex_name.substr(0, 2);
+}
+
+/// Shard directory for an experiment id: first two hex digits of the id's
+/// FNV-1a digest (ids themselves are not hex, so they are hashed first).
+std::string id_shard(const std::string& id) {
+  return digest_hex(fnv1a(id)).substr(0, 2);
+}
+
+const char* extension_for(RepoFormat format) {
+  switch (format) {
+    case RepoFormat::Binary:
+      return ".cubx";
+    case RepoFormat::Columnar:
+      return ".cubc";
+    case RepoFormat::Xml:
+      break;
+  }
+  return ".cube";
+}
+
+void ensure_parent_dir(const std::filesystem::path& file) {
+  const std::filesystem::path dir = file.parent_path();
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cannot create directory '" + dir.string() +
+                  "': " + ec.message());
+  }
+}
+
+/// Atomically places `bytes` at `target` (write temp + rename), creating
+/// parent directories.  No-op if the target already exists (blobs are
+/// immutable and content-addressed).
+void place_blob(const std::filesystem::path& target,
+                const std::string& bytes) {
+  if (std::filesystem::exists(target)) return;
+  ensure_parent_dir(target);
+  const std::filesystem::path temp = target.string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      throw IoError("cannot write blob '" + temp.string() + "'");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code cleanup;
+      std::filesystem::remove(temp, cleanup);
+      throw IoError("blob write failed for '" + target.string() + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, target, ec);
+  if (ec) {
+    std::error_code cleanup;
+    std::filesystem::remove(temp, cleanup);
+    throw IoError("cannot place blob '" + target.string() +
+                  "': " + ec.message());
+  }
+}
+
 }  // namespace
 
-ExperimentRepository::ExperimentRepository(std::filesystem::path directory)
+ExperimentRepository::ExperimentRepository(std::filesystem::path directory,
+                                           RepoLayout layout)
     : directory_(std::move(directory)) {
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
@@ -65,11 +135,23 @@ ExperimentRepository::ExperimentRepository(std::filesystem::path directory)
     throw IoError("cannot create repository directory '" +
                   directory_.string() + "': " + ec.message());
   }
-  if (std::filesystem::exists(directory_ / kIndexFile)) {
+  if (SegmentedIndex::present(directory_)) {
+    layout_ = RepoLayout::Sharded;
+    index_ = std::make_unique<SegmentedIndex>(directory_);
+    index_->load(entries_);
+  } else if (std::filesystem::exists(directory_ / kIndexFile)) {
+    layout_ = RepoLayout::Legacy;
     read_index();
-  } else {
+  } else if (layout == RepoLayout::Legacy) {
+    layout_ = RepoLayout::Legacy;
     write_index();
+  } else {
+    layout_ = RepoLayout::Sharded;
+    index_ = std::make_unique<SegmentedIndex>(directory_);
+    index_->create();
   }
+  rebuild_ids();
+  entries_gauge().set(static_cast<double>(entries_.size()));
 }
 
 void ExperimentRepository::read_index() {
@@ -90,10 +172,9 @@ void ExperimentRepository::read_index() {
     RepoEntry entry;
     entry.id = std::string(node->required_attr("id"));
     entry.file = std::string(node->required_attr("file"));
-    entry.format = node->attr("format").value_or("xml") == "binary"
-                       ? RepoFormat::Binary
-                       : RepoFormat::Xml;
+    entry.format = parse_repo_format(node->attr("format").value_or("xml"));
     entry.meta = std::string(node->attr("meta").value_or(""));
+    entry.sev = std::string(node->attr("sev").value_or(""));
     for (const XmlNode* attr : node->children_named("attr")) {
       entry.attributes[std::string(attr->required_attr("key"))] =
           std::string(attr->required_attr("value"));
@@ -121,10 +202,9 @@ void ExperimentRepository::write_index() const {
       w.open_element("entry");
       w.attribute("id", entry.id);
       w.attribute("file", entry.file);
-      w.attribute("format", entry.format == RepoFormat::Binary
-                                ? std::string_view("binary")
-                                : std::string_view("xml"));
+      w.attribute("format", repo_format_name(entry.format));
       if (!entry.meta.empty()) w.attribute("meta", entry.meta);
+      if (!entry.sev.empty()) w.attribute("sev", entry.sev);
       for (const auto& [key, value] : entry.attributes) {
         w.open_element("attr");
         w.attribute("key", key);
@@ -161,17 +241,25 @@ void ExperimentRepository::write_index() const {
   index_digest_ = fnv1a(bytes);
 }
 
+void ExperimentRepository::rebuild_ids() {
+  ids_.clear();
+  ids_.reserve(entries_.size());
+  for (const RepoEntry& e : entries_) ids_.insert(e.id);
+}
+
+void ExperimentRepository::index_store(const RepoEntry& entry) {
+  if (index_) {
+    index_->append(entry);
+  } else {
+    write_index();
+  }
+}
+
 std::string ExperimentRepository::unique_id(const std::string& base) const {
-  const auto taken = [this](const std::string& candidate) {
-    for (const RepoEntry& e : entries_) {
-      if (e.id == candidate) return true;
-    }
-    return false;
-  };
-  if (!taken(base)) return base;
+  if (!ids_.count(base)) return base;
   for (std::size_t k = 2;; ++k) {
     const std::string candidate = base + "-" + std::to_string(k);
-    if (!taken(candidate)) return candidate;
+    if (!ids_.count(candidate)) return candidate;
   }
 }
 
@@ -179,29 +267,46 @@ MetadataResolver ExperimentRepository::resolver() const {
   return directory_resolver(directory_, &interner_);
 }
 
+SeverityResolver ExperimentRepository::sev_resolver() const {
+  return directory_severity_resolver(directory_);
+}
+
+std::filesystem::path ExperimentRepository::find_meta_blob(
+    const std::string& hex) const {
+  const std::string name = hex + ".meta";
+  const std::filesystem::path sharded =
+      directory_ / kMetaDir / shard_of(name) / name;
+  const std::filesystem::path flat = directory_ / kMetaDir / name;
+  if (std::filesystem::exists(sharded)) return sharded;
+  if (std::filesystem::exists(flat)) return flat;
+  return layout_ == RepoLayout::Sharded ? sharded : flat;
+}
+
+std::filesystem::path ExperimentRepository::find_sev_blob(
+    const std::string& hex) const {
+  const std::string name = hex + ".sev";
+  const std::filesystem::path sharded =
+      directory_ / kSevDir / shard_of(name) / name;
+  const std::filesystem::path flat = directory_ / kSevDir / name;
+  if (std::filesystem::exists(flat) && !std::filesystem::exists(sharded)) {
+    return flat;
+  }
+  return sharded;
+}
+
 std::string ExperimentRepository::ensure_blob(const Metadata& metadata) const {
   const std::string hex = digest_hex(metadata.digest());
-  const std::filesystem::path dir = directory_ / kMetaDir;
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    throw IoError("cannot create metadata directory '" + dir.string() +
-                  "': " + ec.message());
-  }
-  const std::filesystem::path blob = dir / meta_blob_name(metadata.digest());
-  if (!std::filesystem::exists(blob)) {
-    // Blobs are immutable once written; write-then-rename so a crash never
-    // leaves a torn blob under its final content-addressed name.
-    const std::filesystem::path temp = blob.string() + ".tmp";
-    write_cube_meta_file(metadata, temp.string());
-    std::filesystem::rename(temp, blob, ec);
-    if (ec) {
-      std::error_code cleanup;
-      std::filesystem::remove(temp, cleanup);
-      throw IoError("cannot place metadata blob '" + blob.string() +
-                    "': " + ec.message());
-    }
-  }
+  place_blob(find_meta_blob(hex), to_cube_meta(metadata));
+  return hex;
+}
+
+std::string ExperimentRepository::ensure_sev_blob(
+    const SeverityStore& severity) const {
+  const std::string bytes = to_cube_sev(severity);
+  const std::string hex = digest_hex(fnv1a(bytes));
+  // Severity blobs are new with the sharded layout, so they shard
+  // regardless of how the rest of the repository is laid out.
+  place_blob(directory_ / kSevDir / shard_of(hex) / (hex + ".sev"), bytes);
   return hex;
 }
 
@@ -212,11 +317,23 @@ bool ExperimentRepository::blob_referenced(const std::string& hex) const {
   return false;
 }
 
+bool ExperimentRepository::sev_referenced(const std::string& hex) const {
+  for (const RepoEntry& e : entries_) {
+    if (e.sev == hex) return true;
+  }
+  return false;
+}
+
 void ExperimentRepository::write_experiment_file(const Experiment& experiment,
                                                  const RepoEntry& entry) const {
   const std::filesystem::path path = directory_ / entry.file;
+  ensure_parent_dir(path);
   if (entry.format == RepoFormat::Binary) {
     write_cube_binary_ref_file(experiment, path.string());
+  } else if (entry.format == RepoFormat::Columnar) {
+    const std::uint64_t sev_digest =
+        std::stoull(entry.sev, nullptr, 16);
+    write_cube_xml_sev_ref_file(experiment, sev_digest, path.string());
   } else {
     write_cube_xml_ref_file(experiment, path.string());
   }
@@ -230,16 +347,28 @@ std::string ExperimentRepository::store(const Experiment& experiment,
       experiment.name().empty() ? "experiment" : experiment.name()));
   RepoEntry entry;
   entry.id = id;
-  entry.file = id + (format == RepoFormat::Binary ? ".cubx" : ".cube");
+  const std::string file_name = id + extension_for(format);
+  entry.file =
+      layout_ == RepoLayout::Sharded
+          ? (std::filesystem::path(kExpDir) / id_shard(id) / file_name)
+                .generic_string()
+          : file_name;
   entry.format = format;
+  // Crash ordering: blobs first, then the experiment file, then the index
+  // record — at every intermediate point the index only references
+  // complete files, and leftovers are mere orphan blobs.
   entry.meta = ensure_blob(experiment.metadata());
+  if (format == RepoFormat::Columnar) {
+    entry.sev = ensure_sev_blob(experiment.severity());
+  }
   entry.attributes =
       std::map<std::string, std::string>(experiment.attributes().begin(),
                                          experiment.attributes().end());
 
   write_experiment_file(experiment, entry);
   entries_.push_back(std::move(entry));
-  write_index();
+  ids_.insert(id);
+  index_store(entries_.back());
   generation_.fetch_add(1, std::memory_order_release);
   // Future loads of this digest should share the instance just stored.
   (void)interner_.intern(experiment.metadata_ptr());
@@ -277,22 +406,32 @@ Experiment ExperimentRepository::load_path(const std::filesystem::path& path,
   Experiment experiment =
       format == RepoFormat::Binary
           ? read_cube_binary_file(path.string(), storage, resolver())
-          : read_cube_xml_file(path.string(), storage, resolver());
+          : read_cube_xml_file(path.string(), storage, resolver(),
+                               sev_resolver());
   if (validator_) validator_(experiment, path.string());
   return experiment;
 }
 
 bool ExperimentRepository::refresh() {
   std::unique_lock lock(mutex_);
-  std::uint64_t on_disk = 0;
-  try {
-    on_disk = digest_file(directory_ / kIndexFile);
-  } catch (const Error&) {
-    throw IoError("cannot re-read repository index in '" +
-                  directory_.string() + "'");
+  bool changed = false;
+  if (index_) {
+    changed = index_->refresh(entries_);
+  } else {
+    std::uint64_t on_disk = 0;
+    try {
+      on_disk = digest_file(directory_ / kIndexFile);
+    } catch (const Error&) {
+      throw IoError("cannot re-read repository index in '" +
+                    directory_.string() + "'");
+    }
+    if (on_disk != index_digest_) {
+      read_index();
+      changed = true;
+    }
   }
-  if (on_disk == index_digest_) return false;
-  read_index();
+  if (!changed) return false;
+  rebuild_ids();
   generation_.fetch_add(1, std::memory_order_release);
   entries_gauge().set(static_cast<double>(entries_.size()));
   return true;
@@ -305,7 +444,10 @@ std::vector<RepoEntry> ExperimentRepository::entries_snapshot() const {
 
 std::size_t ExperimentRepository::migrate() {
   std::unique_lock lock(mutex_);
-  std::size_t rewritten = 0;
+  std::size_t changed = 0;
+  // Phase 1: rewrite legacy entries (metadata inline in the experiment
+  // file) to the blob-backed form.  The file keeps its location; only its
+  // content and index record change.
   for (RepoEntry& entry : entries_) {
     if (!entry.meta.empty()) continue;
     const std::filesystem::path path = directory_ / entry.file;
@@ -313,13 +455,71 @@ std::size_t ExperimentRepository::migrate() {
     entry.meta = ensure_blob(experiment.metadata());
     write_experiment_file(experiment, entry);
     (void)interner_.intern(experiment.metadata_ptr());
-    ++rewritten;
+    if (index_) index_->append(entry);
+    ++changed;
   }
-  if (rewritten > 0) {
+  // Phase 2: convert a legacy single-index repository to the sharded
+  // layout — blobs into prefix shards, experiment files under exp/<ab>/,
+  // index.xml replaced by the segmented index.  Each step moves complete
+  // files; the layout switch commits with the MANIFEST write, after which
+  // index.xml is deleted.
+  if (layout_ == RepoLayout::Legacy) {
+    std::error_code ec;
+    const std::filesystem::path meta_dir = directory_ / kMetaDir;
+    if (std::filesystem::is_directory(meta_dir, ec)) {
+      for (const auto& file :
+           std::filesystem::directory_iterator(meta_dir, ec)) {
+        if (!file.is_regular_file()) continue;
+        const std::filesystem::path& p = file.path();
+        if (p.extension() != ".meta") continue;
+        const std::filesystem::path target =
+            meta_dir / shard_of(p.filename().string()) / p.filename();
+        ensure_parent_dir(target);
+        std::error_code mv;
+        std::filesystem::rename(p, target, mv);
+        if (mv) {
+          throw IoError("cannot shard metadata blob '" + p.string() +
+                        "': " + mv.message());
+        }
+      }
+    }
+    for (RepoEntry& entry : entries_) {
+      const std::string file_name =
+          std::filesystem::path(entry.file).filename().string();
+      const std::string target_rel =
+          (std::filesystem::path(kExpDir) / id_shard(entry.id) / file_name)
+              .generic_string();
+      if (entry.file == target_rel) continue;
+      const std::filesystem::path target = directory_ / target_rel;
+      ensure_parent_dir(target);
+      std::error_code mv;
+      std::filesystem::rename(directory_ / entry.file, target, mv);
+      if (mv) {
+        throw IoError("cannot relocate experiment file '" + entry.file +
+                      "': " + mv.message());
+      }
+      entry.file = target_rel;
+      ++changed;
+    }
+    index_ = std::make_unique<SegmentedIndex>(directory_);
+    index_->create();
+    for (const RepoEntry& entry : entries_) index_->append(entry);
+    layout_ = RepoLayout::Sharded;
+    std::filesystem::remove(directory_ / kIndexFile, ec);
+    std::filesystem::remove(
+        directory_ / (std::string(kIndexFile) + ".tmp"), ec);
+  } else if (changed > 0 && !index_) {
     write_index();
+  }
+  // Phase 3: sweep the debris an interrupted seal or compaction may have
+  // left in index/ — uncommitted (orphan) and superseded (stale) segment
+  // files plus *.tmp leftovers.  The MANIFEST commit already made them
+  // unreachable, so deleting them is the whole recovery.
+  if (index_) changed += index_->remove_stray_segments();
+  if (changed > 0) {
     generation_.fetch_add(1, std::memory_order_release);
   }
-  return rewritten;
+  return changed;
 }
 
 void ExperimentRepository::remove(const std::string& id) {
@@ -329,13 +529,22 @@ void ExperimentRepository::remove(const std::string& id) {
       std::error_code ec;
       std::filesystem::remove(directory_ / it->file, ec);
       const std::string meta = it->meta;
+      const std::string sev = it->sev;
       entries_.erase(it);
+      ids_.erase(id);
       if (!meta.empty() && !blob_referenced(meta)) {
-        std::filesystem::remove(
-            directory_ / kMetaDir / (meta + ".meta"), ec);
+        std::filesystem::remove(find_meta_blob(meta), ec);
       }
-      write_index();
+      if (!sev.empty() && !sev_referenced(sev)) {
+        std::filesystem::remove(find_sev_blob(sev), ec);
+      }
+      if (index_) {
+        index_->append_remove(id);
+      } else {
+        write_index();
+      }
       generation_.fetch_add(1, std::memory_order_release);
+      entries_gauge().set(static_cast<double>(entries_.size()));
       return;
     }
   }
@@ -345,17 +554,26 @@ void ExperimentRepository::remove(const std::string& id) {
 std::vector<std::string> ExperimentRepository::orphan_blobs() const {
   std::shared_lock lock(mutex_);
   std::vector<std::string> orphans;
-  const std::filesystem::path dir = directory_ / kMetaDir;
-  std::error_code ec;
-  if (!std::filesystem::is_directory(dir, ec)) return orphans;
-  for (const auto& file : std::filesystem::directory_iterator(dir, ec)) {
-    const std::filesystem::path& p = file.path();
-    if (p.extension() != ".meta") continue;
-    if (!blob_referenced(p.stem().string())) {
-      orphans.push_back((std::filesystem::path(kMetaDir) /
-                         p.filename()).string());
+  const auto scan = [&](const char* dir_name, const char* extension,
+                        const auto& referenced) {
+    const std::filesystem::path dir = directory_ / dir_name;
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec)) return;
+    // Recursive: blobs live flat (legacy) or one shard level down.
+    for (const auto& file :
+         std::filesystem::recursive_directory_iterator(dir, ec)) {
+      if (!file.is_regular_file()) continue;
+      const std::filesystem::path& p = file.path();
+      if (p.extension() != extension) continue;
+      if (!referenced(p.stem().string())) {
+        orphans.push_back(p.lexically_relative(directory_).generic_string());
+      }
     }
-  }
+  };
+  scan(kMetaDir, ".meta",
+       [this](const std::string& hex) { return blob_referenced(hex); });
+  scan(kSevDir, ".sev",
+       [this](const std::string& hex) { return sev_referenced(hex); });
   return orphans;
 }
 
@@ -366,6 +584,24 @@ std::size_t ExperimentRepository::remove_orphan_blobs() {
     if (std::filesystem::remove(directory_ / rel, ec) && !ec) ++removed;
   }
   return removed;
+}
+
+std::size_t ExperimentRepository::compact_if_needed() {
+  std::unique_lock lock(mutex_);
+  if (!index_ || !index_->should_compact(entries_.size())) return 0;
+  return index_->compact(entries_);
+}
+
+std::size_t ExperimentRepository::compact() {
+  std::unique_lock lock(mutex_);
+  if (!index_) return 0;
+  return index_->compact(entries_);
+}
+
+std::size_t ExperimentRepository::remove_stray_segments() {
+  std::unique_lock lock(mutex_);
+  if (!index_) return 0;
+  return index_->remove_stray_segments();
 }
 
 std::vector<RepoEntry> ExperimentRepository::query(

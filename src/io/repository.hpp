@@ -1,4 +1,4 @@
-// Experiment repository: a small file-backed store of CUBE experiments.
+// Experiment repository: a file-backed store of CUBE experiments.
 //
 // The paper (§6): "implementing the CUBE algebra on top of a database
 // management system in addition to a pure XML file representation would be
@@ -9,18 +9,30 @@
 // database-management system."
 //
 // This module takes the middle road the paper hints at: a directory of
-// CUBE files plus an XML index of their attributes, giving store / load /
+// CUBE files plus an index of their attributes, giving store / load /
 // list / query-by-attribute over whole experiments — enough to manage the
 // run series that mean/stddev/merge consume — without any DBMS.
 //
 // Metadata is content-addressed: store() writes each distinct metadata
-// once as a blob under meta/<digest>.meta and the experiment files
-// reference it by digest (FORMAT.md, "Metadata by reference").  Storing a
-// 32-run series therefore writes the metadata once, and loading the
-// series parses it once — every loaded experiment shares one in-memory
-// instance through the repository's interner.  Pre-refactor repositories
-// (inline metadata, no meta/ directory) load unchanged; migrate() rewrites
-// them to the blob layout in place.
+// once as a blob and the experiment files reference it by digest
+// (FORMAT.md, "Metadata by reference").  Storing a 32-run series
+// therefore writes the metadata once, and loading the series parses it
+// once — every loaded experiment shares one in-memory instance through
+// the repository's interner.  Columnar entries (RepoFormat::Columnar)
+// additionally content-address their severity as a CUBESEV1 blob, which
+// loads mmap instead of parse — the out-of-core form.
+//
+// TWO ON-DISK LAYOUTS coexist (docs/STORAGE.md):
+//
+//  * Legacy: one index.xml rewritten atomically on every mutation; blobs
+//    flat under meta/; experiment files at the root.  O(repo) per store.
+//  * Sharded: a segmented append-only index under index/ (one record
+//    append per store — see index_segments.hpp), blobs sharded by digest
+//    prefix (meta/<ab>/, sev/<ab>/), experiment files sharded by id
+//    digest (exp/<ab>/).  O(1) per store, compaction in the background.
+//
+// Existing legacy repositories open unchanged; fresh directories
+// initialize sharded; migrate() upgrades legacy to sharded in place.
 #pragma once
 
 #include <atomic>
@@ -28,17 +40,19 @@
 #include <filesystem>
 #include <functional>
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "io/index_segments.hpp"
 #include "io/meta_format.hpp"
+#include "io/repo_entry.hpp"
+#include "io/severity_format.hpp"
 #include "model/experiment.hpp"
 
 namespace cube {
-
-/// On-disk encoding of a stored experiment.
-enum class RepoFormat { Xml, Binary };
 
 /// Validation hook run over every experiment a repository loads; `context`
 /// names the data source (the file path).  Throwing aborts the load.  The
@@ -46,55 +60,53 @@ enum class RepoFormat { Xml, Binary };
 using LoadValidator =
     std::function<void(const Experiment&, const std::string&)>;
 
-/// One index entry.
-struct RepoEntry {
-  std::string id;        ///< unique within the repository
-  std::string file;      ///< file name relative to the repository root
-  RepoFormat format = RepoFormat::Xml;
-  /// Hex digest of the referenced metadata blob; empty for a legacy entry
-  /// whose file carries its metadata inline.
-  std::string meta;
-  /// The experiment's attributes at store time (name, kind, provenance,
-  /// plus anything the producing tool attached) — the queryable part.
-  std::map<std::string, std::string> attributes;
+/// Which on-disk layout a repository uses (see file comment).
+enum class RepoLayout {
+  Auto,     ///< open whatever exists; initialize fresh directories sharded
+  Legacy,   ///< initialize fresh directories with the single-index layout
+  Sharded,  ///< initialize fresh directories with the sharded layout
 };
 
-/// Directory-backed experiment store with an XML index.
-///
-/// The index (`index.xml`) is rewritten on every mutation via a temp file
-/// and an atomic rename, so a crash mid-store cannot corrupt it.
+/// Directory-backed experiment store.
 ///
 /// CONCURRENCY.  One ExperimentRepository instance is safe to share
-/// between threads: mutations (store/remove/migrate/refresh) take an
-/// exclusive lock, readers (load/query/load_all/entries_snapshot) a
+/// between threads: mutations (store/remove/migrate/refresh/compact) take
+/// an exclusive lock, readers (load/query/load_all/entries_snapshot) a
 /// shared one, and the metadata interner synchronizes itself.  This is
 /// what lets the analysis daemon serve many sessions over one instance.
 /// ACROSS processes the index is append-coherent but not push-updated: a
-/// writer's atomic index rename is seen by other processes only when they
-/// call refresh(), which re-reads the index if its bytes changed (the
-/// daemon does this; a long-running CLI can too).  Two processes STORING
-/// concurrently into the same directory remain out of scope — last index
-/// rename wins.
+/// writer's changes are seen by other processes only when they call
+/// refresh() — which, under the sharded layout, stats one file and parses
+/// only the active segment's appended tail when the segment list is
+/// unchanged.  Two processes STORING concurrently into the same directory
+/// remain out of scope — last write wins.
 class ExperimentRepository {
  public:
   /// Opens (or initializes) a repository at `directory`; the directory is
-  /// created if absent.  Throws IoError/ParseError on a corrupt index.
-  explicit ExperimentRepository(std::filesystem::path directory);
+  /// created if absent.  An existing repository opens under whatever
+  /// layout it has regardless of `layout`; a fresh directory initializes
+  /// sharded unless RepoLayout::Legacy is requested.  Throws
+  /// IoError/ParseError on a corrupt index.
+  explicit ExperimentRepository(std::filesystem::path directory,
+                                RepoLayout layout = RepoLayout::Auto);
 
   /// Stores the experiment and returns its id (derived from the
   /// experiment's name, uniquified with a numeric suffix on collision).
-  /// The metadata blob is written only if its digest is new.
+  /// The metadata blob is written only if its digest is new; columnar
+  /// stores do the same for the severity blob.  Under the sharded layout
+  /// this is one record append — O(1) in repository size.
   std::string store(const Experiment& experiment,
                     RepoFormat format = RepoFormat::Xml);
 
   /// Loads an experiment by id; throws cube::Error if unknown.  Metadata
   /// of blob-backed entries is interned: experiments over the same digest
-  /// share one instance.
+  /// share one instance.  Columnar entries come back file-backed (their
+  /// severity pages are mmapped, not copied).
   [[nodiscard]] Experiment load(const std::string& id) const;
 
-  /// Loads an experiment file through this repository's blob resolver and
-  /// interner — for callers that resolved the path themselves (the query
-  /// engine's planner).  `path` need not be listed in the index.
+  /// Loads an experiment file through this repository's blob resolvers
+  /// and interner — for callers that resolved the path themselves (the
+  /// query engine's planner).  `path` need not be listed in the index.
   [[nodiscard]] Experiment load_path(
       const std::filesystem::path& path, RepoFormat format,
       StorageKind storage = StorageKind::Dense) const;
@@ -102,6 +114,10 @@ class ExperimentRepository {
   /// The digest -> metadata resolver over this repository's meta/
   /// directory, backed by its interner.  Valid while the repository lives.
   [[nodiscard]] MetadataResolver resolver() const;
+
+  /// The digest -> severity-store resolver over this repository's sev/
+  /// directory; blobs come back mmapped (file-backed stores).
+  [[nodiscard]] SeverityResolver sev_resolver() const;
 
   /// The metadata interner; exposed so other layers (query engine) can
   /// share instances with repository loads.
@@ -120,29 +136,46 @@ class ExperimentRepository {
     return validator_;
   }
 
-  /// Rewrites every legacy entry (inline metadata) to the blob-backed
-  /// layout in place; returns how many entries were rewritten.
+  /// Upgrades the repository in place: rewrites every legacy entry
+  /// (inline metadata) to the blob-backed layout, and converts a legacy
+  /// single-index repository to the sharded layout (blobs into prefix
+  /// shards, experiment files into exp/<ab>/, index.xml replaced by the
+  /// segmented index).  Returns how many entries were rewritten or
+  /// relocated.  Query results are bit-identical before and after.
   std::size_t migrate();
 
-  /// Removes an entry and its file; throws cube::Error if unknown.  If the
-  /// entry was the last referent of its metadata blob, the blob is deleted
-  /// too.
+  /// Removes an entry and its file; throws cube::Error if unknown.  Blobs
+  /// the entry was the last referent of are deleted too.
   void remove(const std::string& id);
 
-  /// Blob files under meta/ referenced by no index entry (e.g. left over
-  /// from a crash between blob write and index write).  Returned as file
-  /// names relative to the repository root.
+  /// Blob files (meta/ and sev/) referenced by no index entry (e.g. left
+  /// over from a crash between blob write and index append).  Returned as
+  /// file names relative to the repository root.
   [[nodiscard]] std::vector<std::string> orphan_blobs() const;
 
   /// Deletes all orphan blobs; returns how many were removed.
   std::size_t remove_orphan_blobs();
 
-  /// Re-reads the index from disk if its bytes changed since this
-  /// instance last read or wrote it — picking up entries appended by
-  /// ANOTHER process (a CLI storing into a repository a daemon serves).
-  /// Returns true (and bumps generation()) when the entry list was
-  /// reloaded, false when the on-disk index is the one already held.
-  /// Throws IoError/ParseError if the index became unreadable.
+  /// Merges the segmented index into one compacted segment if enough
+  /// tombstone/overwrite waste accumulated (the daemon's housekeeping
+  /// calls this).  Returns the number of segment files superseded; 0 when
+  /// compaction is not worthwhile or the layout is legacy.
+  std::size_t compact_if_needed();
+
+  /// Unconditional compact(); same return convention.
+  std::size_t compact();
+
+  /// Deletes segment files a crashed compaction left behind (those the
+  /// MANIFEST does not list).  Returns how many were removed; 0 under the
+  /// legacy layout.
+  std::size_t remove_stray_segments();
+
+  /// Picks up changes written by ANOTHER process (a CLI storing into a
+  /// repository a daemon serves).  Legacy: re-reads the index if its
+  /// bytes changed.  Sharded: re-reads only changed segments — an
+  /// unchanged segment list costs one stat.  Returns true (and bumps
+  /// generation()) when the entry list changed.  Throws
+  /// IoError/ParseError if the index became unreadable.
   bool refresh();
 
   /// Monotonic change counter: bumped by every store/remove/migrate and
@@ -176,26 +209,55 @@ class ExperimentRepository {
     return directory_;
   }
 
+  /// The layout this repository actually uses (never Auto).
+  [[nodiscard]] RepoLayout layout() const noexcept { return layout_; }
+
+  /// The segmented index, or nullptr under the legacy layout.  For
+  /// offline tooling (cube_lint); not guarded against concurrent
+  /// mutation.
+  [[nodiscard]] const SegmentedIndex* segmented_index() const noexcept {
+    return index_.get();
+  }
+
  private:
   void read_index();
   void write_index() const;
+  void rebuild_ids();
+  /// Records a mutated/added entry in the on-disk index (segment append
+  /// or legacy index rewrite).
+  void index_store(const RepoEntry& entry);
   [[nodiscard]] std::string unique_id(const std::string& base) const;
   /// Writes the blob for `metadata` if absent; returns its hex digest.
   std::string ensure_blob(const Metadata& metadata) const;
-  /// True if any entry references the blob digest `hex`.
+  /// Writes the CUBESEV1 blob for `severity` if absent; returns its hex
+  /// digest (of the blob bytes).
+  std::string ensure_sev_blob(const SeverityStore& severity) const;
+  /// True if any entry references the meta / sev blob digest `hex`.
   [[nodiscard]] bool blob_referenced(const std::string& hex) const;
+  [[nodiscard]] bool sev_referenced(const std::string& hex) const;
+  /// Existing on-disk location of a blob (sharded or flat), or the
+  /// layout's preferred location if absent.
+  [[nodiscard]] std::filesystem::path find_meta_blob(
+      const std::string& hex) const;
+  [[nodiscard]] std::filesystem::path find_sev_blob(
+      const std::string& hex) const;
   void write_experiment_file(const Experiment& experiment,
                              const RepoEntry& entry) const;
 
   std::filesystem::path directory_;
+  RepoLayout layout_ = RepoLayout::Legacy;
   std::vector<RepoEntry> entries_;
+  /// Ids in entries_, kept in lockstep — O(1) uniqueness instead of the
+  /// O(repo) scan that used to make store() quadratic over a session.
+  std::unordered_set<std::string> ids_;
+  std::unique_ptr<SegmentedIndex> index_;  ///< sharded layout only
   mutable MetadataInterner interner_;
   LoadValidator validator_;
-  /// Guards entries_ and index rewrites; see the class comment.
+  /// Guards entries_ and index writes; see the class comment.
   mutable std::shared_mutex mutex_;
   std::atomic<std::uint64_t> generation_{0};
-  /// FNV-1a of the index bytes this instance last read or wrote; refresh()
-  /// compares the on-disk index against it.
+  /// Legacy layout: FNV-1a of the index bytes this instance last read or
+  /// wrote; refresh() compares the on-disk index against it.
   mutable std::uint64_t index_digest_ = 0;
 };
 

@@ -1,0 +1,277 @@
+#include "io/severity_format.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/digest.hpp"
+#include "common/error.hpp"
+
+namespace cube {
+
+namespace {
+
+constexpr std::string_view kMagic = "CUBESEV1";
+constexpr std::uint64_t kKindDense = 0;
+constexpr std::uint64_t kKindSparse = 1;
+constexpr std::size_t kHeaderBytes = 56;
+
+[[nodiscard]] std::string_view bytes_of(const void* data, std::size_t n) {
+  return std::string_view(static_cast<const char*>(data), n);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  // Little-endian, like the CUBEBIN/CUBEMET codecs.
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out.write(buf, 8);
+}
+
+struct SparseColumns {
+  std::vector<std::uint64_t> keys;
+  std::vector<Severity> values;
+};
+
+[[nodiscard]] SparseColumns sparse_columns(const SparseSeverity& store) {
+  SparseColumns cols;
+  const auto cells = store.sorted_cells();
+  cols.keys.reserve(cells.size());
+  cols.values.reserve(cells.size());
+  for (const auto& [k, v] : cells) {
+    if (v == 0.0) continue;
+    cols.keys.push_back(k);
+    cols.values.push_back(v);
+  }
+  return cols;
+}
+
+struct Header {
+  std::uint64_t kind = 0;
+  std::uint64_t metrics = 0;
+  std::uint64_t cnodes = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t digest = 0;
+};
+
+[[nodiscard]] Header parse_header(std::string_view data,
+                                  const std::string& what) {
+  if (data.size() < kHeaderBytes || data.substr(0, kMagic.size()) != kMagic) {
+    throw Error(what + ": not a CUBESEV1 severity blob");
+  }
+  Header h;
+  const auto u64_at = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(data[off + i]);
+    }
+    return v;
+  };
+  h.kind = u64_at(8);
+  h.metrics = u64_at(16);
+  h.cnodes = u64_at(24);
+  h.threads = u64_at(32);
+  h.entries = u64_at(40);
+  h.digest = u64_at(48);
+  if (h.kind != kKindDense && h.kind != kKindSparse) {
+    throw Error(what + ": unknown severity blob kind " +
+                std::to_string(h.kind));
+  }
+  const std::uint64_t cells = h.metrics * h.cnodes * h.threads;
+  if (h.kind == kKindDense && h.entries != cells) {
+    throw Error(what + ": dense severity blob entry count " +
+                std::to_string(h.entries) + " does not match geometry (" +
+                std::to_string(cells) + " cells)");
+  }
+  if (h.kind == kKindSparse && h.entries > cells) {
+    throw Error(what + ": sparse severity blob has more entries than cells");
+  }
+  const std::size_t payload =
+      h.kind == kKindDense
+          ? static_cast<std::size_t>(h.entries) * sizeof(Severity)
+          : static_cast<std::size_t>(h.entries) *
+                (sizeof(std::uint64_t) + sizeof(Severity));
+  if (data.size() != kHeaderBytes + payload) {
+    throw Error(what + ": severity blob is " + std::to_string(data.size()) +
+                " bytes, header implies " +
+                std::to_string(kHeaderBytes + payload));
+  }
+  return h;
+}
+
+[[nodiscard]] std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+std::string sev_blob_name(std::uint64_t digest) {
+  return digest_hex(digest) + ".sev";
+}
+
+SeverityResolver directory_severity_resolver(std::filesystem::path directory,
+                                             bool map) {
+  return [dir = std::move(directory), map](
+             std::uint64_t digest,
+             StorageKind /*kind*/) -> std::unique_ptr<SeverityStore> {
+    const std::string name = sev_blob_name(digest);
+    std::error_code ec;
+    std::filesystem::path path = dir / "sev" / name.substr(0, 2) / name;
+    if (!std::filesystem::exists(path, ec)) {
+      path = dir / "sev" / name;
+      if (!std::filesystem::exists(path, ec)) return nullptr;
+    }
+    return map ? map_cube_sev_file(path) : read_cube_sev_file(path);
+  };
+}
+
+bool is_cube_sev(std::string_view data) noexcept {
+  return data.size() >= kMagic.size() &&
+         data.substr(0, kMagic.size()) == kMagic;
+}
+
+void write_cube_sev(const SeverityStore& store, std::ostream& out) {
+  const std::uint64_t kind =
+      store.kind() == StorageKind::Dense ? kKindDense : kKindSparse;
+  out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+  put_u64(out, kind);
+  put_u64(out, store.num_metrics());
+  put_u64(out, store.num_cnodes());
+  put_u64(out, store.num_threads());
+  if (kind == kKindDense) {
+    const auto& dense = static_cast<const DenseSeverity&>(store);
+    const auto cells = dense.cells();
+    put_u64(out, cells.size());
+    Fnv1a digest;
+    digest.update(bytes_of(cells.data(), cells.size() * sizeof(Severity)));
+    put_u64(out, digest.value());
+    out.write(reinterpret_cast<const char*>(cells.data()),
+              static_cast<std::streamsize>(cells.size() * sizeof(Severity)));
+  } else {
+    const auto& sparse = static_cast<const SparseSeverity&>(store);
+    const SparseColumns cols = sparse_columns(sparse);
+    put_u64(out, cols.keys.size());
+    Fnv1a digest;
+    digest.update(
+        bytes_of(cols.keys.data(), cols.keys.size() * sizeof(std::uint64_t)));
+    digest.update(
+        bytes_of(cols.values.data(), cols.values.size() * sizeof(Severity)));
+    put_u64(out, digest.value());
+    out.write(reinterpret_cast<const char*>(cols.keys.data()),
+              static_cast<std::streamsize>(cols.keys.size() *
+                                           sizeof(std::uint64_t)));
+    out.write(reinterpret_cast<const char*>(cols.values.data()),
+              static_cast<std::streamsize>(cols.values.size() *
+                                           sizeof(Severity)));
+  }
+  if (!out) {
+    throw Error("severity blob write failed");
+  }
+}
+
+std::string to_cube_sev(const SeverityStore& store) {
+  std::ostringstream out(std::ios::binary);
+  write_cube_sev(store, out);
+  return std::move(out).str();
+}
+
+std::unique_ptr<SeverityStore> read_cube_sev(std::string_view data) {
+  const Header h = parse_header(data, "severity blob");
+  const std::string_view payload = data.substr(kHeaderBytes);
+  if (fnv1a(payload) != h.digest) {
+    throw Error("severity blob payload digest mismatch (corrupt blob)");
+  }
+  if (h.kind == kKindDense) {
+    auto store = std::make_unique<DenseSeverity>(h.metrics, h.cnodes,
+                                                 h.threads);
+    auto cells = store->cells_mut(0, store->num_cells());
+    std::memcpy(cells.data(), payload.data(),
+                cells.size() * sizeof(Severity));
+    return store;
+  }
+  auto store =
+      std::make_unique<SparseSeverity>(h.metrics, h.cnodes, h.threads);
+  std::vector<std::pair<std::uint64_t, Severity>> entries(h.entries);
+  const char* keys = payload.data();
+  const char* values = keys + h.entries * sizeof(std::uint64_t);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < h.entries; ++i) {
+    std::uint64_t k = 0;
+    Severity v = 0.0;
+    std::memcpy(&k, keys + i * sizeof(std::uint64_t), sizeof(k));
+    std::memcpy(&v, values + i * sizeof(Severity), sizeof(v));
+    if (i > 0 && k <= prev) {
+      throw Error("severity blob sparse keys out of order");
+    }
+    prev = k;
+    entries[i] = {k, v};
+  }
+  store->set_cells(entries);
+  return store;
+}
+
+std::unique_ptr<SeverityStore> read_cube_sev_file(
+    const std::filesystem::path& path) {
+  try {
+    return read_cube_sev(read_file(path));
+  } catch (const Error& e) {
+    throw Error(path.string() + ": " + e.what());
+  }
+}
+
+std::unique_ptr<SeverityStore> map_cube_sev_file(
+    const std::filesystem::path& path) {
+  auto mapping = std::make_shared<MappedFile>(path);
+  const std::string_view data = bytes_of(mapping->data(), mapping->size());
+  const Header h = parse_header(data, path.string());
+  const std::byte* payload = mapping->data() + kHeaderBytes;
+  if (h.kind == kKindDense) {
+    const std::span<const Severity> cells(
+        reinterpret_cast<const Severity*>(payload),
+        static_cast<std::size_t>(h.entries));
+    return std::make_unique<DenseSeverity>(h.metrics, h.cnodes, h.threads,
+                                           cells, std::move(mapping));
+  }
+  const std::span<const std::uint64_t> keys(
+      reinterpret_cast<const std::uint64_t*>(payload),
+      static_cast<std::size_t>(h.entries));
+  const std::span<const Severity> values(
+      reinterpret_cast<const Severity*>(payload +
+                                        h.entries * sizeof(std::uint64_t)),
+      static_cast<std::size_t>(h.entries));
+  return std::make_unique<SparseSeverity>(h.metrics, h.cnodes, h.threads,
+                                          keys, values, std::move(mapping));
+}
+
+void check_cube_sev_file(const std::filesystem::path& path) {
+  const std::string data = read_file(path);
+  const Header h = parse_header(data, path.string());
+  const std::string_view payload =
+      std::string_view(data).substr(kHeaderBytes);
+  if (fnv1a(payload) != h.digest) {
+    throw Error(path.string() + ": severity blob payload digest mismatch");
+  }
+  if (h.kind == kKindSparse) {
+    const char* keys = payload.data();
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < h.entries; ++i) {
+      std::uint64_t k = 0;
+      std::memcpy(&k, keys + i * sizeof(std::uint64_t), sizeof(k));
+      if (i > 0 && k <= prev) {
+        throw Error(path.string() + ": severity blob sparse keys out of order");
+      }
+      prev = k;
+    }
+  }
+}
+
+}  // namespace cube

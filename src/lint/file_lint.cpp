@@ -39,6 +39,7 @@ std::optional<Experiment> lint_file(const std::filesystem::path& path,
                                     DiagnosticSink& sink,
                                     const Options& options,
                                     const MetadataResolver& resolver,
+                                    const SeverityResolver& sev_resolver,
                                     FileKind* kind_out) {
   if (kind_out != nullptr) *kind_out = FileKind::Unreadable;
 
@@ -72,7 +73,7 @@ std::optional<Experiment> lint_file(const std::filesystem::path& path,
   if (kind_out != nullptr) *kind_out = FileKind::Experiment;
   try {
     Experiment e = read_experiment_file(path.string(), StorageKind::Dense,
-                                        resolver);
+                                        resolver, sev_resolver);
     lint_experiment(e, sink, options);
     return e;
   } catch (const Error&) {

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "io/meta_format.hpp"
+#include "io/severity_format.hpp"
 #include "lint/lint.hpp"
 
 namespace cube::lint {
@@ -24,9 +25,10 @@ enum class FileKind { Experiment, MetadataBlob, Unreadable };
 /// `sink`; a loaded experiment (or blob) additionally runs through
 /// lint_experiment / lint_metadata.
 ///
-/// By-reference files resolve through `resolver` when given, else against
-/// the meta/ directory next to the file (the repository layout).  The
-/// caller owns the sink's subject; this function does not change it.
+/// By-reference files resolve through `resolver` / `sev_resolver` when
+/// given, else against the meta/ and sev/ directories of the enclosing
+/// repository (read_experiment_file's fallback).  The caller owns the
+/// sink's subject; this function does not change it.
 ///
 /// Returns the successfully loaded experiment (empty for blobs or on
 /// failure) so callers can chain further checks without re-reading.
@@ -34,6 +36,7 @@ std::optional<Experiment> lint_file(const std::filesystem::path& path,
                                     DiagnosticSink& sink,
                                     const Options& options = {},
                                     const MetadataResolver& resolver = {},
+                                    const SeverityResolver& sev_resolver = {},
                                     FileKind* kind_out = nullptr);
 
 }  // namespace cube::lint

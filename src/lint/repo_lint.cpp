@@ -8,8 +8,10 @@
 
 #include "common/digest.hpp"
 #include "common/error.hpp"
+#include "io/index_segments.hpp"
 #include "io/meta_format.hpp"
 #include "io/repository.hpp"
+#include "io/severity_format.hpp"
 #include "lint/file_lint.hpp"
 
 namespace cube::lint {
@@ -123,19 +125,55 @@ void lint_cache_entry(const ExperimentRepository& repo, const RepoEntry& entry,
   }
 }
 
-void lint_blobs(const ExperimentRepository& repo, DiagnosticSink& sink,
-                const Options& options) {
-  const std::filesystem::path meta_dir = repo.directory() / "meta";
+/// Collects every blob file under `dir` with the given extension, flat or
+/// one shard level down, in deterministic order.
+std::set<std::filesystem::path> collect_blobs(
+    const std::filesystem::path& dir, const std::string& extension) {
+  std::set<std::filesystem::path> blobs;
   std::error_code ec;
-  if (!std::filesystem::exists(meta_dir, ec)) return;
-  std::set<std::filesystem::path> blobs;  // deterministic report order
-  for (const auto& entry : std::filesystem::directory_iterator(meta_dir, ec)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".meta") {
+  if (!std::filesystem::exists(dir, ec)) return blobs;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == extension) {
       blobs.insert(entry.path());
     }
   }
-  for (const std::filesystem::path& blob : blobs) {
-    sink.set_subject("meta/" + blob.filename().string());
+  return blobs;
+}
+
+/// Relative display name of a blob ("meta/ab/<hex>.meta" or
+/// "meta/<hex>.meta").
+std::string blob_rel(const std::filesystem::path& root,
+                     const std::filesystem::path& blob) {
+  return blob.lexically_relative(root).generic_string();
+}
+
+/// Checks the blob's shard placement: a blob inside a shard directory
+/// whose name is not the first two hex digits of the blob name can never
+/// be found by a resolver.
+void lint_blob_placement(const std::filesystem::path& repo_root,
+                         const std::filesystem::path& blob,
+                         DiagnosticSink& sink) {
+  const std::string shard = blob.parent_path().filename().string();
+  const std::string name = blob.filename().string();
+  // Flat (legacy) placement: the parent is meta/ or sev/ itself.
+  if (shard == "meta" || shard == "sev") return;
+  if (name.size() >= 2 && shard == name.substr(0, 2)) return;
+  sink.error("repo.misfiled-blob", blob_rel(repo_root, blob),
+             "blob sits in shard directory '" + shard +
+                 "/' but its digest shards to '" + name.substr(0, 2) + "/'",
+             "resolvers look a digest up only in its own shard (and the "
+             "legacy flat location); this blob is unreachable — move it to "
+             "the right shard");
+}
+
+void lint_blobs(const ExperimentRepository& repo, DiagnosticSink& sink,
+                const Options& options) {
+  const std::filesystem::path root = repo.directory();
+  for (const std::filesystem::path& blob : collect_blobs(root / "meta",
+                                                         ".meta")) {
+    sink.set_subject(blob_rel(root, blob));
+    lint_blob_placement(root, blob, sink);
     try {
       auto md = read_cube_meta_file(blob.string());
       if (meta_blob_name(md->digest()) != blob.filename().string()) {
@@ -154,12 +192,56 @@ void lint_blobs(const ExperimentRepository& repo, DiagnosticSink& sink,
       sink.error("file.unreadable", "", e.what());
     }
   }
+  for (const std::filesystem::path& blob : collect_blobs(root / "sev",
+                                                         ".sev")) {
+    sink.set_subject(blob_rel(root, blob));
+    lint_blob_placement(root, blob, sink);
+    try {
+      check_cube_sev_file(blob);
+      // Severity blobs are content-addressed by the digest of the whole
+      // file; a name not matching the bytes is unreachable by resolvers.
+      const std::string expected = sev_blob_name(digest_file(blob));
+      if (expected != blob.filename().string()) {
+        sink.error("sev.misfiled-blob", "",
+                   "blob bytes hash to " + expected +
+                       ", not the digest its file name claims",
+                   "a resolver looking the severity up by its digest will "
+                   "never find it here");
+      }
+    } catch (const CheckError& e) {
+      sink.error(e.rule(), e.location(), e.detail());
+    } catch (const Error& e) {
+      sink.error("file.unreadable", "", e.what());
+    }
+  }
   for (const std::string& orphan : repo.orphan_blobs()) {
     sink.set_subject({});
     sink.warning("repo.orphan-blob", orphan,
-                 "metadata blob is referenced by no index entry",
+                 "blob is referenced by no index entry",
                  "likely left over from a crash between blob write and "
                  "index write; remove_orphan_blobs() reclaims it");
+  }
+}
+
+/// Segment files the MANIFEST does not list — crash leftovers of an
+/// interrupted seal or compaction (sharded layout only).
+void lint_segments(const ExperimentRepository& repo, DiagnosticSink& sink) {
+  const SegmentedIndex* index = repo.segmented_index();
+  if (index == nullptr) return;
+  const SegmentedIndex::StraySegments strays = index->stray_segments();
+  sink.set_subject({});
+  for (const std::string& rel : strays.orphans) {
+    sink.warning("repo.orphan-segment", rel,
+                 "segment file is not listed in the index MANIFEST",
+                 "an interrupted compaction or seal wrote it but never "
+                 "committed; it is never read — remove_stray_segments() "
+                 "reclaims it");
+  }
+  for (const std::string& rel : strays.stale) {
+    sink.warning("repo.stale-segment", rel,
+                 "superseded segment file left behind by a compaction",
+                 "the MANIFEST no longer lists it, so it is dead weight; "
+                 "remove_stray_segments() reclaims it");
   }
 }
 
@@ -174,9 +256,11 @@ void lint_repository(const std::filesystem::path& directory,
                "not a directory");
     return;
   }
-  if (!std::filesystem::exists(directory / "index.xml", ec)) {
+  const bool sharded = SegmentedIndex::present(directory);
+  if (!sharded && !std::filesystem::exists(directory / "index.xml", ec)) {
     sink.error("repo.bad-index", directory.string(),
-               "directory carries no index.xml",
+               "directory carries neither an index/MANIFEST nor an "
+               "index.xml",
                "an experiment repository is identified by its index; is "
                "this the right path?");
     return;
@@ -186,7 +270,10 @@ void lint_repository(const std::filesystem::path& directory,
   try {
     repo = std::make_unique<ExperimentRepository>(directory);
   } catch (const Error& e) {
-    sink.error("repo.bad-index", (directory / "index.xml").string(), e.what());
+    sink.error("repo.bad-index",
+               (directory / (sharded ? "index/MANIFEST" : "index.xml"))
+                   .generic_string(),
+               e.what());
     return;
   }
 
@@ -219,21 +306,35 @@ void lint_repository(const std::filesystem::path& directory,
                  "file listed in the index does not exist");
       continue;
     }
-    if (!entry.meta.empty() &&
-        !std::filesystem::is_regular_file(
-            directory / "meta" / (entry.meta + ".meta"), ec)) {
+    // Blobs may sit flat (legacy) or in their digest-prefix shard.
+    const auto blob_present = [&](const char* dir_name,
+                                  const std::string& name) {
+      std::error_code probe;
+      return std::filesystem::is_regular_file(
+                 directory / dir_name / name.substr(0, 2) / name, probe) ||
+             std::filesystem::is_regular_file(directory / dir_name / name,
+                                              probe);
+    };
+    if (!entry.meta.empty() && !blob_present("meta", entry.meta + ".meta")) {
       sink.error("repo.missing-blob", "meta/" + entry.meta + ".meta",
                  "metadata blob referenced by the entry does not exist",
                  "every experiment over this metadata is unloadable");
       continue;  // loading below could only repeat the failure
     }
-    lint_file(file, sink, options, repo->resolver());
+    if (!entry.sev.empty() && !blob_present("sev", entry.sev + ".sev")) {
+      sink.error("repo.missing-blob", "sev/" + entry.sev + ".sev",
+                 "severity blob referenced by the entry does not exist",
+                 "the columnar experiment is unloadable");
+      continue;
+    }
+    lint_file(file, sink, options, repo->resolver(), repo->sev_resolver());
     if (entry.attributes.count(kCacheKey) != 0) {
       lint_cache_entry(*repo, entry, by_id, file_digests, sink);
     }
   }
 
   lint_blobs(*repo, sink, options);
+  lint_segments(*repo, sink);
   sink.set_subject(old_subject);
 }
 

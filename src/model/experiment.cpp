@@ -21,6 +21,25 @@ Experiment::Experiment(std::shared_ptr<const Metadata> metadata,
                           metadata_->num_cnodes(), metadata_->num_threads());
 }
 
+Experiment::Experiment(std::shared_ptr<const Metadata> metadata,
+                       std::unique_ptr<SeverityStore> severity)
+    : metadata_(std::move(metadata)), severity_(std::move(severity)) {
+  if (metadata_ == nullptr) {
+    throw Error("experiment requires non-null metadata");
+  }
+  if (!metadata_->frozen()) {
+    throw Error("experiment requires frozen metadata");
+  }
+  if (severity_ == nullptr) {
+    throw Error("experiment requires a severity store");
+  }
+  if (severity_->num_metrics() != metadata_->num_metrics() ||
+      severity_->num_cnodes() != metadata_->num_cnodes() ||
+      severity_->num_threads() != metadata_->num_threads()) {
+    throw Error("severity store shape does not match experiment metadata");
+  }
+}
+
 void Experiment::set_attribute(std::string key, std::string value) {
   attributes_[std::move(key)] = std::move(value);
 }

@@ -44,6 +44,12 @@ class Experiment {
   explicit Experiment(std::shared_ptr<const Metadata> metadata,
                       StorageKind storage = StorageKind::Dense);
 
+  /// Shares already-frozen metadata and adopts a pre-built severity store
+  /// (e.g. an mmap-backed CUBESEV1 view).  The store's shape must match
+  /// the metadata; throws cube::Error otherwise.
+  Experiment(std::shared_ptr<const Metadata> metadata,
+             std::unique_ptr<SeverityStore> severity);
+
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
   Experiment(Experiment&&) = default;

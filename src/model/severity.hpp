@@ -17,6 +17,12 @@
 // these, so dense combines become flat vectorizable loops and sparse
 // operands cost O(nnz) instead of O(M*C*T).
 //
+// Both stores additionally support a read-only FILE-BACKED mode over an
+// mmapped CUBESEV1 blob (src/io/severity_format.hpp): the bulk accessors
+// then yield borrowed views over file-backed pages, release_cells() lets
+// a streaming consumer drop pages behind its sweep, and the first
+// mutation transparently detaches into an owned copy.
+//
 // bench/bench_storage quantifies the trade-off (ablation A3 in DESIGN.md).
 #pragma once
 
@@ -28,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mmap_file.hpp"
 #include "common/types.hpp"
 
 namespace cube {
@@ -63,7 +70,22 @@ class SeverityStore {
   /// Number of stored entries with a non-zero value.
   [[nodiscard]] virtual std::size_t nonzero_count() const = 0;
   /// Approximate heap bytes used by the container (for the ablation bench).
+  /// File-backed stores report only their heap-side bookkeeping; mapped
+  /// pages are not heap and are reclaimable via release_cells().
   [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+
+  /// True when the store's cells live in mapped file pages rather than
+  /// heap memory (see file-backed mode above).
+  [[nodiscard]] virtual bool file_backed() const noexcept { return false; }
+
+  /// Streaming hint: the flattened cell range [lo, hi) has been consumed
+  /// and will not be revisited.  File-backed stores drop the resident
+  /// pages holding those cells (values stay readable — pages re-fault
+  /// from the blob); owned stores ignore it.  Never throws.
+  virtual void release_cells(std::uint64_t lo, std::uint64_t hi) const {
+    (void)lo;
+    (void)hi;
+  }
 
   [[nodiscard]] virtual StorageKind kind() const noexcept = 0;
   [[nodiscard]] virtual std::unique_ptr<SeverityStore> clone() const = 0;
@@ -77,9 +99,28 @@ class SeverityStore {
 };
 
 /// Contiguous row-major [metric][cnode][thread] array.
+///
+/// Owned mode holds the cells in a std::vector.  Borrowed (file-backed)
+/// mode views a span of cells inside a shared MappedFile — reads and all
+/// bulk accessors work unchanged; the first set()/add()/cells_mut()
+/// copies the view into an owned vector (detach-on-write).
 class DenseSeverity final : public SeverityStore {
  public:
   DenseSeverity(std::size_t metrics, std::size_t cnodes, std::size_t threads);
+
+  /// Borrowed mode over `cells` (exactly metrics*cnodes*threads values)
+  /// living inside `backing` at byte offset cells.data() - backing->data().
+  DenseSeverity(std::size_t metrics, std::size_t cnodes, std::size_t threads,
+                std::span<const Severity> cells,
+                std::shared_ptr<const MappedFile> backing);
+
+  // view_ must re-anchor onto the destination's vector when copying an
+  // owned store; the defaults would alias the source.
+  DenseSeverity(const DenseSeverity& other);
+  DenseSeverity& operator=(const DenseSeverity& other);
+  DenseSeverity(DenseSeverity&& other) noexcept;
+  DenseSeverity& operator=(DenseSeverity&& other) noexcept;
+  ~DenseSeverity() override = default;
 
   [[nodiscard]] Severity get(MetricIndex m, CnodeIndex c,
                              ThreadIndex t) const override;
@@ -87,6 +128,10 @@ class DenseSeverity final : public SeverityStore {
   void add(MetricIndex m, CnodeIndex c, ThreadIndex t, Severity v) override;
   [[nodiscard]] std::size_t nonzero_count() const override;
   [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] bool file_backed() const noexcept override {
+    return backing_ != nullptr;
+  }
+  void release_cells(std::uint64_t lo, std::uint64_t hi) const override;
   [[nodiscard]] StorageKind kind() const noexcept override {
     return StorageKind::Dense;
   }
@@ -98,18 +143,19 @@ class DenseSeverity final : public SeverityStore {
 
   /// The whole cell space as one contiguous read-only span.
   [[nodiscard]] std::span<const Severity> cells() const noexcept {
-    return values_;
+    return view_;
   }
   /// Read-only view of the flattened cell range [lo, hi).
   [[nodiscard]] std::span<const Severity> cells(std::size_t lo,
                                                 std::size_t hi) const noexcept {
-    return std::span<const Severity>(values_).subspan(lo, hi - lo);
+    return view_.subspan(lo, hi - lo);
   }
   /// Mutable view of the flattened cell range [lo, hi).  Disjoint ranges
   /// may be written concurrently; that is what makes dense results safe
-  /// for chunk-parallel operator kernels.
-  [[nodiscard]] std::span<Severity> cells_mut(std::size_t lo,
-                                              std::size_t hi) noexcept {
+  /// for chunk-parallel operator kernels.  Detaches a file-backed store
+  /// (NOT thread-safe against concurrent reads — detach before sharing).
+  [[nodiscard]] std::span<Severity> cells_mut(std::size_t lo, std::size_t hi) {
+    detach();
     return std::span<Severity>(values_).subspan(lo, hi - lo);
   }
 
@@ -118,14 +164,31 @@ class DenseSeverity final : public SeverityStore {
                                    ThreadIndex t) const noexcept {
     return (m * cnodes_ + c) * threads_ + t;
   }
+  /// Copies a borrowed view into owned storage; no-op when already owned.
+  void detach();
 
   std::vector<Severity> values_;
+  std::span<const Severity> view_;  ///< always valid: values_ or the mapping
+  std::shared_ptr<const MappedFile> backing_;  ///< non-null in borrowed mode
 };
 
 /// Hash-map store for sparse experiments; zero entries are not materialized.
+///
+/// Owned mode is the hash map.  Borrowed (file-backed) mode views the two
+/// sorted CUBESEV1 columns (ascending keys, matching values) inside a
+/// shared MappedFile: get() binary-searches, ordered visitation walks the
+/// columns directly (no sort needed), and the first mutation detaches
+/// into the hash map.
 class SparseSeverity final : public SeverityStore {
  public:
   SparseSeverity(std::size_t metrics, std::size_t cnodes, std::size_t threads);
+
+  /// Borrowed mode over the sorted key/value columns (equal lengths, keys
+  /// strictly ascending) living inside `backing`.
+  SparseSeverity(std::size_t metrics, std::size_t cnodes, std::size_t threads,
+                 std::span<const std::uint64_t> keys,
+                 std::span<const Severity> values,
+                 std::shared_ptr<const MappedFile> backing);
 
   [[nodiscard]] Severity get(MetricIndex m, CnodeIndex c,
                              ThreadIndex t) const override;
@@ -133,6 +196,10 @@ class SparseSeverity final : public SeverityStore {
   void add(MetricIndex m, CnodeIndex c, ThreadIndex t, Severity v) override;
   [[nodiscard]] std::size_t nonzero_count() const override;
   [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] bool file_backed() const noexcept override {
+    return backing_ != nullptr;
+  }
+  void release_cells(std::uint64_t lo, std::uint64_t hi) const override;
   [[nodiscard]] StorageKind kind() const noexcept override {
     return StorageKind::Sparse;
   }
@@ -146,8 +213,9 @@ class SparseSeverity final : public SeverityStore {
   // are bit-identical to the per-cell reference path.
 
   /// Sorted snapshot of all (flattened key, value) entries, ascending by
-  /// key.  O(nnz log nnz); operator kernels take one snapshot per operand
-  /// and binary-search it per chunk instead of re-scanning the hash map.
+  /// key.  O(nnz log nnz) owned (O(nnz) copy when file-backed, already
+  /// sorted); operator kernels take one snapshot per operand and
+  /// binary-search it per chunk instead of re-scanning the hash map.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, Severity>> sorted_cells()
       const;
 
@@ -166,10 +234,21 @@ class SparseSeverity final : public SeverityStore {
   void scatter_into(std::span<Severity> cells) const;
 
   /// Calls fn(flattened_key, value) for every non-zero cell with key in
-  /// [lo, hi), ascending by key.  One hash-map scan + sort of the hits;
-  /// use sorted_cells() when visiting many ranges of the same store.
+  /// [lo, hi), ascending by key.  One hash-map scan + sort of the hits
+  /// owned; a binary search + column walk when file-backed.  Use
+  /// sorted_cells() when visiting many ranges of the same store.
   template <typename Fn>
   void for_each_nonzero(std::uint64_t lo, std::uint64_t hi, Fn&& fn) const {
+    if (backing_ != nullptr) {
+      const auto begin = std::lower_bound(keys_view_.begin(), keys_view_.end(),
+                                          lo);
+      for (auto it = begin; it != keys_view_.end() && *it < hi; ++it) {
+        const Severity v = vals_view_[static_cast<std::size_t>(
+            it - keys_view_.begin())];
+        if (v != 0.0) fn(*it, v);
+      }
+      return;
+    }
     std::vector<std::pair<std::uint64_t, Severity>> hits;
     for (const auto& [k, v] : values_) {
       if (k >= lo && k < hi) hits.emplace_back(k, v);
@@ -184,8 +263,13 @@ class SparseSeverity final : public SeverityStore {
                                   ThreadIndex t) const noexcept {
     return (static_cast<std::uint64_t>(m) * cnodes_ + c) * threads_ + t;
   }
+  /// Loads the borrowed columns into the hash map; no-op when owned.
+  void detach();
 
   std::unordered_map<std::uint64_t, Severity> values_;
+  std::span<const std::uint64_t> keys_view_;  ///< borrowed mode only
+  std::span<const Severity> vals_view_;       ///< borrowed mode only
+  std::shared_ptr<const MappedFile> backing_;  ///< non-null in borrowed mode
 };
 
 /// Factory for the requested storage kind.

@@ -288,6 +288,10 @@ StatsPayload AnalysisService::stats() const {
 }
 
 bool AnalysisService::refresh() {
+  // Segment hygiene rides along with the periodic refresh: once enough
+  // dead records accumulate the index is folded into one sealed segment.
+  // A no-op on legacy repositories and below the dead-record threshold.
+  repo_.compact_if_needed();
   if (!repo_.refresh()) return false;
   plan_epoch_.fetch_add(1, std::memory_order_acq_rel);
   std::lock_guard<std::mutex> lock(plan_mutex_);

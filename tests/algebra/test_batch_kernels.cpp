@@ -6,6 +6,8 @@
 // fill rates, batch widths, and thread counts.
 #include <bit>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -20,6 +22,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "io/severity_format.hpp"
 #include "model/system_factory.hpp"
 #include "obs/metrics.hpp"
 
@@ -325,6 +328,106 @@ TEST(BatchKernels, PerOperandFallbackLeavesBatchCountersSilent) {
   EXPECT_EQ(kernel_count(stats, kernel_counters::kBatchTiles), 0u);
   EXPECT_EQ(kernel_count(stats, kernel_counters::kBatchWidth), 0u);
   EXPECT_GT(kernel_count(stats, kernel_counters::kIdentityDenseCells), 0u);
+}
+
+// The dispatch heuristic (EXPERIMENTS.md A14): a wide all-sparse
+// identity-mapped series runs the per-operand chunk kernels — gathering
+// mostly-zero rows into SoA tiles costs more than it saves — and the
+// path counters record the decision.
+TEST(BatchKernels, WideSparseSeriesPrefersPerOperandPath) {
+  const auto operands =
+      make_operands(MetaKind::Identical, 16, 0.2, StorageKind::Sparse);
+  std::vector<const Experiment*> ptrs;
+  for (const auto& e : operands) ptrs.push_back(&e);
+
+  OperatorOptions options;
+  obs::MetricsRegistry stats;
+  options.metrics = &stats;
+  const Experiment got = mean(ptrs, options);
+
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kPathPerOperand), 1u);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kPathBatched), 0u);
+  EXPECT_EQ(kernel_count(stats, kernel_counters::kBatchTiles), 0u);
+
+  // The heuristic is a pure path choice: bit-identical to the reference.
+  OperatorOptions reference;
+  reference.use_bulk_kernels = false;
+  expect_bit_identical(got, mean(ptrs, reference), "a14 heuristic");
+}
+
+// Below the width threshold — or with any dense operand — the batched
+// path keeps winning and the dispatch says so.
+TEST(BatchKernels, NarrowOrDenseSeriesStaysOnBatchedPath) {
+  {
+    const auto operands =
+        make_operands(MetaKind::Identical, 4, 0.2, StorageKind::Sparse);
+    std::vector<const Experiment*> ptrs;
+    for (const auto& e : operands) ptrs.push_back(&e);
+    OperatorOptions options;
+    obs::MetricsRegistry stats;
+    options.metrics = &stats;
+    (void)mean(ptrs, options);
+    EXPECT_EQ(kernel_count(stats, kernel_counters::kPathBatched), 1u);
+    EXPECT_EQ(kernel_count(stats, kernel_counters::kPathPerOperand), 0u);
+  }
+  {
+    const auto operands =
+        make_operands(MetaKind::Identical, 16, 0.5, StorageKind::Dense);
+    std::vector<const Experiment*> ptrs;
+    for (const auto& e : operands) ptrs.push_back(&e);
+    OperatorOptions options;
+    obs::MetricsRegistry stats;
+    options.metrics = &stats;
+    (void)mean(ptrs, options);
+    EXPECT_EQ(kernel_count(stats, kernel_counters::kPathBatched), 1u);
+    EXPECT_EQ(kernel_count(stats, kernel_counters::kPathPerOperand), 0u);
+  }
+}
+
+// Streaming release (OperatorOptions::release_operand_pages): reducing a
+// series of mmap-backed operands while dropping consumed pages is a pure
+// memory policy — the result stays bit-identical to the owned-store run.
+TEST(BatchKernels, ReleasingOperandPagesNeverChangesResults) {
+  const std::size_t width = 6;
+  const auto owned =
+      make_operands(MetaKind::Identical, width, 0.5, StorageKind::Dense);
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "cube_release_pages";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::vector<Experiment> mapped;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::filesystem::path path =
+        dir / ("op" + std::to_string(i) + ".sev");
+    {
+      std::ofstream out(path, std::ios::binary);
+      const std::string blob = to_cube_sev(owned[i].severity());
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
+    mapped.emplace_back(owned[i].metadata_ptr(), map_cube_sev_file(path));
+    ASSERT_TRUE(mapped.back().severity().file_backed());
+  }
+  std::vector<const Experiment*> owned_ptrs, mapped_ptrs;
+  for (std::size_t i = 0; i < width; ++i) {
+    owned_ptrs.push_back(&owned[i]);
+    mapped_ptrs.push_back(&mapped[i]);
+  }
+
+  OperatorOptions streaming;
+  streaming.release_operand_pages = true;
+  ThreadPool pool(4);
+  streaming.parallel_for = [&pool](std::size_t n, const auto& body) {
+    pool.parallel_for(n, body);
+  };
+  const OperatorOptions plain;
+  expect_bit_identical(mean(mapped_ptrs, streaming), mean(owned_ptrs, plain),
+                       "release pages mean");
+  expect_bit_identical(maximum(mapped_ptrs, streaming),
+                       maximum(owned_ptrs, plain), "release pages max");
+  expect_bit_identical(stddev(mapped_ptrs, streaming),
+                       stddev(owned_ptrs, plain), "release pages stddev");
+  std::filesystem::remove_all(dir);
 }
 
 // batchable() is the gate: per-dimension injective mappings qualify, a

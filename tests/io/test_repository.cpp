@@ -151,7 +151,7 @@ TEST_F(RepositoryTest, UnknownIdsThrow) {
 
 TEST_F(RepositoryTest, CorruptIndexRejected) {
   {
-    ExperimentRepository repo(dir_);
+    ExperimentRepository repo(dir_, RepoLayout::Legacy);
     repo.store(make_small());
   }
   {
@@ -161,19 +161,36 @@ TEST_F(RepositoryTest, CorruptIndexRejected) {
   EXPECT_THROW(ExperimentRepository{dir_}, Error);
 }
 
+TEST_F(RepositoryTest, CorruptManifestRejected) {
+  {
+    ExperimentRepository repo(dir_);
+    repo.store(make_small());
+  }
+  {
+    std::ofstream out(dir_ / "index" / "MANIFEST");
+    out << "not a manifest\n";
+  }
+  EXPECT_THROW(ExperimentRepository{dir_}, Error);
+}
+
 TEST_F(RepositoryTest, IndexWritesLeaveNoTempFileBehind) {
   ExperimentRepository repo(dir_);
   repo.store(make_small());
   repo.store(make_small(StorageKind::Dense, "second"));
-  EXPECT_TRUE(std::filesystem::exists(dir_ / "index.xml"));
-  EXPECT_FALSE(std::filesystem::exists(dir_ / "index.xml.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "index" / "MANIFEST"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "index.xml"));
+  for (const auto& f :
+       std::filesystem::directory_iterator(dir_ / "index")) {
+    EXPECT_NE(f.path().extension(), ".tmp") << f.path();
+  }
 }
 
 std::size_t count_blobs(const std::filesystem::path& dir) {
   std::size_t n = 0;
   if (!std::filesystem::is_directory(dir / "meta")) return 0;
+  // Recursive: blobs live flat (legacy) or one shard level down.
   for (const auto& f :
-       std::filesystem::directory_iterator(dir / "meta")) {
+       std::filesystem::recursive_directory_iterator(dir / "meta")) {
     if (f.path().extension() == ".meta") ++n;
   }
   return n;
@@ -245,18 +262,28 @@ TEST_F(RepositoryTest, MigrateRewritesLegacyEntriesToBlobLayout) {
            "</repository>";
   }
   ExperimentRepository repo(dir_);
-  EXPECT_EQ(repo.migrate(), 1u);
+  EXPECT_EQ(repo.layout(), RepoLayout::Legacy);
+  // One count for the inline->blob rewrite, one for the relocation into
+  // the sharded exp/<ab>/ layout.
+  EXPECT_EQ(repo.migrate(), 2u);
   EXPECT_EQ(repo.migrate(), 0u);  // idempotent
+  EXPECT_EQ(repo.layout(), RepoLayout::Sharded);
   ASSERT_FALSE(repo.entries()[0].meta.empty());
   EXPECT_EQ(count_blobs(dir_), 1u);
+  // index.xml is gone; the segmented index took over.
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "index.xml"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "index" / "MANIFEST"));
   {
-    std::ifstream in(dir_ / "run.cube");
+    const std::filesystem::path moved = dir_ / repo.entries()[0].file;
+    EXPECT_NE(repo.entries()[0].file.find("exp/"), std::string::npos);
+    std::ifstream in(moved);
     std::string content((std::istreambuf_iterator<char>(in)),
                         std::istreambuf_iterator<char>());
     EXPECT_NE(content.find("<metaref"), std::string::npos);
   }
   // The migrated layout persists and still loads.
   ExperimentRepository reopened(dir_);
+  EXPECT_EQ(reopened.layout(), RepoLayout::Sharded);
   EXPECT_FALSE(reopened.entries()[0].meta.empty());
   EXPECT_EQ(reopened.load("run").name(), "small");
 }

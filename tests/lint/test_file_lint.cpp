@@ -54,7 +54,7 @@ TEST_F(FileLintTest, CleanFilesOfEveryFormatReportNothing) {
   for (const auto& path : {xml, bin}) {
     DiagnosticSink sink;
     FileKind kind = FileKind::Unreadable;
-    const auto loaded = cube::lint::lint_file(path, sink, {}, {}, &kind);
+    const auto loaded = cube::lint::lint_file(path, sink, {}, {}, {}, &kind);
     EXPECT_TRUE(sink.empty()) << path;
     EXPECT_EQ(kind, FileKind::Experiment);
     ASSERT_TRUE(loaded.has_value()) << path;
@@ -62,7 +62,7 @@ TEST_F(FileLintTest, CleanFilesOfEveryFormatReportNothing) {
   }
   DiagnosticSink sink;
   FileKind kind = FileKind::Unreadable;
-  EXPECT_FALSE(cube::lint::lint_file(blob, sink, {}, {}, &kind).has_value());
+  EXPECT_FALSE(cube::lint::lint_file(blob, sink, {}, {}, {}, &kind).has_value());
   EXPECT_EQ(kind, FileKind::MetadataBlob);
   EXPECT_TRUE(sink.empty());
 }
@@ -93,7 +93,7 @@ TEST_F(FileLintTest, MetadataBlobWithFlippedDigestByte) {
 
   DiagnosticSink sink;
   FileKind kind = FileKind::Unreadable;
-  cube::lint::lint_file(path, sink, {}, {}, &kind);
+  cube::lint::lint_file(path, sink, {}, {}, {}, &kind);
   EXPECT_EQ(kind, FileKind::MetadataBlob);
   EXPECT_TRUE(sink.has_rule("meta.digest-mismatch"));
   EXPECT_EQ(sink.exit_code(), 2);

@@ -66,6 +66,15 @@ class RepoLintTest : public ::testing::Test {
     (void)engine.run(text);
   }
 
+  /// On-disk path of a stored entry's file (sharded: exp/<ab>/<id>.cube).
+  std::filesystem::path entry_file(const std::string& id) {
+    for (const auto& entry : repo_->entries_snapshot()) {
+      if (entry.id == id) return dir_ / entry.file;
+    }
+    ADD_FAILURE() << "no entry with id " << id;
+    return {};
+  }
+
   std::filesystem::path dir_;
   std::unique_ptr<ExperimentRepository> repo_;
 };
@@ -85,7 +94,7 @@ TEST_F(RepoLintTest, CleanRepositoryWithCacheReportsNothing) {
 
 TEST_F(RepoLintTest, MissingEntryFile) {
   const std::string id = store_salted("gone", 0.5);
-  std::filesystem::remove(dir_ / (id + ".cube"));
+  std::filesystem::remove(entry_file(id));
   DiagnosticSink sink;
   cube::lint::lint_repository(dir_, sink);
   EXPECT_TRUE(sink.has_rule("repo.missing-file"));
@@ -146,7 +155,7 @@ TEST_F(RepoLintTest, RewrittenOperandMakesCacheEntryStale) {
   // name: the recorded operand digest no longer matches the file.
   Experiment changed = make_small(StorageKind::Dense, "rw-a");
   changed.severity().set(0, 0, 0, 42.0);
-  cube::write_cube_xml_file(changed, (dir_ / (a + ".cube")).string());
+  cube::write_cube_xml_file(changed, entry_file(a).string());
 
   DiagnosticSink sink;
   cube::lint::lint_repository(dir_, sink);
@@ -172,7 +181,7 @@ TEST_F(RepoLintTest, UnresolvableOperandDigestFlagsServerCacheEntry) {
 
   Experiment changed = make_small(StorageKind::Dense, "srv-a");
   changed.severity().set(0, 0, 0, 1234.5);
-  cube::write_cube_xml_file(changed, (dir_ / (a + ".cube")).string());
+  cube::write_cube_xml_file(changed, entry_file(a).string());
 
   DiagnosticSink sink;
   cube::lint::lint_repository(dir_, sink);
@@ -195,9 +204,16 @@ TEST_F(RepoLintTest, ResolvedOperandDigestsKeepServerCacheClean) {
 }
 
 TEST_F(RepoLintTest, DuplicateIndexId) {
-  store_salted("twin", 0.5);
+  // Duplicate ids can only come from a hand-edited legacy index: the
+  // segmented index replays later records as replacements by id.
+  const std::filesystem::path legacy_dir = dir_ / "legacy";
+  {
+    ExperimentRepository legacy(legacy_dir, cube::RepoLayout::Legacy);
+    Experiment e = make_small(StorageKind::Dense, "twin");
+    legacy.store(e);
+  }
   // Duplicate the entry block in index.xml by hand.
-  const std::filesystem::path index = dir_ / "index.xml";
+  const std::filesystem::path index = legacy_dir / "index.xml";
   std::ifstream in(index);
   std::stringstream buffer;
   buffer << in.rdbuf();
@@ -210,8 +226,81 @@ TEST_F(RepoLintTest, DuplicateIndexId) {
   std::ofstream(index) << text;
 
   DiagnosticSink sink;
-  cube::lint::lint_repository(dir_, sink);
+  cube::lint::lint_repository(legacy_dir, sink);
   EXPECT_TRUE(sink.has_rule("repo.duplicate-id"));
+}
+
+TEST_F(RepoLintTest, MisfiledShardedBlobReported) {
+  store_salted("placed", 0.5);
+  // Copy the one metadata blob into a shard directory that cannot match
+  // its digest prefix; the original stays put, so nothing is orphaned.
+  std::filesystem::path blob;
+  for (const auto& file :
+       std::filesystem::recursive_directory_iterator(dir_ / "meta")) {
+    if (file.is_regular_file()) blob = file.path();
+  }
+  ASSERT_FALSE(blob.empty());
+  const std::string wrong =
+      blob.filename().string().substr(0, 2) == "zz" ? "yy" : "zz";
+  std::filesystem::create_directories(dir_ / "meta" / wrong);
+  std::filesystem::copy_file(blob, dir_ / "meta" / wrong / blob.filename());
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.misfiled-blob"));
+  EXPECT_EQ(sink.exit_code(), 2);
+}
+
+TEST_F(RepoLintTest, MisnamedSeverityBlobReported) {
+  Experiment e = make_small(StorageKind::Dense, "columnar");
+  repo_->store(e, cube::RepoFormat::Columnar);
+  // Duplicate the severity blob under a name claiming another digest
+  // (inside that name's correct shard, so only the content check fires).
+  std::filesystem::path blob;
+  for (const auto& file :
+       std::filesystem::recursive_directory_iterator(dir_ / "sev")) {
+    if (file.is_regular_file()) blob = file.path();
+  }
+  ASSERT_FALSE(blob.empty());
+  std::filesystem::create_directories(dir_ / "sev" / "00");
+  std::filesystem::copy_file(blob,
+                             dir_ / "sev" / "00" / "00000000deadbeef.sev");
+
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("sev.misfiled-blob"));
+}
+
+TEST_F(RepoLintTest, MissingSeverityBlobReported) {
+  Experiment e = make_small(StorageKind::Dense, "columnar");
+  repo_->store(e, cube::RepoFormat::Columnar);
+  std::filesystem::remove_all(dir_ / "sev");
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.missing-blob"));
+}
+
+TEST_F(RepoLintTest, OrphanSegmentReported) {
+  store_salted("one", 0.5);
+  std::ofstream(dir_ / "index" / "seg-000099.log")
+      << "R 3 0000000000000000\nxxx\n";
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.orphan-segment"));
+  EXPECT_FALSE(sink.has_rule("repo.stale-segment"));
+}
+
+TEST_F(RepoLintTest, StaleSegmentAndTempLeftoverReported) {
+  for (int i = 0; i < 4; ++i) store_salted("e" + std::to_string(i), i + 0.5);
+  repo_->remove("e0");
+  repo_->compact();
+  // Resurrect the superseded first segment and a torn manifest temp.
+  std::ofstream(dir_ / "index" / "seg-000001.log") << "stale bytes";
+  std::ofstream(dir_ / "index" / "MANIFEST.tmp") << "half-written";
+  DiagnosticSink sink;
+  cube::lint::lint_repository(dir_, sink);
+  EXPECT_TRUE(sink.has_rule("repo.stale-segment"));
+  EXPECT_FALSE(sink.has_rule("repo.orphan-segment"));
 }
 
 TEST_F(RepoLintTest, NotARepository) {
@@ -226,7 +315,7 @@ TEST_F(RepoLintTest, NotARepository) {
 
 TEST_F(RepoLintTest, CorruptedEntryFileSurfacesFileRule) {
   const std::string id = store_salted("chopped", 0.5);
-  const std::filesystem::path file = dir_ / (id + ".cube");
+  const std::filesystem::path file = entry_file(id);
   std::ifstream in(file, std::ios::binary);
   std::stringstream buffer;
   buffer << in.rdbuf();

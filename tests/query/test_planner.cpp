@@ -183,16 +183,20 @@ TEST_F(PlannerTest, ByRefLoadKeysMixInTheMetadataDigest) {
 
 TEST_F(PlannerTest, LegacyEntriesKeepTheBareFileDigestKey) {
   // A pre-refactor entry (inline metadata, no meta attribute) must keep
-  // its original cache key so existing cached cubes stay valid.
+  // its original cache key so existing cached cubes stay valid.  Built in
+  // a fresh directory: the fixture's repository already initialized dir_
+  // with the sharded layout, which would shadow a hand-written index.xml.
+  const std::filesystem::path legacy_dir = dir_ / "legacy";
+  std::filesystem::create_directories(legacy_dir);
   write_cube_xml_file(make_small(StorageKind::Dense, "old"),
-                      (dir_ / "old.cube").string());
+                      (legacy_dir / "old.cube").string());
   {
-    std::ofstream out(dir_ / "index.xml");
+    std::ofstream out(legacy_dir / "index.xml");
     out << "<repository>"
            "<entry id=\"old\" file=\"old.cube\" format=\"xml\"/>"
            "</repository>";
   }
-  repo_ = std::make_unique<ExperimentRepository>(dir_);
+  repo_ = std::make_unique<ExperimentRepository>(legacy_dir);
   const QueryPlan plan = plan_query(*parse_query("id(old)"), *repo_);
   const PlanNode& node = plan.nodes[plan.root];
   EXPECT_EQ(node.operand.meta_digest, 0u);
