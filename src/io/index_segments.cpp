@@ -405,7 +405,38 @@ bool SegmentedIndex::should_compact(std::size_t live_count) const noexcept {
   return dead >= kCompactMinDead && dead > live_count;
 }
 
-std::size_t SegmentedIndex::compact(const std::vector<RepoEntry>& live) {
+SegmentedIndex::CompactResult SegmentedIndex::compact(
+    std::vector<RepoEntry>& live) {
+  CompactResult result;
+  // Another process may have written since our last load/refresh; those
+  // records must survive the compaction or they are silently destroyed
+  // (and the follow-up refresh() would see the just-written MANIFEST as
+  // unchanged, so they would never be reloaded either).  A changed
+  // MANIFEST means the segment list itself moved under us: replay
+  // everything.  An unchanged one means only the active segment can have
+  // grown: merge its appended tail.
+  if (fnv1a(read_file_bytes(index_dir() / kManifestName)) !=
+      manifest_digest_) {
+    load(live);
+    result.entries_changed = true;
+  } else {
+    SegmentState& active = segments_.back();
+    const std::filesystem::path path = segment_path(active.name);
+    std::error_code ec;
+    const std::uint64_t size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      throw IoError("cannot stat segment '" + path.string() + "'");
+    }
+    if (size > active.parsed_bytes || active.torn_tail) {
+      const std::string tail = read_file_bytes(path, active.parsed_bytes);
+      const ParseResult parsed =
+          parse_records(tail, active.parsed_bytes, active.name, live);
+      active.parsed_bytes = parsed.valid_bytes;
+      active.records += parsed.records;
+      records_total_ += parsed.records;
+      result.entries_changed = parsed.records > 0;
+    }
+  }
   // Write the compacted segment under the next free number, a fresh
   // active segment after it, then commit both through the MANIFEST
   // rename.  Old segments stay readable until the commit; afterwards
@@ -441,7 +472,8 @@ std::size_t SegmentedIndex::compact(const std::vector<RepoEntry>& live) {
                    body_records, false},
       SegmentState{fresh, 0, 0, false}};
   records_total_ = body_records;
-  return old.size();
+  result.superseded = old.size();
+  return result;
 }
 
 SegmentedIndex::StraySegments SegmentedIndex::stray_segments() const {

@@ -87,11 +87,18 @@ class SegmentedIndex {
   /// Appends one tombstone record.
   void append_remove(const std::string& id);
 
+  struct CompactResult {
+    std::size_t superseded = 0;   ///< segment files replaced
+    bool entries_changed = false; ///< external records were merged into `live`
+  };
+
   /// Rewrites the index as [one compacted segment holding `live`, one
   /// fresh active segment], committing via the MANIFEST rename, then
-  /// deletes the superseded segments (best effort).  Returns the number
-  /// of segment files superseded.
-  std::size_t compact(const std::vector<RepoEntry>& live);
+  /// deletes the superseded segments (best effort).  Before writing, any
+  /// records another process appended since the last load/refresh are
+  /// replayed into `live` (a changed MANIFEST triggers a full reload, an
+  /// unchanged one a tail re-parse) so compaction never destroys them.
+  CompactResult compact(std::vector<RepoEntry>& live);
 
   /// True when enough tombstone/overwrite waste accumulated that
   /// compact() is worthwhile (`live_count` = current entry count).

@@ -7,6 +7,7 @@
 
 #include "common/digest.hpp"
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 #include "io/binary_format.hpp"
 #include "io/cube_format.hpp"
 #include "io/xml_parser.hpp"
@@ -331,8 +332,11 @@ void ExperimentRepository::write_experiment_file(const Experiment& experiment,
   if (entry.format == RepoFormat::Binary) {
     write_cube_binary_ref_file(experiment, path.string());
   } else if (entry.format == RepoFormat::Columnar) {
-    const std::uint64_t sev_digest =
-        std::stoull(entry.sev, nullptr, 16);
+    std::uint64_t sev_digest = 0;
+    if (!parse_hex64(entry.sev, sev_digest)) {
+      throw Error("repository entry '" + entry.id +
+                  "' has a malformed severity digest '" + entry.sev + "'");
+    }
     write_cube_xml_sev_ref_file(experiment, sev_digest, path.string());
   } else {
     write_cube_xml_ref_file(experiment, path.string());
@@ -526,22 +530,27 @@ void ExperimentRepository::remove(const std::string& id) {
   std::unique_lock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->id == id) {
-      std::error_code ec;
-      std::filesystem::remove(directory_ / it->file, ec);
+      const std::string file = it->file;
       const std::string meta = it->meta;
       const std::string sev = it->sev;
       entries_.erase(it);
       ids_.erase(id);
+      // Crash ordering mirrors store(): the index commits first, the
+      // files go second — a crash in between leaves orphans (which
+      // remove_orphan_blobs()/gc reclaim), never an index record that
+      // references deleted files.
+      if (index_) {
+        index_->append_remove(id);
+      } else {
+        write_index();
+      }
+      std::error_code ec;
+      std::filesystem::remove(directory_ / file, ec);
       if (!meta.empty() && !blob_referenced(meta)) {
         std::filesystem::remove(find_meta_blob(meta), ec);
       }
       if (!sev.empty() && !sev_referenced(sev)) {
         std::filesystem::remove(find_sev_blob(sev), ec);
-      }
-      if (index_) {
-        index_->append_remove(id);
-      } else {
-        write_index();
       }
       generation_.fetch_add(1, std::memory_order_release);
       entries_gauge().set(static_cast<double>(entries_.size()));
@@ -586,16 +595,28 @@ std::size_t ExperimentRepository::remove_orphan_blobs() {
   return removed;
 }
 
+std::size_t ExperimentRepository::do_compact() {
+  const SegmentedIndex::CompactResult result = index_->compact(entries_);
+  if (result.entries_changed) {
+    // Compaction replayed records another process appended since our
+    // last refresh; surface them like refresh() would.
+    rebuild_ids();
+    generation_.fetch_add(1, std::memory_order_release);
+    entries_gauge().set(static_cast<double>(entries_.size()));
+  }
+  return result.superseded;
+}
+
 std::size_t ExperimentRepository::compact_if_needed() {
   std::unique_lock lock(mutex_);
   if (!index_ || !index_->should_compact(entries_.size())) return 0;
-  return index_->compact(entries_);
+  return do_compact();
 }
 
 std::size_t ExperimentRepository::compact() {
   std::unique_lock lock(mutex_);
   if (!index_) return 0;
-  return index_->compact(entries_);
+  return do_compact();
 }
 
 std::size_t ExperimentRepository::remove_stray_segments() {

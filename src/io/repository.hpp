@@ -243,6 +243,8 @@ class ExperimentRepository {
       const std::string& hex) const;
   void write_experiment_file(const Experiment& experiment,
                              const RepoEntry& entry) const;
+  /// Shared body of compact()/compact_if_needed(); caller holds mutex_.
+  std::size_t do_compact();
 
   std::filesystem::path directory_;
   RepoLayout layout_ = RepoLayout::Legacy;

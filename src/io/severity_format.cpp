@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -80,7 +81,26 @@ struct Header {
     throw Error(what + ": unknown severity blob kind " +
                 std::to_string(h.kind));
   }
-  const std::uint64_t cells = h.metrics * h.cnodes * h.threads;
+  // All size arithmetic below must be overflow-checked: a corrupt or
+  // crafted header with huge counts would otherwise wrap the products,
+  // sneak past the exact-size check, and hand out-of-bounds spans to the
+  // mmap path.
+  const auto checked_mul = [&](std::uint64_t a, std::uint64_t b) {
+    if (b != 0 && a > std::numeric_limits<std::uint64_t>::max() / b) {
+      throw Error(what + ": severity blob geometry overflows");
+    }
+    return a * b;
+  };
+  const std::uint64_t cells =
+      checked_mul(checked_mul(h.metrics, h.cnodes), h.threads);
+  const std::uint64_t record_size =
+      h.kind == kKindDense ? sizeof(Severity)
+                           : sizeof(std::uint64_t) + sizeof(Severity);
+  if (h.entries > (data.size() - kHeaderBytes) / record_size) {
+    throw Error(what + ": severity blob entry count " +
+                std::to_string(h.entries) + " exceeds the blob's " +
+                std::to_string(data.size()) + " bytes");
+  }
   if (h.kind == kKindDense && h.entries != cells) {
     throw Error(what + ": dense severity blob entry count " +
                 std::to_string(h.entries) + " does not match geometry (" +

@@ -216,13 +216,14 @@ void SparseSeverity::add(MetricIndex m, CnodeIndex c, ThreadIndex t,
 }
 
 std::size_t SparseSeverity::nonzero_count() const {
-  std::size_t n = 0;
   if (backing_ != nullptr) {
-    for (const Severity v : vals_view_) {
-      if (v != 0.0) ++n;
-    }
-    return n;
+    // The CUBESEV1 writer drops zero cells, so entry count == nonzero
+    // count — O(1) from the key column's extent, without faulting in the
+    // mmapped values pages (the operator dispatch heuristic polls this
+    // before every file-backed streaming reduction).
+    return keys_view_.size();
   }
+  std::size_t n = 0;
   for (const auto& [k, v] : values_) {
     if (v != 0.0) ++n;
   }

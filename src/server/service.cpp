@@ -288,11 +288,16 @@ StatsPayload AnalysisService::stats() const {
 }
 
 bool AnalysisService::refresh() {
-  // Segment hygiene rides along with the periodic refresh: once enough
-  // dead records accumulate the index is folded into one sealed segment.
-  // A no-op on legacy repositories and below the dead-record threshold.
+  // Pick up other processes' stores FIRST, then fold the index: once
+  // enough dead records accumulate it is compacted into one sealed
+  // segment (a no-op on legacy repositories and below the dead-record
+  // threshold).  Compaction itself replays any records that land in the
+  // window after refresh(), and either step bumps the repository
+  // generation when the entry list changed.
+  const std::uint64_t before = repo_.generation();
+  repo_.refresh();
   repo_.compact_if_needed();
-  if (!repo_.refresh()) return false;
+  if (repo_.generation() == before) return false;
   plan_epoch_.fetch_add(1, std::memory_order_acq_rel);
   std::lock_guard<std::mutex> lock(plan_mutex_);
   plan_cache_.clear();

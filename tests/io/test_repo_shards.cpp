@@ -209,6 +209,46 @@ TEST_F(RepoShardsTest, RefreshPicksUpExternalAppends) {
   EXPECT_FALSE(reader.refresh());
 }
 
+TEST_F(RepoShardsTest, CompactMergesExternalAppends) {
+  ExperimentRepository writer(dir_);
+  writer.store(make_small(StorageKind::Dense, "base"));
+  ExperimentRepository reader(dir_);
+  ASSERT_EQ(reader.entries().size(), 1u);
+
+  // Appended by another process after the reader's last refresh: folding
+  // the index from the reader's stale in-memory list must replay it, not
+  // destroy it (the rewritten MANIFEST would otherwise make the loss
+  // permanent — the next refresh() sees its digest as unchanged).
+  writer.store(make_small(StorageKind::Dense, "late"));
+  const std::uint64_t gen = reader.generation();
+  reader.compact();
+  EXPECT_GT(reader.generation(), gen);
+  ASSERT_EQ(reader.entries().size(), 2u);
+  EXPECT_NO_THROW((void)reader.load("late"));
+  EXPECT_FALSE(reader.refresh());
+
+  ExperimentRepository reopened(dir_);
+  ASSERT_EQ(reopened.entries().size(), 2u);
+  EXPECT_NO_THROW((void)reopened.load("late"));
+  // The writer sees the compacted segment list on its next refresh.
+  EXPECT_TRUE(writer.refresh());
+  ASSERT_EQ(writer.entries().size(), 2u);
+}
+
+TEST_F(RepoShardsTest, CompactReloadsAfterExternalCompaction) {
+  ExperimentRepository writer(dir_);
+  ExperimentRepository reader(dir_);  // stale: sees an empty repository
+  for (int i = 0; i < 6; ++i) {
+    writer.store(make_small(StorageKind::Dense, "e" + std::to_string(i)));
+  }
+  writer.remove("e0");
+  writer.compact();  // MANIFEST changed under the stale reader
+  reader.compact();  // must reload before rewriting, or 5 entries vanish
+  ASSERT_EQ(reader.entries().size(), 5u);
+  EXPECT_NO_THROW((void)reader.load("e5"));
+  ASSERT_EQ(ExperimentRepository(dir_).entries().size(), 5u);
+}
+
 TEST_F(RepoShardsTest, RefreshSurvivesExternalCompaction) {
   ExperimentRepository writer(dir_);
   ExperimentRepository reader(dir_);

@@ -100,6 +100,42 @@ TEST_F(SeverityFormatTest, PayloadCorruptionFailsDigest) {
   EXPECT_NO_THROW((void)map_cube_sev_file(path));
 }
 
+TEST_F(SeverityFormatTest, OverflowingHeaderCountsRejected) {
+  // Hand-craft header-only blobs whose counts wrap the payload-size
+  // product back to zero, so the exact-size check alone would pass and
+  // the readers would build astronomically sized stores over 0 payload
+  // bytes.  Both entry points must reject them up front.
+  const auto u64 = [](std::uint64_t v) {
+    std::string out(8, '\0');
+    for (int i = 0; i < 8; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    return out;
+  };
+  const auto header = [&](std::uint64_t kind, std::uint64_t metrics,
+                          std::uint64_t cnodes, std::uint64_t threads,
+                          std::uint64_t entries) {
+    return "CUBESEV1" + u64(kind) + u64(metrics) + u64(cnodes) +
+           u64(threads) + u64(entries) + u64(0);
+  };
+  // Dense: entries = 2^61, geometry matching, 2^61 * 8 bytes wraps to 0.
+  const std::string dense =
+      header(0, std::uint64_t{1} << 61, 1, 1, std::uint64_t{1} << 61);
+  EXPECT_THROW((void)read_cube_sev(dense), Error);
+  EXPECT_THROW((void)map_cube_sev_file(write_blob(dense, "d.sev")), Error);
+  // Sparse: entries = 2^60, 2^60 * 16 bytes wraps to 0.
+  const std::string sparse =
+      header(1, std::uint64_t{1} << 60, 2, 1, std::uint64_t{1} << 60);
+  EXPECT_THROW((void)read_cube_sev(sparse), Error);
+  EXPECT_THROW((void)map_cube_sev_file(write_blob(sparse, "s.sev")), Error);
+  // Geometry whose cell product overflows uint64 outright.
+  const std::string huge = header(1, std::uint64_t{1} << 32,
+                                  std::uint64_t{1} << 32, 2, 0);
+  EXPECT_THROW((void)read_cube_sev(huge), Error);
+  EXPECT_THROW((void)map_cube_sev_file(write_blob(huge, "g.sev")), Error);
+}
+
 TEST_F(SeverityFormatTest, MappedStoreMatchesOwned) {
   const Experiment e = make_small(StorageKind::Dense);
   const std::string blob = to_cube_sev(e.severity());
