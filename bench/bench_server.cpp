@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +58,15 @@ double percentile(std::vector<double> v, double p) {
 std::uint64_t computes_counter() {
   return cube::obs::MetricsRegistry::global().counter("server.computes")
       .value();
+}
+
+long rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) return std::atol(line.c_str() + 6);
+  }
+  return 0;
 }
 
 struct Options {
@@ -248,6 +258,65 @@ int run(const Options& opt) {
   }
   const double mixed_wall_s = (now_ms() - mixed_t0) / 1000.0;
   server.stop();
+
+  // ---- Phase F: over-budget flood --------------------------------------
+  // A second daemon whose peak-resident budget (1 byte) no plan can meet:
+  // static analysis must reject every query BEFORE it reaches the pool or
+  // the result cache, so an over-budget flood costs neither compute nor
+  // memory.
+  std::atomic<int> budget_rejected{0};
+  std::atomic<int> budget_wrong{0};
+  std::uint64_t budget_computes = 0;
+  std::uint64_t budget_cache_bytes = 0;
+  long rss_growth_kb = 0;
+  {
+    ServiceConfig gated_config;
+    gated_config.threads = 4;
+    gated_config.store_derived = false;
+    gated_config.budget_bytes = 1;
+    AnalysisService gated(repo, gated_config);
+    ServerConfig gated_server_config;
+    gated_server_config.socket_path = dir / "cubed-budget.sock";
+    CubedServer gated_server(gated, gated_server_config);
+    gated_server.start();
+    ClientConfig gated_client_config;
+    gated_client_config.socket_path = gated_server_config.socket_path;
+
+    const std::uint64_t computes_before_flood = computes_counter();
+    const long rss_before = rss_kb();
+    const int flood = opt.quick ? 64 : 256;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < opt.clients; ++c) {
+      threads.emplace_back([&, c] {
+        CubeClient client(gated_client_config);
+        for (int q = c; q < flood; q += opt.clients) {
+          const std::string text = "max(" + ids[q % ids.size()] + ", " +
+                                   ids[(q + 3) % ids.size()] + ")";
+          try {
+            (void)client.query(text);
+            budget_wrong.fetch_add(1);
+          } catch (const RemoteError& e) {
+            bool over_budget = false;
+            for (const auto& d : e.payload().diagnostics) {
+              if (d.rule == "cost.over-budget") over_budget = true;
+            }
+            if (e.payload().category == "analysis" && over_budget) {
+              budget_rejected.fetch_add(1);
+            } else {
+              budget_wrong.fetch_add(1);
+            }
+          } catch (const BusyError&) {
+            budget_wrong.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    budget_computes = computes_counter() - computes_before_flood;
+    budget_cache_bytes = gated.cache().size_bytes();
+    rss_growth_kb = rss_kb() - rss_before;
+    gated_server.stop();
+  }
   fs::remove_all(dir);
 
   // ---- Report ----------------------------------------------------------
@@ -285,6 +354,13 @@ int run(const Options& opt) {
               service.config().max_inflight);
   std::printf("mixed throughput: %.0f queries/s over %.2f s (%d BUSY)\n",
               throughput, mixed_wall_s, mixed_busy.load());
+  std::printf("over-budget flood: %d rejected pre-compute, %llu "
+              "computation(s), result cache %llu bytes, rss growth %ld "
+              "KiB\n",
+              budget_rejected.load(),
+              static_cast<unsigned long long>(budget_computes),
+              static_cast<unsigned long long>(budget_cache_bytes),
+              rss_growth_kb);
 
   // ---- Invariants ------------------------------------------------------
   int rc = 0;
@@ -305,6 +381,24 @@ int run(const Options& opt) {
   }
   if (busy.load() == 0) {
     std::fprintf(stderr, "FAIL: overload phase never shed a BUSY\n");
+    rc = 1;
+  }
+  if (budget_wrong.load() != 0 || budget_computes != 0 ||
+      budget_cache_bytes != 0) {
+    std::fprintf(stderr,
+                 "FAIL: over-budget flood leaked past admission (%d "
+                 "non-rejections, %llu computation(s), %llu cached "
+                 "bytes)\n",
+                 budget_wrong.load(),
+                 static_cast<unsigned long long>(budget_computes),
+                 static_cast<unsigned long long>(budget_cache_bytes));
+    rc = 1;
+  }
+  if (rss_growth_kb > 16 * 1024) {
+    std::fprintf(stderr,
+                 "FAIL: over-budget flood grew RSS by %ld KiB — "
+                 "rejections must not allocate\n",
+                 rss_growth_kb);
     rc = 1;
   }
   return rc;

@@ -169,6 +169,19 @@ int main(int argc, char** argv) {
       std::cout << "server acknowledged shutdown\n";
     }
     return 0;
+  } catch (const cube::server::RemoteError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    // Admission-control rejections ship the analyzer's findings; render
+    // them like cube_query --check would.
+    for (const auto& d : e.payload().diagnostics) {
+      const char* level = d.level == 2 ? "error" : d.level == 1 ? "warning"
+                                                                : "note";
+      std::cerr << "  " << level << " [" << d.rule << "] " << d.location
+                << ": " << d.message;
+      if (!d.hint.empty()) std::cerr << " (hint: " << d.hint << ")";
+      std::cerr << "\n";
+    }
+    return 1;
   } catch (const cube::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

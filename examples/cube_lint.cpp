@@ -13,9 +13,11 @@
 // Usage:
 //   cube_lint <file>...            lint experiment files / metadata blobs
 //   cube_lint --repo <dir>         lint a whole repository
+//   cube_lint --rules              print the rule registry and exit
 //
 // Options:
-//   --format text|json   report format (default text)
+//   --format text|json   report format (default text; also selects the
+//                        --rules output format)
 //   --no-values          skip the severity value scan (structure only)
 //   --no-digest          skip the structural digest recomputation
 //   --max-per-rule N     findings reported per value rule before folding
@@ -37,13 +39,14 @@
 #include "io/repository.hpp"
 #include "lint/file_lint.hpp"
 #include "lint/repo_lint.hpp"
+#include "lint/rules.hpp"
 #include "obs_util.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <file>... | --repo <dir> [--format text|json]\n"
+            << " <file>... | --repo <dir> | --rules [--format text|json]\n"
                "  [--no-values] [--no-digest] [--max-per-rule N]\n"
                "  [--fix-layout] [--quiet]\n"
                " " +
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
   std::string format = "text";
   bool quiet = false;
   bool fix_layout = false;
+  bool list_rules = false;
   cube::lint::Options options;
   cube::cli::ObsOptions obs;
   obs.tool = "cube_lint";
@@ -82,6 +86,8 @@ int main(int argc, char** argv) {
       } catch (...) {
         return usage(argv[0]);
       }
+    } else if (arg == "--rules") {
+      list_rules = true;
     } else if (arg == "--fix-layout") {
       fix_layout = true;
     } else if (arg == "--quiet") {
@@ -95,6 +101,15 @@ int main(int argc, char** argv) {
     } else {
       files.push_back(arg);
     }
+  }
+  if (list_rules) {
+    if (!files.empty() || !repo_dir.empty()) return usage(argv[0]);
+    if (format == "json") {
+      cube::lint::write_rules_json(std::cout);
+    } else {
+      cube::lint::write_rules_text(std::cout);
+    }
+    return 0;
   }
   if (files.empty() == repo_dir.empty()) return usage(argv[0]);
   if (fix_layout && repo_dir.empty()) return usage(argv[0]);

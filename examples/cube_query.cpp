@@ -33,6 +33,21 @@
 //   --self-profile f.cube export this run's own profile as a CUBE
 //                         experiment (.cubx = binary)
 //   --stats               print the span call-tree and metric table
+//
+// Static plan analysis (docs/QUERY.md, "Static plan analysis"):
+//   --check           analyze the plan WITHOUT executing it: prove
+//                     operand compatibility, predict result geometry,
+//                     traversal cost, and peak resident memory from
+//                     metadata and severity-blob headers alone.  The
+//                     exit code mirrors the worst finding (0 clean,
+//                     1 warnings, 2 errors), and the run asserts that
+//                     zero severity bytes were read.
+//   --budget-bytes N  with --check: error (cost.over-budget) when the
+//                     predicted peak resident memory exceeds N bytes.
+//                     Without --check: refuse to execute a plan the
+//                     analyzer finds incompatible or over budget.
+//   --format json     with --check: machine-readable analysis report
+#include <algorithm>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -43,7 +58,9 @@
 #include "io/cube_format.hpp"
 #include "io/repository.hpp"
 #include "lint/diagnostics.hpp"
+#include "obs/metrics.hpp"
 #include "obs_util.hpp"
+#include "query/analyze.hpp"
 #include "query/engine.hpp"
 #include "query/plan_lint.hpp"
 #include "report_util.hpp"
@@ -80,6 +97,44 @@ void print_stats(const cube::query::QueryStats& s, std::size_t run,
   }
 }
 
+std::uint64_t sev_bytes_read() {
+  return cube::obs::MetricsRegistry::global()
+      .counter("io.sev.bytes_read", cube::obs::SampleUnit::Bytes)
+      .value();
+}
+
+void print_cost(const char* label, const cube::query::CostEstimate& c) {
+  std::cout << label << ": " << c.nodes_executed << " nodes ("
+            << c.operands_loaded << " loads, " << c.nodes_evaluated
+            << " evaluated, " << c.cache_hits << " cache hits), "
+            << c.cells_traversed << " cells traversed, " << c.bytes_loaded
+            << " bytes loaded, " << c.bytes_faulted << " bytes faulted, "
+            << c.intermediate_bytes << " intermediate bytes, peak resident "
+            << c.peak_resident_bytes << " bytes\n";
+}
+
+void json_str(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out << c;
+  }
+  out << '"';
+}
+
+void cost_json(std::ostream& out, const cube::query::CostEstimate& c) {
+  out << "{\"nodes_executed\": " << c.nodes_executed
+      << ", \"operands_loaded\": " << c.operands_loaded
+      << ", \"nodes_evaluated\": " << c.nodes_evaluated
+      << ", \"cache_hits\": " << c.cache_hits
+      << ", \"cells_traversed\": " << c.cells_traversed
+      << ", \"bytes_loaded\": " << c.bytes_loaded
+      << ", \"bytes_faulted\": " << c.bytes_faulted
+      << ", \"intermediate_bytes\": " << c.intermediate_bytes
+      << ", \"peak_resident_bytes\": " << c.peak_resident_bytes
+      << ", \"exact\": " << (c.exact ? "true" : "false") << "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +146,9 @@ int main(int argc, char** argv) {
   std::size_t repeat = 1;
   bool quiet = false;
   bool verbose = false;
+  bool check = false;
+  bool json = false;
+  std::uint64_t budget_bytes = 0;
   cube::cli::ObsOptions obs;
   obs.tool = "cube_query";
 
@@ -126,6 +184,23 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--budget-bytes" && i + 1 < argc) {
+      std::size_t v = 0;
+      if (!cube::parse_size(argv[++i], v)) {
+        std::cerr << "error: --budget-bytes expects a number\n";
+        return 1;
+      }
+      budget_bytes = v;
+    } else if (arg == "--format" && i + 1 < argc) {
+      const std::string fmt = argv[++i];
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt != "text") {
+        std::cerr << "error: --format expects 'text' or 'json'\n";
+        return 1;
+      }
     } else if (expr.empty()) {
       expr = arg;
     } else {
@@ -137,14 +212,95 @@ int main(int argc, char** argv) {
     std::cerr << "usage: cube_query <expr> --repo <dir> [--threads N]"
                  " [--no-cache] [--no-store] [--repeat N] [-o out.cube]"
                  " [--hotspots N] [--quiet] [--verbose]"
+                 " [--check [--format json]] [--budget-bytes N]"
               << cube::cli::ObsOptions::usage() << "\n";
     return 1;
+  }
+
+  if (check) {
+    // Analyze-only: plan, then run the static analyzer over metadata and
+    // severity-blob headers.  No executor is constructed and no severity
+    // byte may be read — asserted via the io.sev.bytes_read counter.
+    try {
+      cube::ExperimentRepository repo(*repo_dir);
+      const cube::query::QueryPlan plan = cube::query::plan_query(
+          *cube::query::parse_query(expr), repo, options.operators);
+
+      cube::query::AnalyzeOptions aopts;
+      aopts.budget_bytes = budget_bytes;
+      aopts.use_cache = options.use_cache;
+      aopts.operators = options.operators;
+
+      const std::uint64_t sev_before = sev_bytes_read();
+      cube::lint::DiagnosticSink sink;
+      const cube::query::PlanAnalysis analysis =
+          cube::query::analyze_plan(plan, repo, sink, aopts);
+      const std::uint64_t sev_delta = sev_bytes_read() - sev_before;
+
+      int rc = sink.exit_code();
+      if (sev_delta != 0) {
+        std::cerr << "error: static analysis read " << sev_delta
+                  << " severity bytes (must be 0)\n";
+        rc = std::max(rc, 2);
+      }
+      if (json) {
+        std::cout << "{\n  \"query\": ";
+        json_str(std::cout, expr);
+        std::cout << ",\n  \"canonical\": ";
+        json_str(std::cout, plan.nodes[plan.root].canonical);
+        std::cout << ",\n  \"compatible\": "
+                  << (analysis.compatible ? "true" : "false")
+                  << ",\n  \"exact\": "
+                  << (analysis.exact ? "true" : "false")
+                  << ",\n  \"budget_bytes\": " << analysis.budget_bytes
+                  << ",\n  \"over_budget\": "
+                  << (analysis.over_budget ? "true" : "false")
+                  << ",\n  \"severity_bytes_read\": " << sev_delta
+                  << ",\n  \"cold\": ";
+        cost_json(std::cout, analysis.cold);
+        std::cout << ",\n  \"warm\": ";
+        cost_json(std::cout, analysis.warm);
+        std::cout << ",\n  \"diagnostics\": ";
+        sink.write_json(std::cout);
+        std::cout << "}\n";
+      } else {
+        std::cout << "check:     " << expr << "\n"
+                  << "canonical: " << plan.nodes[plan.root].canonical
+                  << "\n";
+        print_cost("cold", analysis.cold);
+        print_cost("warm", analysis.warm);
+        sink.write_text(std::cout);
+      }
+      return rc;
+    } catch (const cube::Error& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   obs.begin();
   try {
     cube::ExperimentRepository repo(*repo_dir);
     cube::query::QueryEngine engine(repo, options);
+
+    // Admission gate: with a budget set, the plan must pass the static
+    // analyzer before any severity is loaded (the same gate cubed runs
+    // before admitting a query).
+    if (budget_bytes != 0) {
+      cube::query::AnalyzeOptions aopts;
+      aopts.budget_bytes = budget_bytes;
+      aopts.use_cache = options.use_cache;
+      aopts.operators = options.operators;
+      aopts.run_plan_lint = false;
+      cube::lint::DiagnosticSink sink;
+      (void)cube::query::analyze_plan(
+          engine.plan(*cube::query::parse_query(expr)), repo, sink, aopts);
+      if (sink.reached(cube::lint::Level::Error)) {
+        std::cerr << "error: static plan analysis refused the query\n";
+        sink.write_text(std::cerr);
+        return 2;
+      }
+    }
 
     // Plan-shape advisories (perf.series-foldable & co.) go to stderr;
     // they never affect the exit code or the result.

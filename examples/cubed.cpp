@@ -24,6 +24,13 @@
 //                      0 disables)
 //   --no-store         do not persist derived results into the repository
 //   --validate-loads   lint every loaded experiment (reject invalid data)
+//   --budget-bytes N   reject queries whose statically predicted peak
+//                      resident memory exceeds N bytes, BEFORE they reach
+//                      the compute path (0 disables; docs/QUERY.md,
+//                      "Static plan analysis")
+//   --no-admission-analysis
+//                      skip static plan analysis at admission; semantic
+//                      incompatibilities surface at eval time instead
 //   --force-busy       shed every query (deterministic BUSY; CI smoke)
 //   --no-shutdown      ignore Shutdown frames from clients
 //   --name <s>         server name reported in HelloOk (default cubed)
@@ -81,6 +88,15 @@ int main(int argc, char** argv) {
       service_config.store_derived = false;
     } else if (arg == "--validate-loads") {
       service_config.validate_loads = true;
+    } else if (arg == "--budget-bytes" && i + 1 < argc) {
+      std::size_t budget = 0;
+      if (!cube::parse_size(argv[++i], budget)) {
+        std::cerr << "error: --budget-bytes expects a number\n";
+        return 1;
+      }
+      service_config.budget_bytes = budget;
+    } else if (arg == "--no-admission-analysis") {
+      service_config.admission_analysis = false;
     } else if (arg == "--force-busy") {
       service_config.force_busy = true;
     } else if (arg == "--no-shutdown") {
@@ -96,7 +112,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: cubed --repo <dir> --socket <path> [--threads N]"
                  " [--max-inflight N] [--busy-wait-ms X] [--retry-ms N]"
                  " [--cache-bytes N] [--refresh-ms N] [--no-store]"
-                 " [--validate-loads] [--force-busy] [--no-shutdown]"
+                 " [--validate-loads] [--budget-bytes N]"
+                 " [--no-admission-analysis] [--force-busy] [--no-shutdown]"
                  " [--name s]"
               << cube::cli::ObsOptions::usage() << "\n";
     return 1;

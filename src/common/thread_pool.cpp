@@ -51,7 +51,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ts::MutexLock lock(mutex_);
     stopping_ = true;
   }
   ready_.notify_all();
@@ -63,7 +63,7 @@ void ThreadPool::submit(std::function<void()> task) {
   entry.fn = std::move(task);
   if (obs::tracing_enabled()) entry.enqueue_ns = now_ns();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ts::MutexLock lock(mutex_);
     queue_.push_back(std::move(entry));
   }
   ready_.notify_one();
@@ -74,7 +74,7 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<std::mutex> lock(mutex_.native());
       ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());

@@ -17,10 +17,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/thread_safety.hpp"
 
 namespace cube {
 
@@ -62,13 +63,15 @@ class ThreadPool {
     std::int64_t enqueue_ns = 0;
   };
 
-  void worker_loop(std::size_t index);
+  /// The wait loop re-acquires mutex_ through the condition variable,
+  /// which the thread-safety analysis cannot follow.
+  void worker_loop(std::size_t index) CUBE_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
-  std::mutex mutex_;
+  ts::Mutex mutex_;
+  std::deque<Task> queue_ CUBE_GUARDED_BY(mutex_);
   std::condition_variable ready_;
-  bool stopping_ = false;
+  bool stopping_ CUBE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cube

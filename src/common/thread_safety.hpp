@@ -1,0 +1,88 @@
+// Portability shims for clang's thread-safety analysis
+// (-Wthread-safety), plus a std::mutex wrapper the analysis understands.
+//
+// Clang statically checks lock discipline when types and members carry
+// capability attributes: a member declared CUBE_GUARDED_BY(mutex_) may
+// only be touched while mutex_ is held, a function declared
+// CUBE_REQUIRES(mutex_) may only be called with it held, and so on.  GCC
+// (and clang without the attribute) compiles every macro away, so the
+// annotations are zero-cost documentation everywhere and enforced under
+// the clang CI leg (-Wthread-safety -Werror).
+//
+// libstdc++'s std::mutex is not annotated, so the analysis cannot track
+// it directly; cube::ts::Mutex wraps one with the capability attributes
+// attached and cube::ts::MutexLock is the matching scoped guard.  Code
+// that must escape the analysis (condition-variable wait loops re-acquire
+// the lock in ways the checker cannot follow) uses
+// CUBE_NO_THREAD_SAFETY_ANALYSIS on the narrowest possible function.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CUBE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CUBE_THREAD_ANNOTATION
+#define CUBE_THREAD_ANNOTATION(x)  // expands to nothing outside clang
+#endif
+
+#define CUBE_CAPABILITY(x) CUBE_THREAD_ANNOTATION(capability(x))
+#define CUBE_SCOPED_CAPABILITY CUBE_THREAD_ANNOTATION(scoped_lockable)
+#define CUBE_GUARDED_BY(x) CUBE_THREAD_ANNOTATION(guarded_by(x))
+#define CUBE_PT_GUARDED_BY(x) CUBE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CUBE_REQUIRES(...) \
+  CUBE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CUBE_ACQUIRE(...) \
+  CUBE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CUBE_RELEASE(...) \
+  CUBE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CUBE_TRY_ACQUIRE(...) \
+  CUBE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CUBE_EXCLUDES(...) CUBE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CUBE_ASSERT_CAPABILITY(x) \
+  CUBE_THREAD_ANNOTATION(assert_capability(x))
+#define CUBE_RETURN_CAPABILITY(x) CUBE_THREAD_ANNOTATION(lock_returned(x))
+#define CUBE_NO_THREAD_SAFETY_ANALYSIS \
+  CUBE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cube::ts {
+
+/// std::mutex with the capability attribute attached so clang's analysis
+/// can track it.  native() exposes the wrapped mutex for APIs that need
+/// the real type (std::condition_variable_any locks the wrapper itself,
+/// so most code never needs it).
+class CUBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CUBE_ACQUIRE() { impl_.lock(); }
+  void unlock() CUBE_RELEASE() { impl_.unlock(); }
+  bool try_lock() CUBE_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+  [[nodiscard]] std::mutex& native() noexcept { return impl_; }
+
+ private:
+  std::mutex impl_;
+};
+
+/// Scoped lock over Mutex — std::lock_guard with the scoped-capability
+/// attribute so the analysis sees acquisition and release.
+class CUBE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) CUBE_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() CUBE_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace cube::ts

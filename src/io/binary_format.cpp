@@ -22,6 +22,12 @@ obs::Counter& bytes_read_counter() {
   return c;
 }
 
+obs::Counter& sev_bytes_read_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.sev.bytes_read", obs::SampleUnit::Bytes);
+  return c;
+}
+
 obs::Counter& bytes_written_counter() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter(
       "io.bin.bytes_written", obs::SampleUnit::Bytes);
@@ -99,6 +105,9 @@ std::vector<std::pair<std::string, std::string>> decode_attributes(
 void decode_severity(detail::BinaryDecoder& d, Experiment& experiment) {
   const Metadata& md = experiment.metadata();
   const std::uint32_t num_values = d.u32();
+  // Each triple is 3 u32 indices + 1 f64 value on the wire.
+  sev_bytes_read_counter().add(static_cast<std::uint64_t>(num_values) *
+                               (3 * sizeof(std::uint32_t) + sizeof(double)));
   for (std::uint32_t i = 0; i < num_values; ++i) {
     const std::uint32_t m = d.u32();
     const std::uint32_t c = d.u32();

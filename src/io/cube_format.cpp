@@ -23,6 +23,12 @@ obs::Counter& xml_bytes_read_counter() {
   return c;
 }
 
+obs::Counter& sev_bytes_read_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.sev.bytes_read", obs::SampleUnit::Bytes);
+  return c;
+}
+
 obs::Counter& xml_bytes_written_counter() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter(
       "io.xml.bytes_written", obs::SampleUnit::Bytes);
@@ -595,6 +601,7 @@ class CubeDecoder {
                          "section does not define");
       }
       for (const XmlNode* row : matrix->children_named("row")) {
+        sev_bytes_read_counter().add(row->text.size());
         const std::size_t cnode_file_id = parse_id(*row, "cnode");
         const auto c = cnode_ids_.find(cnode_file_id);
         if (c == cnode_ids_.end()) {

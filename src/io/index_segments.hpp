@@ -40,14 +40,24 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "io/repo_entry.hpp"
 
 namespace cube {
 
 /// Manages the index/ directory of one repository.  Not thread-safe: the
 /// owning ExperimentRepository serializes access through its own lock.
-class SegmentedIndex {
+/// The class is itself a thread-safety capability: mutators require it,
+/// and the owner vouches for its exclusive lock with assert_owned() —
+/// clang's analysis then rejects any new mutating call site that forgot
+/// to take the repository lock first.
+class CUBE_CAPABILITY("repository index") SegmentedIndex {
  public:
+  /// Tells the thread-safety analysis that the owner's exclusive lock
+  /// serializes this object (a no-op at runtime).  Call under
+  /// ExperimentRepository::mutex_ before mutating.
+  void assert_owned() const CUBE_ASSERT_CAPABILITY(this) {}
+
   static constexpr const char* kIndexDirName = "index";
   static constexpr const char* kManifestName = "MANIFEST";
   /// Active segment is sealed (and a fresh one started) past this many
@@ -67,25 +77,25 @@ class SegmentedIndex {
 
   /// Initializes an empty index: the directory, one empty active
   /// segment, and the MANIFEST.  Fails if a MANIFEST already exists.
-  void create();
+  void create() CUBE_REQUIRES(*this);
 
   /// Full replay: reads the MANIFEST and every listed segment, rebuilding
   /// `entries` (cleared first) in store order.  Torn final frames are
   /// tolerated (see header comment).  Throws IoError/ParseError on a
   /// missing or corrupt manifest/segment.
-  void load(std::vector<RepoEntry>& entries);
+  void load(std::vector<RepoEntry>& entries) CUBE_REQUIRES(*this);
 
   /// Picks up changes written by another process: a changed MANIFEST
   /// triggers a full reload; an unchanged one re-parses only the active
   /// segment's appended tail.  Returns true if `entries` changed.
-  bool refresh(std::vector<RepoEntry>& entries);
+  bool refresh(std::vector<RepoEntry>& entries) CUBE_REQUIRES(*this);
 
   /// Appends one store record to the active segment, sealing it first if
   /// full.  The caller updates its entry list itself.
-  void append(const RepoEntry& entry);
+  void append(const RepoEntry& entry) CUBE_REQUIRES(*this);
 
   /// Appends one tombstone record.
-  void append_remove(const std::string& id);
+  void append_remove(const std::string& id) CUBE_REQUIRES(*this);
 
   struct CompactResult {
     std::size_t superseded = 0;   ///< segment files replaced
@@ -98,7 +108,7 @@ class SegmentedIndex {
   /// records another process appended since the last load/refresh are
   /// replayed into `live` (a changed MANIFEST triggers a full reload, an
   /// unchanged one a tail re-parse) so compaction never destroys them.
-  CompactResult compact(std::vector<RepoEntry>& live);
+  CompactResult compact(std::vector<RepoEntry>& live) CUBE_REQUIRES(*this);
 
   /// True when enough tombstone/overwrite waste accumulated that
   /// compact() is worthwhile (`live_count` = current entry count).
@@ -133,7 +143,7 @@ class SegmentedIndex {
   [[nodiscard]] StraySegments stray_segments() const;
 
   /// Deletes every stray segment file; returns how many were removed.
-  std::size_t remove_stray_segments();
+  std::size_t remove_stray_segments() CUBE_REQUIRES(*this);
 
  private:
   struct SegmentState {

@@ -139,6 +139,7 @@ ExperimentRepository::ExperimentRepository(std::filesystem::path directory,
   if (SegmentedIndex::present(directory_)) {
     layout_ = RepoLayout::Sharded;
     index_ = std::make_unique<SegmentedIndex>(directory_);
+    index_->assert_owned();  // construction: no concurrent access yet
     index_->load(entries_);
   } else if (std::filesystem::exists(directory_ / kIndexFile)) {
     layout_ = RepoLayout::Legacy;
@@ -149,6 +150,7 @@ ExperimentRepository::ExperimentRepository(std::filesystem::path directory,
   } else {
     layout_ = RepoLayout::Sharded;
     index_ = std::make_unique<SegmentedIndex>(directory_);
+    index_->assert_owned();  // construction: no concurrent access yet
     index_->create();
   }
   rebuild_ids();
@@ -250,6 +252,7 @@ void ExperimentRepository::rebuild_ids() {
 
 void ExperimentRepository::index_store(const RepoEntry& entry) {
   if (index_) {
+    index_->assert_owned();
     index_->append(entry);
   } else {
     write_index();
@@ -270,6 +273,14 @@ MetadataResolver ExperimentRepository::resolver() const {
 
 SeverityResolver ExperimentRepository::sev_resolver() const {
   return directory_severity_resolver(directory_);
+}
+
+std::optional<SevBlobStat> ExperimentRepository::stat_sev_blob(
+    std::uint64_t digest) const {
+  const std::filesystem::path path = find_sev_blob(digest_hex(digest));
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  return stat_cube_sev_file(path);
 }
 
 std::filesystem::path ExperimentRepository::find_meta_blob(
@@ -420,6 +431,7 @@ bool ExperimentRepository::refresh() {
   std::unique_lock lock(mutex_);
   bool changed = false;
   if (index_) {
+    index_->assert_owned();
     changed = index_->refresh(entries_);
   } else {
     std::uint64_t on_disk = 0;
@@ -459,7 +471,10 @@ std::size_t ExperimentRepository::migrate() {
     entry.meta = ensure_blob(experiment.metadata());
     write_experiment_file(experiment, entry);
     (void)interner_.intern(experiment.metadata_ptr());
-    if (index_) index_->append(entry);
+    if (index_) {
+      index_->assert_owned();
+      index_->append(entry);
+    }
     ++changed;
   }
   // Phase 2: convert a legacy single-index repository to the sharded
@@ -506,6 +521,7 @@ std::size_t ExperimentRepository::migrate() {
       ++changed;
     }
     index_ = std::make_unique<SegmentedIndex>(directory_);
+    index_->assert_owned();
     index_->create();
     for (const RepoEntry& entry : entries_) index_->append(entry);
     layout_ = RepoLayout::Sharded;
@@ -519,7 +535,10 @@ std::size_t ExperimentRepository::migrate() {
   // left in index/ — uncommitted (orphan) and superseded (stale) segment
   // files plus *.tmp leftovers.  The MANIFEST commit already made them
   // unreachable, so deleting them is the whole recovery.
-  if (index_) changed += index_->remove_stray_segments();
+  if (index_) {
+    index_->assert_owned();
+    changed += index_->remove_stray_segments();
+  }
   if (changed > 0) {
     generation_.fetch_add(1, std::memory_order_release);
   }
@@ -540,6 +559,7 @@ void ExperimentRepository::remove(const std::string& id) {
       // remove_orphan_blobs()/gc reclaim), never an index record that
       // references deleted files.
       if (index_) {
+        index_->assert_owned();
         index_->append_remove(id);
       } else {
         write_index();
@@ -596,6 +616,7 @@ std::size_t ExperimentRepository::remove_orphan_blobs() {
 }
 
 std::size_t ExperimentRepository::do_compact() {
+  index_->assert_owned();
   const SegmentedIndex::CompactResult result = index_->compact(entries_);
   if (result.entries_changed) {
     // Compaction replayed records another process appended since our
@@ -622,6 +643,7 @@ std::size_t ExperimentRepository::compact() {
 std::size_t ExperimentRepository::remove_stray_segments() {
   std::unique_lock lock(mutex_);
   if (!index_) return 0;
+  index_->assert_owned();
   return index_->remove_stray_segments();
 }
 

@@ -41,6 +41,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_set>
@@ -118,6 +119,13 @@ class ExperimentRepository {
   /// The digest -> severity-store resolver over this repository's sev/
   /// directory; blobs come back mmapped (file-backed stores).
   [[nodiscard]] SeverityResolver sev_resolver() const;
+
+  /// Header-only stat of the severity blob `digest` references, or
+  /// std::nullopt when no such blob exists.  Reads the 56-byte CUBESEV1
+  /// header and never faults a payload page — the static plan analyzer's
+  /// cost model runs on this (io.sev.bytes_read stays untouched).
+  [[nodiscard]] std::optional<SevBlobStat> stat_sev_blob(
+      std::uint64_t digest) const;
 
   /// The metadata interner; exposed so other layers (query engine) can
   /// share instances with repository loads.

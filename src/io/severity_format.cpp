@@ -8,10 +8,17 @@
 
 #include "common/digest.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace cube {
 
 namespace {
+
+obs::Counter& sev_bytes_read_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "io.sev.bytes_read", obs::SampleUnit::Bytes);
+  return c;
+}
 
 constexpr std::string_view kMagic = "CUBESEV1";
 constexpr std::uint64_t kKindDense = 0;
@@ -207,6 +214,7 @@ std::string to_cube_sev(const SeverityStore& store) {
 std::unique_ptr<SeverityStore> read_cube_sev(std::string_view data) {
   const Header h = parse_header(data, "severity blob");
   const std::string_view payload = data.substr(kHeaderBytes);
+  sev_bytes_read_counter().add(payload.size());
   if (fnv1a(payload) != h.digest) {
     throw Error("severity blob payload digest mismatch (corrupt blob)");
   }
@@ -253,6 +261,10 @@ std::unique_ptr<SeverityStore> map_cube_sev_file(
   auto mapping = std::make_shared<MappedFile>(path);
   const std::string_view data = bytes_of(mapping->data(), mapping->size());
   const Header h = parse_header(data, path.string());
+  // The mapping makes every payload byte loadable; count them all, like
+  // the owned reader — the analyzer's zero-severity-bytes proof treats a
+  // map as a load (pages WILL fault under the reduction).
+  sev_bytes_read_counter().add(data.size() - kHeaderBytes);
   const std::byte* payload = mapping->data() + kHeaderBytes;
   if (h.kind == kKindDense) {
     const std::span<const Severity> cells(
@@ -270,6 +282,74 @@ std::unique_ptr<SeverityStore> map_cube_sev_file(
       static_cast<std::size_t>(h.entries));
   return std::make_unique<SparseSeverity>(h.metrics, h.cnodes, h.threads,
                                           keys, values, std::move(mapping));
+}
+
+SevBlobStat stat_cube_sev_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open " + path.string());
+  }
+  char buf[kHeaderBytes];
+  in.read(buf, static_cast<std::streamsize>(kHeaderBytes));
+  if (in.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    throw Error(path.string() + ": not a CUBESEV1 severity blob");
+  }
+  std::error_code ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw Error("cannot stat " + path.string());
+  }
+  const std::string_view header(buf, kHeaderBytes);
+  if (header.substr(0, kMagic.size()) != kMagic) {
+    throw Error(path.string() + ": not a CUBESEV1 severity blob");
+  }
+  const auto u64_at = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(buf[off + i]);
+    }
+    return v;
+  };
+  SevBlobStat stat;
+  const std::uint64_t kind = u64_at(8);
+  stat.metrics = u64_at(16);
+  stat.cnodes = u64_at(24);
+  stat.threads = u64_at(32);
+  stat.entries = u64_at(40);
+  if (kind != kKindDense && kind != kKindSparse) {
+    throw Error(path.string() + ": unknown severity blob kind " +
+                std::to_string(kind));
+  }
+  stat.kind = kind == kKindDense ? StorageKind::Dense : StorageKind::Sparse;
+  const auto checked_mul = [&](std::uint64_t a, std::uint64_t b) {
+    if (b != 0 && a > std::numeric_limits<std::uint64_t>::max() / b) {
+      throw Error(path.string() + ": severity blob geometry overflows");
+    }
+    return a * b;
+  };
+  const std::uint64_t cells =
+      checked_mul(checked_mul(stat.metrics, stat.cnodes), stat.threads);
+  const std::uint64_t record_size =
+      kind == kKindDense ? sizeof(Severity)
+                         : sizeof(std::uint64_t) + sizeof(Severity);
+  if (kind == kKindDense && stat.entries != cells) {
+    throw Error(path.string() + ": dense severity blob entry count " +
+                std::to_string(stat.entries) +
+                " does not match geometry (" + std::to_string(cells) +
+                " cells)");
+  }
+  if (kind == kKindSparse && stat.entries > cells) {
+    throw Error(path.string() +
+                ": sparse severity blob has more entries than cells");
+  }
+  stat.payload_bytes = checked_mul(stat.entries, record_size);
+  if (static_cast<std::uint64_t>(file_size) !=
+      kHeaderBytes + stat.payload_bytes) {
+    throw Error(path.string() + ": severity blob is " +
+                std::to_string(file_size) + " bytes, header implies " +
+                std::to_string(kHeaderBytes + stat.payload_bytes));
+  }
+  return stat;
 }
 
 void check_cube_sev_file(const std::filesystem::path& path) {

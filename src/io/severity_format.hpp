@@ -81,6 +81,27 @@ void write_cube_sev(const SeverityStore& store, std::ostream& out);
 /// order).  Throws cube::Error describing the first problem found.
 void check_cube_sev_file(const std::filesystem::path& path);
 
+/// Header fields of a severity blob, read without touching the payload.
+struct SevBlobStat {
+  StorageKind kind = StorageKind::Dense;
+  std::uint64_t metrics = 0;
+  std::uint64_t cnodes = 0;
+  std::uint64_t threads = 0;
+  /// Dense: cell count; sparse: stored (key, value) pairs.
+  std::uint64_t entries = 0;
+  /// Payload size the header implies (and the file carries past the
+  /// 56-byte header) — what a full load would fault in.
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Reads ONLY the 56-byte header of a blob and returns its geometry —
+/// the static analyzer's cost model runs on this, so the read must never
+/// fault severity pages and does not count toward io.sev.bytes_read.
+/// Validates magic/kind/geometry against the file size; throws
+/// cube::Error on a malformed header.
+[[nodiscard]] SevBlobStat stat_cube_sev_file(
+    const std::filesystem::path& path);
+
 /// True if `data` starts with the severity blob magic.
 [[nodiscard]] bool is_cube_sev(std::string_view data) noexcept;
 

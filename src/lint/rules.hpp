@@ -1,0 +1,47 @@
+// The rule registry: every stable diagnostic id the system can emit, its
+// default severity level, and the pass that reports it — machine-readable
+// so tools (and the docs/LINT.md diff test) can enumerate the catalogue
+// without scraping source.
+//
+// `cube_lint --rules` prints the registry (text or JSON).  A rule landing
+// in code without a registry entry (or vice versa) is a bug:
+// tests/lint/test_rules_registry.cpp diffs the registry against both the
+// docs/LINT.md catalogue tables and the rule-id string literals in
+// src/, so the three can never drift apart silently.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "lint/diagnostics.hpp"
+
+namespace cube::lint {
+
+/// One registered diagnostic rule.
+struct RuleInfo {
+  std::string_view id;      ///< stable dot-separated id, e.g. "sev.negative"
+  Level level;              ///< default severity when the rule fires
+  std::string_view pass;    ///< reporting pass (see pass names below)
+  std::string_view summary; ///< one-line invariant or meaning
+};
+
+/// Pass names used in RuleInfo::pass:
+///   "experiment"     lint_experiment (in-memory forests, values, blobs)
+///   "file"           lint_file (readers' structured CheckErrors)
+///   "repository"     lint_repository
+///   "compatibility"  lint_compatibility (operator pre-flight)
+///   "plan-shape"     query::lint_plan (performance advisories)
+///   "plan-analysis"  query::analyze_plan (static semantic + cost checks)
+///
+/// Every id is distinct; the span is sorted by id.
+[[nodiscard]] std::span<const RuleInfo> rule_registry() noexcept;
+
+/// Registry entry for `id`, or nullptr if the id is unknown.
+[[nodiscard]] const RuleInfo* find_rule(std::string_view id) noexcept;
+
+/// Writes the registry as text (one rule per line) or as a JSON array of
+/// {id, level, pass, summary} objects.
+void write_rules_text(std::ostream& out);
+void write_rules_json(std::ostream& out);
+
+}  // namespace cube::lint

@@ -182,6 +182,12 @@ class Planner {
     if (ec) node.operand.bytes = 0;
     node.canonical =
         "id:" + entry.id + "@" + digest_hex(node.operand.digest);
+    if (!entry.sev.empty() &&
+        !parse_hex64(entry.sev, node.operand.sev_digest)) {
+      // Not part of the key (the file digest already covers the <sevref>);
+      // recorded so the static analyzer can stat the blob header.
+      node.operand.sev_digest = 0;
+    }
     if (!entry.meta.empty() &&
         parse_hex64(entry.meta, node.operand.meta_digest)) {
       // Blob-backed entry: the file holds only a digest reference, so the

@@ -56,6 +56,11 @@ struct ResolvedOperand {
   /// if an entry is repointed at different metadata even though the
   /// experiment file bytes (attrs + digest + severity) happen to collide.
   std::uint64_t meta_digest = 0;
+  /// Digest of the referenced CUBESEV1 severity blob (0 when the entry
+  /// carries its severity inline).  The static analyzer stats the blob
+  /// header through this to learn exact storage kind and nnz without
+  /// loading severity.
+  std::uint64_t sev_digest = 0;
 };
 
 /// One DAG node, either a repository load or an operator application.

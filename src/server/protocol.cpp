@@ -229,6 +229,14 @@ std::string encode_error(const ErrorPayload& p) {
   detail::BinaryEncoder e(out);
   e.str(p.category);
   e.str(p.message);
+  e.u32(static_cast<std::uint32_t>(p.diagnostics.size()));
+  for (const WireDiagnostic& diag : p.diagnostics) {
+    e.str(diag.rule);
+    e.u32(diag.level);
+    e.str(diag.location);
+    e.str(diag.message);
+    e.str(diag.hint);
+  }
   return out.str();
 }
 
@@ -238,6 +246,20 @@ ErrorPayload decode_error(std::string_view payload) {
     ErrorPayload p;
     p.category = d.str();
     p.message = d.str();
+    // Peers that predate structured diagnostics end the payload here;
+    // treat that as an empty list rather than a framing violation.
+    if (d.done()) return p;
+    const std::uint32_t n = d.u32();
+    p.diagnostics.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      WireDiagnostic diag;
+      diag.rule = d.str();
+      diag.level = d.u32();
+      diag.location = d.str();
+      diag.message = d.str();
+      diag.hint = d.str();
+      p.diagnostics.push_back(std::move(diag));
+    }
     require_done(d, "Error");
     return p;
   });

@@ -120,10 +120,27 @@ struct ResultPayload {
   double server_ms = 0.0; ///< service time observed by the server
 };
 
+/// One structured finding attached to an Error frame — the wire form of a
+/// lint::Diagnostic, so clients can render rule ids and locations instead
+/// of re-parsing a flattened message.
+struct WireDiagnostic {
+  std::string rule;          ///< stable id, e.g. "plan.metric-unit"
+  std::uint32_t level = 0;   ///< lint::Level as u32 (Note/Warning/Error)
+  std::string location;      ///< canonical sub-expression
+  std::string message;
+  std::string hint;          ///< empty when the finding has none
+};
+
 struct ErrorPayload {
-  /// Coarse category: "parse", "plan", "eval", "protocol", "internal".
+  /// Coarse category: "parse", "plan", "analysis", "eval", "protocol",
+  /// "internal".
   std::string category;
   std::string message;
+  /// Structured findings (admission-control rejections carry the
+  /// analyzer's plan.*/cost.* diagnostics here).  Absent on the wire for
+  /// pre-diagnostic peers: the decoder treats a payload that ends after
+  /// `message` as an empty list.
+  std::vector<WireDiagnostic> diagnostics;
 };
 
 struct BusyPayload {

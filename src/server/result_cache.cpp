@@ -6,7 +6,7 @@
 namespace cube::server {
 
 ResultCache::Lookup ResultCache::acquire(std::uint64_t key) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_.native());
   for (;;) {
     auto it = slots_.find(key);
     if (it == slots_.end()) {
@@ -33,7 +33,7 @@ ResultCache::Lookup ResultCache::acquire(std::uint64_t key) {
 std::shared_ptr<const CachedResult> ResultCache::publish(std::uint64_t key,
                                                          CachedResult result) {
   auto shared = std::make_shared<const CachedResult>(std::move(result));
-  std::lock_guard<std::mutex> lock(mutex_);
+  ts::MutexLock lock(mutex_);
   auto it = slots_.find(key);
   if (it == slots_.end()) return shared;  // raced a clear(); serve uncached
   Slot& slot = *it->second;
@@ -48,7 +48,7 @@ std::shared_ptr<const CachedResult> ResultCache::publish(std::uint64_t key,
 }
 
 void ResultCache::fail(std::uint64_t key, std::function<void()> rethrow) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ts::MutexLock lock(mutex_);
   auto it = slots_.find(key);
   if (it == slots_.end()) return;
   std::shared_ptr<Slot> slot = it->second;
@@ -61,22 +61,22 @@ void ResultCache::fail(std::uint64_t key, std::function<void()> rethrow) {
 }
 
 std::size_t ResultCache::size_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ts::MutexLock lock(mutex_);
   return ready_bytes_;
 }
 
 std::size_t ResultCache::entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ts::MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::uint64_t ResultCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ts::MutexLock lock(mutex_);
   return evictions_;
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ts::MutexLock lock(mutex_);
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (it->second->state == Slot::State::Ready) {
       it = slots_.erase(it);

@@ -23,9 +23,10 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_safety.hpp"
 
 namespace cube::server {
 
@@ -69,7 +70,10 @@ class ResultCache {
   /// publish(key, ...) or fail(key, ...) exactly once — otherwise every
   /// later acquirer of the key blocks forever.  Rethrows the owner's
   /// exception if the computation this call coalesced onto fails.
-  [[nodiscard]] Lookup acquire(std::uint64_t key);
+  /// (The wait loop re-acquires mutex_ through the condition variable,
+  /// which the thread-safety analysis cannot follow.)
+  [[nodiscard]] Lookup acquire(std::uint64_t key)
+      CUBE_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Completes an owned computation: stores the result, wakes waiters,
   /// and evicts least-recently-used ready entries over the byte budget.
@@ -105,17 +109,18 @@ class ResultCache {
     std::list<std::uint64_t>::iterator lru;      // Ready only
   };
 
-  /// Pre: lock held.  Evicts LRU ready entries until within budget.
-  void evict_locked();
+  /// Evicts LRU ready entries until within budget.
+  void evict_locked() CUBE_REQUIRES(mutex_);
 
   const std::size_t capacity_bytes_;
-  mutable std::mutex mutex_;
+  mutable ts::Mutex mutex_;
   std::condition_variable cv_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_
+      CUBE_GUARDED_BY(mutex_);
   /// Most-recently-used first; ready keys only.
-  std::list<std::uint64_t> lru_;
-  std::size_t ready_bytes_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::list<std::uint64_t> lru_ CUBE_GUARDED_BY(mutex_);
+  std::size_t ready_bytes_ CUBE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ CUBE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace cube::server

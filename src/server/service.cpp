@@ -9,6 +9,7 @@
 #include "io/binary_format.hpp"
 #include "io/meta_format.hpp"
 #include "obs/tracer.hpp"
+#include "query/analyze.hpp"
 #include "query/query_expr.hpp"
 
 namespace cube::server {
@@ -63,6 +64,7 @@ AnalysisService::AnalysisService(ExperimentRepository& repo,
       coalesced_(obs::MetricsRegistry::global().counter("server.coalesced")),
       computes_(obs::MetricsRegistry::global().counter("server.computes")),
       busy_(obs::MetricsRegistry::global().counter("server.busy")),
+      rejected_(obs::MetricsRegistry::global().counter("server.rejected")),
       errors_(obs::MetricsRegistry::global().counter("server.errors")),
       queue_wait_hist_(obs::MetricsRegistry::global().histogram(
           "server.queue_wait", obs::SampleUnit::Seconds)),
@@ -88,7 +90,7 @@ AnalysisService::PlannedQuery AnalysisService::resolve_plan(
     const std::string& text) {
   const std::uint64_t epoch = plan_epoch_.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> lock(plan_mutex_);
+    ts::MutexLock lock(plan_mutex_);
     auto it = plan_cache_.find(text);
     if (it != plan_cache_.end() && it->second.epoch == epoch) {
       return it->second;
@@ -109,11 +111,41 @@ AnalysisService::PlannedQuery AnalysisService::resolve_plan(
       std::make_shared<const query::QueryPlan>(engine_->plan(*expr));
   planned.key = planned.plan->nodes[planned.plan->root].key;
   planned.canonical = planned.plan->nodes[planned.plan->root].canonical;
+  if (config_.admission_analysis) analyze_admission(planned);
   {
-    std::lock_guard<std::mutex> lock(plan_mutex_);
+    ts::MutexLock lock(plan_mutex_);
     plan_cache_[text] = planned;
   }
   return planned;
+}
+
+void AnalysisService::analyze_admission(PlannedQuery& planned) {
+  OBS_SPAN("server.analyze");
+  lint::DiagnosticSink sink;
+  query::AnalyzeOptions options;
+  options.budget_bytes = config_.budget_bytes;
+  options.use_cache = engine_->options().use_cache;
+  options.run_plan_lint = false;  // perf.* advisories are not gate-worthy
+  options.operators = engine_->options().operators;
+  try {
+    (void)query::analyze_plan(*planned.plan, repo_, sink, options);
+  } catch (const std::exception&) {
+    // Analysis must never turn an executable query into a rejection: an
+    // unexpected analyzer failure admits the plan and lets the eval path
+    // report whatever is actually wrong.
+    return;
+  }
+  if (!sink.reached(lint::Level::Error)) return;
+  planned.admissible = false;
+  planned.rejection.category = "analysis";
+  for (const lint::Diagnostic& d : sink.diagnostics()) {
+    if (planned.rejection.message.empty() && d.level == lint::Level::Error) {
+      planned.rejection.message = d.rule + ": " + d.message;
+    }
+    planned.rejection.diagnostics.push_back(
+        WireDiagnostic{d.rule, static_cast<std::uint32_t>(d.level),
+                       d.location, d.message, d.hint});
+  }
 }
 
 BusyPayload AnalysisService::busy_payload(const std::string& reason) const {
@@ -187,6 +219,18 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
   } catch (const Error& e) {
     errors_.add();
     return finish(error_outcome("plan", e.what()));
+  }
+
+  if (!planned.admissible) {
+    // Rejected by static analysis: refuse BEFORE touching the result
+    // cache or the pool — an inadmissible plan must not occupy a
+    // coalescing slot or trigger a computation.
+    rejected_.add();
+    errors_.add();
+    QueryOutcome out;
+    out.status = QueryOutcome::Status::Error;
+    out.error = planned.rejection;
+    return finish(out);
   }
 
   ResultCache::Lookup lookup;
@@ -299,7 +343,7 @@ bool AnalysisService::refresh() {
   repo_.compact_if_needed();
   if (repo_.generation() == before) return false;
   plan_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  std::lock_guard<std::mutex> lock(plan_mutex_);
+  ts::MutexLock lock(plan_mutex_);
   plan_cache_.clear();
   return true;
 }

@@ -17,6 +17,15 @@
 // are still served while shedding — they cost a map lookup, not pool
 // time.  Sessions coalesced onto a shed computation receive Busy too.
 //
+// STATIC ADMISSION runs before any of that: each plan is analyzed once
+// per plan-cache entry (query/analyze.hpp — metadata and severity-blob
+// headers only, never severity payload).  A semantically incompatible
+// plan, or one whose predicted peak resident memory exceeds
+// ServiceConfig::budget_bytes, is rejected with an Error outcome of
+// category "analysis" carrying the analyzer's plan.*/cost.* findings as
+// structured WireDiagnostics — the daemon never spends pool time or
+// cache space discovering at eval time what metadata already proves.
+//
 // All entry points are thread-safe; one service instance serves every
 // session of the daemon.
 #pragma once
@@ -25,11 +34,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/thread_pool.hpp"
+#include "common/thread_safety.hpp"
 #include "io/repository.hpp"
 #include "obs/metrics.hpp"
 #include "query/engine.hpp"
@@ -53,6 +62,14 @@ struct ServiceConfig {
   /// Forwarded to QueryOptions.
   bool store_derived = true;
   bool validate_loads = false;
+  /// Reject plans whose static analysis finds error-level plan.*
+  /// incompatibilities before they reach the compute path (cubed
+  /// --no-admission-analysis disables).
+  bool admission_analysis = true;
+  /// Peak-resident byte budget for one query's predicted execution; a
+  /// plan analyzed above it is rejected pre-compute (cost.over-budget).
+  /// 0 disables the budget gate.  Requires admission_analysis.
+  std::uint64_t budget_bytes = 0;
   /// Shed EVERY query unconditionally — deterministic Busy for tests and
   /// the CI smoke job (cubed --force-busy).
   bool force_busy = false;
@@ -84,8 +101,9 @@ class AnalysisService {
   AnalysisService& operator=(const AnalysisService&) = delete;
 
   /// Serves one query.  Never throws for query-level failures — they come
-  /// back as Status::Error with a category ("parse", "plan", "eval",
-  /// "internal").
+  /// back as Status::Error with a category ("parse", "plan", "analysis",
+  /// "eval", "internal"); "analysis" rejections carry the static
+  /// analyzer's findings in ErrorPayload::diagnostics.
   [[nodiscard]] QueryOutcome handle_query(const std::string& text);
 
   /// Snapshot of the process metrics registry (the StatsOk payload).
@@ -114,9 +132,17 @@ class AnalysisService {
     std::uint64_t key = 0;
     std::string canonical;
     std::shared_ptr<const query::QueryPlan> plan;
+    /// Static-admission verdict, computed once per plan-cache entry (the
+    /// analysis is a pure function of the plan and the repository epoch,
+    /// so repeats of a rejected query never re-analyze).
+    bool admissible = true;
+    ErrorPayload rejection;  ///< category "analysis" when !admissible
   };
 
   [[nodiscard]] PlannedQuery resolve_plan(const std::string& text);
+  /// Runs the static plan analyzer and records the admission verdict on
+  /// `planned` (never throws; an analyzer failure admits the plan).
+  void analyze_admission(PlannedQuery& planned);
   [[nodiscard]] BusyPayload busy_payload(const std::string& reason) const;
   /// Samples the executor queue wait with a probe task (at most one in
   /// flight) and returns the decayed recent wait in ms.
@@ -127,8 +153,9 @@ class AnalysisService {
   ExperimentRepository& repo_;
   ResultCache cache_;
 
-  std::mutex plan_mutex_;
-  std::unordered_map<std::string, PlannedQuery> plan_cache_;
+  ts::Mutex plan_mutex_;
+  std::unordered_map<std::string, PlannedQuery> plan_cache_
+      CUBE_GUARDED_BY(plan_mutex_);
   /// Bumped when refresh() sees an external index change; plan cache
   /// entries from older epochs are invalid.
   std::atomic<std::uint64_t> plan_epoch_{0};
@@ -147,6 +174,7 @@ class AnalysisService {
   obs::Counter& coalesced_;
   obs::Counter& computes_;
   obs::Counter& busy_;
+  obs::Counter& rejected_;
   obs::Counter& errors_;
   obs::Histogram& queue_wait_hist_;
   obs::Histogram& service_time_;

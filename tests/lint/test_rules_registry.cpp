@@ -1,0 +1,176 @@
+// The rule registry (src/lint/rules.hpp) is the machine-readable
+// catalogue of every diagnostic id.  These tests pin its internal
+// invariants and diff it against the two other places rule ids live —
+// the docs/LINT.md catalogue tables and the string literals in src/ — so
+// a rule added in any one place without the others fails CI with a
+// message naming the missing id.
+#include "lint/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using cube::lint::Level;
+using cube::lint::RuleInfo;
+using cube::lint::find_rule;
+using cube::lint::rule_registry;
+
+#ifndef CUBE_SOURCE_DIR
+#error "tests/CMakeLists.txt must define CUBE_SOURCE_DIR"
+#endif
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::set<std::string> registry_ids() {
+  std::set<std::string> ids;
+  for (const RuleInfo& rule : rule_registry()) ids.emplace(rule.id);
+  return ids;
+}
+
+/// Rule ids named in the FIRST CELL of a docs/LINT.md catalogue-table row
+/// (`| \`rule.id\` | level | ... |`).  Later cells mention other rules in
+/// prose and file names like `index.xml`, so only the first cell counts.
+std::set<std::string> doc_ids() {
+  const std::string doc =
+      read_file(std::filesystem::path(CUBE_SOURCE_DIR) / "docs" / "LINT.md");
+  std::set<std::string> ids;
+  const std::regex id_re("`([a-z]+\\.[a-z-]+)`");
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    const std::size_t cell_end = line.find(" |", 2);
+    if (cell_end == std::string::npos) continue;
+    const std::string cell = line.substr(0, cell_end);
+    for (std::sregex_iterator it(cell.begin(), cell.end(), id_re), end;
+         it != end; ++it) {
+      ids.insert((*it)[1].str());
+    }
+  }
+  return ids;
+}
+
+/// Quoted rule-id literals in src/ for the registered families.  The
+/// allowlist names observability instruments that share a family prefix
+/// but are not diagnostic rules.
+std::set<std::string> source_ids() {
+  static const std::set<std::string> kNotRules = {
+      "repo.entries", "repo.load", "repo.loads", "repo.store", "repo.stores"};
+  const std::regex literal_re(
+      "\"((forest|ref|sev|meta|file|parse|model|repo|compat|perf|plan|cost)"
+      "\\.[a-z][a-z-]*)\"");
+  std::set<std::string> ids;
+  const std::filesystem::path root =
+      std::filesystem::path(CUBE_SOURCE_DIR) / "src";
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    const std::string text = read_file(entry.path());
+    for (std::sregex_iterator it(text.begin(), text.end(), literal_re), end;
+         it != end; ++it) {
+      const std::string id = (*it)[1].str();
+      if (!kNotRules.count(id)) ids.insert(id);
+    }
+  }
+  return ids;
+}
+
+std::string diff_message(const std::set<std::string>& missing,
+                         const char* where) {
+  std::string msg = std::string("ids missing from ") + where + ":";
+  for (const std::string& id : missing) msg += " " + id;
+  return msg;
+}
+
+std::set<std::string> set_minus(const std::set<std::string>& a,
+                                const std::set<std::string>& b) {
+  std::set<std::string> out;
+  for (const std::string& id : a) {
+    if (!b.count(id)) out.insert(id);
+  }
+  return out;
+}
+
+TEST(RulesRegistry, SortedUniqueAndComplete) {
+  const auto rules = rule_registry();
+  ASSERT_FALSE(rules.empty());
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LT(rules[i - 1].id, rules[i].id)
+        << "registry must be sorted by id with no duplicates";
+  }
+  for (const RuleInfo& rule : rules) {
+    EXPECT_FALSE(rule.pass.empty()) << rule.id;
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+    EXPECT_NE(rule.id.find('.'), std::string_view::npos) << rule.id;
+  }
+}
+
+TEST(RulesRegistry, FindRule) {
+  const RuleInfo* unit = find_rule("plan.metric-unit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->level, Level::Error);
+  EXPECT_EQ(unit->pass, "plan-analysis");
+
+  const RuleInfo* negative = find_rule("sev.negative");
+  ASSERT_NE(negative, nullptr);
+  EXPECT_EQ(negative->level, Level::Warning);
+
+  EXPECT_EQ(find_rule("no.such-rule"), nullptr);
+  EXPECT_EQ(find_rule(""), nullptr);
+}
+
+TEST(RulesRegistry, MatchesDocCatalogue) {
+  const std::set<std::string> in_registry = registry_ids();
+  const std::set<std::string> in_doc = doc_ids();
+  ASSERT_FALSE(in_doc.empty()) << "docs/LINT.md tables parsed empty";
+  EXPECT_TRUE(set_minus(in_doc, in_registry).empty())
+      << diff_message(set_minus(in_doc, in_registry), "src/lint/rules.cpp");
+  EXPECT_TRUE(set_minus(in_registry, in_doc).empty())
+      << diff_message(set_minus(in_registry, in_doc),
+                      "the docs/LINT.md catalogue");
+}
+
+TEST(RulesRegistry, MatchesSourceLiterals) {
+  const std::set<std::string> in_registry = registry_ids();
+  const std::set<std::string> in_source = source_ids();
+  ASSERT_FALSE(in_source.empty()) << "src/ scan found no rule literals";
+  EXPECT_TRUE(set_minus(in_source, in_registry).empty())
+      << diff_message(set_minus(in_source, in_registry),
+                      "src/lint/rules.cpp (or add to the test's non-rule "
+                      "allowlist if it is an instrument name)");
+  EXPECT_TRUE(set_minus(in_registry, in_source).empty())
+      << diff_message(set_minus(in_registry, in_source), "src/ (dead rule?)");
+}
+
+TEST(RulesRegistry, JsonWriterWellFormed) {
+  std::ostringstream out;
+  cube::lint::write_rules_json(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"id\": \"plan.metric-unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"level\": \"error\""), std::string::npos);
+  // Every registered rule appears exactly once.
+  for (const RuleInfo& rule : rule_registry()) {
+    const std::string needle = "\"id\": \"" + std::string(rule.id) + "\"";
+    const std::size_t first = json.find(needle);
+    ASSERT_NE(first, std::string::npos) << rule.id;
+    EXPECT_EQ(json.find(needle, first + 1), std::string::npos) << rule.id;
+  }
+}
+
+}  // namespace

@@ -196,6 +196,38 @@ TEST(Protocol, ErrorAndBusyRoundTrip) {
   EXPECT_EQ(r.reason, b.reason);
 }
 
+TEST(Protocol, ErrorDiagnosticsRoundTripAndLegacyDecode) {
+  ErrorPayload p;
+  p.category = "analysis";
+  p.message = "rejected by static plan analysis";
+  p.diagnostics.push_back(
+      {"plan.metric-unit", 2, "id:clash@00ff",
+       "operand #1 measures 'time' in 'occ' but operand #0 in 'sec'",
+       "re-run with matching collection configs"});
+  p.diagnostics.push_back(
+      {"cost.summary", 0, "mean(id:a@00aa, id:clash@00ff)",
+       "cold: 96 cells traversed", ""});
+  const ErrorPayload q = decode_error(encode_error(p));
+  EXPECT_EQ(q.category, "analysis");
+  ASSERT_EQ(q.diagnostics.size(), 2u);
+  EXPECT_EQ(q.diagnostics[0].rule, "plan.metric-unit");
+  EXPECT_EQ(q.diagnostics[0].level, 2u);
+  EXPECT_EQ(q.diagnostics[0].location, p.diagnostics[0].location);
+  EXPECT_EQ(q.diagnostics[0].message, p.diagnostics[0].message);
+  EXPECT_EQ(q.diagnostics[0].hint, p.diagnostics[0].hint);
+  EXPECT_EQ(q.diagnostics[1].rule, "cost.summary");
+  EXPECT_TRUE(q.diagnostics[1].hint.empty());
+
+  // Peers that predate structured diagnostics end the payload after
+  // `message` — decoded as an empty list, not a framing violation.
+  const std::string full = encode_error(ErrorPayload{"plan", "no such id"});
+  const ErrorPayload legacy =
+      decode_error(std::string_view(full).substr(0, full.size() - 4));
+  EXPECT_EQ(legacy.category, "plan");
+  EXPECT_EQ(legacy.message, "no such id");
+  EXPECT_TRUE(legacy.diagnostics.empty());
+}
+
 TEST(Protocol, StatsRoundTrip) {
   StatsPayload p;
   cube::obs::MetricSample s;

@@ -297,6 +297,79 @@ TEST_F(ServiceTest, RefreshPicksUpConcurrentlyStoredExperiments) {
   EXPECT_EQ(after.served, Served::Computed);
 }
 
+TEST_F(ServiceTest, StaticAnalysisRejectsIncompatiblePlansPreCompute) {
+  const std::string clash = repo_->store(cube::testing::make_unit_clash());
+  ServiceConfig config;
+  config.threads = 1;
+  AnalysisService service(*repo_, config);
+  const std::string query = "mean(" + a_ + ", " + clash + ")";
+  const std::uint64_t computes = counter_value("server.computes");
+  const std::uint64_t rejected = counter_value("server.rejected");
+
+  const QueryOutcome out = service.handle_query(query);
+  ASSERT_EQ(out.status, QueryOutcome::Status::Error);
+  EXPECT_EQ(out.error.category, "analysis");
+  bool saw_unit = false;
+  for (const auto& d : out.error.diagnostics) {
+    if (d.rule == "plan.metric-unit") saw_unit = true;
+  }
+  EXPECT_TRUE(saw_unit)
+      << "the rejection must carry the analyzer's structured findings";
+  EXPECT_EQ(counter_value("server.rejected") - rejected, 1u);
+  EXPECT_EQ(counter_value("server.computes") - computes, 0u)
+      << "a rejected plan must never reach the compute path";
+
+  // The verdict is cached on the plan-cache entry: repeats reject again
+  // without computing.
+  const QueryOutcome again = service.handle_query(query);
+  ASSERT_EQ(again.status, QueryOutcome::Status::Error);
+  EXPECT_EQ(again.error.category, "analysis");
+  EXPECT_EQ(counter_value("server.computes") - computes, 0u);
+}
+
+TEST_F(ServiceTest, BudgetGateRejectsExpensivePlansPreCompute) {
+  ServiceConfig tight;
+  tight.threads = 1;
+  tight.budget_bytes = 1;
+  AnalysisService service(*repo_, tight);
+  const std::string query = "mean(" + a_ + ", " + b_ + ")";
+  const std::uint64_t computes = counter_value("server.computes");
+
+  const QueryOutcome out = service.handle_query(query);
+  ASSERT_EQ(out.status, QueryOutcome::Status::Error);
+  EXPECT_EQ(out.error.category, "analysis");
+  bool saw_budget = false;
+  for (const auto& d : out.error.diagnostics) {
+    if (d.rule == "cost.over-budget") saw_budget = true;
+  }
+  EXPECT_TRUE(saw_budget);
+  EXPECT_EQ(counter_value("server.computes") - computes, 0u);
+
+  // The same query under a generous budget computes normally.
+  ServiceConfig roomy;
+  roomy.threads = 1;
+  roomy.budget_bytes = std::uint64_t{1} << 30;
+  AnalysisService admitting(*repo_, roomy);
+  EXPECT_EQ(admitting.handle_query(query).status, QueryOutcome::Status::Ok);
+}
+
+TEST_F(ServiceTest, AdmissionAnalysisOffAdmitsIncompatiblePlans) {
+  const std::string clash = repo_->store(cube::testing::make_unit_clash());
+  ServiceConfig config;
+  config.threads = 1;
+  config.admission_analysis = false;
+  AnalysisService service(*repo_, config);
+  const std::uint64_t rejected = counter_value("server.rejected");
+
+  // Metadata integration uniquifies the clashing metric name, so the
+  // un-gated query computes a (semantically dubious) result — the gate is
+  // admission policy, not a crash guard.
+  const QueryOutcome out =
+      service.handle_query("mean(" + a_ + ", " + clash + ")");
+  ASSERT_EQ(out.status, QueryOutcome::Status::Ok);
+  EXPECT_EQ(counter_value("server.rejected") - rejected, 0u);
+}
+
 TEST_F(ServiceTest, StatsExposeServerInstruments) {
   ServiceConfig config;
   config.threads = 1;

@@ -1,20 +1,19 @@
 // Shared builders for unit tests: small, fully-known experiments.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "model/experiment.hpp"
 
 namespace cube::testing {
 
-/// A small experiment with a deterministic severity pattern.
+/// Metadata of make_small, without severity:
 ///
 /// Metrics:  time (sec) -> mpi (sec); visits (occ)
 /// Program:  main -> work -> MPI_Send; main -> io
 /// System:   machine "m0", node "n0", processes 0 and 1, 2 threads each
-/// Severity: value(m, c, t) = (m+1)*100 + (c+1)*10 + (t+1)
-inline Experiment make_small(StorageKind kind = StorageKind::Dense,
-                             const std::string& name = "small") {
+inline std::unique_ptr<Metadata> small_metadata() {
   auto md = std::make_unique<Metadata>();
   const Metric& time =
       md->add_metric(nullptr, "time", "Time", Unit::Seconds, "total");
@@ -38,27 +37,13 @@ inline Experiment make_small(StorageKind kind = StorageKind::Dense,
     md->add_thread(p, "thread 0", 0);
     md->add_thread(p, "thread 1", 1);
   }
-
-  Experiment e(std::move(md), kind);
-  e.set_name(name);
-  const Metadata& m = e.metadata();
-  for (MetricIndex mi = 0; mi < m.num_metrics(); ++mi) {
-    for (CnodeIndex ci = 0; ci < m.num_cnodes(); ++ci) {
-      for (ThreadIndex ti = 0; ti < m.num_threads(); ++ti) {
-        e.severity().set(mi, ci, ti,
-                         static_cast<double>((mi + 1) * 100 + (ci + 1) * 10 +
-                                             (ti + 1)));
-      }
-    }
-  }
-  return e;
+  return md;
 }
 
-/// A variant of make_small differing in each dimension: an extra metric
-/// tree ("flops"), a different call-tree branch (main -> net instead of
-/// io), and an extra process rank 2.  Used by the integration tests.
-inline Experiment make_variant(StorageKind kind = StorageKind::Dense,
-                               const std::string& name = "variant") {
+/// Metadata of make_variant: differs from small_metadata in each
+/// dimension — an extra metric tree ("flops"), a different call-tree
+/// branch (main -> net instead of io), and an extra process rank 2.
+inline std::unique_ptr<Metadata> variant_metadata() {
   auto md = std::make_unique<Metadata>();
   const Metric& time =
       md->add_metric(nullptr, "time", "Time", Unit::Seconds, "total");
@@ -83,8 +68,33 @@ inline Experiment make_variant(StorageKind kind = StorageKind::Dense,
     md->add_thread(p, "thread 0", 0);
     md->add_thread(p, "thread 1", 1);
   }
+  return md;
+}
 
-  Experiment e(std::move(md), kind);
+/// A small experiment with a deterministic severity pattern filling
+/// EVERY cell: value(m, c, t) = (m+1)*100 + (c+1)*10 + (t+1).
+inline Experiment make_small(StorageKind kind = StorageKind::Dense,
+                             const std::string& name = "small") {
+  Experiment e(small_metadata(), kind);
+  e.set_name(name);
+  const Metadata& m = e.metadata();
+  for (MetricIndex mi = 0; mi < m.num_metrics(); ++mi) {
+    for (CnodeIndex ci = 0; ci < m.num_cnodes(); ++ci) {
+      for (ThreadIndex ti = 0; ti < m.num_threads(); ++ti) {
+        e.severity().set(mi, ci, ti,
+                         static_cast<double>((mi + 1) * 100 + (ci + 1) * 10 +
+                                             (ti + 1)));
+      }
+    }
+  }
+  return e;
+}
+
+/// make_small's sibling over variant_metadata, every cell filled with
+/// 1000 + the same pattern.  Used by the integration tests.
+inline Experiment make_variant(StorageKind kind = StorageKind::Dense,
+                               const std::string& name = "variant") {
+  Experiment e(variant_metadata(), kind);
   e.set_name(name);
   const Metadata& m = e.metadata();
   for (MetricIndex mi = 0; mi < m.num_metrics(); ++mi) {
@@ -97,6 +107,25 @@ inline Experiment make_variant(StorageKind kind = StorageKind::Dense,
       }
     }
   }
+  return e;
+}
+
+/// A minimal 1-metric experiment whose "time" metric is measured in
+/// Occurrences instead of Seconds — the canonical unit-conflict operand
+/// against make_small (shared metric unique name, different unit).
+inline Experiment make_unit_clash(const std::string& name = "clash") {
+  auto md = std::make_unique<Metadata>();
+  md->add_metric(nullptr, "time", "Time", Unit::Occurrences,
+                 "time, miscounted");
+  const Region& r_main = md->add_region("main", "app.c", 1, 100);
+  md->add_cnode_for_region(nullptr, r_main, "app.c", 1);
+  Machine& machine = md->add_machine("m0");
+  SysNode& node = md->add_node(machine, "n0");
+  Process& p = md->add_process(node, "rank 0", 0);
+  md->add_thread(p, "thread 0", 0);
+  Experiment e(std::move(md), StorageKind::Dense);
+  e.set_name(name);
+  e.severity().set(0, 0, 0, 1.0);
   return e;
 }
 
