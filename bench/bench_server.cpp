@@ -257,6 +257,50 @@ int run(const Options& opt) {
     for (auto& t : threads) t.join();
   }
   const double mixed_wall_s = (now_ms() - mixed_t0) / 1000.0;
+
+  // ---- Phase T: telemetry overhead -------------------------------------
+  // The same warm replay twice — alone, then with a concurrent scraper
+  // hammering Stats and Health over its own session — to price what a
+  // monitoring agent costs the query path.  Stats snapshots the registry
+  // and the slow-query log under their mutexes; the gate asserts the
+  // scrape cannot shift the warm median materially (EXPERIMENTS.md A16).
+  auto warm_replay = [&](int rounds) {
+    std::vector<double> rt;
+    std::mutex rt_mutex;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < opt.clients; ++c) {
+      threads.emplace_back([&, c] {
+        CubeClient client(client_config);
+        std::vector<double> local;
+        for (int round = 0; round < rounds; ++round) {
+          const std::string& q = hot[(c + round) % hot.size()];
+          const double t0 = now_ms();
+          (void)client.query(q);
+          local.push_back(now_ms() - t0);
+        }
+        std::lock_guard<std::mutex> lock(rt_mutex);
+        rt.insert(rt.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    return rt;
+  };
+  const int scrape_rounds = opt.quick ? 8 : 64;
+  const std::vector<double> quiet_rt = warm_replay(scrape_rounds);
+  std::atomic<bool> scrape_stop{false};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&] {
+    CubeClient monitor(client_config);
+    while (!scrape_stop.load(std::memory_order_relaxed)) {
+      (void)monitor.stats();
+      (void)monitor.health();
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  const std::vector<double> scraped_rt = warm_replay(scrape_rounds);
+  scrape_stop.store(true, std::memory_order_relaxed);
+  scraper.join();
   server.stop();
 
   // ---- Phase F: over-budget flood --------------------------------------
@@ -354,6 +398,13 @@ int run(const Options& opt) {
               service.config().max_inflight);
   std::printf("mixed throughput: %.0f queries/s over %.2f s (%d BUSY)\n",
               throughput, mixed_wall_s, mixed_busy.load());
+  const double quiet_p50 = percentile(quiet_rt, 0.50);
+  const double scraped_p50 = percentile(scraped_rt, 0.50);
+  std::printf("telemetry: warm rt p50 %.3f ms alone, %.3f ms under %d "
+              "Stats+Health scrapes (%+.1f%%)\n",
+              quiet_p50, scraped_p50, scrapes.load(),
+              quiet_p50 > 0 ? 100.0 * (scraped_p50 / quiet_p50 - 1.0)
+                            : 0.0);
   std::printf("over-budget flood: %d rejected pre-compute, %llu "
               "computation(s), result cache %llu bytes, rss growth %ld "
               "KiB\n",
@@ -392,6 +443,18 @@ int run(const Options& opt) {
                  budget_wrong.load(),
                  static_cast<unsigned long long>(budget_computes),
                  static_cast<unsigned long long>(budget_cache_bytes));
+    rc = 1;
+  }
+  // Quick runs have too few samples for a tight latency gate; the full
+  // run holds the monitored median within 2% of the quiet one.
+  const double scrape_tolerance = opt.quick ? 1.5 : 1.02;
+  if (scrapes.load() == 0 ||
+      (quiet_p50 > 0 && scraped_p50 / quiet_p50 > scrape_tolerance)) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry scrape shifted the warm p50 from %.3f "
+                 "to %.3f ms (tolerance %.0f%%, %d scrapes)\n",
+                 quiet_p50, scraped_p50, (scrape_tolerance - 1.0) * 100.0,
+                 scrapes.load());
     rc = 1;
   }
   if (rss_growth_kb > 16 * 1024) {

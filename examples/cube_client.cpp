@@ -21,6 +21,9 @@
 //                     BUSY (CI assertion for --force-busy daemons)
 //   --ping            liveness probe
 //   --server-stats    print the server's metric samples
+//   --stats-json      print the server's full telemetry JSON document
+//   --health          print the server's health JSON (served off the
+//                     compute pool: answers even under saturation)
 //   --shutdown        ask the daemon to drain and exit
 //
 // Exit codes: 0 success, 1 error, 2 unexpected BUSY.
@@ -58,6 +61,8 @@ int main(int argc, char** argv) {
   bool expect_busy = false;
   bool do_ping = false;
   bool do_stats = false;
+  bool do_stats_json = false;
+  bool do_health = false;
   bool do_shutdown = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +91,10 @@ int main(int argc, char** argv) {
       do_ping = true;
     } else if (arg == "--server-stats") {
       do_stats = true;
+    } else if (arg == "--stats-json") {
+      do_stats_json = true;
+    } else if (arg == "--health") {
+      do_health = true;
     } else if (arg == "--shutdown") {
       do_shutdown = true;
     } else if (expr.empty() && !arg.empty() && arg[0] != '-') {
@@ -96,11 +105,13 @@ int main(int argc, char** argv) {
     }
   }
   if (config.socket_path.empty() ||
-      (expr.empty() && !do_ping && !do_stats && !do_shutdown)) {
+      (expr.empty() && !do_ping && !do_stats && !do_stats_json &&
+       !do_health && !do_shutdown)) {
     std::cerr << "usage: cube_client --socket <path> [<expr>] [--repeat N]"
                  " [-o out.cube] [--hotspots N] [--quiet]"
                  " [--expect-served computed|hit|coalesced] [--expect-busy]"
-                 " [--ping] [--server-stats] [--shutdown]\n";
+                 " [--ping] [--server-stats] [--stats-json] [--health]"
+                 " [--shutdown]\n";
     return 1;
   }
 
@@ -156,12 +167,30 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (do_stats) {
+    if (do_health) {
+      std::cout << client.health().json << "\n";
+    }
+    if (do_stats || do_stats_json) {
       const cube::server::StatsPayload stats = client.stats();
-      for (const auto& s : stats.samples) {
-        std::cout << s.name << " = " << cube::format_value(s.value, 3);
-        if (s.count > 0) std::cout << " (count " << s.count << ")";
-        std::cout << "\n";
+      if (do_stats_json) {
+        std::cout << stats.json << "\n";
+      }
+      if (do_stats) {
+        for (const auto& s : stats.samples) {
+          std::cout << s.name << " = " << cube::format_value(s.value, 3);
+          if (s.count > 0) std::cout << " (count " << s.count << ")";
+          std::cout << "\n";
+        }
+        if (!stats.slow.empty()) {
+          std::cout << "slow queries (worst first):\n";
+          for (const auto& q : stats.slow) {
+            std::cout << "  " << cube::format_value(q.server_ms, 2) << " ms "
+                      << q.outcome << "  " << q.canonical;
+            if (q.request_id != 0) std::cout << "  [req " << q.request_id
+                                             << "]";
+            std::cout << "\n";
+          }
+        }
       }
     }
     if (do_shutdown) {

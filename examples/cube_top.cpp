@@ -1,0 +1,205 @@
+// cube_top: a live top-style view of a running cubed daemon
+// (docs/SERVER.md).
+//
+// Polls the daemon's Stats endpoint on an interval and renders rates
+// computed from consecutive counter snapshots (qps, cache hit ratio,
+// busy/rejected rates), service-time quantiles straight from the
+// server's histogram buckets, admission state, and the slow-query log.
+// Everything it shows travels over the same wire frames cube_client
+// --server-stats uses; cube_top adds only the delta arithmetic.
+//
+// Usage:
+//   cube_top --socket <path> [options]
+//
+// Options:
+//   --interval-ms N   poll period (default 1000)
+//   --iterations N    stop after N polls (default: run until ^C)
+//   --once            single poll, plain output (equivalent to
+//                     --iterations 1 --plain; CI smoke)
+//   --plain           never emit ANSI escapes (for logs and pipes)
+//   --slow N          slow-query rows shown (default 5)
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "server/client.hpp"
+
+namespace {
+
+using cube::server::StatsPayload;
+
+/// Counter values one poll cares about, extracted from the sample list.
+struct Snapshot {
+  double queries = 0;
+  double hits = 0;
+  double coalesced = 0;
+  double computes = 0;
+  double busy = 0;
+  double rejected = 0;
+  double errors = 0;
+  double inflight = 0;
+  double inflight_peak = 0;
+  double cache_bytes = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t service_count = 0;
+};
+
+Snapshot extract(const StatsPayload& stats) {
+  Snapshot snap;
+  for (const auto& s : stats.samples) {
+    if (s.name == "server.queries") snap.queries = s.value;
+    else if (s.name == "server.cache_hits") snap.hits = s.value;
+    else if (s.name == "server.coalesced") snap.coalesced = s.value;
+    else if (s.name == "server.computes") snap.computes = s.value;
+    else if (s.name == "server.busy") snap.busy = s.value;
+    else if (s.name == "server.rejected") snap.rejected = s.value;
+    else if (s.name == "server.errors") snap.errors = s.value;
+    else if (s.name == "server.inflight") snap.inflight = s.value;
+    else if (s.name == "server.inflight_peak") snap.inflight_peak = s.value;
+    else if (s.name == "server.cache_bytes") snap.cache_bytes = s.value;
+    else if (s.name == "server.service_time") {
+      snap.p50_ms = s.p50 * 1000.0;
+      snap.p90_ms = s.p90 * 1000.0;
+      snap.p99_ms = s.p99 * 1000.0;
+      snap.service_count = s.count;
+    }
+  }
+  return snap;
+}
+
+/// Pulls one numeric field out of the telemetry JSON without a parser:
+/// the document is machine-written with deterministic "key":value shape.
+double json_number(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+double rate(double delta, double seconds) {
+  return seconds > 0.0 ? delta / seconds : 0.0;
+}
+
+void render(const StatsPayload& stats, const Snapshot& now,
+            const Snapshot& prev, double dt_s, bool first,
+            std::size_t slow_rows, bool plain, const std::string& server) {
+  if (!plain) std::cout << "\x1b[H\x1b[2J";  // home + clear
+  const double uptime = json_number(stats.json, "uptime_s");
+  const double generation = json_number(stats.json, "generation");
+  const double windows = json_number(stats.json, "self_profile_windows");
+  std::cout << "cubed " << server << "  up "
+            << cube::format_value(uptime, 1) << " s  generation "
+            << static_cast<std::uint64_t>(generation);
+  if (windows > 0) {
+    std::cout << "  self-profile windows "
+              << static_cast<std::uint64_t>(windows);
+  }
+  std::cout << "\n";
+
+  const double dq = now.queries - prev.queries;
+  const double served = dq > 0 ? dq : now.queries;  // totals on first poll
+  const double hits = first ? now.hits : now.hits - prev.hits;
+  const double coal = first ? now.coalesced : now.coalesced - prev.coalesced;
+  const double busy = first ? now.busy : now.busy - prev.busy;
+  const double errs = first ? now.errors : now.errors - prev.errors;
+  const double hit_ratio = served > 0 ? (hits + coal) / served : 0.0;
+  std::cout << (first ? "totals    " : "last tick ") << "qps "
+            << cube::format_value(first ? rate(now.queries, uptime)
+                                        : rate(dq, dt_s), 1)
+            << "  hit ratio " << cube::format_value(100.0 * hit_ratio, 1)
+            << "%  busy " << cube::format_value(busy, 0) << "  errors "
+            << cube::format_value(errs, 0) << "\n";
+  std::cout << "service   p50 " << cube::format_value(now.p50_ms, 2)
+            << " ms  p90 " << cube::format_value(now.p90_ms, 2)
+            << " ms  p99 " << cube::format_value(now.p99_ms, 2)
+            << " ms  (" << now.service_count << " served)\n";
+  std::cout << "inflight  " << static_cast<std::uint64_t>(now.inflight)
+            << " (peak " << static_cast<std::uint64_t>(now.inflight_peak)
+            << ")  cache " << cube::format_value(now.cache_bytes / 1048576.0,
+                                                 1)
+            << " MiB\n";
+
+  if (!stats.slow.empty() && slow_rows > 0) {
+    std::cout << "slow queries (worst first):\n";
+    std::size_t shown = 0;
+    for (const auto& q : stats.slow) {
+      if (shown++ == slow_rows) break;
+      std::cout << "  " << cube::format_value(q.server_ms, 2) << " ms  "
+                << q.outcome << "  " << q.canonical << "\n";
+    }
+  }
+  std::cout.flush();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cube::server::ClientConfig config;
+  config.name = "cube_top";
+  unsigned long long interval_ms = 1000;
+  std::size_t iterations = 0;  // 0 = forever
+  std::size_t slow_rows = 5;
+  bool plain = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::stoull(argv[++i]);
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], iterations)) {
+        std::cerr << "error: --iterations expects a number\n";
+        return 1;
+      }
+    } else if (arg == "--once") {
+      iterations = 1;
+      plain = true;
+    } else if (arg == "--plain") {
+      plain = true;
+    } else if (arg == "--slow" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], slow_rows)) {
+        std::cerr << "error: --slow expects a number\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "error: unexpected argument '" << arg << "'\n";
+      return 1;
+    }
+  }
+  if (config.socket_path.empty()) {
+    std::cerr << "usage: cube_top --socket <path> [--interval-ms N]"
+                 " [--iterations N] [--once] [--plain] [--slow N]\n";
+    return 1;
+  }
+
+  try {
+    cube::server::CubeClient client(config);
+    Snapshot prev;
+    bool first = true;
+    for (std::size_t n = 0; iterations == 0 || n < iterations; ++n) {
+      if (!first) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+      const StatsPayload stats = client.stats();
+      const Snapshot now = extract(stats);
+      render(stats, now, prev, static_cast<double>(interval_ms) / 1000.0,
+             first, slow_rows, plain, client.server_name());
+      prev = now;
+      first = false;
+    }
+    return 0;
+  } catch (const cube::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -34,6 +34,16 @@
 //   --force-busy       shed every query (deterministic BUSY; CI smoke)
 //   --no-shutdown      ignore Shutdown frames from clients
 //   --name <s>         server name reported in HelloOk (default cubed)
+//   --slow-log-threshold X
+//                      record queries at or above X ms wall time in the
+//                      slow-query log, dumped via Stats (default 0:
+//                      every query competes for a slot)
+//   --slow-log-size N  worst queries kept (default 32, 0 disables)
+//   --self-profile-interval N
+//                      store a windowed self-profile experiment into the
+//                      served repository every N seconds (0 disables);
+//                      windows carry cube.self.* attributes and diff
+//                      against each other (docs/OBSERVABILITY.md)
 //   --trace/--self-profile/--stats   observability outputs, written when
 //                      the daemon shuts down
 #include <iostream>
@@ -103,6 +113,16 @@ int main(int argc, char** argv) {
       server_config.allow_shutdown = false;
     } else if (arg == "--name" && i + 1 < argc) {
       server_config.name = argv[++i];
+    } else if (arg == "--slow-log-threshold" && i + 1 < argc) {
+      service_config.slow_log_threshold_ms = std::stod(argv[++i]);
+    } else if (arg == "--slow-log-size" && i + 1 < argc) {
+      if (!cube::parse_size(argv[++i], service_config.slow_log_capacity)) {
+        std::cerr << "error: --slow-log-size expects a number\n";
+        return 1;
+      }
+    } else if (arg == "--self-profile-interval" && i + 1 < argc) {
+      service_config.self_profile_interval_s =
+          static_cast<unsigned>(std::stoul(argv[++i]));
     } else {
       std::cerr << "error: unexpected argument '" << arg << "'\n";
       return 1;
@@ -114,11 +134,14 @@ int main(int argc, char** argv) {
                  " [--cache-bytes N] [--refresh-ms N] [--no-store]"
                  " [--validate-loads] [--budget-bytes N]"
                  " [--no-admission-analysis] [--force-busy] [--no-shutdown]"
-                 " [--name s]"
+                 " [--name s] [--slow-log-threshold X] [--slow-log-size N]"
+                 " [--self-profile-interval N]"
               << cube::cli::ObsOptions::usage() << "\n";
     return 1;
   }
   server_config.refresh_interval_ms = static_cast<unsigned>(refresh_ms);
+  // Self-profile windows are attributed to the server that produced them.
+  service_config.self_profile_source = server_config.name;
 
   obs.begin();
   try {

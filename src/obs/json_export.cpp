@@ -1,0 +1,116 @@
+#include "obs/json_export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace cube::obs {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.write(buf, r.ptr - buf);
+}
+
+void write_json_number(std::ostream& out, std::uint64_t v) {
+  char buf[24];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.write(buf, r.ptr - buf);
+}
+
+namespace {
+
+void write_field(std::ostream& out, const char* key, double v) {
+  out << ',';
+  write_json_string(out, key);
+  out << ':';
+  write_json_number(out, v);
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out,
+                        const std::vector<MetricSample>& samples) {
+  out << '{';
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out << ',';
+    first = false;
+    write_json_string(out, s.name);
+    out << ":{\"kind\":";
+    switch (s.kind) {
+      case InstrumentKind::Counter:
+        out << "\"counter\"";
+        break;
+      case InstrumentKind::Gauge:
+        out << "\"gauge\"";
+        break;
+      case InstrumentKind::Histogram:
+        out << "\"histogram\"";
+        break;
+    }
+    out << ",\"unit\":";
+    write_json_string(out, sample_unit_name(s.unit));
+    if (s.kind == InstrumentKind::Histogram) {
+      out << ",\"count\":";
+      write_json_number(out, s.count);
+      write_field(out, "sum", s.value);
+      write_field(out, "mean",
+                  s.count == 0 ? 0.0
+                               : s.value / static_cast<double>(s.count));
+      write_field(out, "min", s.min);
+      write_field(out, "max", s.max);
+      write_field(out, "p50", s.p50);
+      write_field(out, "p90", s.p90);
+      write_field(out, "p99", s.p99);
+    } else {
+      write_field(out, "value", s.value);
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+std::string metrics_json(const std::vector<MetricSample>& samples) {
+  std::ostringstream out;
+  write_metrics_json(out, samples);
+  return out.str();
+}
+
+}  // namespace cube::obs

@@ -1,0 +1,45 @@
+// Deterministic JSON rendering of metric snapshots (docs/OBSERVABILITY.md).
+//
+// The server's Stats/Health wire endpoints promise BYTE-deterministic
+// output for a given registry state, so scrapes can be diffed and golden
+// tests can assert exact documents.  That rules out locale-dependent
+// iostream formatting: numbers go through std::to_chars (shortest
+// round-trip form, identical on every run), strings through one escaping
+// routine, and object keys come out in the registry's sorted snapshot
+// order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cube::obs {
+
+/// Writes `s` as a JSON string literal, quotes included: `"`, `\`, and
+/// control characters are escaped (\uXXXX for the controls without a
+/// short form).
+void write_json_string(std::ostream& out, std::string_view s);
+
+/// Writes `v` in shortest round-trip form via std::to_chars.  Non-finite
+/// values (which JSON cannot carry) are written as 0.
+void write_json_number(std::ostream& out, double v);
+
+/// Writes a whole-valued number as an integer literal.
+void write_json_number(std::ostream& out, std::uint64_t v);
+
+/// Renders `samples` (in their given order — snapshot() order is sorted
+/// by name) as one JSON object: each instrument name maps to an object
+/// with "kind", "unit", and the kind's fields — counters and gauges carry
+/// "value"; histograms carry "count", "sum", "mean", "min", "max", "p50",
+/// "p90", "p99".
+void write_metrics_json(std::ostream& out,
+                        const std::vector<MetricSample>& samples);
+
+/// write_metrics_json into a string.
+[[nodiscard]] std::string metrics_json(
+    const std::vector<MetricSample>& samples);
+
+}  // namespace cube::obs

@@ -33,17 +33,41 @@ void atomic_max(std::atomic<double>& target, double v) noexcept {
   }
 }
 
+/// Sub-bucket edges within one octave: frexp mantissas (in [0.5, 1)) at
+/// 2^(k/4) spacing, written out as literals so the edges are identical on
+/// every platform — no runtime pow/log whose last bit could differ.
+constexpr double kSubEdge1 = 0.5946035575013605;  // 2^0.25 / 2
+constexpr double kSubEdge2 = 0.7071067811865476;  // 2^0.50 / 2
+constexpr double kSubEdge3 = 0.8408964152537145;  // 2^0.75 / 2
+
 std::size_t bucket_index(double v) noexcept {
   if (!(v > 0.0)) return 0;
-  const int exp = std::ilogb(v) + 30;  // 2^-30 s (~1ns) lands in bucket 0
-  if (exp < 0) return 0;
-  if (exp >= static_cast<int>(Histogram::kBuckets)) {
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  const std::size_t sub = m < kSubEdge1 ? 0 : m < kSubEdge2 ? 1
+                          : m < kSubEdge3 ? 2 : 3;
+  const long octave = static_cast<long>(exp) - Histogram::kMinExp;
+  if (octave < 0) return 0;
+  const long index =
+      octave * static_cast<long>(Histogram::kBucketsPerOctave) +
+      static_cast<long>(sub);
+  if (index >= static_cast<long>(Histogram::kBuckets)) {
     return Histogram::kBuckets - 1;
   }
-  return static_cast<std::size_t>(exp);
+  return static_cast<std::size_t>(index);
 }
 
 }  // namespace
+
+double Histogram::bucket_lower_bound(std::size_t i) noexcept {
+  if (i == 0) return 0.0;
+  constexpr double kSubLower[kBucketsPerOctave] = {0.5, kSubEdge1, kSubEdge2,
+                                                   kSubEdge3};
+  // ldexp is exact, so each edge is the literal mantissa scaled by a
+  // power of two — bit-identical everywhere.
+  return std::ldexp(kSubLower[i % kBucketsPerOctave],
+                    kMinExp + static_cast<int>(i / kBucketsPerOctave));
+}
 
 std::string_view sample_unit_name(SampleUnit u) noexcept {
   switch (u) {
@@ -55,6 +79,14 @@ std::string_view sample_unit_name(SampleUnit u) noexcept {
       return "occ";
   }
   return "occ";
+}
+
+void Gauge::record_max(double v) noexcept {
+  watermark_.store(true, std::memory_order_relaxed);
+  double cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
 void Histogram::observe(double v) noexcept {
@@ -82,6 +114,79 @@ double Histogram::max() const noexcept {
 double Histogram::mean() const noexcept {
   const std::uint64_t n = count();
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  // Work from one pass over the bucket array; the total is the bucket sum
+  // (not count_) so a racing observe() that has bumped count_ but not yet
+  // its bucket cannot push the target rank past the recorded mass.
+  std::uint64_t cells[kBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cells[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += cells[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (cells[i] == 0) continue;
+    const std::uint64_t next = cum + cells[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = bucket_lower_bound(i);
+      const double hi = bucket_lower_bound(i + 1);
+      const double within =
+          (target - static_cast<double>(cum)) / static_cast<double>(cells[i]);
+      double v = lo + within * (hi - lo);
+      // The recorded extremes are exact; the bucket edges are not.  Clamp
+      // so a quantile never reports outside the observed range.
+      const double observed_min = min();
+      const double observed_max = max();
+      if (v < observed_min) v = observed_min;
+      if (v > observed_max) v = observed_max;
+      return v;
+    }
+    cum = next;
+  }
+  return max();
+}
+
+Histogram::Cells Histogram::cells() const noexcept {
+  Cells out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::add_cells(const Cells& c) noexcept {
+  if (c.count == 0) return;
+  std::size_t first = kBuckets;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (c.buckets[i] == 0) continue;
+    if (first == kBuckets) first = i;
+    last = i;
+    buckets_[i].fetch_add(c.buckets[i], std::memory_order_relaxed);
+  }
+  const std::uint64_t seen = count_.fetch_add(c.count,
+                                              std::memory_order_relaxed);
+  atomic_add(sum_, c.sum);
+  if (first != kBuckets) {
+    const double lo = bucket_lower_bound(first);
+    const double hi = bucket_lower_bound(last + 1);
+    if (seen == 0) {
+      min_.store(lo, std::memory_order_relaxed);
+      max_.store(hi, std::memory_order_relaxed);
+    } else {
+      atomic_min(min_, lo);
+      atomic_max(max_, hi);
+    }
+  }
 }
 
 void Histogram::merge(const Histogram& other) noexcept {
@@ -163,9 +268,25 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
         s.count = instrument->histogram.count();
         s.min = instrument->histogram.min();
         s.max = instrument->histogram.max();
+        s.p50 = instrument->histogram.quantile(0.50);
+        s.p90 = instrument->histogram.quantile(0.90);
+        s.p99 = instrument->histogram.quantile(0.99);
         break;
     }
     out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::InstrumentRef> MetricsRegistry::instruments()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<InstrumentRef> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, instrument] : entries_) {
+    out.push_back(InstrumentRef{name, instrument->kind, instrument->unit,
+                                &instrument->counter, &instrument->gauge,
+                                &instrument->histogram});
   }
   return out;
 }
@@ -188,7 +309,13 @@ void MetricsRegistry::absorb(const MetricsRegistry& other) {
         dst.counter.add(src->counter.value());
         break;
       case InstrumentKind::Gauge:
-        dst.gauge.set(src->gauge.value());
+        // A high-watermark gauge folds with max — absorbing several
+        // per-run registries keeps the peak, not the last run's level.
+        if (src->gauge.high_watermark()) {
+          dst.gauge.record_max(src->gauge.value());
+        } else {
+          dst.gauge.set(src->gauge.value());
+        }
         break;
       case InstrumentKind::Histogram:
         dst.histogram.merge(src->histogram);
@@ -247,7 +374,8 @@ void write_metrics_report(std::ostream& out,
               << s.value << ' ' << sample_unit_name(s.unit) << " (mean "
               << (s.count == 0 ? 0.0
                                : s.value / static_cast<double>(s.count))
-              << ", min " << s.min << ", max " << s.max << ')';
+              << ", min " << s.min << ", max " << s.max << ", p50 " << s.p50
+              << ", p90 " << s.p90 << ", p99 " << s.p99 << ')';
         break;
     }
     out << "  " << s.name << std::string(width - s.name.size() + 2, ' ')

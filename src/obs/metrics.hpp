@@ -58,25 +58,49 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-written level (thread counts, repository sizes).
+/// Last-written level (thread counts, repository sizes), or — once
+/// record_max() has been called — a sticky high-watermark (peak inflight,
+/// peak RSS).  The mode travels with the gauge: absorb() folds a
+/// watermark gauge with max instead of overwriting the level.
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the level to `v` if higher and marks this gauge as a
+  /// high-watermark (the mark is permanent; reset() zeroes the level but
+  /// keeps the mode).
+  void record_max(double v) noexcept;
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() noexcept { set(0.0); }
+  [[nodiscard]] bool high_watermark() const noexcept {
+    return watermark_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
+  std::atomic<bool> watermark_{false};
 };
 
-/// Distribution of observed values: count, sum, min, max, and power-of-two
-/// buckets (bucket i counts values in [2^(i-30), 2^(i-31+1)) — for
-/// durations in seconds that spans ~1ns to ~4s, clamped at the ends).
+/// Distribution of observed values: count, sum, min, max, and fixed
+/// log-spaced buckets — four sub-buckets per power of two (edges at
+/// 2^(k/4)) spanning [2^-30, 2^2), i.e. ~1 ns to 4 s for durations in
+/// seconds, clamped at both ends.  The edges are compile-time constants,
+/// so every process buckets identically and quantile() is deterministic
+/// for a given set of observations.
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 32;
+  static constexpr std::size_t kBucketsPerOctave = 4;
+  static constexpr std::size_t kOctaves = 32;
+  static constexpr std::size_t kBuckets = kBucketsPerOctave * kOctaves;
+  /// frexp exponent of the smallest in-range value (2^-30 = 0.5 * 2^-29).
+  static constexpr int kMinExp = -29;
+
+  /// Lower edge of bucket `i` (0 for bucket 0, which also absorbs
+  /// everything below the range).  bucket_lower_bound(kBuckets) is the
+  /// upper edge of the last bucket's nominal range; the last bucket also
+  /// absorbs everything above it.
+  [[nodiscard]] static double bucket_lower_bound(std::size_t i) noexcept;
 
   void observe(double v) noexcept;
 
@@ -92,6 +116,27 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+
+  /// Quantile estimate from the bucket counts: linear interpolation
+  /// within the covering bucket, clamped to [min(), max()].  q in [0, 1];
+  /// 0 when empty.  Exact bucket-resolution on a quiescent histogram; a
+  /// racing observe() can skew a concurrent estimate by at most its own
+  /// observation.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// The accumulating fields (everything except min/max), copyable as a
+  /// plain struct so callers can difference two snapshots of the same
+  /// histogram into a window (obs/window.hpp).
+  struct Cells {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::uint64_t buckets[kBuckets] = {};
+  };
+  [[nodiscard]] Cells cells() const noexcept;
+  /// Adds `c` into this histogram.  min/max are seeded from the occupied
+  /// bucket edges when this histogram was empty (the true extremes of a
+  /// differenced window are not recoverable from cumulative snapshots).
+  void add_cells(const Cells& c) noexcept;
 
   void merge(const Histogram& other) noexcept;
   void reset() noexcept;
@@ -115,6 +160,10 @@ struct MetricSample {
   std::uint64_t count = 0;
   double min = 0.0;
   double max = 0.0;
+  /// Histogram quantile estimates (0 for counters and gauges).
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Registry of named instruments.  Registration (the first counter() /
@@ -134,6 +183,20 @@ class MetricsRegistry {
 
   /// All instruments, sorted by name.
   [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// One registered instrument, by reference.  The pointers stay valid
+  /// for the registry's lifetime (instruments are never removed), so
+  /// consumers like RegistryWindow can re-read them lock-free.
+  struct InstrumentRef {
+    std::string name;
+    InstrumentKind kind = InstrumentKind::Counter;
+    SampleUnit unit = SampleUnit::Count;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  /// All instruments as live references, sorted by name.
+  [[nodiscard]] std::vector<InstrumentRef> instruments() const;
 
   /// Adds `other`'s state into this registry: counters and histograms
   /// accumulate, gauges take the other's level if it was ever set.

@@ -158,10 +158,20 @@ void write_chrome_trace(std::ostream& out,
           << std::setprecision(3)
           << static_cast<double>(rec.start_ns - base) / 1e3
           << ",\"dur\":" << static_cast<double>(rec.end_ns - rec.start_ns) / 1e3;
-      if (rec.note != nullptr) {
-        out << ",\"args\":{\"note\":\"";
-        json_escape(out, rec.note);
-        out << "\"}";
+      if (rec.note != nullptr || rec.tag != 0) {
+        out << ",\"args\":{";
+        bool first_arg = true;
+        if (rec.note != nullptr) {
+          out << "\"note\":\"";
+          json_escape(out, rec.note);
+          out << "\"";
+          first_arg = false;
+        }
+        if (rec.tag != 0) {
+          if (!first_arg) out << ",";
+          out << "\"tag\":" << rec.tag;
+        }
+        out << "}";
       }
       out << "}";
     }

@@ -37,6 +37,7 @@ class ThreadTrace {
     Slot& slot = chunks_[index / kChunkSlots][index % kChunkSlots];
     slot.name = name;
     slot.note = note;
+    slot.tag = 0;
     slot.parent = open_stack_.empty() ? kNoParent : open_stack_.back();
     slot.start_ns = now_ns();
     // Publish the initialized slot; end_ns is still 0 (open).
@@ -82,6 +83,7 @@ class ThreadTrace {
       rec.start_ns = slot.start_ns;
       rec.end_ns = slot.end_ns.load(std::memory_order_acquire);
       rec.parent = slot.parent;
+      rec.tag = slot.tag;
       out.push_back(rec);
     }
     return out;
@@ -228,6 +230,10 @@ void Span::close() noexcept {
 
 void Span::annotate(const char* note) noexcept {
   if (slot_ != nullptr) slot_->note = note;
+}
+
+void Span::tag(std::uint64_t value) noexcept {
+  if (slot_ != nullptr) slot_->tag = value;
 }
 
 }  // namespace cube::obs

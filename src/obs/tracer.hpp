@@ -48,6 +48,7 @@ struct Slot {
   std::int64_t start_ns = 0;
   std::atomic<std::int64_t> end_ns{0};  ///< 0 while the span is open
   std::uint32_t parent = kNoParent;     ///< slot index within this thread
+  std::uint64_t tag = 0;  ///< numeric annotation (request id); 0 = none
 };
 
 class ThreadTrace;
@@ -62,6 +63,7 @@ struct SpanRecord {
   std::int64_t start_ns = 0;
   std::int64_t end_ns = 0;
   std::uint32_t parent = kNoParent;
+  std::uint64_t tag = 0;  ///< numeric annotation (request id); 0 = none
 };
 
 /// All completed spans of one thread, in record (= open) order: a parent
@@ -159,6 +161,12 @@ class Span {
   /// cache outcome of the spanned work is known).  No-op when the span
   /// was opened with tracing disabled.
   void annotate(const char* note) noexcept;
+
+  /// Attaches a numeric annotation (a client request id, a sequence
+  /// number).  Notes must be static strings, so per-request data travels
+  /// as a number; the Chrome exporter renders it as the span's "tag" arg.
+  /// No-op when the span was opened with tracing disabled.
+  void tag(std::uint64_t value) noexcept;
 
   /// True if this span is recording (tracing was enabled at construction).
   [[nodiscard]] bool active() const noexcept { return slot_ != nullptr; }

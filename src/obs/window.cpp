@@ -1,0 +1,78 @@
+#include "obs/window.hpp"
+
+namespace cube::obs {
+
+namespace {
+
+/// Per-field saturating difference: counters and buckets are monotone, so
+/// a negative delta can only mean the instrument was reset between
+/// advances — report the post-reset value rather than wrapping.
+std::uint64_t delta_u64(std::uint64_t cur, std::uint64_t prev) noexcept {
+  return cur >= prev ? cur - prev : cur;
+}
+
+double delta_sum(double cur, double prev) noexcept {
+  return cur >= prev ? cur - prev : cur;
+}
+
+}  // namespace
+
+RegistryWindow::RegistryWindow(const MetricsRegistry& source)
+    : source_(source) {
+  capture_baseline();
+}
+
+void RegistryWindow::capture_baseline() {
+  for (const MetricsRegistry::InstrumentRef& ref : source_.instruments()) {
+    Baseline& base = baseline_[ref.name];
+    switch (ref.kind) {
+      case InstrumentKind::Counter:
+        base.counter = ref.counter->value();
+        break;
+      case InstrumentKind::Gauge:
+        break;  // levels are not accumulated; nothing to difference
+      case InstrumentKind::Histogram:
+        base.cells = ref.histogram->cells();
+        break;
+    }
+  }
+}
+
+std::unique_ptr<MetricsRegistry> RegistryWindow::advance() {
+  auto out = std::make_unique<MetricsRegistry>();
+  for (const MetricsRegistry::InstrumentRef& ref : source_.instruments()) {
+    Baseline& base = baseline_[ref.name];
+    switch (ref.kind) {
+      case InstrumentKind::Counter: {
+        const std::uint64_t cur = ref.counter->value();
+        out->counter(ref.name, ref.unit).add(delta_u64(cur, base.counter));
+        base.counter = cur;
+        break;
+      }
+      case InstrumentKind::Gauge: {
+        Gauge& g = out->gauge(ref.name, ref.unit);
+        if (ref.gauge->high_watermark()) {
+          g.record_max(ref.gauge->value());
+        } else {
+          g.set(ref.gauge->value());
+        }
+        break;
+      }
+      case InstrumentKind::Histogram: {
+        const Histogram::Cells cur = ref.histogram->cells();
+        Histogram::Cells delta;
+        delta.count = delta_u64(cur.count, base.cells.count);
+        delta.sum = delta_sum(cur.sum, base.cells.sum);
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          delta.buckets[i] = delta_u64(cur.buckets[i], base.cells.buckets[i]);
+        }
+        out->histogram(ref.name, ref.unit).add_cells(delta);
+        base.cells = cur;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cube::obs

@@ -1,0 +1,55 @@
+// RegistryWindow: periodic deltas over a live MetricsRegistry.
+//
+// The self-profile exporter (obs/self_profile.hpp) maps a registry onto a
+// CUBE experiment, but the process-wide registry only ever accumulates —
+// exporting it twice gives two prefixes of the same history, not two
+// comparable windows.  A RegistryWindow remembers a baseline of every
+// accumulating field (counter values, histogram cells) and, on each
+// advance(), returns JUST the activity since the previous advance() as a
+// fresh registry: counters hold the delta, histograms hold the window's
+// observations (bucket-exact), gauges carry their current level (or the
+// running high-watermark for record_max gauges).
+//
+// The source registry is never reset — other consumers (--stats reports,
+// the Stats wire endpoint) keep seeing cumulative totals — so windowing
+// is safe to run inside a live server.  Windows over the same instrument
+// set build digest-equal experiment metadata, which is what lets the
+// algebra `difference` any two windows bit-deterministically.
+//
+// advance() is not itself thread-safe; callers serialize it (the server's
+// housekeeping thread is the only caller there).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cube::obs {
+
+class RegistryWindow {
+ public:
+  /// Captures the baseline: the first advance() covers activity from
+  /// construction.
+  explicit RegistryWindow(const MetricsRegistry& source);
+
+  /// Returns the delta since the previous advance() (or construction) as
+  /// a fresh registry and moves the baseline forward.  Instruments
+  /// registered since the last call are covered from zero.
+  [[nodiscard]] std::unique_ptr<MetricsRegistry> advance();
+
+ private:
+  struct Baseline {
+    std::uint64_t counter = 0;
+    Histogram::Cells cells;
+  };
+
+  void capture_baseline();
+
+  const MetricsRegistry& source_;
+  std::map<std::string, Baseline> baseline_;
+};
+
+}  // namespace cube::obs

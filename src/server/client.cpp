@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <utility>
@@ -42,6 +43,19 @@ CubeClient::CubeClient(ClientConfig config) : config_(std::move(config)) {
   // the client process.
   ::signal(SIGPIPE, SIG_IGN);
   fd_ = connect_unix(config_.socket_path);
+  // Seed auto-assigned request ids so two sessions against one daemon do
+  // not both start at 1 (a SplitMix64 step over pid ^ connect time; the
+  // low bits stay an in-session sequence, which keeps ids readable).
+  {
+    std::uint64_t seed =
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count());
+    seed += 0x9e3779b97f4a7c15ull;
+    seed = (seed ^ (seed >> 30)) * 0xbf58476d1ce4e5b9ull;
+    seed = (seed ^ (seed >> 27)) * 0x94d049bb133111ebull;
+    next_request_id_ = (seed << 20) | 1;  // never 0
+  }
   try {
     HelloPayload hello;
     hello.client = config_.name;
@@ -83,9 +97,12 @@ Frame CubeClient::round_trip(MsgType type, std::string_view payload,
   return std::move(*reply);
 }
 
-ResultPayload CubeClient::query_raw(const std::string& text) {
+ResultPayload CubeClient::query_raw(const std::string& text,
+                                    std::uint64_t request_id) {
   QueryPayload query;
   query.text = text;
+  query.request_id = request_id != 0 ? request_id : next_request_id_++;
+  last_request_id_ = query.request_id;
   const std::string encoded = encode_query(query);
   (void)write_frame(fd_, MsgType::Query, encoded);
   std::optional<Frame> reply = read_frame(fd_, config_.max_payload);
@@ -105,9 +122,12 @@ ResultPayload CubeClient::query_raw(const std::string& text) {
   }
 }
 
-ClientResult CubeClient::query(const std::string& text) {
+ClientResult CubeClient::query(const std::string& text,
+                               std::uint64_t request_id) {
   QueryPayload query;
   query.text = text;
+  query.request_id = request_id != 0 ? request_id : next_request_id_++;
+  last_request_id_ = query.request_id;
   const std::string encoded = encode_query(query);
   (void)write_frame(fd_, MsgType::Query, encoded);
   std::optional<Frame> reply = read_frame(fd_, config_.max_payload);
@@ -148,6 +168,11 @@ ClientResult CubeClient::query(const std::string& text) {
 StatsPayload CubeClient::stats() {
   const Frame reply = round_trip(MsgType::Stats, {}, MsgType::StatsOk);
   return decode_stats(reply.payload);
+}
+
+HealthPayload CubeClient::health() {
+  const Frame reply = round_trip(MsgType::Health, {}, MsgType::HealthOk);
+  return decode_health(reply.payload);
 }
 
 void CubeClient::ping() {

@@ -84,14 +84,23 @@ class CubeClient {
 
   /// Runs one query remotely and decodes the result.  Throws BusyError
   /// when shed, RemoteError on a server-side failure, ProtocolError /
-  /// IoError on a broken session.
-  [[nodiscard]] ClientResult query(const std::string& text);
+  /// IoError on a broken session.  `request_id` tags the query on the
+  /// server (span annotations, slow-query log); 0 auto-assigns the next
+  /// session-local id — see last_request_id().
+  [[nodiscard]] ClientResult query(const std::string& text,
+                                   std::uint64_t request_id = 0);
 
   /// Like query() but returns the raw payload without decoding the
   /// experiment (bench_server measures wire latency, not decode time).
-  [[nodiscard]] ResultPayload query_raw(const std::string& text);
+  [[nodiscard]] ResultPayload query_raw(const std::string& text,
+                                        std::uint64_t request_id = 0);
 
   [[nodiscard]] StatsPayload stats();
+
+  /// Fetches the HealthOk JSON document.  Served off the compute pool:
+  /// responds even when the daemon is saturated.
+  [[nodiscard]] HealthPayload health();
+
   void ping();
 
   /// Asks the daemon to shut down; returns once ShutdownOk arrives.
@@ -105,6 +114,12 @@ class CubeClient {
     return server_name_;
   }
 
+  /// The request id the most recent query()/query_raw() carried (useful
+  /// for correlating with the daemon's slow-query log and trace spans).
+  [[nodiscard]] std::uint64_t last_request_id() const noexcept {
+    return last_request_id_;
+  }
+
  private:
   /// Sends `request` and reads the response frame, translating Error
   /// frames into RemoteError.
@@ -115,6 +130,11 @@ class CubeClient {
   int fd_ = -1;
   std::uint64_t generation_ = 0;
   std::string server_name_;
+  /// Auto-assigned request ids: seeded per session (pid and connect time
+  /// mixed) so ids from different clients against one daemon are
+  /// distinguishable, then incremented per query.
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t last_request_id_ = 0;
   /// Session metadata store: digest -> interned instance.
   std::map<std::uint64_t, std::shared_ptr<const Metadata>> metas_;
 };

@@ -60,7 +60,7 @@ constexpr std::size_t kHeaderSize = 16;
 
 bool known_type(std::uint32_t t) {
   return t >= static_cast<std::uint32_t>(MsgType::Hello) &&
-         t <= static_cast<std::uint32_t>(MsgType::ShutdownOk);
+         t <= static_cast<std::uint32_t>(MsgType::HealthOk);
 }
 
 }  // namespace
@@ -79,6 +79,8 @@ const char* msg_type_name(MsgType type) noexcept {
     case MsgType::StatsOk: return "StatsOk";
     case MsgType::Shutdown: return "Shutdown";
     case MsgType::ShutdownOk: return "ShutdownOk";
+    case MsgType::Health: return "Health";
+    case MsgType::HealthOk: return "HealthOk";
   }
   return "unknown";
 }
@@ -180,6 +182,7 @@ std::string encode_query(const QueryPayload& p) {
   detail::BinaryEncoder e(out);
   e.str(p.text);
   e.u32(p.flags);
+  e.u64(p.request_id);
   return out.str();
 }
 
@@ -189,6 +192,10 @@ QueryPayload decode_query(std::string_view payload) {
     QueryPayload p;
     p.text = d.str();
     p.flags = d.u32();
+    // Peers that predate request ids end the payload here; decode as the
+    // unset id rather than a framing violation.
+    if (d.done()) return p;
+    p.request_id = d.u64();
     require_done(d, "Query");
     return p;
   });
@@ -300,6 +307,21 @@ std::string encode_stats(const StatsPayload& p) {
     e.u64(s.count);
     e.f64(s.min);
     e.f64(s.max);
+    e.f64(s.p50);
+    e.f64(s.p90);
+    e.f64(s.p99);
+  }
+  e.str(p.json);
+  e.u32(static_cast<std::uint32_t>(p.slow.size()));
+  for (const WireSlowQuery& q : p.slow) {
+    e.u64(q.request_id);
+    e.str(q.canonical);
+    e.str(q.outcome);
+    e.f64(q.server_ms);
+    e.f64(q.plan_ms);
+    e.f64(q.compute_ms);
+    e.f64(q.serialize_ms);
+    e.u64(q.sequence);
   }
   return out.str();
 }
@@ -319,9 +341,49 @@ StatsPayload decode_stats(std::string_view payload) {
       s.count = d.u64();
       s.min = d.f64();
       s.max = d.f64();
+      s.p50 = d.f64();
+      s.p90 = d.f64();
+      s.p99 = d.f64();
       p.samples.push_back(std::move(s));
     }
+    // The json document and the slow-query list are appended after the
+    // sample list; a payload that ends at either boundary (a minimal
+    // StatsOk) decodes with the missing fields empty.
+    if (d.done()) return p;
+    p.json = d.str();
+    if (d.done()) return p;
+    const std::uint32_t slow_n = d.u32();
+    p.slow.reserve(slow_n);
+    for (std::uint32_t i = 0; i < slow_n; ++i) {
+      WireSlowQuery q;
+      q.request_id = d.u64();
+      q.canonical = d.str();
+      q.outcome = d.str();
+      q.server_ms = d.f64();
+      q.plan_ms = d.f64();
+      q.compute_ms = d.f64();
+      q.serialize_ms = d.f64();
+      q.sequence = d.u64();
+      p.slow.push_back(std::move(q));
+    }
     require_done(d, "StatsOk");
+    return p;
+  });
+}
+
+std::string encode_health(const HealthPayload& p) {
+  std::ostringstream out;
+  detail::BinaryEncoder e(out);
+  e.str(p.json);
+  return out.str();
+}
+
+HealthPayload decode_health(std::string_view payload) {
+  return decoding("HealthOk", [&] {
+    detail::BinaryDecoder d(payload);
+    HealthPayload p;
+    p.json = d.str();
+    require_done(d, "HealthOk");
     return p;
   });
 }

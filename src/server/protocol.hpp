@@ -63,6 +63,8 @@ enum class MsgType : std::uint32_t {
   StatsOk,      ///< server -> client: metric samples
   Shutdown,     ///< client -> server: drain and exit
   ShutdownOk,   ///< server -> client: shutdown acknowledged
+  Health,       ///< client -> server: request the health document
+  HealthOk,     ///< server -> client: small deterministic JSON document
 };
 
 /// Human-readable message-type name for logs and errors.
@@ -100,6 +102,12 @@ struct HelloOkPayload {
 struct QueryPayload {
   std::string text;
   std::uint32_t flags = 0;  ///< reserved, must be 0
+  /// Client-generated id threaded through the server's spans and the
+  /// slow-query log, so a slow entry scraped from Stats can be matched to
+  /// the client call that caused it.  0 = unset.  Appended to the wire
+  /// format: a payload that ends after `flags` (a pre-telemetry peer)
+  /// decodes with request_id 0.
+  std::uint64_t request_id = 0;
 };
 
 /// How a Result was produced — the cross-client sharing ablation point.
@@ -150,8 +158,35 @@ struct BusyPayload {
   std::string reason;
 };
 
+/// One slow-query log entry on the wire (worst queries by wall time, with
+/// per-phase durations; docs/SERVER.md).
+struct WireSlowQuery {
+  std::uint64_t request_id = 0;  ///< client-provided id; 0 = unset
+  std::string canonical;         ///< canonical plan text (raw text if
+                                 ///< the query never planned)
+  /// How the query ended: "computed", "hit", "coalesced", "busy",
+  /// "rejected", "error".
+  std::string outcome;
+  double server_ms = 0.0;
+  double plan_ms = 0.0;       ///< parse + plan + admission analysis
+  double compute_ms = 0.0;    ///< pool execution (owner path only)
+  double serialize_ms = 0.0;  ///< wire-format encoding (owner path only)
+  std::uint64_t sequence = 0; ///< arrival order, server-unique
+};
+
 struct StatsPayload {
   std::vector<obs::MetricSample> samples;
+  /// The full telemetry document ({"server":…,"metrics":…,
+  /// "slow_queries":…}), byte-deterministic for a given server state.
+  /// Appended to the wire format: empty from a pre-telemetry peer.
+  std::string json;
+  /// Slow-query log, worst first.  Appended after `json`.
+  std::vector<WireSlowQuery> slow;
+};
+
+struct HealthPayload {
+  /// {"status":…,"uptime_s":…,…} — see docs/SERVER.md.
+  std::string json;
 };
 
 [[nodiscard]] std::string encode_hello(const HelloPayload& p);
@@ -168,5 +203,7 @@ struct StatsPayload {
 [[nodiscard]] BusyPayload decode_busy(std::string_view payload);
 [[nodiscard]] std::string encode_stats(const StatsPayload& p);
 [[nodiscard]] StatsPayload decode_stats(std::string_view payload);
+[[nodiscard]] std::string encode_health(const HealthPayload& p);
+[[nodiscard]] HealthPayload decode_health(std::string_view payload);
 
 }  // namespace cube::server

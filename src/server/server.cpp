@@ -162,7 +162,7 @@ void CubedServer::housekeeping_loop() {
     if (stopped_ || shutdown_requested_) break;
     lock.unlock();
     try {
-      service_.refresh();
+      service_.housekeeping_tick();
     } catch (const Error&) {
       // A torn read against a concurrent writer; the next tick retries.
     }
@@ -208,7 +208,8 @@ void CubedServer::session_loop(Session& session) {
       switch (frame->type) {
         case MsgType::Query: {
           const QueryPayload query = decode_query(frame->payload);
-          const QueryOutcome outcome = service_.handle_query(query.text);
+          const QueryOutcome outcome =
+              service_.handle_query(query.text, query.request_id);
           switch (outcome.status) {
             case QueryOutcome::Status::Ok: {
               ResultPayload result;
@@ -238,6 +239,13 @@ void CubedServer::session_loop(Session& session) {
         case MsgType::Stats:
           (void)write_frame(fd, MsgType::StatsOk,
                             encode_stats(service_.stats()));
+          break;
+        case MsgType::Health:
+          // Answered on the session thread: health must respond even when
+          // the compute pool is saturated.
+          (void)write_frame(
+              fd, MsgType::HealthOk,
+              encode_health(HealthPayload{service_.health_json()}));
           break;
         case MsgType::Shutdown:
           if (!config_.allow_shutdown) {

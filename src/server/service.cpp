@@ -2,12 +2,16 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <exception>
+#include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
 #include "io/binary_format.hpp"
 #include "io/meta_format.hpp"
+#include "obs/json_export.hpp"
+#include "obs/self_profile.hpp"
 #include "obs/tracer.hpp"
 #include "query/analyze.hpp"
 #include "query/query_expr.hpp"
@@ -71,10 +75,19 @@ AnalysisService::AnalysisService(ExperimentRepository& repo,
       service_time_(obs::MetricsRegistry::global().histogram(
           "server.service_time", obs::SampleUnit::Seconds)),
       inflight_gauge_(obs::MetricsRegistry::global().gauge("server.inflight")),
+      inflight_peak_(
+          obs::MetricsRegistry::global().gauge("server.inflight_peak")),
       cache_bytes_(obs::MetricsRegistry::global().gauge(
-          "server.cache_bytes", obs::SampleUnit::Bytes)) {
+          "server.cache_bytes", obs::SampleUnit::Bytes)),
+      start_(std::chrono::steady_clock::now()),
+      slow_log_(config_.slow_log_capacity, config_.slow_log_threshold_ms) {
   if (config_.threads == 0) config_.threads = ThreadPool::default_threads();
   if (config_.max_inflight == 0) config_.max_inflight = 2 * config_.threads;
+  window_ =
+      std::make_unique<obs::RegistryWindow>(obs::MetricsRegistry::global());
+  next_window_ns_ =
+      now_ns() +
+      static_cast<std::int64_t>(config_.self_profile_interval_s) * 1000000000;
   pool_ = std::make_unique<ThreadPool>(config_.threads);
 
   query::QueryOptions options;
@@ -191,19 +204,30 @@ double AnalysisService::recent_queue_wait_ms() {
          std::pow(0.5, age_s);
 }
 
-QueryOutcome AnalysisService::handle_query(const std::string& text) {
-  OBS_SPAN("server.query");
+QueryOutcome AnalysisService::handle_query(const std::string& text,
+                                           std::uint64_t request_id) {
+  obs::Span query_span("server.query");
+  if (request_id != 0) query_span.tag(request_id);
   const std::int64_t t0 = now_ns();
   queries_.add();
+  // The slow-query log entry for this query, filled in as the phases run.
+  // Until a plan resolves, the canonical text is the raw query text.
+  WireSlowQuery slow;
+  slow.request_id = request_id;
+  slow.canonical = text;
+  slow.outcome = "error";
   auto finish = [&](QueryOutcome out) {
     out.server_ms = static_cast<double>(now_ns() - t0) / 1e6;
     service_time_.observe(out.server_ms / 1000.0);
     cache_bytes_.set(static_cast<double>(cache_.size_bytes()));
+    slow.server_ms = out.server_ms;
+    slow_log_.record(std::move(slow));
     return out;
   };
 
   if (config_.force_busy) {
     busy_.add();
+    slow.outcome = "busy";
     QueryOutcome out;
     out.status = QueryOutcome::Status::Busy;
     out.busy = busy_payload("forced by configuration");
@@ -211,15 +235,20 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
   }
 
   PlannedQuery planned;
+  const std::int64_t plan_t0 = now_ns();
   try {
     planned = resolve_plan(text);
+    slow.plan_ms = static_cast<double>(now_ns() - plan_t0) / 1e6;
   } catch (const QueryParseError& e) {
+    slow.plan_ms = static_cast<double>(now_ns() - plan_t0) / 1e6;
     errors_.add();
     return finish(error_outcome("parse", e.what()));
   } catch (const Error& e) {
+    slow.plan_ms = static_cast<double>(now_ns() - plan_t0) / 1e6;
     errors_.add();
     return finish(error_outcome("plan", e.what()));
   }
+  slow.canonical = planned.canonical;
 
   if (!planned.admissible) {
     // Rejected by static analysis: refuse BEFORE touching the result
@@ -227,6 +256,7 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
     // coalescing slot or trigger a computation.
     rejected_.add();
     errors_.add();
+    slow.outcome = "rejected";
     QueryOutcome out;
     out.status = QueryOutcome::Status::Error;
     out.error = planned.rejection;
@@ -238,6 +268,7 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
     lookup = cache_.acquire(planned.key);
   } catch (const BusyShed& e) {
     busy_.add();
+    slow.outcome = "busy";
     QueryOutcome out;
     out.status = QueryOutcome::Status::Busy;
     out.busy = e.payload();
@@ -251,6 +282,7 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
   if (lookup.outcome != ResultCache::Outcome::Owner) {
     const bool hit = lookup.outcome == ResultCache::Outcome::Hit;
     (hit ? cache_hits_ : coalesced_).add();
+    slow.outcome = hit ? "hit" : "coalesced";
     QueryOutcome out;
     out.status = QueryOutcome::Status::Ok;
     out.served = hit ? Served::CacheHit : Served::Coalesced;
@@ -268,6 +300,7 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
   }
   if (!shed_reason.empty()) {
     busy_.add();
+    slow.outcome = "busy";
     QueryOutcome out;
     out.status = QueryOutcome::Status::Busy;
     out.busy = busy_payload(shed_reason);
@@ -277,15 +310,23 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
   }
 
   inflight_.fetch_add(1, std::memory_order_relaxed);
-  inflight_gauge_.set(
-      static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+  {
+    const double level =
+        static_cast<double>(inflight_.load(std::memory_order_relaxed));
+    inflight_gauge_.set(level);
+    inflight_peak_.record_max(level);
+  }
   try {
-    OBS_SPAN("server.compute");
+    const std::int64_t compute_t0 = now_ns();
+    obs::Span compute_span("server.compute");
+    if (request_id != 0) compute_span.tag(request_id);
     if (config_.before_compute) config_.before_compute();
     query::QueryResult result = engine_->run_plan(*planned.plan);
+    slow.compute_ms = static_cast<double>(now_ns() - compute_t0) / 1e6;
 
     CachedResult cached;
     {
+      const std::int64_t ser_t0 = now_ns();
       OBS_SPAN("server.serialize");
       cached.canonical = result.canonical;
       cached.meta_digest = result.experiment.metadata().digest();
@@ -293,6 +334,7 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
           to_cube_meta(result.experiment.metadata()));
       cached.body = std::make_shared<const std::string>(
           to_cube_binary_ref(result.experiment));
+      slow.serialize_ms = static_cast<double>(now_ns() - ser_t0) / 1e6;
     }
     std::shared_ptr<const CachedResult> published =
         cache_.publish(planned.key, std::move(cached));
@@ -300,6 +342,7 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
     inflight_gauge_.set(
         static_cast<double>(inflight_.load(std::memory_order_relaxed)));
     computes_.add();
+    slow.outcome = "computed";
 
     QueryOutcome out;
     out.status = QueryOutcome::Status::Ok;
@@ -325,10 +368,165 @@ QueryOutcome AnalysisService::handle_query(const std::string& text) {
   }
 }
 
+namespace {
+
+void write_server_field(std::ostream& out, const char* key, double value,
+                        bool first = false) {
+  if (!first) out << ',';
+  obs::write_json_string(out, key);
+  out << ':';
+  obs::write_json_number(out, value);
+}
+
+void write_server_field(std::ostream& out, const char* key,
+                        std::uint64_t value, bool first = false) {
+  if (!first) out << ',';
+  obs::write_json_string(out, key);
+  out << ':';
+  obs::write_json_number(out, value);
+}
+
+}  // namespace
+
+std::string AnalysisService::compose_stats_json(
+    const std::vector<obs::MetricSample>& samples,
+    const std::vector<WireSlowQuery>& slow) const {
+  std::ostringstream out;
+  out << "{\"server\":{";
+  obs::write_json_string(out, "name");
+  out << ':';
+  obs::write_json_string(out, config_.self_profile_source);
+  write_server_field(out, "uptime_s", uptime_s());
+  write_server_field(out, "generation", repo_.generation());
+  write_server_field(out, "queries", queries_.value());
+  write_server_field(out, "cache_hits", cache_hits_.value());
+  write_server_field(out, "coalesced", coalesced_.value());
+  write_server_field(out, "computes", computes_.value());
+  write_server_field(out, "busy", busy_.value());
+  write_server_field(out, "rejected", rejected_.value());
+  write_server_field(out, "errors", errors_.value());
+  write_server_field(
+      out, "inflight",
+      static_cast<std::uint64_t>(inflight_.load(std::memory_order_relaxed)));
+  write_server_field(out, "max_inflight",
+                     static_cast<std::uint64_t>(config_.max_inflight));
+  write_server_field(out, "cache_bytes",
+                     static_cast<std::uint64_t>(cache_.size_bytes()));
+  write_server_field(out, "cache_capacity_bytes",
+                     static_cast<std::uint64_t>(config_.cache_capacity_bytes));
+  write_server_field(out, "slow_log_threshold_ms",
+                     config_.slow_log_threshold_ms);
+  write_server_field(out, "slow_log_capacity",
+                     static_cast<std::uint64_t>(config_.slow_log_capacity));
+  write_server_field(
+      out, "self_profile_interval_s",
+      static_cast<std::uint64_t>(config_.self_profile_interval_s));
+  write_server_field(out, "self_profile_windows", self_profile_windows());
+  out << "},\"metrics\":";
+  obs::write_metrics_json(out, samples);
+  out << ",\"slow_queries\":[";
+  bool first = true;
+  for (const WireSlowQuery& entry : slow) {
+    if (!first) out << ',';
+    first = false;
+    out << '{';
+    write_server_field(out, "request_id", entry.request_id, true);
+    out << ',';
+    obs::write_json_string(out, "canonical");
+    out << ':';
+    obs::write_json_string(out, entry.canonical);
+    out << ',';
+    obs::write_json_string(out, "outcome");
+    out << ':';
+    obs::write_json_string(out, entry.outcome);
+    write_server_field(out, "server_ms", entry.server_ms);
+    write_server_field(out, "plan_ms", entry.plan_ms);
+    write_server_field(out, "compute_ms", entry.compute_ms);
+    write_server_field(out, "serialize_ms", entry.serialize_ms);
+    write_server_field(out, "sequence", entry.sequence);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
 StatsPayload AnalysisService::stats() const {
   StatsPayload payload;
   payload.samples = obs::MetricsRegistry::global().snapshot();
+  payload.slow = slow_log_.snapshot();
+  payload.json = compose_stats_json(payload.samples, payload.slow);
   return payload;
+}
+
+std::string AnalysisService::stats_json() const {
+  return compose_stats_json(obs::MetricsRegistry::global().snapshot(),
+                            slow_log_.snapshot());
+}
+
+std::string AnalysisService::health_json() const {
+  std::ostringstream out;
+  out << "{\"status\":\"ok\",";
+  obs::write_json_string(out, "server");
+  out << ':';
+  obs::write_json_string(out, config_.self_profile_source);
+  write_server_field(out, "protocol_version",
+                     static_cast<std::uint64_t>(kProtocolVersion));
+  write_server_field(out, "uptime_s", uptime_s());
+  write_server_field(out, "generation", repo_.generation());
+  write_server_field(
+      out, "inflight",
+      static_cast<std::uint64_t>(inflight_.load(std::memory_order_relaxed)));
+  write_server_field(out, "queries", queries_.value());
+  out << '}';
+  return out.str();
+}
+
+double AnalysisService::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void AnalysisService::housekeeping_tick() {
+  (void)refresh();
+  if (config_.self_profile_interval_s == 0) return;
+  bool due = false;
+  {
+    ts::MutexLock lock(profile_mutex_);
+    const std::int64_t now = now_ns();
+    if (now >= next_window_ns_) {
+      due = true;
+      next_window_ns_ =
+          now + static_cast<std::int64_t>(config_.self_profile_interval_s) *
+                    1000000000;
+    }
+  }
+  if (due) (void)export_self_profile_window();
+}
+
+std::string AnalysisService::export_self_profile_window() {
+  std::unique_ptr<obs::MetricsRegistry> delta;
+  {
+    ts::MutexLock lock(profile_mutex_);
+    delta = window_->advance();
+  }
+  const std::uint64_t seq =
+      windows_stored_.fetch_add(1, std::memory_order_relaxed) + 1;
+  char tag[16];
+  std::snprintf(tag, sizeof(tag), "w%06llu",
+                static_cast<unsigned long long>(seq));
+  obs::SelfProfileOptions options;
+  options.name = config_.self_profile_source + ".self." + tag;
+  // Deliberately no thread list: every window then synthesizes the same
+  // single "main" thread, so all windows of one server carry
+  // digest-identical metadata and `difference` composes any two of them
+  // bit-deterministically.
+  Experiment window = obs::export_self_profile({}, *delta, options);
+  window.set_attribute("cube.self.source", config_.self_profile_source);
+  window.set_attribute("cube.self.window", std::to_string(seq));
+  window.set_attribute("cube.self.interval_s",
+                       std::to_string(config_.self_profile_interval_s));
+  return repo_.store(window, RepoFormat::Binary);
 }
 
 bool AnalysisService::refresh() {

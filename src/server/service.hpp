@@ -31,19 +31,23 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "common/thread_safety.hpp"
 #include "io/repository.hpp"
 #include "obs/metrics.hpp"
+#include "obs/window.hpp"
 #include "query/engine.hpp"
 #include "server/protocol.hpp"
 #include "server/result_cache.hpp"
+#include "server/telemetry.hpp"
 
 namespace cube::server {
 
@@ -73,6 +77,20 @@ struct ServiceConfig {
   /// Shed EVERY query unconditionally — deterministic Busy for tests and
   /// the CI smoke job (cubed --force-busy).
   bool force_busy = false;
+  /// Slow-query log: the slow_log_capacity worst queries at or above
+  /// slow_log_threshold_ms wall time are kept and dumped via Stats
+  /// (cubed --slow-log-threshold / --slow-log-size).  Capacity 0
+  /// disables the log.
+  double slow_log_threshold_ms = 0.0;
+  std::size_t slow_log_capacity = 32;
+  /// Store a windowed self-profile experiment into the served repository
+  /// every this many seconds of housekeeping time; 0 disables
+  /// (cubed --self-profile-interval).
+  unsigned self_profile_interval_s = 0;
+  /// Value of the "cube.self.source" attribute on stored self-profile
+  /// windows, and the prefix of their experiment names (normally the
+  /// server name).
+  std::string self_profile_source = "cubed";
   /// Test hook: runs on the owner path after admission, before execution.
   /// Lets tests hold a computation open while concurrent sessions coalesce
   /// onto it.
@@ -103,11 +121,47 @@ class AnalysisService {
   /// Serves one query.  Never throws for query-level failures — they come
   /// back as Status::Error with a category ("parse", "plan", "analysis",
   /// "eval", "internal"); "analysis" rejections carry the static
-  /// analyzer's findings in ErrorPayload::diagnostics.
-  [[nodiscard]] QueryOutcome handle_query(const std::string& text);
+  /// analyzer's findings in ErrorPayload::diagnostics.  `request_id` is
+  /// the client-generated id from the Query payload (0 = unset): it tags
+  /// the server.query span and the slow-query log entry.
+  [[nodiscard]] QueryOutcome handle_query(const std::string& text,
+                                          std::uint64_t request_id = 0);
 
-  /// Snapshot of the process metrics registry (the StatsOk payload).
+  /// The StatsOk payload: registry snapshot (with histogram quantiles),
+  /// the slow-query log, and the full JSON telemetry document.
   [[nodiscard]] StatsPayload stats() const;
+
+  /// The telemetry document: {"server":{uptime, admission and cache
+  /// state, served counts}, "metrics":{…}, "slow_queries":[…]}.
+  /// Byte-deterministic for a given server state.
+  [[nodiscard]] std::string stats_json() const;
+
+  /// The HealthOk document: {"status","uptime_s","generation","inflight",
+  /// "queries","protocol_version"}.
+  [[nodiscard]] std::string health_json() const;
+
+  /// Seconds since the service was constructed.
+  [[nodiscard]] double uptime_s() const;
+
+  /// One housekeeping tick: refresh() plus, when due, a self-profile
+  /// window export.  The daemon's housekeeping thread calls this every
+  /// refresh interval.
+  void housekeeping_tick();
+
+  /// Closes the current self-profile window NOW (regardless of the
+  /// interval) and stores it as a frozen experiment in the served
+  /// repository; returns the stored id.  housekeeping_tick() calls this
+  /// on the interval; tests and drills call it directly.
+  std::string export_self_profile_window();
+
+  /// Windows stored so far.
+  [[nodiscard]] std::uint64_t self_profile_windows() const noexcept {
+    return windows_stored_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const SlowQueryLog& slow_log() const noexcept {
+    return slow_log_;
+  }
 
   /// Re-reads the repository index if another process changed it; on a
   /// change the plan cache is invalidated (selector resolution and operand
@@ -140,6 +194,12 @@ class AnalysisService {
   };
 
   [[nodiscard]] PlannedQuery resolve_plan(const std::string& text);
+  /// Renders the telemetry document from an already-taken registry
+  /// snapshot and slow-log snapshot (stats() reuses the snapshots it
+  /// ships on the wire instead of taking them twice).
+  [[nodiscard]] std::string compose_stats_json(
+      const std::vector<obs::MetricSample>& samples,
+      const std::vector<WireSlowQuery>& slow) const;
   /// Runs the static plan analyzer and records the admission verdict on
   /// `planned` (never throws; an analyzer failure admits the plan).
   void analyze_admission(PlannedQuery& planned);
@@ -179,7 +239,21 @@ class AnalysisService {
   obs::Histogram& queue_wait_hist_;
   obs::Histogram& service_time_;
   obs::Gauge& inflight_gauge_;
+  obs::Gauge& inflight_peak_;  ///< high-watermark (Gauge::record_max)
   obs::Gauge& cache_bytes_;
+
+  /// Service start, for uptime_s().
+  std::chrono::steady_clock::time_point start_;
+
+  SlowQueryLog slow_log_;
+
+  // Self-profile windowing: the registry window and its schedule, all
+  // behind one mutex (the housekeeping thread and direct
+  // export_self_profile_window() calls serialize here).
+  ts::Mutex profile_mutex_;
+  std::unique_ptr<obs::RegistryWindow> window_ CUBE_GUARDED_BY(profile_mutex_);
+  std::int64_t next_window_ns_ CUBE_GUARDED_BY(profile_mutex_) = 0;
+  std::atomic<std::uint64_t> windows_stored_{0};
 
   // pool_ is declared after the probe state (its tasks touch it) and
   // engine_ last (it runs on the pool): destruction joins the workers

@@ -1,0 +1,57 @@
+#include "server/telemetry.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace cube::server {
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity, double threshold_ms)
+    : capacity_(capacity),
+      threshold_ms_(threshold_ms),
+      floor_ms_(-std::numeric_limits<double>::infinity()) {}
+
+void SlowQueryLog::record(WireSlowQuery entry) {
+  if (capacity_ == 0) return;
+  if (entry.server_ms < threshold_ms_) return;
+  // Fast path: a query that cannot displace the recorded worst set is
+  // rejected on one relaxed load, before the mutex.
+  if (entry.server_ms <= floor_ms_.load(std::memory_order_relaxed)) return;
+  ts::MutexLock lock(mutex_);
+  entry.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(entry));
+  } else {
+    auto weakest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const WireSlowQuery& a, const WireSlowQuery& b) {
+          if (a.server_ms != b.server_ms) return a.server_ms < b.server_ms;
+          return a.sequence > b.sequence;  // on a tie the newest goes first
+        });
+    if (entry.server_ms <= weakest->server_ms) return;  // raced past floor
+    *weakest = std::move(entry);
+  }
+  if (entries_.size() == capacity_) {
+    double floor = entries_.front().server_ms;
+    for (const WireSlowQuery& e : entries_) {
+      floor = std::min(floor, e.server_ms);
+    }
+    floor_ms_.store(floor, std::memory_order_relaxed);
+  }
+}
+
+std::vector<WireSlowQuery> SlowQueryLog::snapshot() const {
+  std::vector<WireSlowQuery> out;
+  {
+    ts::MutexLock lock(mutex_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WireSlowQuery& a, const WireSlowQuery& b) {
+              if (a.server_ms != b.server_ms) return a.server_ms > b.server_ms;
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+}  // namespace cube::server

@@ -1,0 +1,56 @@
+// SlowQueryLog: a bounded in-memory log of the N worst queries by wall
+// time (docs/SERVER.md).
+//
+// Every query the service finishes is offered to the log with its
+// canonical plan text, outcome, and per-phase durations; the log keeps
+// the `capacity` slowest of those at or above `threshold_ms`.  Scrapes
+// (the Stats endpoint) read a deterministic worst-first order: wall time
+// descending, arrival order ascending as the tie-break.
+//
+// The hot path is cheap by construction: one relaxed atomic load rejects
+// queries that cannot displace the current floor before any lock is
+// taken, so a warm server whose fast traffic never beats its recorded
+// worst pays one load and one branch per query.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_safety.hpp"
+#include "server/protocol.hpp"
+
+namespace cube::server {
+
+class SlowQueryLog {
+ public:
+  /// `capacity` 0 disables the log entirely; `threshold_ms` is the
+  /// minimum wall time a query must reach to be considered.
+  explicit SlowQueryLog(std::size_t capacity = 32, double threshold_ms = 0.0);
+
+  /// Offers one finished query.  `entry.sequence` is assigned by the log
+  /// (arrival order); the other fields are the caller's.
+  void record(WireSlowQuery entry);
+
+  /// The kept entries, worst first (server_ms descending, then sequence
+  /// ascending).
+  [[nodiscard]] std::vector<WireSlowQuery> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double threshold_ms() const noexcept { return threshold_ms_; }
+
+ private:
+  const std::size_t capacity_;
+  const double threshold_ms_;
+  /// Smallest wall time that can still displace an entry once the log is
+  /// full; -inf while slots remain.  Read without the mutex as the
+  /// fast-path rejection test.
+  std::atomic<double> floor_ms_;
+  std::atomic<std::uint64_t> next_sequence_{1};
+
+  mutable ts::Mutex mutex_;
+  std::vector<WireSlowQuery> entries_ CUBE_GUARDED_BY(mutex_);
+};
+
+}  // namespace cube::server

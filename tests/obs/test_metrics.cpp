@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -121,6 +122,118 @@ TEST(Metrics, ReRegisteringWithDifferentKindOrUnitThrows) {
                std::runtime_error);
   // The original registration is unaffected.
   EXPECT_NO_THROW(reg.counter("test.name", SampleUnit::Bytes).add(1));
+}
+
+TEST(Metrics, BucketBoundsAreExactPowersOfTwoTimesSubEdges) {
+  // Bucket 0 starts at zero; every fourth bucket after the first lands
+  // exactly on a power of two (ldexp is exact), and the lower bounds are
+  // strictly increasing.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(4), std::ldexp(1.0, -29));
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(Histogram::kBuckets),
+                   std::ldexp(1.0, 2));
+  for (std::size_t i = 1; i < Histogram::kBuckets; ++i) {
+    EXPECT_LT(Histogram::bucket_lower_bound(i),
+              Histogram::bucket_lower_bound(i + 1))
+        << "bucket " << i;
+  }
+  // An observation at a bucket's exact lower bound is counted in that
+  // bucket: [lower, next) semantics.
+  for (std::size_t i : {1u, 4u, 57u, 126u}) {
+    Histogram h;
+    h.observe(Histogram::bucket_lower_bound(i));
+    EXPECT_EQ(h.bucket(i), 1u) << "bucket " << i;
+  }
+}
+
+TEST(Metrics, QuantilesInterpolateWithinBuckets) {
+  Histogram h;
+  // 1000 samples spread uniformly over [0.1, 1.1): the quantiles must
+  // come back within a bucket width of the exact answer.
+  for (int i = 0; i < 1000; ++i) h.observe(0.1 + i * 0.001);
+  EXPECT_NEAR(h.quantile(0.50), 0.6, 0.12);
+  EXPECT_NEAR(h.quantile(0.90), 1.0, 0.2);
+  // The extremes clamp to the observed min/max, not bucket edges.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+  // Degenerate cases.
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  Histogram one;
+  one.observe(42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.99), 42.0);
+}
+
+TEST(Metrics, QuantilesAreMonotoneInQ) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(i * 0.01);
+  double last = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, last) << "q = " << q;
+    last = v;
+  }
+}
+
+TEST(Metrics, SnapshotCarriesQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q.hist", SampleUnit::Seconds);
+  for (int i = 0; i < 100; ++i) h.observe(0.010);
+  h.observe(1.0);
+  const std::vector<MetricSample> samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_NEAR(samples[0].p50, 0.010, 0.004);
+  EXPECT_NEAR(samples[0].p99, samples[0].p50, 1.0);
+  EXPECT_GE(samples[0].p99, samples[0].p90);
+  EXPECT_GE(samples[0].p90, samples[0].p50);
+}
+
+TEST(Metrics, GaugeRecordMaxIsAHighWatermark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("peak.gauge");
+  EXPECT_FALSE(g.high_watermark());
+  g.record_max(3.0);
+  g.record_max(7.0);
+  g.record_max(5.0);  // lower values never move the watermark
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  EXPECT_TRUE(g.high_watermark());
+  reg.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_TRUE(g.high_watermark());  // the mode survives a reset
+}
+
+TEST(Metrics, AbsorbTakesMaxOfWatermarkGauges) {
+  MetricsRegistry global;
+  global.gauge("peak").record_max(10.0);
+
+  MetricsRegistry lower;
+  lower.gauge("peak").record_max(4.0);
+  global.absorb(lower);
+  EXPECT_DOUBLE_EQ(global.gauge("peak").value(), 10.0);  // max, not last
+
+  MetricsRegistry higher;
+  higher.gauge("peak").record_max(12.0);
+  global.absorb(higher);
+  EXPECT_DOUBLE_EQ(global.gauge("peak").value(), 12.0);
+
+  // Plain gauges keep last-write-wins semantics under absorb.
+  MetricsRegistry level;
+  level.gauge("level").set(2.0);
+  global.absorb(level);
+  MetricsRegistry level2;
+  level2.gauge("level").set(1.0);
+  global.absorb(level2);
+  EXPECT_DOUBLE_EQ(global.gauge("level").value(), 1.0);
+}
+
+TEST(Metrics, ReportIncludesQuantiles) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 50; ++i) reg.histogram("lat").observe(0.5);
+  std::ostringstream out;
+  write_metrics_report(out, reg);
+  EXPECT_NE(out.str().find("p50"), std::string::npos);
+  EXPECT_NE(out.str().find("p99"), std::string::npos);
 }
 
 TEST(Metrics, ReportListsEveryInstrument) {

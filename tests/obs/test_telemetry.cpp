@@ -1,0 +1,160 @@
+// Telemetry building blocks: the deterministic JSON exporter and the
+// RegistryWindow differ used by the daemon's self-profile windows.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/json_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/self_profile.hpp"
+#include "obs/window.hpp"
+
+namespace cube::obs {
+namespace {
+
+std::string json_string(std::string_view s) {
+  std::ostringstream out;
+  write_json_string(out, s);
+  return out.str();
+}
+
+TEST(JsonExport, StringsEscapeControlAndQuoteCharacters) {
+  EXPECT_EQ(json_string("plain"), "\"plain\"");
+  EXPECT_EQ(json_string("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_string("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_string("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_string("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json_string(std::string("nul\x01") + "x"), "\"nul\\u0001x\"");
+}
+
+TEST(JsonExport, NumbersAreShortestRoundTrip) {
+  std::ostringstream out;
+  write_json_number(out, 0.25);
+  out << ' ';
+  write_json_number(out, 1.0 / 3.0);
+  out << ' ';
+  write_json_number(out, std::uint64_t{18446744073709551615ull});
+  EXPECT_EQ(out.str(), "0.25 0.3333333333333333 18446744073709551615");
+}
+
+TEST(JsonExport, NonFiniteValuesBecomeZero) {
+  std::ostringstream out;
+  write_json_number(out, std::numeric_limits<double>::infinity());
+  out << ' ';
+  write_json_number(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out.str(), "0 0");
+}
+
+TEST(JsonExport, MetricsDocumentShapeAndDeterminism) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.gauge", SampleUnit::Bytes).set(128.0);
+  for (int i = 0; i < 10; ++i) {
+    reg.histogram("c.hist", SampleUnit::Seconds).observe(0.5);
+  }
+  const std::string doc = metrics_json(reg.snapshot());
+  EXPECT_NE(doc.find("\"a.count\":{\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(doc.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"b.gauge\":{\"kind\":\"gauge\",\"unit\":\"bytes\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"c.hist\":{\"kind\":\"histogram\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"count\":10"), std::string::npos);
+  EXPECT_NE(doc.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\":"), std::string::npos);
+  // Byte-deterministic: the same state renders the same bytes.
+  EXPECT_EQ(doc, metrics_json(reg.snapshot()));
+  EXPECT_EQ(metrics_json({}), "{}");
+}
+
+TEST(RegistryWindow, CountersDeltaAcrossAdvances) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("w.count");
+  c.add(10);
+  RegistryWindow window(reg);  // baseline at 10
+  c.add(5);
+  std::unique_ptr<MetricsRegistry> w1 = window.advance();
+  EXPECT_EQ(w1->counter("w.count").value(), 5u);
+  c.add(2);
+  std::unique_ptr<MetricsRegistry> w2 = window.advance();
+  EXPECT_EQ(w2->counter("w.count").value(), 2u);
+  // The source registry is never reset by windowing.
+  EXPECT_EQ(c.value(), 17u);
+}
+
+TEST(RegistryWindow, HistogramsDeltaPreservingDistribution) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("w.hist", SampleUnit::Seconds);
+  h.observe(0.5);
+  RegistryWindow window(reg);
+  for (int i = 0; i < 100; ++i) h.observe(1.0);
+  std::unique_ptr<MetricsRegistry> w = window.advance();
+  const Histogram& wh = w->histogram("w.hist", SampleUnit::Seconds);
+  EXPECT_EQ(wh.count(), 100u);
+  EXPECT_DOUBLE_EQ(wh.sum(), 100.0);
+  // The delta's quantiles see only the window's observations.
+  EXPECT_NEAR(wh.quantile(0.5), 1.0, 0.2);
+  EXPECT_EQ(h.count(), 101u);  // source untouched
+}
+
+TEST(RegistryWindow, GaugesCopyLevelOrWatermark) {
+  MetricsRegistry reg;
+  reg.gauge("w.level").set(3.0);
+  reg.gauge("w.peak").record_max(9.0);
+  RegistryWindow window(reg);
+  reg.gauge("w.level").set(4.0);
+  std::unique_ptr<MetricsRegistry> w = window.advance();
+  EXPECT_DOUBLE_EQ(w->gauge("w.level").value(), 4.0);
+  EXPECT_DOUBLE_EQ(w->gauge("w.peak").value(), 9.0);
+  EXPECT_TRUE(w->gauge("w.peak").high_watermark());
+}
+
+TEST(RegistryWindow, InstrumentsBornMidWindowAppearInTheNextDelta) {
+  MetricsRegistry reg;
+  reg.counter("early").add(1);
+  RegistryWindow window(reg);
+  reg.counter("late", SampleUnit::Bytes).add(7);
+  std::unique_ptr<MetricsRegistry> w = window.advance();
+  EXPECT_EQ(w->counter("late", SampleUnit::Bytes).value(), 7u);
+  EXPECT_EQ(w->counter("early").value(), 0u);
+}
+
+TEST(RegistryWindow, SourceResetReportsPostResetValues) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("w.count");
+  c.add(100);
+  RegistryWindow window(reg);
+  reg.reset();
+  c.add(3);
+  // 3 < baseline 100: a wrap-around would report a garbage delta; the
+  // saturating differ reports the post-reset value instead.
+  std::unique_ptr<MetricsRegistry> w = window.advance();
+  EXPECT_EQ(w->counter("w.count").value(), 3u);
+}
+
+TEST(RegistryWindow, WindowExperimentsAreDigestCompatible) {
+  // Two consecutive windows of the same registry, exported with an empty
+  // thread list, must produce experiments with identical metadata digests
+  // — the precondition for `difference` composing them bit-exactly.
+  MetricsRegistry reg;
+  reg.counter("w.queries").add(5);
+  reg.histogram("w.time", SampleUnit::Seconds).observe(0.25);
+  RegistryWindow window(reg);
+
+  reg.counter("w.queries").add(2);
+  SelfProfileOptions options;
+  options.name = "window";
+  const Experiment e1 = export_self_profile({}, *window.advance(), options);
+
+  reg.counter("w.queries").add(9);
+  reg.histogram("w.time", SampleUnit::Seconds).observe(0.75);
+  const Experiment e2 = export_self_profile({}, *window.advance(), options);
+
+  EXPECT_EQ(e1.metadata().digest(), e2.metadata().digest());
+}
+
+}  // namespace
+}  // namespace cube::obs

@@ -257,11 +257,121 @@ TEST(Protocol, StatsRoundTrip) {
 TEST(Protocol, TruncatedPayloadBytesRejected) {
   QueryPayload p;
   p.text = "mean(a, b)";
+  p.request_id = 0x1122334455667788ull;
   const std::string bytes = encode_query(p);
+  // One prefix length is a LEGAL legacy boundary: a peer that predates
+  // request ids ends the payload after `flags` (8 trailing id bytes
+  // missing) and must decode with request_id == 0.  Every other prefix is
+  // a framing violation.
+  const std::size_t legacy_cut = bytes.size() - 8;
   for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    if (cut == legacy_cut) {
+      const QueryPayload legacy = decode_query(bytes.substr(0, cut));
+      EXPECT_EQ(legacy.text, p.text);
+      EXPECT_EQ(legacy.request_id, 0u);
+      continue;
+    }
     EXPECT_THROW((void)decode_query(bytes.substr(0, cut)), ProtocolError)
         << "prefix of " << cut << " bytes parsed";
   }
+}
+
+TEST(Protocol, QueryRequestIdRoundTrips) {
+  QueryPayload p;
+  p.text = "mean(attr(run=before))";
+  p.request_id = 0xdeadbeefcafef00dull;
+  const QueryPayload q = decode_query(encode_query(p));
+  EXPECT_EQ(q.text, p.text);
+  EXPECT_EQ(q.request_id, p.request_id);
+}
+
+TEST(Protocol, StatsTelemetryRoundTrips) {
+  StatsPayload p;
+  cube::obs::MetricSample s;
+  s.name = "server.service_time";
+  s.kind = cube::obs::InstrumentKind::Histogram;
+  s.unit = cube::obs::SampleUnit::Seconds;
+  s.count = 100;
+  s.p50 = 0.010;
+  s.p90 = 0.025;
+  s.p99 = 0.125;
+  p.samples.push_back(s);
+  p.json = "{\"server\":{\"queries\":100}}";
+  WireSlowQuery slow;
+  slow.request_id = 42;
+  slow.canonical = "mean(id:a@00aa)";
+  slow.outcome = "computed";
+  slow.server_ms = 125.5;
+  slow.plan_ms = 1.25;
+  slow.compute_ms = 120.0;
+  slow.serialize_ms = 2.5;
+  slow.sequence = 7;
+  p.slow.push_back(slow);
+
+  const StatsPayload q = decode_stats(encode_stats(p));
+  ASSERT_EQ(q.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.samples[0].p50, 0.010);
+  EXPECT_DOUBLE_EQ(q.samples[0].p90, 0.025);
+  EXPECT_DOUBLE_EQ(q.samples[0].p99, 0.125);
+  EXPECT_EQ(q.json, p.json);
+  ASSERT_EQ(q.slow.size(), 1u);
+  EXPECT_EQ(q.slow[0].request_id, 42u);
+  EXPECT_EQ(q.slow[0].canonical, slow.canonical);
+  EXPECT_EQ(q.slow[0].outcome, "computed");
+  EXPECT_DOUBLE_EQ(q.slow[0].server_ms, 125.5);
+  EXPECT_DOUBLE_EQ(q.slow[0].plan_ms, 1.25);
+  EXPECT_DOUBLE_EQ(q.slow[0].compute_ms, 120.0);
+  EXPECT_DOUBLE_EQ(q.slow[0].serialize_ms, 2.5);
+  EXPECT_EQ(q.slow[0].sequence, 7u);
+}
+
+TEST(Protocol, StatsPerByteFuzzOnlyLegacyBoundariesDecode) {
+  // Per-byte truncation fuzz over an encoded StatsOk: exactly two prefix
+  // lengths are legal legacy boundaries (end after samples; end after
+  // json), every other prefix must throw.
+  StatsPayload p;
+  cube::obs::MetricSample s;
+  s.name = "m";
+  s.kind = cube::obs::InstrumentKind::Counter;
+  s.unit = cube::obs::SampleUnit::Count;
+  s.value = 3.0;
+  p.samples.push_back(s);
+  p.json = "{}";
+  WireSlowQuery slow;
+  slow.canonical = "q";
+  slow.outcome = "hit";
+  p.slow.push_back(slow);
+
+  const std::string bytes = encode_stats(p);
+  StatsPayload no_slow = p;
+  no_slow.slow.clear();
+  const std::size_t after_json = encode_stats(no_slow).size() - 4;
+  StatsPayload samples_only = no_slow;
+  samples_only.json.clear();
+  const std::size_t after_samples = encode_stats(samples_only).size() - 4 - 4;
+
+  std::size_t decoded = 0;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    if (cut == after_samples || cut == after_json) {
+      const StatsPayload legacy = decode_stats(bytes.substr(0, cut));
+      ASSERT_EQ(legacy.samples.size(), 1u);
+      EXPECT_TRUE(legacy.slow.empty());
+      EXPECT_EQ(legacy.json, cut == after_json ? "{}" : "");
+      ++decoded;
+      continue;
+    }
+    EXPECT_THROW((void)decode_stats(bytes.substr(0, cut)), ProtocolError)
+        << "prefix of " << cut << " bytes parsed";
+  }
+  EXPECT_EQ(decoded, 2u);
+}
+
+TEST(Protocol, HealthRoundTrip) {
+  HealthPayload p;
+  p.json = "{\"status\":\"ok\",\"uptime_s\":1.5}";
+  const HealthPayload q = decode_health(encode_health(p));
+  EXPECT_EQ(q.json, p.json);
+  EXPECT_THROW((void)decode_health(encode_health(p) + "x"), ProtocolError);
 }
 
 TEST(Protocol, TrailingPayloadBytesRejected) {

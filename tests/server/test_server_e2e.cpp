@@ -300,6 +300,41 @@ TEST_F(ServerE2eTest, HousekeepingPicksUpExternallyStoredExperiments) {
   EXPECT_TRUE(served);
 }
 
+TEST_F(ServerE2eTest, TelemetryTravelsOverTheWire) {
+  CubeClient client(client_config());
+  const ClientResult result = client.query("mean(" + a_ + ", " + b_ + ")");
+  EXPECT_NE(client.last_request_id(), 0u);
+
+  // Health answers on the session thread with a well-formed document.
+  const HealthPayload health = client.health();
+  EXPECT_NE(health.json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.json.find("\"uptime_s\":"), std::string::npos);
+
+  // Stats ships the telemetry JSON and the slow-query log; the query this
+  // session just ran appears with its auto-assigned request id.
+  const StatsPayload stats = client.stats();
+  EXPECT_NE(stats.json.find("\"server\":"), std::string::npos);
+  EXPECT_NE(stats.json.find("\"slow_queries\":["), std::string::npos);
+  bool found = false;
+  for (const auto& slow : stats.slow) {
+    if (slow.request_id == client.last_request_id()) {
+      found = true;
+      EXPECT_EQ(slow.outcome, "computed");
+      EXPECT_GT(slow.server_ms, 0.0);
+    }
+  }
+  EXPECT_TRUE(found) << "the served query must appear in the slow log";
+  (void)result;
+
+  // Quantiles arrive in the per-sample records.
+  for (const auto& s : stats.samples) {
+    if (s.name == "server.service_time") {
+      EXPECT_GT(s.count, 0u);
+      EXPECT_GE(s.p99, s.p50);
+    }
+  }
+}
+
 TEST_F(ServerE2eTest, StatsAndCleanShutdownOverTheWire) {
   CubeClient client(client_config());
   (void)client.query("mean(" + a_ + ", " + b_ + ")");
